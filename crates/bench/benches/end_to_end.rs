@@ -1,0 +1,77 @@
+//! Criterion macrobenchmark: whole-network simulation speed (node-cycles
+//! per second) for the three router models at a fixed synthetic load.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use noc_sdm::{SdmConfig, SdmNode};
+use noc_sim::{Mesh, Network, NetworkConfig, PacketNode};
+use noc_traffic::{SyntheticSource, TrafficPattern};
+use std::hint::black_box;
+use tdm_noc::{TdmConfig, TdmNetwork};
+
+const CYCLES: u64 = 2_000;
+
+fn drive<N: noc_sim::NodeModel>(
+    net: &mut Network<N>,
+    source: &mut SyntheticSource,
+    cycles: u64,
+) -> u64 {
+    let mut pkts = Vec::new();
+    for _ in 0..cycles {
+        let now = net.now();
+        source.tick(now, true, |n, p| pkts.push((n, p)));
+        for (n, p) in pkts.drain(..) {
+            net.inject(n, p);
+        }
+        net.step();
+    }
+    net.stats.packets_delivered
+}
+
+fn bench_networks(c: &mut Criterion) {
+    let mesh = Mesh::square(6);
+    let net_cfg = NetworkConfig::with_mesh(mesh);
+    let mut g = c.benchmark_group("network_simulation_speed");
+    g.throughput(Throughput::Elements(CYCLES * mesh.len() as u64));
+    g.sample_size(10);
+
+    g.bench_function("packet_vc4_36n", |b| {
+        b.iter(|| {
+            let mut net = Network::new(mesh, |id| PacketNode::new(id, &net_cfg, None));
+            let mut src = SyntheticSource::new(mesh, TrafficPattern::UniformRandom, 0.15, 5, 3);
+            black_box(drive(&mut net, &mut src, CYCLES))
+        });
+    });
+
+    g.bench_function("tdm_hybrid_36n", |b| {
+        b.iter(|| {
+            let mut cfg = TdmConfig::vc4(net_cfg);
+            cfg.policy.setup_after_msgs = 3;
+            let mut net = TdmNetwork::new(cfg);
+            let mut src = SyntheticSource::new(mesh, TrafficPattern::UniformRandom, 0.15, 5, 3);
+            let mut pkts = Vec::new();
+            for _ in 0..CYCLES {
+                let now = net.now();
+                src.tick(now, true, |n, p| pkts.push((n, p)));
+                for (n, p) in pkts.drain(..) {
+                    net.inject(n, p);
+                }
+                net.step();
+            }
+            black_box(net.stats().packets_delivered)
+        });
+    });
+
+    g.bench_function("sdm_hybrid_36n", |b| {
+        b.iter(|| {
+            let cfg = SdmConfig { net: net_cfg, ..Default::default() };
+            let mut net = Network::new(mesh, move |id| SdmNode::new(id, &cfg));
+            let mut src = SyntheticSource::new(mesh, TrafficPattern::UniformRandom, 0.15, 5, 3);
+            black_box(drive(&mut net, &mut src, CYCLES))
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_networks);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion microbenchmarks for the energy model and the heterogeneous
+//! workload generator — the non-simulator hot paths of the experiment
+//! harness.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_hetero::{Floorplan, HeteroWorkload, CPU_BENCHES, GPU_BENCHES};
+use noc_power::{DvfsPoint, EnergyModel};
+use noc_sim::{EnergyEvents, LeakageIntegrals};
+use std::hint::black_box;
+
+fn bench_energy_eval(c: &mut Criterion) {
+    let events = EnergyEvents {
+        buffer_writes: 1_000_000,
+        buffer_reads: 990_000,
+        xbar_traversals: 1_400_000,
+        va_ops: 250_000,
+        sa_ops: 1_300_000,
+        link_flits: 1_100_000,
+        slot_lookups: 800_000,
+        cs_latch_writes: 400_000,
+        ..Default::default()
+    };
+    let leakage = LeakageIntegrals {
+        buffer_slot_cycles: 90_000_000,
+        slot_entry_cycles: 50_000_000,
+        dlt_entry_cycles: 2_000_000,
+        router_cycles: 900_000,
+    };
+    let model = EnergyModel::default();
+    c.bench_function("energy_model_evaluate", |b| {
+        b.iter(|| black_box(model.evaluate(black_box(&events), black_box(&leakage))))
+    });
+    let point = DvfsPoint { vdd_v: 0.85, freq_ghz: 1.0 };
+    let breakdown = model.evaluate(&events, &leakage);
+    c.bench_function("dvfs_rescale", |b| {
+        b.iter(|| black_box(point.rescale(black_box(&breakdown))))
+    });
+}
+
+fn bench_workload_tick(c: &mut Criterion) {
+    c.bench_function("hetero_workload_tick", |b| {
+        let mut w = HeteroWorkload::new(Floorplan::figure7(), CPU_BENCHES[0], GPU_BENCHES[0], 1);
+        let mut now = 0u64;
+        let mut count = 0usize;
+        b.iter(|| {
+            w.tick(now, true, |_, _| count += 1);
+            now += 1;
+            black_box(count)
+        })
+    });
+}
+
+criterion_group!(benches, bench_energy_eval, bench_workload_tick);
+criterion_main!(benches);

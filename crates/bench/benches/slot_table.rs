@@ -1,0 +1,69 @@
+//! Criterion microbenchmarks for the slot-table operations on the
+//! circuit-switched fast path: lookup (every flit arrival), reserve/release
+//! (configuration messages) and free-run scans (setup slot selection).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use noc_sim::{NodeId, Port};
+use std::hint::black_box;
+use tdm_noc::SlotTables;
+
+fn half_full_tables() -> SlotTables {
+    let mut t = SlotTables::new(128, 128, 0.9);
+    // 14 paths x 4 slots per input port ≈ 44% occupancy.
+    let mut path = 0u64;
+    for p in Port::ALL {
+        for k in 0..14u16 {
+            let out = Port::ALL[(p.index() + 1 + k as usize % 3) % 5];
+            let _ = t.try_reserve(p, k * 9 % 128, 4, out, path, NodeId(7));
+            path += 1;
+        }
+    }
+    t
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let t = half_full_tables();
+    c.bench_function("slot_table_lookup", |b| {
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 1;
+            black_box(t.lookup(Port::West, now))
+        });
+    });
+    c.bench_function("slot_table_output_reservation_check", |b| {
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 1;
+            black_box(t.input_reserving_output(now, Port::East))
+        });
+    });
+}
+
+fn bench_reserve_release(c: &mut Criterion) {
+    c.bench_function("slot_table_reserve_release", |b| {
+        b.iter_batched_ref(
+            half_full_tables,
+            |t| {
+                let r = t.try_reserve(Port::Local, 77, 4, Port::North, 9_999, NodeId(1));
+                if r.is_ok() {
+                    black_box(t.release_path(Port::Local, 9_999));
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_find_free_run(c: &mut Criterion) {
+    let t = half_full_tables();
+    c.bench_function("slot_table_find_free_run", |b| {
+        let mut from = 0u16;
+        b.iter(|| {
+            from = from.wrapping_add(7);
+            black_box(t.find_free_run(Port::Local, Port::East, 4, from))
+        });
+    });
+}
+
+criterion_group!(benches, bench_lookup, bench_reserve_release, bench_find_free_run);
+criterion_main!(benches);

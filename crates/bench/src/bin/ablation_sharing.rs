@@ -1,0 +1,97 @@
+//! Ablation for §III-A (circuit-switched path sharing): compare no sharing,
+//! hitchhiker-only, and hitchhiker+vicinity on heterogeneous mixes.
+//!
+//! This is the experiment behind this reproduction's design decision to
+//! default the `hop` configurations to hitchhiker-only: vicinity-sharing
+//! requires one extra slot on *every* reservation (§III-A2), and that
+//! standing 25 % bandwidth tax costs more than its rides recover here.
+
+use noc_bench::{format_table, quick_flag};
+use noc_hetero::driver::hetero_tdm_config;
+use noc_hetero::{run_mix, Floorplan, HeteroPhases, HeteroWorkload, NetKind, CPU_BENCHES, GPU_BENCHES};
+use noc_power::EnergyModel;
+use noc_sim::NetworkConfig;
+use rayon::prelude::*;
+use tdm_noc::{SharingConfig, TdmNetwork};
+
+fn main() {
+    let quick = quick_flag();
+    let phases = if quick { HeteroPhases::quick() } else { HeteroPhases::default() };
+    let mixes: Vec<(usize, usize)> =
+        if quick { vec![(0, 0), (2, 1), (6, 0)] } else { (0..7).map(|g| (g, g % 8)).collect() };
+
+    let variants = [
+        ("none", SharingConfig::DISABLED),
+        ("hitchhiker", SharingConfig::HITCHHIKER),
+        ("hitchhiker+vicinity", SharingConfig::FULL),
+    ];
+
+    let rows: Vec<Vec<String>> = variants
+        .par_iter()
+        .map(|(label, sharing)| {
+            let mut saving_sum = 0.0;
+            let (mut rides, mut vic, mut fails) = (0u64, 0u64, 0u64);
+            for &(gi, ci) in &mixes {
+                let base =
+                    run_mix(&CPU_BENCHES[ci], &GPU_BENCHES[gi], NetKind::PacketVc4, phases, 7);
+                let mut cfg = hetero_tdm_config(NetKind::HybridTdmVc4, NetworkConfig::default());
+                cfg.sharing = *sharing;
+                let mut net = TdmNetwork::new(cfg);
+                let mut w = HeteroWorkload::new(
+                    Floorplan::figure7(),
+                    CPU_BENCHES[ci],
+                    GPU_BENCHES[gi],
+                    7,
+                );
+                let mut scratch = Vec::new();
+                for phase in 0..3 {
+                    let (cycles, measured) = match phase {
+                        0 => (phases.warmup, false),
+                        1 => (phases.measure, true),
+                        _ => (phases.drain, false),
+                    };
+                    if phase == 1 {
+                        net.begin_measurement();
+                    }
+                    for _ in 0..cycles {
+                        if phase == 2
+                            && net.stats().packets_delivered >= net.stats().packets_offered
+                        {
+                            break;
+                        }
+                        let now = net.now();
+                        w.tick(now, measured, |n, p| scratch.push((n, p)));
+                        for (n, p) in scratch.drain(..) {
+                            net.inject(n, p);
+                        }
+                        net.step();
+                    }
+                }
+                net.end_measurement();
+                net.net.stats.measured_cycles = phases.measure;
+                let e = EnergyModel::default().evaluate_stats(net.stats());
+                saving_sum += e.saving_vs(&base.breakdown);
+                let ev = net.net.total_events();
+                rides += ev.hitchhike_rides;
+                vic += ev.vicinity_rides;
+                fails += ev.sharing_failures;
+            }
+            vec![
+                label.to_string(),
+                format!("{:+.1}", saving_sum / mixes.len() as f64 * 100.0),
+                rides.to_string(),
+                vic.to_string(),
+                fails.to_string(),
+            ]
+        })
+        .collect();
+
+    println!("=== §III-A ablation — path sharing variants (hetero mixes) ===\n");
+    println!(
+        "{}",
+        format_table(
+            &["sharing", "avg energy saving %", "hitchhikes", "vicinity rides", "share fails"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,284 @@
+//! The Destination Lookup Table (DLT) for hitchhiker-sharing (§III-A1).
+//!
+//! Each node keeps a small table of circuit-switched connections passing
+//! *through* its router: the connection's final destination, the time-slot
+//! at which its flits occupy this router, and a 2-bit saturating counter
+//! tracking sharing failures. When the counter reaches `10` (2), the node
+//! gives up sharing, removes the entry and requests a dedicated path. An
+//! 8-entry DLT is under 16 bytes (§III-A1: `2⌈log₂k⌉` destination bits and
+//! `⌈log₂S⌉` slot bits per entry).
+
+use noc_sim::{Mesh, NodeId, Port};
+
+/// Counter value at which sharing is abandoned (binary `10`).
+pub const FAIL_LIMIT: u8 = 2;
+
+/// One DLT entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DltEntry {
+    /// Final destination of the through-circuit.
+    pub dst: NodeId,
+    /// Slot (at this router) in which the circuit's burst begins.
+    pub slot: u16,
+    /// Slots per burst.
+    pub duration: u8,
+    /// Input port the circuit enters this router on (contention with
+    /// upstream traffic is detected by watching this port's CS latch).
+    pub in_port: Port,
+    /// 2-bit saturating failure counter.
+    pub fails: u8,
+    /// A `setup` reserves slots hop by hop and may still fail downstream;
+    /// riding such a partial path would send flits past its end. An entry
+    /// becomes ridable only once this router has seen a circuit-switched
+    /// flit actually traverse the reservation — proof the owner received a
+    /// success ack and the path is complete.
+    pub confirmed: bool,
+}
+
+/// A fixed-capacity DLT with FIFO replacement.
+#[derive(Clone, Debug)]
+pub struct Dlt {
+    entries: Vec<DltEntry>,
+    cap: usize,
+}
+
+impl Dlt {
+    pub fn new(cap: u8) -> Self {
+        Dlt { entries: Vec::with_capacity(cap as usize), cap: cap as usize }
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Record a connection observed in a passing `setup` message. Replaces
+    /// an existing entry for the same destination; when full, evicts an
+    /// unconfirmed entry first (setups frequently fail downstream, so an
+    /// unconfirmed entry is the least valuable), falling back to the
+    /// oldest. Returns the number of entry writes (energy accounting).
+    pub fn insert(&mut self, dst: NodeId, slot: u16, duration: u8, in_port: Port) -> u64 {
+        let entry = DltEntry { dst, slot, duration, in_port, fails: 0, confirmed: false };
+        if let Some(e) = self.entries.iter_mut().find(|e| e.dst == dst) {
+            *e = entry;
+            return 1;
+        }
+        if self.entries.len() == self.cap {
+            let victim = self
+                .entries
+                .iter()
+                .position(|e| !e.confirmed)
+                .unwrap_or(0);
+            self.entries.remove(victim);
+        }
+        self.entries.push(entry);
+        1
+    }
+
+    /// Mark the circuit to `dst` as live: a CS flit traversed a reservation
+    /// here. The observation must match the entry's input port and slot
+    /// window — a flit from an *older* circuit to the same destination must
+    /// not vouch for a newer reservation that may have failed downstream.
+    pub fn confirm(&mut self, dst: NodeId, in_port: Port, slot: u16, period: u16) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.dst == dst) {
+            if e.in_port != in_port {
+                return;
+            }
+            let offset = (slot + period - e.slot) % period;
+            if offset < e.duration as u16 {
+                e.confirmed = true;
+            }
+        }
+    }
+
+    /// Ridable entry whose circuit ends exactly at `dst`
+    /// (hitchhiker-sharing).
+    pub fn lookup(&self, dst: NodeId) -> Option<&DltEntry> {
+        self.entries.iter().find(|e| e.dst == dst && e.confirmed)
+    }
+
+    /// Ridable entry whose circuit ends at a mesh neighbour of `dst`
+    /// (combined hitchhiker + vicinity sharing, §III-A: "messages can
+    /// hop-on at intermediate nodes and get off at nodes close to their
+    /// destination").
+    pub fn lookup_vicinity(&self, mesh: &Mesh, dst: NodeId) -> Option<&DltEntry> {
+        self.entries.iter().find(|e| e.confirmed && mesh.adjacent(e.dst, dst))
+    }
+
+    /// Record a sharing failure for the circuit to `dst`. When the 2-bit
+    /// counter reaches `10`, the entry is removed and `true` is returned —
+    /// the caller should generate a dedicated path setup (§III-A1).
+    pub fn record_failure(&mut self, dst: NodeId) -> bool {
+        let Some(pos) = self.entries.iter().position(|e| e.dst == dst) else {
+            return false;
+        };
+        let e = &mut self.entries[pos];
+        e.fails = (e.fails + 1).min(3);
+        if e.fails >= FAIL_LIMIT {
+            self.entries.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Record a successful share: the counter decays.
+    pub fn record_success(&mut self, dst: NodeId) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.dst == dst) {
+            e.fails = e.fails.saturating_sub(1);
+        }
+    }
+
+    /// Remove the entry for a torn-down circuit.
+    pub fn remove(&mut self, dst: NodeId) {
+        self.entries.retain(|e| e.dst != dst);
+    }
+
+    /// Drop everything (slot-table reset).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_lookup_remove() {
+        let mut d = Dlt::new(8);
+        d.insert(NodeId(5), 12, 4, Port::West);
+        assert!(d.lookup(NodeId(5)).is_none(), "unconfirmed entries are not ridable");
+        d.confirm(NodeId(5), Port::West, 12, 16);
+        let e = d.lookup(NodeId(5)).unwrap();
+        assert_eq!((e.slot, e.duration, e.in_port), (12, 4, Port::West));
+        assert!(d.lookup(NodeId(6)).is_none());
+        d.remove(NodeId(5));
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn fifo_replacement_at_capacity() {
+        let mut d = Dlt::new(2);
+        d.insert(NodeId(1), 0, 4, Port::West);
+        d.insert(NodeId(2), 4, 4, Port::West);
+        d.insert(NodeId(3), 8, 4, Port::West);
+        for (n, slot) in [(1, 0), (2, 4), (3, 8)] {
+            d.confirm(NodeId(n), Port::West, slot, 16);
+        }
+        assert!(d.lookup(NodeId(1)).is_none(), "oldest evicted");
+        assert!(d.lookup(NodeId(2)).is_some());
+        assert!(d.lookup(NodeId(3)).is_some());
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_updates_in_place() {
+        let mut d = Dlt::new(2);
+        d.insert(NodeId(1), 0, 4, Port::West);
+        d.confirm(NodeId(1), Port::West, 0, 16);
+        d.insert(NodeId(1), 8, 4, Port::South);
+        assert_eq!(d.len(), 1);
+        // Re-inserting resets confirmation, and the old circuit's flits
+        // cannot vouch for the new reservation (wrong port/slot).
+        d.confirm(NodeId(1), Port::West, 0, 16);
+        assert!(d.lookup(NodeId(1)).is_none());
+        d.confirm(NodeId(1), Port::South, 9, 16);
+        assert_eq!(d.lookup(NodeId(1)).unwrap().slot, 8);
+    }
+
+    #[test]
+    fn two_bit_counter_triggers_at_10() {
+        let mut d = Dlt::new(8);
+        d.insert(NodeId(4), 0, 4, Port::East);
+        assert!(!d.record_failure(NodeId(4)), "first failure: counter 01");
+        assert!(d.record_failure(NodeId(4)), "second failure: counter 10 → setup");
+        assert!(d.lookup(NodeId(4)).is_none(), "entry removed");
+        assert!(!d.record_failure(NodeId(4)), "missing entry is a no-op");
+    }
+
+    #[test]
+    fn success_decays_counter() {
+        let mut d = Dlt::new(8);
+        d.insert(NodeId(4), 0, 4, Port::East);
+        d.record_failure(NodeId(4));
+        d.record_success(NodeId(4));
+        // Two more failures needed again.
+        assert!(!d.record_failure(NodeId(4)));
+        assert!(d.record_failure(NodeId(4)));
+    }
+
+    #[test]
+    fn vicinity_lookup_finds_neighbouring_endpoints() {
+        let mesh = Mesh::square(4);
+        let mut d = Dlt::new(8);
+        // Circuit ends at (1,1) = node 5.
+        d.insert(NodeId(5), 0, 4, Port::West);
+        d.confirm(NodeId(5), Port::West, 2, 16);
+        // (1,2) = node 9 is adjacent to 5.
+        assert!(d.lookup_vicinity(&mesh, NodeId(9)).is_some());
+        // (3,3) = node 15 is not.
+        assert!(d.lookup_vicinity(&mesh, NodeId(15)).is_none());
+        // The endpoint itself is not "vicinity" (plain hitchhike instead).
+        assert!(d.lookup_vicinity(&mesh, NodeId(5)).is_none());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Insert(u32, u16, Port),
+        Confirm(u32, Port, u16),
+        Fail(u32),
+        Success(u32),
+        Remove(u32),
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0u32..8, 0u16..16, 0usize..5).prop_map(|(d, s, p)| Op::Insert(d, s, Port::ALL[p])),
+            (0u32..8, 0usize..5, 0u16..16).prop_map(|(d, p, s)| Op::Confirm(d, Port::ALL[p], s)),
+            (0u32..8).prop_map(Op::Fail),
+            (0u32..8).prop_map(Op::Success),
+            (0u32..8).prop_map(Op::Remove),
+        ]
+    }
+
+    proptest! {
+        /// Under any operation sequence: capacity is never exceeded, at
+        /// most one entry per destination exists, and lookups only return
+        /// confirmed entries.
+        #[test]
+        fn dlt_invariants_hold(ops in prop::collection::vec(op_strategy(), 0..80)) {
+            let mut d = Dlt::new(4);
+            for op in ops {
+                match op {
+                    Op::Insert(dst, slot, port) => {
+                        d.insert(NodeId(dst), slot, 4, port);
+                    }
+                    Op::Confirm(dst, port, slot) => d.confirm(NodeId(dst), port, slot, 16),
+                    Op::Fail(dst) => {
+                        d.record_failure(NodeId(dst));
+                    }
+                    Op::Success(dst) => d.record_success(NodeId(dst)),
+                    Op::Remove(dst) => d.remove(NodeId(dst)),
+                }
+                prop_assert!(d.len() <= 4, "capacity exceeded");
+                for dst in 0..8u32 {
+                    if let Some(e) = d.lookup(NodeId(dst)) {
+                        prop_assert!(e.confirmed);
+                        prop_assert_eq!(e.dst, NodeId(dst));
+                        prop_assert!(e.fails < FAIL_LIMIT, "saturated entry still present");
+                    }
+                }
+            }
+        }
+    }
+}

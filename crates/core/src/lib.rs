@@ -1,0 +1,40 @@
+//! # tdm-noc — the paper's TDM-based hybrid-switched NoC
+//!
+//! Implements the contribution of *"Energy-Efficient Time-Division
+//! Multiplexed Hybrid-Switched NoC for Heterogeneous Multicore Systems"*:
+//!
+//! * [`slot_table`] — per-input-port slot tables (valid bit + output port,
+//!   Figure 1), modulo-S consecutive-slot reservation with output-port
+//!   conflict detection, the 90 % reservation cap, and dynamic capacity
+//!   (§II-C);
+//! * [`registry`] — source-side connection registry, pending-setup tracking
+//!   with resend-on-failure, and the communication-frequency tracker that
+//!   decides which source–destination pairs deserve a circuit (§II-A/B);
+//! * [`dlt`] — the Destination Lookup Table enabling hitchhiker-sharing,
+//!   with its 2-bit saturating failure counters (§III-A1);
+//! * [`router`] — the hybrid-switched router of Figure 2: the
+//!   packet-switched pipeline extended with slot tables, circuit-switched
+//!   latches, input demultiplexers and time-slot stealing (§II-D);
+//! * [`node`] — the tile model: circuit-switching decisions, path setup and
+//!   teardown, hitchhiker- and vicinity-sharing, CS burst streaming, and
+//!   aggressive VC power gating (§III);
+//! * [`network`] — a network wrapper adding the global dynamic slot-table
+//!   sizing controller (freeze → reset → double, §II-C) and constructors
+//!   for the paper's configurations (*Hybrid-TDM-VC4*, *Hybrid-TDM-VCt*,
+//!   *Hybrid-TDM-hop-VC4*, *Hybrid-TDM-hop-VCt*).
+
+pub mod config;
+pub mod dlt;
+pub mod network;
+pub mod node;
+pub mod registry;
+pub mod router;
+pub mod slot_table;
+
+pub use config::{CsPolicyConfig, ResizeConfig, SharingConfig, TdmConfig, WaitBudget};
+pub use dlt::Dlt;
+pub use network::TdmNetwork;
+pub use node::TdmNode;
+pub use registry::{ConnRegistry, Connection, FrequencyTracker};
+pub use router::TdmRouter;
+pub use slot_table::{ReserveError, SlotEntry, SlotTables};

@@ -1,0 +1,348 @@
+//! The TDM hybrid network: the generic harness plus the network-wide
+//! dynamic time-division granularity controller (§II-C).
+//!
+//! Slot indices are derived from the global cycle count, so the modulus S
+//! (the active slot-table size) must be identical at every router. Growing
+//! it therefore happens in two phases: **freeze** — every node stops
+//! starting circuit-switched bursts and flushes queued CS work onto the
+//! packet-switched network, while in-flight bursts and configuration
+//! messages drain; then **reset** — every slot table is cleared, the active
+//! entry count doubles, and path setup restarts ("once the capacity of the
+//! slot table is increased, all slot tables are reset, and the path setup
+//! procedure restarts").
+
+use noc_sim::{Cycle, Network, NodeId, NodeModel, Packet};
+
+use crate::config::TdmConfig;
+use crate::node::TdmNode;
+
+#[derive(Clone, Copy, Debug)]
+enum ResizePhase {
+    /// Watching the failure counters.
+    Observing { window_start: Cycle, failures_at_start: u64 },
+    /// CS frozen; reset to `target` entries when the deadline passes and
+    /// all bursts finished.
+    Freezing { deadline: Cycle, target: u16 },
+}
+
+/// A mesh of TDM hybrid tiles.
+pub struct TdmNetwork {
+    pub net: Network<TdmNode>,
+    cfg: TdmConfig,
+    phase: Option<ResizePhase>,
+    /// Completed doublings (diagnostics / tests).
+    pub resizes: u32,
+    /// When the last grow completed — shrinking is suppressed for several
+    /// windows afterwards to prevent grow/shrink oscillation.
+    last_grow: Cycle,
+}
+
+impl TdmNetwork {
+    pub fn new(cfg: TdmConfig) -> Self {
+        let phase = cfg.resize.map(|_| ResizePhase::Observing {
+            window_start: 0,
+            failures_at_start: 0,
+        });
+        TdmNetwork {
+            net: Network::new(cfg.net.mesh, |id| TdmNode::new(id, &cfg)),
+            cfg,
+            phase,
+            resizes: 0,
+            last_grow: 0,
+        }
+    }
+
+    pub fn config(&self) -> &TdmConfig {
+        &self.cfg
+    }
+
+    pub fn now(&self) -> Cycle {
+        self.net.now()
+    }
+
+    pub fn inject(&mut self, node: NodeId, pkt: Packet) {
+        self.net.inject(node, pkt);
+    }
+
+    /// Current network-wide active slot-table size S.
+    pub fn active_slots(&self) -> u16 {
+        self.net.nodes[0].router.slots.active()
+    }
+
+    /// Advance one cycle, running the resize controller first.
+    pub fn step(&mut self) {
+        self.run_resize_controller();
+        self.net.step();
+    }
+
+    pub fn run(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.step();
+        }
+    }
+
+    fn run_resize_controller(&mut self) {
+        let Some(rc) = self.cfg.resize else { return };
+        let now = self.net.now();
+        match self.phase {
+            Some(ResizePhase::Observing { window_start, failures_at_start }) => {
+                if now < window_start + rc.window {
+                    return;
+                }
+                let failures: u64 =
+                    self.net.nodes.iter().map(|n| n.events().setup_failures).sum();
+                let window_failures = failures - failures_at_start;
+                let active = self.active_slots();
+                let mean_reserved = self
+                    .net
+                    .nodes
+                    .iter()
+                    .map(|n| n.router.slots.reserved_fraction_total())
+                    .sum::<f64>()
+                    / self.net.nodes.len() as f64;
+                let grow = window_failures >= rc.fail_threshold as u64
+                    && active < self.cfg.slot_capacity;
+                let shrink = !grow
+                    && rc.shrink_below > 0.0
+                    && mean_reserved < rc.shrink_below
+                    && window_failures < (rc.fail_threshold / 4).max(1) as u64
+                    && active > rc.initial_active
+                    // Hysteresis: a recent grow means the demand is real.
+                    && now > self.last_grow + 6 * rc.window;
+                if grow || shrink {
+                    // Phase 1: freeze circuit switching network-wide.
+                    let target = if grow {
+                        (active * 2).min(self.cfg.slot_capacity)
+                    } else {
+                        (active / 2).max(rc.initial_active)
+                    };
+                    for node in &mut self.net.nodes {
+                        node.set_cs_frozen(true);
+                    }
+                    self.phase =
+                        Some(ResizePhase::Freezing { deadline: now + rc.freeze_cycles, target });
+                } else {
+                    self.phase = Some(ResizePhase::Observing {
+                        window_start: now,
+                        failures_at_start: failures,
+                    });
+                }
+            }
+            Some(ResizePhase::Freezing { deadline, target }) => {
+                if now < deadline || self.net.nodes.iter().any(|n| n.cs_streaming()) {
+                    return;
+                }
+                // Phase 2: reset at the new granularity.
+                let new_active = target;
+                if new_active > self.active_slots() {
+                    self.last_grow = now;
+                }
+                for node in &mut self.net.nodes {
+                    node.reset_for_resize(new_active);
+                    node.set_cs_frozen(false);
+                }
+                self.resizes += 1;
+                let failures: u64 =
+                    self.net.nodes.iter().map(|n| n.events().setup_failures).sum();
+                self.phase = Some(ResizePhase::Observing {
+                    window_start: now,
+                    failures_at_start: failures,
+                });
+            }
+            None => {}
+        }
+    }
+
+    // Measurement plumbing (mirrors `Network`).
+
+    pub fn begin_measurement(&mut self) {
+        self.net.begin_measurement();
+    }
+
+    pub fn end_measurement(&mut self) {
+        self.net.end_measurement();
+    }
+
+    pub fn stats(&self) -> &noc_sim::NetStats {
+        &self.net.stats
+    }
+
+    pub fn drain(&mut self, max_cycles: u64) -> bool {
+        for _ in 0..max_cycles {
+            if self.net.is_drained() {
+                return true;
+            }
+            self.step();
+        }
+        self.net.is_drained()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ResizeConfig;
+    use noc_sim::{Coord, Mesh, NetworkConfig, PacketId};
+
+    fn small_cfg() -> TdmConfig {
+        let mut cfg = TdmConfig::default();
+        cfg.net = NetworkConfig::with_mesh(Mesh::square(4));
+        cfg.slot_capacity = 32;
+        cfg
+    }
+
+    fn data(net: &TdmNetwork, id: u64, src: NodeId, dst: NodeId) -> Packet {
+        Packet::data(PacketId(id), src, dst, net.cfg.net.ps_packet_flits, net.now())
+    }
+
+    #[test]
+    fn packets_deliver_without_any_circuits() {
+        // Below the setup threshold everything is packet-switched.
+        let mut net = TdmNetwork::new(small_cfg());
+        let src = net.cfg.net.mesh.id(Coord::new(0, 0));
+        let dst = net.cfg.net.mesh.id(Coord::new(3, 3));
+        net.begin_measurement();
+        net.inject(src, data(&net, 1, src, dst));
+        assert!(net.drain(500));
+        net.end_measurement();
+        assert_eq!(net.stats().packets_delivered, 1);
+        assert_eq!(net.stats().cs_packets_delivered, 0);
+    }
+
+    #[test]
+    fn frequent_pair_establishes_circuit_and_uses_it() {
+        let mut net = TdmNetwork::new(small_cfg());
+        let src = net.cfg.net.mesh.id(Coord::new(0, 0));
+        let dst = net.cfg.net.mesh.id(Coord::new(3, 3));
+        net.begin_measurement();
+        // Far more than setup_after_msgs packets, spaced out.
+        let mut id = 0;
+        for burst in 0..30 {
+            net.inject(src, data(&net, id, src, dst));
+            id += 1;
+            net.run(20);
+            let _ = burst;
+        }
+        assert!(net.drain(3_000), "failed to drain");
+        net.end_measurement();
+        assert_eq!(net.stats().packets_delivered, 30);
+        // A circuit was set up and used for the later messages.
+        let node = &net.net.nodes[src.index()];
+        assert!(node.registry.get(dst).is_some(), "no connection established");
+        assert!(
+            net.stats().cs_packets_delivered >= 10,
+            "only {} CS packets",
+            net.stats().cs_packets_delivered
+        );
+        let ev = net.net.total_events();
+        assert!(ev.setup_attempts >= 1);
+        assert_eq!(ev.cs_flit_fraction() > 0.2, true);
+    }
+
+    #[test]
+    fn cs_packets_have_lower_latency_than_ps_at_zero_load() {
+        // Measure PS-only latency, then CS latency over the same distance.
+        let cfg = small_cfg();
+        let src = cfg.net.mesh.id(Coord::new(0, 0));
+        let dst = cfg.net.mesh.id(Coord::new(3, 3));
+
+        // PS: one isolated packet.
+        let mut ps_net = TdmNetwork::new(cfg);
+        ps_net.begin_measurement();
+        ps_net.inject(src, data(&ps_net, 1, src, dst));
+        assert!(ps_net.drain(500));
+        ps_net.end_measurement();
+        let ps_lat = ps_net.stats().avg_latency();
+
+        // CS: warm up a circuit, then measure isolated packets. Use a
+        // 16-slot table: the mean slot wait (S/2) must not swamp the
+        // per-hop saving — exactly the paper's UR observation about large
+        // tables (§IV-B).
+        let mut cs_cfg = cfg;
+        cs_cfg.slot_capacity = 16;
+        let mut cs_net = TdmNetwork::new(cs_cfg);
+        let mut id = 100;
+        for _ in 0..20 {
+            cs_net.inject(src, data(&cs_net, id, src, dst));
+            id += 1;
+            cs_net.run(25);
+        }
+        assert!(cs_net.drain(3_000));
+        assert!(cs_net.net.nodes[src.index()].registry.get(dst).is_some());
+        cs_net.begin_measurement();
+        for i in 0..10u64 {
+            // Stagger to sample all slot phases — draining ends at a fixed
+            // phase relative to the reservation.
+            cs_net.run(i * 5 % 16);
+            cs_net.inject(src, data(&cs_net, id, src, dst));
+            id += 1;
+            assert!(cs_net.drain(500));
+        }
+        cs_net.end_measurement();
+        let cs_lat = cs_net.stats().avg_latency();
+        assert_eq!(cs_net.stats().cs_packets_delivered, 10, "not all went CS");
+        // 6 hops: PS ≈ 4 cycles/hop + serialisation; CS ≈ 2 cycles/hop +
+        // slot wait. Averaged over random phases CS must win.
+        assert!(
+            cs_lat < ps_lat,
+            "CS latency {cs_lat:.1} not below PS latency {ps_lat:.1}"
+        );
+    }
+
+    #[test]
+    fn resize_doubles_active_entries_under_pressure() {
+        let mut cfg = small_cfg();
+        cfg.slot_capacity = 64;
+        cfg.resize = Some(ResizeConfig {
+            initial_active: 8,
+            fail_threshold: 4,
+            window: 400,
+            freeze_cycles: 120,
+            shrink_below: 0.0,
+        });
+        // Tiny tables: 8 slots hold only one 4-slot connection per port, so
+        // concurrent setups from one source must fail repeatedly.
+        let mut net = TdmNetwork::new(cfg);
+        assert_eq!(net.active_slots(), 8);
+        let m = cfg.net.mesh;
+        let src = m.id(Coord::new(0, 0));
+        // One source hammers three destinations → local table exhausts.
+        let dsts =
+            [m.id(Coord::new(3, 0)), m.id(Coord::new(3, 1)), m.id(Coord::new(3, 2))];
+        let mut id = 0;
+        for _ in 0..200 {
+            for &d in &dsts {
+                net.inject(src, data(&net, id, src, d));
+                id += 1;
+            }
+            net.run(12);
+        }
+        assert!(net.resizes >= 1, "controller never resized");
+        assert!(net.active_slots() >= 16);
+        assert!(net.drain(20_000), "network must drain after resizes");
+    }
+
+    #[test]
+    fn config_traffic_stays_below_one_percent() {
+        // §II-B: "configuration messages correspond to less than 1% of
+        // total traffic".
+        let mut net = TdmNetwork::new(small_cfg());
+        let m = net.cfg.net.mesh;
+        let src = m.id(Coord::new(0, 0));
+        let dst = m.id(Coord::new(3, 3));
+        let mut id = 0;
+        for _ in 0..400 {
+            net.inject(src, data(&net, id, src, dst));
+            id += 1;
+            net.run(15);
+        }
+        net.drain(5_000);
+        let ev = net.net.total_events();
+        assert!(ev.cs_flits_delivered > 0);
+        assert!(
+            ev.config_flit_fraction() < 0.01,
+            "config fraction {:.4}",
+            ev.config_flit_fraction()
+        );
+    }
+}

@@ -1,0 +1,309 @@
+//! Source-side connection state: the registry of established circuits,
+//! pending setups with resend-on-failure, retry cool-downs, and the
+//! communication-frequency tracker that selects which source–destination
+//! pairs deserve a circuit (§II-A: "a circuit-switched path is only
+//! reserved for source-destination pairs that communicate frequently").
+
+use noc_sim::{Cycle, Mesh, NodeId};
+use rustc_hash::FxHashMap;
+
+/// An established circuit-switched connection, registered at the source
+/// after a successful `ack` (§II-B).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Connection {
+    pub dst: NodeId,
+    /// Slot at the source router's local input port in which the burst
+    /// begins.
+    pub slot: u16,
+    /// Consecutive slots reserved per period.
+    pub duration: u8,
+    pub path_id: u64,
+    pub established: Cycle,
+    pub last_used: Cycle,
+    pub uses: u64,
+}
+
+/// A setup in flight, awaiting its `ack`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PendingSetup {
+    pub dst: NodeId,
+    pub slot: u16,
+    pub duration: u8,
+    /// Attempts so far (for the resend-with-a-different-slot policy).
+    pub attempts: u8,
+    pub issued: Cycle,
+}
+
+/// Connection registry of one node.
+///
+/// A hot source–destination pair may hold several *runs* — independent
+/// consecutive-slot reservations spread over the period — which is how the
+/// time-division granularity of §II-C scales a circuit's bandwidth share
+/// with demand: R runs give the pair `R × duration / S` of the link.
+#[derive(Clone, Debug, Default)]
+pub struct ConnRegistry {
+    conns: FxHashMap<NodeId, Vec<Connection>>,
+    pending: FxHashMap<u64, PendingSetup>,
+    /// Destinations that exhausted their retries: no new setup until the
+    /// stored cycle, with an exponential-backoff level — repeatedly
+    /// unsatisfiable pairs stop spamming the network with configuration
+    /// messages (keeping them under the paper's 1 % of traffic).
+    cooldown: FxHashMap<NodeId, (Cycle, u32)>,
+}
+
+impl ConnRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of connected destination pairs.
+    pub fn len(&self) -> usize {
+        self.conns.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.conns.is_empty()
+    }
+
+    /// First run toward `dst` (existence check / representative).
+    pub fn get(&self, dst: NodeId) -> Option<&Connection> {
+        self.conns.get(&dst).and_then(|v| v.first())
+    }
+
+    /// All runs toward `dst`.
+    pub fn runs(&self, dst: NodeId) -> &[Connection] {
+        self.conns.get(&dst).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Mark the run starting at `slot` used.
+    pub fn touch(&mut self, dst: NodeId, slot: u16, now: Cycle) {
+        if let Some(v) = self.conns.get_mut(&dst) {
+            for c in v.iter_mut() {
+                if c.slot == slot {
+                    c.last_used = now;
+                    c.uses += 1;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// A connection whose endpoint is a mesh neighbour of `dst`
+    /// (vicinity-sharing candidate, §III-A2).
+    pub fn vicinity_of(&self, mesh: &Mesh, dst: NodeId) -> Option<&Connection> {
+        self.conns
+            .values()
+            .flat_map(|v| v.iter())
+            .find(|c| mesh.adjacent(c.dst, dst))
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &Connection> {
+        self.conns.values().flat_map(|v| v.iter())
+    }
+
+    /// Record an issued setup.
+    pub fn begin_setup(&mut self, path_id: u64, setup: PendingSetup) {
+        self.pending.insert(path_id, setup);
+    }
+
+    pub fn pending_for(&self, dst: NodeId) -> bool {
+        self.pending.values().any(|p| p.dst == dst)
+    }
+
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Successful `ack`: register the run.
+    pub fn confirm(&mut self, path_id: u64, now: Cycle) -> Option<Connection> {
+        let p = self.pending.remove(&path_id)?;
+        let conn = Connection {
+            dst: p.dst,
+            slot: p.slot,
+            duration: p.duration,
+            path_id,
+            established: now,
+            last_used: now,
+            uses: 0,
+        };
+        self.conns.entry(p.dst).or_default().push(conn);
+        Some(conn)
+    }
+
+    /// Failed `ack`: forget the pending setup and hand it back so the
+    /// caller can retry with a different slot id.
+    pub fn fail(&mut self, path_id: u64) -> Option<PendingSetup> {
+        self.pending.remove(&path_id)
+    }
+
+    /// Remove every run toward `dst` (teardown initiated); returns them so
+    /// the caller can send one teardown per path.
+    pub fn remove(&mut self, dst: NodeId) -> Option<Vec<Connection>> {
+        self.conns.remove(&dst)
+    }
+
+    /// Pick the least-recently-used destination pair idle for at least
+    /// `min_idle` cycles — the eviction candidate when a new setup needs
+    /// room (§II-B). Returns the pair's most recent use.
+    pub fn lru_idle(&self, now: Cycle, min_idle: Cycle) -> Option<Connection> {
+        self.conns
+            .values()
+            .filter_map(|v| v.iter().max_by_key(|c| c.last_used))
+            .filter(|c| now.saturating_sub(c.last_used) >= min_idle)
+            .min_by_key(|c| c.last_used)
+            .copied()
+    }
+
+    /// Start (or escalate) a retry cool-down: the n-th consecutive
+    /// cool-down for `dst` lasts `base << min(n, 6)` cycles.
+    pub fn set_cooldown(&mut self, dst: NodeId, now: Cycle, base: Cycle) {
+        let level = self.cooldown.get(&dst).map_or(0, |&(_, l)| (l + 1).min(6));
+        self.cooldown.insert(dst, (now + (base << level), level));
+    }
+
+    /// A successful setup clears the backoff history.
+    pub fn clear_cooldown(&mut self, dst: NodeId) {
+        self.cooldown.remove(&dst);
+    }
+
+    pub fn in_cooldown(&self, dst: NodeId, now: Cycle) -> bool {
+        self.cooldown.get(&dst).is_some_and(|&(until, _)| now < until)
+    }
+
+    /// Drop all state (slot-table reset, §II-C).
+    pub fn clear(&mut self) {
+        self.conns.clear();
+        self.pending.clear();
+        self.cooldown.clear();
+    }
+}
+
+/// Sliding-window message-frequency tracker: counts messages per
+/// destination and halves all counts each window, so sustained traffic
+/// dominates stale history.
+#[derive(Clone, Debug)]
+pub struct FrequencyTracker {
+    counts: FxHashMap<NodeId, u32>,
+    window: u64,
+    next_decay: Cycle,
+}
+
+impl FrequencyTracker {
+    pub fn new(window: u64) -> Self {
+        assert!(window > 0);
+        FrequencyTracker { counts: FxHashMap::default(), window, next_decay: window }
+    }
+
+    /// Record one message to `dst`; returns the current count.
+    pub fn record(&mut self, dst: NodeId, now: Cycle) -> u32 {
+        if now >= self.next_decay {
+            self.counts.retain(|_, c| {
+                *c /= 2;
+                *c > 0
+            });
+            self.next_decay = now + self.window;
+        }
+        let c = self.counts.entry(dst).or_insert(0);
+        *c += 1;
+        *c
+    }
+
+    pub fn count(&self, dst: NodeId) -> u32 {
+        self.counts.get(&dst).copied().unwrap_or(0)
+    }
+
+    pub fn clear(&mut self) {
+        self.counts.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pending(dst: u32, slot: u16) -> PendingSetup {
+        PendingSetup { dst: NodeId(dst), slot, duration: 4, attempts: 0, issued: 0 }
+    }
+
+    #[test]
+    fn setup_lifecycle_success() {
+        let mut r = ConnRegistry::new();
+        r.begin_setup(1, pending(7, 12));
+        assert!(r.pending_for(NodeId(7)));
+        assert!(r.get(NodeId(7)).is_none());
+        let c = r.confirm(1, 100).unwrap();
+        assert_eq!(c.dst, NodeId(7));
+        assert_eq!(c.slot, 12);
+        assert!(r.get(NodeId(7)).is_some());
+        assert!(!r.pending_for(NodeId(7)));
+    }
+
+    #[test]
+    fn setup_lifecycle_failure() {
+        let mut r = ConnRegistry::new();
+        r.begin_setup(2, pending(7, 12));
+        let p = r.fail(2).unwrap();
+        assert_eq!(p.dst, NodeId(7));
+        assert!(r.get(NodeId(7)).is_none());
+        assert!(r.confirm(2, 10).is_none(), "double-resolve is a no-op");
+    }
+
+    #[test]
+    fn lru_idle_eviction_candidate() {
+        let mut r = ConnRegistry::new();
+        for (pid, dst, used) in [(1u64, 3u32, 100u64), (2, 4, 50), (3, 5, 990)] {
+            r.begin_setup(pid, pending(dst, 0));
+            r.confirm(pid, used);
+        }
+        // At t=1000 with min_idle=100: conns idle since 100 and 50 qualify;
+        // LRU is dst 4 (last used 50).
+        let victim = r.lru_idle(1000, 100).unwrap();
+        assert_eq!(victim.dst, NodeId(4));
+        // Nothing idle enough at a tight threshold.
+        assert!(r.lru_idle(1000, 951).is_none());
+    }
+
+    #[test]
+    fn cooldown_gate() {
+        let mut r = ConnRegistry::new();
+        r.set_cooldown(NodeId(9), 0, 500);
+        assert!(r.in_cooldown(NodeId(9), 499));
+        assert!(!r.in_cooldown(NodeId(9), 500));
+        assert!(!r.in_cooldown(NodeId(8), 0));
+        // Backoff escalates: the second cool-down lasts twice as long.
+        r.set_cooldown(NodeId(9), 1000, 500);
+        assert!(r.in_cooldown(NodeId(9), 1999));
+        assert!(!r.in_cooldown(NodeId(9), 2000));
+        // Success resets the ladder.
+        r.clear_cooldown(NodeId(9));
+        r.set_cooldown(NodeId(9), 3000, 500);
+        assert!(!r.in_cooldown(NodeId(9), 3500));
+    }
+
+    #[test]
+    fn vicinity_finds_adjacent_endpoint() {
+        let mesh = Mesh::square(4);
+        let mut r = ConnRegistry::new();
+        r.begin_setup(1, pending(5, 0)); // (1,1)
+        r.confirm(1, 0);
+        assert!(r.vicinity_of(&mesh, NodeId(6)).is_some()); // (2,1)
+        assert!(r.vicinity_of(&mesh, NodeId(15)).is_none()); // (3,3)
+        assert!(r.vicinity_of(&mesh, NodeId(5)).is_none(), "endpoint itself");
+    }
+
+    #[test]
+    fn frequency_counts_and_decay() {
+        let mut f = FrequencyTracker::new(100);
+        for _ in 0..6 {
+            f.record(NodeId(1), 10);
+        }
+        assert_eq!(f.count(NodeId(1)), 6);
+        // Crossing the window halves before counting.
+        assert_eq!(f.record(NodeId(1), 150), 4);
+        // A long-quiet destination decays to zero across windows.
+        f.record(NodeId(2), 150);
+        f.record(NodeId(9), 260); // triggers decay
+        f.record(NodeId(9), 370); // triggers decay again
+        assert_eq!(f.count(NodeId(2)), 0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Baseline system configuration (Table II).
+
+/// The evaluated heterogeneous system (Table II). These parameters
+/// primarily document the modelled machine; the fields that shape network
+/// traffic (line size, L2 latency, memory latency, controller count) feed
+/// the workload model directly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SystemConfig {
+    // CPU configuration.
+    pub cpu_issue_width: u8,
+    pub cpu_int_fus: u8,
+    pub cpu_fp_fus: u8,
+    pub cpu_rob_entries: u16,
+    pub l1_kb: u16,
+    pub l1_assoc: u8,
+    pub l1_latency: u8,
+    // Shared L2.
+    pub l2_mb: u16,
+    pub l2_assoc: u8,
+    pub l2_latency: u8,
+    pub block_bytes: u8,
+    // Accelerator configuration.
+    pub simd_width: u8,
+    pub threads_per_accel: u16,
+    pub shared_mem_kb: u16,
+    // Memory.
+    pub dram_gb: u8,
+    pub mem_latency: u16,
+    pub mem_controllers: u8,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            cpu_issue_width: 4,
+            cpu_int_fus: 6,
+            cpu_fp_fus: 4,
+            cpu_rob_entries: 128,
+            l1_kb: 64,
+            l1_assoc: 2,
+            l1_latency: 1,
+            l2_mb: 16,
+            l2_assoc: 4,
+            l2_latency: 8,
+            block_bytes: 64,
+            simd_width: 32,
+            threads_per_accel: 1024,
+            shared_mem_kb: 32,
+            dram_gb: 4,
+            mem_latency: 200,
+            mem_controllers: 4,
+        }
+    }
+}
+
+impl SystemConfig {
+    /// Estimated round-trip service time of an L2 hit seen by the network
+    /// model (bank access plus occupancy).
+    pub fn l2_service_cycles(&self) -> u64 {
+        self.l2_latency as u64 + 12
+    }
+
+    /// Estimated memory service time for an L2 miss.
+    pub fn mem_service_cycles(&self) -> u64 {
+        self.mem_latency as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_values() {
+        let c = SystemConfig::default();
+        assert_eq!(c.cpu_issue_width, 4);
+        assert_eq!(c.cpu_rob_entries, 128);
+        assert_eq!(c.l2_mb, 16);
+        assert_eq!(c.block_bytes, 64);
+        assert_eq!(c.simd_width, 32);
+        assert_eq!(c.threads_per_accel, 1024);
+        assert_eq!(c.mem_latency, 200);
+        assert_eq!(c.mem_controllers, 4);
+        assert!(c.l2_service_cycles() >= c.l2_latency as u64);
+    }
+}

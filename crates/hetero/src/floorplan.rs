@@ -1,0 +1,163 @@
+//! The 36-tile floorplan of Figure 7, extensible to larger meshes.
+
+use noc_sim::{Coord, Mesh, NodeId};
+
+/// What occupies a tile.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TileKind {
+    /// A CPU core with its private L1 (``C``).
+    Cpu,
+    /// A data-parallel accelerator (``A``).
+    Accel,
+    /// A bank of the shared, distributed L2 (``L2``).
+    L2,
+    /// A memory controller (``M``).
+    Mem,
+}
+
+impl TileKind {
+    pub fn label(self) -> &'static str {
+        match self {
+            TileKind::Cpu => "C",
+            TileKind::Accel => "A",
+            TileKind::L2 => "L2",
+            TileKind::Mem => "M",
+        }
+    }
+}
+
+/// The tile map of a heterogeneous system.
+#[derive(Clone, Debug)]
+pub struct Floorplan {
+    pub mesh: Mesh,
+    kinds: Vec<TileKind>,
+}
+
+impl Floorplan {
+    /// The Figure-7 system: a 6×6 mesh with 8 CPU tiles along the top, 8
+    /// accelerator tiles along the bottom, 16 L2 banks in the centre and 4
+    /// memory controllers on the side edges — CPUs and accelerators each
+    /// sit close to the shared cache, and off-chip memory hangs off the
+    /// middle rows.
+    pub fn figure7() -> Self {
+        Self::scaled(Mesh::square(6))
+    }
+
+    /// The same proportions on an arbitrary mesh (≥ 4×4): the top row plus
+    /// the left/right thirds of the second row are CPUs, the bottom
+    /// mirror-image is accelerators, side edges of the middle rows are
+    /// memory controllers, everything else is L2.
+    pub fn scaled(mesh: Mesh) -> Self {
+        assert!(mesh.kx() >= 4 && mesh.ky() >= 4, "floorplan needs at least 4x4");
+        let (kx, ky) = (mesh.kx(), mesh.ky());
+        let kinds = mesh
+            .nodes()
+            .map(|id| {
+                let c = mesh.coord(id);
+                if c.y == 0 || (c.y == 1 && (c.x == 0 || c.x == kx - 1)) {
+                    TileKind::Cpu
+                } else if c.y == ky - 1 || (c.y == ky - 2 && (c.x == 0 || c.x == kx - 1)) {
+                    TileKind::Accel
+                } else if (c.x == 0 || c.x == kx - 1)
+                    && (c.y == ky / 2 || c.y == ky / 2 - 1)
+                {
+                    TileKind::Mem
+                } else {
+                    TileKind::L2
+                }
+            })
+            .collect();
+        Floorplan { mesh, kinds }
+    }
+
+    pub fn kind(&self, id: NodeId) -> TileKind {
+        self.kinds[id.index()]
+    }
+
+    fn tiles_of(&self, kind: TileKind) -> Vec<NodeId> {
+        self.mesh
+            .nodes()
+            .filter(|&n| self.kinds[n.index()] == kind)
+            .collect()
+    }
+
+    pub fn cpu_tiles(&self) -> Vec<NodeId> {
+        self.tiles_of(TileKind::Cpu)
+    }
+
+    pub fn accel_tiles(&self) -> Vec<NodeId> {
+        self.tiles_of(TileKind::Accel)
+    }
+
+    pub fn l2_tiles(&self) -> Vec<NodeId> {
+        self.tiles_of(TileKind::L2)
+    }
+
+    pub fn mem_tiles(&self) -> Vec<NodeId> {
+        self.tiles_of(TileKind::Mem)
+    }
+
+    /// ASCII rendering (the Figure 7 diagram).
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        for y in 0..self.mesh.ky() {
+            for x in 0..self.mesh.kx() {
+                let k = self.kind(self.mesh.id(Coord::new(x, y)));
+                s.push_str(&format!("{:>3}", k.label()));
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure7_tile_census() {
+        let f = Floorplan::figure7();
+        assert_eq!(f.cpu_tiles().len(), 8);
+        assert_eq!(f.accel_tiles().len(), 8);
+        assert_eq!(f.l2_tiles().len(), 16);
+        assert_eq!(f.mem_tiles().len(), 4);
+        assert_eq!(
+            f.cpu_tiles().len() + f.accel_tiles().len() + f.l2_tiles().len() + f.mem_tiles().len(),
+            36
+        );
+    }
+
+    #[test]
+    fn cpus_top_accels_bottom_mems_on_edges() {
+        let f = Floorplan::figure7();
+        for id in f.cpu_tiles() {
+            assert!(f.mesh.coord(id).y <= 1);
+        }
+        for id in f.accel_tiles() {
+            assert!(f.mesh.coord(id).y >= 4);
+        }
+        for id in f.mem_tiles() {
+            let c = f.mesh.coord(id);
+            assert!(c.x == 0 || c.x == 5, "MC must sit on a side edge");
+        }
+    }
+
+    #[test]
+    fn scales_to_larger_meshes() {
+        let f = Floorplan::scaled(Mesh::square(8));
+        assert_eq!(f.mesh.len(), 64);
+        assert!(!f.cpu_tiles().is_empty());
+        assert!(!f.accel_tiles().is_empty());
+        assert!(f.l2_tiles().len() >= 16);
+        assert_eq!(f.mem_tiles().len(), 4);
+    }
+
+    #[test]
+    fn render_contains_all_kinds() {
+        let r = Floorplan::figure7().render();
+        for label in ["C", "A", "L2", "M"] {
+            assert!(r.contains(label));
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Warp-availability slack model (§V-A2).
+//!
+//! "The number of available warps in an SM can be used as an indicator to
+//! imply whether circuit switching a message causes performance penalty …
+//! we estimate the GPU message slack by referring to the number of
+//! available warps. If the slack is greater than the overall
+//! circuit-switched transmission latency, we deliver the message through
+//! the circuit-switched network."
+//!
+//! Each accelerator tile carries a bounded random walk over its available
+//! warp count — warp availability is strongly autocorrelated (a kernel
+//! phase with many ready warps stays that way for a while), which makes
+//! message eligibility realistically bursty rather than i.i.d.
+
+use noc_sim::Cycle;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Cycles of latency one ready warp can hide (issue slots it covers while
+/// another warp's memory access is outstanding).
+pub const CYCLES_PER_WARP: f64 = 6.0;
+
+/// Per-accelerator warp availability process.
+#[derive(Debug)]
+pub struct WarpSlack {
+    /// Current available warps per accelerator tile.
+    warps: Vec<f64>,
+    mean: f64,
+    max: f64,
+    rng: StdRng,
+    last_update: Cycle,
+}
+
+impl WarpSlack {
+    /// `mean` available warps (benchmark-dependent), bounded by `max`
+    /// (threads / warp size / SMs — 1024/32 = 32 warps in Table II).
+    pub fn new(tiles: usize, mean: f64, max: f64, seed: u64) -> Self {
+        assert!(mean >= 0.0 && mean <= max);
+        WarpSlack {
+            warps: vec![mean; tiles],
+            mean,
+            max,
+            rng: StdRng::seed_from_u64(seed),
+            last_update: 0,
+        }
+    }
+
+    /// Advance the mean-reverting random walk to `now` (one step per 8
+    /// cycles keeps the process cheap and smooth).
+    pub fn advance(&mut self, now: Cycle) {
+        let steps = (now.saturating_sub(self.last_update)) / 8;
+        if steps == 0 {
+            return;
+        }
+        self.last_update = now;
+        for w in &mut self.warps {
+            for _ in 0..steps.min(4) {
+                let drift = 0.15 * (self.mean - *w);
+                let noise: f64 = self.rng.random_range(-1.5..1.5);
+                *w = (*w + drift + noise).clamp(0.0, self.max);
+            }
+        }
+    }
+
+    /// Slack (in cycles) a message from accelerator-tile index `tile` can
+    /// tolerate right now.
+    pub fn slack_cycles(&self, tile: usize) -> f64 {
+        self.warps[tile] * CYCLES_PER_WARP
+    }
+
+    /// The §V-A2 decision: may this message be circuit-switched, given the
+    /// estimated circuit-switched transmission latency?
+    pub fn eligible(&self, tile: usize, est_cs_latency: f64) -> bool {
+        self.slack_cycles(tile) > est_cs_latency
+    }
+
+    /// Mean slack in cycles (used by the speedup model's hiding term).
+    pub fn mean_slack_cycles(&self) -> f64 {
+        self.mean * CYCLES_PER_WARP
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_bounded_and_near_mean() {
+        let mut s = WarpSlack::new(4, 16.0, 32.0, 1);
+        let mut sum = 0.0;
+        let mut n = 0.0;
+        for t in (0..200_000u64).step_by(8) {
+            s.advance(t);
+            for i in 0..4 {
+                let w = s.warps[i];
+                assert!((0.0..=32.0).contains(&w));
+                sum += w;
+                n += 1.0;
+            }
+        }
+        let avg = sum / n;
+        assert!((avg - 16.0).abs() < 3.0, "process mean drifted to {avg}");
+    }
+
+    #[test]
+    fn high_mean_is_mostly_eligible_low_mean_mostly_not() {
+        let mut hi = WarpSlack::new(1, 24.0, 32.0, 2);
+        let mut lo = WarpSlack::new(1, 3.0, 32.0, 3);
+        let threshold = 60.0; // ≈ a 30-cycle circuit + wait
+        let mut hi_ok = 0;
+        let mut lo_ok = 0;
+        let mut total = 0;
+        for t in (0..80_000u64).step_by(8) {
+            hi.advance(t);
+            lo.advance(t);
+            hi_ok += u32::from(hi.eligible(0, threshold));
+            lo_ok += u32::from(lo.eligible(0, threshold));
+            total += 1;
+        }
+        let hi_frac = hi_ok as f64 / total as f64;
+        let lo_frac = lo_ok as f64 / total as f64;
+        assert!(hi_frac > 0.7, "high-slack eligibility too low: {hi_frac}");
+        assert!(lo_frac < 0.3, "low-slack eligibility too high: {lo_frac}");
+    }
+
+    #[test]
+    fn eligibility_is_autocorrelated() {
+        // Consecutive samples agree far more often than independent coin
+        // flips with the same marginal would.
+        let mut s = WarpSlack::new(1, 16.0, 32.0, 4);
+        let threshold = 16.0 * CYCLES_PER_WARP;
+        let mut prev = None;
+        let mut agree = 0;
+        let mut total = 0;
+        for t in (0..80_000u64).step_by(8) {
+            s.advance(t);
+            let e = s.eligible(0, threshold);
+            if let Some(p) = prev {
+                agree += u32::from(p == e);
+                total += 1;
+            }
+            prev = Some(e);
+        }
+        assert!(agree as f64 / total as f64 > 0.8, "eligibility not bursty");
+    }
+}

@@ -1,0 +1,427 @@
+//! Per-benchmark statistical traffic models (§V-A1) and the heterogeneous
+//! workload generator.
+//!
+//! CPU models stand in for the SPEC OMP 2001 applications, GPU models for
+//! the CUDA/Rodinia kernels. Each model is calibrated to what the paper
+//! reports: GPU injection rates come straight from Table III; the number of
+//! distinct L2 banks a kernel touches (`bank_spread`) controls how much of
+//! its traffic a handful of circuits can cover (LIB "has fewer
+//! communication pairs compared to other GPU applications", §V-B1); the
+//! mean available warps (`warp_mean`) drives the §V-A2 slack decision; and
+//! the latency-sensitivity coefficients feed the Figure 8 speedup model.
+
+use noc_sim::{Cycle, NodeId, Packet};
+use noc_traffic::PacketFactory;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::BinaryHeap;
+
+use crate::config::SystemConfig;
+use crate::floorplan::Floorplan;
+use crate::slack::WarpSlack;
+
+/// A SPEC OMP 2001 CPU workload model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CpuBench {
+    pub name: &'static str,
+    /// Request injection per CPU tile, flits/node/cycle.
+    pub injection: f64,
+    /// Fraction of execution time exposed to network latency (speedup
+    /// sensitivity, Figure 8b).
+    pub mem_intensity: f64,
+    /// Fraction of requests that are core-to-core sharing/coherence.
+    pub share_fraction: f64,
+    /// Distinct L2 banks this workload's accesses spread over.
+    pub bank_spread: usize,
+}
+
+/// The 8 CPU benchmarks (§V-A1).
+pub const CPU_BENCHES: [CpuBench; 8] = [
+    CpuBench { name: "AMMP", injection: 0.020, mem_intensity: 0.10, share_fraction: 0.15, bank_spread: 8 },
+    CpuBench { name: "APPLU", injection: 0.030, mem_intensity: 0.15, share_fraction: 0.10, bank_spread: 10 },
+    CpuBench { name: "ART", injection: 0.050, mem_intensity: 0.22, share_fraction: 0.05, bank_spread: 12 },
+    CpuBench { name: "EQUAKE", injection: 0.040, mem_intensity: 0.18, share_fraction: 0.12, bank_spread: 10 },
+    CpuBench { name: "GAFORT", injection: 0.025, mem_intensity: 0.12, share_fraction: 0.08, bank_spread: 8 },
+    CpuBench { name: "MGRID", injection: 0.035, mem_intensity: 0.16, share_fraction: 0.06, bank_spread: 12 },
+    CpuBench { name: "SWIM", injection: 0.050, mem_intensity: 0.25, share_fraction: 0.04, bank_spread: 14 },
+    CpuBench { name: "WUPWISE", injection: 0.030, mem_intensity: 0.14, share_fraction: 0.10, bank_spread: 10 },
+];
+
+/// A CUDA/Rodinia GPU kernel model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GpuBench {
+    pub name: &'static str,
+    /// Request injection per accelerator tile, flits/node/cycle
+    /// (Table III).
+    pub injection: f64,
+    /// Distinct L2 banks each accelerator streams to (locality).
+    pub bank_spread: usize,
+    /// Mean available warps (slack, §V-A2).
+    pub warp_mean: f64,
+    /// L2 miss rate (fraction of requests continuing to a controller).
+    pub miss_rate: f64,
+    /// Fraction of execution time exposed to network latency (Figure 8c).
+    pub lat_sensitivity: f64,
+}
+
+/// The 7 GPU benchmarks with Table III injection rates.
+pub const GPU_BENCHES: [GpuBench; 7] = [
+    GpuBench { name: "BLACKSCHOLES", injection: 0.18, bank_spread: 3, warp_mean: 26.0, miss_rate: 0.30, lat_sensitivity: 0.30 },
+    GpuBench { name: "HOTSPOT", injection: 0.09, bank_spread: 5, warp_mean: 16.0, miss_rate: 0.20, lat_sensitivity: 0.15 },
+    GpuBench { name: "LIB", injection: 0.20, bank_spread: 4, warp_mean: 11.0, miss_rate: 0.25, lat_sensitivity: 0.28 },
+    GpuBench { name: "LPS", injection: 0.20, bank_spread: 4, warp_mean: 24.0, miss_rate: 0.25, lat_sensitivity: 0.18 },
+    GpuBench { name: "NN", injection: 0.18, bank_spread: 7, warp_mean: 16.0, miss_rate: 0.22, lat_sensitivity: 0.12 },
+    GpuBench { name: "PATHFINDER", injection: 0.13, bank_spread: 4, warp_mean: 21.0, miss_rate: 0.20, lat_sensitivity: 0.12 },
+    GpuBench { name: "STO", injection: 0.05, bank_spread: 3, warp_mean: 6.5, miss_rate: 0.15, lat_sensitivity: 0.14 },
+];
+
+pub fn cpu_bench(name: &str) -> Option<&'static CpuBench> {
+    CPU_BENCHES.iter().find(|b| b.name.eq_ignore_ascii_case(name))
+}
+
+pub fn gpu_bench(name: &str) -> Option<&'static GpuBench> {
+    GPU_BENCHES.iter().find(|b| b.name.eq_ignore_ascii_case(name))
+}
+
+/// A deferred reply/miss message.
+#[derive(PartialEq, Eq)]
+struct Deferred {
+    ready: Cycle,
+    src: NodeId,
+    dst: NodeId,
+    eligible: bool,
+    /// Remaining miss chain: reply from memory also schedules the L2→GPU
+    /// data return.
+    then_reply_to: Option<NodeId>,
+}
+
+impl Ord for Deferred {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap on readiness.
+        other.ready.cmp(&self.ready).then(other.src.cmp(&self.src))
+    }
+}
+
+impl PartialOrd for Deferred {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The heterogeneous workload generator: one CPU benchmark on the CPU
+/// tiles plus one GPU kernel across all accelerator tiles (§V-A1's
+/// "heterogeneous CPU-GPU workload").
+pub struct HeteroWorkload {
+    pub floorplan: Floorplan,
+    pub cpu: CpuBench,
+    pub gpu: GpuBench,
+    pub system: SystemConfig,
+    pub slack: WarpSlack,
+    /// Estimated circuit-switched transmission latency for the §V-A2
+    /// decision (slot wait + 2 cycles/hop).
+    pub est_cs_latency: f64,
+    factory: PacketFactory,
+    rng: StdRng,
+    deferred: BinaryHeap<Deferred>,
+    /// Bank working set per source tile (many-to-few locality).
+    cpu_banks: Vec<Vec<NodeId>>,
+    gpu_banks: Vec<Vec<NodeId>>,
+    cpu_tiles: Vec<NodeId>,
+    accel_tiles: Vec<NodeId>,
+    mem_tiles: Vec<NodeId>,
+}
+
+impl HeteroWorkload {
+    pub fn new(floorplan: Floorplan, cpu: CpuBench, gpu: GpuBench, seed: u64) -> Self {
+        let system = SystemConfig::default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let l2 = floorplan.l2_tiles();
+        let cpu_tiles = floorplan.cpu_tiles();
+        let accel_tiles = floorplan.accel_tiles();
+        let mem_tiles = floorplan.mem_tiles();
+        // Each source hashes its working set onto a contiguous-ish window
+        // of banks, offset by its own index so sources spread out.
+        let pick_banks = |rng: &mut StdRng, spread: usize, idx: usize| -> Vec<NodeId> {
+            let spread = spread.min(l2.len()).max(1);
+            let start = (idx * 5 + rng.random_range(0..l2.len())) % l2.len();
+            (0..spread).map(|k| l2[(start + k * 3) % l2.len()]).collect()
+        };
+        let cpu_banks = (0..cpu_tiles.len())
+            .map(|i| pick_banks(&mut rng, cpu.bank_spread, i))
+            .collect();
+        let gpu_banks = (0..accel_tiles.len())
+            .map(|i| pick_banks(&mut rng, gpu.bank_spread, i))
+            .collect();
+        let slack = WarpSlack::new(accel_tiles.len(), gpu.warp_mean, 32.0, seed ^ 0x5eed);
+        HeteroWorkload {
+            floorplan,
+            cpu,
+            gpu,
+            system,
+            slack,
+            est_cs_latency: 40.0,
+            factory: PacketFactory::new(),
+            rng,
+            deferred: BinaryHeap::new(),
+            cpu_banks,
+            gpu_banks,
+            cpu_tiles,
+            accel_tiles,
+            mem_tiles,
+        }
+    }
+
+    /// Name of the mix, as the paper labels its 56 workload combinations.
+    pub fn mix_name(&self) -> String {
+        format!("{}+{}", self.gpu.name, self.cpu.name)
+    }
+
+    fn packet(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        now: Cycle,
+        measured: bool,
+        eligible: bool,
+    ) -> Packet {
+        let mut p = self.factory.data(src, dst, 5, now, measured);
+        p.cs_eligible = eligible;
+        p
+    }
+
+    /// Generate this cycle's traffic.
+    pub fn tick(&mut self, now: Cycle, measured: bool, mut sink: impl FnMut(NodeId, Packet)) {
+        self.slack.advance(now);
+
+        // Release deferred replies/misses.
+        while self.deferred.peek().is_some_and(|d| d.ready <= now) {
+            let d = self.deferred.pop().expect("peeked");
+            let pkt = self.packet(d.src, d.dst, now, measured, d.eligible);
+            sink(d.src, pkt);
+            if let Some(final_dst) = d.then_reply_to {
+                // Memory data arrived at the L2 bank: forward to the core.
+                let ready = now + self.system.l2_service_cycles();
+                self.deferred.push(Deferred {
+                    ready,
+                    src: d.dst,
+                    dst: final_dst,
+                    eligible: d.eligible,
+                    then_reply_to: None,
+                });
+            }
+        }
+
+        // CPU requests: CPU → L2 (or CPU → CPU sharing), reply comes back.
+        let p_cpu = (self.cpu.injection / 5.0).min(1.0);
+        for i in 0..self.cpu_tiles.len() {
+            if !self.rng.random_bool(p_cpu) {
+                continue;
+            }
+            let src = self.cpu_tiles[i];
+            let share = self.rng.random_bool(self.cpu.share_fraction);
+            let dst = if share {
+                let peers = self.cpu_tiles.len();
+                let other = (i + self.rng.random_range(1..peers)) % peers;
+                self.cpu_tiles[other]
+            } else {
+                let banks = &self.cpu_banks[i];
+                banks[self.rng.random_range(0..banks.len())]
+            };
+            if dst == src {
+                continue;
+            }
+            // CPU traffic is never circuit-switched (§V-A2).
+            let pkt = self.packet(src, dst, now, measured, false);
+            sink(src, pkt);
+            if !share {
+                let ready = now + self.system.l2_service_cycles();
+                self.deferred.push(Deferred {
+                    ready,
+                    src: dst,
+                    dst: src,
+                    eligible: false,
+                    then_reply_to: None,
+                });
+            }
+        }
+
+        // GPU requests: accelerator → L2 bank; reply (and possibly a miss
+        // chain to a memory controller) follows.
+        let p_gpu = (self.gpu.injection / 5.0).min(1.0);
+        for i in 0..self.accel_tiles.len() {
+            if !self.rng.random_bool(p_gpu) {
+                continue;
+            }
+            let src = self.accel_tiles[i];
+            let banks = &self.gpu_banks[i];
+            let dst = banks[self.rng.random_range(0..banks.len())];
+            let eligible = self.slack.eligible(i, self.est_cs_latency);
+            let pkt = self.packet(src, dst, now, measured, eligible);
+            sink(src, pkt);
+            if self.rng.random_bool(self.gpu.miss_rate) {
+                // Miss: L2 → MC, MC serves, data returns L2 → GPU.
+                let mc = self.mem_tiles[dst.index() % self.mem_tiles.len()];
+                let ready = now + self.system.l2_service_cycles();
+                self.deferred.push(Deferred {
+                    ready,
+                    src: dst,
+                    dst: mc,
+                    eligible,
+                    then_reply_to: None,
+                });
+                let mem_ready = ready + self.system.mem_service_cycles();
+                self.deferred.push(Deferred {
+                    ready: mem_ready,
+                    src: mc,
+                    dst,
+                    eligible,
+                    then_reply_to: Some(src),
+                });
+            } else {
+                // Hit: data comes straight back.
+                let ready = now + self.system.l2_service_cycles();
+                self.deferred.push(Deferred {
+                    ready,
+                    src: dst,
+                    dst: src,
+                    eligible,
+                    then_reply_to: None,
+                });
+            }
+        }
+    }
+
+    /// Classify a delivered packet as GPU- or CPU-side traffic for the
+    /// per-class latency statistics of Figure 8. Accelerator endpoints and
+    /// the L2↔MC miss chain belong to the GPU; CPU endpoints to the CPU.
+    pub fn is_gpu_packet(&self, src: NodeId, dst: NodeId) -> bool {
+        use crate::floorplan::TileKind::*;
+        let (ks, kd) = (self.floorplan.kind(src), self.floorplan.kind(dst));
+        matches!(ks, Accel) || matches!(kd, Accel) || matches!((ks, kd), (L2, Mem) | (Mem, L2))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workload(cpu: usize, gpu: usize) -> HeteroWorkload {
+        HeteroWorkload::new(Floorplan::figure7(), CPU_BENCHES[cpu], GPU_BENCHES[gpu], 42)
+    }
+
+    #[test]
+    fn benchmark_lookup_is_case_insensitive() {
+        assert_eq!(cpu_bench("swim").unwrap().name, "SWIM");
+        assert_eq!(gpu_bench("BlackScholes").unwrap().name, "BLACKSCHOLES");
+        assert!(cpu_bench("NOPE").is_none());
+        assert!(gpu_bench("").is_none());
+    }
+
+    #[test]
+    fn table3_injection_rates_encoded() {
+        let t: Vec<(&str, f64)> = GPU_BENCHES.iter().map(|b| (b.name, b.injection)).collect();
+        assert!(t.contains(&("BLACKSCHOLES", 0.18)));
+        assert!(t.contains(&("HOTSPOT", 0.09)));
+        assert!(t.contains(&("LIB", 0.20)));
+        assert!(t.contains(&("LPS", 0.20)));
+        assert!(t.contains(&("NN", 0.18)));
+        assert!(t.contains(&("PATHFINDER", 0.13)));
+        assert!(t.contains(&("STO", 0.05)));
+        assert_eq!(CPU_BENCHES.len() * GPU_BENCHES.len(), 56, "56 workload mixes");
+    }
+
+    #[test]
+    fn gpu_injection_rate_approximates_table3() {
+        let mut w = workload(0, 0); // BLACKSCHOLES: 0.18
+        let accel: std::collections::HashSet<_> =
+            w.floorplan.accel_tiles().into_iter().collect();
+        let mut gpu_flits = 0u64;
+        let cycles = 40_000u64;
+        for now in 0..cycles {
+            w.tick(now, true, |src, p| {
+                if accel.contains(&src) {
+                    gpu_flits += p.len_flits as u64;
+                }
+            });
+        }
+        let rate = gpu_flits as f64 / (cycles as f64 * accel.len() as f64);
+        assert!((rate - 0.18).abs() < 0.02, "GPU injection {rate:.3} vs 0.18");
+    }
+
+    #[test]
+    fn cpu_traffic_is_never_cs_eligible() {
+        let mut w = workload(2, 1);
+        let cpus: std::collections::HashSet<_> = w.floorplan.cpu_tiles().into_iter().collect();
+        let mut saw_cpu = false;
+        for now in 0..5_000 {
+            w.tick(now, true, |src, p| {
+                if cpus.contains(&src) || cpus.contains(&p.dst) {
+                    assert!(!p.cs_eligible, "CPU packet marked eligible");
+                    saw_cpu = true;
+                }
+            });
+        }
+        assert!(saw_cpu);
+    }
+
+    #[test]
+    fn high_slack_kernel_mostly_eligible() {
+        // BLACKSCHOLES (warp_mean 26) vs STO (warp_mean 6).
+        let frac = |gpu_idx: usize| {
+            let mut w = workload(0, gpu_idx);
+            let accel: std::collections::HashSet<_> =
+                w.floorplan.accel_tiles().into_iter().collect();
+            let (mut elig, mut total) = (0u64, 0u64);
+            for now in 0..60_000 {
+                w.tick(now, true, |src, p| {
+                    if accel.contains(&src) {
+                        total += 1;
+                        elig += u64::from(p.cs_eligible);
+                    }
+                });
+            }
+            elig as f64 / total as f64
+        };
+        let bs = frac(0);
+        let sto = frac(6);
+        assert!(bs > 0.6, "BLACKSCHOLES eligibility {bs:.2}");
+        assert!(sto < 0.55, "STO eligibility {sto:.2}");
+    }
+
+    #[test]
+    fn replies_and_misses_are_generated() {
+        let mut w = workload(0, 0);
+        let accel: std::collections::HashSet<_> =
+            w.floorplan.accel_tiles().into_iter().collect();
+        let mems: std::collections::HashSet<_> = w.floorplan.mem_tiles().into_iter().collect();
+        let mut to_gpu = 0u64;
+        let mut mc_legs = 0u64;
+        for now in 0..30_000 {
+            w.tick(now, true, |_, p| {
+                if accel.contains(&p.dst) {
+                    to_gpu += 1;
+                }
+                if mems.contains(&p.dst) || mems.contains(&p.src) {
+                    mc_legs += 1;
+                }
+            });
+        }
+        assert!(to_gpu > 100, "no reply traffic to accelerators");
+        assert!(mc_legs > 50, "no memory-controller traffic");
+    }
+
+    #[test]
+    fn classification_covers_miss_chain() {
+        let w = workload(0, 0);
+        let l2 = w.floorplan.l2_tiles()[0];
+        let mc = w.floorplan.mem_tiles()[0];
+        let cpu = w.floorplan.cpu_tiles()[0];
+        let acc = w.floorplan.accel_tiles()[0];
+        assert!(w.is_gpu_packet(acc, l2));
+        assert!(w.is_gpu_packet(l2, acc));
+        assert!(w.is_gpu_packet(l2, mc));
+        assert!(w.is_gpu_packet(mc, l2));
+        assert!(!w.is_gpu_packet(cpu, l2));
+        assert!(!w.is_gpu_packet(l2, cpu));
+    }
+}

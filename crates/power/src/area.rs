@@ -1,0 +1,134 @@
+//! Router area model, calibrated to the paper's RTL synthesis results
+//! (§IV-A, Nangate Open Cell Library, 45 nm): 0.177 mm² for the
+//! packet-switched router, 0.188 mm² for the hybrid-switched router —
+//! a 6.2 % overhead.
+
+use noc_sim::RouterConfig;
+use serde::{Deserialize, Serialize};
+
+/// Area coefficients at 45 nm. The split (input units ≈ buffers + VC state
+/// dominate, then crossbar, then allocators and clocking) follows
+/// RTL-calibrated VC router studies (Becker \[14\]).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AreaModel {
+    /// mm² per buffer bit (flip-flop based FIFO incl. control overhead).
+    pub buffer_mm2_per_bit: f64,
+    /// mm² per crossbar crosspoint-bit (matrix crossbar: ports² × width).
+    pub xbar_mm2_per_bit: f64,
+    /// mm² per VC for allocator/state logic, per port.
+    pub alloc_mm2_per_vc_port: f64,
+    /// Fixed area: clocking, control, output units.
+    pub fixed_mm2: f64,
+    /// mm² per slot-table bit (SRAM, denser than FIFO flip-flops).
+    pub slot_table_mm2_per_bit: f64,
+    /// mm² per CS-latch bit.
+    pub cs_latch_mm2_per_bit: f64,
+    /// mm² per DLT bit.
+    pub dlt_mm2_per_bit: f64,
+    /// Fixed hybrid overhead: demultiplexers, comparison logic, advance wire.
+    pub hybrid_fixed_mm2: f64,
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        AreaModel {
+            buffer_mm2_per_bit: 4.7e-6,
+            xbar_mm2_per_bit: 13.0e-6,
+            alloc_mm2_per_vc_port: 6.0e-4,
+            fixed_mm2: 0.0632,
+            slot_table_mm2_per_bit: 2.4e-6,
+            cs_latch_mm2_per_bit: 4.7e-6,
+            dlt_mm2_per_bit: 4.7e-6,
+            hybrid_fixed_mm2: 1.0e-3,
+        }
+    }
+}
+
+impl AreaModel {
+    /// Buffer bits of one router: ports × VCs × depth × flit width.
+    fn buffer_bits(cfg: &RouterConfig) -> f64 {
+        5.0 * cfg.vcs_per_port as f64 * cfg.buf_depth as f64 * cfg.channel_bytes as f64 * 8.0
+    }
+
+    /// Area of the canonical packet-switched router.
+    pub fn packet_router_mm2(&self, cfg: &RouterConfig) -> f64 {
+        let buffer = Self::buffer_bits(cfg) * self.buffer_mm2_per_bit;
+        let width_bits = cfg.channel_bytes as f64 * 8.0;
+        let xbar = 25.0 * width_bits * self.xbar_mm2_per_bit;
+        let alloc = 5.0 * cfg.vcs_per_port as f64 * self.alloc_mm2_per_vc_port;
+        buffer + xbar + alloc + self.fixed_mm2
+    }
+
+    /// Area of the hybrid-switched router: the packet router plus slot
+    /// tables (4 bits/entry: valid + 3-bit output port), CS latches (one
+    /// flit per port) and the DLT (hitchhiker-sharing; ~16 bits/entry:
+    /// destination, time-slot, 2-bit counter — §III-A1).
+    pub fn hybrid_router_mm2(
+        &self,
+        cfg: &RouterConfig,
+        slot_entries_per_port: u32,
+        dlt_entries: u32,
+    ) -> f64 {
+        let width_bits = cfg.channel_bytes as f64 * 8.0;
+        let slot_bits = 5.0 * slot_entries_per_port as f64 * 4.0;
+        let latch_bits = 5.0 * width_bits;
+        let dlt_bits = dlt_entries as f64 * 16.0;
+        self.packet_router_mm2(cfg)
+            + slot_bits * self.slot_table_mm2_per_bit
+            + latch_bits * self.cs_latch_mm2_per_bit
+            + dlt_bits * self.dlt_mm2_per_bit
+            + self.hybrid_fixed_mm2
+    }
+
+    /// Hybrid area overhead relative to the packet router (paper: 6.2 %).
+    pub fn hybrid_overhead(
+        &self,
+        cfg: &RouterConfig,
+        slot_entries_per_port: u32,
+        dlt_entries: u32,
+    ) -> f64 {
+        self.hybrid_router_mm2(cfg, slot_entries_per_port, dlt_entries)
+            / self.packet_router_mm2(cfg)
+            - 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_rtl_areas() {
+        let a = AreaModel::default();
+        let cfg = RouterConfig::default();
+        let packet = a.packet_router_mm2(&cfg);
+        assert!(
+            (packet - 0.177).abs() / 0.177 < 0.01,
+            "packet router area {packet:.4} mm² (paper: 0.177)"
+        );
+        let hybrid = a.hybrid_router_mm2(&cfg, 128, 8);
+        assert!(
+            (hybrid - 0.188).abs() / 0.188 < 0.01,
+            "hybrid router area {hybrid:.4} mm² (paper: 0.188)"
+        );
+        let overhead = a.hybrid_overhead(&cfg, 128, 8);
+        assert!(
+            (overhead - 0.062).abs() < 0.006,
+            "hybrid overhead {:.1}% (paper: 6.2%)",
+            overhead * 100.0
+        );
+    }
+
+    #[test]
+    fn area_scales_with_structures() {
+        let a = AreaModel::default();
+        let cfg = RouterConfig::default();
+        let small = a.hybrid_router_mm2(&cfg, 16, 8);
+        let large = a.hybrid_router_mm2(&cfg, 256, 8);
+        assert!(large > small);
+        let wide = RouterConfig { channel_bytes: 32, ..cfg };
+        assert!(a.packet_router_mm2(&wide) > a.packet_router_mm2(&cfg));
+        let more_vcs = RouterConfig { vcs_per_port: 8, ..cfg };
+        assert!(a.packet_router_mm2(&more_vcs) > a.packet_router_mm2(&cfg));
+    }
+}

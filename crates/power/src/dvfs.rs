@@ -1,0 +1,207 @@
+//! Dynamic voltage and frequency scaling, applied orthogonally to hybrid
+//! switching (§V-B1: "Dynamic voltage-and-frequency scaling (DVFS) can be
+//! applied orthogonally to our technique to mitigate clock energy largely,
+//! but is beyond the scope of this paper" — here it is in scope).
+//!
+//! First-order scaling from the Table I operating point (1.0 V, 1.5 GHz):
+//! dynamic energy per event scales with `V²`; leakage *power* scales
+//! roughly with `V·e^(ΔV/v0)` (DIBL + gate leakage), and leakage *energy
+//! per cycle* additionally scales with the cycle time `1/f`. Frequency must
+//! follow voltage (alpha-power delay model), which the
+//! [`DvfsPoint::max_freq_ghz`] check enforces.
+
+use serde::{Deserialize, Serialize};
+
+use crate::coeffs::EnergyCoeffs;
+use crate::model::EnergyBreakdown;
+
+/// An operating point relative to the nominal 1.0 V / 1.5 GHz.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DvfsPoint {
+    pub vdd_v: f64,
+    pub freq_ghz: f64,
+}
+
+impl DvfsPoint {
+    pub const NOMINAL: DvfsPoint = DvfsPoint { vdd_v: 1.0, freq_ghz: 1.5 };
+
+    /// Maximum frequency supportable at `vdd` under an alpha-power delay
+    /// model (`f ∝ (V - Vt)^α / V`, α = 1.3, Vt = 0.35 V), anchored so the
+    /// nominal point is exactly achievable.
+    pub fn max_freq_ghz(vdd_v: f64) -> f64 {
+        const VT: f64 = 0.35;
+        const ALPHA: f64 = 1.3;
+        if vdd_v <= VT {
+            return 0.0;
+        }
+        let speed = |v: f64| (v - VT).powf(ALPHA) / v;
+        Self::NOMINAL.freq_ghz * speed(vdd_v) / speed(Self::NOMINAL.vdd_v)
+    }
+
+    /// Whether this point is electrically feasible.
+    pub fn is_feasible(&self) -> bool {
+        self.vdd_v > 0.0 && self.freq_ghz > 0.0 && self.freq_ghz <= Self::max_freq_ghz(self.vdd_v) + 1e-9
+    }
+
+    /// The lowest feasible voltage for a target frequency (bisection).
+    pub fn voltage_for(freq_ghz: f64) -> f64 {
+        let (mut lo, mut hi) = (0.36, 1.4);
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            if Self::max_freq_ghz(mid) >= freq_ghz {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        hi
+    }
+
+    /// Scale factor for dynamic energy per event: `(V/V₀)²`.
+    pub fn dynamic_scale(&self) -> f64 {
+        let r = self.vdd_v / Self::NOMINAL.vdd_v;
+        r * r
+    }
+
+    /// Scale factor for leakage energy per cycle: leakage power scales
+    /// `(V/V₀)·e^((V−V₀)/v₀)` with `v₀ = 0.1 V`, and per-cycle energy picks
+    /// up the cycle-time ratio `f₀/f`.
+    pub fn leakage_scale(&self) -> f64 {
+        const V0: f64 = 0.1;
+        let v = self.vdd_v / Self::NOMINAL.vdd_v;
+        let p = v * ((self.vdd_v - Self::NOMINAL.vdd_v) / V0).exp();
+        p * (Self::NOMINAL.freq_ghz / self.freq_ghz)
+    }
+
+    /// Coefficients rescaled to this operating point.
+    pub fn apply(&self, nominal: &EnergyCoeffs) -> EnergyCoeffs {
+        let d = self.dynamic_scale();
+        let l = self.leakage_scale();
+        EnergyCoeffs {
+            tech: crate::coeffs::TechParams {
+                vdd_v: self.vdd_v,
+                freq_ghz: self.freq_ghz,
+                ..nominal.tech
+            },
+            buffer_write_pj: nominal.buffer_write_pj * d,
+            buffer_read_pj: nominal.buffer_read_pj * d,
+            xbar_pj: nominal.xbar_pj * d,
+            arb_pj: nominal.arb_pj * d,
+            link_pj: nominal.link_pj * d,
+            clock_pj_per_router_cycle: nominal.clock_pj_per_router_cycle * d,
+            slot_lookup_pj: nominal.slot_lookup_pj * d,
+            slot_update_pj: nominal.slot_update_pj * d,
+            cs_latch_pj: nominal.cs_latch_pj * d,
+            dlt_pj: nominal.dlt_pj * d,
+            buffer_slot_leak_pj: nominal.buffer_slot_leak_pj * l,
+            slot_entry_leak_pj: nominal.slot_entry_leak_pj * l,
+            dlt_entry_leak_pj: nominal.dlt_entry_leak_pj * l,
+            router_fixed_leak_pj: nominal.router_fixed_leak_pj * l,
+        }
+    }
+
+    /// Rescale an already-priced breakdown (equivalent to re-pricing the
+    /// events with [`DvfsPoint::apply`]ed coefficients).
+    pub fn rescale(&self, b: &EnergyBreakdown) -> EnergyBreakdown {
+        let d = self.dynamic_scale();
+        let l = self.leakage_scale();
+        EnergyBreakdown {
+            buffer_dyn_pj: b.buffer_dyn_pj * d,
+            cs_dyn_pj: b.cs_dyn_pj * d,
+            xbar_dyn_pj: b.xbar_dyn_pj * d,
+            arb_dyn_pj: b.arb_dyn_pj * d,
+            clock_dyn_pj: b.clock_dyn_pj * d,
+            link_dyn_pj: b.link_dyn_pj * d,
+            buffer_static_pj: b.buffer_static_pj * l,
+            cs_static_pj: b.cs_static_pj * l,
+            fixed_static_pj: b.fixed_static_pj * l,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EnergyModel;
+
+    #[test]
+    fn nominal_point_is_identity() {
+        let p = DvfsPoint::NOMINAL;
+        assert!(p.is_feasible());
+        assert!((p.dynamic_scale() - 1.0).abs() < 1e-12);
+        assert!((p.leakage_scale() - 1.0).abs() < 1e-12);
+        let c = EnergyCoeffs::default();
+        let c2 = p.apply(&c);
+        assert!((c2.buffer_write_pj - c.buffer_write_pj).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lower_voltage_saves_quadratically_but_caps_frequency() {
+        let slow = DvfsPoint { vdd_v: 0.8, freq_ghz: 1.0 };
+        assert!(slow.is_feasible());
+        assert!((slow.dynamic_scale() - 0.64).abs() < 1e-12);
+        // Nominal frequency is NOT feasible at 0.8 V.
+        let bad = DvfsPoint { vdd_v: 0.8, freq_ghz: 1.5 };
+        assert!(!bad.is_feasible());
+    }
+
+    #[test]
+    fn voltage_for_frequency_is_monotone_and_consistent() {
+        let v1 = DvfsPoint::voltage_for(0.75);
+        let v2 = DvfsPoint::voltage_for(1.5);
+        assert!(v1 < v2);
+        assert!((v2 - 1.0).abs() < 0.01, "nominal f needs ~nominal V, got {v2}");
+        let p = DvfsPoint { vdd_v: v1, freq_ghz: 0.75 };
+        assert!(p.is_feasible());
+    }
+
+    #[test]
+    fn leakage_energy_per_cycle_grows_when_clock_slows() {
+        // At fixed voltage, halving f doubles leakage energy per cycle —
+        // the reason DVFS scales V and f together.
+        let half = DvfsPoint { vdd_v: 1.0, freq_ghz: 0.75 };
+        assert!((half.leakage_scale() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rescale_matches_repricing() {
+        let events = noc_sim::EnergyEvents {
+            buffer_writes: 1000,
+            buffer_reads: 900,
+            xbar_traversals: 1100,
+            link_flits: 800,
+            slot_lookups: 400,
+            ..Default::default()
+        };
+        let leakage = noc_sim::LeakageIntegrals {
+            buffer_slot_cycles: 500_000,
+            slot_entry_cycles: 100_000,
+            router_cycles: 5_000,
+            ..Default::default()
+        };
+        let p = DvfsPoint { vdd_v: 0.85, freq_ghz: 1.0 };
+        let base = EnergyModel::default();
+        let direct = EnergyModel::new(p.apply(&base.coeffs)).evaluate(&events, &leakage);
+        let rescaled = p.rescale(&base.evaluate(&events, &leakage));
+        assert!((direct.total_pj() - rescaled.total_pj()).abs() / direct.total_pj() < 1e-9);
+        assert!((direct.buffer_static_pj - rescaled.buffer_static_pj).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dvfs_is_orthogonal_to_hybrid_savings() {
+        // The *ratio* between hybrid and baseline energy survives a DVFS
+        // rescale applied to both (the paper's orthogonality claim) as long
+        // as the dynamic/static mix is comparable.
+        let p = DvfsPoint { vdd_v: 0.9, freq_ghz: 1.2 };
+        let mk = |dyn_pj: f64, stat_pj: f64| EnergyBreakdown {
+            buffer_dyn_pj: dyn_pj,
+            buffer_static_pj: stat_pj,
+            ..Default::default()
+        };
+        let base = mk(100.0, 50.0);
+        let hybrid = mk(80.0, 40.0); // uniform 20% saving
+        let saving_before = hybrid.saving_vs(&base);
+        let saving_after = p.rescale(&hybrid).saving_vs(&p.rescale(&base));
+        assert!((saving_before - saving_after).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,28 @@
+//! # noc-power — Orion-2.0-style analytical energy and area model
+//!
+//! Prices the event counters and leakage integrals collected by `noc-sim`
+//! into per-component energy, following the paper's methodology (§IV-A):
+//! an Orion-2.0-style per-event capacitive model with technology parameters
+//! revised per Kahng et al. \[12\] / Hayenga et al. \[13\], a matrix (not
+//! multiplexer) crossbar, and router area calibrated against an RTL
+//! implementation (Becker \[14\], Nangate 45 nm): 0.177 mm² for the
+//! packet-switched router and 0.188 mm² for the hybrid router (+6.2 %).
+//!
+//! Absolute joules are not the point — every result in the paper (and in
+//! this reproduction) is a ratio against the `Packet-VC4` baseline. What the
+//! model must preserve is the *relative* weight of the components: input
+//! buffers dominate dynamic energy at moderate load, the circuit-switching
+//! hardware (slot tables, CS latches, DLT) is a small overhead, and leakage
+//! is a large fraction of total energy at 45 nm.
+
+pub mod area;
+pub mod coeffs;
+pub mod dvfs;
+pub mod model;
+pub mod tech;
+
+pub use area::AreaModel;
+pub use dvfs::DvfsPoint;
+pub use coeffs::EnergyCoeffs;
+pub use model::{EnergyBreakdown, EnergyModel};
+pub use tech::{RouterGeometry, TechModel};

@@ -1,0 +1,221 @@
+//! Pricing event counters into per-component energy (Figure 9's breakdown).
+
+use noc_sim::{EnergyEvents, LeakageIntegrals, NetStats};
+use serde::{Deserialize, Serialize};
+
+use crate::coeffs::EnergyCoeffs;
+
+/// Network energy split by component, in picojoules, matching Figure 9's
+/// categories: input buffers, circuit-switching (CS) components, crossbar,
+/// VC/SW arbiters, clock and links for dynamic energy; buffers, CS
+/// components and fixed logic for static energy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    pub buffer_dyn_pj: f64,
+    pub cs_dyn_pj: f64,
+    pub xbar_dyn_pj: f64,
+    pub arb_dyn_pj: f64,
+    pub clock_dyn_pj: f64,
+    pub link_dyn_pj: f64,
+    pub buffer_static_pj: f64,
+    pub cs_static_pj: f64,
+    pub fixed_static_pj: f64,
+}
+
+impl EnergyBreakdown {
+    pub fn dynamic_pj(&self) -> f64 {
+        self.buffer_dyn_pj
+            + self.cs_dyn_pj
+            + self.xbar_dyn_pj
+            + self.arb_dyn_pj
+            + self.clock_dyn_pj
+            + self.link_dyn_pj
+    }
+
+    pub fn static_pj(&self) -> f64 {
+        self.buffer_static_pj + self.cs_static_pj + self.fixed_static_pj
+    }
+
+    pub fn total_pj(&self) -> f64 {
+        self.dynamic_pj() + self.static_pj()
+    }
+
+    /// Fractional energy saving of `self` relative to `baseline`
+    /// (Figure 5 / Figure 8(a): positive = saving, negative = overhead).
+    pub fn saving_vs(&self, baseline: &EnergyBreakdown) -> f64 {
+        if baseline.total_pj() == 0.0 {
+            0.0
+        } else {
+            1.0 - self.total_pj() / baseline.total_pj()
+        }
+    }
+
+    /// Fractional *dynamic* energy saving vs. a baseline.
+    pub fn dynamic_saving_vs(&self, baseline: &EnergyBreakdown) -> f64 {
+        if baseline.dynamic_pj() == 0.0 {
+            0.0
+        } else {
+            1.0 - self.dynamic_pj() / baseline.dynamic_pj()
+        }
+    }
+
+    /// Fractional *static* energy saving vs. a baseline.
+    pub fn static_saving_vs(&self, baseline: &EnergyBreakdown) -> f64 {
+        if baseline.static_pj() == 0.0 {
+            0.0
+        } else {
+            1.0 - self.static_pj() / baseline.static_pj()
+        }
+    }
+}
+
+/// The energy model: coefficients applied to measured events.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EnergyModel {
+    pub coeffs: EnergyCoeffs,
+}
+
+impl EnergyModel {
+    pub fn new(coeffs: EnergyCoeffs) -> Self {
+        EnergyModel { coeffs }
+    }
+
+    /// Price a measurement window.
+    pub fn evaluate(&self, events: &EnergyEvents, leakage: &LeakageIntegrals) -> EnergyBreakdown {
+        let c = &self.coeffs;
+        EnergyBreakdown {
+            buffer_dyn_pj: events.buffer_writes as f64 * c.buffer_write_pj
+                + events.buffer_reads as f64 * c.buffer_read_pj,
+            cs_dyn_pj: events.slot_lookups as f64 * c.slot_lookup_pj
+                + events.slot_updates as f64 * c.slot_update_pj
+                + events.cs_latch_writes as f64 * c.cs_latch_pj
+                + (events.dlt_lookups + events.dlt_updates) as f64 * c.dlt_pj,
+            xbar_dyn_pj: events.xbar_traversals as f64 * c.xbar_pj,
+            arb_dyn_pj: (events.va_ops + events.sa_ops) as f64 * c.arb_pj,
+            clock_dyn_pj: leakage.router_cycles as f64 * c.clock_pj_per_router_cycle,
+            link_dyn_pj: events.link_flits as f64 * c.link_pj,
+            buffer_static_pj: leakage.buffer_slot_cycles as f64 * c.buffer_slot_leak_pj,
+            cs_static_pj: leakage.slot_entry_cycles as f64 * c.slot_entry_leak_pj
+                + leakage.dlt_entry_cycles as f64 * c.dlt_entry_leak_pj,
+            fixed_static_pj: leakage.router_cycles as f64 * c.router_fixed_leak_pj,
+        }
+    }
+
+    /// Convenience: price a [`NetStats`] measurement window.
+    pub fn evaluate_stats(&self, stats: &NetStats) -> EnergyBreakdown {
+        self.evaluate(&stats.events, &stats.leakage)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic event mix approximating a 36-node baseline network at
+    /// ~0.2 accepted flits/node/cycle over 10 000 cycles with ~4 hops/flit.
+    fn baseline_window() -> (EnergyEvents, LeakageIntegrals) {
+        let cycles = 10_000u64;
+        let routers = 36u64;
+        let flit_hops = (0.2 * 36.0 * 4.0 * 10_000.0) as u64; // 288 000
+        let events = EnergyEvents {
+            buffer_writes: flit_hops,
+            buffer_reads: flit_hops,
+            xbar_traversals: flit_hops,
+            va_ops: flit_hops / 5, // one VA per packet per hop
+            sa_ops: flit_hops,
+            link_flits: flit_hops * 3 / 4, // last hop ejects locally
+            ..Default::default()
+        };
+        let leakage = LeakageIntegrals {
+            buffer_slot_cycles: routers * 100 * cycles, // 5 ports × 4 VCs × 5 deep
+            slot_entry_cycles: 0,
+            dlt_entry_cycles: 0,
+            router_cycles: routers * cycles,
+        };
+        (events, leakage)
+    }
+
+    #[test]
+    fn baseline_breakdown_shape_matches_figure9() {
+        let (events, leakage) = baseline_window();
+        let b = EnergyModel::default().evaluate(&events, &leakage);
+        let dyn_total = b.dynamic_pj();
+        let buffer_share = b.buffer_dyn_pj / dyn_total;
+        // Buffers must dominate dynamic energy (the premise of the paper:
+        // 51.3% buffer-energy reduction → 20.8% dynamic reduction implies a
+        // ~40% buffer share).
+        assert!(
+            (0.30..0.55).contains(&buffer_share),
+            "buffer share of dynamic = {buffer_share:.3}"
+        );
+        // Arbiters are a small portion (§V-B1: "arbiters only correspond to
+        // a small portion of dynamic energy consumption").
+        assert!(b.arb_dyn_pj / dyn_total < 0.05);
+        // Links and crossbar are significant but below buffers.
+        assert!(b.link_dyn_pj < b.buffer_dyn_pj);
+        assert!(b.xbar_dyn_pj < b.buffer_dyn_pj);
+        // Static is a large minority of total at 45 nm (30–55 %).
+        let static_share = b.static_pj() / b.total_pj();
+        assert!(
+            (0.30..0.55).contains(&static_share),
+            "static share = {static_share:.3}"
+        );
+        // Buffers are the largest single static component (Fig 9b: "all
+        // the savings come from input buffers").
+        assert!(b.buffer_static_pj / b.static_pj() > 0.4);
+        assert!(b.buffer_static_pj > b.fixed_static_pj);
+    }
+
+    #[test]
+    fn circuit_switching_halves_buffer_energy_at_50pct_cs() {
+        // Re-price the baseline window with half the flit-hops bypassing
+        // the buffers: buffer dynamic energy must drop ~50% while the CS
+        // overhead stays small (paper: 0.6% of dynamic).
+        let (mut events, mut leakage) = baseline_window();
+        let cs_hops = events.buffer_writes / 2;
+        events.buffer_writes -= cs_hops;
+        events.buffer_reads -= cs_hops;
+        events.slot_lookups = cs_hops;
+        events.cs_latch_writes = cs_hops;
+        // 16 active slot-table entries per port.
+        leakage.slot_entry_cycles = 36 * 5 * 16 * 10_000;
+        let model = EnergyModel::default();
+        let (be, bl) = baseline_window();
+        let base = model.evaluate(&be, &bl);
+        let hybrid = model.evaluate(&events, &leakage);
+        assert!((hybrid.buffer_dyn_pj / base.buffer_dyn_pj - 0.5).abs() < 1e-9);
+        let cs_share = hybrid.cs_dyn_pj / hybrid.dynamic_pj();
+        assert!(cs_share < 0.03, "CS dynamic overhead {cs_share:.4}");
+        let cs_static_share = hybrid.cs_static_pj / hybrid.static_pj();
+        assert!(cs_static_share < 0.05, "CS static overhead {cs_static_share:.4}");
+        // Net effect: a real saving.
+        assert!(hybrid.saving_vs(&base) > 0.05);
+    }
+
+    #[test]
+    fn savings_are_signed() {
+        let (events, leakage) = baseline_window();
+        let model = EnergyModel::default();
+        let base = model.evaluate(&events, &leakage);
+        // Adding fully-active 128-entry slot tables with no CS traffic gives
+        // a *negative* saving (Figure 5's low-rate UR observation).
+        let mut worse_leak = leakage;
+        worse_leak.slot_entry_cycles = 36 * 5 * 128 * 10_000;
+        let worse = model.evaluate(&events, &worse_leak);
+        assert!(worse.saving_vs(&base) < 0.0);
+        assert!(base.saving_vs(&base).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vc_gating_saves_static_energy() {
+        let (events, leakage) = baseline_window();
+        let model = EnergyModel::default();
+        let base = model.evaluate(&events, &leakage);
+        let mut gated = leakage;
+        gated.buffer_slot_cycles /= 2; // half the VCs off on average
+        let g = model.evaluate(&events, &gated);
+        assert!(g.static_saving_vs(&base) > 0.25);
+        assert!(g.dynamic_saving_vs(&base).abs() < 1e-12);
+        assert!(g.saving_vs(&base) > 0.08);
+    }
+}

@@ -1,0 +1,258 @@
+//! First-principles derivation of the energy coefficients, in the style of
+//! Orion 2.0 \[11\]: per-event energies come from switched capacitance
+//! (`E = C · V² · α`) of parameterised register-file, crossbar, arbiter and
+//! wire models, and leakage comes from per-device subthreshold/gate
+//! currents.
+//!
+//! The paper's methodology revises Orion's technology parameters against an
+//! RTL implementation (§IV-A, \[12\]\[13\]\[14\]); we mirror that by exposing the
+//! derivation *and* calibrating the default [`crate::EnergyCoeffs`] against
+//! it — the unit tests pin the hand-calibrated defaults to within a small
+//! factor of the derived values, so neither can silently drift into
+//! physically implausible territory.
+//!
+//! Parameters describe a generic planar 45 nm process at 1.0 V / 1.5 GHz
+//! (Table I). NoC buffers at this size are flip-flop register files
+//! (Becker \[14\]), so the buffer model charges one effective flop
+//! capacitance per stored bit rather than an SRAM bitline.
+
+use serde::{Deserialize, Serialize};
+
+use crate::coeffs::{EnergyCoeffs, TechParams};
+
+/// Process/device parameters for a 45 nm-class node.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TechModel {
+    pub tech: TechParams,
+    /// Effective switched capacitance of writing one flip-flop bit
+    /// (clock + master/slave + input driver), femtofarads.
+    pub c_flop_eff_ff: f64,
+    /// Clock load per clocked bit, femtofarads.
+    pub c_clk_per_bit_ff: f64,
+    /// Effective capacitance per matrix-crossbar crosspoint per bit
+    /// (pass device diffusion + wire share), femtofarads.
+    pub c_xpoint_ff: f64,
+    /// Gate capacitance of a minimum-sized device, femtofarads (control
+    /// logic).
+    pub c_gate_min_ff: f64,
+    /// Wire capacitance per millimetre of repeated link (per bit),
+    /// femtofarads.
+    pub c_wire_ff_per_mm: f64,
+    /// Inter-router link length, millimetres (≈ tile pitch).
+    pub link_mm: f64,
+    /// Average switching activity on data paths.
+    pub activity: f64,
+    /// Subthreshold + gate leakage per effective minimum device, nanowatts
+    /// (45 nm general-purpose devices at hot corner).
+    pub leak_nw_per_min_device: f64,
+    /// Effective minimum devices per register/RAM bit (cell + periphery
+    /// share).
+    pub devices_per_ram_bit: f64,
+}
+
+impl Default for TechModel {
+    fn default() -> Self {
+        TechModel {
+            tech: TechParams::default(),
+            c_flop_eff_ff: 20.0,
+            c_clk_per_bit_ff: 2.0,
+            c_xpoint_ff: 4.0,
+            c_gate_min_ff: 0.35,
+            c_wire_ff_per_mm: 60.0,
+            link_mm: 1.0,
+            activity: 0.4,
+            leak_nw_per_min_device: 30.0,
+            devices_per_ram_bit: 8.0,
+        }
+    }
+}
+
+/// Geometry of the router the coefficients are derived for.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RouterGeometry {
+    /// Flit width in bits (Table I: 16 B = 128).
+    pub flit_bits: u32,
+    /// Crossbar ports (5 for a mesh router).
+    pub ports: u32,
+    /// Buffer rows per VC FIFO (depth).
+    pub buf_depth: u32,
+    /// VCs per port.
+    pub vcs: u32,
+}
+
+impl Default for RouterGeometry {
+    fn default() -> Self {
+        RouterGeometry { flit_bits: 128, ports: 5, buf_depth: 5, vcs: 4 }
+    }
+}
+
+impl TechModel {
+    /// Energy of switching `c_ff` femtofarads full swing, picojoules.
+    fn e_switch_pj(&self, c_ff: f64) -> f64 {
+        c_ff * self.tech.vdd_v * self.tech.vdd_v * 1e-3
+    }
+
+    /// Write one flit into a flop-based FIFO row: every bit clocks one
+    /// flop, plus the row-select fanout.
+    pub fn buffer_write_pj(&self, g: &RouterGeometry) -> f64 {
+        let flops = g.flit_bits as f64 * self.e_switch_pj(self.c_flop_eff_ff);
+        let select = self.e_switch_pj(g.flit_bits as f64 * self.c_gate_min_ff);
+        flops + select
+    }
+
+    /// Read one flit out: a `depth`-to-1 mux tree per bit plus the output
+    /// drivers — slightly cheaper than the write.
+    pub fn buffer_read_pj(&self, g: &RouterGeometry) -> f64 {
+        let mux_levels = (g.buf_depth as f64).log2().ceil().max(1.0);
+        let per_bit = self.e_switch_pj(mux_levels * 2.0 * self.c_gate_min_ff + 0.6 * self.c_flop_eff_ff);
+        per_bit * g.flit_bits as f64 * (self.activity + 0.5)
+    }
+
+    /// One flit through a `ports × ports` matrix crossbar: the input and
+    /// output lines each cross `ports` crosspoints.
+    pub fn xbar_pj(&self, g: &RouterGeometry) -> f64 {
+        let c_line = g.ports as f64 * self.c_xpoint_ff;
+        2.0 * self.e_switch_pj(c_line) * self.activity * g.flit_bits as f64
+    }
+
+    /// One round of round-robin arbitration (request/grant logic over
+    /// `ports × vcs` inputs; control activity ≈ 0.25).
+    pub fn arb_pj(&self, g: &RouterGeometry) -> f64 {
+        let gates = (g.ports * g.vcs) as f64 * 12.0;
+        self.e_switch_pj(gates * self.c_gate_min_ff) * 0.25
+    }
+
+    /// One flit across the inter-router link (repeated wire, +35 %
+    /// repeater capacitance).
+    pub fn link_pj(&self, g: &RouterGeometry) -> f64 {
+        let c = self.c_wire_ff_per_mm * self.link_mm * 1.35;
+        self.e_switch_pj(c) * self.activity * g.flit_bits as f64
+    }
+
+    /// One slot-table lookup: a 4-bit entry read plus decode.
+    pub fn slot_lookup_pj(&self) -> f64 {
+        let c = 4.0 * self.c_flop_eff_ff * 0.3 + 10.0 * self.c_gate_min_ff;
+        self.e_switch_pj(c) * self.activity
+    }
+
+    /// Leakage of one powered register/RAM bit, picojoules per cycle.
+    pub fn ram_bit_leak_pj_per_cycle(&self) -> f64 {
+        let nw = self.devices_per_ram_bit * self.leak_nw_per_min_device;
+        // nW → pJ/cycle: (nW · 1e-9 W) / (GHz · 1e9 Hz) = 1e-18 J = 1e-6 pJ.
+        nw / self.tech.freq_ghz * 1e-6
+    }
+
+    /// Derive a full coefficient set for `g`.
+    pub fn derive(&self, g: &RouterGeometry) -> EnergyCoeffs {
+        let flit_bits = g.flit_bits as f64;
+        EnergyCoeffs {
+            tech: self.tech,
+            buffer_write_pj: self.buffer_write_pj(g),
+            buffer_read_pj: self.buffer_read_pj(g),
+            xbar_pj: self.xbar_pj(g),
+            arb_pj: self.arb_pj(g),
+            link_pj: self.link_pj(g),
+            // Clock tree: ~6 flit-widths of clocked pipeline/state bits per
+            // router toggling every cycle.
+            clock_pj_per_router_cycle: self.e_switch_pj(6.0 * flit_bits * self.c_clk_per_bit_ff) * 0.5,
+            slot_lookup_pj: self.slot_lookup_pj(),
+            slot_update_pj: self.slot_lookup_pj() * 1.6,
+            cs_latch_pj: self.e_switch_pj(flit_bits * 0.5 * self.c_flop_eff_ff) * self.activity * 0.4,
+            dlt_pj: self.slot_lookup_pj(),
+            buffer_slot_leak_pj: flit_bits * self.ram_bit_leak_pj_per_cycle(),
+            slot_entry_leak_pj: 4.0 * self.ram_bit_leak_pj_per_cycle() * 2.0, // + decode share
+            dlt_entry_leak_pj: 16.0 * self.ram_bit_leak_pj_per_cycle() * 2.0,
+            // Crossbar + allocators + clock tree devices: roughly the
+            // non-buffer half of the router's device count.
+            router_fixed_leak_pj: 90.0 * flit_bits * self.ram_bit_leak_pj_per_cycle() * 0.8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn derived() -> EnergyCoeffs {
+        TechModel::default().derive(&RouterGeometry::default())
+    }
+
+    /// The calibrated defaults must stay within a small factor of the
+    /// physics-derived values — a drift alarm for both sides.
+    #[test]
+    fn calibrated_defaults_agree_with_derivation() {
+        let d = derived();
+        let c = EnergyCoeffs::default();
+        let close = |what: &str, a: f64, b: f64, factor: f64| {
+            assert!(
+                a / b < factor && b / a < factor,
+                "{what}: derived {a:.4} vs calibrated {b:.4} differ by more than {factor}x"
+            );
+        };
+        close("buffer_write", d.buffer_write_pj, c.buffer_write_pj, 2.0);
+        close("buffer_read", d.buffer_read_pj, c.buffer_read_pj, 2.0);
+        close("xbar", d.xbar_pj, c.xbar_pj, 2.0);
+        close("link", d.link_pj, c.link_pj, 2.0);
+        close("clock", d.clock_pj_per_router_cycle, c.clock_pj_per_router_cycle, 2.0);
+        close("buffer_leak", d.buffer_slot_leak_pj, c.buffer_slot_leak_pj, 2.0);
+        close("slot_leak", d.slot_entry_leak_pj, c.slot_entry_leak_pj, 2.0);
+        close("fixed_leak", d.router_fixed_leak_pj, c.router_fixed_leak_pj, 2.0);
+    }
+
+    #[test]
+    fn energies_scale_with_geometry() {
+        let t = TechModel::default();
+        let narrow = RouterGeometry { flit_bits: 64, ..Default::default() };
+        let wide = RouterGeometry { flit_bits: 256, ..Default::default() };
+        assert!(t.buffer_write_pj(&wide) > 2.0 * t.buffer_write_pj(&narrow));
+        assert!(t.xbar_pj(&wide) > 2.0 * t.xbar_pj(&narrow));
+        let deep = RouterGeometry { buf_depth: 32, ..Default::default() };
+        assert!(t.buffer_read_pj(&deep) > t.buffer_read_pj(&RouterGeometry::default()));
+        let many_ports = RouterGeometry { ports: 8, ..Default::default() };
+        assert!(t.xbar_pj(&many_ports) > t.xbar_pj(&RouterGeometry::default()));
+    }
+
+    #[test]
+    fn ordering_invariants() {
+        let d = derived();
+        // Reads are cheaper than writes; CS hardware is far cheaper than
+        // buffering; slot lookups are small-RAM cheap.
+        assert!(d.buffer_read_pj < d.buffer_write_pj);
+        assert!(d.slot_lookup_pj + d.cs_latch_pj < 0.5 * (d.buffer_write_pj + d.buffer_read_pj));
+        assert!(d.slot_lookup_pj < 0.2 * d.buffer_read_pj);
+        // Slot-table entry leakage is tiny next to a 128-bit buffer slot.
+        assert!(d.slot_entry_leak_pj < 0.1 * d.buffer_slot_leak_pj);
+    }
+
+    #[test]
+    fn leakage_tracks_frequency() {
+        // Per-cycle leakage energy halves when the clock doubles.
+        let mut fast = TechModel::default();
+        fast.tech.freq_ghz = 3.0;
+        let slow = TechModel::default();
+        let r = slow.ram_bit_leak_pj_per_cycle() / fast.ram_bit_leak_pj_per_cycle();
+        assert!((r - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn derived_model_prices_a_window() {
+        // The derived coefficients are usable end-to-end.
+        let coeffs = derived();
+        let model = crate::EnergyModel::new(coeffs);
+        let events = noc_sim::EnergyEvents {
+            buffer_writes: 1_000,
+            buffer_reads: 1_000,
+            xbar_traversals: 1_000,
+            link_flits: 800,
+            ..Default::default()
+        };
+        let leakage = noc_sim::LeakageIntegrals {
+            buffer_slot_cycles: 100_000,
+            router_cycles: 1_000,
+            ..Default::default()
+        };
+        let b = model.evaluate(&events, &leakage);
+        assert!(b.total_pj() > 0.0);
+        assert!(b.buffer_dyn_pj > b.arb_dyn_pj);
+    }
+}

@@ -1,0 +1,56 @@
+//! SDM network configuration.
+
+use noc_sim::NetworkConfig;
+
+/// Configuration of the SDM hybrid baseline.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SdmConfig {
+    pub net: NetworkConfig,
+    /// Link planes (paper comparison point: 4 planes of 4 B each).
+    pub planes: u8,
+    /// Messages to one destination within the window before a circuit is
+    /// requested (kept identical to the TDM policy for a fair comparison).
+    pub setup_after_msgs: u32,
+    /// Frequency window in cycles.
+    pub freq_window: u64,
+    /// Setup retries (with a different plane) before cooling down.
+    pub setup_retries: u8,
+    pub retry_cooldown: u64,
+    /// Maximum outgoing circuits per node.
+    pub max_connections: u8,
+}
+
+impl Default for SdmConfig {
+    fn default() -> Self {
+        SdmConfig {
+            net: NetworkConfig::default(),
+            planes: 4,
+            setup_after_msgs: 4,
+            freq_window: 512,
+            setup_retries: 3,
+            retry_cooldown: 512,
+            max_connections: 8,
+        }
+    }
+}
+
+impl SdmConfig {
+    /// Circuit-switched message length in flits (header elided on the
+    /// reserved path, as in the TDM network).
+    pub fn cs_message_flits(&self) -> u8 {
+        self.net.cs_packet_flits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_comparison_setup() {
+        let c = SdmConfig::default();
+        assert_eq!(c.planes, 4);
+        assert_eq!(c.net.router.channel_bytes as u32 / c.planes as u32, 4);
+        assert_eq!(c.cs_message_flits(), 4);
+    }
+}

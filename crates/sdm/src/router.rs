@@ -1,0 +1,634 @@
+//! The SDM hybrid router: a VC wormhole pipeline whose links are
+//! partitioned into planes.
+//!
+//! Packet-switched flits bind their packet to one plane per output link and
+//! occupy it for `P` cycles per flit (the phit-serialisation of a
+//! width-partitioned link), so at most `P` packets share a link and flits
+//! of one packet are spaced `P` cycles apart. Circuit-switched flits follow
+//! a per-plane reservation (`circuits[in_port][plane] → out_port`) and
+//! bypass buffering entirely. Plane 0 is never circuit-reserved, keeping
+//! the packet-switched network alive.
+
+use noc_sim::arbiter::RoundRobin;
+use noc_sim::routing::xy_route;
+use noc_sim::{
+    ConfigKind, Credit, Cycle, Flit, Mesh, MsgClass, NodeId, NodeOutputs, Packet, PacketId, Port,
+    RouterConfig, Switching, VcBuf, VcState,
+};
+use noc_sim::stats::EnergyEvents;
+
+/// A circuit reservation at one router.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CircuitEntry {
+    pub path_id: u64,
+    pub out: Port,
+    pub dst: NodeId,
+}
+
+/// One plane of an output link.
+#[derive(Clone, Copy, Debug, Default)]
+struct Plane {
+    /// The plane is serialising a flit until this cycle.
+    busy_until: Cycle,
+    /// Packet currently wormholed onto this plane.
+    bound: Option<PacketId>,
+    /// Claimed by a circuit.
+    circuit: bool,
+}
+
+struct SdmOutPort {
+    alloc: Vec<Option<(u8, u8)>>,
+    credits: Vec<u8>,
+    planes: Vec<Plane>,
+    exists: bool,
+}
+
+/// The SDM hybrid router.
+pub struct SdmRouter {
+    pub id: NodeId,
+    pub mesh: Mesh,
+    pub cfg: RouterConfig,
+    planes_n: u8,
+    inputs: Vec<Vec<VcBuf>>,
+    outputs: Vec<SdmOutPort>,
+    /// `circuits[in_port][plane]`.
+    circuits: Vec<Vec<Option<CircuitEntry>>>,
+    va_arb: Vec<RoundRobin>,
+    sa_arb_out: Vec<RoundRobin>,
+    /// CS flits arriving this cycle, with resolved outputs.
+    cs_incoming: Vec<(Flit, Port)>,
+    pub events: EnergyEvents,
+    pub ejected: Vec<Flit>,
+    pub cs_ejected: Vec<Flit>,
+    pub local_credits: Vec<u8>,
+    pub protocol_out: Vec<Packet>,
+    /// Credits owed upstream for configuration flits consumed on arrival.
+    pending_credits: Vec<(Port, u8)>,
+    next_protocol_id: u64,
+}
+
+impl SdmRouter {
+    pub fn new(id: NodeId, mesh: Mesh, cfg: RouterConfig, planes: u8) -> Self {
+        assert!(planes >= 2, "SDM needs at least one PS and one CS plane");
+        let vcs = cfg.vcs_per_port as usize;
+        SdmRouter {
+            id,
+            mesh,
+            cfg,
+            planes_n: planes,
+            inputs: (0..Port::COUNT)
+                .map(|_| {
+                    (0..vcs)
+                        .map(|_| VcBuf {
+                            fifo: std::collections::VecDeque::new(),
+                            state: VcState::Idle,
+                            stage_cycle: 0,
+                        })
+                        .collect()
+                })
+                .collect(),
+            outputs: Port::ALL
+                .iter()
+                .map(|&p| SdmOutPort {
+                    alloc: vec![None; vcs],
+                    credits: vec![cfg.buf_depth; vcs],
+                    planes: vec![Plane::default(); planes as usize],
+                    exists: match p.direction() {
+                        None => true,
+                        Some(d) => mesh.neighbor(id, d).is_some(),
+                    },
+                })
+                .collect(),
+            circuits: (0..Port::COUNT).map(|_| vec![None; planes as usize]).collect(),
+            va_arb: (0..Port::COUNT).map(|_| RoundRobin::new(Port::COUNT * vcs)).collect(),
+            sa_arb_out: (0..Port::COUNT).map(|_| RoundRobin::new(Port::COUNT)).collect(),
+            cs_incoming: Vec::new(),
+            events: EnergyEvents::default(),
+            ejected: Vec::new(),
+            cs_ejected: Vec::new(),
+            local_credits: Vec::new(),
+            protocol_out: Vec::new(),
+            pending_credits: Vec::new(),
+            next_protocol_id: 0,
+        }
+    }
+
+    pub fn planes(&self) -> u8 {
+        self.planes_n
+    }
+
+    /// The circuit table entry at (`port`, `plane`).
+    pub fn circuit_at(&self, port: Port, plane: u8) -> Option<&CircuitEntry> {
+        self.circuits[port.index()][plane as usize].as_ref()
+    }
+
+    fn protocol_packet_id(&mut self) -> PacketId {
+        let id = (3u64 << 62) | ((self.id.0 as u64) << 40) | self.next_protocol_id;
+        self.next_protocol_id += 1;
+        PacketId(id)
+    }
+
+    pub fn accept_flit(&mut self, now: Cycle, port: Port, flit: Flit) {
+        if flit.switching == Switching::Circuit {
+            // flit.vc carries the plane id on circuit-switched flits.
+            let plane = flit.vc;
+            let entry = self.circuits[port.index()][plane as usize].unwrap_or_else(|| {
+                panic!(
+                    "CS flit on unreserved plane {plane} at {:?} port {port:?}",
+                    self.id
+                )
+            });
+            self.events.cs_latch_writes += 1;
+            self.cs_incoming.push((flit, entry.out));
+            return;
+        }
+        if flit.class == MsgClass::Config && flit.kind.is_head() {
+            match flit.config.as_deref() {
+                Some(ConfigKind::Setup(_)) | Some(ConfigKind::Teardown(_)) => {
+                    self.process_config(now, port, flit);
+                    return;
+                }
+                _ => {}
+            }
+        }
+        let buf = &mut self.inputs[port.index()][flit.vc as usize];
+        assert!(buf.fifo.len() < self.cfg.buf_depth as usize, "VC overflow");
+        buf.fifo.push_back(flit);
+        self.events.buffer_writes += 1;
+    }
+
+    /// Inject a circuit-switched flit from the local NIC.
+    pub fn inject_cs_local(&mut self, _now: Cycle, flit: Flit) -> bool {
+        let plane = flit.vc;
+        let Some(entry) = self.circuits[Port::Local.index()][plane as usize] else {
+            return false;
+        };
+        self.events.cs_latch_writes += 1;
+        self.cs_incoming.push((flit, entry.out));
+        true
+    }
+
+    /// Return the buffer credit of a configuration flit consumed on
+    /// arrival (see the TDM router for the rationale).
+    fn consume_config_credit(&mut self, in_port: Port, vc: u8) {
+        match in_port {
+            Port::Local => self.local_credits.push(vc),
+            p => self.pending_credits.push((p, vc)),
+        }
+    }
+
+    fn process_config(&mut self, now: Cycle, in_port: Port, mut flit: Flit) {
+        let kind = flit.config.as_deref().expect("config payload").clone();
+        match kind {
+            ConfigKind::Setup(info) => {
+                let plane = info.slot as usize;
+                let out = if info.dst == self.id {
+                    Port::Local
+                } else {
+                    xy_route(&self.mesh, self.id, info.dst)
+                };
+                let ok = plane >= 1
+                    && plane < self.planes_n as usize
+                    && self.circuits[in_port.index()][plane].is_none()
+                    && (out == Port::Local || !self.outputs[out.index()].planes[plane].circuit);
+                if ok {
+                    self.circuits[in_port.index()][plane] =
+                        Some(CircuitEntry { path_id: info.path_id, out, dst: info.dst });
+                    self.events.slot_updates += 1;
+                    if out == Port::Local {
+                        self.events.config_flits_delivered += 1;
+                        self.consume_config_credit(in_port, flit.vc);
+                        self.emit_ack(now, info, true);
+                    } else {
+                        self.outputs[out.index()].planes[plane].circuit = true;
+                        flit.forced_out = Some(out);
+                        self.buffer_config(in_port, flit);
+                    }
+                } else {
+                    self.events.setup_failures += 1;
+                    self.events.config_flits_delivered += 1;
+                    self.consume_config_credit(in_port, flit.vc);
+                    self.emit_ack(now, info, false);
+                }
+            }
+            ConfigKind::Teardown(info) => {
+                let slot = self.circuits[in_port.index()]
+                    .iter()
+                    .position(|e| e.is_some_and(|e| e.path_id == info.path_id));
+                match slot {
+                    Some(plane) => {
+                        let e = self.circuits[in_port.index()][plane].take().expect("present");
+                        self.events.slot_updates += 1;
+                        if e.out == Port::Local {
+                            self.events.config_flits_delivered += 1;
+                            self.consume_config_credit(in_port, flit.vc);
+                        } else {
+                            self.outputs[e.out.index()].planes[plane].circuit = false;
+                            flit.forced_out = Some(e.out);
+                            self.buffer_config(in_port, flit);
+                        }
+                    }
+                    None => {
+                        self.events.config_flits_delivered += 1;
+                        self.consume_config_credit(in_port, flit.vc);
+                    }
+                }
+            }
+            ConfigKind::Ack { .. } => unreachable!("acks are routed"),
+        }
+    }
+
+    /// Buffer a processed configuration flit at the port it arrived on (it
+    /// consumed that port's upstream credit, so the slot is guaranteed).
+    fn buffer_config(&mut self, in_port: Port, flit: Flit) {
+        let buf = &mut self.inputs[in_port.index()][flit.vc as usize];
+        assert!(buf.fifo.len() < self.cfg.buf_depth as usize, "config buffering overflow");
+        buf.fifo.push_back(flit);
+        self.events.buffer_writes += 1;
+    }
+
+    fn emit_ack(&mut self, now: Cycle, info: noc_sim::SetupInfo, success: bool) {
+        let id = self.protocol_packet_id();
+        let pkt = Packet::config(id, self.id, info.src, ConfigKind::Ack { info, success }, now);
+        self.protocol_out.push(pkt);
+    }
+
+    pub fn step(&mut self, now: Cycle, out: &mut NodeOutputs) {
+        // Credits for configuration flits consumed on arrival.
+        for (port, vc) in self.pending_credits.drain(..) {
+            let dir = port.direction().expect("local credits go via local_credits");
+            out.credits.push((dir, Credit { vc }));
+        }
+
+        // Circuit-switched bypass: single-cycle crossbar per hop.
+        for (mut flit, o) in std::mem::take(&mut self.cs_incoming) {
+            self.events.xbar_traversals += 1;
+            match o.direction() {
+                Some(d) => {
+                    flit.hops += 1;
+                    self.events.link_flits += 1;
+                    out.flits.push((d, flit));
+                }
+                None => {
+                    self.events.cs_flits_delivered += 1;
+                    self.cs_ejected.push(flit);
+                }
+            }
+        }
+
+        self.refresh_rc(now);
+        self.do_va(now);
+        self.do_sa_st(now, out);
+    }
+
+    fn refresh_rc(&mut self, now: Cycle) {
+        for p in 0..Port::COUNT {
+            for vc in 0..self.inputs[p].len() {
+                let buf = &self.inputs[p][vc];
+                if buf.state != VcState::Idle {
+                    continue;
+                }
+                let Some(front) = buf.fifo.front() else { continue };
+                if !front.kind.is_head() {
+                    continue;
+                }
+                let out_port = match front.forced_out {
+                    Some(f) => f,
+                    None => xy_route(&self.mesh, self.id, front.dst),
+                };
+                let buf = &mut self.inputs[p][vc];
+                buf.fifo.front_mut().expect("front").forced_out = None;
+                buf.state = VcState::Waiting { out: out_port };
+                buf.stage_cycle = now;
+            }
+        }
+    }
+
+    fn do_va(&mut self, now: Cycle) {
+        let vcs = self.cfg.vcs_per_port as usize;
+        for o in 0..Port::COUNT {
+            if !self.outputs[o].exists {
+                continue;
+            }
+            let mut reqs = [false; 64];
+            let mut any = false;
+            for p in 0..Port::COUNT {
+                for vc in 0..vcs {
+                    let buf = &self.inputs[p][vc];
+                    if let VcState::Waiting { out } = buf.state {
+                        if out.index() == o && buf.stage_cycle < now {
+                            reqs[p * vcs + vc] = true;
+                            any = true;
+                        }
+                    }
+                }
+            }
+            if !any {
+                continue;
+            }
+            for v in 0..vcs {
+                if self.outputs[o].alloc[v].is_some() {
+                    continue;
+                }
+                let Some(w) = self.va_arb[o].grant(&reqs[..Port::COUNT * vcs]) else { break };
+                reqs[w] = false;
+                let (p, vc) = (w / vcs, w % vcs);
+                let buf = &mut self.inputs[p][vc];
+                let VcState::Waiting { out } = buf.state else { unreachable!() };
+                buf.state = VcState::Active { out, out_vc: v as u8 };
+                buf.stage_cycle = now;
+                self.outputs[o].alloc[v] = Some((p as u8, vc as u8));
+                self.events.va_ops += 1;
+            }
+        }
+    }
+
+    /// A usable plane for `packet` on output `o` at `now`: the plane the
+    /// packet is already bound to (if idle), else any free unclaimed plane.
+    fn plane_for(&self, o: usize, packet: PacketId, now: Cycle) -> Option<usize> {
+        let planes = &self.outputs[o].planes;
+        if let Some(k) = planes.iter().position(|pl| pl.bound == Some(packet)) {
+            return (planes[k].busy_until <= now).then_some(k);
+        }
+        planes
+            .iter()
+            .position(|pl| !pl.circuit && pl.bound.is_none() && pl.busy_until <= now)
+    }
+
+    fn do_sa_st(&mut self, now: Cycle, out: &mut NodeOutputs) {
+        let vcs = self.cfg.vcs_per_port as usize;
+        // Phase 1: one candidate per input port.
+        let mut candidates: [Option<(usize, Port, u8)>; Port::COUNT] = [None; Port::COUNT];
+        for p in 0..Port::COUNT {
+            let mut chosen = None;
+            for off in 0..vcs {
+                let vc = (p + off) % vcs; // cheap rotation
+                let buf = &self.inputs[p][vc];
+                let VcState::Active { out: o, out_vc } = buf.state else { continue };
+                if buf.stage_cycle >= now {
+                    continue;
+                }
+                let Some(front) = buf.fifo.front() else { continue };
+                if o != Port::Local && self.outputs[o.index()].credits[out_vc as usize] == 0 {
+                    continue;
+                }
+                if self.plane_for(o.index(), front.packet, now).is_none() {
+                    continue;
+                }
+                chosen = Some((vc, o, out_vc));
+                break;
+            }
+            if chosen.is_some() {
+                self.events.sa_ops += 1;
+            }
+            candidates[p] = chosen;
+        }
+        // Phase 2: one grant per output port.
+        for o in Port::ALL {
+            let cands = &candidates;
+            let Some(p) = self.sa_arb_out[o.index()].grant_by(|p| {
+                matches!(cands[p], Some((_, op, _)) if op == o)
+            }) else {
+                continue;
+            };
+            let (vc, _, out_vc) = candidates[p].unwrap();
+            self.traverse(now, p, vc, o, out_vc, out);
+        }
+    }
+
+    fn traverse(
+        &mut self,
+        now: Cycle,
+        in_port: usize,
+        in_vc: usize,
+        out_port: Port,
+        out_vc: u8,
+        out: &mut NodeOutputs,
+    ) {
+        let buf = &mut self.inputs[in_port][in_vc];
+        let mut flit = buf.fifo.pop_front().expect("granted empty VC");
+        let is_tail = flit.kind.is_tail();
+        if is_tail {
+            buf.state = VcState::Idle;
+            buf.stage_cycle = now;
+            self.outputs[out_port.index()].alloc[out_vc as usize] = None;
+        }
+        self.events.buffer_reads += 1;
+        self.events.xbar_traversals += 1;
+
+        // Bind and occupy the plane: P cycles of phit serialisation.
+        let o = out_port.index();
+        let k = self
+            .plane_for(o, flit.packet, now)
+            .expect("SA checked plane availability");
+        let plane = &mut self.outputs[o].planes[k];
+        plane.busy_until = now + self.planes_n as Cycle;
+        plane.bound = if is_tail { None } else { Some(flit.packet) };
+
+        match Port::from_index(in_port).direction() {
+            Some(d) => out.credits.push((d, Credit { vc: in_vc as u8 })),
+            None => self.local_credits.push(in_vc as u8),
+        }
+
+        flit.vc = out_vc;
+        match out_port.direction() {
+            Some(d) => {
+                self.outputs[o].credits[out_vc as usize] -= 1;
+                flit.hops += 1;
+                self.events.link_flits += 1;
+                out.flits.push((d, flit));
+            }
+            None => {
+                match flit.class {
+                    MsgClass::Config => self.events.config_flits_delivered += 1,
+                    MsgClass::Data => self.events.ps_flits_delivered += 1,
+                }
+                self.ejected.push(flit);
+            }
+        }
+    }
+
+    pub fn accept_credit(&mut self, dir: noc_sim::Direction, credit: Credit) {
+        let out = &mut self.outputs[dir.as_port().index()];
+        debug_assert!(out.credits[credit.vc as usize] < self.cfg.buf_depth);
+        out.credits[credit.vc as usize] += 1;
+    }
+
+    /// A free circuit plane index at the local input (for new setups).
+    pub fn free_local_plane(&self, from: u8) -> Option<u8> {
+        let n = self.planes_n;
+        (0..n)
+            .map(|k| 1 + (from + k) % (n - 1).max(1))
+            .find(|&k| k < n && self.circuits[Port::Local.index()][k as usize].is_none())
+    }
+
+    pub fn occupancy(&self) -> usize {
+        self.inputs
+            .iter()
+            .flat_map(|p| p.iter())
+            .map(|vc| vc.fifo.len())
+            .sum::<usize>()
+            + self.cs_incoming.len()
+            + self.ejected.len()
+            + self.cs_ejected.len()
+            + self.protocol_out.iter().map(|p| p.len_flits as usize).sum::<usize>()
+    }
+
+    /// Powered buffer flit slots (no VC gating in the SDM baseline).
+    pub fn powered_buffer_slots(&self) -> u32 {
+        Port::COUNT as u32 * self.cfg.vcs_per_port as u32 * self.cfg.buf_depth as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_sim::{Coord, SetupInfo};
+
+    fn mesh() -> Mesh {
+        Mesh::square(4)
+    }
+
+    fn router(c: Coord) -> SdmRouter {
+        let m = mesh();
+        SdmRouter::new(m.id(c), m, RouterConfig::default(), 4)
+    }
+
+    fn setup(src: NodeId, dst: NodeId, plane: u16, pid: u64) -> Flit {
+        let info = SetupInfo { src, dst, slot: plane, duration: 4, path_id: pid };
+        let p = Packet::config(PacketId(900 + pid), src, dst, ConfigKind::Setup(info), 0);
+        Flit::of_packet(&p, 0, Switching::Packet)
+    }
+
+    #[test]
+    fn circuit_claims_plane_and_conflicts() {
+        let m = mesh();
+        let mut r = router(Coord::new(1, 1));
+        let src = m.id(Coord::new(0, 1));
+        let dst = m.id(Coord::new(3, 1));
+        r.accept_flit(0, Port::West, setup(src, dst, 1, 1));
+        assert!(r.circuit_at(Port::West, 1).is_some());
+        // Same plane from another input toward the same output: conflict.
+        let src2 = m.id(Coord::new(1, 0));
+        r.accept_flit(1, Port::North, setup(src2, dst, 1, 2));
+        assert_eq!(r.events.setup_failures, 1);
+        // A different plane works.
+        r.accept_flit(2, Port::North, setup(src2, dst, 2, 3));
+        assert!(r.circuit_at(Port::North, 2).is_some());
+    }
+
+    #[test]
+    fn plane_zero_is_never_circuit_switched() {
+        let m = mesh();
+        let mut r = router(Coord::new(1, 1));
+        let src = m.id(Coord::new(0, 1));
+        let dst = m.id(Coord::new(3, 1));
+        r.accept_flit(0, Port::West, setup(src, dst, 0, 1));
+        assert_eq!(r.events.setup_failures, 1);
+        assert!(r.circuit_at(Port::West, 0).is_none());
+    }
+
+    #[test]
+    fn ps_flits_of_one_packet_are_plane_serialised() {
+        // Two flits of the same packet must leave ≥ P cycles apart.
+        let m = mesh();
+        let mut r = router(Coord::new(1, 1));
+        let src = m.id(Coord::new(0, 1));
+        let dst = m.id(Coord::new(3, 1));
+        let pkt = Packet::data(PacketId(5), src, dst, 2, 0);
+        for s in 0..2 {
+            let mut f = Flit::of_packet(&pkt, s, Switching::Packet);
+            f.vc = 0;
+            r.accept_flit(0, Port::West, f);
+        }
+        let mut left = Vec::new();
+        let mut out = NodeOutputs::default();
+        for now in 0..20 {
+            out.clear();
+            r.step(now, &mut out);
+            for (_, f) in out.flits.drain(..) {
+                left.push((now, f.seq));
+            }
+        }
+        assert_eq!(left.len(), 2);
+        assert!(
+            left[1].0 - left[0].0 >= 4,
+            "flits left {} cycles apart (need ≥ P=4)",
+            left[1].0 - left[0].0
+        );
+    }
+
+    #[test]
+    fn distinct_packets_use_planes_in_parallel() {
+        // Two single-flit packets in different VCs can leave on consecutive
+        // cycles: different planes.
+        let m = mesh();
+        let mut r = router(Coord::new(1, 1));
+        let src = m.id(Coord::new(0, 1));
+        let dst = m.id(Coord::new(3, 1));
+        for (pid, vc) in [(10u64, 0u8), (11, 1)] {
+            let pkt = Packet::data(PacketId(pid), src, dst, 1, 0);
+            let mut f = Flit::of_packet(&pkt, 0, Switching::Packet);
+            f.vc = vc;
+            r.accept_flit(0, Port::West, f);
+        }
+        let mut times = Vec::new();
+        let mut out = NodeOutputs::default();
+        for now in 0..12 {
+            out.clear();
+            r.step(now, &mut out);
+            for (_, f) in out.flits.drain(..) {
+                times.push((now, f.packet));
+            }
+        }
+        assert_eq!(times.len(), 2);
+        assert!(times[1].0 - times[0].0 <= 2, "second packet blocked: {times:?}");
+    }
+
+    #[test]
+    fn cs_flit_bypasses_pipeline() {
+        let m = mesh();
+        let mut r = router(Coord::new(1, 1));
+        let src = m.id(Coord::new(0, 1));
+        let dst = m.id(Coord::new(3, 1));
+        r.accept_flit(0, Port::West, setup(src, dst, 2, 1));
+        let pkt = Packet::data(PacketId(20), src, dst, 4, 0);
+        let mut f = Flit::of_packet(&pkt, 0, Switching::Circuit);
+        f.vc = 2; // plane id
+        r.accept_flit(8, Port::West, f);
+        let mut out = NodeOutputs::default();
+        r.step(8, &mut out);
+        let cs: Vec<_> =
+            out.flits.iter().filter(|(_, f)| f.switching == Switching::Circuit).collect();
+        assert_eq!(cs.len(), 1, "CS flit must leave the same cycle");
+    }
+
+    #[test]
+    fn teardown_releases_plane() {
+        let m = mesh();
+        let mut r = router(Coord::new(1, 1));
+        let src = m.id(Coord::new(0, 1));
+        let dst = m.id(Coord::new(3, 1));
+        r.accept_flit(0, Port::West, setup(src, dst, 1, 1));
+        let info = SetupInfo { src, dst, slot: 1, duration: 4, path_id: 1 };
+        let p = Packet::config(PacketId(999), src, dst, ConfigKind::Teardown(info), 5);
+        r.accept_flit(5, Port::West, Flit::of_packet(&p, 0, Switching::Packet));
+        assert!(r.circuit_at(Port::West, 1).is_none());
+        // Plane reusable by another circuit.
+        r.accept_flit(6, Port::West, setup(src, dst, 1, 2));
+        assert!(r.circuit_at(Port::West, 1).is_some());
+    }
+
+    #[test]
+    fn free_local_plane_rotates_and_respects_claims() {
+        let m = mesh();
+        let mut r = router(Coord::new(1, 1));
+        assert!(r.free_local_plane(0).is_some());
+        let dst = m.id(Coord::new(3, 1));
+        // Claim all CS planes at the local port.
+        for (plane, pid) in [(1u16, 1u64), (2, 2), (3, 3)] {
+            r.accept_flit(0, Port::Local, setup(r.id, dst, plane, pid));
+        }
+        assert_eq!(r.free_local_plane(0), None);
+    }
+}

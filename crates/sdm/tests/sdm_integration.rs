@@ -1,0 +1,136 @@
+//! SDM baseline integration: plane exclusivity across a network, the
+//! serialisation penalty, and the plane-count ceiling under contention.
+
+use noc_sdm::{SdmConfig, SdmNode};
+use noc_sim::{Coord, Mesh, Network, NetworkConfig, NodeId, Packet, PacketId};
+
+fn cfg(k: u16) -> SdmConfig {
+    SdmConfig { net: NetworkConfig::with_mesh(Mesh::square(k)), ..Default::default() }
+}
+
+fn net(c: SdmConfig) -> Network<SdmNode> {
+    Network::new(c.net.mesh, move |id| SdmNode::new(id, &c))
+}
+
+fn data(id: u64, src: NodeId, dst: NodeId, now: u64) -> Packet {
+    Packet::data(PacketId(id), src, dst, 5, now)
+}
+
+#[test]
+fn sdm_packet_latency_exceeds_unpartitioned_baseline() {
+    // The serialisation penalty (§I: "packet serialisation delay"):
+    // the same isolated packet takes visibly longer on the SDM network
+    // than on the unpartitioned baseline.
+    let c = cfg(5);
+    let m = c.net.mesh;
+    let (src, dst) = (m.id(Coord::new(0, 2)), m.id(Coord::new(4, 2)));
+
+    let mut sdm = net(c);
+    sdm.begin_measurement();
+    sdm.inject(src, data(1, src, dst, 0));
+    assert!(sdm.drain(2_000));
+    sdm.end_measurement();
+    let sdm_lat = sdm.stats.avg_latency();
+
+    let base_cfg = c.net;
+    let mut base = Network::new(m, |id| noc_sim::PacketNode::new(id, &base_cfg, None));
+    base.begin_measurement();
+    base.inject(src, data(1, src, dst, 0));
+    assert!(base.drain(2_000));
+    base.end_measurement();
+    let base_lat = base.stats.avg_latency();
+
+    assert!(
+        sdm_lat > base_lat + 5.0,
+        "SDM {sdm_lat} vs baseline {base_lat}: serialisation penalty missing"
+    );
+}
+
+#[test]
+fn circuits_on_different_planes_coexist_on_one_link() {
+    // Two sources behind the same column send to two destinations through
+    // shared links; both earn circuits (different planes) and both stream.
+    let c = cfg(5);
+    let m = c.net.mesh;
+    let mut n = net(c);
+    let s1 = m.id(Coord::new(0, 2));
+    let s2 = m.id(Coord::new(0, 2)); // same source node, two destinations
+    let d1 = m.id(Coord::new(4, 2));
+    let d2 = m.id(Coord::new(3, 2));
+    let mut id = 0;
+    for _ in 0..40 {
+        let now = n.now();
+        n.inject(s1, data(id, s1, d1, now));
+        id += 1;
+        n.inject(s2, data(id, s2, d2, now));
+        id += 1;
+        n.run(25);
+    }
+    assert!(n.drain(8_000));
+    let node = &n.nodes[s1.index()];
+    assert!(node.registry.get(d1).is_some(), "first circuit missing");
+    assert!(node.registry.get(d2).is_some(), "second circuit missing");
+    let (p1, p2) = (
+        node.registry.get(d1).unwrap().slot,
+        node.registry.get(d2).unwrap().slot,
+    );
+    assert_ne!(p1, p2, "two circuits cannot share a plane on the same links");
+    let ev = n.total_events();
+    assert!(ev.cs_flits_delivered > 50, "circuits unused");
+}
+
+#[test]
+fn plane_exhaustion_fails_further_setups_until_capacity_frees() {
+    // With 4 planes (3 circuit-capable), a fourth same-source circuit
+    // cannot form.
+    let c = cfg(5);
+    let m = c.net.mesh;
+    let mut n = net(c);
+    let src = m.id(Coord::new(0, 2));
+    let dsts = [
+        m.id(Coord::new(4, 0)),
+        m.id(Coord::new(4, 1)),
+        m.id(Coord::new(4, 3)),
+        m.id(Coord::new(4, 4)),
+    ];
+    let mut id = 0;
+    for _ in 0..80 {
+        for &d in &dsts {
+            let now = n.now();
+            n.inject(src, data(id, src, d, now));
+            id += 1;
+        }
+        n.run(30);
+    }
+    assert!(n.drain(10_000));
+    let established = dsts.iter().filter(|d| n.nodes[src.index()].registry.get(**d).is_some()).count();
+    assert!(established <= 3, "{established} circuits exceed the plane ceiling");
+    assert!(n.total_events().setup_failures > 0, "the ceiling never bit");
+}
+
+#[test]
+fn sdm_network_is_deterministic() {
+    let run = || {
+        let c = cfg(4);
+        let m = c.net.mesh;
+        let mut n = net(c);
+        let mut id = 0;
+        for round in 0..60u32 {
+            for src in m.nodes() {
+                if (src.0 + round) % 4 == 0 {
+                    let dst = NodeId((src.0 * 5 + 3) % 16);
+                    if dst != src {
+                        let now = n.now();
+                        n.inject(src, data(id, src, dst, now));
+                        id += 1;
+                    }
+                }
+            }
+            n.run(10);
+        }
+        n.drain(20_000);
+        let ev = n.total_events();
+        (n.stats.packets_delivered, ev.cs_flits_delivered, ev.buffer_writes)
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,169 @@
+//! Round-robin arbiters used by the separable VC and switch allocators.
+
+/// A round-robin arbiter over `n` requesters with a rotating priority
+/// pointer, as in canonical VC router allocators.
+#[derive(Clone, Debug)]
+pub struct RoundRobin {
+    n: usize,
+    last: usize,
+}
+
+impl RoundRobin {
+    pub fn new(n: usize) -> Self {
+        RoundRobin { n, last: n.saturating_sub(1) }
+    }
+
+    /// Number of requesters this arbiter serves.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Grant one of the asserted requests (`reqs[i] == true`), starting the
+    /// search after the previously granted index. Returns the winner and
+    /// advances the priority pointer, or `None` if nothing is requested.
+    pub fn grant(&mut self, reqs: &[bool]) -> Option<usize> {
+        debug_assert_eq!(reqs.len(), self.n);
+        if self.n == 0 {
+            return None;
+        }
+        for off in 1..=self.n {
+            let i = (self.last + off) % self.n;
+            if reqs[i] {
+                self.last = i;
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// Like [`RoundRobin::grant`] but with requests given by predicate.
+    pub fn grant_by<F: FnMut(usize) -> bool>(&mut self, mut req: F) -> Option<usize> {
+        if self.n == 0 {
+            return None;
+        }
+        for off in 1..=self.n {
+            let i = (self.last + off) % self.n;
+            if req(i) {
+                self.last = i;
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// Resize the arbiter (used when VC counts change under power gating).
+    pub fn resize(&mut self, n: usize) {
+        self.n = n;
+        if n == 0 {
+            self.last = 0;
+        } else {
+            self.last %= n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fairness_under_full_load() {
+        let mut a = RoundRobin::new(4);
+        let reqs = [true; 4];
+        let mut grants = [0u32; 4];
+        for _ in 0..400 {
+            grants[a.grant(&reqs).unwrap()] += 1;
+        }
+        assert_eq!(grants, [100; 4]);
+    }
+
+    #[test]
+    fn skips_idle_requesters() {
+        let mut a = RoundRobin::new(3);
+        let reqs = [false, true, false];
+        for _ in 0..5 {
+            assert_eq!(a.grant(&reqs), Some(1));
+        }
+        assert_eq!(a.grant(&[false; 3]), None);
+    }
+
+    #[test]
+    fn rotates_after_grant() {
+        let mut a = RoundRobin::new(3);
+        // Starts searching at index 0.
+        assert_eq!(a.grant(&[true, true, true]), Some(0));
+        assert_eq!(a.grant(&[true, true, true]), Some(1));
+        assert_eq!(a.grant(&[true, false, true]), Some(2));
+        assert_eq!(a.grant(&[true, true, true]), Some(0));
+    }
+
+    #[test]
+    fn grant_by_predicate() {
+        let mut a = RoundRobin::new(5);
+        assert_eq!(a.grant_by(|i| i % 2 == 1), Some(1));
+        assert_eq!(a.grant_by(|i| i % 2 == 1), Some(3));
+        assert_eq!(a.grant_by(|i| i % 2 == 1), Some(1));
+    }
+
+    #[test]
+    fn zero_and_resize() {
+        let mut a = RoundRobin::new(0);
+        assert_eq!(a.grant(&[]), None);
+        a.resize(2);
+        assert!(a.grant(&[true, true]).is_some());
+        a.resize(1);
+        assert_eq!(a.grant(&[true]), Some(0));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// A grant always goes to a requesting index, and repeated grants
+        /// over a fixed request set visit every requester (no starvation).
+        #[test]
+        fn grants_are_valid_and_starvation_free(
+            n in 1usize..16,
+            reqs in prop::collection::vec(any::<bool>(), 1..16),
+        ) {
+            let n = n.min(reqs.len());
+            let reqs = &reqs[..n];
+            let mut arb = RoundRobin::new(n);
+            let requesters: Vec<usize> =
+                (0..n).filter(|&i| reqs[i]).collect();
+            let mut seen = std::collections::HashSet::new();
+            for _ in 0..2 * n {
+                match arb.grant(reqs) {
+                    Some(w) => {
+                        prop_assert!(reqs[w], "granted a non-requester");
+                        seen.insert(w);
+                    }
+                    None => prop_assert!(requesters.is_empty()),
+                }
+            }
+            // Everyone who asked got served within 2n rounds.
+            prop_assert_eq!(seen.len(), requesters.len());
+        }
+
+        /// Consecutive grants over a full request set never repeat an index
+        /// before all others have been served (strict rotation).
+        #[test]
+        fn full_load_is_strictly_rotating(n in 2usize..12) {
+            let reqs = vec![true; n];
+            let mut arb = RoundRobin::new(n);
+            let mut order = Vec::new();
+            for _ in 0..n {
+                order.push(arb.grant(&reqs).expect("always grants"));
+            }
+            let distinct: std::collections::HashSet<_> = order.iter().collect();
+            prop_assert_eq!(distinct.len(), n);
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! Packets, flits and the path-configuration message vocabulary.
+//!
+//! The paper's routers exchange three kinds of traffic:
+//!
+//! * **data packets** — 5-flit packet-switched packets (a 64 B cache line in
+//!   16 B flits plus a header flit) or 4-flit circuit-switched packets (the
+//!   header is not needed on a reserved path);
+//! * **configuration packets** — single-flit `setup` / `teardown` / `ack`
+//!   messages that manage circuit-switched paths and always travel through
+//!   the packet-switched network (§II-B);
+//! * **circuit-switched flits** — flits that follow a reserved path without
+//!   buffering or routing.
+
+use crate::geometry::NodeId;
+use crate::Cycle;
+
+/// Unique identifier of a packet within one simulation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PacketId(pub u64);
+
+impl std::fmt::Debug for PacketId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Message class, which selects the routing algorithm (Table I: minimal
+/// adaptive routing for configuration packets, X-Y for everything else).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MsgClass {
+    /// Ordinary data traffic.
+    Data,
+    /// Path-configuration traffic (`setup`/`teardown`/`ack`).
+    Config,
+}
+
+/// How a packet traverses the network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Switching {
+    /// Buffered/routed at every hop.
+    Packet,
+    /// Follows a reserved path (TDM slots or an SDM plane).
+    Circuit,
+}
+
+/// Identification of a circuit-switched path reservation.
+///
+/// Carried by `setup`, `teardown` and `ack` messages. `slot` is interpreted
+/// by the switching scheme: the initial time-slot for TDM, the plane index
+/// for SDM.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SetupInfo {
+    /// Source node requesting the path.
+    pub src: NodeId,
+    /// Destination node of the path.
+    pub dst: NodeId,
+    /// Initial time-slot (TDM) or plane id (SDM) at the *current* router.
+    pub slot: u16,
+    /// Number of consecutive slots reserved per period (§II-B: 4 data slots,
+    /// +1 header slot when vicinity-sharing is enabled).
+    pub duration: u8,
+    /// Unique id of this path attempt (lets `teardown` find exactly the
+    /// entries its `setup` created).
+    pub path_id: u64,
+}
+
+/// The three configuration message types of §II-B.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigKind {
+    /// Create a circuit-switched connection.
+    Setup(SetupInfo),
+    /// Destroy an existing (possibly partially constructed) connection.
+    Teardown(SetupInfo),
+    /// Setup success/failure notification travelling back to the source.
+    Ack { info: SetupInfo, success: bool },
+}
+
+impl ConfigKind {
+    pub fn info(&self) -> &SetupInfo {
+        match self {
+            ConfigKind::Setup(i) | ConfigKind::Teardown(i) => i,
+            ConfigKind::Ack { info, .. } => info,
+        }
+    }
+}
+
+/// A packet, as created by a traffic source and handed to a NIC.
+#[derive(Clone, Debug)]
+pub struct Packet {
+    pub id: PacketId,
+    pub src: NodeId,
+    pub dst: NodeId,
+    /// Number of flits (Table I: 1 configuration, 4 circuit-switched,
+    /// 5 packet-switched or vicinity-shared circuit-switched).
+    pub len_flits: u8,
+    pub class: MsgClass,
+    /// Cycle the packet was created at the source (queueing delay at the NIC
+    /// counts toward its latency, as in open-loop measurement).
+    pub created: Cycle,
+    /// Configuration payload, present iff `class == Config`.
+    pub config: Option<ConfigKind>,
+    /// Set when the packet's *measured* latency should be recorded (packets
+    /// created during warm-up or drain phases are excluded).
+    pub measured: bool,
+    /// Whether the source may circuit-switch this message. The paper's
+    /// heterogeneous policy packet-switches all CPU traffic and only
+    /// hybrid-switches GPU messages with sufficient warp slack (§V-A2).
+    pub cs_eligible: bool,
+}
+
+impl Packet {
+    /// A data packet of `len_flits` flits.
+    pub fn data(id: PacketId, src: NodeId, dst: NodeId, len_flits: u8, created: Cycle) -> Self {
+        Packet {
+            id,
+            src,
+            dst,
+            len_flits,
+            class: MsgClass::Data,
+            created,
+            config: None,
+            measured: true,
+            cs_eligible: true,
+        }
+    }
+
+    /// A single-flit configuration packet.
+    pub fn config(id: PacketId, src: NodeId, dst: NodeId, kind: ConfigKind, created: Cycle) -> Self {
+        Packet {
+            id,
+            src,
+            dst,
+            len_flits: 1,
+            class: MsgClass::Config,
+            created,
+            config: Some(kind),
+            measured: false,
+            cs_eligible: false,
+        }
+    }
+}
+
+/// Position of a flit within its packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlitKind {
+    Head,
+    Body,
+    Tail,
+    /// Single-flit packet.
+    HeadTail,
+}
+
+impl FlitKind {
+    pub fn is_head(self) -> bool {
+        matches!(self, FlitKind::Head | FlitKind::HeadTail)
+    }
+
+    pub fn is_tail(self) -> bool {
+        matches!(self, FlitKind::Tail | FlitKind::HeadTail)
+    }
+
+    /// Kind of flit `seq` in a packet of `len` flits.
+    pub fn for_seq(seq: u8, len: u8) -> FlitKind {
+        match (seq, len) {
+            (0, 1) => FlitKind::HeadTail,
+            (0, _) => FlitKind::Head,
+            (s, l) if s + 1 == l => FlitKind::Tail,
+            _ => FlitKind::Body,
+        }
+    }
+}
+
+/// A flow-control unit travelling on a link.
+#[derive(Clone, Debug)]
+pub struct Flit {
+    pub packet: PacketId,
+    pub kind: FlitKind,
+    pub seq: u8,
+    pub src: NodeId,
+    pub dst: NodeId,
+    pub class: MsgClass,
+    pub switching: Switching,
+    /// Virtual channel the flit currently occupies (packet-switched only;
+    /// circuit-switched flits are never buffered).
+    pub vc: u8,
+    /// Creation cycle of the parent packet (for latency accounting).
+    pub created: Cycle,
+    /// Whether the parent packet's latency is measured.
+    pub measured: bool,
+    /// Hops traversed so far.
+    pub hops: u8,
+    /// Configuration payload (head flit of configuration packets only).
+    pub config: Option<Box<ConfigKind>>,
+    /// Final destination after a vicinity-sharing hop-off. When a message
+    /// rides a circuit reserved to `dst` but is really bound for a neighbour
+    /// of `dst` (§III-A2), `dst` names the circuit endpoint and `true_dst`
+    /// the real destination the endpoint must forward to.
+    pub true_dst: Option<NodeId>,
+    /// Route decision pre-computed by configuration-message processing: when
+    /// a hybrid router reserves slots for a `setup` flit on arrival, the flit
+    /// must later leave through exactly the reserved output port. Consumed
+    /// (taken) by the route-computation stage.
+    pub forced_out: Option<crate::geometry::Port>,
+}
+
+impl Flit {
+    /// Build the `seq`-th flit of `packet`.
+    pub fn of_packet(packet: &Packet, seq: u8, switching: Switching) -> Flit {
+        debug_assert!(seq < packet.len_flits);
+        let kind = FlitKind::for_seq(seq, packet.len_flits);
+        Flit {
+            packet: packet.id,
+            kind,
+            seq,
+            src: packet.src,
+            dst: packet.dst,
+            class: packet.class,
+            switching,
+            vc: 0,
+            created: packet.created,
+            measured: packet.measured,
+            hops: 0,
+            config: if kind.is_head() {
+                packet.config.clone().map(Box::new)
+            } else {
+                None
+            },
+            true_dst: None,
+            forced_out: None,
+        }
+    }
+
+    /// The node this flit must be delivered to next: the vicinity hop-off
+    /// point if set, otherwise the packet destination.
+    pub fn route_dst(&self) -> NodeId {
+        self.dst
+    }
+}
+
+/// A credit returned upstream when a buffered flit leaves an input VC.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Credit {
+    pub vc: u8,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flit_kinds_for_lengths() {
+        assert_eq!(FlitKind::for_seq(0, 1), FlitKind::HeadTail);
+        assert_eq!(FlitKind::for_seq(0, 5), FlitKind::Head);
+        assert_eq!(FlitKind::for_seq(2, 5), FlitKind::Body);
+        assert_eq!(FlitKind::for_seq(4, 5), FlitKind::Tail);
+        assert!(FlitKind::HeadTail.is_head() && FlitKind::HeadTail.is_tail());
+    }
+
+    #[test]
+    fn packet_to_flits() {
+        let p = Packet::data(PacketId(7), NodeId(0), NodeId(5), 5, 100);
+        let flits: Vec<Flit> = (0..5).map(|s| Flit::of_packet(&p, s, Switching::Packet)).collect();
+        assert!(flits[0].kind.is_head());
+        assert!(flits[4].kind.is_tail());
+        assert!(flits.iter().all(|f| f.packet == PacketId(7) && f.created == 100));
+    }
+
+    #[test]
+    fn config_payload_on_head_only() {
+        let info = SetupInfo { src: NodeId(0), dst: NodeId(3), slot: 2, duration: 4, path_id: 1 };
+        let p = Packet::config(PacketId(1), NodeId(0), NodeId(3), ConfigKind::Setup(info), 0);
+        let f = Flit::of_packet(&p, 0, Switching::Packet);
+        assert!(f.config.is_some());
+        assert_eq!(f.config.as_deref().unwrap().info().slot, 2);
+        assert!(!f.measured);
+    }
+
+    #[test]
+    fn config_kind_info_access() {
+        let info = SetupInfo { src: NodeId(1), dst: NodeId(2), slot: 0, duration: 4, path_id: 9 };
+        for k in [
+            ConfigKind::Setup(info),
+            ConfigKind::Teardown(info),
+            ConfigKind::Ack { info, success: false },
+        ] {
+            assert_eq!(k.info().path_id, 9);
+        }
+    }
+}

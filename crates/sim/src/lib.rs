@@ -1,0 +1,50 @@
+//! # noc-sim — cycle-level 2D-mesh NoC simulation kernel
+//!
+//! This crate provides the substrate on which the paper's hybrid-switched
+//! networks are built:
+//!
+//! * [`geometry`] — mesh topology, node coordinates, ports and directions;
+//! * [`flit`] — packets, flits, message classes and the path-configuration
+//!   vocabulary (`setup`/`teardown`/`ack`) shared by the TDM and SDM routers;
+//! * [`router`] — a canonical virtual-channel wormhole router
+//!   ([`router::PacketRouter`]) with a 4-stage pipeline (BW/RC, VA, SA+ST, LT),
+//!   credit-based flow control, round-robin separable allocators, X-Y routing
+//!   for data and minimal-adaptive routing for configuration packets;
+//! * [`nic`] — network interfaces (injection queues, ejection/reassembly);
+//! * [`node`] — the [`node::NodeModel`] trait that lets alternative node
+//!   implementations (TDM hybrid, SDM hybrid) plug into the same harness;
+//! * [`network`] — the cycle-driven harness wiring nodes with 1-cycle links
+//!   and integrating leakage state;
+//! * [`stats`] — latency/throughput statistics and the energy event counters
+//!   consumed by the `noc-power` model.
+//!
+//! The kernel is deterministic: given the same injected packets the
+//! simulation produces identical results, which the property tests rely on.
+
+pub mod arbiter;
+pub mod config;
+pub mod flit;
+pub mod geometry;
+pub mod network;
+pub mod nic;
+pub mod node;
+pub mod router;
+pub mod routing;
+pub mod stats;
+pub mod trace;
+
+pub use config::{NetworkConfig, RouterConfig};
+pub use flit::{ConfigKind, Credit, Flit, FlitKind, MsgClass, Packet, PacketId, SetupInfo, Switching};
+pub use geometry::{Coord, Direction, Mesh, NodeId, Port};
+pub use network::Network;
+pub use nic::Nic;
+pub use node::{DeliveredPacket, NodeModel, NodeOutputs, PacketNode, PowerState};
+pub use router::{
+    GatingConfig, GatingMetric, HybridCtrl, InPort, NullCtrl, OutPort, PacketRouter, PsOutput, PsPipeline,
+    VcBuf, VcGatingController, VcState,
+};
+pub use stats::{EnergyEvents, LatencyHistogram, LeakageIntegrals, NetStats};
+pub use trace::{Trace, TraceEvent};
+
+/// Simulation time, in router clock cycles.
+pub type Cycle = u64;

@@ -1,0 +1,301 @@
+//! The cycle-driven network harness: wires node models together with
+//! 1-cycle links, delivers credits and advertisements, and integrates
+//! leakage state.
+//!
+//! Wire timing: a flit emitted during `step(T)` finished switch traversal in
+//! `T`, spends `T+1` on the link and is buffered at the neighbour at the
+//! start of `T+2`; credits and VC-count advertisements travel on dedicated
+//! wires and arrive at `T+1`. This gives circuit-switched flits the paper's
+//! two-cycle per-hop latency (§II-D: a flit forwarded at `T` reaches the
+//! downstream router at `T+2`).
+
+use std::collections::VecDeque;
+
+use crate::flit::{Credit, Flit, MsgClass, Packet};
+use crate::geometry::{Direction, Mesh, NodeId};
+use crate::node::{DeliveredPacket, NodeModel, NodeOutputs};
+use crate::stats::{EnergyEvents, NetStats};
+use crate::Cycle;
+
+enum FastSignal {
+    Credit(Direction, Credit),
+    VcCount(Direction, u8),
+}
+
+/// A mesh network of `N` tiles.
+pub struct Network<N: NodeModel> {
+    pub mesh: Mesh,
+    pub nodes: Vec<N>,
+    /// Per-node inbound flit wires, ordered by delivery cycle.
+    flit_wires: Vec<VecDeque<(Cycle, Direction, Flit)>>,
+    /// Per-node inbound credit/advertisement wires.
+    fast_wires: Vec<VecDeque<(Cycle, FastSignal)>>,
+    now: Cycle,
+    pub stats: NetStats,
+    /// When set, every measured delivered packet is also appended to
+    /// [`Network::delivered_log`] (per-class post-processing, e.g. separate
+    /// CPU/GPU latencies for Figure 8).
+    pub collect_delivered: bool,
+    pub delivered_log: Vec<DeliveredPacket>,
+    events_baseline: EnergyEvents,
+    scratch_out: NodeOutputs,
+    scratch_delivered: Vec<DeliveredPacket>,
+}
+
+impl<N: NodeModel> Network<N> {
+    /// Build a network, constructing each tile with `make_node`.
+    pub fn new(mesh: Mesh, mut make_node: impl FnMut(NodeId) -> N) -> Self {
+        let n = mesh.len();
+        Network {
+            mesh,
+            nodes: mesh.nodes().map(&mut make_node).collect(),
+            flit_wires: (0..n).map(|_| VecDeque::new()).collect(),
+            fast_wires: (0..n).map(|_| VecDeque::new()).collect(),
+            now: 0,
+            stats: NetStats::default(),
+            collect_delivered: false,
+            delivered_log: Vec::new(),
+            events_baseline: EnergyEvents::default(),
+            scratch_out: NodeOutputs::default(),
+            scratch_delivered: Vec::new(),
+        }
+    }
+
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Queue a packet at `node`'s NIC. Measured data packets count toward
+    /// the offered load.
+    pub fn inject(&mut self, node: NodeId, pkt: Packet) {
+        if pkt.measured && pkt.class == MsgClass::Data {
+            self.stats.packets_offered += 1;
+        }
+        self.nodes[node.index()].inject(self.now, pkt);
+    }
+
+    /// Advance the network one cycle.
+    pub fn step(&mut self) {
+        let now = self.now;
+
+        // 1. Deliver wires due this cycle.
+        for i in 0..self.nodes.len() {
+            while let Some(&(t, _, _)) = self.flit_wires[i].front() {
+                if t > now {
+                    break;
+                }
+                debug_assert_eq!(t, now, "missed a flit delivery");
+                let (_, dir, flit) = self.flit_wires[i].pop_front().expect("front checked");
+                self.nodes[i].accept_flit(now, dir, flit);
+            }
+            while let Some(&(t, _)) = self.fast_wires[i].front() {
+                if t > now {
+                    break;
+                }
+                let (_, sig) = self.fast_wires[i].pop_front().expect("front checked");
+                match sig {
+                    FastSignal::Credit(d, c) => self.nodes[i].accept_credit(now, d, c),
+                    FastSignal::VcCount(d, n) => self.nodes[i].accept_vc_count(now, d, n),
+                }
+            }
+        }
+
+        // 2. Step every node and route its outputs onto the wires.
+        for i in 0..self.nodes.len() {
+            let id = NodeId(i as u32);
+            self.scratch_out.clear();
+            self.nodes[i].step(now, &mut self.scratch_out);
+            for (dir, flit) in self.scratch_out.flits.drain(..) {
+                let nb = self
+                    .mesh
+                    .neighbor(id, dir)
+                    .unwrap_or_else(|| panic!("{id:?} emitted a flit off the {dir:?} edge"));
+                self.flit_wires[nb.index()].push_back((now + 2, dir.opposite(), flit));
+            }
+            for (dir, credit) in self.scratch_out.credits.drain(..) {
+                let nb = self
+                    .mesh
+                    .neighbor(id, dir)
+                    .unwrap_or_else(|| panic!("{id:?} emitted a credit off the {dir:?} edge"));
+                self.fast_wires[nb.index()]
+                    .push_back((now + 1, FastSignal::Credit(dir.opposite(), credit)));
+            }
+            for (dir, count) in self.scratch_out.vc_counts.drain(..) {
+                if let Some(nb) = self.mesh.neighbor(id, dir) {
+                    self.fast_wires[nb.index()]
+                        .push_back((now + 1, FastSignal::VcCount(dir.opposite(), count)));
+                }
+            }
+        }
+
+        // 3. Integrate leakage state and collect deliveries.
+        for node in &mut self.nodes {
+            let ps = node.power_state();
+            self.stats.leakage.buffer_slot_cycles += ps.buffer_slots as u64;
+            self.stats.leakage.slot_entry_cycles += ps.slot_entries as u64;
+            self.stats.leakage.dlt_entry_cycles += ps.dlt_entries as u64;
+        }
+        self.stats.leakage.router_cycles += self.nodes.len() as u64;
+        self.scratch_delivered.clear();
+        for node in &mut self.nodes {
+            node.drain_delivered(&mut self.scratch_delivered);
+        }
+        for d in &self.scratch_delivered {
+            self.stats.record_delivery(d);
+            if self.collect_delivered && d.measured && d.class == MsgClass::Data {
+                self.delivered_log.push(*d);
+            }
+        }
+
+        self.now += 1;
+    }
+
+    /// Run `cycles` steps.
+    pub fn run(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.step();
+        }
+    }
+
+    /// Start a measurement window: resets statistics and snapshots event
+    /// counters so [`Network::end_measurement`] reports window deltas.
+    pub fn begin_measurement(&mut self) {
+        self.stats.begin_measurement(self.now);
+        self.events_baseline = self.total_events();
+    }
+
+    /// Close the measurement window: fixes `measured_cycles` and stores the
+    /// event-counter delta in `stats.events`.
+    pub fn end_measurement(&mut self) {
+        self.stats.end_measurement(self.now);
+        self.stats.events = self.total_events().diff(&self.events_baseline);
+    }
+
+    /// Sum of all node event counters since construction.
+    pub fn total_events(&self) -> EnergyEvents {
+        let mut e = EnergyEvents::default();
+        for node in &self.nodes {
+            let ne = node.events();
+            e.merge(&ne);
+        }
+        e
+    }
+
+    /// True when no flit is buffered anywhere and no wire is in flight.
+    pub fn is_drained(&self) -> bool {
+        self.nodes.iter().all(|n| n.occupancy() == 0)
+            && self.flit_wires.iter().all(|w| w.is_empty())
+    }
+
+    /// Step until drained or `max_cycles` elapse; returns whether the
+    /// network drained.
+    pub fn drain(&mut self, max_cycles: u64) -> bool {
+        for _ in 0..max_cycles {
+            if self.is_drained() {
+                return true;
+            }
+            self.step();
+        }
+        self.is_drained()
+    }
+
+    /// Total packets queued at source NICs (saturation detection).
+    pub fn total_occupancy(&self) -> usize {
+        self.nodes.iter().map(|n| n.occupancy()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NetworkConfig;
+    use crate::flit::PacketId;
+    use crate::geometry::Coord;
+    use crate::node::PacketNode;
+
+    fn net(k: u16) -> Network<PacketNode> {
+        let cfg = NetworkConfig::with_mesh(Mesh::square(k));
+        Network::new(cfg.mesh, |id| PacketNode::new(id, &cfg, None))
+    }
+
+    #[test]
+    fn single_packet_crosses_network() {
+        let mut n = net(4);
+        let src = n.mesh.id(Coord::new(0, 0));
+        let dst = n.mesh.id(Coord::new(3, 3));
+        n.begin_measurement();
+        n.inject(src, Packet::data(PacketId(1), src, dst, 5, 0));
+        assert!(n.drain(500), "packet must be delivered");
+        n.end_measurement();
+        assert_eq!(n.stats.packets_delivered, 1);
+        assert_eq!(n.stats.flits_delivered, 5);
+        // 6 hops at 4 cycles each plus serialisation and interface costs:
+        // zero-load latency must be positive and modest.
+        let lat = n.stats.avg_latency();
+        assert!(lat > 24.0 && lat < 60.0, "unexpected zero-load latency {lat}");
+    }
+
+    #[test]
+    fn latency_includes_source_queueing() {
+        let mut fast = net(4);
+        let mut slow = net(4);
+        let src = fast.mesh.id(Coord::new(0, 0));
+        let dst = fast.mesh.id(Coord::new(3, 0));
+        fast.begin_measurement();
+        slow.begin_measurement();
+        // One packet alone vs. ten packets queued at once: the tenth waits.
+        fast.inject(src, Packet::data(PacketId(0), src, dst, 5, 0));
+        for i in 0..10 {
+            slow.inject(src, Packet::data(PacketId(i), src, dst, 5, 0));
+        }
+        assert!(fast.drain(1000) && slow.drain(1000));
+        fast.end_measurement();
+        slow.end_measurement();
+        assert!(slow.stats.avg_latency() > fast.stats.avg_latency() + 5.0);
+        assert_eq!(slow.stats.packets_delivered, 10);
+    }
+
+    #[test]
+    fn all_pairs_deliver() {
+        let mut n = net(3);
+        let mut pid = 0;
+        for src in n.mesh.nodes() {
+            for dst in n.mesh.nodes() {
+                if src != dst {
+                    n.inject(src, Packet::data(PacketId(pid), src, dst, 5, 0));
+                    pid += 1;
+                }
+            }
+        }
+        n.begin_measurement();
+        assert!(n.drain(20_000), "network failed to drain");
+        n.end_measurement();
+        assert_eq!(n.stats.packets_delivered, pid);
+    }
+
+    #[test]
+    fn leakage_integrates_every_cycle() {
+        let mut n = net(2);
+        n.begin_measurement();
+        n.run(10);
+        n.end_measurement();
+        assert_eq!(n.stats.leakage.router_cycles, 40);
+        // 4 routers × 5 ports × 4 VCs × 5 slots × 10 cycles
+        assert_eq!(n.stats.leakage.buffer_slot_cycles, 4 * 5 * 4 * 5 * 10);
+    }
+
+    #[test]
+    fn events_window_excludes_warmup() {
+        let mut n = net(3);
+        let src = n.mesh.id(Coord::new(0, 0));
+        let dst = n.mesh.id(Coord::new(2, 2));
+        n.inject(src, Packet::data(PacketId(0), src, dst, 5, 0));
+        n.drain(500);
+        let warm = n.total_events();
+        assert!(warm.buffer_writes > 0);
+        n.begin_measurement();
+        n.run(5);
+        n.end_measurement();
+        assert_eq!(n.stats.events.buffer_writes, 0, "warm-up events leaked into window");
+    }
+}

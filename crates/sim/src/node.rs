@@ -1,0 +1,178 @@
+//! The node abstraction: one tile = NIC + router, pluggable into the
+//! [`crate::network::Network`] harness.
+
+use crate::config::NetworkConfig;
+use crate::flit::{Credit, Flit, MsgClass, Packet, PacketId, Switching};
+use crate::geometry::{Direction, NodeId, Port};
+use crate::nic::Nic;
+use crate::router::{GatingConfig, PacketRouter, VcGatingController};
+use crate::stats::EnergyEvents;
+use crate::Cycle;
+
+/// Everything a node emits in one cycle, collected by the harness and
+/// delivered to neighbours with wire latency (flits: 2 cycles — switch then
+/// link; credits and VC-count advertisements: 1 cycle).
+#[derive(Debug, Default)]
+pub struct NodeOutputs {
+    pub flits: Vec<(Direction, Flit)>,
+    pub credits: Vec<(Direction, Credit)>,
+    /// Active-VC-count advertisements (VC power gating).
+    pub vc_counts: Vec<(Direction, u8)>,
+}
+
+impl NodeOutputs {
+    pub fn clear(&mut self) {
+        self.flits.clear();
+        self.credits.clear();
+        self.vc_counts.clear();
+    }
+}
+
+/// Per-cycle powered-component snapshot, integrated by the harness into
+/// leakage state (see `noc-power`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PowerState {
+    /// Powered-on input-buffer flit slots.
+    pub buffer_slots: u32,
+    /// Powered-on slot-table entries (hybrid routers).
+    pub slot_entries: u32,
+    /// Powered-on DLT entries (hitchhiker-sharing).
+    pub dlt_entries: u32,
+}
+
+/// Summary of a packet that completed delivery.
+#[derive(Clone, Copy, Debug)]
+pub struct DeliveredPacket {
+    pub id: PacketId,
+    pub src: NodeId,
+    pub dst: NodeId,
+    pub class: MsgClass,
+    /// How the packet actually traversed the network.
+    pub switching: Switching,
+    pub len_flits: u8,
+    pub created: Cycle,
+    pub delivered: Cycle,
+    pub measured: bool,
+}
+
+/// A tile model pluggable into the network harness. Implemented by
+/// [`PacketNode`] here, the TDM hybrid node in `tdm-noc`, and the SDM node
+/// in `noc-sdm`.
+pub trait NodeModel {
+    fn id(&self) -> NodeId;
+    /// Queue a packet at this node's NIC.
+    fn inject(&mut self, now: Cycle, pkt: Packet);
+    /// A flit arrives from the neighbour in `from` (i.e. on input port
+    /// `from.as_port()`).
+    fn accept_flit(&mut self, now: Cycle, from: Direction, flit: Flit);
+    fn accept_credit(&mut self, now: Cycle, from: Direction, credit: Credit);
+    fn accept_vc_count(&mut self, _now: Cycle, _from: Direction, _count: u8) {}
+    /// Advance one cycle.
+    fn step(&mut self, now: Cycle, out: &mut NodeOutputs);
+    /// Hand over packets that finished delivery.
+    fn drain_delivered(&mut self, sink: &mut Vec<DeliveredPacket>);
+    /// Cumulative event counters.
+    fn events(&self) -> EnergyEvents;
+    /// Flits currently owned by the node (drain detection).
+    fn occupancy(&self) -> usize;
+    /// Current powered components (leakage integration).
+    fn power_state(&self) -> PowerState;
+}
+
+/// The baseline tile: canonical packet-switched router + NIC, with optional
+/// VC power gating (the paper's packet+gating comparison point in §V-B4).
+pub struct PacketNode {
+    nic: Nic,
+    pub router: PacketRouter,
+    gating: Option<VcGatingController>,
+}
+
+impl PacketNode {
+    pub fn new(id: NodeId, cfg: &NetworkConfig, gating: Option<GatingConfig>) -> Self {
+        PacketNode {
+            nic: Nic::new(id, &cfg.router),
+            router: PacketRouter::new(id, cfg.mesh, cfg.router),
+            gating: gating.map(VcGatingController::new),
+        }
+    }
+
+    pub fn nic(&self) -> &Nic {
+        &self.nic
+    }
+}
+
+impl NodeModel for PacketNode {
+    fn id(&self) -> NodeId {
+        self.nic.id()
+    }
+
+    fn inject(&mut self, _now: Cycle, pkt: Packet) {
+        self.nic.enqueue(pkt);
+    }
+
+    fn accept_flit(&mut self, now: Cycle, from: Direction, flit: Flit) {
+        self.router.accept_flit(now, from.as_port(), flit);
+    }
+
+    fn accept_credit(&mut self, _now: Cycle, from: Direction, credit: Credit) {
+        self.router.accept_credit(from, credit);
+    }
+
+    fn accept_vc_count(&mut self, _now: Cycle, from: Direction, count: u8) {
+        self.router.pipeline.accept_vc_count(from, count);
+    }
+
+    fn step(&mut self, now: Cycle, out: &mut NodeOutputs) {
+        // Credits freed by the router's local port last cycle.
+        for vc in std::mem::take(&mut self.router.pipeline.local_credits) {
+            self.nic.credit(vc);
+        }
+        // Inject at most one flit per cycle into the local port.
+        if let Some(f) = self.nic.next_flit(now) {
+            self.router.accept_flit(now, Port::Local, f);
+        }
+        self.router.step(now, out);
+        for f in std::mem::take(&mut self.router.pipeline.ejected) {
+            self.nic.accept_ejected(now, f);
+        }
+        if let Some(g) = &mut self.gating {
+            if let Some(n) = g.on_cycle(now, &mut self.router.pipeline) {
+                self.nic.set_router_active_vcs(n);
+                for d in Direction::ALL {
+                    if self.router.pipeline.outputs[d.as_port().index()].exists {
+                        out.vc_counts.push((d, n));
+                    }
+                }
+            }
+        }
+    }
+
+    fn drain_delivered(&mut self, sink: &mut Vec<DeliveredPacket>) {
+        let start = sink.len();
+        self.nic.drain_delivered(sink);
+        if let Some(g) = &mut self.gating {
+            // Feed the latency-based gating metric (§V-B4).
+            for d in &sink[start..] {
+                if d.class == MsgClass::Data {
+                    g.record_latency(d.delivered.saturating_sub(d.created));
+                }
+            }
+        }
+    }
+
+    fn events(&self) -> EnergyEvents {
+        self.router.pipeline.events
+    }
+
+    fn occupancy(&self) -> usize {
+        self.router.pipeline.occupancy() + self.nic.occupancy()
+    }
+
+    fn power_state(&self) -> PowerState {
+        PowerState {
+            buffer_slots: self.router.pipeline.powered_buffer_slots(),
+            slot_entries: 0,
+            dlt_entries: 0,
+        }
+    }
+}

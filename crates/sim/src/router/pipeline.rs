@@ -1,0 +1,670 @@
+//! The packet-switched virtual-channel wormhole pipeline.
+//!
+//! Stage timing (head flits): a flit buffered at cycle `T` completes buffer
+//! write + route computation at `T`, VC allocation at `T+1`, switch
+//! allocation + switch traversal at `T+2`, and link traversal during `T+3`,
+//! arriving at the next router at `T+4` — the canonical 4-cycle router the
+//! paper extends. Circuit-switched flits (handled by the hybrid routers
+//! built on top of this pipeline) instead spend 1 cycle in the router and
+//! 1 on the link, arriving downstream at `T+2` (§II-D).
+
+use std::collections::VecDeque;
+
+use crate::arbiter::RoundRobin;
+use crate::config::RouterConfig;
+use crate::flit::{Credit, Flit, MsgClass};
+use crate::geometry::{Direction, Mesh, NodeId, Port};
+use crate::node::NodeOutputs;
+use crate::routing::{west_first_route, xy_route};
+use crate::stats::EnergyEvents;
+use crate::Cycle;
+
+use super::{HybridCtrl, PsOutput};
+
+/// State of one input virtual channel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VcState {
+    /// No packet assigned.
+    Idle,
+    /// Head flit routed; waiting for an output VC.
+    Waiting { out: Port },
+    /// Output VC allocated; flits stream through switch allocation.
+    Active { out: Port, out_vc: u8 },
+}
+
+/// One input virtual channel: a FIFO plus its pipeline state.
+#[derive(Clone, Debug)]
+pub struct VcBuf {
+    pub fifo: VecDeque<Flit>,
+    pub state: VcState,
+    /// Cycle the current state was entered (stage gating: a flit advances at
+    /// most one pipeline stage per cycle).
+    pub stage_cycle: Cycle,
+}
+
+impl VcBuf {
+    fn new(depth: u8) -> Self {
+        VcBuf {
+            fifo: VecDeque::with_capacity(depth as usize),
+            state: VcState::Idle,
+            stage_cycle: 0,
+        }
+    }
+
+    /// Busy for utilisation sampling: holds flits or mid-packet state.
+    pub fn is_busy(&self) -> bool {
+        !self.fifo.is_empty() || self.state != VcState::Idle
+    }
+}
+
+/// An input port: one VC FIFO per virtual channel.
+#[derive(Clone, Debug)]
+pub struct InPort {
+    pub vcs: Vec<VcBuf>,
+}
+
+/// Output-port state: allocation and credit tracking for the downstream
+/// router's input VCs, plus the downstream router's advertised active VC
+/// count (VC power gating, §III-B).
+#[derive(Clone, Debug)]
+pub struct OutPort {
+    /// Which (input port, input VC) currently owns each downstream VC.
+    pub alloc: Vec<Option<(u8, u8)>>,
+    /// Credits (free downstream buffer slots) per downstream VC.
+    pub credits: Vec<u8>,
+    /// Downstream active VC count; VA only grants VCs below this.
+    pub downstream_vcs: u8,
+    /// Whether this port is wired (false on mesh-edge directions).
+    pub exists: bool,
+}
+
+impl OutPort {
+    /// Congestion score used by adaptive routing: free credits plus a bonus
+    /// per unallocated VC.
+    pub fn score(&self) -> u32 {
+        let mut s = 0u32;
+        for v in 0..self.downstream_vcs as usize {
+            s += self.credits[v] as u32;
+            if self.alloc[v].is_none() {
+                s += 3;
+            }
+        }
+        s
+    }
+}
+
+/// The packet-switched pipeline shared by all router models.
+#[derive(Clone, Debug)]
+pub struct PsPipeline {
+    pub id: NodeId,
+    pub mesh: Mesh,
+    pub cfg: RouterConfig,
+    pub inputs: Vec<InPort>,
+    pub outputs: Vec<OutPort>,
+    /// Flits ejected through the local port this cycle; drained by the NIC.
+    pub ejected: Vec<Flit>,
+    /// Credits owed to the local NIC; drained by the node each cycle.
+    pub local_credits: Vec<u8>,
+    pub events: EnergyEvents,
+    /// Locally active VC count (VC power gating); VCs ≥ this receive no new
+    /// allocations but keep functioning until drained.
+    active_vcs: u8,
+    va_arb: Vec<RoundRobin>,
+    sa_arb_in: Vec<RoundRobin>,
+    sa_arb_out: Vec<RoundRobin>,
+    // Utilisation sampling for the VC gating controller.
+    busy_vc_samples: u64,
+    active_vc_samples: u64,
+}
+
+impl PsPipeline {
+    pub fn new(id: NodeId, mesh: Mesh, cfg: RouterConfig) -> Self {
+        let vcs = cfg.vcs_per_port as usize;
+        let inputs = (0..Port::COUNT)
+            .map(|_| InPort {
+                vcs: (0..vcs).map(|_| VcBuf::new(cfg.buf_depth)).collect(),
+            })
+            .collect();
+        let outputs = Port::ALL
+            .iter()
+            .map(|&p| OutPort {
+                alloc: vec![None; vcs],
+                credits: vec![cfg.buf_depth; vcs],
+                downstream_vcs: cfg.vcs_per_port,
+                exists: match p.direction() {
+                    None => true,
+                    Some(d) => mesh.neighbor(id, d).is_some(),
+                },
+            })
+            .collect();
+        PsPipeline {
+            id,
+            mesh,
+            cfg,
+            inputs,
+            outputs,
+            ejected: Vec::new(),
+            local_credits: Vec::new(),
+            events: EnergyEvents::default(),
+            active_vcs: cfg.vcs_per_port,
+            va_arb: (0..Port::COUNT).map(|_| RoundRobin::new(Port::COUNT * vcs)).collect(),
+            sa_arb_in: (0..Port::COUNT).map(|_| RoundRobin::new(vcs)).collect(),
+            sa_arb_out: (0..Port::COUNT).map(|_| RoundRobin::new(Port::COUNT)).collect(),
+            busy_vc_samples: 0,
+            active_vc_samples: 0,
+        }
+    }
+
+    /// Buffer an arriving packet-switched flit (the BW stage).
+    pub fn accept_flit(&mut self, now: Cycle, port: Port, flit: Flit) {
+        let buf = &mut self.inputs[port.index()].vcs[flit.vc as usize];
+        assert!(
+            buf.fifo.len() < self.cfg.buf_depth as usize,
+            "flow-control violation: VC overflow at {:?} port {:?} vc {}",
+            self.id,
+            port,
+            flit.vc
+        );
+        let _ = now;
+        buf.fifo.push_back(flit);
+        self.events.buffer_writes += 1;
+    }
+
+    /// Apply a returned credit from the downstream router in `dir`.
+    pub fn accept_credit(&mut self, dir: Direction, credit: Credit) {
+        let out = &mut self.outputs[dir.as_port().index()];
+        let c = &mut out.credits[credit.vc as usize];
+        debug_assert!(*c < self.cfg.buf_depth, "credit overflow");
+        *c += 1;
+    }
+
+    /// Apply a downstream active-VC-count advertisement.
+    pub fn accept_vc_count(&mut self, dir: Direction, count: u8) {
+        self.outputs[dir.as_port().index()].downstream_vcs =
+            count.min(self.cfg.vcs_per_port);
+    }
+
+    /// Congestion score of the output toward `dir` (adaptive routing).
+    pub fn out_score(&self, dir: Direction) -> u32 {
+        self.outputs[dir.as_port().index()].score()
+    }
+
+    pub fn active_vcs(&self) -> u8 {
+        self.active_vcs
+    }
+
+    /// Set the local active VC count (power gating). VCs above the count
+    /// stop receiving new allocations (the NIC and upstream routers are
+    /// notified by the node) but continue to operate until empty, so a
+    /// packet granted just before the transition is never stranded.
+    pub fn set_active_vcs(&mut self, count: u8) {
+        self.active_vcs = count.clamp(1, self.cfg.vcs_per_port);
+    }
+
+    /// Advance the pipeline one cycle. `ctrl` supplies the hybrid switching
+    /// constraints ([`super::NullCtrl`] for a pure packet router).
+    pub fn step<C: HybridCtrl>(&mut self, now: Cycle, ctrl: &C, out: &mut NodeOutputs) {
+        self.sample_utilization();
+        self.refresh_rc(now);
+        self.do_va(now);
+        self.do_sa_st(now, ctrl, out);
+    }
+
+    /// Route computation for VCs whose head flit reached the FIFO front.
+    fn refresh_rc(&mut self, now: Cycle) {
+        for p in 0..Port::COUNT {
+            for vc in 0..self.inputs[p].vcs.len() {
+                let buf = &self.inputs[p].vcs[vc];
+                if buf.state != VcState::Idle {
+                    continue;
+                }
+                let Some(front) = buf.fifo.front() else { continue };
+                if !front.kind.is_head() {
+                    // Stale body flits can only appear through a protocol
+                    // bug; the flow-control invariants make this unreachable.
+                    debug_assert!(false, "non-head flit at idle VC front");
+                    continue;
+                }
+                let out_port = self.route_head(front);
+                debug_assert!(
+                    self.outputs[out_port.index()].exists,
+                    "routed to a non-existent port"
+                );
+                let buf = &mut self.inputs[p].vcs[vc];
+                if let Some(forced) = buf.fifo.front_mut().unwrap().forced_out.take() {
+                    debug_assert_eq!(forced, out_port);
+                }
+                buf.state = VcState::Waiting { out: out_port };
+                buf.stage_cycle = now;
+            }
+        }
+    }
+
+    /// Compute the output port for a head flit: a forced route if present
+    /// (configuration processing at hybrid routers), odd-even adaptive for
+    /// configuration packets, X-Y otherwise.
+    fn route_head(&self, flit: &Flit) -> Port {
+        if let Some(p) = flit.forced_out {
+            return p;
+        }
+        if flit.class == MsgClass::Config && self.cfg.adaptive_config_routing {
+            let outs = &self.outputs;
+            west_first_route(&self.mesh, self.id, flit.dst, |d| {
+                outs[d.as_port().index()].score()
+            })
+        } else {
+            xy_route(&self.mesh, self.id, flit.dst)
+        }
+    }
+
+    /// VC allocation: for each output port, match free downstream VCs to
+    /// waiting input VCs with a round-robin arbiter.
+    fn do_va(&mut self, now: Cycle) {
+        let vcs = self.cfg.vcs_per_port as usize;
+        for o in 0..Port::COUNT {
+            if !self.outputs[o].exists {
+                continue;
+            }
+            // Collect requests: input VCs waiting for this output port.
+            debug_assert!(Port::COUNT * vcs <= 64, "too many VCs per port");
+            let mut reqs = [false; 64];
+            let mut any = false;
+            for p in 0..Port::COUNT {
+                for vc in 0..vcs {
+                    let buf = &self.inputs[p].vcs[vc];
+                    if let VcState::Waiting { out } = buf.state {
+                        if out.index() == o && buf.stage_cycle < now {
+                            reqs[p * vcs + vc] = true;
+                            any = true;
+                        }
+                    }
+                }
+            }
+            if !any {
+                continue;
+            }
+            let limit = self.outputs[o].downstream_vcs as usize;
+            for v in 0..limit {
+                if self.outputs[o].alloc[v].is_some() {
+                    continue;
+                }
+                let Some(w) = self.va_arb[o].grant(&reqs[..Port::COUNT * vcs]) else {
+                    break;
+                };
+                let (p, vc) = (w / vcs, w % vcs);
+                reqs[w] = false;
+                let buf = &mut self.inputs[p].vcs[vc];
+                let VcState::Waiting { out } = buf.state else { unreachable!() };
+                buf.state = VcState::Active { out, out_vc: v as u8 };
+                buf.stage_cycle = now;
+                self.outputs[o].alloc[v] = Some((p as u8, vc as u8));
+                self.events.va_ops += 1;
+            }
+        }
+    }
+
+    /// Switch allocation (input-first separable) + switch traversal.
+    fn do_sa_st<C: HybridCtrl>(&mut self, now: Cycle, ctrl: &C, out: &mut NodeOutputs) {
+        let mut avail = [PsOutput::Free; Port::COUNT];
+        for o in Port::ALL {
+            avail[o.index()] = ctrl.ps_output_state(now, o);
+        }
+
+        // Phase 1: each input port nominates one eligible VC.
+        let mut candidates: [Option<(u8, Port, u8)>; Port::COUNT] = [None; Port::COUNT];
+        for p in 0..Port::COUNT {
+            if ctrl.ps_input_blocked(now, Port::from_index(p)) {
+                continue;
+            }
+            let inputs = &self.inputs;
+            let outputs = &self.outputs;
+            let cand = self.sa_arb_in[p].grant_by(|vc| {
+                let buf = &inputs[p].vcs[vc];
+                let VcState::Active { out, out_vc } = buf.state else {
+                    return false;
+                };
+                if buf.stage_cycle >= now || buf.fifo.is_empty() {
+                    return false;
+                }
+                if avail[out.index()] == PsOutput::Busy {
+                    return false;
+                }
+                out == Port::Local || outputs[out.index()].credits[out_vc as usize] > 0
+            });
+            if let Some(vc) = cand {
+                let VcState::Active { out, out_vc } = self.inputs[p].vcs[vc].state else {
+                    unreachable!()
+                };
+                candidates[p] = Some((vc as u8, out, out_vc));
+                self.events.sa_ops += 1;
+            }
+        }
+
+        // Phase 2: each output port grants one input port; winner traverses.
+        for o in Port::ALL {
+            let cands = &candidates;
+            let Some(p) = self.sa_arb_out[o.index()].grant_by(|p| {
+                matches!(cands[p], Some((_, out, _)) if out == o)
+            }) else {
+                continue;
+            };
+            let (vc, _, out_vc) = candidates[p].unwrap();
+            self.traverse(now, Port::from_index(p), vc, o, out_vc, avail[o.index()], out);
+        }
+    }
+
+    /// Switch traversal of one granted flit.
+    fn traverse(
+        &mut self,
+        now: Cycle,
+        in_port: Port,
+        in_vc: u8,
+        out_port: Port,
+        out_vc: u8,
+        avail: PsOutput,
+        out: &mut NodeOutputs,
+    ) {
+        let buf = &mut self.inputs[in_port.index()].vcs[in_vc as usize];
+        let mut flit = buf.fifo.pop_front().expect("SA granted an empty VC");
+        let is_tail = flit.kind.is_tail();
+        if is_tail {
+            buf.state = VcState::Idle;
+            buf.stage_cycle = now;
+            self.outputs[out_port.index()].alloc[out_vc as usize] = None;
+        }
+        self.events.buffer_reads += 1;
+        self.events.xbar_traversals += 1;
+        if avail == PsOutput::ReservedIdle {
+            self.events.slots_stolen += 1;
+        }
+
+        // Return the freed buffer slot upstream.
+        match in_port.direction() {
+            Some(d) => out.credits.push((d, Credit { vc: in_vc })),
+            None => self.local_credits.push(in_vc),
+        }
+
+        flit.vc = out_vc;
+        match out_port.direction() {
+            Some(d) => {
+                self.outputs[out_port.index()].credits[out_vc as usize] -= 1;
+                flit.hops += 1;
+                self.events.link_flits += 1;
+                out.flits.push((d, flit));
+            }
+            None => {
+                // Ejection: count delivery by class/switching.
+                match flit.class {
+                    MsgClass::Config => self.events.config_flits_delivered += 1,
+                    MsgClass::Data => self.events.ps_flits_delivered += 1,
+                }
+                self.ejected.push(flit);
+            }
+        }
+    }
+
+    fn sample_utilization(&mut self) {
+        let mut busy = 0u64;
+        for p in &self.inputs {
+            for vc in &p.vcs {
+                if vc.is_busy() {
+                    busy += 1;
+                }
+            }
+        }
+        self.busy_vc_samples += busy;
+        self.active_vc_samples += self.active_vcs as u64 * Port::COUNT as u64;
+    }
+
+    /// VC utilisation µ since the last call (for the gating controller);
+    /// resets the sampling window.
+    pub fn take_utilization(&mut self) -> f64 {
+        let u = if self.active_vc_samples == 0 {
+            0.0
+        } else {
+            self.busy_vc_samples as f64 / self.active_vc_samples as f64
+        };
+        self.busy_vc_samples = 0;
+        self.active_vc_samples = 0;
+        u
+    }
+
+    /// Total flits currently buffered (drain detection).
+    pub fn occupancy(&self) -> usize {
+        self.inputs
+            .iter()
+            .flat_map(|p| p.vcs.iter())
+            .map(|vc| vc.fifo.len())
+            .sum::<usize>()
+            + self.ejected.len()
+    }
+
+    /// Powered-on buffer flit slots: a VC counts while it is below the
+    /// active count or still holds state (stragglers keep their buffers on
+    /// until drained — the gating model never strands a packet).
+    pub fn powered_buffer_slots(&self) -> u32 {
+        let mut slots = 0u32;
+        for p in &self.inputs {
+            for (v, vc) in p.vcs.iter().enumerate() {
+                if (v as u8) < self.active_vcs || vc.is_busy() {
+                    slots += self.cfg.buf_depth as u32;
+                }
+            }
+        }
+        slots
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::{FlitKind, Packet, PacketId, Switching};
+    use crate::geometry::Coord;
+    use crate::node::NodeOutputs;
+    use crate::router::NullCtrl;
+
+    fn mk(mesh: Mesh, node: NodeId) -> PsPipeline {
+        PsPipeline::new(node, mesh, RouterConfig::default())
+    }
+
+    fn head_flit(src: NodeId, dst: NodeId, vc: u8) -> Flit {
+        let p = Packet::data(PacketId(1), src, dst, 1, 0);
+        let mut f = Flit::of_packet(&p, 0, Switching::Packet);
+        f.vc = vc;
+        f
+    }
+
+    #[test]
+    fn single_flit_traverses_in_three_cycles() {
+        // Center node of a 3x3 mesh; flit from West heading East.
+        let m = Mesh::square(3);
+        let center = m.id(Coord::new(1, 1));
+        let dst = m.id(Coord::new(2, 1));
+        let mut r = mk(m, center);
+        let f = head_flit(m.id(Coord::new(0, 1)), dst, 0);
+        r.accept_flit(10, Port::West, f);
+
+        let mut out = NodeOutputs::default();
+        // Cycle 10: RC. Cycle 11: VA. Cycle 12: SA+ST → emitted.
+        for now in 10..12 {
+            r.step(now, &NullCtrl, &mut out);
+            assert!(out.flits.is_empty(), "left too early at {now}");
+        }
+        r.step(12, &NullCtrl, &mut out);
+        assert_eq!(out.flits.len(), 1);
+        let (dir, f) = &out.flits[0];
+        assert_eq!(*dir, Direction::East);
+        assert_eq!(f.hops, 1);
+        // Credit returned upstream (to the West neighbour).
+        assert!(out.credits.iter().any(|(d, c)| *d == Direction::West && c.vc == 0));
+        assert_eq!(r.events.buffer_writes, 1);
+        assert_eq!(r.events.buffer_reads, 1);
+        assert_eq!(r.events.xbar_traversals, 1);
+        assert_eq!(r.events.link_flits, 1);
+    }
+
+    #[test]
+    fn ejection_at_destination() {
+        let m = Mesh::square(3);
+        let center = m.id(Coord::new(1, 1));
+        let mut r = mk(m, center);
+        let f = head_flit(m.id(Coord::new(0, 1)), center, 2);
+        r.accept_flit(0, Port::West, f);
+        let mut out = NodeOutputs::default();
+        for now in 0..3 {
+            r.step(now, &NullCtrl, &mut out);
+        }
+        assert!(out.flits.is_empty());
+        assert_eq!(r.ejected.len(), 1);
+        assert_eq!(r.events.ps_flits_delivered, 1);
+    }
+
+    #[test]
+    fn busy_output_blocks_and_reserved_idle_counts_steal() {
+        struct FixedCtrl(PsOutput);
+        impl HybridCtrl for FixedCtrl {
+            fn ps_output_state(&self, _now: Cycle, o: Port) -> PsOutput {
+                if o == Port::East {
+                    self.0
+                } else {
+                    PsOutput::Free
+                }
+            }
+        }
+
+        let m = Mesh::square(3);
+        let center = m.id(Coord::new(1, 1));
+        let dst = m.id(Coord::new(2, 1));
+
+        // Busy: flit never leaves through East.
+        let mut r = mk(m, center);
+        r.accept_flit(0, Port::West, head_flit(m.id(Coord::new(0, 1)), dst, 0));
+        let mut out = NodeOutputs::default();
+        for now in 0..6 {
+            r.step(now, &FixedCtrl(PsOutput::Busy), &mut out);
+        }
+        assert!(out.flits.is_empty());
+        assert_eq!(r.occupancy(), 1);
+
+        // ReservedIdle: leaves, and the steal is counted.
+        let mut r = mk(m, center);
+        r.accept_flit(0, Port::West, head_flit(m.id(Coord::new(0, 1)), dst, 0));
+        let mut out = NodeOutputs::default();
+        for now in 0..3 {
+            r.step(now, &FixedCtrl(PsOutput::ReservedIdle), &mut out);
+        }
+        assert_eq!(out.flits.len(), 1);
+        assert_eq!(r.events.slots_stolen, 1);
+    }
+
+    #[test]
+    fn credits_limit_in_flight_flits() {
+        // With no credits returned, at most buf_depth flits cross per VC.
+        let m = Mesh::square(3);
+        let center = m.id(Coord::new(1, 1));
+        let dst = m.id(Coord::new(2, 1));
+        let mut r = mk(m, center);
+        let src = m.id(Coord::new(0, 1));
+        // One long packet: head + 8 body + tail = 10 flits on vc 0.
+        let p = Packet::data(PacketId(2), src, dst, 10, 0);
+        let mut out = NodeOutputs::default();
+        let mut sent = 0u8;
+        let mut crossed = 0;
+        for now in 0..40 {
+            // Feed respecting our own buffer depth.
+            while sent < 10 && r.inputs[Port::West.index()].vcs[0].fifo.len() < 5 {
+                let mut f = Flit::of_packet(&p, sent, Switching::Packet);
+                f.vc = 0;
+                r.accept_flit(now, Port::West, f);
+                sent += 1;
+            }
+            out.flits.clear();
+            out.credits.clear();
+            r.step(now, &NullCtrl, &mut out);
+            crossed += out.flits.len();
+        }
+        // Downstream returned no credits: only the initial 5 may cross.
+        assert_eq!(crossed, 5);
+
+        // Returning one credit releases exactly one more flit.
+        r.accept_credit(Direction::East, Credit { vc: 0 });
+        let mut extra = 0;
+        for now in 40..50 {
+            out.flits.clear();
+            r.step(now, &NullCtrl, &mut out);
+            extra += out.flits.len();
+        }
+        assert_eq!(extra, 1);
+    }
+
+    #[test]
+    fn tail_frees_vc_for_next_packet() {
+        let m = Mesh::square(3);
+        let center = m.id(Coord::new(1, 1));
+        let dst = m.id(Coord::new(2, 1));
+        let src = m.id(Coord::new(0, 1));
+        let mut r = mk(m, center);
+        // Two 2-flit packets back-to-back in the same VC.
+        for pid in 0..2u64 {
+            let p = Packet::data(PacketId(pid), src, dst, 2, 0);
+            for s in 0..2 {
+                let mut f = Flit::of_packet(&p, s, Switching::Packet);
+                f.vc = 1;
+                r.accept_flit(0, Port::West, f);
+            }
+        }
+        let mut out = NodeOutputs::default();
+        let mut got = Vec::new();
+        for now in 0..20 {
+            out.flits.clear();
+            r.step(now, &NullCtrl, &mut out);
+            for (_, f) in out.flits.drain(..) {
+                got.push((f.packet, f.kind));
+            }
+            // Replenish downstream credits so the stream never stalls.
+            while r.outputs[Port::East.index()].credits[0] < 5 {
+                r.accept_credit(Direction::East, Credit { vc: 0 });
+            }
+            for v in 1..4 {
+                while r.outputs[Port::East.index()].credits[v] < 5 {
+                    r.accept_credit(Direction::East, Credit { vc: v as u8 });
+                }
+            }
+        }
+        assert_eq!(got.len(), 4);
+        assert_eq!(got[0], (PacketId(0), FlitKind::Head));
+        assert_eq!(got[1], (PacketId(0), FlitKind::Tail));
+        assert_eq!(got[2], (PacketId(1), FlitKind::Head));
+        assert_eq!(got[3], (PacketId(1), FlitKind::Tail));
+    }
+
+    #[test]
+    fn gating_reduces_powered_slots_only_when_idle() {
+        let m = Mesh::square(3);
+        let center = m.id(Coord::new(1, 1));
+        let mut r = mk(m, center);
+        let full = r.powered_buffer_slots();
+        assert_eq!(full, 5 * 4 * 5); // 5 ports × 4 VCs × depth 5
+        r.set_active_vcs(2);
+        assert_eq!(r.powered_buffer_slots(), 5 * 2 * 5);
+        // A straggler in a gated VC keeps that VC powered.
+        let f = head_flit(m.id(Coord::new(0, 1)), center, 3);
+        r.accept_flit(0, Port::West, f);
+        assert_eq!(r.powered_buffer_slots(), 5 * 2 * 5 + 5);
+    }
+
+    #[test]
+    fn utilization_window_resets() {
+        let m = Mesh::square(3);
+        let center = m.id(Coord::new(1, 1));
+        let mut r = mk(m, center);
+        let mut out = NodeOutputs::default();
+        r.step(0, &NullCtrl, &mut out);
+        assert_eq!(r.take_utilization(), 0.0);
+        let dst = m.id(Coord::new(2, 1));
+        r.accept_flit(1, Port::West, head_flit(m.id(Coord::new(0, 1)), dst, 0));
+        r.step(1, &NullCtrl, &mut out);
+        let u = r.take_utilization();
+        assert!(u > 0.0 && u < 1.0);
+    }
+}

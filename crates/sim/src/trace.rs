@@ -1,0 +1,190 @@
+//! Flit-level event tracing.
+//!
+//! A bounded ring buffer of network events, cheap enough to leave compiled
+//! in (recording is a branch on an `enabled` flag) and precise enough to
+//! reconstruct a packet's journey or a circuit's lifecycle hop by hop —
+//! the instrumentation we wished for while hunting this repository's
+//! teardown-vs-data races. Drivers enable it around a window of interest
+//! and dump or query it afterwards.
+
+use std::collections::VecDeque;
+
+use crate::flit::PacketId;
+use crate::geometry::{NodeId, Port};
+use crate::Cycle;
+
+/// One traced event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// Flit buffered at a router input (packet-switched).
+    Buffered { at: NodeId, port: Port, packet: PacketId, seq: u8 },
+    /// Flit crossed a router's crossbar (either data path).
+    Traversed { at: NodeId, out: Port, packet: PacketId, seq: u8, circuit: bool },
+    /// Flit ejected at its destination.
+    Ejected { at: NodeId, packet: PacketId, seq: u8 },
+    /// Slot-table reservation made (setup succeeded at this router).
+    Reserved { at: NodeId, in_port: Port, slot: u16, duration: u8, path_id: u64 },
+    /// Slot-table reservation released (teardown).
+    Released { at: NodeId, in_port: Port, path_id: u64 },
+}
+
+impl TraceEvent {
+    /// The packet this event concerns, if any.
+    pub fn packet(&self) -> Option<PacketId> {
+        match self {
+            TraceEvent::Buffered { packet, .. }
+            | TraceEvent::Traversed { packet, .. }
+            | TraceEvent::Ejected { packet, .. } => Some(*packet),
+            _ => None,
+        }
+    }
+}
+
+/// A bounded trace buffer: oldest events are dropped when full.
+#[derive(Debug)]
+pub struct Trace {
+    events: VecDeque<(Cycle, TraceEvent)>,
+    capacity: usize,
+    enabled: bool,
+    dropped: u64,
+}
+
+impl Trace {
+    pub fn new(capacity: usize) -> Self {
+        Trace { events: VecDeque::with_capacity(capacity.min(4096)), capacity, enabled: false, dropped: 0 }
+    }
+
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    pub fn disable(&mut self) {
+        self.enabled = false;
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record an event (no-op while disabled).
+    #[inline]
+    pub fn record(&mut self, now: Cycle, event: TraceEvent) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back((now, event));
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events dropped because the buffer wrapped.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &(Cycle, TraceEvent)> {
+        self.events.iter()
+    }
+
+    /// The journey of one packet, in event order.
+    pub fn journey(&self, packet: PacketId) -> Vec<(Cycle, TraceEvent)> {
+        self.events
+            .iter()
+            .filter(|(_, e)| e.packet() == Some(packet))
+            .copied()
+            .collect()
+    }
+
+    /// Render the trace (or one packet's journey) as text.
+    pub fn dump(&self, packet: Option<PacketId>) -> String {
+        let mut s = String::new();
+        for (t, e) in self.events.iter() {
+            if let Some(p) = packet {
+                if e.packet() != Some(p) {
+                    continue;
+                }
+            }
+            s.push_str(&format!("[{t:>8}] {e:?}\n"));
+        }
+        s
+    }
+
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.dropped = 0;
+    }
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Trace::new(65_536)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(p: u64) -> TraceEvent {
+        TraceEvent::Ejected { at: NodeId(0), packet: PacketId(p), seq: 0 }
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut t = Trace::new(8);
+        t.record(1, ev(1));
+        assert!(t.is_empty());
+        t.enable();
+        t.record(2, ev(2));
+        assert_eq!(t.len(), 1);
+        t.disable();
+        t.record(3, ev(3));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn ring_drops_oldest() {
+        let mut t = Trace::new(3);
+        t.enable();
+        for i in 0..5 {
+            t.record(i, ev(i));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let first = t.iter().next().expect("non-empty");
+        assert_eq!(first.0, 2, "oldest remaining event");
+    }
+
+    #[test]
+    fn journey_filters_by_packet() {
+        let mut t = Trace::new(16);
+        t.enable();
+        t.record(1, TraceEvent::Buffered { at: NodeId(0), port: Port::Local, packet: PacketId(7), seq: 0 });
+        t.record(2, TraceEvent::Reserved { at: NodeId(1), in_port: Port::West, slot: 3, duration: 4, path_id: 9 });
+        t.record(3, TraceEvent::Traversed { at: NodeId(1), out: Port::East, packet: PacketId(7), seq: 0, circuit: false });
+        t.record(4, ev(8));
+        t.record(5, ev(7));
+        let j = t.journey(PacketId(7));
+        assert_eq!(j.len(), 3);
+        assert!(j.windows(2).all(|w| w[0].0 <= w[1].0), "journey is time-ordered");
+        let text = t.dump(Some(PacketId(7)));
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.contains("Traversed"));
+    }
+
+    #[test]
+    fn protocol_events_have_no_packet() {
+        let e = TraceEvent::Released { at: NodeId(2), in_port: Port::West, path_id: 5 };
+        assert_eq!(e.packet(), None);
+    }
+}

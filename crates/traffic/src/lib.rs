@@ -1,0 +1,14 @@
+//! # noc-traffic — synthetic traffic patterns and open-loop drivers
+//!
+//! Implements the synthetic-workload methodology of §IV: uniform-random,
+//! tornado and transpose patterns (after Dally & Towles / GOAL \[10\]),
+//! Bernoulli packet sources parameterised in flits/node/cycle, and an
+//! open-loop driver with warm-up, measurement and drain phases.
+
+pub mod driver;
+pub mod pattern;
+pub mod source;
+
+pub use driver::{OpenLoop, PhaseConfig, RunResult};
+pub use pattern::TrafficPattern;
+pub use source::{PacketFactory, SyntheticSource};

@@ -1,0 +1,75 @@
+//! Circuit-switched path sharing (§III-A) in action: a many-to-one traffic
+//! pattern where intermediate sources hitchhike on a through-circuit
+//! instead of reserving their own paths.
+//!
+//! Nodes 0..4 on the top row of a 6×6 mesh all send to node 5 at the end
+//! of the row: the circuit from node 0 passes through every other source,
+//! so once it is up and confirmed, they can ride it.
+//!
+//! Run with: `cargo run --release --example path_sharing_demo`
+
+use tdm_hybrid_noc::prelude::*;
+
+fn run(sharing: SharingConfig) -> (f64, u64, u64, u64) {
+    let mesh = Mesh::square(6);
+    let mut cfg = TdmConfig::vc4(NetworkConfig::with_mesh(mesh));
+    cfg.sharing = sharing;
+    cfg.slot_capacity = 32; // small tables: sharing matters most here
+    cfg.policy.setup_after_msgs = 3;
+    let mut net = TdmNetwork::new(cfg);
+
+    let dst = NodeId(5); // (5,0): every minimal route runs along the top row
+    net.begin_measurement();
+    let mut id = 0;
+
+    // Phase 1: node 0 alone earns a circuit to node 5; its path runs
+    // east along the top row, straight through the other sources.
+    for _ in 0..40 {
+        let pkt = Packet::data(PacketId(id), NodeId(0), dst, 5, net.now());
+        id += 1;
+        net.inject(NodeId(0), pkt);
+        net.run(30);
+    }
+
+    // Phase 2: the owner goes quiet and the intermediate nodes start
+    // sending to the same sink. The confirmed circuit sits in their DLTs
+    // and is mostly idle, so (with sharing on) they ride it rather than
+    // reserving their own paths. Had the owner kept the circuit busy, the
+    // riders' 2-bit failure counters would saturate and they would request
+    // dedicated paths instead (§III-A1) — try adding NodeId(0) back in.
+    let sources = [NodeId(1), NodeId(2), NodeId(3), NodeId(4)];
+    for _round in 0..100 {
+        for &s in &sources {
+            let pkt = Packet::data(PacketId(id), s, dst, 5, net.now());
+            id += 1;
+            net.inject(s, pkt);
+        }
+        net.run(60);
+    }
+    assert!(net.drain(10_000), "network must drain");
+    net.end_measurement();
+
+    let ev = net.net.total_events();
+    (
+        net.stats().avg_latency(),
+        net.stats().cs_packets_delivered,
+        ev.hitchhike_rides,
+        ev.setup_attempts,
+    )
+}
+
+fn main() {
+    println!("5 sources on one row → 1 sink, 32-entry slot tables\n");
+    println!("{:<22} {:>10} {:>10} {:>12} {:>8}", "sharing", "latency", "CS pkts", "hitchhikes", "setups");
+    for (label, sharing) in [
+        ("disabled", SharingConfig::DISABLED),
+        ("hitchhiker", SharingConfig::HITCHHIKER),
+        ("hitchhiker+vicinity", SharingConfig::FULL),
+    ] {
+        let (lat, cs, rides, setups) = run(sharing);
+        println!("{label:<22} {lat:>10.1} {cs:>10} {rides:>12} {setups:>8}");
+    }
+    println!("\nWith sharing enabled, intermediate sources ride the existing circuit");
+    println!("(hitchhikes > 0) instead of issuing their own setups, so the same");
+    println!("traffic is served with fewer reservations (§III-A).");
+}

@@ -1,0 +1,101 @@
+//! Protocol debugging with the flit-level trace: watch a circuit get
+//! reserved hop by hop, carry traffic, and get torn down.
+//!
+//! Run with: `cargo run --release --example trace_debugging`
+
+use tdm_hybrid_noc::prelude::*;
+use tdm_hybrid_noc::sim::{NodeModel, TraceEvent};
+
+fn main() {
+    let mesh = Mesh::square(4);
+    let mut cfg = TdmConfig::vc4(NetworkConfig::with_mesh(mesh));
+    cfg.slot_capacity = 16;
+    cfg.policy.setup_after_msgs = 3;
+    cfg.policy.idle_teardown = 300;
+    cfg.policy.max_connections = 1;
+    let mut net = TdmNetwork::new(cfg);
+    for node in &mut net.net.nodes {
+        node.router.trace.enable();
+    }
+
+    let src = NodeId(4); // (0,1)
+    let dst = NodeId(7); // (3,1)
+    let mut id = 0;
+
+    // Frequent traffic earns a circuit; a later burst to another
+    // destination evicts it.
+    for _ in 0..15 {
+        let pkt = Packet::data(PacketId(id), src, dst, 5, net.now());
+        id += 1;
+        net.inject(src, pkt);
+        net.run(25);
+    }
+    net.run(400); // idle past the eviction threshold
+    let dst2 = NodeId(12); // (0,3)
+    for _ in 0..15 {
+        let pkt = Packet::data(PacketId(id), src, dst2, 5, net.now());
+        id += 1;
+        net.inject(src, pkt);
+        net.run(25);
+    }
+    assert!(net.drain(5_000));
+
+    println!("Reservation / release events along the row (source → dest):\n");
+    for node in &net.net.nodes {
+        let events: Vec<String> = node
+            .router
+            .trace
+            .iter()
+            .filter_map(|(t, e)| match e {
+                TraceEvent::Reserved { in_port, slot, duration, path_id, .. } => Some(format!(
+                    "  [{t:>5}] RESERVE  in={in_port:?} slots {slot}..{} path {path_id:#x}",
+                    slot + *duration as u16
+                )),
+                TraceEvent::Released { in_port, path_id, .. } => {
+                    Some(format!("  [{t:>5}] RELEASE  in={in_port:?} path {path_id:#x}"))
+                }
+                _ => None,
+            })
+            .collect();
+        if !events.is_empty() {
+            println!("node {:?}:", node.id());
+            for e in &events {
+                println!("{e}");
+            }
+        }
+    }
+
+    // Follow one circuit-switched packet end to end.
+    let followed = net
+        .net
+        .nodes
+        .iter()
+        .flat_map(|n| n.router.trace.iter())
+        .find_map(|(_, e)| match e {
+            TraceEvent::Traversed { packet, circuit: true, .. } => Some(*packet),
+            _ => None,
+        });
+    if let Some(pid) = followed {
+        println!("\njourney of circuit-switched packet {pid:?} (head flit):");
+        let mut hops: Vec<(u64, String)> = net
+            .net
+            .nodes
+            .iter()
+            .flat_map(|n| {
+                n.router.trace.iter().filter_map(move |(t, e)| match e {
+                    TraceEvent::Traversed { at, out, packet, seq: 0, circuit: true }
+                        if *packet == pid =>
+                    {
+                        Some((*t, format!("  [{t:>5}] {at:?} → {out:?}")))
+                    }
+                    _ => None,
+                })
+            })
+            .collect();
+        hops.sort();
+        for (_, line) in &hops {
+            println!("{line}");
+        }
+        println!("(one traversal every 2 cycles: 1 in the router + 1 on the link — §II-D)");
+    }
+}

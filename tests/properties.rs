@@ -1,0 +1,196 @@
+//! Property-based tests over the core data structures and the full
+//! network: invariants that must hold for *any* input sequence.
+
+use proptest::prelude::*;
+use tdm_hybrid_noc::prelude::*;
+use tdm_hybrid_noc::sim::routing::{odd_even_directions, xy_route};
+use tdm_hybrid_noc::sim::Port;
+use tdm_hybrid_noc::tdm::SlotTables;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any sequence of reservations and releases keeps the slot tables
+    /// consistent: no slot double-booked at one port, no output port
+    /// promised to two inputs in the same slot, and released slots reusable.
+    #[test]
+    fn slot_tables_never_double_book(
+        ops in prop::collection::vec(
+            (0usize..5, 0u16..32, 1u8..6, 0usize..5, 0u64..8),
+            1..60
+        )
+    ) {
+        let mut t = SlotTables::new(32, 32, 1.0);
+        let mut live: Vec<(Port, u64)> = Vec::new();
+        for (in_p, slot, dur, out_p, path_seed) in ops {
+            let in_port = Port::ALL[in_p];
+            let out = Port::ALL[out_p];
+            let path_id = path_seed + 100;
+            if path_seed < 2 && !live.is_empty() {
+                // Occasionally release a live path.
+                let (p, id) = live.swap_remove(path_seed as usize % live.len());
+                t.release_path(p, id);
+                continue;
+            }
+            if t.try_reserve(in_port, slot, dur, out, path_id, NodeId(0)).is_ok() {
+                live.push((in_port, path_id));
+            }
+        }
+        // Invariant: in any slot, each output port appears at most once
+        // across all input ports.
+        for s in 0..32u64 {
+            let mut outs = std::collections::HashSet::new();
+            for p in Port::ALL {
+                if let Some(e) = t.lookup(p, s) {
+                    prop_assert!(outs.insert(e.out), "output {:?} double-promised in slot {s}", e.out);
+                }
+            }
+        }
+        // Releasing everything empties the tables.
+        for (p, id) in live {
+            t.release_path(p, id);
+        }
+        for s in 0..32u64 {
+            for p in Port::ALL {
+                prop_assert!(t.lookup(p, s).is_none());
+            }
+        }
+    }
+
+    /// X-Y and odd-even routes are minimal and reach the destination on
+    /// arbitrary rectangular meshes.
+    #[test]
+    fn routes_are_minimal_on_any_mesh(
+        kx in 2u16..9, ky in 2u16..9,
+        src_i in 0u32..64, dst_i in 0u32..64,
+    ) {
+        let mesh = Mesh::new(kx, ky);
+        let src = NodeId(src_i % mesh.len() as u32);
+        let dst = NodeId(dst_i % mesh.len() as u32);
+
+        // X-Y walk.
+        let mut cur = src;
+        let mut hops = 0;
+        while cur != dst {
+            let p = xy_route(&mesh, cur, dst);
+            let d = p.direction().expect("productive");
+            cur = mesh.neighbor(cur, d).expect("in-mesh");
+            hops += 1;
+            prop_assert!(hops <= mesh.hops(src, dst));
+        }
+        prop_assert_eq!(hops, mesh.hops(src, dst));
+
+        // Every odd-even choice is productive, and greedy walks terminate.
+        let mut cur = src;
+        let mut hops = 0;
+        while cur != dst {
+            let dirs = odd_even_directions(&mesh, src, cur, dst);
+            prop_assert!(!dirs.is_empty());
+            // Worst-case choice each step.
+            let d = *dirs.last().expect("non-empty");
+            let next = mesh.neighbor(cur, d).expect("in-mesh");
+            prop_assert_eq!(mesh.hops(next, dst) + 1, mesh.hops(cur, dst));
+            cur = next;
+            hops += 1;
+        }
+        prop_assert_eq!(hops, mesh.hops(src, dst));
+    }
+
+    /// The packet network delivers every offered packet exactly once and
+    /// keeps latency ≥ the zero-load bound, for arbitrary traffic.
+    #[test]
+    fn packet_network_conserves_packets(
+        seed in 0u64..1000,
+        rate_milli in 20u64..150,
+    ) {
+        let mesh = Mesh::square(4);
+        let net_cfg = NetworkConfig::with_mesh(mesh);
+        let mut net = Network::new(mesh, |id| PacketNode::new(id, &net_cfg, None));
+        let mut source = SyntheticSource::new(
+            mesh,
+            TrafficPattern::UniformRandom,
+            rate_milli as f64 / 1000.0,
+            5,
+            seed,
+        );
+        net.begin_measurement();
+        for _ in 0..600 {
+            let now = net.now();
+            let mut pkts = Vec::new();
+            source.tick(now, true, |n, p| pkts.push((n, p)));
+            for (n, p) in pkts {
+                net.inject(n, p);
+            }
+            net.step();
+        }
+        prop_assert!(net.drain(20_000), "network failed to drain");
+        net.end_measurement();
+        prop_assert_eq!(net.stats.packets_delivered, net.stats.packets_offered);
+        if net.stats.packets_delivered > 0 {
+            // A packet needs at least head pipeline latency + serialisation.
+            prop_assert!(net.stats.avg_latency() >= 8.0);
+        }
+    }
+
+    /// The TDM hybrid network conserves packets under arbitrary traffic and
+    /// never delivers a flit twice, circuits or not.
+    #[test]
+    fn tdm_network_conserves_packets(
+        seed in 0u64..500,
+        rate_milli in 20u64..120,
+    ) {
+        let mesh = Mesh::square(4);
+        let mut cfg = TdmConfig::vc4(NetworkConfig::with_mesh(mesh));
+        cfg.policy.setup_after_msgs = 2;
+        cfg.policy.freq_window = 1_024;
+        cfg.slot_capacity = 32;
+        let mut net = TdmNetwork::new(cfg);
+        let mut source = SyntheticSource::new(
+            mesh,
+            TrafficPattern::UniformRandom,
+            rate_milli as f64 / 1000.0,
+            5,
+            seed,
+        );
+        net.begin_measurement();
+        for _ in 0..800 {
+            let now = net.now();
+            let mut pkts = Vec::new();
+            source.tick(now, true, |n, p| pkts.push((n, p)));
+            for (n, p) in pkts {
+                net.inject(n, p);
+            }
+            net.step();
+        }
+        prop_assert!(net.drain(30_000), "TDM network failed to drain");
+        net.end_measurement();
+        prop_assert_eq!(net.stats().packets_delivered, net.stats().packets_offered);
+    }
+
+    /// Energy accounting: the breakdown is non-negative, additive, and
+    /// saving_vs is antisymmetric around zero for identical inputs.
+    #[test]
+    fn energy_breakdown_is_consistent(
+        writes in 0u64..1_000_000,
+        reads in 0u64..1_000_000,
+        xbar in 0u64..1_000_000,
+        cycles in 1u64..1_000_000,
+    ) {
+        let events = tdm_hybrid_noc::sim::EnergyEvents {
+            buffer_writes: writes,
+            buffer_reads: reads,
+            xbar_traversals: xbar,
+            ..Default::default()
+        };
+        let leakage = tdm_hybrid_noc::sim::LeakageIntegrals {
+            buffer_slot_cycles: cycles * 100,
+            router_cycles: cycles,
+            ..Default::default()
+        };
+        let b = EnergyModel::default().evaluate(&events, &leakage);
+        prop_assert!(b.dynamic_pj() >= 0.0);
+        prop_assert!(b.static_pj() > 0.0);
+        prop_assert!((b.total_pj() - (b.dynamic_pj() + b.static_pj())).abs() < 1e-6);
+        prop_assert!(b.saving_vs(&b).abs() < 1e-12);
+    }
+}
