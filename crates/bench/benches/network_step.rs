@@ -1,0 +1,88 @@
+//! Criterion benchmark for the whole-network cycle kernel
+//! (`Network::step`): the acceptance benchmark for the allocation-free
+//! ring-buffer kernel. 64-node (8×8) mesh, uniform-random traffic at
+//! 0.3 flits/node/cycle (0.06 packets/node/cycle × 5-flit packets), the
+//! paper's heavy-but-unsaturated operating point.
+//!
+//! Each iteration advances a pre-warmed steady-state network by `STEPS`
+//! cycles including source injection, so the reported time is per
+//! simulated cycle of the full kernel (inject + deliver + node step +
+//! route + leakage integration).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use noc_sim::{Mesh, Network, NetworkConfig, PacketNode};
+use noc_traffic::{SyntheticSource, TrafficPattern};
+use std::hint::black_box;
+use tdm_noc::{TdmConfig, TdmNetwork};
+
+const STEPS: u64 = 512;
+const WARMUP_CYCLES: u64 = 2_000;
+/// 0.3 flits/node/cycle at 5-flit packets.
+const PACKET_RATE: f64 = 0.06;
+
+fn drive_packet(net: &mut Network<PacketNode>, src: &mut SyntheticSource, cycles: u64) -> u64 {
+    let mut pkts = Vec::new();
+    for _ in 0..cycles {
+        let now = net.now();
+        src.tick(now, true, |n, p| pkts.push((n, p)));
+        for (n, p) in pkts.drain(..) {
+            net.inject(n, p);
+        }
+        net.step();
+    }
+    net.stats.packets_delivered
+}
+
+fn bench_network_step(c: &mut Criterion) {
+    let mesh = Mesh::square(8);
+    let mut g = c.benchmark_group("network_step");
+    g.throughput(Throughput::Elements(STEPS));
+    g.sample_size(20);
+
+    g.bench_function("packet_64n_0.3flits", |b| {
+        let cfg = NetworkConfig::with_mesh(mesh);
+        let mut net = Network::new(mesh, |id| PacketNode::new(id, &cfg, None));
+        let mut src = SyntheticSource::new(mesh, TrafficPattern::UniformRandom, PACKET_RATE, 5, 42);
+        drive_packet(&mut net, &mut src, WARMUP_CYCLES);
+        b.iter(|| black_box(drive_packet(&mut net, &mut src, STEPS)));
+    });
+
+    // Same workload with the node-stepping phase fanned over a worker
+    // pool. Results are bit-identical to the serial path (see the
+    // determinism property test); the wall-clock benefit depends on host
+    // core count.
+    g.bench_function("packet_64n_0.3flits_parallel2", |b| {
+        let cfg = NetworkConfig::with_mesh(mesh);
+        let mut net = Network::new(mesh, |id| PacketNode::new(id, &cfg, None));
+        net.set_step_threads(2);
+        let mut src = SyntheticSource::new(mesh, TrafficPattern::UniformRandom, PACKET_RATE, 5, 42);
+        drive_packet(&mut net, &mut src, WARMUP_CYCLES);
+        b.iter(|| black_box(drive_packet(&mut net, &mut src, STEPS)));
+    });
+
+    g.bench_function("tdm_hybrid_64n_0.3flits", |b| {
+        let mut cfg = TdmConfig::vc4(NetworkConfig::with_mesh(mesh));
+        cfg.policy.setup_after_msgs = 3;
+        let mut net = TdmNetwork::new(cfg);
+        let mut src = SyntheticSource::new(mesh, TrafficPattern::UniformRandom, PACKET_RATE, 5, 42);
+        let mut pkts = Vec::new();
+        let mut drive = move |net: &mut TdmNetwork, cycles: u64| {
+            for _ in 0..cycles {
+                let now = net.now();
+                src.tick(now, true, |n, p| pkts.push((n, p)));
+                for (n, p) in pkts.drain(..) {
+                    net.inject(n, p);
+                }
+                net.step();
+            }
+            net.stats().packets_delivered
+        };
+        drive(&mut net, WARMUP_CYCLES);
+        b.iter(|| black_box(drive(&mut net, STEPS)));
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_network_step);
+criterion_main!(benches);

@@ -64,7 +64,7 @@ fn bench_tdm_router_step(c: &mut Criterion) {
         let dst = mesh.id(Coord::new(5, 3));
         b.iter(|| {
             // A circuit-switched flit in its slot, PS flits otherwise.
-            if now % 128 == 0 {
+            if now.is_multiple_of(128) {
                 let pkt = Packet::data(PacketId(pid), src, dst, 1, now);
                 pid += 1;
                 let f = Flit::of_packet(&pkt, 0, Switching::Circuit);

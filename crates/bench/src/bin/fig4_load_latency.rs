@@ -55,7 +55,7 @@ fn main() {
 
         // Load–latency curves (clipped at 200 cycles, like the figure).
         let glyphs = ['p', 's', 't', 'g'];
-        let curves: Vec<(&str, char, Vec<(f64, f64)>)> = SynthKind::ALL
+        let curves: Vec<noc_bench::Series> = SynthKind::ALL
             .iter()
             .zip(glyphs)
             .map(|(&kind, g)| {

@@ -24,8 +24,7 @@ fn main() {
             let gpu = &GPU_BENCHES[gi];
             let mut base_sum = EnergyBreakdown::default();
             let mut hyb_sum = EnergyBreakdown::default();
-            for ci in 0..cpu_count {
-                let cpu = &CPU_BENCHES[ci];
+            for (ci, cpu) in CPU_BENCHES.iter().enumerate().take(cpu_count) {
                 let seed = (gi * 8 + ci) as u64 + 77;
                 let b = run_mix(cpu, gpu, NetKind::PacketVc4, phases, seed).breakdown;
                 let h = run_mix(cpu, gpu, NetKind::HybridTdmHopVct, phases, seed).breakdown;

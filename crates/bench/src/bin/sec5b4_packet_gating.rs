@@ -23,8 +23,7 @@ fn main() {
         .map(|gi| {
             let gpu = &GPU_BENCHES[gi];
             let (mut tot, mut dynr, mut statr) = (0.0, 0.0, 0.0);
-            for ci in 0..cpu_count {
-                let cpu = &CPU_BENCHES[ci];
+            for (ci, cpu) in CPU_BENCHES.iter().enumerate().take(cpu_count) {
                 let seed = (gi * 8 + ci) as u64 + 55;
                 let gated = run_mix(cpu, gpu, NetKind::PacketVct, phases, seed);
                 let hybrid = run_mix(cpu, gpu, NetKind::HybridTdmHopVct, phases, seed);

@@ -110,12 +110,14 @@ pub fn run_synthetic(
     phases: PhaseConfig,
     seed: u64,
 ) -> SynthPoint {
-    let net_cfg = NetworkConfig::with_mesh(mesh);
+    let mut net_cfg = NetworkConfig::with_mesh(mesh);
+    net_cfg.step_threads = step_threads_from_env();
     let source = SyntheticSource::new(mesh, pattern.clone(), rate, net_cfg.ps_packet_flits, seed);
     let mut driver = OpenLoop::new(source, phases);
     let result = match kind {
         SynthKind::PacketVc4 => {
             let mut net = Network::new(mesh, |id| PacketNode::new(id, &net_cfg, None));
+            net.set_step_threads(net_cfg.step_threads);
             driver.run(&mut net)
         }
         SynthKind::HybridSdmVc4 => {
@@ -126,6 +128,7 @@ pub fn run_synthetic(
                 ..Default::default()
             };
             let mut net = Network::new(mesh, move |id| SdmNode::new(id, &sdm_cfg));
+            net.set_step_threads(net_cfg.step_threads);
             driver.run(&mut net)
         }
         SynthKind::HybridTdmVc4 | SynthKind::HybridTdmVct => {
@@ -230,6 +233,13 @@ pub fn find_saturation(
     lo
 }
 
+/// Host-side override for [`NetworkConfig::step_threads`]: the
+/// `NOC_STEP_THREADS` environment variable (0 or unset = serial). Safe to
+/// set for any experiment — stepping mode never changes simulated results.
+pub fn step_threads_from_env() -> usize {
+    std::env::var("NOC_STEP_THREADS").ok().and_then(|s| s.parse().ok()).unwrap_or(0)
+}
+
 /// `--quick` flag for every experiment binary.
 pub fn quick_flag() -> bool {
     std::env::args().any(|a| a == "--quick" || a == "-q")
@@ -248,12 +258,15 @@ pub fn write_json<T: serde::Serialize>(path: &str, value: &T) -> std::io::Result
     std::fs::write(path, json)
 }
 
+/// One chart series: label, plot glyph, and (x, y) points.
+pub type Series<'a> = (&'a str, char, Vec<(f64, f64)>);
+
 /// Render an ASCII line chart of several (x, y) series — the textual
 /// counterpart of the paper's load–latency figures. Y is clipped to
 /// `y_max`; each series draws with its own glyph.
 pub fn ascii_chart(
     title: &str,
-    series: &[(&str, char, Vec<(f64, f64)>)],
+    series: &[Series],
     y_max: f64,
     width: usize,
     height: usize,

@@ -229,6 +229,9 @@ mod tests {
     }
 
     #[test]
+    // The FULL-sharing check below is deliberately on a constant: it pins
+    // the documented shape of the preset.
+    #[allow(clippy::assertions_on_constants)]
     fn named_configs() {
         let net = NetworkConfig::default();
         assert!(TdmConfig::vc4(net).gating.is_none());

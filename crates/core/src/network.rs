@@ -43,8 +43,10 @@ impl TdmNetwork {
             window_start: 0,
             failures_at_start: 0,
         });
+        let mut net = Network::new(cfg.net.mesh, |id| TdmNode::new(id, &cfg));
+        net.set_step_threads(cfg.net.step_threads);
         TdmNetwork {
-            net: Network::new(cfg.net.mesh, |id| TdmNode::new(id, &cfg)),
+            net,
             cfg,
             phase,
             resizes: 0,
@@ -179,16 +181,20 @@ impl TdmNetwork {
 }
 
 #[cfg(test)]
+// Traffic loops here advance a packet id alongside other per-iteration
+// work; an explicit counter reads better than iterator gymnastics.
+#[allow(clippy::explicit_counter_loop)]
 mod tests {
     use super::*;
     use crate::config::ResizeConfig;
     use noc_sim::{Coord, Mesh, NetworkConfig, PacketId};
 
     fn small_cfg() -> TdmConfig {
-        let mut cfg = TdmConfig::default();
-        cfg.net = NetworkConfig::with_mesh(Mesh::square(4));
-        cfg.slot_capacity = 32;
-        cfg
+        TdmConfig {
+            net: NetworkConfig::with_mesh(Mesh::square(4)),
+            slot_capacity: 32,
+            ..TdmConfig::default()
+        }
     }
 
     fn data(net: &TdmNetwork, id: u64, src: NodeId, dst: NodeId) -> Packet {
@@ -236,7 +242,7 @@ mod tests {
         );
         let ev = net.net.total_events();
         assert!(ev.setup_attempts >= 1);
-        assert_eq!(ev.cs_flit_fraction() > 0.2, true);
+        assert!(ev.cs_flit_fraction() > 0.2);
     }
 
     #[test]

@@ -401,7 +401,7 @@ impl TdmNode {
         let pending = self.registry.fail(info.path_id);
         self.send_teardown_for(now, info);
         let Some(p) = pending else { return };
-        if p.attempts + 1 <= self.cfg.policy.setup_retries && !self.cs_frozen {
+        if p.attempts < self.cfg.policy.setup_retries && !self.cs_frozen {
             let scan = p.slot.wrapping_add(p.duration as u16 + 1);
             self.issue_setup(now, p.dst, p.attempts + 1, scan);
         } else {
@@ -664,12 +664,12 @@ impl NodeModel for TdmNode {
 
     fn step(&mut self, now: Cycle, out: &mut NodeOutputs) {
         // Local-port credits freed last cycle.
-        for vc in std::mem::take(&mut self.router.pipeline.local_credits) {
+        for vc in self.router.pipeline.local_credits.drain(..) {
             self.nic.credit(vc);
         }
 
         // DLT maintenance from configuration messages seen by the router.
-        for obs in std::mem::take(&mut self.router.dlt_observations) {
+        for obs in self.router.dlt_observations.drain(..) {
             if !self.cfg.sharing.hitchhiker {
                 continue;
             }
@@ -690,7 +690,10 @@ impl NodeModel for TdmNode {
         }
 
         // Acks generated by our own router (first-hop setup failures).
-        for pkt in std::mem::take(&mut self.router.protocol_out) {
+        // Taken and handed back drained: `handle_ack` needs `&mut self`
+        // but never pushes into this queue — only the router's step does.
+        let mut protocol = std::mem::take(&mut self.router.protocol_out);
+        for pkt in protocol.drain(..) {
             if pkt.dst == self.id {
                 if let Some(ConfigKind::Ack { info, success }) = pkt.config {
                     self.handle_ack(now, info, success);
@@ -699,10 +702,11 @@ impl NodeModel for TdmNode {
                 self.nic.enqueue_front(pkt);
             }
         }
+        self.router.protocol_out = protocol;
 
         // Circuit-switched ejections: vicinity hop-offs re-enter the
         // packet-switched network for their final hop (§III-A2).
-        for flit in std::mem::take(&mut self.router.cs_ejected) {
+        for flit in self.router.cs_ejected.drain(..) {
             match flit.true_dst {
                 Some(td) if td != self.id => {
                     if flit.kind.is_tail() {
@@ -733,18 +737,17 @@ impl NodeModel for TdmNode {
         self.router.step(now, out);
 
         // Packet-switched ejections: data to the NIC, acks to the policy.
-        for flit in std::mem::take(&mut self.router.pipeline.ejected) {
+        let mut ejected = std::mem::take(&mut self.router.pipeline.ejected);
+        for flit in ejected.drain(..) {
             if flit.class == MsgClass::Config {
-                if let Some(cfg) = flit.config.as_deref() {
-                    if let ConfigKind::Ack { info, success } = cfg {
-                        self.handle_ack(now, *info, *success);
-                        continue;
-                    }
+                if let Some(ConfigKind::Ack { info, success }) = flit.config.as_deref() {
+                    self.handle_ack(now, *info, *success);
                 }
                 continue;
             }
             self.nic.accept_ejected(now, flit);
         }
+        self.router.pipeline.ejected = ejected;
 
         // Aggressive VC power gating (§III-B).
         if let Some(g) = &mut self.gating {
@@ -806,6 +809,9 @@ impl NodeModel for TdmNode {
 }
 
 #[cfg(test)]
+// Traffic loops here advance a packet id alongside other per-iteration
+// work; an explicit counter reads better than iterator gymnastics.
+#[allow(clippy::explicit_counter_loop)]
 mod tests {
     use super::*;
     use crate::config::{SharingConfig, WaitBudget};
@@ -813,9 +819,11 @@ mod tests {
     use noc_sim::{Coord, Mesh, NetworkConfig};
 
     fn cfg4() -> TdmConfig {
-        let mut cfg = TdmConfig::default();
-        cfg.net = NetworkConfig::with_mesh(Mesh::square(4));
-        cfg.slot_capacity = 32;
+        let mut cfg = TdmConfig {
+            net: NetworkConfig::with_mesh(Mesh::square(4)),
+            slot_capacity: 32,
+            ..TdmConfig::default()
+        };
         cfg.policy.setup_after_msgs = 3;
         cfg
     }

@@ -122,7 +122,7 @@ impl TdmRouter {
     pub fn accept_flit(&mut self, now: Cycle, port: Port, flit: Flit) {
         self.pipeline.events.slot_lookups += 1;
         if flit.switching == Switching::Circuit {
-            let entry = self
+            let entry = *self
                 .slots
                 .lookup(port, now)
                 .unwrap_or_else(|| {
@@ -139,8 +139,7 @@ impl TdmRouter {
                         self.slots.slot_of(now),
                         now,
                     )
-                })
-                .clone();
+                });
             debug_assert!(self.cs_latch[port.index()].is_none(), "two CS flits in one cycle");
             self.pipeline.events.cs_latch_writes += 1;
             if flit.kind.is_head() && entry.out != Port::Local {
@@ -272,7 +271,7 @@ impl TdmRouter {
                             // circuit pipeline is two-stage (§II-B).
                             let mut fwd = info;
                             fwd.slot = (info.slot + 2) % self.slots.active();
-                            flit.config = Some(Box::new(ConfigKind::Setup(fwd)));
+                            flit.config = Some(std::sync::Arc::new(ConfigKind::Setup(fwd)));
                             flit.forced_out = Some(out);
                             self.pipeline.accept_flit(now, in_port, flit);
                         }

@@ -374,10 +374,8 @@ mod proptests {
             // Cap 1.0: this property tests the geometric contract; the
             // reservation cap is the caller's concern.
             let mut t = SlotTables::new(32, 32, 1.0);
-            let mut pid = 1u64;
-            for (p, slot, d, o) in seed_ops {
+            for (pid, (p, slot, d, o)) in (1u64..).zip(seed_ops) {
                 let _ = t.try_reserve(Port::ALL[p], slot, d, Port::ALL[o], pid, NodeId(0));
-                pid += 1;
             }
             let in_port = Port::ALL[in_p];
             let out = Port::ALL[out_p];
@@ -396,13 +394,11 @@ mod proptests {
         ) {
             let mut t = SlotTables::new(32, 32, 1.0);
             let mut live: Vec<(Port, u64, u8)> = Vec::new();
-            let mut pid = 1u64;
-            for (p, slot, d, o) in ops {
+            for (pid, (p, slot, d, o)) in (1u64..).zip(ops) {
                 let port = Port::ALL[p];
                 if t.try_reserve(port, slot, d, Port::ALL[o], pid, NodeId(0)).is_ok() {
                     live.push((port, pid, d));
                 }
-                pid += 1;
             }
             let expected: f64 = live.iter().map(|&(_, _, d)| d as f64).sum::<f64>()
                 / (32.0 * Port::COUNT as f64);

@@ -2,13 +2,19 @@
 //! slot arithmetic, sharing and dynamic granularity observed end-to-end on
 //! a real network.
 
+// Traffic loops here advance a packet id alongside other per-iteration
+// work; an explicit counter reads better than iterator gymnastics.
+#![allow(clippy::explicit_counter_loop)]
+
 use noc_sim::{Coord, Mesh, NetworkConfig, NodeId, NodeModel, Packet, PacketId, Port, Switching};
 use tdm_noc::{ResizeConfig, SharingConfig, TdmConfig, TdmNetwork, WaitBudget};
 
 fn cfg(mesh: Mesh) -> TdmConfig {
-    let mut cfg = TdmConfig::default();
-    cfg.net = NetworkConfig::with_mesh(mesh);
-    cfg.slot_capacity = 32;
+    let mut cfg = TdmConfig {
+        net: NetworkConfig::with_mesh(mesh),
+        slot_capacity: 32,
+        ..TdmConfig::default()
+    };
     cfg.policy.setup_after_msgs = 3;
     cfg
 }

@@ -120,20 +120,20 @@ pub struct MixResult {
 }
 
 enum NetImpl {
-    Packet(Network<PacketNode>),
-    Tdm(TdmNetwork),
+    Packet(Box<Network<PacketNode>>),
+    Tdm(Box<TdmNetwork>),
 }
 
 impl NetImpl {
     fn build(kind: NetKind, net_cfg: NetworkConfig) -> NetImpl {
         match kind {
             NetKind::PacketVc4 => {
-                NetImpl::Packet(Network::new(net_cfg.mesh, |id| PacketNode::new(id, &net_cfg, None)))
+                NetImpl::Packet(Box::new(Network::new(net_cfg.mesh, |id| PacketNode::new(id, &net_cfg, None))))
             }
-            NetKind::PacketVct => NetImpl::Packet(Network::new(net_cfg.mesh, |id| {
+            NetKind::PacketVct => NetImpl::Packet(Box::new(Network::new(net_cfg.mesh, |id| {
                 PacketNode::new(id, &net_cfg, Some(noc_sim::GatingConfig::default()))
-            })),
-            _ => NetImpl::Tdm(TdmNetwork::new(hetero_tdm_config(kind, net_cfg))),
+            }))),
+            _ => NetImpl::Tdm(Box::new(TdmNetwork::new(hetero_tdm_config(kind, net_cfg)))),
         }
     }
 

@@ -148,7 +148,7 @@ impl SdmNode {
         let pending = self.registry.fail(info.path_id);
         self.send_teardown(now, info);
         if let Some(p) = pending {
-            if p.attempts + 1 <= self.cfg.setup_retries {
+            if p.attempts < self.cfg.setup_retries {
                 self.issue_setup(now, p.dst, p.attempts + 1);
             } else {
                 self.registry.set_cooldown(p.dst, now, self.cfg.retry_cooldown);
@@ -300,12 +300,17 @@ impl NodeModel for SdmNode {
     }
 
     fn step(&mut self, now: Cycle, out: &mut NodeOutputs) {
-        for vc in std::mem::take(&mut self.router.local_credits) {
+        for vc in self.router.local_credits.drain(..) {
             let c = &mut self.credits[vc as usize];
             debug_assert!(*c < self.cfg.net.router.buf_depth);
             *c += 1;
         }
-        for pkt in std::mem::take(&mut self.router.protocol_out) {
+        // Router-owned queues whose handlers need `&mut self`: take the
+        // vector, drain it, and hand the (empty) allocation back so the
+        // steady state never re-allocates. The handlers never push into
+        // these queues — only the router's own step does.
+        let mut protocol = std::mem::take(&mut self.router.protocol_out);
+        for pkt in protocol.drain(..) {
             if pkt.dst == self.id {
                 if let Some(ConfigKind::Ack { info, success }) = pkt.config {
                     self.handle_ack(now, info, success);
@@ -314,15 +319,20 @@ impl NodeModel for SdmNode {
                 self.inject_queue.push_front(pkt);
             }
         }
-        for flit in std::mem::take(&mut self.router.cs_ejected) {
+        self.router.protocol_out = protocol;
+        let mut cs_ejected = std::mem::take(&mut self.router.cs_ejected);
+        for flit in cs_ejected.drain(..) {
             self.accept_ejected(now, flit);
         }
+        self.router.cs_ejected = cs_ejected;
         self.pump_cs(now);
         self.pump_ps(now);
         self.router.step(now, out);
-        for flit in std::mem::take(&mut self.router.ejected) {
+        let mut ejected = std::mem::take(&mut self.router.ejected);
+        for flit in ejected.drain(..) {
             self.accept_ejected(now, flit);
         }
+        self.router.ejected = ejected;
     }
 
     fn drain_delivered(&mut self, sink: &mut Vec<DeliveredPacket>) {
@@ -364,6 +374,9 @@ impl NodeModel for SdmNode {
 }
 
 #[cfg(test)]
+// Traffic loops here advance a packet id alongside other per-iteration
+// work; an explicit counter reads better than iterator gymnastics.
+#[allow(clippy::explicit_counter_loop)]
 mod tests {
     use super::*;
     use noc_sim::{Coord, Mesh, Network, NetworkConfig, PacketId};

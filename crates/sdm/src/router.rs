@@ -261,7 +261,7 @@ impl SdmRouter {
         }
 
         // Circuit-switched bypass: single-cycle crossbar per hop.
-        for (mut flit, o) in std::mem::take(&mut self.cs_incoming) {
+        for (mut flit, o) in self.cs_incoming.drain(..) {
             self.events.xbar_traversals += 1;
             match o.direction() {
                 Some(d) => {
@@ -359,7 +359,7 @@ impl SdmRouter {
         let vcs = self.cfg.vcs_per_port as usize;
         // Phase 1: one candidate per input port.
         let mut candidates: [Option<(usize, Port, u8)>; Port::COUNT] = [None; Port::COUNT];
-        for p in 0..Port::COUNT {
+        for (p, cand) in candidates.iter_mut().enumerate() {
             let mut chosen = None;
             for off in 0..vcs {
                 let vc = (p + off) % vcs; // cheap rotation
@@ -381,7 +381,7 @@ impl SdmRouter {
             if chosen.is_some() {
                 self.events.sa_ops += 1;
             }
-            candidates[p] = chosen;
+            *cand = chosen;
         }
         // Phase 2: one grant per output port.
         for o in Port::ALL {

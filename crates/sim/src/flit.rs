@@ -11,6 +11,8 @@
 //! * **circuit-switched flits** — flits that follow a reserved path without
 //!   buffering or routing.
 
+use std::sync::Arc;
+
 use crate::geometry::NodeId;
 use crate::Cycle;
 
@@ -190,7 +192,10 @@ pub struct Flit {
     /// Hops traversed so far.
     pub hops: u8,
     /// Configuration payload (head flit of configuration packets only).
-    pub config: Option<Box<ConfigKind>>,
+    /// Shared, not owned: flits are copied at every pipeline stage and on
+    /// every wire hop, so the payload is interned behind an [`Arc`] to make
+    /// those copies a pointer bump instead of a heap clone.
+    pub config: Option<Arc<ConfigKind>>,
     /// Final destination after a vicinity-sharing hop-off. When a message
     /// rides a circuit reserved to `dst` but is really bound for a neighbour
     /// of `dst` (§III-A2), `dst` names the circuit endpoint and `true_dst`
@@ -221,7 +226,7 @@ impl Flit {
             measured: packet.measured,
             hops: 0,
             config: if kind.is_head() {
-                packet.config.clone().map(Box::new)
+                packet.config.clone().map(Arc::new)
             } else {
                 None
             },

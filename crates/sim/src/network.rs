@@ -1,6 +1,6 @@
 //! The cycle-driven network harness: wires node models together with
-//! 1-cycle links, delivers credits and advertisements, and integrates
-//! leakage state.
+//! fixed-latency links, delivers credits and advertisements, and
+//! integrates leakage state.
 //!
 //! Wire timing: a flit emitted during `step(T)` finished switch traversal in
 //! `T`, spends `T+1` on the link and is buffered at the neighbour at the
@@ -8,8 +8,39 @@
 //! wires and arrive at `T+1`. This gives circuit-switched flits the paper's
 //! two-cycle per-hop latency (§II-D: a flit forwarded at `T` reaches the
 //! downstream router at `T+2`).
+//!
+//! # Wire representation
+//!
+//! Because every wire has a *fixed* latency (flits exactly 2 cycles,
+//! credits/VC counts exactly 1), the in-flight set never holds signals due
+//! at more than one future cycle of each parity. Each wire is therefore a
+//! pair of per-node slot vectors indexed by delivery-cycle parity instead
+//! of a timestamped queue: delivery drains slot `now & 1`, and emission
+//! pushes into slot `(now + latency) & 1`. For the 2-cycle flit wires
+//! that is the *same* slot just drained, so the buffers double-buffer
+//! themselves with no timestamps, no front-of-queue comparisons, and no
+//! steady-state allocation (the vectors retain their capacity).
+//!
+//! # Parallel node stepping
+//!
+//! The per-cycle work splits into three phases:
+//!
+//! 1. **Deliver** the wire slots due this cycle into each node.
+//! 2. **Step** every node, each writing flits/credits into its own
+//!    [`NodeOutputs`] outbox. Nodes share no state, so this phase is
+//!    embarrassingly parallel; with [`Network::set_step_threads`] it fans
+//!    out over a persistent worker pool.
+//! 3. **Route** every outbox onto the wire slots, serially, in ascending
+//!    node order.
+//!
+//! Determinism contract: phase 2 is order-independent (each node touches
+//! only its own state and outbox) and phase 3 is always serial and
+//! ordered, so serial and parallel stepping produce bit-identical
+//! networks. `tests/properties.rs` holds a property test comparing the
+//! delivered-packet streams of the two modes cycle by cycle.
 
-use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::thread::JoinHandle;
 
 use crate::flit::{Credit, Flit, MsgClass, Packet};
 use crate::geometry::{Direction, Mesh, NodeId};
@@ -17,19 +48,59 @@ use crate::node::{DeliveredPacket, NodeModel, NodeOutputs};
 use crate::stats::{EnergyEvents, NetStats};
 use crate::Cycle;
 
-enum FastSignal {
-    Credit(Direction, Credit),
-    VcCount(Direction, u8),
+/// One contiguous chunk of the node-stepping phase, shipped to a pool
+/// worker. The pointers are the bases of the network's `nodes` and
+/// `outboxes` vectors; a job owns the disjoint index range `lo..hi` of
+/// both, and the main thread blocks until every job of the cycle
+/// completes before touching either vector again.
+struct StepJob<N> {
+    nodes: *mut N,
+    outs: *mut NodeOutputs,
+    lo: usize,
+    hi: usize,
+    now: Cycle,
+}
+
+// Safety: jobs address disjoint ranges, the main thread waits for all
+// completions before reusing the buffers, and the pool can only be built
+// through `set_step_threads`, which requires `N: Send`.
+unsafe impl<N> Send for StepJob<N> {}
+
+/// Persistent worker pool for the node-stepping phase. Threads are spawned
+/// once and live for the network's lifetime; each cycle posts one job per
+/// worker and waits on a shared completion channel, so the steady state
+/// allocates nothing.
+struct StepPool<N> {
+    job_txs: Vec<mpsc::Sender<StepJob<N>>>,
+    done_rx: mpsc::Receiver<()>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl<N> Drop for StepPool<N> {
+    fn drop(&mut self) {
+        // Hang up the job channels; workers exit their recv loop.
+        self.job_txs.clear();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
 }
 
 /// A mesh network of `N` tiles.
 pub struct Network<N: NodeModel> {
     pub mesh: Mesh,
     pub nodes: Vec<N>,
-    /// Per-node inbound flit wires, ordered by delivery cycle.
-    flit_wires: Vec<VecDeque<(Cycle, Direction, Flit)>>,
-    /// Per-node inbound credit/advertisement wires.
-    fast_wires: Vec<VecDeque<(Cycle, FastSignal)>>,
+    /// Per-node inbound flit slots, indexed by delivery-cycle parity
+    /// (flit links are exactly 2 cycles; see the module docs).
+    flit_slots: [Vec<Vec<(Direction, Flit)>>; 2],
+    /// Per-node inbound credit slots (1-cycle wires).
+    credit_slots: [Vec<Vec<(Direction, Credit)>>; 2],
+    /// Per-node inbound active-VC-count slots (1-cycle wires).
+    vc_count_slots: [Vec<Vec<(Direction, u8)>>; 2],
+    /// Per-node output scratch, reused every cycle; the fan-out target of
+    /// the (optionally parallel) node-stepping phase.
+    outboxes: Vec<NodeOutputs>,
+    pool: Option<StepPool<N>>,
     now: Cycle,
     pub stats: NetStats,
     /// When set, every measured delivered packet is also appended to
@@ -38,25 +109,29 @@ pub struct Network<N: NodeModel> {
     pub collect_delivered: bool,
     pub delivered_log: Vec<DeliveredPacket>,
     events_baseline: EnergyEvents,
-    scratch_out: NodeOutputs,
     scratch_delivered: Vec<DeliveredPacket>,
 }
 
 impl<N: NodeModel> Network<N> {
     /// Build a network, constructing each tile with `make_node`.
     pub fn new(mesh: Mesh, mut make_node: impl FnMut(NodeId) -> N) -> Self {
+        fn slots<T>(n: usize) -> [Vec<Vec<T>>; 2] {
+            [(0..n).map(|_| Vec::new()).collect(), (0..n).map(|_| Vec::new()).collect()]
+        }
         let n = mesh.len();
         Network {
             mesh,
             nodes: mesh.nodes().map(&mut make_node).collect(),
-            flit_wires: (0..n).map(|_| VecDeque::new()).collect(),
-            fast_wires: (0..n).map(|_| VecDeque::new()).collect(),
+            flit_slots: slots(n),
+            credit_slots: slots(n),
+            vc_count_slots: slots(n),
+            outboxes: (0..n).map(|_| NodeOutputs::default()).collect(),
+            pool: None,
             now: 0,
             stats: NetStats::default(),
             collect_delivered: false,
             delivered_log: Vec::new(),
             events_baseline: EnergyEvents::default(),
-            scratch_out: NodeOutputs::default(),
             scratch_delivered: Vec::new(),
         }
     }
@@ -77,58 +152,79 @@ impl<N: NodeModel> Network<N> {
     /// Advance the network one cycle.
     pub fn step(&mut self) {
         let now = self.now;
+        let par = (now & 1) as usize;
 
-        // 1. Deliver wires due this cycle.
+        // 1. Deliver the wire slots due this cycle. Per node: flits first,
+        // then credits, then VC counts (credit and VC-count application
+        // touch disjoint router state, so their relative order is free).
         for i in 0..self.nodes.len() {
-            while let Some(&(t, _, _)) = self.flit_wires[i].front() {
-                if t > now {
-                    break;
-                }
-                debug_assert_eq!(t, now, "missed a flit delivery");
-                let (_, dir, flit) = self.flit_wires[i].pop_front().expect("front checked");
+            for (dir, flit) in self.flit_slots[par][i].drain(..) {
                 self.nodes[i].accept_flit(now, dir, flit);
             }
-            while let Some(&(t, _)) = self.fast_wires[i].front() {
-                if t > now {
-                    break;
+            for (dir, credit) in self.credit_slots[par][i].drain(..) {
+                self.nodes[i].accept_credit(now, dir, credit);
+            }
+            for (dir, count) in self.vc_count_slots[par][i].drain(..) {
+                self.nodes[i].accept_vc_count(now, dir, count);
+            }
+        }
+
+        // 2. Step every node into its own outbox.
+        match &self.pool {
+            None => {
+                for i in 0..self.nodes.len() {
+                    self.outboxes[i].clear();
+                    self.nodes[i].step(now, &mut self.outboxes[i]);
                 }
-                let (_, sig) = self.fast_wires[i].pop_front().expect("front checked");
-                match sig {
-                    FastSignal::Credit(d, c) => self.nodes[i].accept_credit(now, d, c),
-                    FastSignal::VcCount(d, n) => self.nodes[i].accept_vc_count(now, d, n),
+            }
+            Some(pool) => {
+                let n = self.nodes.len();
+                let chunk = n.div_ceil(pool.job_txs.len());
+                let nodes = self.nodes.as_mut_ptr();
+                let outs = self.outboxes.as_mut_ptr();
+                let mut sent = 0usize;
+                for (w, tx) in pool.job_txs.iter().enumerate() {
+                    let lo = w * chunk;
+                    if lo >= n {
+                        break;
+                    }
+                    let hi = (lo + chunk).min(n);
+                    tx.send(StepJob { nodes, outs, lo, hi, now }).expect("step worker died");
+                    sent += 1;
+                }
+                for _ in 0..sent {
+                    pool.done_rx.recv().expect("step worker died");
                 }
             }
         }
 
-        // 2. Step every node and route its outputs onto the wires.
-        for i in 0..self.nodes.len() {
+        // 3. Route every outbox onto the wires: serial, ascending node
+        // order (the determinism contract — see the module docs). Flits
+        // re-fill the slot drained in phase 1 (same parity at `now + 2`);
+        // 1-cycle signals go to the opposite slot.
+        let Network { mesh, outboxes, flit_slots, credit_slots, vc_count_slots, .. } = self;
+        for (i, out) in outboxes.iter_mut().enumerate() {
             let id = NodeId(i as u32);
-            self.scratch_out.clear();
-            self.nodes[i].step(now, &mut self.scratch_out);
-            for (dir, flit) in self.scratch_out.flits.drain(..) {
-                let nb = self
-                    .mesh
+            for (dir, flit) in out.flits.drain(..) {
+                let nb = mesh
                     .neighbor(id, dir)
                     .unwrap_or_else(|| panic!("{id:?} emitted a flit off the {dir:?} edge"));
-                self.flit_wires[nb.index()].push_back((now + 2, dir.opposite(), flit));
+                flit_slots[par][nb.index()].push((dir.opposite(), flit));
             }
-            for (dir, credit) in self.scratch_out.credits.drain(..) {
-                let nb = self
-                    .mesh
+            for (dir, credit) in out.credits.drain(..) {
+                let nb = mesh
                     .neighbor(id, dir)
                     .unwrap_or_else(|| panic!("{id:?} emitted a credit off the {dir:?} edge"));
-                self.fast_wires[nb.index()]
-                    .push_back((now + 1, FastSignal::Credit(dir.opposite(), credit)));
+                credit_slots[par ^ 1][nb.index()].push((dir.opposite(), credit));
             }
-            for (dir, count) in self.scratch_out.vc_counts.drain(..) {
-                if let Some(nb) = self.mesh.neighbor(id, dir) {
-                    self.fast_wires[nb.index()]
-                        .push_back((now + 1, FastSignal::VcCount(dir.opposite(), count)));
+            for (dir, count) in out.vc_counts.drain(..) {
+                if let Some(nb) = mesh.neighbor(id, dir) {
+                    vc_count_slots[par ^ 1][nb.index()].push((dir.opposite(), count));
                 }
             }
         }
 
-        // 3. Integrate leakage state and collect deliveries.
+        // 4. Integrate leakage state and collect deliveries.
         for node in &mut self.nodes {
             let ps = node.power_state();
             self.stats.leakage.buffer_slot_cycles += ps.buffer_slots as u64;
@@ -184,7 +280,7 @@ impl<N: NodeModel> Network<N> {
     /// True when no flit is buffered anywhere and no wire is in flight.
     pub fn is_drained(&self) -> bool {
         self.nodes.iter().all(|n| n.occupancy() == 0)
-            && self.flit_wires.iter().all(|w| w.is_empty())
+            && self.flit_slots.iter().all(|s| s.iter().all(|w| w.is_empty()))
     }
 
     /// Step until drained or `max_cycles` elapse; returns whether the
@@ -205,13 +301,53 @@ impl<N: NodeModel> Network<N> {
     }
 }
 
+impl<N: NodeModel + Send + 'static> Network<N> {
+    /// Fan the node-stepping phase over `threads` persistent worker
+    /// threads (`0` restores serial stepping). Results are bit-identical
+    /// either way — see the determinism contract in the module docs.
+    pub fn set_step_threads(&mut self, threads: usize) {
+        self.pool = None;
+        if threads == 0 {
+            return;
+        }
+        let threads = threads.min(self.nodes.len().max(1));
+        let (done_tx, done_rx) = mpsc::channel();
+        let mut job_txs = Vec::with_capacity(threads);
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let (tx, rx) = mpsc::channel::<StepJob<N>>();
+            let done = done_tx.clone();
+            handles.push(std::thread::spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    // Safety: this worker has exclusive access to indices
+                    // `lo..hi` of both vectors until it reports completion
+                    // (see `StepJob`).
+                    unsafe {
+                        for k in job.lo..job.hi {
+                            let node = &mut *job.nodes.add(k);
+                            let out = &mut *job.outs.add(k);
+                            out.clear();
+                            node.step(job.now, out);
+                        }
+                    }
+                    if done.send(()).is_err() {
+                        break;
+                    }
+                }
+            }));
+            job_txs.push(tx);
+        }
+        self.pool = Some(StepPool { job_txs, done_rx, handles });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::NetworkConfig;
-    use crate::flit::PacketId;
+    use crate::flit::{PacketId, Switching};
     use crate::geometry::Coord;
-    use crate::node::PacketNode;
+    use crate::node::{PacketNode, PowerState};
 
     fn net(k: u16) -> Network<PacketNode> {
         let cfg = NetworkConfig::with_mesh(Mesh::square(k));
@@ -297,5 +433,135 @@ mod tests {
         n.run(5);
         n.end_measurement();
         assert_eq!(n.stats.events.buffer_writes, 0, "warm-up events leaked into window");
+    }
+
+    /// Minimal instrumented tile for the wire-timing tests: emits one
+    /// pre-programmed signal of each kind eastward and records the cycle
+    /// each inbound signal arrives.
+    struct Probe {
+        id: NodeId,
+        emit_flit_at: Option<Cycle>,
+        emit_credit_at: Option<Cycle>,
+        emit_vc_count_at: Option<Cycle>,
+        arrivals: Vec<(Cycle, &'static str)>,
+    }
+
+    impl Probe {
+        fn new(id: NodeId) -> Self {
+            Probe {
+                id,
+                emit_flit_at: None,
+                emit_credit_at: None,
+                emit_vc_count_at: None,
+                arrivals: Vec::new(),
+            }
+        }
+    }
+
+    impl NodeModel for Probe {
+        fn id(&self) -> NodeId {
+            self.id
+        }
+        fn inject(&mut self, _now: Cycle, _pkt: Packet) {}
+        fn accept_flit(&mut self, now: Cycle, _from: Direction, _flit: Flit) {
+            self.arrivals.push((now, "flit"));
+        }
+        fn accept_credit(&mut self, now: Cycle, _from: Direction, _credit: Credit) {
+            self.arrivals.push((now, "credit"));
+        }
+        fn accept_vc_count(&mut self, now: Cycle, _from: Direction, _count: u8) {
+            self.arrivals.push((now, "vc_count"));
+        }
+        fn step(&mut self, now: Cycle, out: &mut NodeOutputs) {
+            if self.emit_flit_at == Some(now) {
+                let p = Packet::data(PacketId(1), self.id, self.id, 1, now);
+                out.flits.push((Direction::East, Flit::of_packet(&p, 0, Switching::Packet)));
+            }
+            if self.emit_credit_at == Some(now) {
+                out.credits.push((Direction::East, Credit { vc: 0 }));
+            }
+            if self.emit_vc_count_at == Some(now) {
+                out.vc_counts.push((Direction::East, 2));
+            }
+        }
+        fn drain_delivered(&mut self, _sink: &mut Vec<DeliveredPacket>) {}
+        fn events(&self) -> EnergyEvents {
+            EnergyEvents::default()
+        }
+        fn occupancy(&self) -> usize {
+            0
+        }
+        fn power_state(&self) -> PowerState {
+            PowerState::default()
+        }
+    }
+
+    /// The ring-slot wires must preserve the timing contract exactly: a
+    /// flit emitted during `step(T)` arrives at `T+2`; credits and VC
+    /// counts arrive at `T+1`.
+    #[test]
+    fn ring_wires_keep_fixed_latencies() {
+        let m = Mesh::new(2, 1);
+        let mut n = Network::new(m, |id| {
+            let mut p = Probe::new(id);
+            if id.index() == 0 {
+                p.emit_flit_at = Some(3);
+                p.emit_credit_at = Some(4);
+                p.emit_vc_count_at = Some(6);
+            }
+            p
+        });
+        n.run(10);
+        assert_eq!(n.nodes[1].arrivals, vec![(5, "flit"), (5, "credit"), (7, "vc_count")]);
+        assert!(n.nodes[0].arrivals.is_empty());
+    }
+
+    /// Back-to-back emissions on consecutive cycles land on consecutive
+    /// cycles: the two parity slots never collide or coalesce.
+    #[test]
+    fn ring_wires_double_buffer_consecutive_cycles() {
+        let m = Mesh::new(2, 1);
+        for start in [0u64, 1] {
+            let mut n = Network::new(m, Probe::new);
+            n.run(start);
+            // Emit a flit on every one of four consecutive cycles.
+            for t in 0..4 {
+                n.nodes[0].emit_flit_at = Some(start + t);
+                n.step();
+            }
+            n.run(4);
+            let got: Vec<Cycle> = n.nodes[1].arrivals.iter().map(|&(t, _)| t).collect();
+            assert_eq!(got, vec![start + 2, start + 3, start + 4, start + 5]);
+        }
+    }
+
+    /// Serial and pooled stepping must advance the network identically.
+    #[test]
+    fn parallel_stepping_is_bit_identical() {
+        let build = || {
+            let mut n = net(4);
+            let mut pid = 0;
+            for src in n.mesh.nodes() {
+                for dst in n.mesh.nodes() {
+                    if src != dst {
+                        n.inject(src, Packet::data(PacketId(pid), src, dst, 5, 0));
+                        pid += 1;
+                    }
+                }
+            }
+            n.collect_delivered = true;
+            n.begin_measurement();
+            n
+        };
+        let mut serial = build();
+        let mut pooled = build();
+        pooled.set_step_threads(3);
+        assert!(serial.drain(20_000) && pooled.drain(20_000));
+        serial.end_measurement();
+        pooled.end_measurement();
+        assert_eq!(serial.now(), pooled.now());
+        assert_eq!(serial.delivered_log, pooled.delivered_log);
+        assert_eq!(serial.stats.packets_delivered, pooled.stats.packets_delivered);
+        assert_eq!(serial.stats.latency_sum, pooled.stats.latency_sum);
     }
 }

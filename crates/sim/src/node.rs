@@ -41,7 +41,7 @@ pub struct PowerState {
 }
 
 /// Summary of a packet that completed delivery.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct DeliveredPacket {
     pub id: PacketId,
     pub src: NodeId,
@@ -124,7 +124,7 @@ impl NodeModel for PacketNode {
 
     fn step(&mut self, now: Cycle, out: &mut NodeOutputs) {
         // Credits freed by the router's local port last cycle.
-        for vc in std::mem::take(&mut self.router.pipeline.local_credits) {
+        for vc in self.router.pipeline.local_credits.drain(..) {
             self.nic.credit(vc);
         }
         // Inject at most one flit per cycle into the local port.
@@ -132,7 +132,7 @@ impl NodeModel for PacketNode {
             self.router.accept_flit(now, Port::Local, f);
         }
         self.router.step(now, out);
-        for f in std::mem::take(&mut self.router.pipeline.ejected) {
+        for f in self.router.pipeline.ejected.drain(..) {
             self.nic.accept_ejected(now, f);
         }
         if let Some(g) = &mut self.gating {

@@ -115,6 +115,16 @@ pub struct PsPipeline {
     // Utilisation sampling for the VC gating controller.
     busy_vc_samples: u64,
     active_vc_samples: u64,
+    // O(1) occupancy bookkeeping so the per-cycle hot path can skip whole
+    // pipeline stages instead of scanning every VC. Invariants (checked by
+    // `debug_validate_counters`): `buffered` = Σ fifo lengths, `waiting` /
+    // `active` = VCs in the matching state, `busy_vcs` = VCs with flits or
+    // non-idle state, `gated_busy` = busy VCs at index ≥ `active_vcs`.
+    buffered: u32,
+    waiting: u32,
+    active: u32,
+    busy_vcs: u32,
+    gated_busy: u32,
 }
 
 impl PsPipeline {
@@ -152,6 +162,11 @@ impl PsPipeline {
             sa_arb_out: (0..Port::COUNT).map(|_| RoundRobin::new(Port::COUNT)).collect(),
             busy_vc_samples: 0,
             active_vc_samples: 0,
+            buffered: 0,
+            waiting: 0,
+            active: 0,
+            busy_vcs: 0,
+            gated_busy: 0,
         }
     }
 
@@ -166,7 +181,14 @@ impl PsPipeline {
             flit.vc
         );
         let _ = now;
+        if buf.fifo.is_empty() && buf.state == VcState::Idle {
+            self.busy_vcs += 1;
+            if flit.vc >= self.active_vcs {
+                self.gated_busy += 1;
+            }
+        }
         buf.fifo.push_back(flit);
+        self.buffered += 1;
         self.events.buffer_writes += 1;
     }
 
@@ -199,15 +221,71 @@ impl PsPipeline {
     /// packet granted just before the transition is never stranded.
     pub fn set_active_vcs(&mut self, count: u8) {
         self.active_vcs = count.clamp(1, self.cfg.vcs_per_port);
+        // Re-derive the gated-straggler count against the new threshold
+        // (rare: only when the gating controller retunes).
+        self.gated_busy = 0;
+        for p in &self.inputs {
+            for (v, vc) in p.vcs.iter().enumerate() {
+                if (v as u8) >= self.active_vcs && vc.is_busy() {
+                    self.gated_busy += 1;
+                }
+            }
+        }
     }
 
     /// Advance the pipeline one cycle. `ctrl` supplies the hybrid switching
     /// constraints ([`super::NullCtrl`] for a pure packet router).
     pub fn step<C: HybridCtrl>(&mut self, now: Cycle, ctrl: &C, out: &mut NodeOutputs) {
         self.sample_utilization();
-        self.refresh_rc(now);
-        self.do_va(now);
-        self.do_sa_st(now, ctrl, out);
+        // Stage gating on the O(1) occupancy counters. Skipping a stage is
+        // state-identical to running it over zero eligible VCs: the
+        // round-robin arbiters only advance on a successful grant, so an
+        // empty scan never mutates anything.
+        // RC candidates are exactly the busy VCs in neither Waiting nor
+        // Active state: idle-state VCs holding a (head) flit.
+        if self.busy_vcs > self.waiting + self.active {
+            self.refresh_rc(now);
+        }
+        if self.waiting > 0 {
+            self.do_va(now);
+        }
+        if self.active > 0 {
+            self.do_sa_st(now, ctrl, out);
+        }
+        #[cfg(debug_assertions)]
+        self.debug_validate_counters();
+    }
+
+    /// Cross-check the incremental occupancy counters against a full scan
+    /// (debug builds only; the release hot path trusts the increments).
+    #[cfg(debug_assertions)]
+    fn debug_validate_counters(&self) {
+        let mut buffered = 0u32;
+        let mut waiting = 0u32;
+        let mut active = 0u32;
+        let mut busy = 0u32;
+        let mut gated = 0u32;
+        for p in &self.inputs {
+            for (v, vc) in p.vcs.iter().enumerate() {
+                buffered += vc.fifo.len() as u32;
+                match vc.state {
+                    VcState::Idle => {}
+                    VcState::Waiting { .. } => waiting += 1,
+                    VcState::Active { .. } => active += 1,
+                }
+                if vc.is_busy() {
+                    busy += 1;
+                    if (v as u8) >= self.active_vcs {
+                        gated += 1;
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(self.buffered, buffered, "buffered counter drifted");
+        debug_assert_eq!(self.waiting, waiting, "waiting counter drifted");
+        debug_assert_eq!(self.active, active, "active counter drifted");
+        debug_assert_eq!(self.busy_vcs, busy, "busy counter drifted");
+        debug_assert_eq!(self.gated_busy, gated, "gated counter drifted");
     }
 
     /// Route computation for VCs whose head flit reached the FIFO front.
@@ -236,6 +314,7 @@ impl PsPipeline {
                 }
                 buf.state = VcState::Waiting { out: out_port };
                 buf.stage_cycle = now;
+                self.waiting += 1;
             }
         }
     }
@@ -261,28 +340,30 @@ impl PsPipeline {
     /// waiting input VCs with a round-robin arbiter.
     fn do_va(&mut self, now: Cycle) {
         let vcs = self.cfg.vcs_per_port as usize;
-        for o in 0..Port::COUNT {
-            if !self.outputs[o].exists {
-                continue;
-            }
-            // Collect requests: input VCs waiting for this output port.
-            debug_assert!(Port::COUNT * vcs <= 64, "too many VCs per port");
-            let mut reqs = [false; 64];
-            let mut any = false;
-            for p in 0..Port::COUNT {
-                for vc in 0..vcs {
-                    let buf = &self.inputs[p].vcs[vc];
-                    if let VcState::Waiting { out } = buf.state {
-                        if out.index() == o && buf.stage_cycle < now {
-                            reqs[p * vcs + vc] = true;
-                            any = true;
-                        }
+        debug_assert!(Port::COUNT * vcs <= 64, "too many VCs per port");
+        // One scan over the input VCs builds the request set of every
+        // output port at once. Pre-computing all sets up front is
+        // equivalent to the per-output rescan: a grant at output `o` only
+        // removes a VC from `o`'s own set (a VC waits on exactly one
+        // output), which the in-loop `reqs[w] = false` already handles.
+        let mut reqs = [[false; 64]; Port::COUNT];
+        let mut any = [false; Port::COUNT];
+        for p in 0..Port::COUNT {
+            for vc in 0..vcs {
+                let buf = &self.inputs[p].vcs[vc];
+                if let VcState::Waiting { out } = buf.state {
+                    if buf.stage_cycle < now {
+                        reqs[out.index()][p * vcs + vc] = true;
+                        any[out.index()] = true;
                     }
                 }
             }
-            if !any {
+        }
+        for o in 0..Port::COUNT {
+            if !any[o] || !self.outputs[o].exists {
                 continue;
             }
+            let reqs = &mut reqs[o];
             let limit = self.outputs[o].downstream_vcs as usize;
             for v in 0..limit {
                 if self.outputs[o].alloc[v].is_some() {
@@ -297,6 +378,8 @@ impl PsPipeline {
                 let VcState::Waiting { out } = buf.state else { unreachable!() };
                 buf.state = VcState::Active { out, out_vc: v as u8 };
                 buf.stage_cycle = now;
+                self.waiting -= 1;
+                self.active += 1;
                 self.outputs[o].alloc[v] = Some((p as u8, vc as u8));
                 self.events.va_ops += 1;
             }
@@ -354,6 +437,9 @@ impl PsPipeline {
     }
 
     /// Switch traversal of one granted flit.
+    // All eight arguments are the (input, output, timing) coordinates of a
+    // single grant; bundling them into a struct would just rename the call.
+    #[allow(clippy::too_many_arguments)]
     fn traverse(
         &mut self,
         now: Cycle,
@@ -370,7 +456,18 @@ impl PsPipeline {
         if is_tail {
             buf.state = VcState::Idle;
             buf.stage_cycle = now;
+        }
+        let now_idle = buf.fifo.is_empty() && buf.state == VcState::Idle;
+        self.buffered -= 1;
+        if is_tail {
+            self.active -= 1;
             self.outputs[out_port.index()].alloc[out_vc as usize] = None;
+        }
+        if now_idle {
+            self.busy_vcs -= 1;
+            if in_vc >= self.active_vcs {
+                self.gated_busy -= 1;
+            }
         }
         self.events.buffer_reads += 1;
         self.events.xbar_traversals += 1;
@@ -404,15 +501,7 @@ impl PsPipeline {
     }
 
     fn sample_utilization(&mut self) {
-        let mut busy = 0u64;
-        for p in &self.inputs {
-            for vc in &p.vcs {
-                if vc.is_busy() {
-                    busy += 1;
-                }
-            }
-        }
-        self.busy_vc_samples += busy;
+        self.busy_vc_samples += self.busy_vcs as u64;
         self.active_vc_samples += self.active_vcs as u64 * Port::COUNT as u64;
     }
 
@@ -431,27 +520,17 @@ impl PsPipeline {
 
     /// Total flits currently buffered (drain detection).
     pub fn occupancy(&self) -> usize {
-        self.inputs
-            .iter()
-            .flat_map(|p| p.vcs.iter())
-            .map(|vc| vc.fifo.len())
-            .sum::<usize>()
-            + self.ejected.len()
+        self.buffered as usize + self.ejected.len()
     }
 
     /// Powered-on buffer flit slots: a VC counts while it is below the
     /// active count or still holds state (stragglers keep their buffers on
     /// until drained — the gating model never strands a packet).
     pub fn powered_buffer_slots(&self) -> u32 {
-        let mut slots = 0u32;
-        for p in &self.inputs {
-            for (v, vc) in p.vcs.iter().enumerate() {
-                if (v as u8) < self.active_vcs || vc.is_busy() {
-                    slots += self.cfg.buf_depth as u32;
-                }
-            }
-        }
-        slots
+        // All VCs below the active threshold are powered on every port;
+        // above it only the busy stragglers (tracked by `gated_busy`) are.
+        self.cfg.buf_depth as u32
+            * (Port::COUNT as u32 * self.active_vcs as u32 + self.gated_busy)
     }
 }
 

@@ -113,7 +113,7 @@ pub fn odd_even_directions(mesh: &Mesh, src: NodeId, cur: NodeId, dst: NodeId) -
         // Westbound: W is always productive; NW/SW turns only from even
         // columns.
         avail.push(Direction::West);
-        if d.y != c.y && c.x % 2 == 0 {
+        if d.y != c.y && c.x.is_multiple_of(2) {
             avail.push(vertical);
         }
     }
@@ -314,7 +314,7 @@ mod tests {
                     for dir in dirs {
                         if matches!(dir, Direction::North | Direction::South)
                             && d.x > c.x
-                            && c.x % 2 == 0
+                            && c.x.is_multiple_of(2)
                         {
                             // Turning off an eastbound heading in an even
                             // column is only legal in the source column.

@@ -350,7 +350,7 @@ mod tests {
         assert!((32..=64).contains(&p50), "p50 bound {p50}");
         // p99/p100 bound the maximum (2000 lies in [1024, 2048)).
         let p100 = h.quantile(1.0).unwrap();
-        assert!(p100 >= 2000 && p100 <= 2048, "p100 bound {p100}");
+        assert!((2000..=2048).contains(&p100), "p100 bound {p100}");
         // Quantiles are monotone.
         assert!(h.quantile(0.1).unwrap() <= h.quantile(0.9).unwrap());
         assert_eq!(LatencyHistogram::default().quantile(0.5), None);

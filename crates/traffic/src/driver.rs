@@ -62,6 +62,11 @@ pub struct RunResult {
     /// Whether the run is considered saturated (delivery < 95 % or latency
     /// above 10× the warm-up zero-load estimate).
     pub saturated: bool,
+    /// Host wall-clock time for the whole run (warm-up + measure + drain).
+    pub wall_seconds: f64,
+    /// Simulated cycles per host second over the whole run — the simulator
+    /// performance metric kernel speedups are judged by.
+    pub sim_cycles_per_sec: f64,
     /// Full network statistics for the measurement window.
     pub stats: noc_sim::NetStats,
 }
@@ -81,6 +86,8 @@ impl OpenLoop {
     pub fn run<N: NodeModel>(&mut self, net: &mut Network<N>) -> RunResult {
         let ph = self.phases;
         let nodes = net.mesh.len();
+        let wall_start = std::time::Instant::now();
+        let first_cycle = net.now();
 
         // Warm-up.
         let mut injected = 0u64;
@@ -152,12 +159,20 @@ impl OpenLoop {
         } else {
             window_flits as f64 / (window_cycles as f64 * nodes as f64)
         };
+        let wall_seconds = wall_start.elapsed().as_secs_f64();
+        let total_cycles = net.now() - first_cycle;
         RunResult {
             offered: self.source.rate(),
             avg_latency,
             throughput,
             delivered_fraction,
             saturated,
+            wall_seconds,
+            sim_cycles_per_sec: if wall_seconds > 0.0 {
+                total_cycles as f64 / wall_seconds
+            } else {
+                0.0
+            },
             stats,
         }
     }

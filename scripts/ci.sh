@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# CI gate: build, test, lint. Pass --offline (or set CI_OFFLINE=1) to run
+# against vendored dependencies only — the default in the sandboxed build
+# environment, where crates.io is unreachable.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OFFLINE=()
+if [[ "${1:-}" == "--offline" || "${CI_OFFLINE:-}" == "1" ]]; then
+    OFFLINE=(--offline)
+fi
+
+echo "== cargo build --release =="
+cargo build --release --workspace "${OFFLINE[@]}"
+
+echo "== cargo test -q =="
+cargo test -q --workspace "${OFFLINE[@]}"
+
+echo "== cargo clippy -- -D warnings =="
+cargo clippy --workspace --all-targets "${OFFLINE[@]}" -- -D warnings
+
+echo "CI OK"

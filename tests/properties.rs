@@ -167,6 +167,56 @@ proptest! {
         prop_assert_eq!(net.stats().packets_delivered, net.stats().packets_offered);
     }
 
+    /// Serial and parallel node stepping are bit-identical: the same
+    /// delivered-packet stream (ids, timestamps, switching modes, in the
+    /// same order) and the same statistics, for arbitrary traffic — the
+    /// determinism contract of the `Network::step` kernel.
+    #[test]
+    fn parallel_stepping_matches_serial(
+        seed in 0u64..1000,
+        rate_milli in 20u64..150,
+        threads in 1usize..5,
+    ) {
+        let mesh = Mesh::square(4);
+        let net_cfg = NetworkConfig::with_mesh(mesh);
+        let run = |step_threads: usize| {
+            let mut net = Network::new(mesh, |id| PacketNode::new(id, &net_cfg, None));
+            net.set_step_threads(step_threads);
+            net.collect_delivered = true;
+            let mut source = SyntheticSource::new(
+                mesh,
+                TrafficPattern::UniformRandom,
+                rate_milli as f64 / 1000.0,
+                5,
+                seed,
+            );
+            net.begin_measurement();
+            for _ in 0..400 {
+                let now = net.now();
+                let mut pkts = Vec::new();
+                source.tick(now, true, |n, p| pkts.push((n, p)));
+                for (n, p) in pkts {
+                    net.inject(n, p);
+                }
+                net.step();
+            }
+            let drained = net.drain(20_000);
+            net.end_measurement();
+            (drained, net.now(), net.delivered_log.clone(), net.stats.clone())
+        };
+        let (s_ok, s_now, s_log, s_stats) = run(0);
+        let (p_ok, p_now, p_log, p_stats) = run(threads);
+        prop_assert!(s_ok && p_ok, "both modes must drain");
+        prop_assert_eq!(s_now, p_now);
+        prop_assert_eq!(s_log, p_log);
+        prop_assert_eq!(s_stats.packets_delivered, p_stats.packets_delivered);
+        prop_assert_eq!(s_stats.latency_sum, p_stats.latency_sum);
+        prop_assert_eq!(s_stats.flits_delivered, p_stats.flits_delivered);
+        prop_assert_eq!(s_stats.events.buffer_writes, p_stats.events.buffer_writes);
+        prop_assert_eq!(s_stats.events.xbar_traversals, p_stats.events.xbar_traversals);
+        prop_assert_eq!(s_stats.leakage.buffer_slot_cycles, p_stats.leakage.buffer_slot_cycles);
+    }
+
     /// Energy accounting: the breakdown is non-negative, additive, and
     /// saving_vs is antisymmetric around zero for identical inputs.
     #[test]

@@ -1,0 +1,267 @@
+//! Vendored offline stand-in for `rayon`, covering the
+//! `par_iter().map().collect()` / `into_par_iter().map().collect()`
+//! shapes the bench binaries use. Items are split into contiguous chunks,
+//! one per available core, executed on scoped threads, and results are
+//! concatenated in input order — so output ordering matches `rayon` and
+//! the figures stay deterministic. On a single-core host it degrades to a
+//! plain serial map with no thread spawn.
+
+use std::ops::Range;
+
+fn worker_count(items: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(items)
+        .max(1)
+}
+
+/// Chunked parallel map over an index range, results in input order.
+fn par_map_indices<R, F>(len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = worker_count(len);
+    if workers <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let chunk = len.div_ceil(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..len)
+            .step_by(chunk)
+            .map(|start| {
+                let f = &f;
+                let end = (start + chunk).min(len);
+                scope.spawn(move || (start..end).map(f).collect::<Vec<R>>())
+            })
+            .collect();
+        let mut out = Vec::with_capacity(len);
+        for h in handles {
+            out.extend(h.join().expect("rayon worker panicked"));
+        }
+        out
+    })
+}
+
+pub trait ParallelIterator: Sized {
+    type Item;
+
+    fn map<R, F>(self, f: F) -> ParMap<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        ParMap { inner: self, f }
+    }
+
+    /// Run the pipeline and collect results in input order.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C
+    where
+        Self::Item: Send,
+    {
+        C::from_vec(self.run())
+    }
+
+    /// Evaluate this iterator into an ordered `Vec`.
+    fn run(self) -> Vec<Self::Item>
+    where
+        Self::Item: Send;
+}
+
+pub trait FromParallelIterator<T> {
+    fn from_vec(v: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_vec(v: Vec<T>) -> Self {
+        v
+    }
+}
+
+pub struct ParMap<I, F> {
+    inner: I,
+    f: F,
+}
+
+/// Borrowing parallel iterator over a slice.
+pub struct SliceParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceParIter<'a, T> {
+    type Item = &'a T;
+
+    fn run(self) -> Vec<&'a T> {
+        self.items.iter().collect()
+    }
+}
+
+impl<'a, T: Sync, R: Send, F> ParallelIterator for ParMap<SliceParIter<'a, T>, F>
+where
+    F: Fn(&'a T) -> R + Sync,
+{
+    type Item = R;
+
+    fn run(self) -> Vec<R> {
+        let items = self.inner.items;
+        let f = self.f;
+        par_map_indices(items.len(), |i| f(&items[i]))
+    }
+}
+
+/// Owning parallel iterator over a `usize` range.
+pub struct RangeParIter {
+    range: Range<usize>,
+}
+
+impl ParallelIterator for RangeParIter {
+    type Item = usize;
+
+    fn run(self) -> Vec<usize> {
+        self.range.collect()
+    }
+}
+
+impl<R: Send, F> ParallelIterator for ParMap<RangeParIter, F>
+where
+    F: Fn(usize) -> R + Sync,
+{
+    type Item = R;
+
+    fn run(self) -> Vec<R> {
+        let start = self.inner.range.start;
+        let len = self.inner.range.len();
+        let f = self.f;
+        par_map_indices(len, |i| f(start + i))
+    }
+}
+
+/// Owning parallel iterator over a `Vec`.
+pub struct VecParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecParIter<T> {
+    type Item = T;
+
+    fn run(self) -> Vec<T> {
+        self.items
+    }
+}
+
+impl<T: Send + Sync, R: Send, F> ParallelIterator for ParMap<VecParIter<T>, F>
+where
+    F: Fn(T) -> R + Sync,
+{
+    type Item = R;
+
+    fn run(self) -> Vec<R> {
+        let mut items: Vec<Option<T>> = self.inner.items.into_iter().map(Some).collect();
+        let cells: Vec<std::sync::Mutex<Option<T>>> =
+            items.drain(..).map(std::sync::Mutex::new).collect();
+        let f = &self.f;
+        par_map_indices(cells.len(), |i| {
+            let item = cells[i].lock().expect("poisoned").take().expect("taken once");
+            f(item)
+        })
+    }
+}
+
+pub trait IntoParallelRefIterator<'data> {
+    type Item: 'data;
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    type Iter = SliceParIter<'data, T>;
+
+    fn par_iter(&'data self) -> SliceParIter<'data, T> {
+        SliceParIter { items: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    type Iter = SliceParIter<'data, T>;
+
+    fn par_iter(&'data self) -> SliceParIter<'data, T> {
+        SliceParIter { items: self }
+    }
+}
+
+impl<'data, T: Sync + 'data, const N: usize> IntoParallelRefIterator<'data> for [T; N] {
+    type Item = &'data T;
+    type Iter = SliceParIter<'data, T>;
+
+    fn par_iter(&'data self) -> SliceParIter<'data, T> {
+        SliceParIter { items: self }
+    }
+}
+
+pub trait IntoParallelIterator {
+    type Item;
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    type Iter = RangeParIter;
+
+    fn into_par_iter(self) -> RangeParIter {
+        RangeParIter { range: self }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecParIter<T>;
+
+    fn into_par_iter(self) -> VecParIter<T> {
+        VecParIter { items: self }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn slice_map_collect_preserves_order() {
+        let xs = vec![1u32, 2, 3, 4, 5, 6, 7];
+        let ys: Vec<u32> = xs.par_iter().map(|&x| x * 10).collect();
+        assert_eq!(ys, vec![10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn range_map_collect() {
+        let ys: Vec<usize> = (0..100).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(ys.len(), 100);
+        assert_eq!(ys[9], 81);
+        assert_eq!(ys[99], 99 * 99);
+    }
+
+    #[test]
+    fn owned_vec_map() {
+        let xs = vec![String::from("a"), String::from("bb")];
+        let ys: Vec<usize> = xs.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(ys, vec![1, 2]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let xs: Vec<u32> = Vec::new();
+        let ys: Vec<u32> = xs.par_iter().map(|&x| x).collect();
+        assert!(ys.is_empty());
+    }
+}

@@ -1,0 +1,202 @@
+//! Vendored offline stand-in for `serde`. Serialisation is modelled as a
+//! conversion into a self-describing [`Value`] tree, which is all
+//! `serde_json::to_string_pretty` (the only serialiser this workspace
+//! invokes) needs. `Deserialize` is a marker trait: the workspace derives
+//! it on config types for API symmetry but never deserialises.
+
+// Let the generated `impl ::serde::Serialize for ...` resolve when the
+// derives are used inside this crate's own tests.
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialised value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    UInt(u64),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+/// Conversion into a [`Value`] tree.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Marker trait emitted by `#[derive(Deserialize)]`.
+pub trait Deserialize {}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            #[inline]
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            #[inline]
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+    )*};
+}
+
+impl_uint!(u8, u16, u32, u64, usize);
+impl_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    #[inline]
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Serialize for f64 {
+    #[inline]
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for bool {
+    #[inline]
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value(), self.2.to_value()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Serialize, Deserialize)]
+    struct Point {
+        x: u32,
+        y: f64,
+        label: &'static str,
+        tags: Vec<bool>,
+        hist: [u64; 3],
+        nested: Option<Inner>,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    struct Inner {
+        v: i64,
+    }
+
+    #[derive(Serialize)]
+    struct Wrapper(pub u32);
+
+    #[derive(Serialize, Deserialize)]
+    #[repr(u8)]
+    enum Kind {
+        Alpha = 0,
+        Beta = 1,
+    }
+
+    #[test]
+    fn derive_named_struct() {
+        let p = Point {
+            x: 3,
+            y: 1.5,
+            label: "hi",
+            tags: vec![true, false],
+            hist: [1, 2, 3],
+            nested: Some(Inner { v: -4 }),
+        };
+        let Value::Object(fields) = p.to_value() else { panic!("not an object") };
+        assert_eq!(fields.len(), 6);
+        assert_eq!(fields[0], ("x".to_string(), Value::UInt(3)));
+        assert_eq!(fields[2], ("label".to_string(), Value::Str("hi".into())));
+        let Value::Object(inner) = &fields[5].1 else { panic!("nested") };
+        assert_eq!(inner[0], ("v".to_string(), Value::Int(-4)));
+    }
+
+    #[test]
+    fn derive_newtype_and_enum() {
+        assert_eq!(Wrapper(9).to_value(), Value::UInt(9));
+        assert_eq!(Kind::Beta.to_value(), Value::Str("Beta".into()));
+        assert_eq!(Kind::Alpha.to_value(), Value::Str("Alpha".into()));
+    }
+
+    #[test]
+    fn option_none_is_null() {
+        let none: Option<u32> = None;
+        assert_eq!(none.to_value(), Value::Null);
+    }
+}
