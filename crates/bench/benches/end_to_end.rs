@@ -63,7 +63,10 @@ fn bench_networks(c: &mut Criterion) {
 
     g.bench_function("sdm_hybrid_36n", |b| {
         b.iter(|| {
-            let cfg = SdmConfig { net: net_cfg, ..Default::default() };
+            let cfg = SdmConfig {
+                net: net_cfg,
+                ..Default::default()
+            };
             let mut net = Network::new(mesh, move |id| SdmNode::new(id, &cfg));
             let mut src = SyntheticSource::new(mesh, TrafficPattern::UniformRandom, 0.15, 5, 3);
             black_box(drive(&mut net, &mut src, CYCLES))

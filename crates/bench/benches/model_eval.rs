@@ -30,7 +30,10 @@ fn bench_energy_eval(c: &mut Criterion) {
     c.bench_function("energy_model_evaluate", |b| {
         b.iter(|| black_box(model.evaluate(black_box(&events), black_box(&leakage))))
     });
-    let point = DvfsPoint { vdd_v: 0.85, freq_ghz: 1.0 };
+    let point = DvfsPoint {
+        vdd_v: 0.85,
+        freq_ghz: 1.0,
+    };
     let breakdown = model.evaluate(&events, &leakage);
     c.bench_function("dvfs_rescale", |b| {
         b.iter(|| black_box(point.rescale(black_box(&breakdown))))

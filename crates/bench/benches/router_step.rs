@@ -80,7 +80,8 @@ fn bench_tdm_router_step(c: &mut Criterion) {
             r.step(now, &mut out);
             for v in 0..4u8 {
                 while r.pipeline.outputs[Port::East.index()].credits[v as usize] < 5 {
-                    r.pipeline.accept_credit(noc_sim::Direction::East, noc_sim::Credit { vc: v });
+                    r.pipeline
+                        .accept_credit(noc_sim::Direction::East, noc_sim::Credit { vc: v });
                 }
             }
             now += 1;

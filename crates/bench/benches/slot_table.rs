@@ -65,5 +65,10 @@ fn bench_find_free_run(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_lookup, bench_reserve_release, bench_find_free_run);
+criterion_group!(
+    benches,
+    bench_lookup,
+    bench_reserve_release,
+    bench_find_free_run
+);
 criterion_main!(benches);

@@ -8,19 +8,24 @@
 //! the workload takes — both networks slow down identically, so the
 //! comparison stays apples-to-apples.)
 
-use noc_bench::{format_table, paper_phases, quick_flag, run_synthetic, SynthKind};
+use noc_bench::{
+    format_table, paper_phases, quick_flag, run_synthetic, scenario_mode_ran, BackendKind,
+};
 use noc_power::DvfsPoint;
 use noc_sim::Mesh;
 use noc_traffic::TrafficPattern;
 
 fn main() {
+    if scenario_mode_ran() {
+        return;
+    }
     let quick = quick_flag();
     let mesh = Mesh::square(6);
     let phases = paper_phases(quick);
     let rate = 0.20;
 
     let base = run_synthetic(
-        SynthKind::PacketVc4,
+        BackendKind::PacketVc4,
         mesh,
         TrafficPattern::Transpose,
         rate,
@@ -28,7 +33,7 @@ fn main() {
         41,
     );
     let tdm = run_synthetic(
-        SynthKind::HybridTdmVct,
+        BackendKind::HybridTdmVct,
         mesh,
         TrafficPattern::Transpose,
         rate,
@@ -41,7 +46,10 @@ fn main() {
     let mut rows = Vec::new();
     for freq in [1.5, 1.2, 1.0, 0.75] {
         let vdd = DvfsPoint::voltage_for(freq);
-        let p = DvfsPoint { vdd_v: vdd, freq_ghz: freq };
+        let p = DvfsPoint {
+            vdd_v: vdd,
+            freq_ghz: freq,
+        };
         assert!(p.is_feasible());
         let b = p.rescale(&base.breakdown);
         let t = p.rescale(&tdm.breakdown);
@@ -56,7 +64,13 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["operating point", "Packet-VC4 (pJ)", "Hybrid-TDM-VCt (pJ)", "hybrid saving", "static share"],
+            &[
+                "operating point",
+                "Packet-VC4 (pJ)",
+                "Hybrid-TDM-VCt (pJ)",
+                "hybrid saving",
+                "static share"
+            ],
             &rows
         )
     );

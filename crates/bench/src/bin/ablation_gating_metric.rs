@@ -9,17 +9,24 @@
 //! hybrid network a naive latency signal conflates circuit slot-waits with
 //! congestion and mis-tunes the VCs; see the discussion in EXPERIMENTS.md.)
 
-use noc_bench::{format_table, paper_phases, quick_flag};
+use noc_bench::{format_table, paper_phases, quick_flag, scenario_mode_ran};
 use noc_power::EnergyModel;
 use noc_sim::{GatingConfig, Mesh, Network, NetworkConfig, PacketNode};
 use noc_traffic::{OpenLoop, SyntheticSource, TrafficPattern};
 use rayon::prelude::*;
 
 fn main() {
+    if scenario_mode_ran() {
+        return;
+    }
     let quick = quick_flag();
     let mesh = Mesh::square(6);
     let phases = paper_phases(quick);
-    let rates = if quick { vec![0.05, 0.15, 0.30] } else { vec![0.05, 0.10, 0.15, 0.22, 0.30] };
+    let rates = if quick {
+        vec![0.05, 0.15, 0.30]
+    } else {
+        vec![0.05, 0.10, 0.15, 0.22, 0.30]
+    };
 
     let variants: [(&str, Option<GatingConfig>); 3] = [
         ("no gating", None),
@@ -78,7 +85,12 @@ fn main() {
         println!(
             "{}",
             format_table(
-                &["rate", "avg latency", "p99 latency ≤", "energy vs no-gating %"],
+                &[
+                    "rate",
+                    "avg latency",
+                    "p99 latency ≤",
+                    "energy vs no-gating %"
+                ],
                 &rows
             )
         );

@@ -6,19 +6,26 @@
 //! requires one extra slot on *every* reservation (§III-A2), and that
 //! standing 25 % bandwidth tax costs more than its rides recover here.
 
-use noc_bench::{format_table, quick_flag};
-use noc_hetero::driver::hetero_tdm_config;
-use noc_hetero::{run_mix, Floorplan, HeteroPhases, HeteroWorkload, NetKind, CPU_BENCHES, GPU_BENCHES};
+use noc_bench::{format_table, quick_flag, scenario_mode_ran, BackendKind};
+use noc_hetero::{mix_phases, run_mix, Floorplan, HeteroWorkload, CPU_BENCHES, GPU_BENCHES};
 use noc_power::EnergyModel;
+use noc_scenario::hetero_tdm_config;
 use noc_sim::NetworkConfig;
+use noc_traffic::run_phases;
 use rayon::prelude::*;
 use tdm_noc::{SharingConfig, TdmNetwork};
 
 fn main() {
+    if scenario_mode_ran() {
+        return;
+    }
     let quick = quick_flag();
-    let phases = if quick { HeteroPhases::quick() } else { HeteroPhases::default() };
-    let mixes: Vec<(usize, usize)> =
-        if quick { vec![(0, 0), (2, 1), (6, 0)] } else { (0..7).map(|g| (g, g % 8)).collect() };
+    let phases = mix_phases(quick);
+    let mixes: Vec<(usize, usize)> = if quick {
+        vec![(0, 0), (2, 1), (6, 0)]
+    } else {
+        (0..7).map(|g| (g, g % 8)).collect()
+    };
 
     let variants = [
         ("none", SharingConfig::DISABLED),
@@ -32,44 +39,23 @@ fn main() {
             let mut saving_sum = 0.0;
             let (mut rides, mut vic, mut fails) = (0u64, 0u64, 0u64);
             for &(gi, ci) in &mixes {
-                let base =
-                    run_mix(&CPU_BENCHES[ci], &GPU_BENCHES[gi], NetKind::PacketVc4, phases, 7);
-                let mut cfg = hetero_tdm_config(NetKind::HybridTdmVc4, NetworkConfig::default());
+                let base = run_mix(
+                    &CPU_BENCHES[ci],
+                    &GPU_BENCHES[gi],
+                    BackendKind::PacketVc4,
+                    phases,
+                    7,
+                )
+                .expect("mix runs");
+                let mut cfg =
+                    hetero_tdm_config(BackendKind::HybridTdmVc4, NetworkConfig::default())
+                        .expect("TDM backend");
                 cfg.sharing = *sharing;
                 let mut net = TdmNetwork::new(cfg);
-                let mut w = HeteroWorkload::new(
-                    Floorplan::figure7(),
-                    CPU_BENCHES[ci],
-                    GPU_BENCHES[gi],
-                    7,
-                );
-                let mut scratch = Vec::new();
-                for phase in 0..3 {
-                    let (cycles, measured) = match phase {
-                        0 => (phases.warmup, false),
-                        1 => (phases.measure, true),
-                        _ => (phases.drain, false),
-                    };
-                    if phase == 1 {
-                        net.begin_measurement();
-                    }
-                    for _ in 0..cycles {
-                        if phase == 2
-                            && net.stats().packets_delivered >= net.stats().packets_offered
-                        {
-                            break;
-                        }
-                        let now = net.now();
-                        w.tick(now, measured, |n, p| scratch.push((n, p)));
-                        for (n, p) in scratch.drain(..) {
-                            net.inject(n, p);
-                        }
-                        net.step();
-                    }
-                }
-                net.end_measurement();
-                net.net.stats.measured_cycles = phases.measure;
-                let e = EnergyModel::default().evaluate_stats(net.stats());
+                let mut w =
+                    HeteroWorkload::new(Floorplan::figure7(), CPU_BENCHES[ci], GPU_BENCHES[gi], 7);
+                let r = run_phases(&mut net, &mut w, phases);
+                let e = EnergyModel::default().evaluate_stats(&r.stats);
                 saving_sum += e.saving_vs(&base.breakdown);
                 let ev = net.net.total_events();
                 rides += ev.hitchhike_rides;
@@ -90,7 +76,13 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["sharing", "avg energy saving %", "hitchhikes", "vicinity rides", "share fails"],
+            &[
+                "sharing",
+                "avg energy saving %",
+                "hitchhikes",
+                "vicinity rides",
+                "share fails"
+            ],
             &rows
         )
     );

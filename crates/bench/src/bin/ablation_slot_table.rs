@@ -5,7 +5,7 @@
 //!
 //! Run with `--quick` for fewer points.
 
-use noc_bench::{format_table, paper_phases, quick_flag};
+use noc_bench::{format_table, paper_phases, quick_flag, scenario_mode_ran};
 use noc_power::EnergyModel;
 use noc_sim::{Mesh, Network, NetworkConfig, PacketNode};
 use noc_traffic::{OpenLoop, SyntheticSource, TrafficPattern};
@@ -13,11 +13,18 @@ use rayon::prelude::*;
 use tdm_noc::{TdmConfig, TdmNetwork};
 
 fn main() {
+    if scenario_mode_ran() {
+        return;
+    }
     let quick = quick_flag();
     let mesh = Mesh::square(6);
     let phases = paper_phases(quick);
     let rate = 0.15;
-    let sizes: Vec<u16> = if quick { vec![16, 64, 256] } else { vec![8, 16, 32, 64, 128, 256] };
+    let sizes: Vec<u16> = if quick {
+        vec![16, 64, 256]
+    } else {
+        vec![8, 16, 32, 64, 128, 256]
+    };
 
     // Baseline for the energy ratio.
     let net_cfg = NetworkConfig::with_mesh(mesh);
@@ -41,13 +48,16 @@ fn main() {
                 SyntheticSource::new(mesh, TrafficPattern::Tornado, rate, 5, 9),
                 phases,
             )
-            .run(&mut net.net);
+            .run(&mut net);
             (s, r)
         })
         .collect();
 
     println!("=== §II-C ablation — slot-table size, tornado @ {rate} flits/node/cycle ===");
-    println!("(baseline Packet-VC4 latency: {:.1} cycles)\n", r_base.avg_latency);
+    println!(
+        "(baseline Packet-VC4 latency: {:.1} cycles)\n",
+        r_base.avg_latency
+    );
     let mut rows = Vec::new();
     for (s, r) in &results {
         let e = EnergyModel::default().evaluate_stats(&r.stats);
@@ -62,7 +72,13 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["slots S", "latency (cyc)", "CS flits %", "setup fails", "energy saving %"],
+            &[
+                "slots S",
+                "latency (cyc)",
+                "CS flits %",
+                "setup fails",
+                "energy saving %"
+            ],
             &rows
         )
     );

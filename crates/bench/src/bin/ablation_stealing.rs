@@ -2,17 +2,24 @@
 //! reserved-but-idle slot blocks the packet-switched network, wasting the
 //! bandwidth the circuits are not using.
 
-use noc_bench::{format_table, paper_phases, quick_flag};
+use noc_bench::{format_table, paper_phases, quick_flag, scenario_mode_ran};
 use noc_sim::{Mesh, NetworkConfig};
 use noc_traffic::{OpenLoop, SyntheticSource, TrafficPattern};
 use rayon::prelude::*;
 use tdm_noc::{TdmConfig, TdmNetwork};
 
 fn main() {
+    if scenario_mode_ran() {
+        return;
+    }
     let quick = quick_flag();
     let mesh = Mesh::square(6);
     let phases = paper_phases(quick);
-    let rates = if quick { vec![0.15, 0.30, 0.45] } else { vec![0.10, 0.15, 0.22, 0.30, 0.38, 0.45] };
+    let rates = if quick {
+        vec![0.15, 0.30, 0.45]
+    } else {
+        vec![0.10, 0.15, 0.22, 0.30, 0.38, 0.45]
+    };
 
     let jobs: Vec<(bool, f64)> = [true, false]
         .into_iter()
@@ -30,7 +37,7 @@ fn main() {
                 SyntheticSource::new(mesh, TrafficPattern::UniformRandom, rate, 5, 13),
                 phases,
             )
-            .run(&mut net.net);
+            .run(&mut net);
             (stealing, rate, r)
         })
         .collect();
@@ -49,15 +56,28 @@ fn main() {
         let off = get(false);
         rows.push(vec![
             format!("{rate:.2}"),
-            format!("{:.1}{}", on.avg_latency, if on.saturated { "*" } else { "" }),
-            format!("{:.1}{}", off.avg_latency, if off.saturated { "*" } else { "" }),
+            format!(
+                "{:.1}{}",
+                on.avg_latency,
+                if on.saturated { "*" } else { "" }
+            ),
+            format!(
+                "{:.1}{}",
+                off.avg_latency,
+                if off.saturated { "*" } else { "" }
+            ),
             format!("{}", on.stats.events.slots_stolen),
         ]);
     }
     println!(
         "{}",
         format_table(
-            &["rate", "latency, stealing ON", "latency, stealing OFF", "slots stolen"],
+            &[
+                "rate",
+                "latency, stealing ON",
+                "latency, stealing OFF",
+                "slots stolen"
+            ],
             &rows
         )
     );

@@ -8,13 +8,17 @@
 //! VCt adding 2.4–10.9 % (UR), 2.6–10.0 % (TOR), 4.1–9.7 % (TR) over VC4.
 
 use noc_bench::{
-    format_table, json_flag, paper_patterns, paper_phases, quick_flag, run_synthetic, write_json,
-    SynthKind, SynthPoint,
+    format_table, json_flag, paper_patterns, paper_phases, quick_flag, result_envelope,
+    run_synthetic, scenario_mode_ran, step_threads_from_env, write_json, BackendKind, ScenarioSpec,
+    SynthPoint,
 };
 use noc_sim::Mesh;
 use rayon::prelude::*;
 
 fn main() {
+    if scenario_mode_ran() {
+        return;
+    }
     let quick = quick_flag();
     let mesh = Mesh::square(6);
     let phases = paper_phases(quick);
@@ -27,6 +31,7 @@ fn main() {
     };
 
     let mut all_points: Vec<SynthPoint> = Vec::new();
+    let mut all_specs: Vec<ScenarioSpec> = Vec::new();
     for pattern in paper_patterns() {
         // Sample below the baseline's saturation (the paper does the same
         // for Figure 6: "sampled at 75% capacity before Packet-VC4
@@ -34,35 +39,56 @@ fn main() {
         // same work and the energy ratio is meaningless.
         let max_rate = if pattern.name() == "TR" { 0.26 } else { 0.45 };
         let rates: Vec<f64> = rates.iter().copied().filter(|r| *r <= max_rate).collect();
-        let kinds = [SynthKind::PacketVc4, SynthKind::HybridTdmVc4, SynthKind::HybridTdmVct];
+        let kinds = [
+            BackendKind::PacketVc4,
+            BackendKind::HybridTdmVc4,
+            BackendKind::HybridTdmVct,
+        ];
         let mut jobs = Vec::new();
         for kind in kinds {
             for &rate in &rates {
                 jobs.push((kind, rate));
             }
         }
+        for &(kind, rate) in &jobs {
+            let mut spec = ScenarioSpec::synthetic(kind, 6, pattern.clone(), rate, phases, 23);
+            spec.step_threads = step_threads_from_env();
+            all_specs.push(spec);
+        }
         let points: Vec<_> = jobs
             .par_iter()
             .map(|&(kind, rate)| {
-                (kind, rate, run_synthetic(kind, mesh, pattern.clone(), rate, phases, 23))
+                (
+                    kind,
+                    rate,
+                    run_synthetic(kind, mesh, pattern.clone(), rate, phases, 23),
+                )
             })
             .collect();
         all_points.extend(points.iter().map(|(_, _, p)| p.clone()));
 
-        println!("\n=== Figure 5 — network energy saving vs Packet-VC4, {} ===", pattern.name());
-        let header = ["rate", "TDM-VC4 saving %", "TDM-VCt saving %", "VCt extra %"];
+        println!(
+            "\n=== Figure 5 — network energy saving vs Packet-VC4, {} ===",
+            pattern.name()
+        );
+        let header = [
+            "rate",
+            "TDM-VC4 saving %",
+            "TDM-VCt saving %",
+            "VCt extra %",
+        ];
         let mut rows = Vec::new();
         for &rate in &rates {
-            let get = |kind: SynthKind| {
+            let get = |kind: BackendKind| {
                 points
                     .iter()
                     .find(|(k, r, _)| *k == kind && (*r - rate).abs() < 1e-9)
                     .map(|(_, _, p)| p.breakdown)
                     .expect("point exists")
             };
-            let base = get(SynthKind::PacketVc4);
-            let vc4 = get(SynthKind::HybridTdmVc4);
-            let vct = get(SynthKind::HybridTdmVct);
+            let base = get(BackendKind::PacketVc4);
+            let vc4 = get(BackendKind::HybridTdmVc4);
+            let vct = get(BackendKind::HybridTdmVct);
             let s4 = vc4.saving_vs(&base) * 100.0;
             let st = vct.saving_vs(&base) * 100.0;
             rows.push(vec![
@@ -78,7 +104,7 @@ fn main() {
     println!("VCt adds 2.4-10.9% (UR), 2.6-10.0% (TOR), 4.1-9.7% (TR) over VC4, gap shrinking with load.");
 
     if let Some(path) = json_flag() {
-        write_json(&path, &all_points).expect("write JSON");
+        write_json(&path, &result_envelope(&all_specs, &all_points)).expect("write JSON");
         println!("raw points written to {path}");
     }
 }

@@ -9,13 +9,16 @@
 //! communication pairs grow quadratically while slot tables do not.
 
 use noc_bench::{
-    format_table, max_goodput, paper_patterns, paper_phases, quick_flag, run_synthetic, SynthKind,
-    SynthPoint,
+    format_table, max_goodput, paper_patterns, paper_phases, quick_flag, run_synthetic,
+    scenario_mode_ran, BackendKind, SynthPoint,
 };
 use noc_sim::Mesh;
 use rayon::prelude::*;
 
 fn main() {
+    if scenario_mode_ran() {
+        return;
+    }
     let quick = quick_flag();
     let phases = paper_phases(quick);
     let meshes = [Mesh::square(8), Mesh::square(16)];
@@ -34,7 +37,7 @@ fn main() {
         );
         let mut rows = Vec::new();
         for pattern in paper_patterns() {
-            let jobs: Vec<(SynthKind, f64)> = [SynthKind::PacketVc4, SynthKind::HybridTdmVct]
+            let jobs: Vec<(BackendKind, f64)> = [BackendKind::PacketVc4, BackendKind::HybridTdmVct]
                 .into_iter()
                 .flat_map(|k| rates.iter().map(move |&r| (k, r)))
                 .collect();
@@ -43,11 +46,11 @@ fn main() {
                 .map(|&(kind, rate)| run_synthetic(kind, mesh, pattern.clone(), rate, phases, 31))
                 .collect();
 
-            let of_kind = |kind: SynthKind| -> Vec<SynthPoint> {
+            let of_kind = |kind: BackendKind| -> Vec<SynthPoint> {
                 points.iter().filter(|p| p.kind == kind).cloned().collect()
             };
-            let base_pts = of_kind(SynthKind::PacketVc4);
-            let tdm_pts = of_kind(SynthKind::HybridTdmVct);
+            let base_pts = of_kind(BackendKind::PacketVc4);
+            let tdm_pts = of_kind(BackendKind::HybridTdmVct);
             let base_sat = max_goodput(&base_pts);
             let tdm_sat = max_goodput(&tdm_pts);
             let thr_improvement = (tdm_sat / base_sat - 1.0) * 100.0;
@@ -80,7 +83,14 @@ fn main() {
         println!(
             "{}",
             format_table(
-                &["pattern", "base sat", "TDM sat", "thr improvement", "sample rate", "energy saving"],
+                &[
+                    "pattern",
+                    "base sat",
+                    "TDM sat",
+                    "thr improvement",
+                    "sample rate",
+                    "energy saving"
+                ],
                 &rows
             )
         );

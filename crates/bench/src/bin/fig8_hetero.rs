@@ -8,8 +8,8 @@
 //! configuration; BLACKSCHOLES saving up to 23.8 %; STO *costs* energy
 //! under basic Hybrid-TDM-VC4.
 
-use noc_bench::{format_table, quick_flag};
-use noc_hetero::{run_mix, speedup, HeteroPhases, MixResult, NetKind, CPU_BENCHES, GPU_BENCHES};
+use noc_bench::{format_table, quick_flag, scenario_mode_ran, BackendKind};
+use noc_hetero::{mix_phases, run_mix, speedup, MixResult, CPU_BENCHES, GPU_BENCHES};
 use rayon::prelude::*;
 
 struct MixRow {
@@ -21,8 +21,11 @@ struct MixRow {
 }
 
 fn main() {
+    if scenario_mode_ran() {
+        return;
+    }
     let quick = quick_flag();
-    let phases = if quick { HeteroPhases::quick() } else { HeteroPhases::default() };
+    let phases = mix_phases(quick);
     // Quick mode: 2 CPU benchmarks x 7 GPU = 14 mixes; full: all 56.
     let cpu_count = if quick { 2 } else { CPU_BENCHES.len() };
 
@@ -36,19 +39,29 @@ fn main() {
             let gpu = &GPU_BENCHES[gi];
             let cpu = &CPU_BENCHES[ci];
             let seed = (gi * 8 + ci) as u64 + 7;
-            let base = run_mix(cpu, gpu, NetKind::PacketVc4, phases, seed);
-            let per_kind = NetKind::FIGURE8
+            let base = run_mix(cpu, gpu, BackendKind::PacketVc4, phases, seed).expect("mix runs");
+            let per_kind = BackendKind::FIGURE8
                 .iter()
                 .map(|&kind| {
-                    let r = run_mix(cpu, gpu, kind, phases, seed);
+                    let r = run_mix(cpu, gpu, kind, phases, seed).expect("mix runs");
                     metrics(cpu, gpu, &base, &r)
                 })
                 .collect();
-            MixRow { mix: format!("{}+{}", gpu.name, cpu.name), gpu_idx: gi, cpu_idx: ci, per_kind }
+            MixRow {
+                mix: format!("{}+{}", gpu.name, cpu.name),
+                gpu_idx: gi,
+                cpu_idx: ci,
+                per_kind,
+            }
         })
         .collect();
 
-    print_figure(&rows, 0, "Figure 8(a) — network energy saving vs Packet-VC4 (%)", 100.0);
+    print_figure(
+        &rows,
+        0,
+        "Figure 8(a) — network energy saving vs Packet-VC4 (%)",
+        100.0,
+    );
     print_figure(&rows, 1, "Figure 8(b) — CPU speedup vs Packet-VC4", 1.0);
     print_figure(&rows, 2, "Figure 8(c) — GPU speedup vs Packet-VC4", 1.0);
 
@@ -80,9 +93,14 @@ fn metrics(
 
 fn print_figure(rows: &[MixRow], metric: usize, title: &str, scale: f64) {
     println!("\n=== {title} ===");
-    let header = ["mix", "Hybrid-TDM-VC4", "Hybrid-TDM-hop-VC4", "Hybrid-TDM-hop-VCt"];
+    let header = [
+        "mix",
+        "Hybrid-TDM-VC4",
+        "Hybrid-TDM-hop-VC4",
+        "Hybrid-TDM-hop-VCt",
+    ];
     let mut out_rows = Vec::new();
-    let mut geo: Vec<f64> = vec![0.0; NetKind::FIGURE8.len()];
+    let mut geo: Vec<f64> = vec![0.0; BackendKind::FIGURE8.len()];
     let mut last_gpu = usize::MAX;
     for row in rows {
         if row.gpu_idx != last_gpu && row.cpu_idx == 0 {
@@ -117,7 +135,11 @@ fn print_figure(rows: &[MixRow], metric: usize, title: &str, scale: f64) {
     let mut avg_row = vec!["AVG".to_string()];
     for g in &geo {
         let v = if metric == 0 { g / n } else { (g / n).exp() };
-        avg_row.push(if scale == 100.0 { format!("{:+.1}", v * scale) } else { format!("{v:.3}") });
+        avg_row.push(if scale == 100.0 {
+            format!("{:+.1}", v * scale)
+        } else {
+            format!("{v:.3}")
+        });
     }
     out_rows.push(avg_row);
     println!("{}", format_table(&header, &out_rows));

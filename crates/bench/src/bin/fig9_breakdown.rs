@@ -8,14 +8,17 @@
 //! CS dynamic overhead 0.6 %, total dynamic −20.8 %; static −17.3 % with
 //! 2.1 % CS static overhead.
 
-use noc_bench::{format_table, quick_flag};
-use noc_hetero::{run_mix, HeteroPhases, NetKind, CPU_BENCHES, GPU_BENCHES};
+use noc_bench::{format_table, quick_flag, scenario_mode_ran, BackendKind};
+use noc_hetero::{mix_phases, run_mix, CPU_BENCHES, GPU_BENCHES};
 use noc_power::EnergyBreakdown;
 use rayon::prelude::*;
 
 fn main() {
+    if scenario_mode_ran() {
+        return;
+    }
     let quick = quick_flag();
-    let phases = if quick { HeteroPhases::quick() } else { HeteroPhases::default() };
+    let phases = mix_phases(quick);
     let cpu_count = if quick { 2 } else { CPU_BENCHES.len() };
 
     let per_gpu: Vec<(usize, EnergyBreakdown, EnergyBreakdown)> = (0..GPU_BENCHES.len())
@@ -26,8 +29,12 @@ fn main() {
             let mut hyb_sum = EnergyBreakdown::default();
             for (ci, cpu) in CPU_BENCHES.iter().enumerate().take(cpu_count) {
                 let seed = (gi * 8 + ci) as u64 + 77;
-                let b = run_mix(cpu, gpu, NetKind::PacketVc4, phases, seed).breakdown;
-                let h = run_mix(cpu, gpu, NetKind::HybridTdmHopVct, phases, seed).breakdown;
+                let b = run_mix(cpu, gpu, BackendKind::PacketVc4, phases, seed)
+                    .expect("mix runs")
+                    .breakdown;
+                let h = run_mix(cpu, gpu, BackendKind::HybridTdmHopVct, phases, seed)
+                    .expect("mix runs")
+                    .breakdown;
                 base_sum = add(base_sum, b);
                 hyb_sum = add(hyb_sum, h);
             }
@@ -63,7 +70,15 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["GPU bench", "buffers Δ%", "CS share %", "xbar Δ%", "arbiters Δ%", "links Δ%", "dynamic Δ%"],
+            &[
+                "GPU bench",
+                "buffers Δ%",
+                "CS share %",
+                "xbar Δ%",
+                "arbiters Δ%",
+                "links Δ%",
+                "dynamic Δ%"
+            ],
             &rows
         )
     );
@@ -87,7 +102,10 @@ fn main() {
     ]);
     println!(
         "{}",
-        format_table(&["GPU bench", "buffers Δ%", "CS share %", "static Δ%"], &rows)
+        format_table(
+            &["GPU bench", "buffers Δ%", "CS share %", "static Δ%"],
+            &rows
+        )
     );
     println!("(paper: static −17.3% with 2.1% CS overhead; all savings from input buffers;");
     println!(" LIB has the smallest CS overhead — fewer communication pairs, smaller tables)");

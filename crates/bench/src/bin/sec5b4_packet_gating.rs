@@ -9,13 +9,16 @@
 //! Also checks §V-B1's aside: "compared to packet-switched network with VC
 //! power gating (not shown), 6.8% static energy saving is achieved".
 
-use noc_bench::{format_table, quick_flag};
-use noc_hetero::{run_mix, HeteroPhases, NetKind, CPU_BENCHES, GPU_BENCHES};
+use noc_bench::{format_table, quick_flag, scenario_mode_ran, BackendKind};
+use noc_hetero::{mix_phases, run_mix, CPU_BENCHES, GPU_BENCHES};
 use rayon::prelude::*;
 
 fn main() {
+    if scenario_mode_ran() {
+        return;
+    }
     let quick = quick_flag();
-    let phases = if quick { HeteroPhases::quick() } else { HeteroPhases::default() };
+    let phases = mix_phases(quick);
     let cpu_count = if quick { 2 } else { CPU_BENCHES.len() };
 
     let rows: Vec<(String, f64, f64, f64)> = (0..GPU_BENCHES.len())
@@ -25,14 +28,21 @@ fn main() {
             let (mut tot, mut dynr, mut statr) = (0.0, 0.0, 0.0);
             for (ci, cpu) in CPU_BENCHES.iter().enumerate().take(cpu_count) {
                 let seed = (gi * 8 + ci) as u64 + 55;
-                let gated = run_mix(cpu, gpu, NetKind::PacketVct, phases, seed);
-                let hybrid = run_mix(cpu, gpu, NetKind::HybridTdmHopVct, phases, seed);
+                let gated =
+                    run_mix(cpu, gpu, BackendKind::PacketVct, phases, seed).expect("mix runs");
+                let hybrid = run_mix(cpu, gpu, BackendKind::HybridTdmHopVct, phases, seed)
+                    .expect("mix runs");
                 tot += hybrid.breakdown.saving_vs(&gated.breakdown);
                 dynr += hybrid.breakdown.dynamic_saving_vs(&gated.breakdown);
                 statr += hybrid.breakdown.static_saving_vs(&gated.breakdown);
             }
             let n = cpu_count as f64;
-            (gpu.name.to_string(), tot / n * 100.0, dynr / n * 100.0, statr / n * 100.0)
+            (
+                gpu.name.to_string(),
+                tot / n * 100.0,
+                dynr / n * 100.0,
+                statr / n * 100.0,
+            )
         })
         .collect();
 
@@ -60,7 +70,12 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["GPU bench", "total saving %", "dynamic saving %", "static saving %"],
+            &[
+                "GPU bench",
+                "total saving %",
+                "dynamic saving %",
+                "static saving %"
+            ],
             &table
         )
     );

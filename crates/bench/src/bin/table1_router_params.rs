@@ -1,12 +1,15 @@
 //! Table I (router parameters) and §IV-A's RTL-calibrated router area:
 //! 0.177 mm² packet-switched, 0.188 mm² hybrid-switched (+6.2 %).
 
-use noc_bench::format_table;
+use noc_bench::{format_table, scenario_mode_ran};
 use noc_power::AreaModel;
 use noc_sim::NetworkConfig;
 use tdm_noc::TdmConfig;
 
 fn main() {
+    if scenario_mode_ran() {
+        return;
+    }
     let net = NetworkConfig::default();
     let tdm = TdmConfig::default();
     println!("=== Table I — router parameters ===");
@@ -38,8 +41,16 @@ fn main() {
     let packet = area.packet_router_mm2(&net.router);
     let hybrid = area.hybrid_router_mm2(&net.router, tdm.slot_capacity as u32, 8);
     let rows = vec![
-        vec!["packet-switched router".into(), format!("{packet:.4} mm²"), "0.177 mm²".into()],
-        vec!["hybrid-switched router".into(), format!("{hybrid:.4} mm²"), "0.188 mm²".into()],
+        vec![
+            "packet-switched router".into(),
+            format!("{packet:.4} mm²"),
+            "0.177 mm²".into(),
+        ],
+        vec![
+            "hybrid-switched router".into(),
+            format!("{hybrid:.4} mm²"),
+            "0.188 mm²".into(),
+        ],
         vec![
             "hybrid overhead".into(),
             format!("{:+.1}%", (hybrid / packet - 1.0) * 100.0),

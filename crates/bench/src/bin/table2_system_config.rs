@@ -1,10 +1,13 @@
 //! Table II (baseline system configuration) and Figure 7 (the 36-tile
 //! heterogeneous floorplan).
 
-use noc_bench::format_table;
+use noc_bench::{format_table, scenario_mode_ran};
 use noc_hetero::{Floorplan, SystemConfig};
 
 fn main() {
+    if scenario_mode_ran() {
+        return;
+    }
     let c = SystemConfig::default();
     println!("=== Table II — baseline system configuration ===");
     let rows = vec![

@@ -2,8 +2,8 @@
 //! are circuit-switched under Hybrid-TDM-VC4, per GPU benchmark (averaged
 //! over the CPU benchmarks it is mixed with).
 
-use noc_bench::{format_table, quick_flag};
-use noc_hetero::{run_mix, HeteroPhases, NetKind, CPU_BENCHES, GPU_BENCHES};
+use noc_bench::{format_table, quick_flag, scenario_mode_ran, BackendKind};
+use noc_hetero::{mix_phases, run_mix, CPU_BENCHES, GPU_BENCHES};
 use rayon::prelude::*;
 
 /// Paper values for reference output.
@@ -18,8 +18,11 @@ const PAPER: [(&str, f64, f64); 7] = [
 ];
 
 fn main() {
+    if scenario_mode_ran() {
+        return;
+    }
     let quick = quick_flag();
-    let phases = if quick { HeteroPhases::quick() } else { HeteroPhases::default() };
+    let phases = mix_phases(quick);
     // Average each GPU benchmark over a set of CPU mixes.
     let cpus: Vec<_> = if quick {
         CPU_BENCHES.iter().take(2).collect()
@@ -34,7 +37,8 @@ fn main() {
             let mut inj = 0.0;
             let mut cs = 0.0;
             for (ci, cpu) in cpus.iter().enumerate() {
-                let r = run_mix(cpu, gpu, NetKind::HybridTdmVc4, phases, 100 + ci as u64);
+                let r = run_mix(cpu, gpu, BackendKind::HybridTdmVc4, phases, 100 + ci as u64)
+                    .expect("mix runs");
                 inj += r.gpu_injection;
                 cs += r.cs_flit_fraction;
             }
@@ -58,7 +62,13 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["GPU benchmark", "inj (model)", "inj (paper)", "CS % (model)", "CS % (paper)"],
+            &[
+                "GPU benchmark",
+                "inj (model)",
+                "inj (paper)",
+                "CS % (model)",
+                "CS % (paper)"
+            ],
             &rows
         )
     );

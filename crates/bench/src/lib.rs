@@ -1,9 +1,16 @@
 //! # noc-bench — experiment harnesses for every table and figure
 //!
 //! One binary per table/figure of the paper (`src/bin/`), plus Criterion
-//! microbenchmarks (`benches/`). This library holds the shared plumbing:
-//! building each evaluated network configuration, sweeping injection rates,
-//! and formatting result tables.
+//! microbenchmarks (`benches/`). Network construction goes through the
+//! `noc-scenario` backend registry ([`BackendKind`] + [`build_fabric`])
+//! and every run goes through the shared engine
+//! ([`noc_traffic::run_phases`]); this library holds what is left: the
+//! per-figure sweeps, saturation search and table/chart formatting.
+//!
+//! Every binary accepts `--scenario <file>` to run declarative
+//! [`ScenarioSpec`]s (JSON) instead of its built-in paper configuration,
+//! and binaries with `--json <path>` wrap their raw measurement points in
+//! the schema-versioned envelope ([`result_envelope`]).
 //!
 //! | Paper artefact | Binary |
 //! |---|---|
@@ -18,79 +25,21 @@
 //! | §II-C / §II-D / §III-A / §V-B4 design choices | `ablation_slot_table`, `ablation_stealing`, `ablation_sharing`, `ablation_gating_metric` |
 
 use noc_power::{EnergyBreakdown, EnergyModel};
-use noc_sdm::{SdmConfig, SdmNode};
-use noc_sim::{GatingConfig, Mesh, Network, NetworkConfig, PacketNode};
-use noc_traffic::{OpenLoop, PhaseConfig, RunResult, SyntheticSource, TrafficPattern};
-use tdm_noc::{TdmConfig, TdmNetwork};
+use noc_sim::{Mesh, NetworkConfig};
+use noc_traffic::{run_phases, PhaseConfig, RunResult, SyntheticSource, TrafficPattern};
+use serde::{Serialize, Value};
 
-/// Network configurations compared on synthetic traffic (Figure 4/5/6).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize)]
-pub enum SynthKind {
-    /// Baseline packet-switched, 4 VCs.
-    PacketVc4,
-    /// SDM-based hybrid (Jerger et al. \[5\]), 4 VCs.
-    HybridSdmVc4,
-    /// TDM-based hybrid, 4 VCs.
-    HybridTdmVc4,
-    /// TDM-based hybrid with aggressive VC power gating.
-    HybridTdmVct,
-}
-
-impl SynthKind {
-    pub fn label(self) -> &'static str {
-        match self {
-            SynthKind::PacketVc4 => "Packet-VC4",
-            SynthKind::HybridSdmVc4 => "Hybrid-SDM-VC4",
-            SynthKind::HybridTdmVc4 => "Hybrid-TDM-VC4",
-            SynthKind::HybridTdmVct => "Hybrid-TDM-VCt",
-        }
-    }
-
-    pub const ALL: [SynthKind; 4] = [
-        SynthKind::PacketVc4,
-        SynthKind::HybridSdmVc4,
-        SynthKind::HybridTdmVc4,
-        SynthKind::HybridTdmVct,
-    ];
-}
-
-/// TDM configuration used for the synthetic studies: Table I parameters
-/// (128-entry slot tables, fixed — the dynamic-granularity controller is a
-/// realistic-workload feature), a permissive stall budget (the paper
-/// circuit-switches whatever it can, which is exactly what produces the
-/// long UR latencies of Figure 4), and a frequency trigger slow enough that
-/// low-rate uniform-random traffic builds few circuits.
-pub fn synthetic_tdm_config(net: NetworkConfig, slot_capacity: u16, gating: bool) -> TdmConfig {
-    let mut cfg = TdmConfig::vc4(net);
-    cfg.slot_capacity = slot_capacity;
-    cfg.policy.setup_after_msgs = 3;
-    cfg.policy.freq_window = 2_048;
-    cfg.policy.max_connections = 24;
-    // Uniform-random traffic cannot fit all pairs into the tables; damp the
-    // resend churn the paper describes for that case (§II-B).
-    cfg.policy.setup_retries = 2;
-    cfg.policy.retry_cooldown = 2_048;
-    if gating {
-        cfg.gating = Some(GatingConfig::default());
-    }
-    cfg
-}
-
-/// Slot-table size for a mesh, following §IV-D: 128 entries up to 36
-/// nodes, 256 for larger networks ("we also increase the slot table size
-/// to 256 for the larger network").
-pub fn slot_capacity_for(mesh: Mesh) -> u16 {
-    if mesh.len() > 64 {
-        256
-    } else {
-        128
-    }
-}
+pub use noc_hetero::MixResult;
+pub use noc_scenario::{
+    build_fabric, json_flag, quick_flag, result_envelope, scenario_flag, scenario_specs_from_cli,
+    slot_capacity_for, step_threads_from_env, write_json, BackendKind, ScenarioError, ScenarioSpec,
+    TrafficSpec, Tuning, SCHEMA_VERSION,
+};
 
 /// One synthetic measurement point.
 #[derive(Clone, Debug, serde::Serialize)]
 pub struct SynthPoint {
-    pub kind: SynthKind,
+    pub kind: BackendKind,
     pub pattern: &'static str,
     pub rate: f64,
     pub result: RunResult,
@@ -101,9 +50,35 @@ pub struct SynthPoint {
     pub goodput: f64,
 }
 
-/// Run one synthetic point.
+fn synth_point(
+    kind: BackendKind,
+    pattern: &'static str,
+    rate: f64,
+    result: RunResult,
+    nodes: usize,
+    ps_packet_flits: u8,
+) -> SynthPoint {
+    let breakdown = EnergyModel::default().evaluate_stats(&result.stats);
+    let goodput = if result.stats.measured_cycles == 0 {
+        0.0
+    } else {
+        result.stats.packets_delivered as f64 * ps_packet_flits as f64
+            / (result.stats.measured_cycles as f64 * nodes as f64)
+    };
+    SynthPoint {
+        kind,
+        pattern,
+        rate,
+        result,
+        breakdown,
+        goodput,
+    }
+}
+
+/// Run one synthetic point through the registry-built fabric and the
+/// shared engine.
 pub fn run_synthetic(
-    kind: SynthKind,
+    kind: BackendKind,
     mesh: Mesh,
     pattern: TrafficPattern,
     rate: f64,
@@ -112,60 +87,181 @@ pub fn run_synthetic(
 ) -> SynthPoint {
     let mut net_cfg = NetworkConfig::with_mesh(mesh);
     net_cfg.step_threads = step_threads_from_env();
-    let source = SyntheticSource::new(mesh, pattern.clone(), rate, net_cfg.ps_packet_flits, seed);
-    let mut driver = OpenLoop::new(source, phases);
-    let result = match kind {
-        SynthKind::PacketVc4 => {
-            let mut net = Network::new(mesh, |id| PacketNode::new(id, &net_cfg, None));
-            net.set_step_threads(net_cfg.step_threads);
-            driver.run(&mut net)
-        }
-        SynthKind::HybridSdmVc4 => {
-            let sdm_cfg = SdmConfig {
-                net: net_cfg,
-                setup_after_msgs: 3,
-                freq_window: 2_048,
-                ..Default::default()
-            };
-            let mut net = Network::new(mesh, move |id| SdmNode::new(id, &sdm_cfg));
-            net.set_step_threads(net_cfg.step_threads);
-            driver.run(&mut net)
-        }
-        SynthKind::HybridTdmVc4 | SynthKind::HybridTdmVct => {
-            let cfg = synthetic_tdm_config(
-                net_cfg,
-                slot_capacity_for(mesh),
-                kind == SynthKind::HybridTdmVct,
-            );
-            let mut net = TdmNetwork::new(cfg);
-            driver.run(&mut net.net)
-        }
-    };
-    let breakdown = EnergyModel::default().evaluate_stats(&result.stats);
-    let nodes = mesh.len() as f64;
-    let goodput = if result.stats.measured_cycles == 0 {
-        0.0
-    } else {
-        result.stats.packets_delivered as f64 * net_cfg.ps_packet_flits as f64
-            / (result.stats.measured_cycles as f64 * nodes)
-    };
-    SynthPoint {
+    let mut source =
+        SyntheticSource::new(mesh, pattern.clone(), rate, net_cfg.ps_packet_flits, seed);
+    let mut fabric = build_fabric(
         kind,
-        pattern: pattern_name(&pattern),
+        net_cfg,
+        Tuning::Synthetic {
+            slot_capacity: None,
+        },
+    )
+    .expect("every backend builds under the synthetic tuning");
+    let result = run_phases(fabric.as_mut(), &mut source, phases);
+    synth_point(
+        kind,
+        pattern.name(),
         rate,
         result,
-        breakdown,
-        goodput,
+        mesh.len(),
+        net_cfg.ps_packet_flits,
+    )
+}
+
+/// Run a synthetic [`ScenarioSpec`] (hetero specs are rejected — those
+/// resolve through `noc_hetero::run_spec`).
+pub fn run_synthetic_spec(spec: &ScenarioSpec) -> Result<SynthPoint, ScenarioError> {
+    let TrafficSpec::Synthetic { pattern, rate } = &spec.traffic else {
+        return Err(ScenarioError::Parse(
+            "run_synthetic_spec needs a synthetic scenario (pattern+rate)".into(),
+        ));
+    };
+    let (name, rate) = (pattern.name(), *rate);
+    let mut fabric = spec.build_fabric()?;
+    let mut source = spec.build_source().expect("synthetic traffic has a source");
+    let result = run_phases(fabric.as_mut(), &mut source, spec.phases);
+    let net_cfg = spec.net_config();
+    Ok(synth_point(
+        spec.backend,
+        name,
+        rate,
+        result,
+        net_cfg.mesh.len(),
+        net_cfg.ps_packet_flits,
+    ))
+}
+
+/// What one scenario spec produced: a synthetic sweep point or a
+/// heterogeneous mix result.
+#[derive(Clone, Debug)]
+pub enum SpecOutcome {
+    Synth(SynthPoint),
+    Hetero(MixResult),
+}
+
+impl Serialize for SpecOutcome {
+    fn to_value(&self) -> Value {
+        match self {
+            SpecOutcome::Synth(p) => p.to_value(),
+            SpecOutcome::Hetero(m) => m.to_value(),
+        }
     }
 }
 
-fn pattern_name(p: &TrafficPattern) -> &'static str {
-    p.name()
+/// Run any [`ScenarioSpec`], dispatching on its traffic kind.
+pub fn run_spec(spec: &ScenarioSpec) -> Result<SpecOutcome, ScenarioError> {
+    match &spec.traffic {
+        TrafficSpec::Synthetic { .. } => Ok(SpecOutcome::Synth(run_synthetic_spec(spec)?)),
+        TrafficSpec::Hetero { .. } => Ok(SpecOutcome::Hetero(noc_hetero::run_spec(spec)?)),
+    }
+}
+
+/// Handle the shared `--scenario <file>` flag: when present, run the
+/// spec(s) from the file and return `true` — the binary should then skip
+/// its built-in figure. Scenario errors are fatal (exit code 2).
+pub fn scenario_mode_ran() -> bool {
+    let specs = match scenario_specs_from_cli() {
+        Ok(None) => return false,
+        Ok(Some(specs)) => specs,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = run_scenario_specs(&specs) {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
+    true
+}
+
+/// Run a list of scenario specs, print a generic result table, and (with
+/// `--json <path>`) write the enveloped raw results.
+pub fn run_scenario_specs(specs: &[ScenarioSpec]) -> Result<(), ScenarioError> {
+    let outcomes: Vec<SpecOutcome> = specs.iter().map(run_spec).collect::<Result<_, _>>()?;
+
+    let mut synth_rows = Vec::new();
+    let mut hetero_rows = Vec::new();
+    for (spec, out) in specs.iter().zip(&outcomes) {
+        match out {
+            SpecOutcome::Synth(p) => synth_rows.push(vec![
+                p.kind.label().to_string(),
+                format!("{0}x{0}", spec.mesh),
+                p.pattern.to_string(),
+                format!("{:.3}", p.rate),
+                spec.seed.to_string(),
+                format!(
+                    "{:.1}{}",
+                    p.result.avg_latency,
+                    if p.result.saturated { "*" } else { "" }
+                ),
+                format!("{:.4}", p.result.throughput),
+                format!("{:.4}", p.goodput),
+                format!("{:.3e}", p.breakdown.total_pj()),
+            ]),
+            SpecOutcome::Hetero(m) => hetero_rows.push(vec![
+                m.kind.label().to_string(),
+                m.mix.clone(),
+                spec.seed.to_string(),
+                format!("{:.1}", m.cpu_latency),
+                format!("{:.1}", m.gpu_latency),
+                format!("{:.1}", m.cs_flit_fraction * 100.0),
+                format!("{:.3e}", m.breakdown.total_pj()),
+            ]),
+        }
+    }
+    println!("=== scenario run — {} spec(s) ===\n", specs.len());
+    if !synth_rows.is_empty() {
+        println!(
+            "{}",
+            format_table(
+                &[
+                    "backend",
+                    "mesh",
+                    "pattern",
+                    "rate",
+                    "seed",
+                    "avg latency",
+                    "throughput",
+                    "goodput",
+                    "energy (pJ)"
+                ],
+                &synth_rows
+            )
+        );
+        println!("(* = saturated)\n");
+    }
+    if !hetero_rows.is_empty() {
+        println!(
+            "{}",
+            format_table(
+                &[
+                    "backend",
+                    "mix",
+                    "seed",
+                    "CPU lat",
+                    "GPU lat",
+                    "CS flits %",
+                    "energy (pJ)"
+                ],
+                &hetero_rows
+            )
+        );
+    }
+    if let Some(path) = json_flag() {
+        write_json(&path, &result_envelope(&specs, &outcomes))?;
+        println!("raw results written to {path}");
+    }
+    Ok(())
 }
 
 /// The paper's three synthetic patterns (§IV).
 pub fn paper_patterns() -> [TrafficPattern; 3] {
-    [TrafficPattern::UniformRandom, TrafficPattern::Tornado, TrafficPattern::Transpose]
+    [
+        TrafficPattern::UniformRandom,
+        TrafficPattern::Tornado,
+        TrafficPattern::Transpose,
+    ]
 }
 
 /// Injection-rate sweep for load–latency curves.
@@ -213,7 +309,7 @@ pub fn max_goodput(points: &[SynthPoint]) -> f64 {
 /// principled than max-over-sweep when the sweep grid is coarse; costs
 /// `iters` simulation runs.
 pub fn find_saturation(
-    kind: SynthKind,
+    kind: BackendKind,
     mesh: Mesh,
     pattern: &TrafficPattern,
     phases: PhaseConfig,
@@ -231,31 +327,6 @@ pub fn find_saturation(
         }
     }
     lo
-}
-
-/// Host-side override for [`NetworkConfig::step_threads`]: the
-/// `NOC_STEP_THREADS` environment variable (0 or unset = serial). Safe to
-/// set for any experiment — stepping mode never changes simulated results.
-pub fn step_threads_from_env() -> usize {
-    std::env::var("NOC_STEP_THREADS").ok().and_then(|s| s.parse().ok()).unwrap_or(0)
-}
-
-/// `--quick` flag for every experiment binary.
-pub fn quick_flag() -> bool {
-    std::env::args().any(|a| a == "--quick" || a == "-q")
-}
-
-/// Optional `--json <path>` flag: experiment binaries that support it dump
-/// their raw measurement points alongside the printed tables.
-pub fn json_flag() -> Option<String> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter().position(|a| a == "--json").and_then(|i| args.get(i + 1).cloned())
-}
-
-/// Serialize any measurement structure to pretty JSON on disk.
-pub fn write_json<T: serde::Serialize>(path: &str, value: &T) -> std::io::Result<()> {
-    let json = serde_json::to_string_pretty(value).expect("serializable");
-    std::fs::write(path, json)
 }
 
 /// One chart series: label, plot glyph, and (x, y) points.
@@ -341,7 +412,10 @@ pub fn format_table(header: &[&str], rows: &[Vec<String>]) -> String {
             .collect::<Vec<_>>()
             .join("  ")
     };
-    out.push_str(&fmt_row(header.iter().map(|s| s.to_string()).collect(), &widths));
+    out.push_str(&fmt_row(
+        header.iter().map(|s| s.to_string()).collect(),
+        &widths,
+    ));
     out.push('\n');
     out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
     out.push('\n');
@@ -360,7 +434,7 @@ mod tests {
     fn synthetic_point_runs_for_every_kind() {
         let mesh = Mesh::square(4);
         let phases = PhaseConfig::quick();
-        for kind in SynthKind::ALL {
+        for kind in BackendKind::SYNTH {
             let p = run_synthetic(kind, mesh, TrafficPattern::Transpose, 0.08, phases, 3);
             assert!(
                 p.result.stats.packets_delivered > 50,
@@ -379,7 +453,7 @@ mod tests {
         // Transpose has one destination per source: circuits must form.
         let mesh = Mesh::square(6);
         let p = run_synthetic(
-            SynthKind::HybridTdmVc4,
+            BackendKind::HybridTdmVc4,
             mesh,
             TrafficPattern::Transpose,
             0.20,
@@ -391,6 +465,40 @@ mod tests {
             "TR CS fraction {:.3}",
             p.result.stats.events.cs_flit_fraction()
         );
+    }
+
+    #[test]
+    fn spec_runner_matches_direct_call() {
+        // The spec path and the direct call are the same construction and
+        // the same engine; on the same seed they must agree exactly.
+        let spec = ScenarioSpec::synthetic(
+            BackendKind::HybridTdmVct,
+            4,
+            TrafficPattern::Tornado,
+            0.12,
+            PhaseConfig::quick(),
+            21,
+        );
+        let via_spec = run_synthetic_spec(&spec).unwrap();
+        let direct = run_synthetic(
+            BackendKind::HybridTdmVct,
+            Mesh::square(4),
+            TrafficPattern::Tornado,
+            0.12,
+            PhaseConfig::quick(),
+            21,
+        );
+        assert_eq!(
+            via_spec.result.stats.packets_delivered,
+            direct.result.stats.packets_delivered
+        );
+        assert_eq!(
+            via_spec.result.stats.latency_sum,
+            direct.result.stats.latency_sum
+        );
+        assert_eq!(via_spec.result.stats.events, direct.result.stats.events);
+        assert_eq!(via_spec.goodput, direct.goodput);
+        assert!(matches!(run_spec(&spec).unwrap(), SpecOutcome::Synth(_)));
     }
 
     #[test]
@@ -431,7 +539,7 @@ mod chart_tests {
         // A 6x6 mesh under transpose saturates well below 1.0 (bisection
         // limit ≈ 0.33) and well above 0.05.
         let sat = find_saturation(
-            SynthKind::PacketVc4,
+            BackendKind::PacketVc4,
             Mesh::square(6),
             &TrafficPattern::Transpose,
             PhaseConfig::quick(),

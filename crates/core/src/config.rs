@@ -16,17 +16,26 @@ pub struct SharingConfig {
 }
 
 impl SharingConfig {
-    pub const DISABLED: SharingConfig =
-        SharingConfig { hitchhiker: false, vicinity: false, dlt_entries: 8 };
+    pub const DISABLED: SharingConfig = SharingConfig {
+        hitchhiker: false,
+        vicinity: false,
+        dlt_entries: 8,
+    };
     /// Hitchhiker-sharing only: the default for the `hop` configurations.
     /// Vicinity-sharing requires one extra slot on *every* reservation
     /// (§III-A2), and in this reproduction that standing 25 % bandwidth tax
     /// costs more energy than the vicinity rides recover (see the
     /// `ablation_sharing` bench), so it is opt-in via [`SharingConfig::FULL`].
-    pub const HITCHHIKER: SharingConfig =
-        SharingConfig { hitchhiker: true, vicinity: false, dlt_entries: 8 };
-    pub const FULL: SharingConfig =
-        SharingConfig { hitchhiker: true, vicinity: true, dlt_entries: 8 };
+    pub const HITCHHIKER: SharingConfig = SharingConfig {
+        hitchhiker: true,
+        vicinity: false,
+        dlt_entries: 8,
+    };
+    pub const FULL: SharingConfig = SharingConfig {
+        hitchhiker: true,
+        vicinity: true,
+        dlt_entries: 8,
+    };
 
     pub fn any(&self) -> bool {
         self.hitchhiker || self.vicinity
@@ -84,7 +93,10 @@ impl Default for CsPolicyConfig {
         CsPolicyConfig {
             setup_after_msgs: 4,
             freq_window: 512,
-            wait_budget: WaitBudget::Adaptive { ps_factor: 2.0, floor_periods: 1.0 },
+            wait_budget: WaitBudget::Adaptive {
+                ps_factor: 2.0,
+                floor_periods: 1.0,
+            },
             setup_retries: 3,
             retry_cooldown: 512,
             idle_teardown: 4_096,
@@ -191,18 +203,29 @@ impl TdmConfig {
 
     /// *Hybrid-TDM-VC4*: basic hybrid switching, 4 VCs, no sharing/gating.
     pub fn vc4(net: NetworkConfig) -> Self {
-        TdmConfig { net, ..Default::default() }
+        TdmConfig {
+            net,
+            ..Default::default()
+        }
     }
 
     /// *Hybrid-TDM-VCt*: hybrid switching with aggressive VC power gating.
     pub fn vct(net: NetworkConfig) -> Self {
-        TdmConfig { net, gating: Some(GatingConfig::default()), ..Default::default() }
+        TdmConfig {
+            net,
+            gating: Some(GatingConfig::default()),
+            ..Default::default()
+        }
     }
 
     /// *Hybrid-TDM-hop-VC4*: hybrid switching + circuit-switched path
     /// sharing, 4 VCs.
     pub fn hop_vc4(net: NetworkConfig) -> Self {
-        TdmConfig { net, sharing: SharingConfig::HITCHHIKER, ..Default::default() }
+        TdmConfig {
+            net,
+            sharing: SharingConfig::HITCHHIKER,
+            ..Default::default()
+        }
     }
 
     /// *Hybrid-TDM-hop-VCt*: path sharing + aggressive VC power gating.
@@ -224,7 +247,10 @@ mod tests {
     fn durations_follow_table1() {
         let base = TdmConfig::default();
         assert_eq!(base.reserve_duration(), 4);
-        let hop = TdmConfig { sharing: SharingConfig::FULL, ..base };
+        let hop = TdmConfig {
+            sharing: SharingConfig::FULL,
+            ..base
+        };
         assert_eq!(hop.reserve_duration(), 5, "vicinity adds a header slot");
     }
 
@@ -248,7 +274,10 @@ mod tests {
     fn active_entries_default_to_capacity() {
         let c = TdmConfig::default();
         assert_eq!(c.initial_active(), 128);
-        let d = TdmConfig { resize: Some(ResizeConfig::default()), ..c };
+        let d = TdmConfig {
+            resize: Some(ResizeConfig::default()),
+            ..c
+        };
         assert_eq!(d.initial_active(), 16);
     }
 }

@@ -44,7 +44,10 @@ pub struct Dlt {
 
 impl Dlt {
     pub fn new(cap: u8) -> Self {
-        Dlt { entries: Vec::with_capacity(cap as usize), cap: cap as usize }
+        Dlt {
+            entries: Vec::with_capacity(cap as usize),
+            cap: cap as usize,
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -61,17 +64,20 @@ impl Dlt {
     /// unconfirmed entry is the least valuable), falling back to the
     /// oldest. Returns the number of entry writes (energy accounting).
     pub fn insert(&mut self, dst: NodeId, slot: u16, duration: u8, in_port: Port) -> u64 {
-        let entry = DltEntry { dst, slot, duration, in_port, fails: 0, confirmed: false };
+        let entry = DltEntry {
+            dst,
+            slot,
+            duration,
+            in_port,
+            fails: 0,
+            confirmed: false,
+        };
         if let Some(e) = self.entries.iter_mut().find(|e| e.dst == dst) {
             *e = entry;
             return 1;
         }
         if self.entries.len() == self.cap {
-            let victim = self
-                .entries
-                .iter()
-                .position(|e| !e.confirmed)
-                .unwrap_or(0);
+            let victim = self.entries.iter().position(|e| !e.confirmed).unwrap_or(0);
             self.entries.remove(victim);
         }
         self.entries.push(entry);
@@ -105,7 +111,9 @@ impl Dlt {
     /// hop-on at intermediate nodes and get off at nodes close to their
     /// destination").
     pub fn lookup_vicinity(&self, mesh: &Mesh, dst: NodeId) -> Option<&DltEntry> {
-        self.entries.iter().find(|e| e.confirmed && mesh.adjacent(e.dst, dst))
+        self.entries
+            .iter()
+            .find(|e| e.confirmed && mesh.adjacent(e.dst, dst))
     }
 
     /// Record a sharing failure for the circuit to `dst`. When the 2-bit
@@ -151,7 +159,10 @@ mod tests {
     fn insert_lookup_remove() {
         let mut d = Dlt::new(8);
         d.insert(NodeId(5), 12, 4, Port::West);
-        assert!(d.lookup(NodeId(5)).is_none(), "unconfirmed entries are not ridable");
+        assert!(
+            d.lookup(NodeId(5)).is_none(),
+            "unconfirmed entries are not ridable"
+        );
         d.confirm(NodeId(5), Port::West, 12, 16);
         let e = d.lookup(NodeId(5)).unwrap();
         assert_eq!((e.slot, e.duration, e.in_port), (12, 4, Port::West));
@@ -195,7 +206,10 @@ mod tests {
         let mut d = Dlt::new(8);
         d.insert(NodeId(4), 0, 4, Port::East);
         assert!(!d.record_failure(NodeId(4)), "first failure: counter 01");
-        assert!(d.record_failure(NodeId(4)), "second failure: counter 10 → setup");
+        assert!(
+            d.record_failure(NodeId(4)),
+            "second failure: counter 10 → setup"
+        );
         assert!(d.lookup(NodeId(4)).is_none(), "entry removed");
         assert!(!d.record_failure(NodeId(4)), "missing entry is a no-op");
     }

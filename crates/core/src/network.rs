@@ -11,7 +11,10 @@
 //! slot table is increased, all slot tables are reset, and the path setup
 //! procedure restarts").
 
-use noc_sim::{Cycle, Network, NodeId, NodeModel, Packet};
+use noc_sim::{
+    Cycle, DeliveredPacket, EnergyEvents, Fabric, Mesh, NetStats, Network, NodeId, NodeModel,
+    Packet,
+};
 
 use crate::config::TdmConfig;
 use crate::node::TdmNode;
@@ -19,7 +22,10 @@ use crate::node::TdmNode;
 #[derive(Clone, Copy, Debug)]
 enum ResizePhase {
     /// Watching the failure counters.
-    Observing { window_start: Cycle, failures_at_start: u64 },
+    Observing {
+        window_start: Cycle,
+        failures_at_start: u64,
+    },
     /// CS frozen; reset to `target` entries when the deadline passes and
     /// all bursts finished.
     Freezing { deadline: Cycle, target: u16 },
@@ -87,12 +93,19 @@ impl TdmNetwork {
         let Some(rc) = self.cfg.resize else { return };
         let now = self.net.now();
         match self.phase {
-            Some(ResizePhase::Observing { window_start, failures_at_start }) => {
+            Some(ResizePhase::Observing {
+                window_start,
+                failures_at_start,
+            }) => {
                 if now < window_start + rc.window {
                     return;
                 }
-                let failures: u64 =
-                    self.net.nodes.iter().map(|n| n.events().setup_failures).sum();
+                let failures: u64 = self
+                    .net
+                    .nodes
+                    .iter()
+                    .map(|n| n.events().setup_failures)
+                    .sum();
                 let window_failures = failures - failures_at_start;
                 let active = self.active_slots();
                 let mean_reserved = self
@@ -102,8 +115,8 @@ impl TdmNetwork {
                     .map(|n| n.router.slots.reserved_fraction_total())
                     .sum::<f64>()
                     / self.net.nodes.len() as f64;
-                let grow = window_failures >= rc.fail_threshold as u64
-                    && active < self.cfg.slot_capacity;
+                let grow =
+                    window_failures >= rc.fail_threshold as u64 && active < self.cfg.slot_capacity;
                 let shrink = !grow
                     && rc.shrink_below > 0.0
                     && mean_reserved < rc.shrink_below
@@ -121,8 +134,10 @@ impl TdmNetwork {
                     for node in &mut self.net.nodes {
                         node.set_cs_frozen(true);
                     }
-                    self.phase =
-                        Some(ResizePhase::Freezing { deadline: now + rc.freeze_cycles, target });
+                    self.phase = Some(ResizePhase::Freezing {
+                        deadline: now + rc.freeze_cycles,
+                        target,
+                    });
                 } else {
                     self.phase = Some(ResizePhase::Observing {
                         window_start: now,
@@ -144,8 +159,12 @@ impl TdmNetwork {
                     node.set_cs_frozen(false);
                 }
                 self.resizes += 1;
-                let failures: u64 =
-                    self.net.nodes.iter().map(|n| n.events().setup_failures).sum();
+                let failures: u64 = self
+                    .net
+                    .nodes
+                    .iter()
+                    .map(|n| n.events().setup_failures)
+                    .sum();
                 self.phase = Some(ResizePhase::Observing {
                     window_start: now,
                     failures_at_start: failures,
@@ -180,6 +199,79 @@ impl TdmNetwork {
     }
 }
 
+/// The TDM hybrid network as a [`Fabric`]: forwards to the inner
+/// [`Network<TdmNode>`] but routes [`Fabric::step`] through the dynamic
+/// slot-table resize controller and exposes the resize hooks.
+impl Fabric for TdmNetwork {
+    fn mesh(&self) -> Mesh {
+        self.net.mesh
+    }
+
+    fn now(&self) -> Cycle {
+        TdmNetwork::now(self)
+    }
+
+    fn inject(&mut self, node: NodeId, pkt: Packet) {
+        TdmNetwork::inject(self, node, pkt);
+    }
+
+    fn step(&mut self) {
+        TdmNetwork::step(self);
+    }
+
+    fn begin_measurement(&mut self) {
+        TdmNetwork::begin_measurement(self);
+    }
+
+    fn end_measurement(&mut self) {
+        TdmNetwork::end_measurement(self);
+    }
+
+    fn stats(&self) -> &NetStats {
+        &self.net.stats
+    }
+
+    fn stats_mut(&mut self) -> &mut NetStats {
+        &mut self.net.stats
+    }
+
+    fn total_events(&self) -> EnergyEvents {
+        self.net.total_events()
+    }
+
+    fn is_drained(&self) -> bool {
+        self.net.is_drained()
+    }
+
+    fn set_collect_delivered(&mut self, on: bool) {
+        self.net.collect_delivered = on;
+    }
+
+    fn delivered_log(&self) -> &[DeliveredPacket] {
+        &self.net.delivered_log
+    }
+
+    fn clear_delivered_log(&mut self) {
+        self.net.delivered_log.clear();
+    }
+
+    fn set_step_threads(&mut self, threads: usize) {
+        self.net.set_step_threads(threads);
+    }
+
+    fn active_slots(&self) -> Option<u16> {
+        Some(TdmNetwork::active_slots(self))
+    }
+
+    fn resizes(&self) -> u32 {
+        self.resizes
+    }
+
+    fn drain(&mut self, max_cycles: u64) -> bool {
+        TdmNetwork::drain(self, max_cycles)
+    }
+}
+
 #[cfg(test)]
 // Traffic loops here advance a packet id alongside other per-iteration
 // work; an explicit counter reads better than iterator gymnastics.
@@ -198,7 +290,13 @@ mod tests {
     }
 
     fn data(net: &TdmNetwork, id: u64, src: NodeId, dst: NodeId) -> Packet {
-        Packet::data(PacketId(id), src, dst, net.cfg.net.ps_packet_flits, net.now())
+        Packet::data(
+            PacketId(id),
+            src,
+            dst,
+            net.cfg.net.ps_packet_flits,
+            net.now(),
+        )
     }
 
     #[test]
@@ -234,7 +332,10 @@ mod tests {
         assert_eq!(net.stats().packets_delivered, 30);
         // A circuit was set up and used for the later messages.
         let node = &net.net.nodes[src.index()];
-        assert!(node.registry.get(dst).is_some(), "no connection established");
+        assert!(
+            node.registry.get(dst).is_some(),
+            "no connection established"
+        );
         assert!(
             net.stats().cs_packets_delivered >= 10,
             "only {} CS packets",
@@ -313,8 +414,11 @@ mod tests {
         let m = cfg.net.mesh;
         let src = m.id(Coord::new(0, 0));
         // One source hammers three destinations → local table exhausts.
-        let dsts =
-            [m.id(Coord::new(3, 0)), m.id(Coord::new(3, 1)), m.id(Coord::new(3, 2))];
+        let dsts = [
+            m.id(Coord::new(3, 0)),
+            m.id(Coord::new(3, 1)),
+            m.id(Coord::new(3, 2)),
+        ];
         let mut id = 0;
         for _ in 0..200 {
             for &d in &dsts {

@@ -21,9 +21,8 @@ use std::collections::VecDeque;
 
 use noc_sim::routing::xy_route;
 use noc_sim::{
-    ConfigKind, Credit, Cycle, DeliveredPacket, Direction, Flit, MsgClass, NodeId, NodeModel,
+    ConfigKind, Credit, Cycle, DeliveredPacket, Direction, Flit, MsgClass, Nic, NodeId, NodeModel,
     NodeOutputs, Packet, PacketId, Port, PowerState, SetupInfo, Switching, VcGatingController,
-    Nic,
 };
 use rustc_hash::FxHashMap;
 
@@ -183,7 +182,10 @@ impl TdmNode {
     fn within_budget(&self, cs_est: u64, slot_wait_only: u64, dst: NodeId) -> bool {
         match self.cfg.policy.wait_budget {
             crate::config::WaitBudget::Fixed(w) => slot_wait_only <= w,
-            crate::config::WaitBudget::Adaptive { ps_factor, floor_periods } => {
+            crate::config::WaitBudget::Adaptive {
+                ps_factor,
+                floor_periods,
+            } => {
                 let s = self.router.slots.active() as f64;
                 let budget = (self.ps_estimate(dst) as f64 * ps_factor).max(floor_periods * s);
                 cs_est as f64 <= budget
@@ -212,12 +214,13 @@ impl TdmNode {
             let cs_len = pkt.len_flits.saturating_sub(1).max(1);
             if cs_len <= conn.duration {
                 let cs_est = self.cs_estimate(now, dst, dst).expect("connection exists");
-                let slot_wait = cs_est.saturating_sub(2 * self.cfg.net.mesh.hops(self.id, dst) as u64 + 2);
+                let slot_wait =
+                    cs_est.saturating_sub(2 * self.cfg.net.mesh.hops(self.id, dst) as u64 + 2);
                 if self.within_budget(cs_est, slot_wait, dst) {
-                    self.cs_queues
-                        .entry(dst)
-                        .or_default()
-                        .push_back(QueuedCs { packet: pkt, true_dst: None });
+                    self.cs_queues.entry(dst).or_default().push_back(QueuedCs {
+                        packet: pkt,
+                        true_dst: None,
+                    });
                     // A backlog means the pair outgrew its bandwidth share:
                     // request another slot run (§II-C granularity).
                     if self.cs_queues.get(&dst).is_some_and(|q| q.len() >= 2) {
@@ -235,7 +238,12 @@ impl TdmNode {
         if self.cfg.sharing.hitchhiker {
             if let Some(e) = self.dlt.lookup(dst) {
                 let ride = e.dst;
-                self.share_queue.push_back(ShareMsg { packet: pkt, ride_dst: ride, final_dst: dst, queued_at: now });
+                self.share_queue.push_back(ShareMsg {
+                    packet: pkt,
+                    ride_dst: ride,
+                    final_dst: dst,
+                    queued_at: now,
+                });
                 return;
             }
         }
@@ -244,15 +252,19 @@ impl TdmNode {
         if self.cfg.sharing.vicinity {
             if let Some(conn) = self.registry.vicinity_of(&self.cfg.net.mesh, dst).copied() {
                 if pkt.len_flits <= conn.duration {
-                    let cs_est =
-                        self.cs_estimate(now, conn.dst, conn.dst).expect("connection exists");
+                    let cs_est = self
+                        .cs_estimate(now, conn.dst, conn.dst)
+                        .expect("connection exists");
                     let slot_wait = cs_est
                         .saturating_sub(2 * self.cfg.net.mesh.hops(self.id, conn.dst) as u64 + 2);
                     if self.within_budget(cs_est, slot_wait, dst) {
                         self.cs_queues
                             .entry(conn.dst)
                             .or_default()
-                            .push_back(QueuedCs { packet: pkt, true_dst: Some(dst) });
+                            .push_back(QueuedCs {
+                                packet: pkt,
+                                true_dst: Some(dst),
+                            });
                         return;
                     }
                 }
@@ -261,7 +273,12 @@ impl TdmNode {
             if self.cfg.sharing.hitchhiker {
                 if let Some(e) = self.dlt.lookup_vicinity(&self.cfg.net.mesh, dst) {
                     let ride = e.dst;
-                    self.share_queue.push_back(ShareMsg { packet: pkt, ride_dst: ride, final_dst: dst, queued_at: now });
+                    self.share_queue.push_back(ShareMsg {
+                        packet: pkt,
+                        ride_dst: ride,
+                        final_dst: dst,
+                        queued_at: now,
+                    });
                     return;
                 }
             }
@@ -320,20 +337,44 @@ impl TdmNode {
     fn issue_setup(&mut self, now: Cycle, dst: NodeId, attempts: u8, scan_from: u16) {
         let duration = self.cfg.reserve_duration();
         let est_out = xy_route(&self.cfg.net.mesh, self.id, dst);
-        let Some(slot) = self.router.slots.find_free_run(Port::Local, est_out, duration, scan_from)
+        let Some(slot) = self
+            .router
+            .slots
+            .find_free_run(Port::Local, est_out, duration, scan_from)
         else {
             // Local table exhausted: counts as a capacity failure for the
             // dynamic-granularity controller (§II-C).
             self.router.pipeline.events.setup_failures += 1;
-            self.registry.set_cooldown(dst, now, self.cfg.policy.retry_cooldown);
+            self.registry
+                .set_cooldown(dst, now, self.cfg.policy.retry_cooldown);
             return;
         };
         self.slot_scan = self.slot_scan.wrapping_add(duration as u16 + 3);
         let path_id = self.fresh_path_id();
-        let info = SetupInfo { src: self.id, dst, slot, duration, path_id };
-        let pkt = Packet::config(self.protocol_packet_id(), self.id, dst, ConfigKind::Setup(info), now);
-        self.registry
-            .begin_setup(path_id, PendingSetup { dst, slot, duration, attempts, issued: now });
+        let info = SetupInfo {
+            src: self.id,
+            dst,
+            slot,
+            duration,
+            path_id,
+        };
+        let pkt = Packet::config(
+            self.protocol_packet_id(),
+            self.id,
+            dst,
+            ConfigKind::Setup(info),
+            now,
+        );
+        self.registry.begin_setup(
+            path_id,
+            PendingSetup {
+                dst,
+                slot,
+                duration,
+                attempts,
+                issued: now,
+            },
+        );
         self.router.pipeline.events.setup_attempts += 1;
         self.nic.enqueue_front(pkt);
     }
@@ -341,7 +382,9 @@ impl TdmNode {
     /// Send teardowns for every run of an established connection and
     /// forget the pair.
     fn teardown_connection(&mut self, now: Cycle, dst: NodeId) {
-        let Some(conns) = self.registry.remove(dst) else { return };
+        let Some(conns) = self.registry.remove(dst) else {
+            return;
+        };
         // Any messages still queued for it go packet-switched.
         if let Some(q) = self.cs_queues.remove(&dst) {
             for m in q {
@@ -405,7 +448,8 @@ impl TdmNode {
             let scan = p.slot.wrapping_add(p.duration as u16 + 1);
             self.issue_setup(now, p.dst, p.attempts + 1, scan);
         } else {
-            self.registry.set_cooldown(p.dst, now, self.cfg.policy.retry_cooldown);
+            self.registry
+                .set_cooldown(p.dst, now, self.cfg.policy.retry_cooldown);
         }
     }
 
@@ -439,9 +483,9 @@ impl TdmNode {
             let flit = s.flits[s.next].clone();
             let ok = match s.via {
                 StreamVia::Own => self.router.inject_cs_local(now, flit),
-                StreamVia::Hitchhike { in_port, ride_dst } => {
-                    self.router.inject_cs_hitchhike(now, flit, in_port, ride_dst)
-                }
+                StreamVia::Hitchhike { in_port, ride_dst } => self
+                    .router
+                    .inject_cs_hitchhike(now, flit, in_port, ride_dst),
             };
             if !ok {
                 // Only a shared ride can vanish mid-burst (the owner tore
@@ -477,7 +521,9 @@ impl TdmNode {
         let starting: Option<NodeId> = self
             .registry
             .iter()
-            .find(|c| c.slot == slot_now && self.cs_queues.get(&c.dst).is_some_and(|q| !q.is_empty()))
+            .find(|c| {
+                c.slot == slot_now && self.cs_queues.get(&c.dst).is_some_and(|q| !q.is_empty())
+            })
             .map(|c| c.dst);
         if let Some(dst) = starting {
             let q = self
@@ -491,8 +537,13 @@ impl TdmNode {
             }
             self.registry.touch(dst, slot_now, now);
             let final_dst = q.true_dst.unwrap_or(dst);
-            let mut stream =
-                CsStream { flits, next: 0, via: StreamVia::Own, origin: q.packet.clone(), final_dst };
+            let mut stream = CsStream {
+                flits,
+                next: 0,
+                via: StreamVia::Own,
+                origin: q.packet.clone(),
+                final_dst,
+            };
             let ok = self.router.inject_cs_local(now, stream.flits[0].clone());
             assert!(ok, "own reservation missing at {:?}", self.id);
             stream.next = 1;
@@ -511,7 +562,8 @@ impl TdmNode {
             .iter()
             .enumerate()
             .filter(|(_, m)| {
-                self.dlt.lookup(m.ride_dst).is_none() || now.saturating_sub(m.queued_at) > 2 * period
+                self.dlt.lookup(m.ride_dst).is_none()
+                    || now.saturating_sub(m.queued_at) > 2 * period
             })
             .map(|(i, _)| i)
             .collect();
@@ -546,11 +598,16 @@ impl TdmNode {
             let mut stream = CsStream {
                 flits,
                 next: 0,
-                via: StreamVia::Hitchhike { in_port: e.in_port, ride_dst: e.dst },
+                via: StreamVia::Hitchhike {
+                    in_port: e.in_port,
+                    ride_dst: e.dst,
+                },
                 origin: msg.packet.clone(),
                 final_dst: msg.final_dst,
             };
-            let ok = self.router.inject_cs_hitchhike(now, stream.flits[0].clone(), e.in_port, e.dst);
+            let ok =
+                self.router
+                    .inject_cs_hitchhike(now, stream.flits[0].clone(), e.in_port, e.dst);
             if !ok {
                 // Contention with the upstream source: packet-switch (§III-A1).
                 self.share_failed(now, msg);
@@ -674,7 +731,12 @@ impl NodeModel for TdmNode {
                 continue;
             }
             match obs {
-                DltObservation::Insert { dst, slot, duration, in_port } => {
+                DltObservation::Insert {
+                    dst,
+                    slot,
+                    duration,
+                    in_port,
+                } => {
                     // Only through-traffic is rideable: not our own circuits
                     // (in the registry) and not circuits ending here.
                     if in_port != Port::Local && dst != self.id {
@@ -683,7 +745,8 @@ impl NodeModel for TdmNode {
                     }
                 }
                 DltObservation::Confirm { dst, in_port, slot } => {
-                    self.dlt.confirm(dst, in_port, slot, self.router.slots.active());
+                    self.dlt
+                        .confirm(dst, in_port, slot, self.router.slots.active());
                 }
                 DltObservation::Remove { dst } => self.dlt.remove(dst),
             }
@@ -786,7 +849,11 @@ impl NodeModel for TdmNode {
             .flat_map(|q| q.iter())
             .map(|m| m.packet.len_flits as usize)
             .sum();
-        let shares: usize = self.share_queue.iter().map(|m| m.packet.len_flits as usize).sum();
+        let shares: usize = self
+            .share_queue
+            .iter()
+            .map(|m| m.packet.len_flits as usize)
+            .sum();
         let streaming = self
             .streaming
             .as_ref()
@@ -916,7 +983,10 @@ mod tests {
     #[test]
     fn backlog_requests_additional_slot_runs() {
         let mut cfg = cfg4();
-        cfg.policy.wait_budget = WaitBudget::Adaptive { ps_factor: 4.0, floor_periods: 4.0 };
+        cfg.policy.wait_budget = WaitBudget::Adaptive {
+            ps_factor: 4.0,
+            floor_periods: 4.0,
+        };
         let m = cfg.net.mesh;
         let (src, dst) = (m.id(Coord::new(0, 0)), m.id(Coord::new(3, 3)));
         let mut net = warmed(cfg, src, dst);
@@ -957,7 +1027,10 @@ mod tests {
         }
         net.drain(5_000);
         let node = &net.net.nodes[src.index()];
-        assert!(node.registry.get(d2).is_some(), "second circuit not established");
+        assert!(
+            node.registry.get(d2).is_some(),
+            "second circuit not established"
+        );
         assert!(node.registry.get(d1).is_none(), "first circuit not evicted");
         assert_eq!(node.registry.len(), 1);
     }
@@ -965,7 +1038,11 @@ mod tests {
     #[test]
     fn vicinity_sharing_delivers_to_neighbours_of_endpoints() {
         let mut cfg = cfg4();
-        cfg.sharing = SharingConfig { hitchhiker: false, vicinity: true, dlt_entries: 8 };
+        cfg.sharing = SharingConfig {
+            hitchhiker: false,
+            vicinity: true,
+            dlt_entries: 8,
+        };
         let m = cfg.net.mesh;
         let src = m.id(Coord::new(0, 0));
         let dst = m.id(Coord::new(3, 2));

@@ -167,7 +167,9 @@ impl ConnRegistry {
     }
 
     pub fn in_cooldown(&self, dst: NodeId, now: Cycle) -> bool {
-        self.cooldown.get(&dst).is_some_and(|&(until, _)| now < until)
+        self.cooldown
+            .get(&dst)
+            .is_some_and(|&(until, _)| now < until)
     }
 
     /// Drop all state (slot-table reset, §II-C).
@@ -191,7 +193,11 @@ pub struct FrequencyTracker {
 impl FrequencyTracker {
     pub fn new(window: u64) -> Self {
         assert!(window > 0);
-        FrequencyTracker { counts: FxHashMap::default(), window, next_decay: window }
+        FrequencyTracker {
+            counts: FxHashMap::default(),
+            window,
+            next_decay: window,
+        }
     }
 
     /// Record one message to `dst`; returns the current count.
@@ -222,7 +228,13 @@ mod tests {
     use super::*;
 
     fn pending(dst: u32, slot: u16) -> PendingSetup {
-        PendingSetup { dst: NodeId(dst), slot, duration: 4, attempts: 0, issued: 0 }
+        PendingSetup {
+            dst: NodeId(dst),
+            slot,
+            duration: 4,
+            attempts: 0,
+            issued: 0,
+        }
     }
 
     #[test]

@@ -32,12 +32,21 @@ use crate::slot_table::SlotTables;
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum DltObservation {
     /// A setup for a circuit to `dst` reserved slots here.
-    Insert { dst: NodeId, slot: u16, duration: u8, in_port: Port },
+    Insert {
+        dst: NodeId,
+        slot: u16,
+        duration: u8,
+        in_port: Port,
+    },
     /// A circuit-switched flit traversed the reservation to `dst` on
     /// `in_port` at `slot`: the path is confirmed complete and safe to
     /// hitchhike (a setup alone may still fail downstream, leaving a
     /// partial path).
-    Confirm { dst: NodeId, in_port: Port, slot: u16 },
+    Confirm {
+        dst: NodeId,
+        in_port: Port,
+        slot: u16,
+    },
     /// The circuit to `dst` was torn down.
     Remove { dst: NodeId },
 }
@@ -122,25 +131,25 @@ impl TdmRouter {
     pub fn accept_flit(&mut self, now: Cycle, port: Port, flit: Flit) {
         self.pipeline.events.slot_lookups += 1;
         if flit.switching == Switching::Circuit {
-            let entry = *self
-                .slots
-                .lookup(port, now)
-                .unwrap_or_else(|| {
-                    panic!(
-                        "CS flit {:?} (src {:?} dst {:?} seq {} true_dst {:?}) arrived at {:?} \
+            let entry = *self.slots.lookup(port, now).unwrap_or_else(|| {
+                panic!(
+                    "CS flit {:?} (src {:?} dst {:?} seq {} true_dst {:?}) arrived at {:?} \
                          port {:?} in unreserved slot {} (cycle {}) — teardown raced ahead of data",
-                        flit.packet,
-                        flit.src,
-                        flit.dst,
-                        flit.seq,
-                        flit.true_dst,
-                        self.id(),
-                        port,
-                        self.slots.slot_of(now),
-                        now,
-                    )
-                });
-            debug_assert!(self.cs_latch[port.index()].is_none(), "two CS flits in one cycle");
+                    flit.packet,
+                    flit.src,
+                    flit.dst,
+                    flit.seq,
+                    flit.true_dst,
+                    self.id(),
+                    port,
+                    self.slots.slot_of(now),
+                    now,
+                )
+            });
+            debug_assert!(
+                self.cs_latch[port.index()].is_none(),
+                "two CS flits in one cycle"
+            );
             self.pipeline.events.cs_latch_writes += 1;
             if flit.kind.is_head() && entry.out != Port::Local {
                 self.dlt_observations.push(DltObservation::Confirm {
@@ -227,7 +236,11 @@ impl TdmRouter {
     /// Process `setup`/`teardown` on arrival (the reservation check of
     /// §II-B happens when the message enters the router).
     fn process_config(&mut self, now: Cycle, in_port: Port, mut flit: Flit) {
-        let kind = flit.config.as_deref().expect("config flit has payload").clone();
+        let kind = flit
+            .config
+            .as_deref()
+            .expect("config flit has payload")
+            .clone();
         match kind {
             ConfigKind::Setup(info) => {
                 let out = if info.dst == self.id() {
@@ -299,7 +312,8 @@ impl TdmRouter {
                             },
                         );
                         self.pipeline.events.slot_updates += cleared as u64;
-                        self.dlt_observations.push(DltObservation::Remove { dst: info.dst });
+                        self.dlt_observations
+                            .push(DltObservation::Remove { dst: info.dst });
                         if out == Port::Local {
                             self.pipeline.events.config_flits_delivered += 1;
                             self.consume_config_credit(in_port, flit.vc);
@@ -350,7 +364,9 @@ impl TdmRouter {
     pub fn step(&mut self, now: Cycle, out: &mut NodeOutputs) {
         // Credits for configuration flits consumed on arrival.
         for (port, vc) in self.pending_credits.drain(..) {
-            let dir = port.direction().expect("local credits go via local_credits");
+            let dir = port
+                .direction()
+                .expect("local credits go via local_credits");
             out.credits.push((dir, noc_sim::Credit { vc }));
         }
         // Build the per-cycle constraint view.
@@ -384,7 +400,9 @@ impl TdmRouter {
         // crossbar, no buffering.
         let mut used_outputs = 0u8;
         for p in 0..Port::COUNT {
-            let Some((mut flit, o)) = self.cs_latch[p].take() else { continue };
+            let Some((mut flit, o)) = self.cs_latch[p].take() else {
+                continue;
+            };
             debug_assert_eq!(used_outputs & (1 << o.index()), 0, "CS output collision");
             used_outputs |= 1 << o.index();
             self.trace.record(
@@ -427,7 +445,11 @@ impl TdmRouter {
         self.pipeline.occupancy()
             + self.cs_latch.iter().flatten().count()
             + self.cs_ejected.len()
-            + self.protocol_out.iter().map(|p| p.len_flits as usize).sum::<usize>()
+            + self
+                .protocol_out
+                .iter()
+                .map(|p| p.len_flits as usize)
+                .sum::<usize>()
     }
 }
 
@@ -445,8 +467,20 @@ mod tests {
     }
 
     fn setup_flit(src: NodeId, dst: NodeId, slot: u16, duration: u8, path_id: u64) -> Flit {
-        let info = SetupInfo { src, dst, slot, duration, path_id };
-        let p = Packet::config(PacketId(1000 + path_id), src, dst, ConfigKind::Setup(info), 0);
+        let info = SetupInfo {
+            src,
+            dst,
+            slot,
+            duration,
+            path_id,
+        };
+        let p = Packet::config(
+            PacketId(1000 + path_id),
+            src,
+            dst,
+            ConfigKind::Setup(info),
+            0,
+        );
         Flit::of_packet(&p, 0, Switching::Packet)
     }
 
@@ -518,7 +552,11 @@ mod tests {
         let src2 = m.id(Coord::new(1, 3));
         r.accept_flit(1, Port::South, setup_flit(src2, dst, 7, 4, 2));
         assert_eq!(r.pipeline.events.setup_failures, 1);
-        let ack = r.protocol_out.iter().find(|p| p.dst == src2).expect("failure ack");
+        let ack = r
+            .protocol_out
+            .iter()
+            .find(|p| p.dst == src2)
+            .expect("failure ack");
         match ack.config.as_ref().unwrap() {
             ConfigKind::Ack { success, info } => {
                 assert!(!success);
@@ -543,7 +581,11 @@ mod tests {
         let mut out = NodeOutputs::default();
         r.step(6, &mut out);
         // Leaves the same cycle it arrived.
-        let cs: Vec<_> = out.flits.iter().filter(|(_, f)| f.switching == Switching::Circuit).collect();
+        let cs: Vec<_> = out
+            .flits
+            .iter()
+            .filter(|(_, f)| f.switching == Switching::Circuit)
+            .collect();
         assert_eq!(cs.len(), 1);
         assert_eq!(cs[0].0, noc_sim::Direction::East);
         assert_eq!(r.pipeline.events.cs_latch_writes, 1);
@@ -571,7 +613,11 @@ mod tests {
         let m = mesh();
         let mut r = router_at(m, Coord::new(1, 1));
         let src = m.id(Coord::new(0, 1));
-        r.accept_flit(3, Port::West, cs_flit(52, src, m.id(Coord::new(3, 1)), 0, 4));
+        r.accept_flit(
+            3,
+            Port::West,
+            cs_flit(52, src, m.id(Coord::new(3, 1)), 0, 4),
+        );
     }
 
     #[test]
@@ -590,7 +636,13 @@ mod tests {
             }
         }
         // Teardown with the same path id arrives on the same port.
-        let info = SetupInfo { src, dst, slot: 6, duration: 4, path_id: 9 };
+        let info = SetupInfo {
+            src,
+            dst,
+            slot: 6,
+            duration: 4,
+            path_id: 9,
+        };
         let p = Packet::config(PacketId(2000), src, dst, ConfigKind::Teardown(info), 10);
         let f = Flit::of_packet(&p, 0, Switching::Packet);
         r.accept_flit(10, Port::West, f);
@@ -617,14 +669,23 @@ mod tests {
         let mut r = router_at(m, Coord::new(1, 1));
         let src = m.id(Coord::new(0, 1));
         let dst = m.id(Coord::new(3, 1));
-        let info = SetupInfo { src, dst, slot: 6, duration: 4, path_id: 77 };
+        let info = SetupInfo {
+            src,
+            dst,
+            slot: 6,
+            duration: 4,
+            path_id: 77,
+        };
         let p = Packet::config(PacketId(3000), src, dst, ConfigKind::Teardown(info), 0);
         r.accept_flit(0, Port::West, Flit::of_packet(&p, 0, Switching::Packet));
         let mut out = NodeOutputs::default();
         for now in 0..4 {
             r.step(now, &mut out);
         }
-        assert!(out.flits.is_empty(), "teardown for unknown path must die here");
+        assert!(
+            out.flits.is_empty(),
+            "teardown for unknown path must die here"
+        );
     }
 
     #[test]
@@ -636,7 +697,7 @@ mod tests {
         // Reserve ALL slots West→East so every cycle is reserved.
         r.accept_flit(0, Port::West, setup_flit(src, dst, 0, 8, 1));
         r.accept_flit(0, Port::West, setup_flit(src, dst, 8, 6, 2)); // 14 of 16 (cap 0.9)
-        // A PS flit from the south also heading East.
+                                                                     // A PS flit from the south also heading East.
         let ps = {
             let p = Packet::data(PacketId(60), m.id(Coord::new(1, 3)), dst, 1, 0);
             let mut f = Flit::of_packet(&p, 0, Switching::Packet);
@@ -659,7 +720,10 @@ mod tests {
             }
         }
         // It left within the reserved region by stealing.
-        assert!(stolen_at.is_some(), "PS flit starved despite idle reserved slots");
+        assert!(
+            stolen_at.is_some(),
+            "PS flit starved despite idle reserved slots"
+        );
         assert!(r.pipeline.events.slots_stolen >= 1);
 
         // Now with a CS flit occupying the slot, a fresh PS flit must wait
@@ -696,7 +760,10 @@ mod tests {
         let mut out = NodeOutputs::default();
         r.step(6, &mut out);
         assert_eq!(
-            out.flits.iter().filter(|(_, f)| f.switching == Switching::Circuit).count(),
+            out.flits
+                .iter()
+                .filter(|(_, f)| f.switching == Switching::Circuit)
+                .count(),
             1
         );
 
@@ -750,8 +817,20 @@ mod more_tests {
     }
 
     fn setup_flit(src: NodeId, dst: NodeId, slot: u16, duration: u8, path_id: u64) -> Flit {
-        let info = SetupInfo { src, dst, slot, duration, path_id };
-        let p = Packet::config(PacketId(5000 + path_id), src, dst, ConfigKind::Setup(info), 0);
+        let info = SetupInfo {
+            src,
+            dst,
+            slot,
+            duration,
+            path_id,
+        };
+        let p = Packet::config(
+            PacketId(5000 + path_id),
+            src,
+            dst,
+            ConfigKind::Setup(info),
+            0,
+        );
         Flit::of_packet(&p, 0, Switching::Packet)
     }
 

@@ -60,7 +60,9 @@ impl SlotTables {
         assert!(capacity > 0 && active > 0 && active <= capacity);
         assert!((0.0..=1.0).contains(&cap_fraction));
         SlotTables {
-            tables: (0..Port::COUNT).map(|_| vec![None; capacity as usize]).collect(),
+            tables: (0..Port::COUNT)
+                .map(|_| vec![None; capacity as usize])
+                .collect(),
             capacity,
             active,
             cap_fraction,
@@ -184,13 +186,7 @@ impl SlotTables {
     /// Find a start slot at `in_port` such that `duration` consecutive
     /// slots are free *and* the output port is unreserved in them; scanning
     /// starts at `from` (lets retries pick a different slot id, §II-B).
-    pub fn find_free_run(
-        &self,
-        in_port: Port,
-        out: Port,
-        duration: u8,
-        from: u16,
-    ) -> Option<u16> {
+    pub fn find_free_run(&self, in_port: Port, out: Port, duration: u8, from: u16) -> Option<u16> {
         let s0 = from % self.active;
         'start: for off in 0..self.active {
             let start = (s0 + off) % self.active;
@@ -260,7 +256,10 @@ mod tests {
         let mut t = figure1_tables();
         t.try_reserve(IN_1, 3, 2, OUT_4, 1, DST).unwrap();
         // setup2: in_1 → out_3 at s3: the slot is already allocated.
-        assert_eq!(t.try_reserve(IN_1, 3, 1, OUT_3, 2, DST), Err(ReserveError::SlotOccupied));
+        assert_eq!(
+            t.try_reserve(IN_1, 3, 1, OUT_3, 2, DST),
+            Err(ReserveError::SlotOccupied)
+        );
         // Tables unchanged.
         assert_eq!(t.lookup(IN_1, 3).unwrap().path_id, 1);
     }
@@ -270,7 +269,10 @@ mod tests {
         let mut t = figure1_tables();
         t.try_reserve(IN_1, 3, 2, OUT_4, 1, DST).unwrap();
         // setup3: in_2 → out_4 at s3: out_4 is reserved for in_1 at s3.
-        assert_eq!(t.try_reserve(IN_2, 3, 1, OUT_4, 3, DST), Err(ReserveError::OutputConflict));
+        assert_eq!(
+            t.try_reserve(IN_2, 3, 1, OUT_4, 3, DST),
+            Err(ReserveError::OutputConflict)
+        );
         assert!(t.lookup(IN_2, 3).is_none());
     }
 
@@ -310,7 +312,10 @@ mod tests {
         assert_eq!(t.try_reserve(IN_1, 0, 4, OUT_4, 1, DST), Ok(4));
         assert_eq!(t.try_reserve(IN_1, 4, 4, OUT_4, 2, DST), Ok(4));
         // 8 reserved; 4 more would exceed 9.
-        assert_eq!(t.try_reserve(IN_1, 8, 4, OUT_3, 3, DST), Err(ReserveError::CapReached));
+        assert_eq!(
+            t.try_reserve(IN_1, 8, 4, OUT_3, 3, DST),
+            Err(ReserveError::CapReached)
+        );
         assert!((t.reserved_fraction(IN_1) - 0.8).abs() < 1e-12);
     }
 

@@ -79,7 +79,11 @@ fn setup_reserves_slots_along_the_whole_path_with_plus_two_arithmetic() {
     }
     // The final hop ends at the destination's local output.
     let final_slot = (conn.slot as u64 + 2 * (hops.len() as u64 - 1)) % s;
-    let e = net.net.nodes[dst.index()].router.slots.lookup(Port::West, final_slot).unwrap();
+    let e = net.net.nodes[dst.index()]
+        .router
+        .slots
+        .lookup(Port::West, final_slot)
+        .unwrap();
     assert_eq!(e.out, Port::Local);
 }
 
@@ -94,7 +98,10 @@ fn teardown_cleans_every_router_on_eviction() {
     cfg2.policy.max_connections = 1;
     cfg2.policy.idle_teardown = 100;
     let mut net = establish(cfg2, src, d1);
-    let conn = *net.net.nodes[src.index()].registry.get(d1).expect("established");
+    let conn = *net.net.nodes[src.index()]
+        .registry
+        .get(d1)
+        .expect("established");
     net.run(300); // let it idle past the threshold
     let d2 = mesh.id(Coord::new(0, 0)); // hops(src,d2)=2
     let mut id = 50_000;
@@ -105,14 +112,22 @@ fn teardown_cleans_every_router_on_eviction() {
         net.run(25);
     }
     assert!(net.drain(5_000));
-    assert!(net.net.nodes[src.index()].registry.get(d1).is_none(), "not evicted");
+    assert!(
+        net.net.nodes[src.index()].registry.get(d1).is_none(),
+        "not evicted"
+    );
     // No router anywhere still holds the old path id.
     let s = net.active_slots() as u64;
     for node in &net.net.nodes {
         for port in Port::ALL {
             for slot in 0..s {
                 if let Some(e) = node.router.slots.lookup(port, slot) {
-                    assert_ne!(e.path_id, conn.path_id, "stale reservation at {:?}", node.id());
+                    assert_ne!(
+                        e.path_id,
+                        conn.path_id,
+                        "stale reservation at {:?}",
+                        node.id()
+                    );
                 }
             }
         }
@@ -148,7 +163,11 @@ fn circuits_actually_bypass_buffering() {
         "{} buffer writes during pure circuit traffic",
         delta.buffer_writes
     );
-    assert_eq!(delta.cs_latch_writes, 40 * 5, "one latch write per hop per flit");
+    assert_eq!(
+        delta.cs_latch_writes,
+        40 * 5,
+        "one latch write per hop per flit"
+    );
 }
 
 #[test]
@@ -180,7 +199,10 @@ fn hitchhiker_lifecycle_insert_confirm_ride() {
     net.end_measurement();
     let ev = net.net.total_events();
     assert!(ev.hitchhike_rides >= 8, "only {} rides", ev.hitchhike_rides);
-    assert_eq!(ev.setup_attempts, setups_before, "midpoint set up its own path");
+    assert_eq!(
+        ev.setup_attempts, setups_before,
+        "midpoint set up its own path"
+    );
     assert!(net.net.nodes[mid.index()].registry.get(dst).is_none());
     // Rides are delivered as circuit-switched packets.
     assert!(net
@@ -203,10 +225,17 @@ fn resize_grows_under_pressure_and_shrinks_when_quiet() {
         freeze_cycles: 120,
         shrink_below: 0.10,
     });
-    c.policy.wait_budget = WaitBudget::Adaptive { ps_factor: 2.0, floor_periods: 1.0 };
+    c.policy.wait_budget = WaitBudget::Adaptive {
+        ps_factor: 2.0,
+        floor_periods: 1.0,
+    };
     let mut net = TdmNetwork::new(c);
     let src = mesh.id(Coord::new(0, 0));
-    let dsts = [mesh.id(Coord::new(3, 0)), mesh.id(Coord::new(3, 1)), mesh.id(Coord::new(3, 2))];
+    let dsts = [
+        mesh.id(Coord::new(3, 0)),
+        mesh.id(Coord::new(3, 1)),
+        mesh.id(Coord::new(3, 2)),
+    ];
     let mut id = 0;
     for _ in 0..200 {
         for &d in &dsts {
@@ -270,7 +299,10 @@ fn trace_reconstructs_a_circuit_lifecycle() {
         net.run(25);
     }
     assert!(net.drain(5_000));
-    let conn = *net.net.nodes[src.index()].registry.get(dst).expect("circuit");
+    let conn = *net.net.nodes[src.index()]
+        .registry
+        .get(dst)
+        .expect("circuit");
 
     // Reservations recorded at source, intermediates and destination.
     let reserved_at: Vec<_> = net
@@ -284,7 +316,11 @@ fn trace_reconstructs_a_circuit_lifecycle() {
         })
         .map(|n| n.id())
         .collect();
-    assert_eq!(reserved_at.len() as u32, mesh.hops(src, dst) + 1, "one reservation per hop");
+    assert_eq!(
+        reserved_at.len() as u32,
+        mesh.hops(src, dst) + 1,
+        "one reservation per hop"
+    );
     assert!(reserved_at.contains(&src) && reserved_at.contains(&dst));
 
     // A traced circuit message traverses exactly hops+1 routers.
@@ -296,9 +332,21 @@ fn trace_reconstructs_a_circuit_lifecycle() {
             n.router
                 .trace
                 .iter()
-                .filter(|(_, e)| matches!(e, noc_sim::TraceEvent::Traversed { circuit: true, seq: 0, .. }))
+                .filter(|(_, e)| {
+                    matches!(
+                        e,
+                        noc_sim::TraceEvent::Traversed {
+                            circuit: true,
+                            seq: 0,
+                            ..
+                        }
+                    )
+                })
                 .count()
         })
         .sum();
-    assert!(traversals >= (mesh.hops(src, dst) + 1) as usize, "head flit traversals missing");
+    assert!(
+        traversals >= (mesh.hops(src, dst) + 1) as usize,
+        "head flit traversals missing"
+    );
 }

@@ -1,0 +1,174 @@
+//! Dynamic slot-table resize exercised through the [`Fabric`] trait
+//! object: the freeze → drain → reset → re-setup cycle, the shrink path,
+//! and grow/shrink oscillation suppression, all observed via the
+//! `active_slots()` / `resizes()` hooks rather than concrete-type access.
+
+// Traffic loops here advance a packet id alongside other per-iteration
+// work; an explicit counter reads better than iterator gymnastics.
+#![allow(clippy::explicit_counter_loop)]
+
+use noc_sim::{Coord, Fabric, Mesh, Network, NetworkConfig, NodeId, Packet, PacketId, PacketNode};
+use tdm_noc::{ResizeConfig, TdmConfig, TdmNetwork};
+
+fn resize_cfg() -> TdmConfig {
+    let mut cfg = TdmConfig {
+        net: NetworkConfig::with_mesh(Mesh::square(4)),
+        slot_capacity: 64,
+        ..TdmConfig::default()
+    };
+    cfg.policy.setup_after_msgs = 3;
+    cfg.resize = Some(ResizeConfig {
+        initial_active: 8,
+        fail_threshold: 4,
+        window: 400,
+        freeze_cycles: 120,
+        shrink_below: 0.0, // grow-only unless a test overrides it
+    });
+    cfg
+}
+
+fn run(fab: &mut dyn Fabric, cycles: u64) {
+    for _ in 0..cycles {
+        fab.step();
+    }
+}
+
+fn data(fab: &dyn Fabric, id: u64, src: NodeId, dst: NodeId) -> Packet {
+    Packet::data(PacketId(id), src, dst, 5, fab.now())
+}
+
+/// Hammer three destinations from one source so the tiny 8-entry local
+/// table exhausts and setup failures accumulate; stop as soon as the
+/// controller has completed `target` resizes (or the cycle budget runs
+/// out). Returns the next free packet id.
+fn pressure(fab: &mut dyn Fabric, mut id: u64, target: u32, max_rounds: u32) -> u64 {
+    let m = fab.mesh();
+    let src = m.id(Coord::new(0, 0));
+    let dsts = [
+        m.id(Coord::new(3, 0)),
+        m.id(Coord::new(3, 1)),
+        m.id(Coord::new(3, 2)),
+    ];
+    for _ in 0..max_rounds {
+        if fab.resizes() >= target {
+            break;
+        }
+        for &d in &dsts {
+            let pkt = data(fab, id, src, d);
+            fab.inject(src, pkt);
+            id += 1;
+        }
+        run(fab, 12);
+    }
+    id
+}
+
+#[test]
+fn grow_is_observable_through_the_trait_object() {
+    let mut fab: Box<dyn Fabric> = Box::new(TdmNetwork::new(resize_cfg()));
+    assert_eq!(fab.active_slots(), Some(8));
+    assert_eq!(fab.resizes(), 0);
+
+    fab.begin_measurement();
+    pressure(fab.as_mut(), 0, 1, 400);
+    assert!(fab.resizes() >= 1, "controller never resized");
+    let grown = fab.active_slots().expect("TDM fabric exposes slot count");
+    assert!(grown >= 16, "active slots {grown} not doubled");
+
+    // Freeze → drain → reset must not lose the in-flight packets.
+    assert!(fab.drain(20_000), "network must drain across the resize");
+    fab.end_measurement();
+    let stats = fab.stats();
+    assert_eq!(
+        stats.packets_delivered, stats.packets_offered,
+        "packets lost across freeze/reset"
+    );
+    assert!(stats.packets_delivered > 0);
+}
+
+#[test]
+fn circuits_are_reestablished_after_the_reset() {
+    // The reset clears every slot table, so CS traffic observed *after*
+    // the resize proves the path-setup procedure restarted (§II-C).
+    let mut fab: Box<dyn Fabric> = Box::new(TdmNetwork::new(resize_cfg()));
+    let mut id = pressure(fab.as_mut(), 0, 1, 400);
+    assert!(fab.resizes() >= 1);
+    assert!(fab.drain(20_000));
+
+    let cs_before = fab.total_events().cs_flits_delivered;
+    let m = fab.mesh();
+    let src = m.id(Coord::new(0, 0));
+    let dst = m.id(Coord::new(3, 0));
+    for _ in 0..30 {
+        let pkt = data(fab.as_ref(), id, src, dst);
+        fab.inject(src, pkt);
+        id += 1;
+        run(fab.as_mut(), 25);
+    }
+    assert!(fab.drain(5_000));
+    assert!(
+        fab.total_events().cs_flits_delivered > cs_before,
+        "no circuit-switched flits after the post-resize re-setup"
+    );
+}
+
+#[test]
+fn shrink_waits_out_the_hysteresis_then_halves() {
+    let mut cfg = resize_cfg();
+    if let Some(rc) = cfg.resize.as_mut() {
+        rc.shrink_below = 0.25;
+    }
+    // Quick idle teardown so reservations release once the load stops.
+    cfg.policy.idle_teardown = 500;
+    let mut fab: Box<dyn Fabric> = Box::new(TdmNetwork::new(cfg));
+
+    pressure(fab.as_mut(), 0, 1, 400);
+    assert!(fab.resizes() >= 1, "grow phase never triggered");
+    assert!(fab.drain(20_000));
+    let grown = fab.active_slots().unwrap();
+    let resizes_after_grow = fab.resizes();
+    assert!(grown >= 16);
+
+    // Oscillation suppression: shrinking is forbidden for 6 windows after
+    // a grow, so a short quiet period must leave the table alone even
+    // though reservations have drained below `shrink_below`.
+    run(fab.as_mut(), 1_000);
+    assert_eq!(
+        fab.active_slots(),
+        Some(grown),
+        "shrank inside the post-grow hysteresis window"
+    );
+
+    // Once the hysteresis expires, sustained light load halves the table
+    // back down towards `initial_active`.
+    run(fab.as_mut(), 12_000);
+    let settled = fab.active_slots().unwrap();
+    assert!(
+        settled < grown,
+        "never shrank after hysteresis: still at {settled}"
+    );
+    assert!(fab.resizes() > resizes_after_grow);
+    assert!(settled >= 8, "shrank below initial_active");
+}
+
+#[test]
+fn fabrics_without_a_resize_controller_report_defaults() {
+    // A TDM network with `resize: None` pins the table at capacity...
+    let mut cfg = resize_cfg();
+    cfg.resize = None;
+    cfg.slot_capacity = 32;
+    let mut fab: Box<dyn Fabric> = Box::new(TdmNetwork::new(cfg));
+    assert_eq!(fab.active_slots(), Some(32));
+    pressure(fab.as_mut(), 0, 1, 60);
+    assert_eq!(fab.resizes(), 0, "resize ran without a controller");
+    assert_eq!(fab.active_slots(), Some(32));
+    assert!(fab.drain(20_000));
+
+    // ...and a plain packet fabric has no slot table at all.
+    let net_cfg = NetworkConfig::with_mesh(Mesh::square(4));
+    let packet: Box<dyn Fabric> = Box::new(Network::new(net_cfg.mesh, |id| {
+        PacketNode::new(id, &net_cfg, None)
+    }));
+    assert_eq!(packet.active_slots(), None);
+    assert_eq!(packet.resizes(), 0);
+}

@@ -1,102 +1,34 @@
 //! Per-mix experiment runner for the realistic-workload evaluation (§V).
+//!
+//! Network construction goes through the `noc-scenario` backend registry
+//! ([`BackendKind`] + [`noc_scenario::build_fabric`]) and the run loop is
+//! the shared engine in `noc-traffic` ([`noc_traffic::run_phases`]); this
+//! module only adds the heterogeneous-workload bookkeeping: GPU injection
+//! accounting, per-class latency post-processing and the energy pricing.
 
 use noc_power::{EnergyBreakdown, EnergyModel};
-use noc_sim::{Cycle, Network, NetworkConfig, NodeId, Packet, PacketNode};
-use tdm_noc::{ResizeConfig, TdmConfig, TdmNetwork};
+use noc_scenario::{build_fabric, BackendKind, ScenarioError, ScenarioSpec, TrafficSpec, Tuning};
+use noc_sim::{Cycle, NetworkConfig, NodeId, Packet};
+use noc_traffic::{run_phases, PhaseConfig, Workload};
 
 use crate::floorplan::Floorplan;
-use crate::workload::{CpuBench, GpuBench, HeteroWorkload};
+use crate::workload::{cpu_bench, gpu_bench, CpuBench, GpuBench, HeteroWorkload};
 
-/// Network configurations evaluated in Figures 8 and 9.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum NetKind {
-    /// Baseline 4-VC packet-switched network.
-    PacketVc4,
-    /// Packet-switched network with aggressive VC power gating (§V-B4's
-    /// comparison point).
-    PacketVct,
-    /// Basic hybrid switching, 4 VCs.
-    HybridTdmVc4,
-    /// Hybrid switching + aggressive VC power gating.
-    HybridTdmVct,
-    /// Hybrid switching + circuit-switched path sharing.
-    HybridTdmHopVc4,
-    /// Path sharing + aggressive VC power gating.
-    HybridTdmHopVct,
-}
-
-impl NetKind {
-    pub fn label(self) -> &'static str {
-        match self {
-            NetKind::PacketVc4 => "Packet-VC4",
-            NetKind::PacketVct => "Packet-VCt",
-            NetKind::HybridTdmVc4 => "Hybrid-TDM-VC4",
-            NetKind::HybridTdmVct => "Hybrid-TDM-VCt",
-            NetKind::HybridTdmHopVc4 => "Hybrid-TDM-hop-VC4",
-            NetKind::HybridTdmHopVct => "Hybrid-TDM-hop-VCt",
-        }
-    }
-
-    /// The three hybrid configurations of Figure 8, in plot order.
-    pub const FIGURE8: [NetKind; 3] =
-        [NetKind::HybridTdmVc4, NetKind::HybridTdmHopVc4, NetKind::HybridTdmHopVct];
-}
-
-/// TDM configuration used for the realistic workloads: 128-entry tables
-/// with dynamic granularity starting at 16 entries (§II-C), and a bounded
-/// stall budget for the switching decision.
-pub fn hetero_tdm_config(kind: NetKind, net: NetworkConfig) -> TdmConfig {
-    let mut cfg = match kind {
-        NetKind::HybridTdmVc4 => TdmConfig::vc4(net),
-        NetKind::HybridTdmVct => TdmConfig::vct(net),
-        NetKind::HybridTdmHopVc4 => TdmConfig::hop_vc4(net),
-        NetKind::HybridTdmHopVct => TdmConfig::hop_vct(net),
-        _ => panic!("not a TDM configuration"),
-    };
-    cfg.resize = Some(ResizeConfig {
-        // Grow only under sustained allocation pressure: the workloads'
-        // frequent pairs fit in small tables, and every doubling also
-        // doubles the slot wait and the table leakage (§II-C trade-off).
-        fail_threshold: 192,
-        ..ResizeConfig::default()
-    });
-    // GPU streams are persistent but per-bank rates can be low (STO at
-    // 0.05 flits/node/cycle over several banks): a longer observation
-    // window lets such pairs still qualify for circuits.
-    cfg.policy.freq_window = 4_096;
-    cfg.policy.setup_after_msgs = 3;
-    // Slack-gated GPU messages tolerate a bounded stall (§V-A2); the
-    // adaptive budget also lets congestion push traffic onto circuits.
-    cfg.policy.wait_budget =
-        tdm_noc::WaitBudget::Adaptive { ps_factor: 2.0, floor_periods: 0.5 };
-    cfg
-}
-
-/// Phase lengths for one mix simulation.
-#[derive(Clone, Copy, Debug)]
-pub struct HeteroPhases {
-    pub warmup: u64,
-    pub measure: u64,
-    pub drain: u64,
-}
-
-impl Default for HeteroPhases {
-    fn default() -> Self {
-        HeteroPhases { warmup: 4_000, measure: 20_000, drain: 6_000 }
-    }
-}
-
-impl HeteroPhases {
-    pub fn quick() -> Self {
-        HeteroPhases { warmup: 1_500, measure: 6_000, drain: 3_000 }
+/// Phase lengths for the §V mix simulations: pure cycle counts (warm-up,
+/// measurement, drain), with the paper-scale and quick variants.
+pub fn mix_phases(quick: bool) -> PhaseConfig {
+    if quick {
+        PhaseConfig::pure_cycles(1_500, 6_000, 3_000)
+    } else {
+        PhaseConfig::pure_cycles(4_000, 20_000, 6_000)
     }
 }
 
 /// Measured outcome of one (CPU, GPU, network) combination.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize)]
 pub struct MixResult {
     pub mix: String,
-    pub kind: NetKind,
+    pub kind: BackendKind,
     /// Average latency of CPU-side data packets.
     pub cpu_latency: f64,
     /// Average latency of GPU-side data packets (all switching modes).
@@ -119,43 +51,24 @@ pub struct MixResult {
     pub stats: noc_sim::NetStats,
 }
 
-enum NetImpl {
-    Packet(Box<Network<PacketNode>>),
-    Tdm(Box<TdmNetwork>),
+/// [`Workload`] adapter that counts GPU (accelerator-tile) flits injected
+/// during the measurement window, for Table III's injection-rate column.
+struct GpuAccounting<'a> {
+    inner: &'a mut HeteroWorkload,
+    accel: std::collections::HashSet<NodeId>,
+    gpu_flits_injected: u64,
 }
 
-impl NetImpl {
-    fn build(kind: NetKind, net_cfg: NetworkConfig) -> NetImpl {
-        match kind {
-            NetKind::PacketVc4 => {
-                NetImpl::Packet(Box::new(Network::new(net_cfg.mesh, |id| PacketNode::new(id, &net_cfg, None))))
+impl Workload for GpuAccounting<'_> {
+    fn tick(&mut self, now: Cycle, measured: bool, sink: &mut dyn FnMut(NodeId, Packet)) {
+        let accel = &self.accel;
+        let counter = &mut self.gpu_flits_injected;
+        self.inner.tick(now, measured, |n, p| {
+            if measured && accel.contains(&n) {
+                *counter += p.len_flits as u64;
             }
-            NetKind::PacketVct => NetImpl::Packet(Box::new(Network::new(net_cfg.mesh, |id| {
-                PacketNode::new(id, &net_cfg, Some(noc_sim::GatingConfig::default()))
-            }))),
-            _ => NetImpl::Tdm(Box::new(TdmNetwork::new(hetero_tdm_config(kind, net_cfg)))),
-        }
-    }
-
-    fn inject(&mut self, node: NodeId, pkt: Packet) {
-        match self {
-            NetImpl::Packet(n) => n.inject(node, pkt),
-            NetImpl::Tdm(n) => n.inject(node, pkt),
-        }
-    }
-
-    fn step(&mut self) {
-        match self {
-            NetImpl::Packet(n) => n.step(),
-            NetImpl::Tdm(n) => n.step(),
-        }
-    }
-
-    fn now(&self) -> Cycle {
-        match self {
-            NetImpl::Packet(n) => n.now(),
-            NetImpl::Tdm(n) => n.now(),
-        }
+            sink(n, p);
+        });
     }
 }
 
@@ -163,111 +76,63 @@ impl NetImpl {
 pub fn run_mix(
     cpu: &CpuBench,
     gpu: &GpuBench,
-    kind: NetKind,
-    phases: HeteroPhases,
+    kind: BackendKind,
+    phases: PhaseConfig,
     seed: u64,
-) -> MixResult {
+) -> Result<MixResult, ScenarioError> {
     let net_cfg = NetworkConfig::default();
     let floorplan = Floorplan::figure7();
     let mut workload = HeteroWorkload::new(floorplan, *cpu, *gpu, seed);
-    let mut net = NetImpl::build(kind, net_cfg);
-
-    macro_rules! with_net {
-        ($n:ident, $body:expr) => {
-            match &mut net {
-                NetImpl::Packet($n) => {
-                    let _ = &$n;
-                    $body
-                }
-                NetImpl::Tdm(t) => {
-                    let $n = &mut t.net;
-                    $body
-                }
-            }
-        };
-    }
+    let mut fabric = build_fabric(kind, net_cfg, Tuning::Hetero)?;
 
     // Enable the delivered-packet log for per-class latencies.
-    with_net!(n, n.collect_delivered = true);
+    fabric.set_collect_delivered(true);
 
-    let mut scratch: Vec<(NodeId, Packet)> = Vec::new();
     let accel: std::collections::HashSet<NodeId> =
         workload.floorplan.accel_tiles().into_iter().collect();
-    let mut gpu_flits_injected = 0u64;
+    let accel_count = accel.len();
+    let mut driver = GpuAccounting {
+        inner: &mut workload,
+        accel,
+        gpu_flits_injected: 0,
+    };
 
-    // Warm-up.
-    for _ in 0..phases.warmup {
-        let now = net.now();
-        scratch.clear();
-        workload.tick(now, false, |n, p| scratch.push((n, p)));
-        for (n, p) in scratch.drain(..) {
-            net.inject(n, p);
-        }
-        net.step();
-    }
-
-    // Measurement.
-    with_net!(n, {
-        n.begin_measurement();
-        n.delivered_log.clear();
-    });
-    for _ in 0..phases.measure {
-        let now = net.now();
-        scratch.clear();
-        workload.tick(now, true, |n, p| scratch.push((n, p)));
-        for (n, p) in scratch.drain(..) {
-            if accel.contains(&n) {
-                gpu_flits_injected += p.len_flits as u64;
-            }
-            net.inject(n, p);
-        }
-        net.step();
-    }
-
-    // Drain with background traffic.
-    for _ in 0..phases.drain {
-        let done = with_net!(n, n.stats.packets_delivered >= n.stats.packets_offered);
-        if done {
-            break;
-        }
-        let now = net.now();
-        scratch.clear();
-        workload.tick(now, false, |n, p| scratch.push((n, p)));
-        for (n, p) in scratch.drain(..) {
-            net.inject(n, p);
-        }
-        net.step();
-    }
-    with_net!(n, n.end_measurement());
-    with_net!(n, n.stats.measured_cycles = phases.measure);
+    let result = run_phases(fabric.as_mut(), &mut driver, phases);
+    let gpu_flits_injected = driver.gpu_flits_injected;
 
     // Per-class latency.
     let (mut cpu_sum, mut cpu_n, mut gpu_sum, mut gpu_n) = (0u64, 0u64, 0u64, 0u64);
     let (mut crit_sum, mut crit_n) = (0u64, 0u64);
-    with_net!(n, {
-        for d in &n.delivered_log {
-            let lat = d.delivered.saturating_sub(d.created);
-            if workload.is_gpu_packet(d.src, d.dst) {
-                gpu_sum += lat;
-                gpu_n += 1;
-                if d.switching == noc_sim::Switching::Packet {
-                    crit_sum += lat;
-                    crit_n += 1;
-                }
-            } else {
-                cpu_sum += lat;
-                cpu_n += 1;
+    for d in fabric.delivered_log() {
+        let lat = d.delivered.saturating_sub(d.created);
+        if workload.is_gpu_packet(d.src, d.dst) {
+            gpu_sum += lat;
+            gpu_n += 1;
+            if d.switching == noc_sim::Switching::Packet {
+                crit_sum += lat;
+                crit_n += 1;
             }
+        } else {
+            cpu_sum += lat;
+            cpu_n += 1;
         }
-    });
+    }
 
-    let stats = with_net!(n, n.stats.clone());
+    let stats = result.stats;
     let breakdown = EnergyModel::default().evaluate_stats(&stats);
-    MixResult {
+    Ok(MixResult {
         mix: workload.mix_name(),
         kind,
-        cpu_latency: if cpu_n == 0 { f64::NAN } else { cpu_sum as f64 / cpu_n as f64 },
-        gpu_latency: if gpu_n == 0 { f64::NAN } else { gpu_sum as f64 / gpu_n as f64 },
+        cpu_latency: if cpu_n == 0 {
+            f64::NAN
+        } else {
+            cpu_sum as f64 / cpu_n as f64
+        },
+        gpu_latency: if gpu_n == 0 {
+            f64::NAN
+        } else {
+            gpu_sum as f64 / gpu_n as f64
+        },
         gpu_critical_latency: if crit_n == 0 {
             f64::NAN
         } else {
@@ -275,10 +140,26 @@ pub fn run_mix(
         },
         cs_flit_fraction: stats.events.cs_flit_fraction(),
         gpu_injection: gpu_flits_injected as f64
-            / (phases.measure as f64 * accel.len() as f64),
+            / (phases.measure_cycles as f64 * accel_count as f64),
         breakdown,
         hide_cycles: workload.slack.mean_slack_cycles(),
         stats,
+    })
+}
+
+/// Run a hetero [`ScenarioSpec`] (resolving benchmark names through the
+/// workload tables). Synthetic specs are rejected — use the open-loop
+/// driver for those.
+pub fn run_spec(spec: &ScenarioSpec) -> Result<MixResult, ScenarioError> {
+    match &spec.traffic {
+        TrafficSpec::Hetero { cpu, gpu } => {
+            let cpu = cpu_bench(cpu).ok_or_else(|| ScenarioError::UnknownBench(cpu.clone()))?;
+            let gpu = gpu_bench(gpu).ok_or_else(|| ScenarioError::UnknownBench(gpu.clone()))?;
+            run_mix(cpu, gpu, spec.backend, spec.phases, spec.seed)
+        }
+        TrafficSpec::Synthetic { .. } => Err(ScenarioError::Parse(
+            "run_spec needs a hetero scenario (cpu+gpu), not a synthetic pattern".into(),
+        )),
     }
 }
 
@@ -292,16 +173,25 @@ mod tests {
         let r = run_mix(
             &CPU_BENCHES[0],
             &GPU_BENCHES[0],
-            NetKind::PacketVc4,
-            HeteroPhases::quick(),
+            BackendKind::PacketVc4,
+            mix_phases(true),
             7,
+        )
+        .unwrap();
+        assert!(
+            r.stats.packets_delivered > 500,
+            "too few packets: {}",
+            r.stats.packets_delivered
         );
-        assert!(r.stats.packets_delivered > 500, "too few packets: {}", r.stats.packets_delivered);
         assert!(r.cpu_latency.is_finite() && r.cpu_latency > 10.0);
         assert!(r.gpu_latency.is_finite() && r.gpu_latency > 10.0);
         assert_eq!(r.cs_flit_fraction, 0.0, "baseline must not circuit-switch");
         assert!(r.breakdown.total_pj() > 0.0);
-        assert!((r.gpu_injection - 0.18).abs() < 0.04, "gpu inj {}", r.gpu_injection);
+        assert!(
+            (r.gpu_injection - 0.18).abs() < 0.04,
+            "gpu inj {}",
+            r.gpu_injection
+        );
     }
 
     #[test]
@@ -309,10 +199,11 @@ mod tests {
         let r = run_mix(
             &CPU_BENCHES[0],
             &GPU_BENCHES[0], // BLACKSCHOLES: high slack, tight locality
-            NetKind::HybridTdmVc4,
-            HeteroPhases::quick(),
+            BackendKind::HybridTdmVc4,
+            mix_phases(true),
             7,
-        );
+        )
+        .unwrap();
         assert!(
             r.cs_flit_fraction > 0.15,
             "CS fraction {:.3} too low for BLACKSCHOLES",
@@ -326,22 +217,40 @@ mod tests {
         let base = run_mix(
             &CPU_BENCHES[0],
             &GPU_BENCHES[0],
-            NetKind::PacketVc4,
-            HeteroPhases::quick(),
+            BackendKind::PacketVc4,
+            mix_phases(true),
             7,
-        );
+        )
+        .unwrap();
         let hyb = run_mix(
             &CPU_BENCHES[0],
             &GPU_BENCHES[0],
-            NetKind::HybridTdmHopVct,
-            HeteroPhases::quick(),
+            BackendKind::HybridTdmHopVct,
+            mix_phases(true),
             7,
-        );
+        )
+        .unwrap();
         let saving = hyb.breakdown.saving_vs(&base.breakdown);
         assert!(
             saving > 0.02,
             "expected energy saving for BLACKSCHOLES, got {:.3}",
             saving
         );
+    }
+
+    #[test]
+    fn spec_runner_resolves_benchmark_names() {
+        let spec = ScenarioSpec::hetero(
+            BackendKind::PacketVc4,
+            CPU_BENCHES[0].name,
+            GPU_BENCHES[0].name,
+            mix_phases(true),
+            7,
+        );
+        let r = run_spec(&spec).unwrap();
+        assert!(r.stats.packets_delivered > 500);
+
+        let bad = ScenarioSpec::hetero(BackendKind::PacketVc4, "NOPE", "STO", mix_phases(true), 7);
+        assert!(matches!(run_spec(&bad), Err(ScenarioError::UnknownBench(n)) if n == "NOPE"));
     }
 }

@@ -48,7 +48,10 @@ impl Floorplan {
     /// mirror-image is accelerators, side edges of the middle rows are
     /// memory controllers, everything else is L2.
     pub fn scaled(mesh: Mesh) -> Self {
-        assert!(mesh.kx() >= 4 && mesh.ky() >= 4, "floorplan needs at least 4x4");
+        assert!(
+            mesh.kx() >= 4 && mesh.ky() >= 4,
+            "floorplan needs at least 4x4"
+        );
         let (kx, ky) = (mesh.kx(), mesh.ky());
         let kinds = mesh
             .nodes()
@@ -58,9 +61,7 @@ impl Floorplan {
                     TileKind::Cpu
                 } else if c.y == ky - 1 || (c.y == ky - 2 && (c.x == 0 || c.x == kx - 1)) {
                     TileKind::Accel
-                } else if (c.x == 0 || c.x == kx - 1)
-                    && (c.y == ky / 2 || c.y == ky / 2 - 1)
-                {
+                } else if (c.x == 0 || c.x == kx - 1) && (c.y == ky / 2 || c.y == ky / 2 - 1) {
                     TileKind::Mem
                 } else {
                     TileKind::L2

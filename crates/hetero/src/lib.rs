@@ -28,7 +28,9 @@ pub mod speedup;
 pub mod workload;
 
 pub use config::SystemConfig;
-pub use driver::{run_mix, HeteroPhases, MixResult, NetKind};
+pub use driver::{mix_phases, run_mix, run_spec, MixResult};
 pub use floorplan::{Floorplan, TileKind};
 pub use slack::WarpSlack;
-pub use workload::{CpuBench, GpuBench, HeteroWorkload, CPU_BENCHES, GPU_BENCHES};
+pub use workload::{
+    cpu_bench, gpu_bench, CpuBench, GpuBench, HeteroWorkload, CPU_BENCHES, GPU_BENCHES,
+};

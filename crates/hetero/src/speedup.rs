@@ -29,12 +29,7 @@ pub fn cpu_speedup(mem_intensity: f64, lat_base: f64, lat_new: f64) -> f64 {
 
 /// GPU speedup given baseline/new average GPU-packet latency and the mean
 /// warp slack (cycles of latency the kernel hides for free).
-pub fn gpu_speedup(
-    lat_sensitivity: f64,
-    hide_cycles: f64,
-    lat_base: f64,
-    lat_new: f64,
-) -> f64 {
+pub fn gpu_speedup(lat_sensitivity: f64, hide_cycles: f64, lat_base: f64, lat_new: f64) -> f64 {
     assert!((0.0..=1.0).contains(&lat_sensitivity));
     if !lat_base.is_finite() || !lat_new.is_finite() || lat_base <= 0.0 {
         return 1.0;

@@ -37,14 +37,62 @@ pub struct CpuBench {
 
 /// The 8 CPU benchmarks (§V-A1).
 pub const CPU_BENCHES: [CpuBench; 8] = [
-    CpuBench { name: "AMMP", injection: 0.020, mem_intensity: 0.10, share_fraction: 0.15, bank_spread: 8 },
-    CpuBench { name: "APPLU", injection: 0.030, mem_intensity: 0.15, share_fraction: 0.10, bank_spread: 10 },
-    CpuBench { name: "ART", injection: 0.050, mem_intensity: 0.22, share_fraction: 0.05, bank_spread: 12 },
-    CpuBench { name: "EQUAKE", injection: 0.040, mem_intensity: 0.18, share_fraction: 0.12, bank_spread: 10 },
-    CpuBench { name: "GAFORT", injection: 0.025, mem_intensity: 0.12, share_fraction: 0.08, bank_spread: 8 },
-    CpuBench { name: "MGRID", injection: 0.035, mem_intensity: 0.16, share_fraction: 0.06, bank_spread: 12 },
-    CpuBench { name: "SWIM", injection: 0.050, mem_intensity: 0.25, share_fraction: 0.04, bank_spread: 14 },
-    CpuBench { name: "WUPWISE", injection: 0.030, mem_intensity: 0.14, share_fraction: 0.10, bank_spread: 10 },
+    CpuBench {
+        name: "AMMP",
+        injection: 0.020,
+        mem_intensity: 0.10,
+        share_fraction: 0.15,
+        bank_spread: 8,
+    },
+    CpuBench {
+        name: "APPLU",
+        injection: 0.030,
+        mem_intensity: 0.15,
+        share_fraction: 0.10,
+        bank_spread: 10,
+    },
+    CpuBench {
+        name: "ART",
+        injection: 0.050,
+        mem_intensity: 0.22,
+        share_fraction: 0.05,
+        bank_spread: 12,
+    },
+    CpuBench {
+        name: "EQUAKE",
+        injection: 0.040,
+        mem_intensity: 0.18,
+        share_fraction: 0.12,
+        bank_spread: 10,
+    },
+    CpuBench {
+        name: "GAFORT",
+        injection: 0.025,
+        mem_intensity: 0.12,
+        share_fraction: 0.08,
+        bank_spread: 8,
+    },
+    CpuBench {
+        name: "MGRID",
+        injection: 0.035,
+        mem_intensity: 0.16,
+        share_fraction: 0.06,
+        bank_spread: 12,
+    },
+    CpuBench {
+        name: "SWIM",
+        injection: 0.050,
+        mem_intensity: 0.25,
+        share_fraction: 0.04,
+        bank_spread: 14,
+    },
+    CpuBench {
+        name: "WUPWISE",
+        injection: 0.030,
+        mem_intensity: 0.14,
+        share_fraction: 0.10,
+        bank_spread: 10,
+    },
 ];
 
 /// A CUDA/Rodinia GPU kernel model.
@@ -66,21 +114,74 @@ pub struct GpuBench {
 
 /// The 7 GPU benchmarks with Table III injection rates.
 pub const GPU_BENCHES: [GpuBench; 7] = [
-    GpuBench { name: "BLACKSCHOLES", injection: 0.18, bank_spread: 3, warp_mean: 26.0, miss_rate: 0.30, lat_sensitivity: 0.30 },
-    GpuBench { name: "HOTSPOT", injection: 0.09, bank_spread: 5, warp_mean: 16.0, miss_rate: 0.20, lat_sensitivity: 0.15 },
-    GpuBench { name: "LIB", injection: 0.20, bank_spread: 4, warp_mean: 11.0, miss_rate: 0.25, lat_sensitivity: 0.28 },
-    GpuBench { name: "LPS", injection: 0.20, bank_spread: 4, warp_mean: 24.0, miss_rate: 0.25, lat_sensitivity: 0.18 },
-    GpuBench { name: "NN", injection: 0.18, bank_spread: 7, warp_mean: 16.0, miss_rate: 0.22, lat_sensitivity: 0.12 },
-    GpuBench { name: "PATHFINDER", injection: 0.13, bank_spread: 4, warp_mean: 21.0, miss_rate: 0.20, lat_sensitivity: 0.12 },
-    GpuBench { name: "STO", injection: 0.05, bank_spread: 3, warp_mean: 6.5, miss_rate: 0.15, lat_sensitivity: 0.14 },
+    GpuBench {
+        name: "BLACKSCHOLES",
+        injection: 0.18,
+        bank_spread: 3,
+        warp_mean: 26.0,
+        miss_rate: 0.30,
+        lat_sensitivity: 0.30,
+    },
+    GpuBench {
+        name: "HOTSPOT",
+        injection: 0.09,
+        bank_spread: 5,
+        warp_mean: 16.0,
+        miss_rate: 0.20,
+        lat_sensitivity: 0.15,
+    },
+    GpuBench {
+        name: "LIB",
+        injection: 0.20,
+        bank_spread: 4,
+        warp_mean: 11.0,
+        miss_rate: 0.25,
+        lat_sensitivity: 0.28,
+    },
+    GpuBench {
+        name: "LPS",
+        injection: 0.20,
+        bank_spread: 4,
+        warp_mean: 24.0,
+        miss_rate: 0.25,
+        lat_sensitivity: 0.18,
+    },
+    GpuBench {
+        name: "NN",
+        injection: 0.18,
+        bank_spread: 7,
+        warp_mean: 16.0,
+        miss_rate: 0.22,
+        lat_sensitivity: 0.12,
+    },
+    GpuBench {
+        name: "PATHFINDER",
+        injection: 0.13,
+        bank_spread: 4,
+        warp_mean: 21.0,
+        miss_rate: 0.20,
+        lat_sensitivity: 0.12,
+    },
+    GpuBench {
+        name: "STO",
+        injection: 0.05,
+        bank_spread: 3,
+        warp_mean: 6.5,
+        miss_rate: 0.15,
+        lat_sensitivity: 0.14,
+    },
 ];
 
 pub fn cpu_bench(name: &str) -> Option<&'static CpuBench> {
-    CPU_BENCHES.iter().find(|b| b.name.eq_ignore_ascii_case(name))
+    CPU_BENCHES
+        .iter()
+        .find(|b| b.name.eq_ignore_ascii_case(name))
 }
 
 pub fn gpu_bench(name: &str) -> Option<&'static GpuBench> {
-    GPU_BENCHES.iter().find(|b| b.name.eq_ignore_ascii_case(name))
+    GPU_BENCHES
+        .iter()
+        .find(|b| b.name.eq_ignore_ascii_case(name))
 }
 
 /// A deferred reply/miss message.
@@ -144,7 +245,9 @@ impl HeteroWorkload {
         let pick_banks = |rng: &mut StdRng, spread: usize, idx: usize| -> Vec<NodeId> {
             let spread = spread.min(l2.len()).max(1);
             let start = (idx * 5 + rng.random_range(0..l2.len())) % l2.len();
-            (0..spread).map(|k| l2[(start + k * 3) % l2.len()]).collect()
+            (0..spread)
+                .map(|k| l2[(start + k * 3) % l2.len()])
+                .collect()
         };
         let cpu_banks = (0..cpu_tiles.len())
             .map(|i| pick_banks(&mut rng, cpu.bank_spread, i))
@@ -301,6 +404,12 @@ impl HeteroWorkload {
     }
 }
 
+impl noc_traffic::Workload for HeteroWorkload {
+    fn tick(&mut self, now: Cycle, measured: bool, sink: &mut dyn FnMut(NodeId, Packet)) {
+        HeteroWorkload::tick(self, now, measured, sink);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -327,14 +436,17 @@ mod tests {
         assert!(t.contains(&("NN", 0.18)));
         assert!(t.contains(&("PATHFINDER", 0.13)));
         assert!(t.contains(&("STO", 0.05)));
-        assert_eq!(CPU_BENCHES.len() * GPU_BENCHES.len(), 56, "56 workload mixes");
+        assert_eq!(
+            CPU_BENCHES.len() * GPU_BENCHES.len(),
+            56,
+            "56 workload mixes"
+        );
     }
 
     #[test]
     fn gpu_injection_rate_approximates_table3() {
         let mut w = workload(0, 0); // BLACKSCHOLES: 0.18
-        let accel: std::collections::HashSet<_> =
-            w.floorplan.accel_tiles().into_iter().collect();
+        let accel: std::collections::HashSet<_> = w.floorplan.accel_tiles().into_iter().collect();
         let mut gpu_flits = 0u64;
         let cycles = 40_000u64;
         for now in 0..cycles {
@@ -345,7 +457,10 @@ mod tests {
             });
         }
         let rate = gpu_flits as f64 / (cycles as f64 * accel.len() as f64);
-        assert!((rate - 0.18).abs() < 0.02, "GPU injection {rate:.3} vs 0.18");
+        assert!(
+            (rate - 0.18).abs() < 0.02,
+            "GPU injection {rate:.3} vs 0.18"
+        );
     }
 
     #[test]
@@ -391,8 +506,7 @@ mod tests {
     #[test]
     fn replies_and_misses_are_generated() {
         let mut w = workload(0, 0);
-        let accel: std::collections::HashSet<_> =
-            w.floorplan.accel_tiles().into_iter().collect();
+        let accel: std::collections::HashSet<_> = w.floorplan.accel_tiles().into_iter().collect();
         let mems: std::collections::HashSet<_> = w.floorplan.mem_tiles().into_iter().collect();
         let mut to_gpu = 0u64;
         let mut mc_legs = 0u64;

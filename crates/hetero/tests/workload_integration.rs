@@ -1,15 +1,27 @@
 //! Heterogeneous workload model: end-to-end properties of the statistical
 //! substitution that the Figure 8/9 results depend on.
 
-use noc_hetero::{run_mix, Floorplan, HeteroPhases, HeteroWorkload, NetKind, CPU_BENCHES, GPU_BENCHES};
+use noc_hetero::{run_mix, Floorplan, HeteroWorkload, CPU_BENCHES, GPU_BENCHES};
+use noc_scenario::BackendKind;
 use noc_sim::Mesh;
+use noc_traffic::PhaseConfig;
 
 #[test]
 fn mixes_are_deterministic_per_seed() {
     let run = |seed| {
-        let r = run_mix(&CPU_BENCHES[1], &GPU_BENCHES[2], NetKind::HybridTdmVc4,
-                        HeteroPhases { warmup: 500, measure: 2_000, drain: 1_500 }, seed);
-        (r.stats.packets_delivered, r.stats.events.cs_flits_delivered, r.cpu_latency.to_bits())
+        let r = run_mix(
+            &CPU_BENCHES[1],
+            &GPU_BENCHES[2],
+            BackendKind::HybridTdmVc4,
+            PhaseConfig::pure_cycles(500, 2_000, 1_500),
+            seed,
+        )
+        .unwrap();
+        (
+            r.stats.packets_delivered,
+            r.stats.events.cs_flits_delivered,
+            r.cpu_latency.to_bits(),
+        )
     };
     assert_eq!(run(9), run(9));
     assert_ne!(run(9), run(10));
@@ -40,7 +52,13 @@ fn traffic_only_flows_between_plausible_tile_pairs() {
             let (a, b) = (f.kind(src), f.kind(p.dst));
             let ok = matches!(
                 (a, b),
-                (Cpu, L2) | (L2, Cpu) | (Cpu, Cpu) | (Accel, L2) | (L2, Accel) | (L2, Mem) | (Mem, L2)
+                (Cpu, L2)
+                    | (L2, Cpu)
+                    | (Cpu, Cpu)
+                    | (Accel, L2)
+                    | (L2, Accel)
+                    | (L2, Mem)
+                    | (Mem, L2)
             );
             assert!(ok, "implausible traffic {a:?} -> {b:?}");
         });
@@ -51,7 +69,8 @@ fn traffic_only_flows_between_plausible_tile_pairs() {
 fn floorplan_scales_preserve_tile_classes() {
     for k in [4u16, 6, 8, 10] {
         let f = Floorplan::scaled(Mesh::square(k));
-        let total = f.cpu_tiles().len() + f.accel_tiles().len() + f.l2_tiles().len() + f.mem_tiles().len();
+        let total =
+            f.cpu_tiles().len() + f.accel_tiles().len() + f.l2_tiles().len() + f.mem_tiles().len();
         assert_eq!(total, (k as usize).pow(2));
         assert!(!f.cpu_tiles().is_empty());
         assert!(!f.accel_tiles().is_empty());
@@ -79,14 +98,31 @@ fn gpu_injection_scales_with_benchmark_rate() {
     let lps = count(3) as f64;
     let sto = count(6) as f64;
     let ratio = lps / sto;
-    assert!((3.0..5.5).contains(&ratio), "LPS/STO injection ratio {ratio:.2}");
+    assert!(
+        (3.0..5.5).contains(&ratio),
+        "LPS/STO injection ratio {ratio:.2}"
+    );
 }
 
 #[test]
 fn baseline_energy_grows_with_gpu_intensity() {
-    let phases = HeteroPhases { warmup: 500, measure: 3_000, drain: 1_500 };
-    let hot = run_mix(&CPU_BENCHES[0], &GPU_BENCHES[3], NetKind::PacketVc4, phases, 2); // LPS 0.20
-    let cold = run_mix(&CPU_BENCHES[0], &GPU_BENCHES[6], NetKind::PacketVc4, phases, 2); // STO 0.05
+    let phases = PhaseConfig::pure_cycles(500, 3_000, 1_500);
+    let hot = run_mix(
+        &CPU_BENCHES[0],
+        &GPU_BENCHES[3],
+        BackendKind::PacketVc4,
+        phases,
+        2,
+    )
+    .unwrap(); // LPS 0.20
+    let cold = run_mix(
+        &CPU_BENCHES[0],
+        &GPU_BENCHES[6],
+        BackendKind::PacketVc4,
+        phases,
+        2,
+    )
+    .unwrap(); // STO 0.05
     assert!(
         hot.breakdown.dynamic_pj() > 1.5 * cold.breakdown.dynamic_pj(),
         "dynamic energy must track injection ({:.2e} vs {:.2e})",
@@ -95,5 +131,8 @@ fn baseline_energy_grows_with_gpu_intensity() {
     );
     // Static energy is load-independent on the fixed baseline.
     let rel = (hot.breakdown.static_pj() / cold.breakdown.static_pj() - 1.0).abs();
-    assert!(rel < 0.05, "baseline static energy should barely move ({rel:.3})");
+    assert!(
+        rel < 0.05,
+        "baseline static energy should barely move ({rel:.3})"
+    );
 }

@@ -126,9 +126,15 @@ mod tests {
         let small = a.hybrid_router_mm2(&cfg, 16, 8);
         let large = a.hybrid_router_mm2(&cfg, 256, 8);
         assert!(large > small);
-        let wide = RouterConfig { channel_bytes: 32, ..cfg };
+        let wide = RouterConfig {
+            channel_bytes: 32,
+            ..cfg
+        };
         assert!(a.packet_router_mm2(&wide) > a.packet_router_mm2(&cfg));
-        let more_vcs = RouterConfig { vcs_per_port: 8, ..cfg };
+        let more_vcs = RouterConfig {
+            vcs_per_port: 8,
+            ..cfg
+        };
         assert!(a.packet_router_mm2(&more_vcs) > a.packet_router_mm2(&cfg));
     }
 }

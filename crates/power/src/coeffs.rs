@@ -20,7 +20,11 @@ pub struct TechParams {
 
 impl Default for TechParams {
     fn default() -> Self {
-        TechParams { vdd_v: 1.0, freq_ghz: 1.5, node_nm: 45 }
+        TechParams {
+            vdd_v: 1.0,
+            freq_ghz: 1.5,
+            node_nm: 45,
+        }
     }
 }
 

@@ -23,7 +23,10 @@ pub struct DvfsPoint {
 }
 
 impl DvfsPoint {
-    pub const NOMINAL: DvfsPoint = DvfsPoint { vdd_v: 1.0, freq_ghz: 1.5 };
+    pub const NOMINAL: DvfsPoint = DvfsPoint {
+        vdd_v: 1.0,
+        freq_ghz: 1.5,
+    };
 
     /// Maximum frequency supportable at `vdd` under an alpha-power delay
     /// model (`f ∝ (V - Vt)^α / V`, α = 1.3, Vt = 0.35 V), anchored so the
@@ -40,7 +43,9 @@ impl DvfsPoint {
 
     /// Whether this point is electrically feasible.
     pub fn is_feasible(&self) -> bool {
-        self.vdd_v > 0.0 && self.freq_ghz > 0.0 && self.freq_ghz <= Self::max_freq_ghz(self.vdd_v) + 1e-9
+        self.vdd_v > 0.0
+            && self.freq_ghz > 0.0
+            && self.freq_ghz <= Self::max_freq_ghz(self.vdd_v) + 1e-9
     }
 
     /// The lowest feasible voltage for a target frequency (bisection).
@@ -137,11 +142,17 @@ mod tests {
 
     #[test]
     fn lower_voltage_saves_quadratically_but_caps_frequency() {
-        let slow = DvfsPoint { vdd_v: 0.8, freq_ghz: 1.0 };
+        let slow = DvfsPoint {
+            vdd_v: 0.8,
+            freq_ghz: 1.0,
+        };
         assert!(slow.is_feasible());
         assert!((slow.dynamic_scale() - 0.64).abs() < 1e-12);
         // Nominal frequency is NOT feasible at 0.8 V.
-        let bad = DvfsPoint { vdd_v: 0.8, freq_ghz: 1.5 };
+        let bad = DvfsPoint {
+            vdd_v: 0.8,
+            freq_ghz: 1.5,
+        };
         assert!(!bad.is_feasible());
     }
 
@@ -150,8 +161,14 @@ mod tests {
         let v1 = DvfsPoint::voltage_for(0.75);
         let v2 = DvfsPoint::voltage_for(1.5);
         assert!(v1 < v2);
-        assert!((v2 - 1.0).abs() < 0.01, "nominal f needs ~nominal V, got {v2}");
-        let p = DvfsPoint { vdd_v: v1, freq_ghz: 0.75 };
+        assert!(
+            (v2 - 1.0).abs() < 0.01,
+            "nominal f needs ~nominal V, got {v2}"
+        );
+        let p = DvfsPoint {
+            vdd_v: v1,
+            freq_ghz: 0.75,
+        };
         assert!(p.is_feasible());
     }
 
@@ -159,7 +176,10 @@ mod tests {
     fn leakage_energy_per_cycle_grows_when_clock_slows() {
         // At fixed voltage, halving f doubles leakage energy per cycle —
         // the reason DVFS scales V and f together.
-        let half = DvfsPoint { vdd_v: 1.0, freq_ghz: 0.75 };
+        let half = DvfsPoint {
+            vdd_v: 1.0,
+            freq_ghz: 0.75,
+        };
         assert!((half.leakage_scale() - 2.0).abs() < 1e-9);
     }
 
@@ -179,7 +199,10 @@ mod tests {
             router_cycles: 5_000,
             ..Default::default()
         };
-        let p = DvfsPoint { vdd_v: 0.85, freq_ghz: 1.0 };
+        let p = DvfsPoint {
+            vdd_v: 0.85,
+            freq_ghz: 1.0,
+        };
         let base = EnergyModel::default();
         let direct = EnergyModel::new(p.apply(&base.coeffs)).evaluate(&events, &leakage);
         let rescaled = p.rescale(&base.evaluate(&events, &leakage));
@@ -192,7 +215,10 @@ mod tests {
         // The *ratio* between hybrid and baseline energy survives a DVFS
         // rescale applied to both (the paper's orthogonality claim) as long
         // as the dynamic/static mix is comparable.
-        let p = DvfsPoint { vdd_v: 0.9, freq_ghz: 1.2 };
+        let p = DvfsPoint {
+            vdd_v: 0.9,
+            freq_ghz: 1.2,
+        };
         let mk = |dyn_pj: f64, stat_pj: f64| EnergyBreakdown {
             buffer_dyn_pj: dyn_pj,
             buffer_static_pj: stat_pj,

@@ -22,7 +22,7 @@ pub mod model;
 pub mod tech;
 
 pub use area::AreaModel;
-pub use dvfs::DvfsPoint;
 pub use coeffs::EnergyCoeffs;
+pub use dvfs::DvfsPoint;
 pub use model::{EnergyBreakdown, EnergyModel};
 pub use tech::{RouterGeometry, TechModel};

@@ -187,7 +187,10 @@ mod tests {
         let cs_share = hybrid.cs_dyn_pj / hybrid.dynamic_pj();
         assert!(cs_share < 0.03, "CS dynamic overhead {cs_share:.4}");
         let cs_static_share = hybrid.cs_static_pj / hybrid.static_pj();
-        assert!(cs_static_share < 0.05, "CS static overhead {cs_static_share:.4}");
+        assert!(
+            cs_static_share < 0.05,
+            "CS static overhead {cs_static_share:.4}"
+        );
         // Net effect: a real saving.
         assert!(hybrid.saving_vs(&base) > 0.05);
     }

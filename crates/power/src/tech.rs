@@ -82,7 +82,12 @@ pub struct RouterGeometry {
 
 impl Default for RouterGeometry {
     fn default() -> Self {
-        RouterGeometry { flit_bits: 128, ports: 5, buf_depth: 5, vcs: 4 }
+        RouterGeometry {
+            flit_bits: 128,
+            ports: 5,
+            buf_depth: 5,
+            vcs: 4,
+        }
     }
 }
 
@@ -104,7 +109,8 @@ impl TechModel {
     /// drivers — slightly cheaper than the write.
     pub fn buffer_read_pj(&self, g: &RouterGeometry) -> f64 {
         let mux_levels = (g.buf_depth as f64).log2().ceil().max(1.0);
-        let per_bit = self.e_switch_pj(mux_levels * 2.0 * self.c_gate_min_ff + 0.6 * self.c_flop_eff_ff);
+        let per_bit =
+            self.e_switch_pj(mux_levels * 2.0 * self.c_gate_min_ff + 0.6 * self.c_flop_eff_ff);
         per_bit * g.flit_bits as f64 * (self.activity + 0.5)
     }
 
@@ -154,10 +160,13 @@ impl TechModel {
             link_pj: self.link_pj(g),
             // Clock tree: ~6 flit-widths of clocked pipeline/state bits per
             // router toggling every cycle.
-            clock_pj_per_router_cycle: self.e_switch_pj(6.0 * flit_bits * self.c_clk_per_bit_ff) * 0.5,
+            clock_pj_per_router_cycle: self.e_switch_pj(6.0 * flit_bits * self.c_clk_per_bit_ff)
+                * 0.5,
             slot_lookup_pj: self.slot_lookup_pj(),
             slot_update_pj: self.slot_lookup_pj() * 1.6,
-            cs_latch_pj: self.e_switch_pj(flit_bits * 0.5 * self.c_flop_eff_ff) * self.activity * 0.4,
+            cs_latch_pj: self.e_switch_pj(flit_bits * 0.5 * self.c_flop_eff_ff)
+                * self.activity
+                * 0.4,
             dlt_pj: self.slot_lookup_pj(),
             buffer_slot_leak_pj: flit_bits * self.ram_bit_leak_pj_per_cycle(),
             slot_entry_leak_pj: 4.0 * self.ram_bit_leak_pj_per_cycle() * 2.0, // + decode share
@@ -193,22 +202,49 @@ mod tests {
         close("buffer_read", d.buffer_read_pj, c.buffer_read_pj, 2.0);
         close("xbar", d.xbar_pj, c.xbar_pj, 2.0);
         close("link", d.link_pj, c.link_pj, 2.0);
-        close("clock", d.clock_pj_per_router_cycle, c.clock_pj_per_router_cycle, 2.0);
-        close("buffer_leak", d.buffer_slot_leak_pj, c.buffer_slot_leak_pj, 2.0);
+        close(
+            "clock",
+            d.clock_pj_per_router_cycle,
+            c.clock_pj_per_router_cycle,
+            2.0,
+        );
+        close(
+            "buffer_leak",
+            d.buffer_slot_leak_pj,
+            c.buffer_slot_leak_pj,
+            2.0,
+        );
         close("slot_leak", d.slot_entry_leak_pj, c.slot_entry_leak_pj, 2.0);
-        close("fixed_leak", d.router_fixed_leak_pj, c.router_fixed_leak_pj, 2.0);
+        close(
+            "fixed_leak",
+            d.router_fixed_leak_pj,
+            c.router_fixed_leak_pj,
+            2.0,
+        );
     }
 
     #[test]
     fn energies_scale_with_geometry() {
         let t = TechModel::default();
-        let narrow = RouterGeometry { flit_bits: 64, ..Default::default() };
-        let wide = RouterGeometry { flit_bits: 256, ..Default::default() };
+        let narrow = RouterGeometry {
+            flit_bits: 64,
+            ..Default::default()
+        };
+        let wide = RouterGeometry {
+            flit_bits: 256,
+            ..Default::default()
+        };
         assert!(t.buffer_write_pj(&wide) > 2.0 * t.buffer_write_pj(&narrow));
         assert!(t.xbar_pj(&wide) > 2.0 * t.xbar_pj(&narrow));
-        let deep = RouterGeometry { buf_depth: 32, ..Default::default() };
+        let deep = RouterGeometry {
+            buf_depth: 32,
+            ..Default::default()
+        };
         assert!(t.buffer_read_pj(&deep) > t.buffer_read_pj(&RouterGeometry::default()));
-        let many_ports = RouterGeometry { ports: 8, ..Default::default() };
+        let many_ports = RouterGeometry {
+            ports: 8,
+            ..Default::default()
+        };
         assert!(t.xbar_pj(&many_ports) > t.xbar_pj(&RouterGeometry::default()));
     }
 

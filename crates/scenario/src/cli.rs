@@ -1,0 +1,48 @@
+//! Shared command-line conventions for the experiment binaries:
+//! `--quick`, `--json <path>`, `--scenario <file>` and the
+//! `NOC_STEP_THREADS` host override.
+
+use crate::{ScenarioError, ScenarioSpec};
+
+/// `--quick` flag for every experiment binary.
+pub fn quick_flag() -> bool {
+    std::env::args().any(|a| a == "--quick" || a == "-q")
+}
+
+/// Optional `--json <path>` flag: experiment binaries that support it dump
+/// their raw measurement points alongside the printed tables.
+pub fn json_flag() -> Option<String> {
+    arg_value("--json")
+}
+
+/// Optional `--scenario <file>` flag: run the scenario spec(s) from a JSON
+/// file instead of the binary's built-in paper configuration.
+pub fn scenario_flag() -> Option<String> {
+    arg_value("--scenario")
+}
+
+fn arg_value(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Load the `--scenario` file when given: `Ok(None)` means the flag is
+/// absent and the binary should run its built-in configuration.
+pub fn scenario_specs_from_cli() -> Result<Option<Vec<ScenarioSpec>>, ScenarioError> {
+    match scenario_flag() {
+        Some(path) => ScenarioSpec::load(&path).map(Some),
+        None => Ok(None),
+    }
+}
+
+/// Host-side override for `NetworkConfig::step_threads`: the
+/// `NOC_STEP_THREADS` environment variable (0 or unset = serial). Safe to
+/// set for any experiment — stepping mode never changes simulated results.
+pub fn step_threads_from_env() -> usize {
+    std::env::var("NOC_STEP_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}

@@ -1,0 +1,70 @@
+//! Self-describing result files: every experiment binary's `--json`
+//! output is wrapped in one envelope carrying a schema version and an
+//! echo of the scenario that produced the data.
+
+use serde::{Serialize, Value};
+
+/// Version of the result-file schema. Bump when the envelope shape or the
+/// meaning of existing fields changes.
+///
+/// * **1** — initial envelope: `{schema_version, scenario, data}` where
+///   `scenario` echoes the driving [`ScenarioSpec`](crate::ScenarioSpec)
+///   (or a binary-specific sweep description) and `data` holds the
+///   measurement points the binary previously wrote at top level.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Wrap measurement data in the shared result envelope.
+pub fn result_envelope<S: Serialize + ?Sized, T: Serialize + ?Sized>(
+    scenario: &S,
+    data: &T,
+) -> Value {
+    Value::Object(vec![
+        (
+            "schema_version".to_string(),
+            Value::UInt(SCHEMA_VERSION as u64),
+        ),
+        ("scenario".to_string(), scenario.to_value()),
+        ("data".to_string(), data.to_value()),
+    ])
+}
+
+/// Serialize any measurement structure to pretty JSON on disk.
+pub fn write_json<T: Serialize + ?Sized>(path: &str, value: &T) -> std::io::Result<()> {
+    let json = serde_json::to_string_pretty(value).expect("serializable");
+    std::fs::write(path, json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_has_version_scenario_and_data() {
+        let v = result_envelope("echo", &[1u64, 2, 3][..]);
+        let Value::Object(fields) = &v else {
+            panic!("not an object")
+        };
+        assert_eq!(
+            fields[0],
+            (
+                "schema_version".to_string(),
+                Value::UInt(SCHEMA_VERSION as u64)
+            )
+        );
+        assert_eq!(
+            fields[1],
+            ("scenario".to_string(), Value::Str("echo".into()))
+        );
+        assert_eq!(
+            fields[2],
+            (
+                "data".to_string(),
+                Value::Array(vec![Value::UInt(1), Value::UInt(2), Value::UInt(3)])
+            )
+        );
+        // The envelope itself serializes (Value is identity-serializable).
+        assert!(serde_json::to_string_pretty(&v)
+            .unwrap()
+            .contains("schema_version"));
+    }
+}

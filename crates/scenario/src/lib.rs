@@ -1,0 +1,34 @@
+//! # noc-scenario — backend registry and declarative experiment scenarios
+//!
+//! The single seam between "what the paper evaluates" and "how it runs":
+//!
+//! * [`backend`] — [`BackendKind`], the one registry of every switching
+//!   backend (collapsing the old per-crate `SynthKind`/`NetKind` enums),
+//!   with `Result`-based configuration builders and [`build_fabric`]
+//!   mapping a kind to a boxed [`noc_sim::Fabric`];
+//! * [`spec`] — [`ScenarioSpec`], a declarative scenario (backend, mesh,
+//!   traffic, phases, seed, host threading) loadable from JSON and
+//!   serialisable back into result files;
+//! * [`envelope`] — the shared `--json` result envelope
+//!   ([`SCHEMA_VERSION`] + scenario echo);
+//! * [`json`] — the in-tree JSON reader (the vendored `serde` is
+//!   serialise-only);
+//! * [`cli`] — the `--quick`/`--json`/`--scenario` conventions shared by
+//!   the experiment binaries.
+
+pub mod backend;
+pub mod cli;
+pub mod envelope;
+pub mod json;
+pub mod spec;
+
+pub use backend::{
+    build_fabric, hetero_tdm_config, slot_capacity_for, synthetic_sdm_config, synthetic_tdm_config,
+    BackendKind, ScenarioError, Tuning,
+};
+pub use cli::{
+    json_flag, quick_flag, scenario_flag, scenario_specs_from_cli, step_threads_from_env,
+};
+pub use envelope::{result_envelope, write_json, SCHEMA_VERSION};
+pub use json::Json;
+pub use spec::{parse_pattern, ScenarioSpec, TrafficSpec};

@@ -1,0 +1,559 @@
+//! Declarative scenario specs: one value that fully determines an
+//! experiment run — backend, mesh, traffic, phase lengths, seed and host
+//! threading — mappable to a boxed [`Fabric`] plus a workload.
+
+use noc_sim::{Fabric, Mesh, NetworkConfig, NodeId};
+use noc_traffic::{PhaseConfig, SyntheticSource, TrafficPattern};
+use serde::{Serialize, Value};
+
+use crate::backend::{build_fabric, BackendKind, ScenarioError, Tuning};
+use crate::json::Json;
+
+/// What drives the fabric: a synthetic pattern at a fixed rate (§IV) or a
+/// heterogeneous CPU+GPU benchmark mix (§V). Hetero benchmarks are named
+/// here and resolved by `noc-hetero` (the workload model lives there).
+#[derive(Clone, Debug, PartialEq)]
+pub enum TrafficSpec {
+    Synthetic { pattern: TrafficPattern, rate: f64 },
+    Hetero { cpu: String, gpu: String },
+}
+
+/// A fully-specified experiment scenario.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioSpec {
+    pub backend: BackendKind,
+    /// Side length of the (square) mesh.
+    pub mesh: u16,
+    pub traffic: TrafficSpec,
+    pub phases: PhaseConfig,
+    pub seed: u64,
+    /// Host worker threads for the node-stepping phase (0 = serial);
+    /// never changes simulated results.
+    pub step_threads: usize,
+    /// TDM slot-table size override (default: sized from the mesh,
+    /// §IV-D).
+    pub slot_capacity: Option<u16>,
+}
+
+impl ScenarioSpec {
+    /// A synthetic-traffic scenario on a `mesh`×`mesh` network.
+    pub fn synthetic(
+        backend: BackendKind,
+        mesh: u16,
+        pattern: TrafficPattern,
+        rate: f64,
+        phases: PhaseConfig,
+        seed: u64,
+    ) -> Self {
+        ScenarioSpec {
+            backend,
+            mesh,
+            traffic: TrafficSpec::Synthetic { pattern, rate },
+            phases,
+            seed,
+            step_threads: 0,
+            slot_capacity: None,
+        }
+    }
+
+    /// A heterogeneous-workload scenario (fixed §V system: 6×6 mesh,
+    /// Figure 7 floorplan).
+    pub fn hetero(
+        backend: BackendKind,
+        cpu: impl Into<String>,
+        gpu: impl Into<String>,
+        phases: PhaseConfig,
+        seed: u64,
+    ) -> Self {
+        ScenarioSpec {
+            backend,
+            mesh: 6,
+            traffic: TrafficSpec::Hetero {
+                cpu: cpu.into(),
+                gpu: gpu.into(),
+            },
+            phases,
+            seed,
+            step_threads: 0,
+            slot_capacity: None,
+        }
+    }
+
+    /// The network configuration this scenario describes.
+    pub fn net_config(&self) -> NetworkConfig {
+        let mut cfg = NetworkConfig::with_mesh(Mesh::square(self.mesh));
+        cfg.step_threads = self.step_threads;
+        cfg
+    }
+
+    /// Which circuit-setup tuning applies (§IV vs §V policies).
+    pub fn tuning(&self) -> Tuning {
+        match self.traffic {
+            TrafficSpec::Synthetic { .. } => Tuning::Synthetic {
+                slot_capacity: self.slot_capacity,
+            },
+            TrafficSpec::Hetero { .. } => Tuning::Hetero,
+        }
+    }
+
+    /// Build the boxed fabric for this scenario.
+    pub fn build_fabric(&self) -> Result<Box<dyn Fabric>, ScenarioError> {
+        build_fabric(self.backend, self.net_config(), self.tuning())
+    }
+
+    /// Build the synthetic source for this scenario (`None` for hetero
+    /// traffic — the workload model lives in `noc-hetero`).
+    pub fn build_source(&self) -> Option<SyntheticSource> {
+        match &self.traffic {
+            TrafficSpec::Synthetic { pattern, rate } => Some(SyntheticSource::new(
+                Mesh::square(self.mesh),
+                pattern.clone(),
+                *rate,
+                self.net_config().ps_packet_flits,
+                self.seed,
+            )),
+            TrafficSpec::Hetero { .. } => None,
+        }
+    }
+
+    /// Parse a scenario file: either one spec object or an array of them.
+    pub fn parse(text: &str) -> Result<Vec<ScenarioSpec>, ScenarioError> {
+        match Json::parse(text)? {
+            Json::Arr(items) => items.iter().map(ScenarioSpec::from_json).collect(),
+            v => Ok(vec![ScenarioSpec::from_json(&v)?]),
+        }
+    }
+
+    /// Load a scenario file from disk.
+    pub fn load(path: &str) -> Result<Vec<ScenarioSpec>, ScenarioError> {
+        ScenarioSpec::parse(&std::fs::read_to_string(path)?)
+    }
+
+    /// Build one spec from a parsed JSON object.
+    pub fn from_json(v: &Json) -> Result<ScenarioSpec, ScenarioError> {
+        let Json::Obj(fields) = v else {
+            return Err(ScenarioError::Parse(
+                "scenario must be a JSON object".into(),
+            ));
+        };
+        const KNOWN: [&str; 13] = [
+            "backend",
+            "mesh",
+            "traffic",
+            "pattern",
+            "rate",
+            "hotspots",
+            "cpu",
+            "gpu",
+            "phases",
+            "seed",
+            "step_threads",
+            "slot_capacity",
+            "quick",
+        ];
+        for (k, _) in fields {
+            if !KNOWN.contains(&k.as_str()) {
+                return Err(ScenarioError::Parse(format!(
+                    "unknown scenario field {k:?}"
+                )));
+            }
+        }
+
+        let backend = BackendKind::parse(
+            v.get("backend")
+                .and_then(Json::as_str)
+                .ok_or(ScenarioError::MissingField("backend"))?,
+        )?;
+        let quick = v.get("quick") == Some(&Json::Bool(true));
+
+        // Traffic fields may sit flat on the spec or nested under a
+        // "traffic" object — the nested form is what result-envelope
+        // echoes emit, so echoes round-trip as `--scenario` inputs.
+        let tsrc = match v.get("traffic") {
+            Some(t) => {
+                if ["pattern", "rate", "hotspots", "cpu", "gpu"]
+                    .iter()
+                    .any(|k| v.get(k).is_some())
+                {
+                    return Err(ScenarioError::Parse(
+                        "give traffic either nested under \"traffic\" or flat, not both".into(),
+                    ));
+                }
+                let Json::Obj(tf) = t else {
+                    return Err(ScenarioError::Parse("\"traffic\" must be an object".into()));
+                };
+                for (k, _) in tf {
+                    if !["mode", "pattern", "rate", "hotspots", "cpu", "gpu"].contains(&k.as_str())
+                    {
+                        return Err(ScenarioError::Parse(format!("unknown traffic field {k:?}")));
+                    }
+                }
+                t
+            }
+            None => v,
+        };
+
+        let traffic = match (tsrc.get("pattern"), tsrc.get("cpu"), tsrc.get("gpu")) {
+            (Some(p), None, None) => {
+                let name = p
+                    .as_str()
+                    .ok_or_else(|| ScenarioError::Parse("\"pattern\" must be a string".into()))?;
+                let hotspots = match tsrc.get("hotspots") {
+                    Some(Json::Arr(ids)) => ids
+                        .iter()
+                        .map(|i| i.as_u64().map(|n| NodeId(n as u32)))
+                        .collect::<Option<Vec<_>>>()
+                        .ok_or_else(|| {
+                            ScenarioError::Parse("\"hotspots\" must be node ids".into())
+                        })?,
+                    None => Vec::new(),
+                    Some(_) => {
+                        return Err(ScenarioError::Parse("\"hotspots\" must be an array".into()))
+                    }
+                };
+                let pattern = parse_pattern(name, hotspots)?;
+                let rate = tsrc
+                    .get("rate")
+                    .and_then(Json::as_f64)
+                    .ok_or(ScenarioError::MissingField("rate"))?;
+                TrafficSpec::Synthetic { pattern, rate }
+            }
+            (None, Some(c), Some(g)) => TrafficSpec::Hetero {
+                cpu: c
+                    .as_str()
+                    .ok_or_else(|| ScenarioError::Parse("\"cpu\" must be a string".into()))?
+                    .to_string(),
+                gpu: g
+                    .as_str()
+                    .ok_or_else(|| ScenarioError::Parse("\"gpu\" must be a string".into()))?
+                    .to_string(),
+            },
+            _ => {
+                return Err(ScenarioError::Parse(
+                    "scenario needs either \"pattern\"+\"rate\" or \"cpu\"+\"gpu\"".into(),
+                ))
+            }
+        };
+
+        let hetero = matches!(traffic, TrafficSpec::Hetero { .. });
+        let mesh = match v.get("mesh") {
+            Some(m) => m
+                .as_u64()
+                .filter(|&k| (2..=256).contains(&k))
+                .ok_or_else(|| ScenarioError::Parse("\"mesh\" must be a side length".into()))?
+                as u16,
+            None => 6,
+        };
+        if hetero && mesh != 6 {
+            return Err(ScenarioError::Parse(
+                "hetero scenarios are fixed to the 6x6 Figure 7 floorplan".into(),
+            ));
+        }
+
+        let base_phases = match (hetero, quick) {
+            (false, false) => PhaseConfig::default(),
+            (false, true) => PhaseConfig::quick(),
+            (true, false) => PhaseConfig::pure_cycles(4_000, 20_000, 6_000),
+            (true, true) => PhaseConfig::pure_cycles(1_500, 6_000, 3_000),
+        };
+        let phases = match v.get("phases") {
+            None => base_phases,
+            Some(p) => parse_phases(p, base_phases)?,
+        };
+
+        Ok(ScenarioSpec {
+            backend,
+            mesh,
+            traffic,
+            phases,
+            seed: opt_u64(v, "seed")?.unwrap_or(1),
+            step_threads: opt_u64(v, "step_threads")?.unwrap_or(0) as usize,
+            slot_capacity: opt_u64(v, "slot_capacity")?.map(|c| c as u16),
+        })
+    }
+}
+
+fn opt_u64(v: &Json, key: &'static str) -> Result<Option<u64>, ScenarioError> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(x) => x
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| ScenarioError::Parse(format!("{key:?} must be a non-negative integer"))),
+    }
+}
+
+fn parse_phases(v: &Json, base: PhaseConfig) -> Result<PhaseConfig, ScenarioError> {
+    let Json::Obj(fields) = v else {
+        return Err(ScenarioError::Parse("\"phases\" must be an object".into()));
+    };
+    let mut ph = base;
+    for (k, val) in fields {
+        let n = val
+            .as_u64()
+            .ok_or_else(|| ScenarioError::Parse(format!("phase {k:?} must be an integer")))?;
+        match k.as_str() {
+            "warmup_cycles" => ph.warmup_cycles = n,
+            "warmup_packets" => ph.warmup_packets = n,
+            "measure_cycles" => ph.measure_cycles = n,
+            "measure_packets" => ph.measure_packets = n,
+            "drain_cycles" => ph.drain_cycles = n,
+            _ => return Err(ScenarioError::Parse(format!("unknown phase field {k:?}"))),
+        }
+    }
+    Ok(ph)
+}
+
+/// Parse a traffic-pattern string: the paper abbreviation (`"UR"`) or the
+/// enum variant name (`"UniformRandom"`).
+pub fn parse_pattern(name: &str, hotspots: Vec<NodeId>) -> Result<TrafficPattern, ScenarioError> {
+    if !matches!(name, "HS" | "Hotspot") && !hotspots.is_empty() {
+        return Err(ScenarioError::Parse(format!(
+            "\"hotspots\" only applies to the HS pattern, not {name:?}"
+        )));
+    }
+    let p = match name {
+        "UR" | "UniformRandom" => TrafficPattern::UniformRandom,
+        "TOR" | "Tornado" => TrafficPattern::Tornado,
+        "TR" | "Transpose" => TrafficPattern::Transpose,
+        "BC" | "BitComplement" => TrafficPattern::BitComplement,
+        "BR" | "BitReverse" => TrafficPattern::BitReverse,
+        "SH" | "Shuffle" => TrafficPattern::Shuffle,
+        "NB" | "Neighbor" => TrafficPattern::Neighbor,
+        "HS" | "Hotspot" => {
+            if hotspots.is_empty() {
+                return Err(ScenarioError::Parse(
+                    "hotspot pattern needs a non-empty \"hotspots\" array".into(),
+                ));
+            }
+            TrafficPattern::Hotspot(hotspots)
+        }
+        _ => return Err(ScenarioError::UnknownPattern(name.to_string())),
+    };
+    Ok(p)
+}
+
+impl Serialize for TrafficSpec {
+    fn to_value(&self) -> Value {
+        match self {
+            TrafficSpec::Synthetic { pattern, rate } => {
+                let mut fields = vec![
+                    ("mode".to_string(), Value::Str("synthetic".into())),
+                    ("pattern".to_string(), Value::Str(pattern.name().into())),
+                    ("rate".to_string(), Value::Float(*rate)),
+                ];
+                if let TrafficPattern::Hotspot(spots) = pattern {
+                    fields.push((
+                        "hotspots".to_string(),
+                        Value::Array(spots.iter().map(|n| Value::UInt(n.0 as u64)).collect()),
+                    ));
+                }
+                Value::Object(fields)
+            }
+            TrafficSpec::Hetero { cpu, gpu } => Value::Object(vec![
+                ("mode".to_string(), Value::Str("hetero".into())),
+                ("cpu".to_string(), Value::Str(cpu.clone())),
+                ("gpu".to_string(), Value::Str(gpu.clone())),
+            ]),
+        }
+    }
+}
+
+impl Serialize for ScenarioSpec {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            (
+                "backend".to_string(),
+                Value::Str(self.backend.name().into()),
+            ),
+            ("mesh".to_string(), Value::UInt(self.mesh as u64)),
+            ("traffic".to_string(), self.traffic.to_value()),
+            ("phases".to_string(), self.phases.to_value()),
+            ("seed".to_string(), Value::UInt(self.seed)),
+            (
+                "step_threads".to_string(),
+                Value::UInt(self.step_threads as u64),
+            ),
+            (
+                "slot_capacity".to_string(),
+                match self.slot_capacity {
+                    Some(c) => Value::UInt(c as u64),
+                    None => Value::Null,
+                },
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_spec_builds_and_runs() {
+        let spec = ScenarioSpec::synthetic(
+            BackendKind::HybridTdmVc4,
+            4,
+            TrafficPattern::Transpose,
+            0.1,
+            PhaseConfig::quick(),
+            3,
+        );
+        let mut fabric = spec.build_fabric().unwrap();
+        let mut source = spec.build_source().unwrap();
+        let r = noc_traffic::run_phases(fabric.as_mut(), &mut source, spec.phases);
+        assert!(r.stats.packets_delivered > 20);
+        assert_eq!(
+            fabric.active_slots(),
+            Some(128),
+            "synthetic TDM: fixed tables"
+        );
+    }
+
+    #[test]
+    fn json_round_trip_of_a_full_spec() {
+        let specs = ScenarioSpec::parse(
+            r#"{
+                "backend": "HybridTdmVct",
+                "mesh": 8,
+                "pattern": "TOR",
+                "rate": 0.3,
+                "phases": {"warmup_cycles": 100, "measure_cycles": 1000},
+                "seed": 42,
+                "step_threads": 2,
+                "slot_capacity": 64
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(specs.len(), 1);
+        let s = &specs[0];
+        assert_eq!(s.backend, BackendKind::HybridTdmVct);
+        assert_eq!(s.mesh, 8);
+        assert_eq!(
+            s.traffic,
+            TrafficSpec::Synthetic {
+                pattern: TrafficPattern::Tornado,
+                rate: 0.3
+            }
+        );
+        assert_eq!(s.phases.warmup_cycles, 100);
+        assert_eq!(s.phases.measure_cycles, 1_000);
+        // Unset phase fields keep the defaults.
+        assert_eq!(s.phases.drain_cycles, PhaseConfig::default().drain_cycles);
+        assert_eq!(s.seed, 42);
+        assert_eq!(s.step_threads, 2);
+        assert_eq!(s.slot_capacity, Some(64));
+    }
+
+    #[test]
+    fn serialized_echo_round_trips_as_scenario_input() {
+        // Result envelopes echo specs with traffic nested under
+        // "traffic"; that form must parse back to the identical specs.
+        let specs = vec![
+            ScenarioSpec::synthetic(
+                BackendKind::HybridTdmVct,
+                6,
+                TrafficPattern::Transpose,
+                0.2,
+                PhaseConfig::quick(),
+                17,
+            ),
+            ScenarioSpec::hetero(
+                BackendKind::HybridTdmHopVct,
+                "SWIM",
+                "STO",
+                PhaseConfig::pure_cycles(500, 2_500, 2_000),
+                5,
+            ),
+        ];
+        let text = serde_json::to_string_pretty(&specs).expect("serializable");
+        let parsed = ScenarioSpec::parse(&text).unwrap();
+        assert_eq!(parsed, specs);
+    }
+
+    #[test]
+    fn nested_and_flat_traffic_cannot_be_mixed() {
+        let err = ScenarioSpec::parse(
+            r#"{"backend": "PacketVc4", "rate": 0.1,
+                "traffic": {"pattern": "UR", "rate": 0.1}}"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("not both"), "{err}");
+    }
+
+    #[test]
+    fn hetero_spec_and_array_form() {
+        let specs = ScenarioSpec::parse(
+            r#"[
+                {"backend": "PacketVc4", "cpu": "CANNEAL", "gpu": "STO", "quick": true},
+                {"backend": "HybridTdmHopVct", "cpu": "CANNEAL", "gpu": "STO", "quick": true}
+            ]"#,
+        )
+        .unwrap();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].mesh, 6);
+        assert!(matches!(&specs[0].traffic, TrafficSpec::Hetero { cpu, .. } if cpu == "CANNEAL"));
+        // Hetero quick phases are pure cycle counts.
+        assert_eq!(specs[0].phases.warmup_packets, 0);
+        assert_eq!(specs[0].phases.measure_packets, u64::MAX);
+        assert_eq!(specs[0].phases.measure_cycles, 6_000);
+    }
+
+    #[test]
+    fn bad_specs_are_rejected_with_context() {
+        for (text, needle) in [
+            (r#"{"mesh": 4, "pattern": "UR", "rate": 0.1}"#, "backend"),
+            (r#"{"backend": "PacketVc4"}"#, "pattern"),
+            (
+                r#"{"backend": "Nope", "pattern": "UR", "rate": 0.1}"#,
+                "unknown backend",
+            ),
+            (
+                r#"{"backend": "PacketVc4", "pattern": "XX", "rate": 0.1}"#,
+                "pattern",
+            ),
+            (
+                r#"{"backend": "PacketVc4", "pattern": "UR", "rate": 0.1, "bogus": 1}"#,
+                "bogus",
+            ),
+            (
+                r#"{"backend": "PacketVc4", "cpu": "CANNEAL", "gpu": "STO", "mesh": 8}"#,
+                "6x6",
+            ),
+            (
+                r#"{"backend": "PacketVc4", "pattern": "HS", "rate": 0.1}"#,
+                "hotspots",
+            ),
+        ] {
+            let e = ScenarioSpec::parse(text).unwrap_err();
+            assert!(
+                e.to_string()
+                    .to_lowercase()
+                    .contains(&needle.to_lowercase()),
+                "error {e} should mention {needle}"
+            );
+        }
+    }
+
+    #[test]
+    fn spec_serializes_to_self_describing_echo() {
+        let spec = ScenarioSpec::synthetic(
+            BackendKind::PacketVc4,
+            6,
+            TrafficPattern::UniformRandom,
+            0.2,
+            PhaseConfig::quick(),
+            17,
+        );
+        let Value::Object(fields) = spec.to_value() else {
+            panic!("not an object")
+        };
+        let get = |k: &str| fields.iter().find(|(n, _)| n == k).map(|(_, v)| v.clone());
+        assert_eq!(get("backend"), Some(Value::Str("PacketVc4".into())));
+        assert_eq!(get("seed"), Some(Value::UInt(17)));
+        let Some(Value::Object(tr)) = get("traffic") else {
+            panic!("traffic")
+        };
+        assert!(tr.contains(&("pattern".to_string(), Value::Str("UR".into()))));
+    }
+}

@@ -115,7 +115,8 @@ impl SdmNode {
     fn issue_setup(&mut self, now: Cycle, dst: NodeId, attempts: u8) {
         let Some(plane) = self.router.free_local_plane(self.plane_scan + attempts) else {
             self.router.events.setup_failures += 1;
-            self.registry.set_cooldown(dst, now, self.cfg.retry_cooldown);
+            self.registry
+                .set_cooldown(dst, now, self.cfg.retry_cooldown);
             return;
         };
         self.plane_scan = self.plane_scan.wrapping_add(1);
@@ -127,11 +128,22 @@ impl SdmNode {
             duration: self.cfg.cs_message_flits(),
             path_id,
         };
-        let pkt =
-            Packet::config(self.protocol_packet_id(), self.id, dst, ConfigKind::Setup(info), now);
+        let pkt = Packet::config(
+            self.protocol_packet_id(),
+            self.id,
+            dst,
+            ConfigKind::Setup(info),
+            now,
+        );
         self.registry.begin_setup(
             path_id,
-            PendingSetup { dst, slot: plane as u16, duration: info.duration, attempts, issued: now },
+            PendingSetup {
+                dst,
+                slot: plane as u16,
+                duration: info.duration,
+                attempts,
+                issued: now,
+            },
         );
         self.router.events.setup_attempts += 1;
         self.inject_queue.push_front(pkt);
@@ -151,7 +163,8 @@ impl SdmNode {
             if p.attempts < self.cfg.setup_retries {
                 self.issue_setup(now, p.dst, p.attempts + 1);
             } else {
-                self.registry.set_cooldown(p.dst, now, self.cfg.retry_cooldown);
+                self.registry
+                    .set_cooldown(p.dst, now, self.cfg.retry_cooldown);
             }
         }
     }
@@ -201,7 +214,14 @@ impl SdmNode {
                 })
                 .collect();
             self.registry.touch(dst, conn.slot, now);
-            self.cs_streams.insert(dst, CsStream { flits, next: 0, next_allowed: now });
+            self.cs_streams.insert(
+                dst,
+                CsStream {
+                    flits,
+                    next: 0,
+                    next_allowed: now,
+                },
+            );
         }
         // Advance active streams (plane spacing P).
         let dsts: Vec<NodeId> = self.cs_streams.keys().copied().collect();
@@ -229,14 +249,20 @@ impl SdmNode {
         for vc in 0..self.streams.len() {
             if self.streams[vc].is_none() {
                 if let Some(pkt) = self.inject_queue.pop_front() {
-                    self.streams[vc] = Some(PsStream { packet: pkt, next: 0, next_allowed: now });
+                    self.streams[vc] = Some(PsStream {
+                        packet: pkt,
+                        next: 0,
+                        next_allowed: now,
+                    });
                 } else {
                     break;
                 }
             }
         }
         for vc in 0..self.streams.len() {
-            let Some(s) = &mut self.streams[vc] else { continue };
+            let Some(s) = &mut self.streams[vc] else {
+                continue;
+            };
             if now < s.next_allowed || self.credits[vc] == 0 {
                 continue;
             }
@@ -357,7 +383,11 @@ impl NodeModel for SdmNode {
             .flat_map(|q| q.iter())
             .map(|p| p.len_flits as usize)
             .sum();
-        let cs_streams: usize = self.cs_streams.values().map(|s| s.flits.len() - s.next).sum();
+        let cs_streams: usize = self
+            .cs_streams
+            .values()
+            .map(|s| s.flits.len() - s.next)
+            .sum();
         let partial: usize = self.rx.values().map(|&c| c as usize).sum();
         self.router.occupancy() + queued + ps_streams + cs_queued + cs_streams + partial
     }
@@ -427,7 +457,10 @@ mod tests {
             n.run(30);
         }
         assert!(n.drain(3_000));
-        assert!(n.nodes[src.index()].registry.get(dst).is_some(), "no circuit");
+        assert!(
+            n.nodes[src.index()].registry.get(dst).is_some(),
+            "no circuit"
+        );
         // Measure CS latency: isolated packets on the circuit.
         n.begin_measurement();
         for i in 0..8u64 {
@@ -470,7 +503,10 @@ mod tests {
             .iter()
             .filter(|d| n.nodes[src.index()].registry.get(**d).is_some())
             .count();
-        assert!(established <= 3, "more circuits than planes allow: {established}");
+        assert!(
+            established <= 3,
+            "more circuits than planes allow: {established}"
+        );
         assert!(established >= 2, "planes underused: {established}");
     }
 

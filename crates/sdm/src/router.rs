@@ -11,11 +11,11 @@
 
 use noc_sim::arbiter::RoundRobin;
 use noc_sim::routing::xy_route;
+use noc_sim::stats::EnergyEvents;
 use noc_sim::{
     ConfigKind, Credit, Cycle, Flit, Mesh, MsgClass, NodeId, NodeOutputs, Packet, PacketId, Port,
     RouterConfig, Switching, VcBuf, VcState,
 };
-use noc_sim::stats::EnergyEvents;
 
 /// A circuit reservation at one router.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -99,9 +99,15 @@ impl SdmRouter {
                     },
                 })
                 .collect(),
-            circuits: (0..Port::COUNT).map(|_| vec![None; planes as usize]).collect(),
-            va_arb: (0..Port::COUNT).map(|_| RoundRobin::new(Port::COUNT * vcs)).collect(),
-            sa_arb_out: (0..Port::COUNT).map(|_| RoundRobin::new(Port::COUNT)).collect(),
+            circuits: (0..Port::COUNT)
+                .map(|_| vec![None; planes as usize])
+                .collect(),
+            va_arb: (0..Port::COUNT)
+                .map(|_| RoundRobin::new(Port::COUNT * vcs))
+                .collect(),
+            sa_arb_out: (0..Port::COUNT)
+                .map(|_| RoundRobin::new(Port::COUNT))
+                .collect(),
             cs_incoming: Vec::new(),
             events: EnergyEvents::default(),
             ejected: Vec::new(),
@@ -192,8 +198,11 @@ impl SdmRouter {
                     && self.circuits[in_port.index()][plane].is_none()
                     && (out == Port::Local || !self.outputs[out.index()].planes[plane].circuit);
                 if ok {
-                    self.circuits[in_port.index()][plane] =
-                        Some(CircuitEntry { path_id: info.path_id, out, dst: info.dst });
+                    self.circuits[in_port.index()][plane] = Some(CircuitEntry {
+                        path_id: info.path_id,
+                        out,
+                        dst: info.dst,
+                    });
                     self.events.slot_updates += 1;
                     if out == Port::Local {
                         self.events.config_flits_delivered += 1;
@@ -217,7 +226,9 @@ impl SdmRouter {
                     .position(|e| e.is_some_and(|e| e.path_id == info.path_id));
                 match slot {
                     Some(plane) => {
-                        let e = self.circuits[in_port.index()][plane].take().expect("present");
+                        let e = self.circuits[in_port.index()][plane]
+                            .take()
+                            .expect("present");
                         self.events.slot_updates += 1;
                         if e.out == Port::Local {
                             self.events.config_flits_delivered += 1;
@@ -242,21 +253,32 @@ impl SdmRouter {
     /// consumed that port's upstream credit, so the slot is guaranteed).
     fn buffer_config(&mut self, in_port: Port, flit: Flit) {
         let buf = &mut self.inputs[in_port.index()][flit.vc as usize];
-        assert!(buf.fifo.len() < self.cfg.buf_depth as usize, "config buffering overflow");
+        assert!(
+            buf.fifo.len() < self.cfg.buf_depth as usize,
+            "config buffering overflow"
+        );
         buf.fifo.push_back(flit);
         self.events.buffer_writes += 1;
     }
 
     fn emit_ack(&mut self, now: Cycle, info: noc_sim::SetupInfo, success: bool) {
         let id = self.protocol_packet_id();
-        let pkt = Packet::config(id, self.id, info.src, ConfigKind::Ack { info, success }, now);
+        let pkt = Packet::config(
+            id,
+            self.id,
+            info.src,
+            ConfigKind::Ack { info, success },
+            now,
+        );
         self.protocol_out.push(pkt);
     }
 
     pub fn step(&mut self, now: Cycle, out: &mut NodeOutputs) {
         // Credits for configuration flits consumed on arrival.
         for (port, vc) in self.pending_credits.drain(..) {
-            let dir = port.direction().expect("local credits go via local_credits");
+            let dir = port
+                .direction()
+                .expect("local credits go via local_credits");
             out.credits.push((dir, Credit { vc }));
         }
 
@@ -288,7 +310,9 @@ impl SdmRouter {
                 if buf.state != VcState::Idle {
                     continue;
                 }
-                let Some(front) = buf.fifo.front() else { continue };
+                let Some(front) = buf.fifo.front() else {
+                    continue;
+                };
                 if !front.kind.is_head() {
                     continue;
                 }
@@ -330,12 +354,19 @@ impl SdmRouter {
                 if self.outputs[o].alloc[v].is_some() {
                     continue;
                 }
-                let Some(w) = self.va_arb[o].grant(&reqs[..Port::COUNT * vcs]) else { break };
+                let Some(w) = self.va_arb[o].grant(&reqs[..Port::COUNT * vcs]) else {
+                    break;
+                };
                 reqs[w] = false;
                 let (p, vc) = (w / vcs, w % vcs);
                 let buf = &mut self.inputs[p][vc];
-                let VcState::Waiting { out } = buf.state else { unreachable!() };
-                buf.state = VcState::Active { out, out_vc: v as u8 };
+                let VcState::Waiting { out } = buf.state else {
+                    unreachable!()
+                };
+                buf.state = VcState::Active {
+                    out,
+                    out_vc: v as u8,
+                };
                 buf.stage_cycle = now;
                 self.outputs[o].alloc[v] = Some((p as u8, vc as u8));
                 self.events.va_ops += 1;
@@ -364,11 +395,15 @@ impl SdmRouter {
             for off in 0..vcs {
                 let vc = (p + off) % vcs; // cheap rotation
                 let buf = &self.inputs[p][vc];
-                let VcState::Active { out: o, out_vc } = buf.state else { continue };
+                let VcState::Active { out: o, out_vc } = buf.state else {
+                    continue;
+                };
                 if buf.stage_cycle >= now {
                     continue;
                 }
-                let Some(front) = buf.fifo.front() else { continue };
+                let Some(front) = buf.fifo.front() else {
+                    continue;
+                };
                 if o != Port::Local && self.outputs[o.index()].credits[out_vc as usize] == 0 {
                     continue;
                 }
@@ -386,9 +421,9 @@ impl SdmRouter {
         // Phase 2: one grant per output port.
         for o in Port::ALL {
             let cands = &candidates;
-            let Some(p) = self.sa_arb_out[o.index()].grant_by(|p| {
-                matches!(cands[p], Some((_, op, _)) if op == o)
-            }) else {
+            let Some(p) = self.sa_arb_out[o.index()]
+                .grant_by(|p| matches!(cands[p], Some((_, op, _)) if op == o))
+            else {
                 continue;
             };
             let (vc, _, out_vc) = candidates[p].unwrap();
@@ -471,7 +506,11 @@ impl SdmRouter {
             + self.cs_incoming.len()
             + self.ejected.len()
             + self.cs_ejected.len()
-            + self.protocol_out.iter().map(|p| p.len_flits as usize).sum::<usize>()
+            + self
+                .protocol_out
+                .iter()
+                .map(|p| p.len_flits as usize)
+                .sum::<usize>()
     }
 
     /// Powered buffer flit slots (no VC gating in the SDM baseline).
@@ -495,7 +534,13 @@ mod tests {
     }
 
     fn setup(src: NodeId, dst: NodeId, plane: u16, pid: u64) -> Flit {
-        let info = SetupInfo { src, dst, slot: plane, duration: 4, path_id: pid };
+        let info = SetupInfo {
+            src,
+            dst,
+            slot: plane,
+            duration: 4,
+            path_id: pid,
+        };
         let p = Packet::config(PacketId(900 + pid), src, dst, ConfigKind::Setup(info), 0);
         Flit::of_packet(&p, 0, Switching::Packet)
     }
@@ -582,7 +627,10 @@ mod tests {
             }
         }
         assert_eq!(times.len(), 2);
-        assert!(times[1].0 - times[0].0 <= 2, "second packet blocked: {times:?}");
+        assert!(
+            times[1].0 - times[0].0 <= 2,
+            "second packet blocked: {times:?}"
+        );
     }
 
     #[test]
@@ -598,8 +646,11 @@ mod tests {
         r.accept_flit(8, Port::West, f);
         let mut out = NodeOutputs::default();
         r.step(8, &mut out);
-        let cs: Vec<_> =
-            out.flits.iter().filter(|(_, f)| f.switching == Switching::Circuit).collect();
+        let cs: Vec<_> = out
+            .flits
+            .iter()
+            .filter(|(_, f)| f.switching == Switching::Circuit)
+            .collect();
         assert_eq!(cs.len(), 1, "CS flit must leave the same cycle");
     }
 
@@ -610,7 +661,13 @@ mod tests {
         let src = m.id(Coord::new(0, 1));
         let dst = m.id(Coord::new(3, 1));
         r.accept_flit(0, Port::West, setup(src, dst, 1, 1));
-        let info = SetupInfo { src, dst, slot: 1, duration: 4, path_id: 1 };
+        let info = SetupInfo {
+            src,
+            dst,
+            slot: 1,
+            duration: 4,
+            path_id: 1,
+        };
         let p = Packet::config(PacketId(999), src, dst, ConfigKind::Teardown(info), 5);
         r.accept_flit(5, Port::West, Flit::of_packet(&p, 0, Switching::Packet));
         assert!(r.circuit_at(Port::West, 1).is_none());

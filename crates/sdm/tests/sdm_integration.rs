@@ -5,7 +5,10 @@ use noc_sdm::{SdmConfig, SdmNode};
 use noc_sim::{Coord, Mesh, Network, NetworkConfig, NodeId, Packet, PacketId};
 
 fn cfg(k: u16) -> SdmConfig {
-    SdmConfig { net: NetworkConfig::with_mesh(Mesh::square(k)), ..Default::default() }
+    SdmConfig {
+        net: NetworkConfig::with_mesh(Mesh::square(k)),
+        ..Default::default()
+    }
 }
 
 fn net(c: SdmConfig) -> Network<SdmNode> {
@@ -74,7 +77,10 @@ fn circuits_on_different_planes_coexist_on_one_link() {
         node.registry.get(d1).unwrap().slot,
         node.registry.get(d2).unwrap().slot,
     );
-    assert_ne!(p1, p2, "two circuits cannot share a plane on the same links");
+    assert_ne!(
+        p1, p2,
+        "two circuits cannot share a plane on the same links"
+    );
     let ev = n.total_events();
     assert!(ev.cs_flits_delivered > 50, "circuits unused");
 }
@@ -103,8 +109,14 @@ fn plane_exhaustion_fails_further_setups_until_capacity_frees() {
         n.run(30);
     }
     assert!(n.drain(10_000));
-    let established = dsts.iter().filter(|d| n.nodes[src.index()].registry.get(**d).is_some()).count();
-    assert!(established <= 3, "{established} circuits exceed the plane ceiling");
+    let established = dsts
+        .iter()
+        .filter(|d| n.nodes[src.index()].registry.get(**d).is_some())
+        .count();
+    assert!(
+        established <= 3,
+        "{established} circuits exceed the plane ceiling"
+    );
     assert!(n.total_events().setup_failures > 0, "the ceiling never bit");
 }
 
@@ -130,7 +142,11 @@ fn sdm_network_is_deterministic() {
         }
         n.drain(20_000);
         let ev = n.total_events();
-        (n.stats.packets_delivered, ev.cs_flits_delivered, ev.buffer_writes)
+        (
+            n.stats.packets_delivered,
+            ev.cs_flits_delivered,
+            ev.buffer_writes,
+        )
     };
     assert_eq!(run(), run());
 }

@@ -10,7 +10,10 @@ pub struct RoundRobin {
 
 impl RoundRobin {
     pub fn new(n: usize) -> Self {
-        RoundRobin { n, last: n.saturating_sub(1) }
+        RoundRobin {
+            n,
+            last: n.saturating_sub(1),
+        }
     }
 
     /// Number of requesters this arbiter serves.

@@ -67,7 +67,10 @@ impl Default for NetworkConfig {
 
 impl NetworkConfig {
     pub fn with_mesh(mesh: Mesh) -> Self {
-        NetworkConfig { mesh, ..Default::default() }
+        NetworkConfig {
+            mesh,
+            ..Default::default()
+        }
     }
 }
 

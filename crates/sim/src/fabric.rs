@@ -1,0 +1,212 @@
+//! The [`Fabric`] abstraction: one object-safe surface over every
+//! switching backend (packet, TDM hybrid, SDM hybrid), so drivers,
+//! experiment binaries and tests can be written once against
+//! `&mut dyn Fabric` instead of dispatching over concrete network types.
+//!
+//! # Granularity and performance
+//!
+//! The trait boundary sits at **whole-network** granularity: one virtual
+//! call per simulated cycle ([`Fabric::step`]), not one per node or per
+//! flit. A 64-node cycle performs thousands of memory operations inside
+//! the allocation-free kernel (`Network::step`), so a single dynamic
+//! dispatch on top is unmeasurable — the parallel-stepping and
+//! zero-allocation properties of the kernel are untouched. This is the
+//! same seam EmuNoC-style harnesses use: any router model that can
+//! inject, step and report statistics plugs into the one engine.
+//!
+//! # Implementations
+//!
+//! * [`Network<N>`](crate::Network) — generic over any sendable
+//!   [`NodeModel`], which covers the packet-switched baseline
+//!   (`Network<PacketNode>`) and the SDM hybrid (`Network<SdmNode>`);
+//! * `TdmNetwork` (in `tdm-noc`) — forwards to its inner network but
+//!   routes [`Fabric::step`] through the dynamic slot-table resize
+//!   controller and exposes the resize observation hooks
+//!   ([`Fabric::active_slots`], [`Fabric::resizes`]).
+
+use crate::flit::Packet;
+use crate::geometry::{Mesh, NodeId};
+use crate::network::Network;
+use crate::node::{DeliveredPacket, NodeModel};
+use crate::stats::{EnergyEvents, NetStats};
+use crate::Cycle;
+
+/// An object-safe, whole-network switching backend.
+///
+/// Everything an experiment driver needs: inject packets, advance cycles,
+/// bracket a measurement window, sample statistics/energy events, and —
+/// for backends with a dynamic slot-table controller — observe resizes.
+pub trait Fabric {
+    /// The mesh this fabric simulates.
+    fn mesh(&self) -> Mesh;
+
+    /// Current simulation time in cycles.
+    fn now(&self) -> Cycle;
+
+    /// Queue a packet at `node`'s NIC.
+    fn inject(&mut self, node: NodeId, pkt: Packet);
+
+    /// Advance the whole network by one cycle (the single per-cycle
+    /// virtual call — see the module docs).
+    fn step(&mut self);
+
+    /// Start a measurement window (resets statistics, snapshots event
+    /// counters).
+    fn begin_measurement(&mut self);
+
+    /// Close the measurement window.
+    fn end_measurement(&mut self);
+
+    /// Statistics for the current/last measurement window.
+    fn stats(&self) -> &NetStats;
+
+    /// Mutable statistics access (drivers fix up `measured_cycles` to the
+    /// injection window).
+    fn stats_mut(&mut self) -> &mut NetStats;
+
+    /// Energy-event sample: the sum of all node event counters since
+    /// construction. Window deltas are `end_measurement`'s job.
+    fn total_events(&self) -> EnergyEvents;
+
+    /// True when no flit is buffered anywhere and no wire is in flight.
+    fn is_drained(&self) -> bool;
+
+    /// Enable/disable the delivered-packet log (per-class latency
+    /// post-processing).
+    fn set_collect_delivered(&mut self, on: bool);
+
+    /// The delivered-packet log (empty unless collection is enabled).
+    fn delivered_log(&self) -> &[DeliveredPacket];
+
+    /// Clear the delivered-packet log (measurement-window bracketing).
+    fn clear_delivered_log(&mut self);
+
+    /// Fan the node-stepping phase over a worker pool (`0` = serial).
+    /// Results are bit-identical either way.
+    fn set_step_threads(&mut self, threads: usize);
+
+    /// Resize hook: the network-wide active slot-table size, for backends
+    /// with TDM slot tables; `None` otherwise.
+    fn active_slots(&self) -> Option<u16> {
+        None
+    }
+
+    /// Resize hook: completed dynamic slot-table resizes.
+    fn resizes(&self) -> u32 {
+        0
+    }
+
+    /// Step until drained or `max_cycles` elapse; returns whether the
+    /// fabric drained.
+    fn drain(&mut self, max_cycles: u64) -> bool {
+        for _ in 0..max_cycles {
+            if self.is_drained() {
+                return true;
+            }
+            self.step();
+        }
+        self.is_drained()
+    }
+}
+
+impl<N: NodeModel + Send + 'static> Fabric for Network<N> {
+    fn mesh(&self) -> Mesh {
+        self.mesh
+    }
+
+    fn now(&self) -> Cycle {
+        Network::now(self)
+    }
+
+    fn inject(&mut self, node: NodeId, pkt: Packet) {
+        Network::inject(self, node, pkt);
+    }
+
+    fn step(&mut self) {
+        Network::step(self);
+    }
+
+    fn begin_measurement(&mut self) {
+        Network::begin_measurement(self);
+    }
+
+    fn end_measurement(&mut self) {
+        Network::end_measurement(self);
+    }
+
+    fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    fn stats_mut(&mut self) -> &mut NetStats {
+        &mut self.stats
+    }
+
+    fn total_events(&self) -> EnergyEvents {
+        Network::total_events(self)
+    }
+
+    fn is_drained(&self) -> bool {
+        Network::is_drained(self)
+    }
+
+    fn set_collect_delivered(&mut self, on: bool) {
+        self.collect_delivered = on;
+    }
+
+    fn delivered_log(&self) -> &[DeliveredPacket] {
+        &self.delivered_log
+    }
+
+    fn clear_delivered_log(&mut self) {
+        self.delivered_log.clear();
+    }
+
+    fn set_step_threads(&mut self, threads: usize) {
+        Network::set_step_threads(self, threads);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NetworkConfig;
+    use crate::flit::PacketId;
+    use crate::node::PacketNode;
+
+    fn boxed(k: u16) -> Box<dyn Fabric> {
+        let cfg = NetworkConfig::with_mesh(Mesh::square(k));
+        Box::new(Network::new(cfg.mesh, move |id| {
+            PacketNode::new(id, &cfg, None)
+        }))
+    }
+
+    #[test]
+    fn packet_network_drives_through_dyn_fabric() {
+        let mut f = boxed(3);
+        let mesh = f.mesh();
+        let (src, dst) = (NodeId(0), NodeId(8));
+        assert_eq!(mesh.len(), 9);
+        f.begin_measurement();
+        f.inject(src, Packet::data(PacketId(1), src, dst, 5, f.now()));
+        assert!(f.drain(500), "packet must be delivered via dyn Fabric");
+        f.end_measurement();
+        assert_eq!(f.stats().packets_delivered, 1);
+        assert!(f.total_events().buffer_writes > 0);
+        assert_eq!(f.active_slots(), None, "packet fabric has no slot tables");
+        assert_eq!(f.resizes(), 0);
+    }
+
+    #[test]
+    fn delivered_log_controls_work_through_dyn_fabric() {
+        let mut f = boxed(3);
+        f.set_collect_delivered(true);
+        f.begin_measurement();
+        let (src, dst) = (NodeId(0), NodeId(4));
+        f.inject(src, Packet::data(PacketId(2), src, dst, 5, f.now()));
+        assert!(f.drain(500));
+        assert_eq!(f.delivered_log().len(), 1);
+        f.clear_delivered_log();
+        assert!(f.delivered_log().is_empty());
+    }
+}

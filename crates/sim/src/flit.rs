@@ -127,7 +127,13 @@ impl Packet {
     }
 
     /// A single-flit configuration packet.
-    pub fn config(id: PacketId, src: NodeId, dst: NodeId, kind: ConfigKind, created: Cycle) -> Self {
+    pub fn config(
+        id: PacketId,
+        src: NodeId,
+        dst: NodeId,
+        kind: ConfigKind,
+        created: Cycle,
+    ) -> Self {
         Packet {
             id,
             src,
@@ -264,16 +270,32 @@ mod tests {
     #[test]
     fn packet_to_flits() {
         let p = Packet::data(PacketId(7), NodeId(0), NodeId(5), 5, 100);
-        let flits: Vec<Flit> = (0..5).map(|s| Flit::of_packet(&p, s, Switching::Packet)).collect();
+        let flits: Vec<Flit> = (0..5)
+            .map(|s| Flit::of_packet(&p, s, Switching::Packet))
+            .collect();
         assert!(flits[0].kind.is_head());
         assert!(flits[4].kind.is_tail());
-        assert!(flits.iter().all(|f| f.packet == PacketId(7) && f.created == 100));
+        assert!(flits
+            .iter()
+            .all(|f| f.packet == PacketId(7) && f.created == 100));
     }
 
     #[test]
     fn config_payload_on_head_only() {
-        let info = SetupInfo { src: NodeId(0), dst: NodeId(3), slot: 2, duration: 4, path_id: 1 };
-        let p = Packet::config(PacketId(1), NodeId(0), NodeId(3), ConfigKind::Setup(info), 0);
+        let info = SetupInfo {
+            src: NodeId(0),
+            dst: NodeId(3),
+            slot: 2,
+            duration: 4,
+            path_id: 1,
+        };
+        let p = Packet::config(
+            PacketId(1),
+            NodeId(0),
+            NodeId(3),
+            ConfigKind::Setup(info),
+            0,
+        );
         let f = Flit::of_packet(&p, 0, Switching::Packet);
         assert!(f.config.is_some());
         assert_eq!(f.config.as_deref().unwrap().info().slot, 2);
@@ -282,11 +304,20 @@ mod tests {
 
     #[test]
     fn config_kind_info_access() {
-        let info = SetupInfo { src: NodeId(1), dst: NodeId(2), slot: 0, duration: 4, path_id: 9 };
+        let info = SetupInfo {
+            src: NodeId(1),
+            dst: NodeId(2),
+            slot: 0,
+            duration: 4,
+            path_id: 9,
+        };
         for k in [
             ConfigKind::Setup(info),
             ConfigKind::Teardown(info),
-            ConfigKind::Ack { info, success: false },
+            ConfigKind::Ack {
+                info,
+                success: false,
+            },
         ] {
             assert_eq!(k.info().path_id, 9);
         }

@@ -104,7 +104,13 @@ pub enum Port {
 
 impl Port {
     pub const COUNT: usize = 5;
-    pub const ALL: [Port; 5] = [Port::Local, Port::North, Port::East, Port::South, Port::West];
+    pub const ALL: [Port; 5] = [
+        Port::Local,
+        Port::North,
+        Port::East,
+        Port::South,
+        Port::West,
+    ];
 
     #[inline]
     pub fn index(self) -> usize {

@@ -15,6 +15,9 @@
 //!   implementations (TDM hybrid, SDM hybrid) plug into the same harness;
 //! * [`network`] — the cycle-driven harness wiring nodes with 1-cycle links
 //!   and integrating leakage state;
+//! * [`fabric`] — the object-safe [`fabric::Fabric`] trait that presents
+//!   every switching backend (packet, TDM, SDM) to drivers as one
+//!   whole-network surface (one virtual call per cycle);
 //! * [`stats`] — latency/throughput statistics and the energy event counters
 //!   consumed by the `noc-power` model.
 //!
@@ -23,6 +26,7 @@
 
 pub mod arbiter;
 pub mod config;
+pub mod fabric;
 pub mod flit;
 pub mod geometry;
 pub mod network;
@@ -34,14 +38,17 @@ pub mod stats;
 pub mod trace;
 
 pub use config::{NetworkConfig, RouterConfig};
-pub use flit::{ConfigKind, Credit, Flit, FlitKind, MsgClass, Packet, PacketId, SetupInfo, Switching};
+pub use fabric::Fabric;
+pub use flit::{
+    ConfigKind, Credit, Flit, FlitKind, MsgClass, Packet, PacketId, SetupInfo, Switching,
+};
 pub use geometry::{Coord, Direction, Mesh, NodeId, Port};
 pub use network::Network;
 pub use nic::Nic;
 pub use node::{DeliveredPacket, NodeModel, NodeOutputs, PacketNode, PowerState};
 pub use router::{
-    GatingConfig, GatingMetric, HybridCtrl, InPort, NullCtrl, OutPort, PacketRouter, PsOutput, PsPipeline,
-    VcBuf, VcGatingController, VcState,
+    GatingConfig, GatingMetric, HybridCtrl, InPort, NullCtrl, OutPort, PacketRouter, PsOutput,
+    PsPipeline, VcBuf, VcGatingController, VcState,
 };
 pub use stats::{EnergyEvents, LatencyHistogram, LeakageIntegrals, NetStats};
 pub use trace::{Trace, TraceEvent};

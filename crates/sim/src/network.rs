@@ -116,7 +116,10 @@ impl<N: NodeModel> Network<N> {
     /// Build a network, constructing each tile with `make_node`.
     pub fn new(mesh: Mesh, mut make_node: impl FnMut(NodeId) -> N) -> Self {
         fn slots<T>(n: usize) -> [Vec<Vec<T>>; 2] {
-            [(0..n).map(|_| Vec::new()).collect(), (0..n).map(|_| Vec::new()).collect()]
+            [
+                (0..n).map(|_| Vec::new()).collect(),
+                (0..n).map(|_| Vec::new()).collect(),
+            ]
         }
         let n = mesh.len();
         Network {
@@ -189,7 +192,14 @@ impl<N: NodeModel> Network<N> {
                         break;
                     }
                     let hi = (lo + chunk).min(n);
-                    tx.send(StepJob { nodes, outs, lo, hi, now }).expect("step worker died");
+                    tx.send(StepJob {
+                        nodes,
+                        outs,
+                        lo,
+                        hi,
+                        now,
+                    })
+                    .expect("step worker died");
                     sent += 1;
                 }
                 for _ in 0..sent {
@@ -202,7 +212,14 @@ impl<N: NodeModel> Network<N> {
         // order (the determinism contract — see the module docs). Flits
         // re-fill the slot drained in phase 1 (same parity at `now + 2`);
         // 1-cycle signals go to the opposite slot.
-        let Network { mesh, outboxes, flit_slots, credit_slots, vc_count_slots, .. } = self;
+        let Network {
+            mesh,
+            outboxes,
+            flit_slots,
+            credit_slots,
+            vc_count_slots,
+            ..
+        } = self;
         for (i, out) in outboxes.iter_mut().enumerate() {
             let id = NodeId(i as u32);
             for (dir, flit) in out.flits.drain(..) {
@@ -280,7 +297,10 @@ impl<N: NodeModel> Network<N> {
     /// True when no flit is buffered anywhere and no wire is in flight.
     pub fn is_drained(&self) -> bool {
         self.nodes.iter().all(|n| n.occupancy() == 0)
-            && self.flit_slots.iter().all(|s| s.iter().all(|w| w.is_empty()))
+            && self
+                .flit_slots
+                .iter()
+                .all(|s| s.iter().all(|w| w.is_empty()))
     }
 
     /// Step until drained or `max_cycles` elapse; returns whether the
@@ -337,7 +357,11 @@ impl<N: NodeModel + Send + 'static> Network<N> {
             }));
             job_txs.push(tx);
         }
-        self.pool = Some(StepPool { job_txs, done_rx, handles });
+        self.pool = Some(StepPool {
+            job_txs,
+            done_rx,
+            handles,
+        });
     }
 }
 
@@ -368,7 +392,10 @@ mod tests {
         // 6 hops at 4 cycles each plus serialisation and interface costs:
         // zero-load latency must be positive and modest.
         let lat = n.stats.avg_latency();
-        assert!(lat > 24.0 && lat < 60.0, "unexpected zero-load latency {lat}");
+        assert!(
+            lat > 24.0 && lat < 60.0,
+            "unexpected zero-load latency {lat}"
+        );
     }
 
     #[test]
@@ -432,7 +459,10 @@ mod tests {
         n.begin_measurement();
         n.run(5);
         n.end_measurement();
-        assert_eq!(n.stats.events.buffer_writes, 0, "warm-up events leaked into window");
+        assert_eq!(
+            n.stats.events.buffer_writes, 0,
+            "warm-up events leaked into window"
+        );
     }
 
     /// Minimal instrumented tile for the wire-timing tests: emits one
@@ -475,7 +505,8 @@ mod tests {
         fn step(&mut self, now: Cycle, out: &mut NodeOutputs) {
             if self.emit_flit_at == Some(now) {
                 let p = Packet::data(PacketId(1), self.id, self.id, 1, now);
-                out.flits.push((Direction::East, Flit::of_packet(&p, 0, Switching::Packet)));
+                out.flits
+                    .push((Direction::East, Flit::of_packet(&p, 0, Switching::Packet)));
             }
             if self.emit_credit_at == Some(now) {
                 out.credits.push((Direction::East, Credit { vc: 0 }));
@@ -512,7 +543,10 @@ mod tests {
             p
         });
         n.run(10);
-        assert_eq!(n.nodes[1].arrivals, vec![(5, "flit"), (5, "credit"), (7, "vc_count")]);
+        assert_eq!(
+            n.nodes[1].arrivals,
+            vec![(5, "flit"), (5, "credit"), (7, "vc_count")]
+        );
         assert!(n.nodes[0].arrivals.is_empty());
     }
 
@@ -561,7 +595,10 @@ mod tests {
         pooled.end_measurement();
         assert_eq!(serial.now(), pooled.now());
         assert_eq!(serial.delivered_log, pooled.delivered_log);
-        assert_eq!(serial.stats.packets_delivered, pooled.stats.packets_delivered);
+        assert_eq!(
+            serial.stats.packets_delivered,
+            pooled.stats.packets_delivered
+        );
         assert_eq!(serial.stats.latency_sum, pooled.stats.latency_sum);
     }
 }

@@ -94,9 +94,15 @@ impl Nic {
             }
             let active = self.router_active_vcs;
             let credits = &self.credits;
-            let vc = self.vc_rr.grant_by(|v| v < active as usize && credits[v] > 0)?;
+            let vc = self
+                .vc_rr
+                .grant_by(|v| v < active as usize && credits[v] > 0)?;
             let packet = self.inject_queue.pop_front().expect("checked non-empty");
-            self.current = Some(Stream { packet, next: 0, vc: vc as u8 });
+            self.current = Some(Stream {
+                packet,
+                next: 0,
+                vc: vc as u8,
+            });
         }
         let s = self.current.as_mut().expect("stream present");
         if self.credits[s.vc as usize] == 0 {

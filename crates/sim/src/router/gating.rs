@@ -60,7 +60,10 @@ impl GatingConfig {
     /// The §V-B4 latency-driven variant with a given latency target.
     pub fn latency_based(target_cycles: u64) -> Self {
         GatingConfig {
-            metric: GatingMetric::Latency { target_cycles, relax: 0.6 },
+            metric: GatingMetric::Latency {
+                target_cycles,
+                relax: 0.6,
+            },
             ..Default::default()
         }
     }
@@ -77,7 +80,12 @@ pub struct VcGatingController {
 
 impl VcGatingController {
     pub fn new(cfg: GatingConfig) -> Self {
-        VcGatingController { cfg, next_eval: cfg.epoch, lat_sum: 0, lat_n: 0 }
+        VcGatingController {
+            cfg,
+            next_eval: cfg.epoch,
+            lat_sum: 0,
+            lat_n: 0,
+        }
     }
 
     pub fn config(&self) -> &GatingConfig {
@@ -110,7 +118,10 @@ impl VcGatingController {
                 want_grow = u > self.cfg.threshold_high;
                 want_shrink = u < self.cfg.threshold_low;
             }
-            GatingMetric::Latency { target_cycles, relax } => {
+            GatingMetric::Latency {
+                target_cycles,
+                relax,
+            } => {
                 pipeline.take_utilization(); // keep the window rolling
                 if self.lat_n == 0 {
                     // No deliveries at all: the node is idle — shrink.
@@ -156,7 +167,10 @@ mod tests {
     #[test]
     fn gates_down_when_idle() {
         let mut p = pipeline();
-        let mut g = VcGatingController::new(GatingConfig { epoch: 10, ..Default::default() });
+        let mut g = VcGatingController::new(GatingConfig {
+            epoch: 10,
+            ..Default::default()
+        });
         let mut out = NodeOutputs::default();
         let mut transitions = Vec::new();
         for now in 0..35 {
@@ -174,7 +188,11 @@ mod tests {
     #[test]
     fn never_below_min() {
         let mut p = pipeline();
-        let cfg = GatingConfig { epoch: 5, min_vcs: 2, ..Default::default() };
+        let cfg = GatingConfig {
+            epoch: 5,
+            min_vcs: 2,
+            ..Default::default()
+        };
         let mut g = VcGatingController::new(cfg);
         let mut out = NodeOutputs::default();
         for now in 0..200 {
@@ -189,7 +207,10 @@ mod tests {
         let m = Mesh::square(3);
         let mut p = pipeline();
         p.set_active_vcs(1);
-        let mut g = VcGatingController::new(GatingConfig { epoch: 8, ..Default::default() });
+        let mut g = VcGatingController::new(GatingConfig {
+            epoch: 8,
+            ..Default::default()
+        });
         let mut out = NodeOutputs::default();
         // Keep all VCs busy: saturate with undeliverable-but-buffered flits
         // by never returning credits downstream.

@@ -18,7 +18,9 @@ pub struct PacketRouter {
 
 impl PacketRouter {
     pub fn new(id: NodeId, mesh: Mesh, cfg: RouterConfig) -> Self {
-        PacketRouter { pipeline: PsPipeline::new(id, mesh, cfg) }
+        PacketRouter {
+            pipeline: PsPipeline::new(id, mesh, cfg),
+        }
     }
 
     pub fn accept_flit(&mut self, now: Cycle, port: Port, flit: Flit) {

@@ -157,9 +157,13 @@ impl PsPipeline {
             local_credits: Vec::new(),
             events: EnergyEvents::default(),
             active_vcs: cfg.vcs_per_port,
-            va_arb: (0..Port::COUNT).map(|_| RoundRobin::new(Port::COUNT * vcs)).collect(),
+            va_arb: (0..Port::COUNT)
+                .map(|_| RoundRobin::new(Port::COUNT * vcs))
+                .collect(),
             sa_arb_in: (0..Port::COUNT).map(|_| RoundRobin::new(vcs)).collect(),
-            sa_arb_out: (0..Port::COUNT).map(|_| RoundRobin::new(Port::COUNT)).collect(),
+            sa_arb_out: (0..Port::COUNT)
+                .map(|_| RoundRobin::new(Port::COUNT))
+                .collect(),
             busy_vc_samples: 0,
             active_vc_samples: 0,
             buffered: 0,
@@ -202,8 +206,7 @@ impl PsPipeline {
 
     /// Apply a downstream active-VC-count advertisement.
     pub fn accept_vc_count(&mut self, dir: Direction, count: u8) {
-        self.outputs[dir.as_port().index()].downstream_vcs =
-            count.min(self.cfg.vcs_per_port);
+        self.outputs[dir.as_port().index()].downstream_vcs = count.min(self.cfg.vcs_per_port);
     }
 
     /// Congestion score of the output toward `dir` (adaptive routing).
@@ -296,7 +299,9 @@ impl PsPipeline {
                 if buf.state != VcState::Idle {
                     continue;
                 }
-                let Some(front) = buf.fifo.front() else { continue };
+                let Some(front) = buf.fifo.front() else {
+                    continue;
+                };
                 if !front.kind.is_head() {
                     // Stale body flits can only appear through a protocol
                     // bug; the flow-control invariants make this unreachable.
@@ -375,8 +380,13 @@ impl PsPipeline {
                 let (p, vc) = (w / vcs, w % vcs);
                 reqs[w] = false;
                 let buf = &mut self.inputs[p].vcs[vc];
-                let VcState::Waiting { out } = buf.state else { unreachable!() };
-                buf.state = VcState::Active { out, out_vc: v as u8 };
+                let VcState::Waiting { out } = buf.state else {
+                    unreachable!()
+                };
+                buf.state = VcState::Active {
+                    out,
+                    out_vc: v as u8,
+                };
                 buf.stage_cycle = now;
                 self.waiting -= 1;
                 self.active += 1;
@@ -426,13 +436,21 @@ impl PsPipeline {
         // Phase 2: each output port grants one input port; winner traverses.
         for o in Port::ALL {
             let cands = &candidates;
-            let Some(p) = self.sa_arb_out[o.index()].grant_by(|p| {
-                matches!(cands[p], Some((_, out, _)) if out == o)
-            }) else {
+            let Some(p) = self.sa_arb_out[o.index()]
+                .grant_by(|p| matches!(cands[p], Some((_, out, _)) if out == o))
+            else {
                 continue;
             };
             let (vc, _, out_vc) = candidates[p].unwrap();
-            self.traverse(now, Port::from_index(p), vc, o, out_vc, avail[o.index()], out);
+            self.traverse(
+                now,
+                Port::from_index(p),
+                vc,
+                o,
+                out_vc,
+                avail[o.index()],
+                out,
+            );
         }
     }
 
@@ -529,8 +547,7 @@ impl PsPipeline {
     pub fn powered_buffer_slots(&self) -> u32 {
         // All VCs below the active threshold are powered on every port;
         // above it only the busy stragglers (tracked by `gated_busy`) are.
-        self.cfg.buf_depth as u32
-            * (Port::COUNT as u32 * self.active_vcs as u32 + self.gated_busy)
+        self.cfg.buf_depth as u32 * (Port::COUNT as u32 * self.active_vcs as u32 + self.gated_busy)
     }
 }
 
@@ -575,7 +592,10 @@ mod tests {
         assert_eq!(*dir, Direction::East);
         assert_eq!(f.hops, 1);
         // Credit returned upstream (to the West neighbour).
-        assert!(out.credits.iter().any(|(d, c)| *d == Direction::West && c.vc == 0));
+        assert!(out
+            .credits
+            .iter()
+            .any(|(d, c)| *d == Direction::West && c.vc == 0));
         assert_eq!(r.events.buffer_writes, 1);
         assert_eq!(r.events.buffer_reads, 1);
         assert_eq!(r.events.xbar_traversals, 1);

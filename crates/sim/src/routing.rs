@@ -89,7 +89,11 @@ pub fn odd_even_directions(mesh: &Mesh, src: NodeId, cur: NodeId, dst: NodeId) -
     if c == d {
         return avail;
     }
-    let vertical = if d.y > c.y { Direction::South } else { Direction::North };
+    let vertical = if d.y > c.y {
+        Direction::South
+    } else {
+        Direction::North
+    };
     if d.x == c.x {
         avail.push(vertical);
     } else if d.x > c.x {
@@ -287,7 +291,11 @@ mod tests {
                     while cur != dst {
                         let dirs = odd_even_directions(&m, src, cur, dst);
                         assert!(!dirs.is_empty(), "stuck at {cur:?} for {src:?}->{dst:?}");
-                        let d = if pick_last { *dirs.last().unwrap() } else { dirs[0] };
+                        let d = if pick_last {
+                            *dirs.last().unwrap()
+                        } else {
+                            dirs[0]
+                        };
                         let next = m.neighbor(cur, d).expect("productive direction");
                         assert_eq!(m.hops(next, dst) + 1, m.hops(cur, dst), "non-minimal");
                         cur = next;
@@ -331,7 +339,13 @@ mod tests {
         let m = mesh();
         let src = m.id(Coord::new(1, 0));
         let dst = m.id(Coord::new(3, 3));
-        let p = odd_even_route(&m, src, src, dst, |d| if d == Direction::South { 9 } else { 1 });
+        let p = odd_even_route(
+            &m,
+            src,
+            src,
+            dst,
+            |d| if d == Direction::South { 9 } else { 1 },
+        );
         // Column 1 is odd so both E and S are allowed; S scores higher.
         assert_eq!(p, Port::South);
     }
@@ -372,7 +386,11 @@ mod west_first_tests {
                     while cur != dst {
                         let dirs = west_first_directions(&m, cur, dst);
                         assert!(!dirs.is_empty());
-                        let d = if pick_last { *dirs.last().unwrap() } else { dirs[0] };
+                        let d = if pick_last {
+                            *dirs.last().unwrap()
+                        } else {
+                            dirs[0]
+                        };
                         let next = m.neighbor(cur, d).expect("productive");
                         assert_eq!(m.hops(next, dst) + 1, m.hops(cur, dst));
                         cur = next;

@@ -177,7 +177,11 @@ impl LatencyHistogram {
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= target {
-                return Some(if i == 31 { u64::MAX } else { (1u64 << i).saturating_sub(0) });
+                return Some(if i == 31 {
+                    u64::MAX
+                } else {
+                    (1u64 << i).saturating_sub(0)
+                });
             }
         }
         None
@@ -277,8 +281,8 @@ impl NetStats {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::geometry::NodeId;
     use crate::flit::PacketId;
+    use crate::geometry::NodeId;
 
     fn delivered(lat: u64, measured: bool, class: MsgClass) -> DeliveredPacket {
         DeliveredPacket {
@@ -380,9 +384,17 @@ mod tests {
 
     #[test]
     fn events_diff_recovers_window() {
-        let base = EnergyEvents { buffer_writes: 10, link_flits: 4, ..Default::default() };
+        let base = EnergyEvents {
+            buffer_writes: 10,
+            link_flits: 4,
+            ..Default::default()
+        };
         let mut total = base;
-        total.merge(&EnergyEvents { buffer_writes: 5, sa_ops: 3, ..Default::default() });
+        total.merge(&EnergyEvents {
+            buffer_writes: 5,
+            sa_ops: 3,
+            ..Default::default()
+        });
         let window = total.diff(&base);
         assert_eq!(window.buffer_writes, 5);
         assert_eq!(window.sa_ops, 3);

@@ -17,15 +17,40 @@ use crate::Cycle;
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TraceEvent {
     /// Flit buffered at a router input (packet-switched).
-    Buffered { at: NodeId, port: Port, packet: PacketId, seq: u8 },
+    Buffered {
+        at: NodeId,
+        port: Port,
+        packet: PacketId,
+        seq: u8,
+    },
     /// Flit crossed a router's crossbar (either data path).
-    Traversed { at: NodeId, out: Port, packet: PacketId, seq: u8, circuit: bool },
+    Traversed {
+        at: NodeId,
+        out: Port,
+        packet: PacketId,
+        seq: u8,
+        circuit: bool,
+    },
     /// Flit ejected at its destination.
-    Ejected { at: NodeId, packet: PacketId, seq: u8 },
+    Ejected {
+        at: NodeId,
+        packet: PacketId,
+        seq: u8,
+    },
     /// Slot-table reservation made (setup succeeded at this router).
-    Reserved { at: NodeId, in_port: Port, slot: u16, duration: u8, path_id: u64 },
+    Reserved {
+        at: NodeId,
+        in_port: Port,
+        slot: u16,
+        duration: u8,
+        path_id: u64,
+    },
     /// Slot-table reservation released (teardown).
-    Released { at: NodeId, in_port: Port, path_id: u64 },
+    Released {
+        at: NodeId,
+        in_port: Port,
+        path_id: u64,
+    },
 }
 
 impl TraceEvent {
@@ -51,7 +76,12 @@ pub struct Trace {
 
 impl Trace {
     pub fn new(capacity: usize) -> Self {
-        Trace { events: VecDeque::with_capacity(capacity.min(4096)), capacity, enabled: false, dropped: 0 }
+        Trace {
+            events: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            enabled: false,
+            dropped: 0,
+        }
     }
 
     pub fn enable(&mut self) {
@@ -136,7 +166,11 @@ mod tests {
     use super::*;
 
     fn ev(p: u64) -> TraceEvent {
-        TraceEvent::Ejected { at: NodeId(0), packet: PacketId(p), seq: 0 }
+        TraceEvent::Ejected {
+            at: NodeId(0),
+            packet: PacketId(p),
+            seq: 0,
+        }
     }
 
     #[test]
@@ -169,14 +203,43 @@ mod tests {
     fn journey_filters_by_packet() {
         let mut t = Trace::new(16);
         t.enable();
-        t.record(1, TraceEvent::Buffered { at: NodeId(0), port: Port::Local, packet: PacketId(7), seq: 0 });
-        t.record(2, TraceEvent::Reserved { at: NodeId(1), in_port: Port::West, slot: 3, duration: 4, path_id: 9 });
-        t.record(3, TraceEvent::Traversed { at: NodeId(1), out: Port::East, packet: PacketId(7), seq: 0, circuit: false });
+        t.record(
+            1,
+            TraceEvent::Buffered {
+                at: NodeId(0),
+                port: Port::Local,
+                packet: PacketId(7),
+                seq: 0,
+            },
+        );
+        t.record(
+            2,
+            TraceEvent::Reserved {
+                at: NodeId(1),
+                in_port: Port::West,
+                slot: 3,
+                duration: 4,
+                path_id: 9,
+            },
+        );
+        t.record(
+            3,
+            TraceEvent::Traversed {
+                at: NodeId(1),
+                out: Port::East,
+                packet: PacketId(7),
+                seq: 0,
+                circuit: false,
+            },
+        );
         t.record(4, ev(8));
         t.record(5, ev(7));
         let j = t.journey(PacketId(7));
         assert_eq!(j.len(), 3);
-        assert!(j.windows(2).all(|w| w[0].0 <= w[1].0), "journey is time-ordered");
+        assert!(
+            j.windows(2).all(|w| w[0].0 <= w[1].0),
+            "journey is time-ordered"
+        );
         let text = t.dump(Some(PacketId(7)));
         assert_eq!(text.lines().count(), 3);
         assert!(text.contains("Traversed"));
@@ -184,7 +247,11 @@ mod tests {
 
     #[test]
     fn protocol_events_have_no_packet() {
-        let e = TraceEvent::Released { at: NodeId(2), in_port: Port::West, path_id: 5 };
+        let e = TraceEvent::Released {
+            at: NodeId(2),
+            in_port: Port::West,
+            path_id: 5,
+        };
         assert_eq!(e.packet(), None);
     }
 }

@@ -4,8 +4,7 @@
 
 use noc_sim::{
     Coord, Direction, Flit, GatingConfig, Mesh, Network, NetworkConfig, NodeId, NodeModel,
-    NodeOutputs, NullCtrl, Packet, PacketId, PacketNode, Port, PsPipeline, RouterConfig,
-    Switching,
+    NodeOutputs, NullCtrl, Packet, PacketId, PacketNode, Port, PsPipeline, RouterConfig, Switching,
 };
 
 fn flit_of(pid: u64, src: NodeId, dst: NodeId, seq: u8, len: u8, vc: u8) -> Flit {
@@ -38,8 +37,16 @@ fn wormhole_never_interleaves_packets_on_one_out_vc() {
     let (m, mut r) = center_pipeline();
     let dst = m.id(Coord::new(2, 1));
     for s in 0..4u8 {
-        r.accept_flit(0, Port::West, flit_of(1, m.id(Coord::new(0, 1)), dst, s, 4, 0));
-        r.accept_flit(0, Port::North, flit_of(2, m.id(Coord::new(1, 0)), dst, s, 4, 0));
+        r.accept_flit(
+            0,
+            Port::West,
+            flit_of(1, m.id(Coord::new(0, 1)), dst, s, 4, 0),
+        );
+        r.accept_flit(
+            0,
+            Port::North,
+            flit_of(2, m.id(Coord::new(1, 0)), dst, s, 4, 0),
+        );
     }
     let mut out = NodeOutputs::default();
     let mut per_vc: std::collections::HashMap<u8, Vec<u64>> = Default::default();
@@ -113,15 +120,22 @@ fn switch_allocation_is_fair_across_input_ports() {
 fn vc_count_advertisements_propagate_through_harness() {
     // Gating at one node must inform its neighbours within a few cycles.
     let cfg = NetworkConfig::with_mesh(Mesh::square(2));
-    let gate_cfg = GatingConfig { epoch: 16, ..Default::default() };
+    let gate_cfg = GatingConfig {
+        epoch: 16,
+        ..Default::default()
+    };
     let mut net = Network::new(cfg.mesh, |id| {
         // Only node 0 gates.
-        let g = if id == NodeId(0) { Some(gate_cfg) } else { None };
+        let g = if id == NodeId(0) {
+            Some(gate_cfg)
+        } else {
+            None
+        };
         PacketNode::new(id, &cfg, g)
     });
     net.run(100); // idle: node 0 gates down to min_vcs
-    // Node 1 is node 0's east neighbour; its West output must advertise
-    // node 0's reduced VC count.
+                  // Node 1 is node 0's east neighbour; its West output must advertise
+                  // node 0's reduced VC count.
     let n1 = &net.nodes[1];
     assert_eq!(
         n1.router.pipeline.outputs[Port::West.index()].downstream_vcs,
@@ -139,7 +153,11 @@ fn vc_count_advertisements_propagate_through_harness() {
 #[test]
 fn traffic_to_gated_node_still_flows() {
     let cfg = NetworkConfig::with_mesh(Mesh::square(3));
-    let gate_cfg = GatingConfig { epoch: 16, min_vcs: 1, ..Default::default() };
+    let gate_cfg = GatingConfig {
+        epoch: 16,
+        min_vcs: 1,
+        ..Default::default()
+    };
     let mut net = Network::new(cfg.mesh, |id| PacketNode::new(id, &cfg, Some(gate_cfg)));
     net.run(200); // everything gates down
     net.begin_measurement();
@@ -171,7 +189,11 @@ fn head_of_line_packet_does_not_block_other_vcs() {
     for _ in 0..30 {
         for vc in 0..4u8 {
             if r.inputs[Port::North.index()].vcs[vc as usize].fifo.len() < 5 {
-                r.accept_flit(0, Port::North, flit_of(pid, m.id(Coord::new(1, 0)), east, 0, 1, vc));
+                r.accept_flit(
+                    0,
+                    Port::North,
+                    flit_of(pid, m.id(Coord::new(1, 0)), east, 0, 1, vc),
+                );
                 pid += 1;
             }
         }
@@ -184,12 +206,19 @@ fn head_of_line_packet_does_not_block_other_vcs() {
     for now in 41..60 {
         out.clear();
         r.step(now, &NullCtrl, &mut out);
-        if out.flits.iter().any(|(d, f)| *d == Direction::South && f.packet == PacketId(7)) {
+        if out
+            .flits
+            .iter()
+            .any(|(d, f)| *d == Direction::South && f.packet == PacketId(7))
+        {
             delivered = true;
             break;
         }
     }
-    assert!(delivered, "unrelated traffic was blocked by a stalled output");
+    assert!(
+        delivered,
+        "unrelated traffic was blocked by a stalled output"
+    );
 }
 
 #[test]
@@ -205,7 +234,11 @@ fn config_packets_route_adaptively_around_congestion() {
     let mut pid = 0;
     for now in 0..40u64 {
         if r.inputs[Port::West.index()].vcs[0].fifo.len() < 5 {
-            r.accept_flit(now, Port::West, flit_of(pid, m.id(Coord::new(0, 0)), m.id(Coord::new(3, 0)), 0, 1, 0));
+            r.accept_flit(
+                now,
+                Port::West,
+                flit_of(pid, m.id(Coord::new(0, 0)), m.id(Coord::new(3, 0)), 0, 1, 0),
+            );
             pid += 1;
         }
         out.clear();
@@ -218,8 +251,20 @@ fn config_packets_route_adaptively_around_congestion() {
     // A config packet from here to (3,2): E and S both minimal; col 1 is
     // odd so both are odd-even-legal; S has far more credit.
     let dst = m.id(Coord::new(3, 2));
-    let info = noc_sim::SetupInfo { src, dst, slot: 0, duration: 4, path_id: 1 };
-    let p = Packet::config(PacketId(999), src, dst, noc_sim::ConfigKind::Setup(info), 50);
+    let info = noc_sim::SetupInfo {
+        src,
+        dst,
+        slot: 0,
+        duration: 4,
+        path_id: 1,
+    };
+    let p = Packet::config(
+        PacketId(999),
+        src,
+        dst,
+        noc_sim::ConfigKind::Setup(info),
+        50,
+    );
     let mut f = Flit::of_packet(&p, 0, Switching::Packet);
     f.vc = 3;
     r.accept_flit(50, Port::Local, f);
@@ -232,16 +277,20 @@ fn config_packets_route_adaptively_around_congestion() {
             break;
         }
     }
-    assert_eq!(dir, Some(Direction::South), "config packet did not avoid congestion");
+    assert_eq!(
+        dir,
+        Some(Direction::South),
+        "config packet did not avoid congestion"
+    );
 }
 
 #[test]
 fn packet_node_inject_to_delivery_roundtrip() {
     let cfg = NetworkConfig::with_mesh(Mesh::square(3));
     let mut node = PacketNode::new(NodeId(4), &cfg, None); // center
-    // Inject a packet addressed to this very node: it must go out the
-    // local port and come back... no — local destination short-circuits
-    // through the router's local output.
+                                                           // Inject a packet addressed to this very node: it must go out the
+                                                           // local port and come back... no — local destination short-circuits
+                                                           // through the router's local output.
     node.inject(0, Packet::data(PacketId(1), NodeId(4), NodeId(4), 3, 0));
     let mut out = NodeOutputs::default();
     let mut sink = Vec::new();
@@ -254,6 +303,9 @@ fn packet_node_inject_to_delivery_roundtrip() {
         }
     }
     assert_eq!(sink.len(), 1);
-    assert!(out.flits.is_empty(), "self-addressed packet must not leave the node");
+    assert!(
+        out.flits.is_empty(),
+        "self-addressed packet must not leave the node"
+    );
     assert_eq!(sink[0].len_flits, 3);
 }

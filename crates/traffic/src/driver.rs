@@ -1,13 +1,16 @@
 //! Open-loop measurement driver: warm-up → measure → drain, following the
 //! paper's methodology (§IV-A: "the network is warmed up with 1000 packets
 //! and simulated for 100,000 packets").
+//!
+//! The loop itself lives in [`crate::engine::run_phases`]; `OpenLoop` is
+//! the synthetic-source façade over it.
 
-use noc_sim::{Network, NodeModel};
+use noc_sim::Fabric;
 
 use crate::source::SyntheticSource;
 
 /// Phase lengths for one open-loop run.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize)]
 pub struct PhaseConfig {
     /// Warm-up: inject unmeasured traffic for this many cycles *and* at
     /// least `warmup_packets` packets.
@@ -43,6 +46,19 @@ impl PhaseConfig {
             measure_cycles: 3_000,
             measure_packets: 10_000,
             drain_cycles: 3_000,
+        }
+    }
+
+    /// Pure cycle-count phases with no packet floors or caps — the §V
+    /// realistic-workload methodology, where each phase runs for exactly
+    /// the given number of cycles.
+    pub fn pure_cycles(warmup: u64, measure: u64, drain: u64) -> Self {
+        PhaseConfig {
+            warmup_cycles: warmup,
+            warmup_packets: 0,
+            measure_cycles: measure,
+            measure_packets: u64::MAX,
+            drain_cycles: drain,
         }
     }
 }
@@ -82,99 +98,12 @@ impl OpenLoop {
         OpenLoop { source, phases }
     }
 
-    /// Run the experiment on `net` (which must match the source's mesh).
-    pub fn run<N: NodeModel>(&mut self, net: &mut Network<N>) -> RunResult {
-        let ph = self.phases;
-        let nodes = net.mesh.len();
-        let wall_start = std::time::Instant::now();
-        let first_cycle = net.now();
-
-        // Warm-up.
-        let mut injected = 0u64;
-        let start = net.now();
-        while net.now() - start < ph.warmup_cycles || injected < ph.warmup_packets {
-            let now = net.now();
-            let mut pkts = Vec::new();
-            self.source.tick(now, false, |n, p| pkts.push((n, p)));
-            injected += pkts.len() as u64;
-            for (n, p) in pkts {
-                net.inject(n, p);
-            }
-            net.step();
-            if net.now() - start > ph.warmup_cycles * 50 {
-                break; // zero-rate guard
-            }
-        }
-
-        // Measurement.
-        net.begin_measurement();
-        let mstart = net.now();
-        let mut offered_packets = 0u64;
-        while net.now() - mstart < ph.measure_cycles && offered_packets < ph.measure_packets {
-            let now = net.now();
-            let mut pkts = Vec::new();
-            self.source.tick(now, true, |n, p| pkts.push((n, p)));
-            offered_packets += pkts.len() as u64;
-            for (n, p) in pkts {
-                net.inject(n, p);
-            }
-            net.step();
-        }
-
-        // Accepted throughput is measured over the injection window only —
-        // deliveries during the drain phase would otherwise inflate it past
-        // the offered load at saturation.
-        let dstart = net.now();
-        let window_flits = net.stats.flits_delivered;
-        let window_cycles = dstart - mstart;
-
-        // Drain: keep background (unmeasured) traffic flowing so contention
-        // stays realistic, and wait for measured packets to leave.
-        while net.now() - dstart < ph.drain_cycles {
-            if net.stats.packets_delivered >= net.stats.packets_offered {
-                break;
-            }
-            let now = net.now();
-            let mut pkts = Vec::new();
-            self.source.tick(now, false, |n, p| pkts.push((n, p)));
-            for (n, p) in pkts {
-                net.inject(n, p);
-            }
-            net.step();
-        }
-        net.end_measurement();
-        // Leakage/throughput accounting uses the injection window only.
-        net.stats.measured_cycles = window_cycles;
-
-        let stats = net.stats.clone();
-        let delivered_fraction = if stats.packets_offered == 0 {
-            1.0
-        } else {
-            stats.packets_delivered as f64 / stats.packets_offered as f64
-        };
-        let avg_latency = stats.avg_latency();
-        let saturated = delivered_fraction < 0.95;
-        let throughput = if window_cycles == 0 {
-            0.0
-        } else {
-            window_flits as f64 / (window_cycles as f64 * nodes as f64)
-        };
-        let wall_seconds = wall_start.elapsed().as_secs_f64();
-        let total_cycles = net.now() - first_cycle;
-        RunResult {
-            offered: self.source.rate(),
-            avg_latency,
-            throughput,
-            delivered_fraction,
-            saturated,
-            wall_seconds,
-            sim_cycles_per_sec: if wall_seconds > 0.0 {
-                total_cycles as f64 / wall_seconds
-            } else {
-                0.0
-            },
-            stats,
-        }
+    /// Run the experiment on `fabric` (which must match the source's mesh).
+    ///
+    /// Any switching backend works: pass `&mut Network<PacketNode>`, a
+    /// `TdmNetwork`, an SDM network, or a `Box<dyn Fabric>`'s contents.
+    pub fn run(&mut self, fabric: &mut dyn Fabric) -> RunResult {
+        crate::engine::run_phases(fabric, &mut self.source, self.phases)
     }
 }
 
@@ -199,7 +128,11 @@ mod tests {
         assert!(r.delivered_fraction > 0.99);
         assert!(r.avg_latency < 40.0, "latency {} too high", r.avg_latency);
         // Accepted ≈ offered at low load.
-        assert!((r.throughput - 0.05).abs() < 0.015, "throughput {}", r.throughput);
+        assert!(
+            (r.throughput - 0.05).abs() < 0.015,
+            "throughput {}",
+            r.throughput
+        );
     }
 
     #[test]

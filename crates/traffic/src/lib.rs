@@ -6,9 +6,11 @@
 //! open-loop driver with warm-up, measurement and drain phases.
 
 pub mod driver;
+pub mod engine;
 pub mod pattern;
 pub mod source;
 
 pub use driver::{OpenLoop, PhaseConfig, RunResult};
+pub use engine::{run_phases, Workload};
 pub use pattern::TrafficPattern;
 pub use source::{PacketFactory, SyntheticSource};

@@ -80,14 +80,20 @@ impl TrafficPattern {
             }
             TrafficPattern::BitReverse => {
                 let n = mesh.len() as u32;
-                assert!(n.is_power_of_two(), "bit-reverse needs a power-of-two node count");
+                assert!(
+                    n.is_power_of_two(),
+                    "bit-reverse needs a power-of-two node count"
+                );
                 let bits = n.trailing_zeros();
                 let t = src.0.reverse_bits() >> (32 - bits);
                 return if t == src.0 { None } else { Some(NodeId(t)) };
             }
             TrafficPattern::Shuffle => {
                 let n = mesh.len() as u32;
-                assert!(n.is_power_of_two(), "shuffle needs a power-of-two node count");
+                assert!(
+                    n.is_power_of_two(),
+                    "shuffle needs a power-of-two node count"
+                );
                 let bits = n.trailing_zeros();
                 let t = ((src.0 << 1) | (src.0 >> (bits - 1))) & (n - 1);
                 return if t == src.0 { None } else { Some(NodeId(t)) };
@@ -120,7 +126,9 @@ mod tests {
         let src = NodeId(17);
         let mut seen = vec![false; m.len()];
         for _ in 0..5000 {
-            let d = TrafficPattern::UniformRandom.dest(&m, src, &mut rng).unwrap();
+            let d = TrafficPattern::UniformRandom
+                .dest(&m, src, &mut rng)
+                .unwrap();
             assert_ne!(d, src);
             seen[d.index()] = true;
         }

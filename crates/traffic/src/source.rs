@@ -52,13 +52,7 @@ pub struct SyntheticSource {
 }
 
 impl SyntheticSource {
-    pub fn new(
-        mesh: Mesh,
-        pattern: TrafficPattern,
-        rate: f64,
-        packet_len: u8,
-        seed: u64,
-    ) -> Self {
+    pub fn new(mesh: Mesh, pattern: TrafficPattern, rate: f64, packet_len: u8, seed: u64) -> Self {
         assert!(rate >= 0.0 && packet_len > 0);
         SyntheticSource {
             mesh,
@@ -91,6 +85,16 @@ impl SyntheticSource {
                 sink(src, pkt);
             }
         }
+    }
+}
+
+impl crate::engine::Workload for SyntheticSource {
+    fn tick(&mut self, now: Cycle, measured: bool, sink: &mut dyn FnMut(NodeId, Packet)) {
+        SyntheticSource::tick(self, now, measured, sink);
+    }
+
+    fn offered_load(&self) -> f64 {
+        self.rate
     }
 }
 

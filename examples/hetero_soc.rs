@@ -7,7 +7,8 @@
 //! e.g. `cargo run --release --example hetero_soc BLACKSCHOLES SWIM`
 
 use tdm_hybrid_noc::hetero::workload::{cpu_bench, gpu_bench};
-use tdm_hybrid_noc::hetero::{run_mix, Floorplan, HeteroPhases, NetKind, CPU_BENCHES, GPU_BENCHES};
+use tdm_hybrid_noc::hetero::{mix_phases, run_mix, Floorplan, CPU_BENCHES, GPU_BENCHES};
+use tdm_hybrid_noc::scenario::BackendKind;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -24,9 +25,9 @@ fn main() {
     println!("{}", Floorplan::figure7().render());
     println!("workload mix: {} (GPU) + {} (CPU)\n", gpu.name, cpu.name);
 
-    let phases = HeteroPhases::default();
-    let base = run_mix(cpu, gpu, NetKind::PacketVc4, phases, 11);
-    let hyb = run_mix(cpu, gpu, NetKind::HybridTdmHopVct, phases, 11);
+    let phases = mix_phases(false);
+    let base = run_mix(cpu, gpu, BackendKind::PacketVc4, phases, 11).expect("mix runs");
+    let hyb = run_mix(cpu, gpu, BackendKind::HybridTdmHopVct, phases, 11).expect("mix runs");
 
     println!("                          Packet-VC4    Hybrid-TDM-hop-VCt");
     println!(

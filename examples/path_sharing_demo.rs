@@ -60,7 +60,10 @@ fn run(sharing: SharingConfig) -> (f64, u64, u64, u64) {
 
 fn main() {
     println!("5 sources on one row → 1 sink, 32-entry slot tables\n");
-    println!("{:<22} {:>10} {:>10} {:>12} {:>8}", "sharing", "latency", "CS pkts", "hitchhikes", "setups");
+    println!(
+        "{:<22} {:>10} {:>10} {:>12} {:>8}",
+        "sharing", "latency", "CS pkts", "hitchhikes", "setups"
+    );
     for (label, sharing) in [
         ("disabled", SharingConfig::DISABLED),
         ("hitchhiker", SharingConfig::HITCHHIKER),

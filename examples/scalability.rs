@@ -33,9 +33,13 @@ fn sat_goodput(mesh: Mesh, tdm: bool, rate: f64) -> (f64, f64, EnergyBreakdown) 
         let s = r.stats.clone();
         (r, s)
     };
-    let goodput = stats.packets_delivered as f64 * 5.0
-        / (stats.measured_cycles as f64 * mesh.len() as f64);
-    (goodput, result.avg_latency, EnergyModel::default().evaluate_stats(&stats))
+    let goodput =
+        stats.packets_delivered as f64 * 5.0 / (stats.measured_cycles as f64 * mesh.len() as f64);
+    (
+        goodput,
+        result.avg_latency,
+        EnergyModel::default().evaluate_stats(&stats),
+    )
 }
 
 fn main() {
@@ -45,7 +49,10 @@ fn main() {
         sizes.push(16);
     }
     println!("transpose traffic, offered at 60% of each mesh's baseline capacity\n");
-    println!("{:>6} {:>14} {:>14} {:>16} {:>16}", "mesh", "base goodput", "TDM goodput", "TDM Δthroughput", "TDM Δenergy");
+    println!(
+        "{:>6} {:>14} {:>14} {:>16} {:>16}",
+        "mesh", "base goodput", "TDM goodput", "TDM Δthroughput", "TDM Δenergy"
+    );
     for k in sizes {
         let mesh = Mesh::square(k);
         // Probe a mid-load point scaled by mesh size (bisection shrinks

@@ -18,7 +18,11 @@ fn render(t: &SlotTables) -> String {
             Some(e) => format!("v=1 out={:?}", e.out),
             None => "v=0        ".into(),
         };
-        s.push_str(&format!("  s{slot}:  {:<14}  {:<14}\n", cell(IN_1), cell(IN_2)));
+        s.push_str(&format!(
+            "  s{slot}:  {:<14}  {:<14}\n",
+            cell(IN_1),
+            cell(IN_2)
+        ));
     }
     s
 }
@@ -33,7 +37,8 @@ fn main() {
 
     println!("setup1: in_1 → out_4, slot s3, duration 2 (succeeds; reservation");
     println!("is modulo S, so s3 and s0 are taken):");
-    t.try_reserve(IN_1, 3, 2, OUT_4, 1, dst).expect("setup1 succeeds");
+    t.try_reserve(IN_1, 3, 2, OUT_4, 1, dst)
+        .expect("setup1 succeeds");
     println!("{}", render(&t));
 
     println!("setup2: in_1 → out_3 at s3 — FAILS: the slot is already allocated:");
@@ -54,7 +59,9 @@ fn main() {
     println!("{}", render(&t));
 
     println!("Both failed setups would now succeed:");
-    t.try_reserve(IN_1, 3, 1, OUT_3, 2, dst).expect("setup2 retry");
-    t.try_reserve(IN_2, 0, 1, OUT_4, 3, dst).expect("setup3 retry");
+    t.try_reserve(IN_1, 3, 1, OUT_3, 2, dst)
+        .expect("setup2 retry");
+    t.try_reserve(IN_2, 0, 1, OUT_4, 3, dst)
+        .expect("setup3 retry");
     println!("{}", render(&t));
 }

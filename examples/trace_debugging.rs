@@ -47,13 +47,21 @@ fn main() {
             .trace
             .iter()
             .filter_map(|(t, e)| match e {
-                TraceEvent::Reserved { in_port, slot, duration, path_id, .. } => Some(format!(
+                TraceEvent::Reserved {
+                    in_port,
+                    slot,
+                    duration,
+                    path_id,
+                    ..
+                } => Some(format!(
                     "  [{t:>5}] RESERVE  in={in_port:?} slots {slot}..{} path {path_id:#x}",
                     slot + *duration as u16
                 )),
-                TraceEvent::Released { in_port, path_id, .. } => {
-                    Some(format!("  [{t:>5}] RELEASE  in={in_port:?} path {path_id:#x}"))
-                }
+                TraceEvent::Released {
+                    in_port, path_id, ..
+                } => Some(format!(
+                    "  [{t:>5}] RELEASE  in={in_port:?} path {path_id:#x}"
+                )),
                 _ => None,
             })
             .collect();
@@ -72,7 +80,11 @@ fn main() {
         .iter()
         .flat_map(|n| n.router.trace.iter())
         .find_map(|(_, e)| match e {
-            TraceEvent::Traversed { packet, circuit: true, .. } => Some(*packet),
+            TraceEvent::Traversed {
+                packet,
+                circuit: true,
+                ..
+            } => Some(*packet),
             _ => None,
         });
     if let Some(pid) = followed {
@@ -83,11 +95,13 @@ fn main() {
             .iter()
             .flat_map(|n| {
                 n.router.trace.iter().filter_map(move |(t, e)| match e {
-                    TraceEvent::Traversed { at, out, packet, seq: 0, circuit: true }
-                        if *packet == pid =>
-                    {
-                        Some((*t, format!("  [{t:>5}] {at:?} → {out:?}")))
-                    }
+                    TraceEvent::Traversed {
+                        at,
+                        out,
+                        packet,
+                        seq: 0,
+                        circuit: true,
+                    } if *packet == pid => Some((*t, format!("  [{t:>5}] {at:?} → {out:?}"))),
                     _ => None,
                 })
             })

@@ -10,6 +10,9 @@ if [[ "${1:-}" == "--offline" || "${CI_OFFLINE:-}" == "1" ]]; then
     OFFLINE=(--offline)
 fi
 
+echo "== cargo fmt --check =="
+cargo fmt --check
+
 echo "== cargo build --release =="
 cargo build --release --workspace "${OFFLINE[@]}"
 
@@ -18,5 +21,8 @@ cargo test -q --workspace "${OFFLINE[@]}"
 
 echo "== cargo clippy -- -D warnings =="
 cargo clippy --workspace --all-targets "${OFFLINE[@]}" -- -D warnings
+
+echo "== bench smoke (network_step, test mode) =="
+cargo bench -p noc-bench --bench network_step "${OFFLINE[@]}" -- --test
 
 echo "CI OK"

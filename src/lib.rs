@@ -50,6 +50,7 @@
 
 pub use noc_hetero as hetero;
 pub use noc_power as power;
+pub use noc_scenario as scenario;
 pub use noc_sdm as sdm;
 pub use noc_sim as sim;
 pub use noc_traffic as traffic;
@@ -57,13 +58,16 @@ pub use tdm_noc as tdm;
 
 /// The common imports for building and driving networks.
 pub mod prelude {
-    pub use noc_hetero::{run_mix, Floorplan, HeteroPhases, HeteroWorkload, NetKind};
+    pub use noc_hetero::{mix_phases, run_mix, Floorplan, HeteroWorkload, MixResult};
     pub use noc_power::{AreaModel, EnergyBreakdown, EnergyModel};
+    pub use noc_scenario::{build_fabric, BackendKind, ScenarioError, ScenarioSpec, Tuning};
     pub use noc_sdm::{SdmConfig, SdmNode};
     pub use noc_sim::{
-        Coord, Cycle, Mesh, NetStats, Network, NetworkConfig, NodeId, Packet, PacketId,
+        Coord, Cycle, Fabric, Mesh, NetStats, Network, NetworkConfig, NodeId, Packet, PacketId,
         PacketNode, RouterConfig,
     };
-    pub use noc_traffic::{OpenLoop, PhaseConfig, RunResult, SyntheticSource, TrafficPattern};
+    pub use noc_traffic::{
+        run_phases, OpenLoop, PhaseConfig, RunResult, SyntheticSource, TrafficPattern, Workload,
+    };
     pub use tdm_noc::{SharingConfig, TdmConfig, TdmNetwork, TdmNode, WaitBudget};
 }

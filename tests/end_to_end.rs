@@ -52,7 +52,10 @@ fn all_networks_deliver_transpose_traffic() {
     );
 
     // SDM hybrid.
-    let sdm_cfg = SdmConfig { net: net_cfg, ..Default::default() };
+    let sdm_cfg = SdmConfig {
+        net: net_cfg,
+        ..Default::default()
+    };
     let mut sdm = Network::new(mesh, move |id| SdmNode::new(id, &sdm_cfg));
     let r_sdm = OpenLoop::new(
         SyntheticSource::new(mesh, TrafficPattern::Transpose, rate, 5, 1),
@@ -129,16 +132,9 @@ fn flit_conservation_under_mixed_traffic() {
 #[test]
 fn hetero_mix_runs_on_every_network_kind() {
     use tdm_hybrid_noc::hetero::{CPU_BENCHES, GPU_BENCHES};
-    let phases = HeteroPhases { warmup: 800, measure: 2_500, drain: 2_000 };
-    for kind in [
-        NetKind::PacketVc4,
-        NetKind::PacketVct,
-        NetKind::HybridTdmVc4,
-        NetKind::HybridTdmVct,
-        NetKind::HybridTdmHopVc4,
-        NetKind::HybridTdmHopVct,
-    ] {
-        let r = run_mix(&CPU_BENCHES[3], &GPU_BENCHES[3], kind, phases, 5);
+    let phases = PhaseConfig::pure_cycles(800, 2_500, 2_000);
+    for kind in BackendKind::HETERO {
+        let r = run_mix(&CPU_BENCHES[3], &GPU_BENCHES[3], kind, phases, 5).expect("mix runs");
         assert!(
             r.stats.packets_delivered > 200,
             "{}: too few deliveries",
@@ -154,7 +150,11 @@ fn gating_keeps_network_functional_under_bursts() {
     let mesh = Mesh::square(4);
     let net_cfg = NetworkConfig::with_mesh(mesh);
     let mut net = Network::new(mesh, |id| {
-        PacketNode::new(id, &net_cfg, Some(tdm_hybrid_noc::sim::GatingConfig::default()))
+        PacketNode::new(
+            id,
+            &net_cfg,
+            Some(tdm_hybrid_noc::sim::GatingConfig::default()),
+        )
     });
     net.begin_measurement();
     let mut id = 0;

@@ -204,11 +204,17 @@ impl Bencher {
         match throughput {
             Some(Throughput::Elements(n)) => {
                 let rate = n as f64 / (self.best_ns * 1e-9);
-                println!("{id:<44} time: {per_iter:>12}   thrpt: {:.3} Melem/s", rate / 1e6);
+                println!(
+                    "{id:<44} time: {per_iter:>12}   thrpt: {:.3} Melem/s",
+                    rate / 1e6
+                );
             }
             Some(Throughput::Bytes(n)) => {
                 let rate = n as f64 / (self.best_ns * 1e-9);
-                println!("{id:<44} time: {per_iter:>12}   thrpt: {:.3} MiB/s", rate / (1024.0 * 1024.0));
+                println!(
+                    "{id:<44} time: {per_iter:>12}   thrpt: {:.3} MiB/s",
+                    rate / (1024.0 * 1024.0)
+                );
             }
             None => println!("{id:<44} time: {per_iter:>12}"),
         }

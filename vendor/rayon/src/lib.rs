@@ -161,7 +161,11 @@ where
             items.drain(..).map(std::sync::Mutex::new).collect();
         let f = &self.f;
         par_map_indices(cells.len(), |i| {
-            let item = cells[i].lock().expect("poisoned").take().expect("taken once");
+            let item = cells[i]
+                .lock()
+                .expect("poisoned")
+                .take()
+                .expect("taken once");
             f(item)
         })
     }

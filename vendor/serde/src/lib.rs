@@ -31,6 +31,13 @@ pub trait Serialize {
 /// Marker trait emitted by `#[derive(Deserialize)]`.
 pub trait Deserialize {}
 
+impl Serialize for Value {
+    #[inline]
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
 macro_rules! impl_uint {
     ($($t:ty),*) => {$(
         impl Serialize for $t {
@@ -136,7 +143,11 @@ impl<A: Serialize, B: Serialize> Serialize for (A, B) {
 
 impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
     fn to_value(&self) -> Value {
-        Value::Array(vec![self.0.to_value(), self.1.to_value(), self.2.to_value()])
+        Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
     }
 }
 
@@ -179,11 +190,15 @@ mod tests {
             hist: [1, 2, 3],
             nested: Some(Inner { v: -4 }),
         };
-        let Value::Object(fields) = p.to_value() else { panic!("not an object") };
+        let Value::Object(fields) = p.to_value() else {
+            panic!("not an object")
+        };
         assert_eq!(fields.len(), 6);
         assert_eq!(fields[0], ("x".to_string(), Value::UInt(3)));
         assert_eq!(fields[2], ("label".to_string(), Value::Str("hi".into())));
-        let Value::Object(inner) = &fields[5].1 else { panic!("nested") };
+        let Value::Object(inner) = &fields[5].1 else {
+            panic!("nested")
+        };
         assert_eq!(inner[0], ("v".to_string(), Value::Int(-4)));
     }
 
