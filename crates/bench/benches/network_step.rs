@@ -1,8 +1,10 @@
 //! Criterion benchmark for the whole-network cycle kernel
 //! (`Network::step`): the acceptance benchmark for the allocation-free
-//! ring-buffer kernel. 64-node (8×8) mesh, uniform-random traffic at
-//! 0.3 flits/node/cycle (0.06 packets/node/cycle × 5-flit packets), the
-//! paper's heavy-but-unsaturated operating point.
+//! ring-buffer kernel. 64-node (8×8) mesh, uniform-random traffic at two
+//! operating points: 0.3 flits/node/cycle (0.06 packets/node/cycle ×
+//! 5-flit packets), the paper's heavy-but-unsaturated point, and
+//! 0.02 flits/node/cycle, the low-load point where most routers are idle
+//! most cycles and the activity-driven scheduler should pay off.
 //!
 //! Each iteration advances a pre-warmed steady-state network by `STEPS`
 //! cycles including source injection, so the reported time is per
@@ -19,6 +21,8 @@ const STEPS: u64 = 512;
 const WARMUP_CYCLES: u64 = 2_000;
 /// 0.3 flits/node/cycle at 5-flit packets.
 const PACKET_RATE: f64 = 0.06;
+/// 0.02 flits/node/cycle at 5-flit packets (low-load sweep point).
+const PACKET_RATE_LOW: f64 = 0.004;
 
 fn drive_packet(net: &mut Network<PacketNode>, src: &mut SyntheticSource, cycles: u64) -> u64 {
     let mut pkts = Vec::new();
@@ -60,26 +64,40 @@ fn bench_network_step(c: &mut Criterion) {
         b.iter(|| black_box(drive_packet(&mut net, &mut src, STEPS)));
     });
 
-    g.bench_function("tdm_hybrid_64n_0.3flits", |b| {
-        let mut cfg = TdmConfig::vc4(NetworkConfig::with_mesh(mesh));
-        cfg.policy.setup_after_msgs = 3;
-        let mut net = TdmNetwork::new(cfg);
-        let mut src = SyntheticSource::new(mesh, TrafficPattern::UniformRandom, PACKET_RATE, 5, 42);
-        let mut pkts = Vec::new();
-        let mut drive = move |net: &mut TdmNetwork, cycles: u64| {
-            for _ in 0..cycles {
-                let now = net.now();
-                src.tick(now, true, |n, p| pkts.push((n, p)));
-                for (n, p) in pkts.drain(..) {
-                    net.inject(n, p);
-                }
-                net.step();
-            }
-            net.stats().packets_delivered
-        };
-        drive(&mut net, WARMUP_CYCLES);
-        b.iter(|| black_box(drive(&mut net, STEPS)));
+    g.bench_function("packet_64n_0.02flits", |b| {
+        let cfg = NetworkConfig::with_mesh(mesh);
+        let mut net = Network::new(mesh, |id| PacketNode::new(id, &cfg, None));
+        let mut src =
+            SyntheticSource::new(mesh, TrafficPattern::UniformRandom, PACKET_RATE_LOW, 5, 42);
+        drive_packet(&mut net, &mut src, WARMUP_CYCLES);
+        b.iter(|| black_box(drive_packet(&mut net, &mut src, STEPS)));
     });
+
+    for (name, rate) in [
+        ("tdm_hybrid_64n_0.3flits", PACKET_RATE),
+        ("tdm_hybrid_64n_0.02flits", PACKET_RATE_LOW),
+    ] {
+        g.bench_function(name, |b| {
+            let mut cfg = TdmConfig::vc4(NetworkConfig::with_mesh(mesh));
+            cfg.policy.setup_after_msgs = 3;
+            let mut net = TdmNetwork::new(cfg);
+            let mut src = SyntheticSource::new(mesh, TrafficPattern::UniformRandom, rate, 5, 42);
+            let mut pkts = Vec::new();
+            let mut drive = move |net: &mut TdmNetwork, cycles: u64| {
+                for _ in 0..cycles {
+                    let now = net.now();
+                    src.tick(now, true, |n, p| pkts.push((n, p)));
+                    for (n, p) in pkts.drain(..) {
+                        net.inject(n, p);
+                    }
+                    net.step();
+                }
+                net.stats().packets_delivered
+            };
+            drive(&mut net, WARMUP_CYCLES);
+            b.iter(|| black_box(drive(&mut net, STEPS)));
+        });
+    }
 
     g.finish();
 }

@@ -32,8 +32,8 @@ use serde::{Serialize, Value};
 pub use noc_hetero::MixResult;
 pub use noc_scenario::{
     build_fabric, json_flag, quick_flag, result_envelope, scenario_flag, scenario_specs_from_cli,
-    slot_capacity_for, step_threads_from_env, write_json, BackendKind, ScenarioError, ScenarioSpec,
-    TrafficSpec, Tuning, SCHEMA_VERSION,
+    slot_capacity_for, step_threads_from_env, sweep_threads_flag, write_json, BackendKind,
+    ScenarioError, ScenarioSpec, TrafficSpec, Tuning, SCHEMA_VERSION,
 };
 
 /// One synthetic measurement point.
@@ -156,6 +156,55 @@ pub fn run_spec(spec: &ScenarioSpec) -> Result<SpecOutcome, ScenarioError> {
     }
 }
 
+/// Run a multi-point sweep, fanning the specs over `threads` worker
+/// threads (`0` = one per available core, `1` = serial). Every point is
+/// an independent simulation seeded by its spec, chunks are contiguous
+/// and results are merged back in spec order, so the outcome vector is
+/// **byte-identical for any thread count**. The host-timing fields of
+/// synthetic results (`wall_seconds`, `sim_cycles_per_sec`) are zeroed —
+/// they are the only scheduling-dependent outputs, and zeroing them keeps
+/// serialised sweep envelopes reproducible across hosts and thread
+/// counts. The first spec error (in spec order) is returned, if any.
+pub fn run_sweep(
+    specs: &[ScenarioSpec],
+    threads: usize,
+) -> Result<Vec<SpecOutcome>, ScenarioError> {
+    let workers = match threads {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    }
+    .min(specs.len())
+    .max(1);
+    let results: Vec<Result<SpecOutcome, ScenarioError>> = if workers <= 1 {
+        specs.iter().map(run_spec).collect()
+    } else {
+        let chunk = specs.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = specs
+                .chunks(chunk)
+                .map(|c| scope.spawn(move || c.iter().map(run_spec).collect::<Vec<_>>()))
+                .collect();
+            let mut out = Vec::with_capacity(specs.len());
+            for h in handles {
+                out.extend(h.join().expect("sweep worker panicked"));
+            }
+            out
+        })
+    };
+    let mut outcomes = Vec::with_capacity(results.len());
+    for r in results {
+        let mut o = r?;
+        if let SpecOutcome::Synth(p) = &mut o {
+            p.result.wall_seconds = 0.0;
+            p.result.sim_cycles_per_sec = 0.0;
+        }
+        outcomes.push(o);
+    }
+    Ok(outcomes)
+}
+
 /// Handle the shared `--scenario <file>` flag: when present, run the
 /// spec(s) from the file and return `true` — the binary should then skip
 /// its built-in figure. Scenario errors are fatal (exit code 2).
@@ -178,7 +227,7 @@ pub fn scenario_mode_ran() -> bool {
 /// Run a list of scenario specs, print a generic result table, and (with
 /// `--json <path>`) write the enveloped raw results.
 pub fn run_scenario_specs(specs: &[ScenarioSpec]) -> Result<(), ScenarioError> {
-    let outcomes: Vec<SpecOutcome> = specs.iter().map(run_spec).collect::<Result<_, _>>()?;
+    let outcomes = run_sweep(specs, sweep_threads_flag())?;
 
     let mut synth_rows = Vec::new();
     let mut hetero_rows = Vec::new();
@@ -499,6 +548,41 @@ mod tests {
         assert_eq!(via_spec.result.stats.events, direct.result.stats.events);
         assert_eq!(via_spec.goodput, direct.goodput);
         assert!(matches!(run_spec(&spec).unwrap(), SpecOutcome::Synth(_)));
+    }
+
+    /// `run_sweep` must merge worker chunks back in spec order and zero
+    /// the host-timing fields, making the serialised envelope
+    /// byte-identical for any thread count at fixed seeds.
+    #[test]
+    fn run_sweep_is_thread_count_invariant() {
+        use noc_traffic::PhaseConfig;
+
+        let specs: Vec<ScenarioSpec> = [(0.05, 11u64), (0.10, 12), (0.08, 13), (0.12, 14)]
+            .iter()
+            .map(|&(rate, seed)| {
+                ScenarioSpec::synthetic(
+                    BackendKind::HybridTdmVc4,
+                    4,
+                    TrafficPattern::UniformRandom,
+                    rate,
+                    PhaseConfig::quick(),
+                    seed,
+                )
+            })
+            .collect();
+        let envelope_for = |threads: usize| {
+            let outcomes = run_sweep(&specs, threads).expect("sweep runs");
+            assert_eq!(outcomes.len(), specs.len());
+            serde_json::to_string_pretty(&result_envelope(&specs, &outcomes)).expect("serializable")
+        };
+        let serial = envelope_for(1);
+        assert_eq!(serial, envelope_for(4), "1 vs 4 threads");
+        assert_eq!(serial, envelope_for(0), "1 thread vs one-per-core");
+        assert!(
+            serial.contains("\"nodes_stepped\""),
+            "activity stats missing from the envelope"
+        );
+        assert!(!serial.is_empty());
     }
 
     #[test]

@@ -134,6 +134,10 @@ impl TdmNetwork {
                     for node in &mut self.net.nodes {
                         node.set_cs_frozen(true);
                     }
+                    // The freeze mutated nodes behind the harness's back
+                    // (queued CS work flushed to the NICs): resynchronise
+                    // the activity scheduler and its occupancy caches.
+                    self.net.wake_all();
                     self.phase = Some(ResizePhase::Freezing {
                         deadline: now + rc.freeze_cycles,
                         target,
@@ -158,6 +162,9 @@ impl TdmNetwork {
                     node.reset_for_resize(new_active);
                     node.set_cs_frozen(false);
                 }
+                // Same: external mutation of every node (slot tables,
+                // registries, power state) invalidates the harness caches.
+                self.net.wake_all();
                 self.resizes += 1;
                 let failures: u64 = self
                     .net
@@ -257,6 +264,10 @@ impl Fabric for TdmNetwork {
 
     fn set_step_threads(&mut self, threads: usize) {
         self.net.set_step_threads(threads);
+    }
+
+    fn set_always_step(&mut self, on: bool) {
+        self.net.set_always_step(on);
     }
 
     fn active_slots(&self) -> Option<u16> {

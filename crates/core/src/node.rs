@@ -88,6 +88,10 @@ pub struct TdmNode {
     cs_queues: FxHashMap<NodeId, VecDeque<QueuedCs>>,
     share_queue: VecDeque<ShareMsg>,
     streaming: Option<CsStream>,
+    /// Flits across all `cs_queues` entries (O(1) occupancy).
+    queued_cs_flits: usize,
+    /// Flits across `share_queue` (O(1) occupancy).
+    share_flits: usize,
     /// Vicinity-sharing failure counters per real destination (2-bit).
     share_fails: FxHashMap<NodeId, u8>,
     next_path_id: u64,
@@ -120,6 +124,8 @@ impl TdmNode {
             cs_queues: FxHashMap::default(),
             share_queue: VecDeque::new(),
             streaming: None,
+            queued_cs_flits: 0,
+            share_flits: 0,
             share_fails: FxHashMap::default(),
             next_path_id: 0,
             cs_frozen: false,
@@ -217,6 +223,7 @@ impl TdmNode {
                 let slot_wait =
                     cs_est.saturating_sub(2 * self.cfg.net.mesh.hops(self.id, dst) as u64 + 2);
                 if self.within_budget(cs_est, slot_wait, dst) {
+                    self.queued_cs_flits += pkt.len_flits as usize;
                     self.cs_queues.entry(dst).or_default().push_back(QueuedCs {
                         packet: pkt,
                         true_dst: None,
@@ -238,6 +245,7 @@ impl TdmNode {
         if self.cfg.sharing.hitchhiker {
             if let Some(e) = self.dlt.lookup(dst) {
                 let ride = e.dst;
+                self.share_flits += pkt.len_flits as usize;
                 self.share_queue.push_back(ShareMsg {
                     packet: pkt,
                     ride_dst: ride,
@@ -258,6 +266,7 @@ impl TdmNode {
                     let slot_wait = cs_est
                         .saturating_sub(2 * self.cfg.net.mesh.hops(self.id, conn.dst) as u64 + 2);
                     if self.within_budget(cs_est, slot_wait, dst) {
+                        self.queued_cs_flits += pkt.len_flits as usize;
                         self.cs_queues
                             .entry(conn.dst)
                             .or_default()
@@ -273,6 +282,7 @@ impl TdmNode {
             if self.cfg.sharing.hitchhiker {
                 if let Some(e) = self.dlt.lookup_vicinity(&self.cfg.net.mesh, dst) {
                     let ride = e.dst;
+                    self.share_flits += pkt.len_flits as usize;
                     self.share_queue.push_back(ShareMsg {
                         packet: pkt,
                         ride_dst: ride,
@@ -388,6 +398,7 @@ impl TdmNode {
         // Any messages still queued for it go packet-switched.
         if let Some(q) = self.cs_queues.remove(&dst) {
             for m in q {
+                self.queued_cs_flits -= m.packet.len_flits as usize;
                 self.requeue_ps(m.packet, m.true_dst);
             }
         }
@@ -531,6 +542,7 @@ impl TdmNode {
                 .get_mut(&dst)
                 .and_then(|q| q.pop_front())
                 .expect("non-empty queue");
+            self.queued_cs_flits -= q.packet.len_flits as usize;
             let flits = self.build_cs_flits(&q);
             if q.true_dst.is_some() {
                 self.router.pipeline.events.vicinity_rides += 1;
@@ -569,6 +581,7 @@ impl TdmNode {
             .collect();
         for i in expired.into_iter().rev() {
             let msg = self.share_queue.remove(i).expect("index valid");
+            self.share_flits -= msg.packet.len_flits as usize;
             self.share_failed(now, msg);
         }
 
@@ -579,6 +592,7 @@ impl TdmNode {
                 .is_some_and(|e| e.slot == slot_now)
         }) {
             let msg = self.share_queue.remove(pos).expect("position valid");
+            self.share_flits -= msg.packet.len_flits as usize;
             let e = *self.dlt.lookup(msg.ride_dst).expect("checked above");
             let vicinity = msg.final_dst != msg.ride_dst;
             let q = QueuedCs {
@@ -669,6 +683,8 @@ impl TdmNode {
             for m in shares {
                 self.requeue_ps(m.packet, Some(m.final_dst));
             }
+            self.queued_cs_flits = 0;
+            self.share_flits = 0;
         }
     }
 
@@ -843,23 +859,33 @@ impl NodeModel for TdmNode {
     }
 
     fn occupancy(&self) -> usize {
-        let queued_cs: usize = self
-            .cs_queues
-            .values()
-            .flat_map(|q| q.iter())
-            .map(|m| m.packet.len_flits as usize)
-            .sum();
-        let shares: usize = self
-            .share_queue
-            .iter()
-            .map(|m| m.packet.len_flits as usize)
-            .sum();
+        debug_assert_eq!(
+            self.queued_cs_flits,
+            self.cs_queues
+                .values()
+                .flat_map(|q| q.iter())
+                .map(|m| m.packet.len_flits as usize)
+                .sum::<usize>(),
+            "queued-CS flit counter out of sync"
+        );
+        debug_assert_eq!(
+            self.share_flits,
+            self.share_queue
+                .iter()
+                .map(|m| m.packet.len_flits as usize)
+                .sum::<usize>(),
+            "share-queue flit counter out of sync"
+        );
         let streaming = self
             .streaming
             .as_ref()
             .map(|s| s.flits.len() - s.next)
             .unwrap_or(0);
-        self.router.occupancy() + self.nic.occupancy() + queued_cs + shares + streaming
+        self.router.occupancy()
+            + self.nic.occupancy()
+            + self.queued_cs_flits
+            + self.share_flits
+            + streaming
     }
 
     fn power_state(&self) -> PowerState {
@@ -872,6 +898,55 @@ impl NodeModel for TdmNode {
                 0
             },
         }
+    }
+
+    fn sleep_until(&self, now: Cycle) -> Option<Cycle> {
+        // Anything in flight — flits in the router/NIC, a CS burst mid-
+        // stream, credits owed, or unprocessed DLT observations — means the
+        // next step does real work.
+        if self.streaming.is_some()
+            || self.nic.occupancy() != 0
+            || self.router.occupancy() != 0
+            || !self.router.pipeline.local_credits.is_empty()
+            || self.router.has_deferred_signals()
+        {
+            return None;
+        }
+        let mut wake = match &self.gating {
+            Some(g) => g.next_eval(),
+            None => Cycle::MAX,
+        };
+        // Messages waiting for a TDM slot are deferred, not active: the
+        // slot-table wheel says exactly when `pump_cs` can next make
+        // progress, so wake at the earliest relevant slot occurrence
+        // (strictly after `now` — `pump_cs` already ran this cycle).
+        for (dst, q) in &self.cs_queues {
+            if q.is_empty() {
+                continue;
+            }
+            let runs = self.registry.runs(*dst);
+            if runs.is_empty() {
+                // A queue without a connection should not exist; stay
+                // awake rather than strand it.
+                return None;
+            }
+            for c in runs {
+                wake = wake.min(now + 1 + self.wait_for_slot(now + 1, c.slot));
+            }
+        }
+        let period = self.router.slots.active() as u64;
+        for m in &self.share_queue {
+            let Some(e) = self.dlt.lookup(m.ride_dst) else {
+                // Ride vanished: the next `pump_cs` expires the message.
+                return None;
+            };
+            // Next chance to board, capped by the two-period expiry
+            // deadline (the first cycle where `now - queued_at > 2·S`).
+            wake = wake
+                .min(now + 1 + self.wait_for_slot(now + 1, e.slot))
+                .min(m.queued_at + 2 * period + 1);
+        }
+        Some(wake)
     }
 }
 
@@ -1084,6 +1159,7 @@ mod tests {
         for node in &mut net.net.nodes {
             node.set_cs_frozen(true);
         }
+        net.net.wake_all();
         assert!(net.drain(5_000), "frozen network must still drain via PS");
         for node in &mut net.net.nodes {
             node.set_cs_frozen(false);

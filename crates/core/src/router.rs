@@ -440,6 +440,14 @@ impl TdmRouter {
         self.pipeline.events.slot_table_resizes += 1;
     }
 
+    /// Deferred signals not visible in [`TdmRouter::occupancy`]: credits
+    /// owed to upstream neighbours and DLT observations the node has not
+    /// yet folded in. The activity scheduler must not let a node sleep
+    /// while either is pending — the next step drains them.
+    pub fn has_deferred_signals(&self) -> bool {
+        !self.pending_credits.is_empty() || !self.dlt_observations.is_empty()
+    }
+
     /// Flits owned by the router (drain detection).
     pub fn occupancy(&self) -> usize {
         self.pipeline.occupancy()

@@ -21,6 +21,17 @@ pub fn scenario_flag() -> Option<String> {
     arg_value("--scenario")
 }
 
+/// Optional `--sweep-threads <n>` flag: fan a multi-spec scenario run over
+/// `n` worker threads (`0` = one per available core; default `1` =
+/// serial). Each sweep point is an independent simulation with its own
+/// spec-fixed seed, so the merged results are byte-identical for any
+/// thread count.
+pub fn sweep_threads_flag() -> usize {
+    arg_value("--sweep-threads")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
 fn arg_value(flag: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
     args.iter()

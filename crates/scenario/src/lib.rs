@@ -28,6 +28,7 @@ pub use backend::{
 };
 pub use cli::{
     json_flag, quick_flag, scenario_flag, scenario_specs_from_cli, step_threads_from_env,
+    sweep_threads_flag,
 };
 pub use envelope::{result_envelope, write_json, SCHEMA_VERSION};
 pub use json::Json;

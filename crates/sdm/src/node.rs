@@ -401,6 +401,21 @@ impl NodeModel for SdmNode {
             dlt_entries: 0,
         }
     }
+
+    fn sleep_until(&self, _now: Cycle) -> Option<Cycle> {
+        // SDM circuits stream immediately (no slot wheel): once nothing is
+        // buffered, streaming, or mid-reassembly and no credits are owed,
+        // every future step is a no-op until an external event. Plane
+        // `busy_until` timestamps only gate flits that would also show up
+        // in the occupancy count, so they need no timer.
+        if self.occupancy() != 0
+            || !self.router.local_credits.is_empty()
+            || self.router.has_deferred_credits()
+        {
+            return None;
+        }
+        Some(Cycle::MAX)
+    }
 }
 
 #[cfg(test)]

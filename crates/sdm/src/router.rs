@@ -334,30 +334,28 @@ impl SdmRouter {
             if !self.outputs[o].exists {
                 continue;
             }
-            let mut reqs = [false; 64];
-            let mut any = false;
+            let mut reqs = 0u64;
             for p in 0..Port::COUNT {
                 for vc in 0..vcs {
                     let buf = &self.inputs[p][vc];
                     if let VcState::Waiting { out } = buf.state {
                         if out.index() == o && buf.stage_cycle < now {
-                            reqs[p * vcs + vc] = true;
-                            any = true;
+                            reqs |= 1 << (p * vcs + vc);
                         }
                     }
                 }
             }
-            if !any {
+            if reqs == 0 {
                 continue;
             }
             for v in 0..vcs {
                 if self.outputs[o].alloc[v].is_some() {
                     continue;
                 }
-                let Some(w) = self.va_arb[o].grant(&reqs[..Port::COUNT * vcs]) else {
+                let Some(w) = self.va_arb[o].grant_mask(reqs) else {
                     break;
                 };
-                reqs[w] = false;
+                reqs &= !(1 << w);
                 let (p, vc) = (w / vcs, w % vcs);
                 let buf = &mut self.inputs[p][vc];
                 let VcState::Waiting { out } = buf.state else {
@@ -420,10 +418,13 @@ impl SdmRouter {
         }
         // Phase 2: one grant per output port.
         for o in Port::ALL {
-            let cands = &candidates;
-            let Some(p) = self.sa_arb_out[o.index()]
-                .grant_by(|p| matches!(cands[p], Some((_, op, _)) if op == o))
-            else {
+            let mut mask = 0u64;
+            for (p, c) in candidates.iter().enumerate() {
+                if matches!(c, Some((_, op, _)) if *op == o) {
+                    mask |= 1 << p;
+                }
+            }
+            let Some(p) = self.sa_arb_out[o.index()].grant_mask(mask) else {
                 continue;
             };
             let (vc, _, out_vc) = candidates[p].unwrap();
@@ -495,6 +496,13 @@ impl SdmRouter {
         (0..n)
             .map(|k| 1 + (from + k) % (n - 1).max(1))
             .find(|&k| k < n && self.circuits[Port::Local.index()][k as usize].is_none())
+    }
+
+    /// Credits owed to upstream neighbours but not yet emitted — deferred
+    /// work invisible to [`SdmRouter::occupancy`]; the activity scheduler
+    /// must keep the node awake while any are pending.
+    pub fn has_deferred_credits(&self) -> bool {
+        !self.pending_credits.is_empty()
     }
 
     pub fn occupancy(&self) -> usize {

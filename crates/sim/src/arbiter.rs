@@ -2,6 +2,16 @@
 
 /// A round-robin arbiter over `n` requesters with a rotating priority
 /// pointer, as in canonical VC router allocators.
+///
+/// # Grant order
+///
+/// The priority pointer holds the **last granted** index and the search
+/// starts one past it. A fresh arbiter initialises the pointer to `n - 1`
+/// so that the very first grant goes to index 0 and a fully-loaded arbiter
+/// then rotates `0, 1, …, n-1, 0, …` — the order the allocator unit tests
+/// pin. [`RoundRobin::grant_mask`] implements the same rotation over a
+/// `u64` request mask with `trailing_zeros`; the two are grant-for-grant
+/// identical (see the `mask_matches_slice` property test).
 #[derive(Clone, Debug)]
 pub struct RoundRobin {
     n: usize,
@@ -58,6 +68,31 @@ impl RoundRobin {
         None
     }
 
+    /// Like [`RoundRobin::grant`] but with the request set given as a `u64`
+    /// bitmask (bit `i` set ⇔ requester `i` asserts). The rotating search of
+    /// the slice variant becomes two `trailing_zeros` probes: first over the
+    /// bits at or past the start position, then over the wrapped-around low
+    /// bits. Grant-for-grant identical to `grant` on the same request set.
+    pub fn grant_mask(&mut self, mask: u64) -> Option<usize> {
+        debug_assert!(self.n <= 64, "mask arbiter supports at most 64 requesters");
+        debug_assert!(
+            self.n == 64 || mask >> self.n == 0,
+            "request mask has bits beyond the requester count"
+        );
+        if self.n == 0 || mask == 0 {
+            return None;
+        }
+        let start = (self.last + 1) % self.n;
+        let ahead = mask >> start;
+        let i = if ahead != 0 {
+            start + ahead.trailing_zeros() as usize
+        } else {
+            mask.trailing_zeros() as usize
+        };
+        self.last = i;
+        Some(i)
+    }
+
     /// Resize the arbiter (used when VC counts change under power gating).
     pub fn resize(&mut self, n: usize) {
         self.n = n;
@@ -112,6 +147,37 @@ mod tests {
         assert_eq!(a.grant_by(|i| i % 2 == 1), Some(1));
     }
 
+    /// Pins the grant order the mask rewrite must preserve: a fresh arbiter
+    /// (priority pointer at `n - 1`) grants index 0 first, then rotates.
+    #[test]
+    fn fresh_arbiter_grants_index_zero_first() {
+        let mut slice = RoundRobin::new(3);
+        let mut mask = RoundRobin::new(3);
+        assert_eq!(slice.grant(&[true, true, true]), Some(0));
+        assert_eq!(mask.grant_mask(0b111), Some(0));
+        assert_eq!(mask.grant_mask(0b111), Some(1));
+        assert_eq!(mask.grant_mask(0b101), Some(2));
+        assert_eq!(mask.grant_mask(0b111), Some(0));
+    }
+
+    #[test]
+    fn mask_wraps_past_pointer() {
+        let mut a = RoundRobin::new(4);
+        assert_eq!(a.grant_mask(0b0100), Some(2));
+        // Only lower indices request: search wraps around.
+        assert_eq!(a.grant_mask(0b0011), Some(0));
+        assert_eq!(a.grant_mask(0b0010), Some(1));
+        assert_eq!(a.grant_mask(0), None);
+    }
+
+    #[test]
+    fn mask_full_width() {
+        let mut a = RoundRobin::new(64);
+        assert_eq!(a.grant_mask(u64::MAX), Some(0));
+        assert_eq!(a.grant_mask(1 << 63), Some(63));
+        assert_eq!(a.grant_mask(u64::MAX), Some(0));
+    }
+
     #[test]
     fn zero_and_resize() {
         let mut a = RoundRobin::new(0);
@@ -153,6 +219,25 @@ mod proptests {
             }
             // Everyone who asked got served within 2n rounds.
             prop_assert_eq!(seen.len(), requesters.len());
+        }
+
+        /// `grant_mask` is grant-for-grant identical to the slice-based
+        /// `grant` over arbitrary request sequences, including empty sets
+        /// (which must not advance the priority pointer).
+        #[test]
+        fn mask_matches_slice(
+            n in 1usize..17,
+            rounds in prop::collection::vec(any::<u16>(), 1..64),
+        ) {
+            let mut slice = RoundRobin::new(n);
+            let mut mask = RoundRobin::new(n);
+            for bits in rounds {
+                let reqs: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+                let m = reqs.iter().enumerate()
+                    .filter(|(_, &r)| r)
+                    .fold(0u64, |acc, (i, _)| acc | 1 << i);
+                prop_assert_eq!(slice.grant(&reqs), mask.grant_mask(m));
+            }
         }
 
         /// Consecutive grants over a full request set never repeat an index

@@ -85,6 +85,13 @@ pub trait Fabric {
     /// Results are bit-identical either way.
     fn set_step_threads(&mut self, threads: usize);
 
+    /// Disable the activity scheduler: step every node every cycle
+    /// regardless of the active set. Results are bit-identical either way
+    /// (the sleep/wake-vs-always-step property tests pin this); the knob
+    /// exists for those tests and for debugging. Default: ignored, for
+    /// fabrics without an activity scheduler.
+    fn set_always_step(&mut self, _on: bool) {}
+
     /// Resize hook: the network-wide active slot-table size, for backends
     /// with TDM slot tables; `None` otherwise.
     fn active_slots(&self) -> Option<u16> {
@@ -164,6 +171,10 @@ impl<N: NodeModel + Send + 'static> Fabric for Network<N> {
 
     fn set_step_threads(&mut self, threads: usize) {
         Network::set_step_threads(self, threads);
+    }
+
+    fn set_always_step(&mut self, on: bool) {
+        Network::set_always_step(self, on);
     }
 }
 

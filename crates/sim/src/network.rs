@@ -39,12 +39,14 @@
 //! networks. `tests/properties.rs` holds a property test comparing the
 //! delivered-packet streams of the two modes cycle by cycle.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::sync::mpsc;
 use std::thread::JoinHandle;
 
 use crate::flit::{Credit, Flit, MsgClass, Packet};
 use crate::geometry::{Direction, Mesh, NodeId};
-use crate::node::{DeliveredPacket, NodeModel, NodeOutputs};
+use crate::node::{DeliveredPacket, NodeModel, NodeOutputs, PowerState};
 use crate::stats::{EnergyEvents, NetStats};
 use crate::Cycle;
 
@@ -56,6 +58,9 @@ use crate::Cycle;
 struct StepJob<N> {
     nodes: *mut N,
     outs: *mut NodeOutputs,
+    /// Step-set bitmask (base of the network's `step_mask`); workers skip
+    /// nodes whose bit is clear. Read-only for the duration of the job.
+    mask: *const u64,
     lo: usize,
     hi: usize,
     now: Cycle,
@@ -110,6 +115,55 @@ pub struct Network<N: NodeModel> {
     pub delivered_log: Vec<DeliveredPacket>,
     events_baseline: EnergyEvents,
     scratch_delivered: Vec<DeliveredPacket>,
+    // --- Activity scheduler (see the module docs / DESIGN.md §10) ---
+    /// Persistently-active nodes: bit `i` set ⇔ node `i` is stepped every
+    /// cycle until it declares quiescence via `NodeModel::sleep_until`.
+    active_mask: Vec<u64>,
+    /// Wake-on-delivery masks, one per delivery-cycle parity (mirroring the
+    /// wire slots): bit `i` set ⇔ node `i` has a signal due at the next
+    /// cycle of that parity and must be stepped then.
+    wake_mask: [Vec<u64>; 2],
+    /// Scratch: the set of nodes stepped this cycle.
+    step_mask: Vec<u64>,
+    /// Pending timed wake-ups as (cycle, node) — TDM slot turns, gating
+    /// epochs, share-queue deadlines.
+    timers: BinaryHeap<Reverse<(Cycle, u32)>>,
+    /// Earliest outstanding timer per node (avoids re-queueing duplicates).
+    timer_at: Vec<Cycle>,
+    /// Force-step every node every cycle (bit-identity testing).
+    always_step: bool,
+    // --- O(1) occupancy & leakage bookkeeping ---
+    /// Cached per-node occupancy, refreshed whenever a node is stepped or
+    /// injected into; `total_occ` is their sum.
+    occ_cache: Vec<usize>,
+    total_occ: usize,
+    /// Flits currently on wires (either parity slot).
+    inflight_flits: usize,
+    /// Cached per-node power state + running sums, so leakage integration
+    /// is O(1) per cycle instead of O(N) while staying cycle-exact (a
+    /// sleeping node's power state cannot change).
+    power_cache: Vec<PowerState>,
+    leak_buffer: u64,
+    leak_slot: u64,
+    leak_dlt: u64,
+}
+
+/// Bit-set helpers over the `Vec<u64>` masks.
+#[inline]
+fn set_bit(mask: &mut [u64], i: usize) {
+    mask[i / 64] |= 1 << (i % 64);
+}
+
+#[inline]
+fn clear_bit(mask: &mut [u64], i: usize) {
+    mask[i / 64] &= !(1 << (i % 64));
+}
+
+/// Only consulted by the phase-1 sleeping-node `debug_assert`s.
+#[cfg_attr(not(debug_assertions), allow(dead_code))]
+#[inline]
+fn get_bit(mask: &[u64], i: usize) -> bool {
+    mask[i / 64] >> (i % 64) & 1 == 1
 }
 
 impl<N: NodeModel> Network<N> {
@@ -122,7 +176,8 @@ impl<N: NodeModel> Network<N> {
             ]
         }
         let n = mesh.len();
-        Network {
+        let words = n.div_ceil(64);
+        let mut net = Network {
             mesh,
             nodes: mesh.nodes().map(&mut make_node).collect(),
             flit_slots: slots(n),
@@ -136,7 +191,22 @@ impl<N: NodeModel> Network<N> {
             delivered_log: Vec::new(),
             events_baseline: EnergyEvents::default(),
             scratch_delivered: Vec::new(),
-        }
+            active_mask: vec![0; words],
+            wake_mask: [vec![0; words], vec![0; words]],
+            step_mask: Vec::with_capacity(words),
+            timers: BinaryHeap::new(),
+            timer_at: vec![Cycle::MAX; n],
+            always_step: false,
+            occ_cache: vec![0; n],
+            total_occ: 0,
+            inflight_flits: 0,
+            power_cache: vec![PowerState::default(); n],
+            leak_buffer: 0,
+            leak_slot: 0,
+            leak_dlt: 0,
+        };
+        net.wake_all();
+        net
     }
 
     pub fn now(&self) -> Cycle {
@@ -149,42 +219,108 @@ impl<N: NodeModel> Network<N> {
         if pkt.measured && pkt.class == MsgClass::Data {
             self.stats.packets_offered += 1;
         }
-        self.nodes[node.index()].inject(self.now, pkt);
+        let i = node.index();
+        self.nodes[i].inject(self.now, pkt);
+        // An injection is external work: wake the node and refresh its
+        // occupancy so drain detection stays exact between cycles.
+        set_bit(&mut self.active_mask, i);
+        let occ = self.nodes[i].occupancy();
+        self.total_occ = self.total_occ - self.occ_cache[i] + occ;
+        self.occ_cache[i] = occ;
     }
 
-    /// Advance the network one cycle.
+    /// Advance the network one cycle, stepping only the active set: nodes
+    /// holding work, nodes with a wire delivery due this cycle, and nodes
+    /// whose wake timer expired. Cycle cost is O(active), and the result is
+    /// bit-identical to stepping everything (see [`Network::set_always_step`]
+    /// and the bit-identity property tests).
     pub fn step(&mut self) {
         let now = self.now;
         let par = (now & 1) as usize;
+        let n = self.nodes.len();
+        let words = self.active_mask.len();
+
+        // 0. Build the step set. The wake slice for this parity is consumed
+        // here and re-filled by phase 3 with deliveries due two cycles out.
+        self.step_mask.clear();
+        for w in 0..words {
+            self.step_mask
+                .push(self.active_mask[w] | self.wake_mask[par][w]);
+        }
+        for w in self.wake_mask[par].iter_mut() {
+            *w = 0;
+        }
+        while let Some(&Reverse((t, i))) = self.timers.peek() {
+            if t > now {
+                break;
+            }
+            self.timers.pop();
+            let i = i as usize;
+            if self.timer_at[i] == t {
+                self.timer_at[i] = Cycle::MAX;
+            }
+            set_bit(&mut self.step_mask, i);
+        }
+        if self.always_step {
+            for (w, word) in self.step_mask.iter_mut().enumerate() {
+                let hi = (64 * (w + 1)).min(n);
+                *word = ones_below(hi - 64 * w);
+            }
+        }
+
+        // A sleeping node must never have a delivery due: every wire push
+        // sets the destination's wake bit for the delivery parity.
+        #[cfg(debug_assertions)]
+        for i in 0..n {
+            if !get_bit(&self.step_mask, i) {
+                debug_assert!(
+                    self.flit_slots[par][i].is_empty()
+                        && self.credit_slots[par][i].is_empty()
+                        && self.vc_count_slots[par][i].is_empty(),
+                    "sleeping node {i} has pending deliveries"
+                );
+            }
+        }
 
         // 1. Deliver the wire slots due this cycle. Per node: flits first,
         // then credits, then VC counts (credit and VC-count application
         // touch disjoint router state, so their relative order is free).
-        for i in 0..self.nodes.len() {
-            for (dir, flit) in self.flit_slots[par][i].drain(..) {
-                self.nodes[i].accept_flit(now, dir, flit);
-            }
-            for (dir, credit) in self.credit_slots[par][i].drain(..) {
-                self.nodes[i].accept_credit(now, dir, credit);
-            }
-            for (dir, count) in self.vc_count_slots[par][i].drain(..) {
-                self.nodes[i].accept_vc_count(now, dir, count);
+        for w in 0..words {
+            let mut bits = self.step_mask[w];
+            while bits != 0 {
+                let i = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                self.inflight_flits -= self.flit_slots[par][i].len();
+                for (dir, flit) in self.flit_slots[par][i].drain(..) {
+                    self.nodes[i].accept_flit(now, dir, flit);
+                }
+                for (dir, credit) in self.credit_slots[par][i].drain(..) {
+                    self.nodes[i].accept_credit(now, dir, credit);
+                }
+                for (dir, count) in self.vc_count_slots[par][i].drain(..) {
+                    self.nodes[i].accept_vc_count(now, dir, count);
+                }
             }
         }
 
-        // 2. Step every node into its own outbox.
+        // 2. Step the active set, each node into its own outbox.
         match &self.pool {
             None => {
-                for i in 0..self.nodes.len() {
-                    self.outboxes[i].clear();
-                    self.nodes[i].step(now, &mut self.outboxes[i]);
+                for w in 0..words {
+                    let mut bits = self.step_mask[w];
+                    while bits != 0 {
+                        let i = w * 64 + bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        self.outboxes[i].clear();
+                        self.nodes[i].step(now, &mut self.outboxes[i]);
+                    }
                 }
             }
             Some(pool) => {
-                let n = self.nodes.len();
                 let chunk = n.div_ceil(pool.job_txs.len());
                 let nodes = self.nodes.as_mut_ptr();
                 let outs = self.outboxes.as_mut_ptr();
+                let mask = self.step_mask.as_ptr();
                 let mut sent = 0usize;
                 for (w, tx) in pool.job_txs.iter().enumerate() {
                     let lo = w * chunk;
@@ -195,6 +331,7 @@ impl<N: NodeModel> Network<N> {
                     tx.send(StepJob {
                         nodes,
                         outs,
+                        mask,
                         lo,
                         hi,
                         now,
@@ -208,51 +345,97 @@ impl<N: NodeModel> Network<N> {
             }
         }
 
-        // 3. Route every outbox onto the wires: serial, ascending node
-        // order (the determinism contract — see the module docs). Flits
-        // re-fill the slot drained in phase 1 (same parity at `now + 2`);
-        // 1-cycle signals go to the opposite slot.
+        // 3. Route the stepped outboxes onto the wires: serial, ascending
+        // node order (the determinism contract — see the module docs).
+        // Flits re-fill the slot drained in phase 1 (same parity at
+        // `now + 2`); 1-cycle signals go to the opposite slot. Every push
+        // sets the destination's wake bit for its delivery parity.
         let Network {
             mesh,
             outboxes,
             flit_slots,
             credit_slots,
             vc_count_slots,
+            step_mask,
+            wake_mask,
+            inflight_flits,
             ..
         } = self;
-        for (i, out) in outboxes.iter_mut().enumerate() {
-            let id = NodeId(i as u32);
-            for (dir, flit) in out.flits.drain(..) {
-                let nb = mesh
-                    .neighbor(id, dir)
-                    .unwrap_or_else(|| panic!("{id:?} emitted a flit off the {dir:?} edge"));
-                flit_slots[par][nb.index()].push((dir.opposite(), flit));
-            }
-            for (dir, credit) in out.credits.drain(..) {
-                let nb = mesh
-                    .neighbor(id, dir)
-                    .unwrap_or_else(|| panic!("{id:?} emitted a credit off the {dir:?} edge"));
-                credit_slots[par ^ 1][nb.index()].push((dir.opposite(), credit));
-            }
-            for (dir, count) in out.vc_counts.drain(..) {
-                if let Some(nb) = mesh.neighbor(id, dir) {
-                    vc_count_slots[par ^ 1][nb.index()].push((dir.opposite(), count));
+        for (w, &mask_word) in step_mask.iter().enumerate() {
+            let mut bits = mask_word;
+            while bits != 0 {
+                let i = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let id = NodeId(i as u32);
+                let out = &mut outboxes[i];
+                for (dir, flit) in out.flits.drain(..) {
+                    let nb = mesh
+                        .neighbor(id, dir)
+                        .unwrap_or_else(|| panic!("{id:?} emitted a flit off the {dir:?} edge"));
+                    flit_slots[par][nb.index()].push((dir.opposite(), flit));
+                    set_bit(&mut wake_mask[par], nb.index());
+                    *inflight_flits += 1;
+                }
+                for (dir, credit) in out.credits.drain(..) {
+                    let nb = mesh
+                        .neighbor(id, dir)
+                        .unwrap_or_else(|| panic!("{id:?} emitted a credit off the {dir:?} edge"));
+                    credit_slots[par ^ 1][nb.index()].push((dir.opposite(), credit));
+                    set_bit(&mut wake_mask[par ^ 1], nb.index());
+                }
+                for (dir, count) in out.vc_counts.drain(..) {
+                    if let Some(nb) = mesh.neighbor(id, dir) {
+                        vc_count_slots[par ^ 1][nb.index()].push((dir.opposite(), count));
+                        set_bit(&mut wake_mask[par ^ 1], nb.index());
+                    }
                 }
             }
         }
 
-        // 4. Integrate leakage state and collect deliveries.
-        for node in &mut self.nodes {
-            let ps = node.power_state();
-            self.stats.leakage.buffer_slot_cycles += ps.buffer_slots as u64;
-            self.stats.leakage.slot_entry_cycles += ps.slot_entries as u64;
-            self.stats.leakage.dlt_entry_cycles += ps.dlt_entries as u64;
-        }
-        self.stats.leakage.router_cycles += self.nodes.len() as u64;
+        // 4. Refresh caches for the stepped nodes, collect deliveries, make
+        // sleep decisions, and integrate leakage from the running sums.
+        // Power state and occupancy can only change in a stepped cycle, so
+        // updating stepped nodes keeps the sums exact for sleepers too.
         self.scratch_delivered.clear();
-        for node in &mut self.nodes {
-            node.drain_delivered(&mut self.scratch_delivered);
+        let mut stepped = 0u64;
+        for w in 0..words {
+            let mut bits = self.step_mask[w];
+            while bits != 0 {
+                let i = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                stepped += 1;
+                let node = &mut self.nodes[i];
+                node.drain_delivered(&mut self.scratch_delivered);
+                let occ = node.occupancy();
+                self.total_occ = self.total_occ - self.occ_cache[i] + occ;
+                self.occ_cache[i] = occ;
+                let ps = node.power_state();
+                let old = self.power_cache[i];
+                self.power_cache[i] = ps;
+                self.leak_buffer =
+                    self.leak_buffer - old.buffer_slots as u64 + ps.buffer_slots as u64;
+                self.leak_slot = self.leak_slot - old.slot_entries as u64 + ps.slot_entries as u64;
+                self.leak_dlt = self.leak_dlt - old.dlt_entries as u64 + ps.dlt_entries as u64;
+                match node.sleep_until(now) {
+                    // `t <= now + 1` is "wake next cycle": same as active.
+                    None => set_bit(&mut self.active_mask, i),
+                    Some(t) if t <= now + 1 => set_bit(&mut self.active_mask, i),
+                    Some(t) => {
+                        clear_bit(&mut self.active_mask, i);
+                        if t != Cycle::MAX && t < self.timer_at[i] {
+                            self.timer_at[i] = t;
+                            self.timers.push(Reverse((t, i as u32)));
+                        }
+                    }
+                }
+            }
         }
+        self.stats.leakage.buffer_slot_cycles += self.leak_buffer;
+        self.stats.leakage.slot_entry_cycles += self.leak_slot;
+        self.stats.leakage.dlt_entry_cycles += self.leak_dlt;
+        self.stats.leakage.router_cycles += n as u64;
+        self.stats.nodes_stepped += stepped;
+        self.stats.node_cycles += n as u64;
         for d in &self.scratch_delivered {
             self.stats.record_delivery(d);
             if self.collect_delivered && d.measured && d.class == MsgClass::Data {
@@ -295,12 +478,23 @@ impl<N: NodeModel> Network<N> {
     }
 
     /// True when no flit is buffered anywhere and no wire is in flight.
+    /// O(1): maintained incrementally by the step loop.
     pub fn is_drained(&self) -> bool {
-        self.nodes.iter().all(|n| n.occupancy() == 0)
-            && self
-                .flit_slots
+        debug_assert_eq!(
+            self.total_occ,
+            self.nodes.iter().map(|n| n.occupancy()).sum::<usize>(),
+            "network occupancy counter drifted"
+        );
+        debug_assert_eq!(
+            self.inflight_flits,
+            self.flit_slots
                 .iter()
-                .all(|s| s.iter().all(|w| w.is_empty()))
+                .flat_map(|s| s.iter())
+                .map(|w| w.len())
+                .sum::<usize>(),
+            "in-flight flit counter drifted"
+        );
+        self.total_occ == 0 && self.inflight_flits == 0
     }
 
     /// Step until drained or `max_cycles` elapse; returns whether the
@@ -315,9 +509,60 @@ impl<N: NodeModel> Network<N> {
         self.is_drained()
     }
 
-    /// Total packets queued at source NICs (saturation detection).
+    /// Total flits held by nodes (saturation detection). O(1): maintained
+    /// incrementally by the step loop.
     pub fn total_occupancy(&self) -> usize {
-        self.nodes.iter().map(|n| n.occupancy()).sum()
+        self.total_occ
+    }
+
+    /// Force the harness to step every node every cycle, disabling the
+    /// activity scheduler. The simulated network is bit-identical either
+    /// way (the bit-identity property tests run both modes side by side);
+    /// only wall-clock cost and the `nodes_stepped` counter differ.
+    pub fn set_always_step(&mut self, on: bool) {
+        self.always_step = on;
+    }
+
+    /// Whether the activity scheduler is disabled.
+    pub fn always_step(&self) -> bool {
+        self.always_step
+    }
+
+    /// Mark every node active and re-derive the occupancy and power caches
+    /// from node state. Must be called after mutating nodes from outside
+    /// the harness (resize controllers, tests poking `nodes` directly), so
+    /// the scheduler never acts on stale cached state.
+    pub fn wake_all(&mut self) {
+        let n = self.nodes.len();
+        for (w, word) in self.active_mask.iter_mut().enumerate() {
+            let hi = (64 * (w + 1)).min(n);
+            *word = ones_below(hi - 64 * w);
+        }
+        self.total_occ = 0;
+        self.leak_buffer = 0;
+        self.leak_slot = 0;
+        self.leak_dlt = 0;
+        for i in 0..n {
+            let occ = self.nodes[i].occupancy();
+            self.occ_cache[i] = occ;
+            self.total_occ += occ;
+            let ps = self.nodes[i].power_state();
+            self.power_cache[i] = ps;
+            self.leak_buffer += ps.buffer_slots as u64;
+            self.leak_slot += ps.slot_entries as u64;
+            self.leak_dlt += ps.dlt_entries as u64;
+        }
+    }
+}
+
+/// A `u64` with the low `k` bits set (`k ≤ 64`).
+#[inline]
+fn ones_below(k: usize) -> u64 {
+    debug_assert!(k <= 64);
+    if k >= 64 {
+        !0
+    } else {
+        (1u64 << k) - 1
     }
 }
 
@@ -340,10 +585,14 @@ impl<N: NodeModel + Send + 'static> Network<N> {
             handles.push(std::thread::spawn(move || {
                 while let Ok(job) = rx.recv() {
                     // Safety: this worker has exclusive access to indices
-                    // `lo..hi` of both vectors until it reports completion
-                    // (see `StepJob`).
+                    // `lo..hi` of both vectors until it reports completion,
+                    // and the step mask is not mutated while jobs are in
+                    // flight (see `StepJob`).
                     unsafe {
                         for k in job.lo..job.hi {
+                            if *job.mask.add(k / 64) >> (k % 64) & 1 == 0 {
+                                continue;
+                            }
                             let node = &mut *job.nodes.add(k);
                             let out = &mut *job.outs.add(k);
                             out.clear();

@@ -39,6 +39,11 @@ pub struct Nic {
     delivered: Vec<DeliveredPacket>,
     /// Flits injected into the router (for traffic accounting).
     pub flits_injected: u64,
+    // O(1) occupancy bookkeeping: flits across all queued packets and flits
+    // held in partial reassembly, kept in sync by enqueue/next_flit and
+    // accept_ejected so `occupancy` never scans the source queue.
+    queued_flits: usize,
+    rx_flits: usize,
 }
 
 impl Nic {
@@ -54,6 +59,8 @@ impl Nic {
             rx: FxHashMap::default(),
             delivered: Vec::new(),
             flits_injected: 0,
+            queued_flits: 0,
+            rx_flits: 0,
         }
     }
 
@@ -63,6 +70,7 @@ impl Nic {
 
     /// Queue a packet for injection.
     pub fn enqueue(&mut self, pkt: Packet) {
+        self.queued_flits += pkt.len_flits as usize;
         self.inject_queue.push_back(pkt);
     }
 
@@ -70,6 +78,7 @@ impl Nic {
     /// priority over queued data, keeping setup latency low; they are <1 %
     /// of traffic so data packets are barely delayed).
     pub fn enqueue_front(&mut self, pkt: Packet) {
+        self.queued_flits += pkt.len_flits as usize;
         self.inject_queue.push_front(pkt);
     }
 
@@ -92,12 +101,15 @@ impl Nic {
             if self.inject_queue.is_empty() {
                 return None;
             }
-            let active = self.router_active_vcs;
-            let credits = &self.credits;
-            let vc = self
-                .vc_rr
-                .grant_by(|v| v < active as usize && credits[v] > 0)?;
+            let mut vc_mask = 0u64;
+            for v in 0..self.router_active_vcs as usize {
+                if self.credits[v] > 0 {
+                    vc_mask |= 1 << v;
+                }
+            }
+            let vc = self.vc_rr.grant_mask(vc_mask)?;
             let packet = self.inject_queue.pop_front().expect("checked non-empty");
+            self.queued_flits -= packet.len_flits as usize;
             self.current = Some(Stream {
                 packet,
                 next: 0,
@@ -123,8 +135,10 @@ impl Nic {
     pub fn accept_ejected(&mut self, now: Cycle, flit: Flit) {
         let received = self.rx.entry(flit.packet).or_insert(0);
         *received += 1;
+        self.rx_flits += 1;
         if flit.kind.is_tail() {
-            self.rx.remove(&flit.packet);
+            let done = self.rx.remove(&flit.packet).expect("just inserted");
+            self.rx_flits -= done as usize;
             self.delivered.push(DeliveredPacket {
                 id: flit.packet,
                 src: flit.src,
@@ -147,14 +161,22 @@ impl Nic {
     /// Flits still owned by the NIC (queued, mid-stream, or partially
     /// reassembled) — used for drain detection.
     pub fn occupancy(&self) -> usize {
-        let queued: usize = self.inject_queue.iter().map(|p| p.len_flits as usize).sum();
+        debug_assert_eq!(
+            self.queued_flits,
+            self.inject_queue.iter().map(|p| p.len_flits as usize).sum(),
+            "queued-flit counter drifted"
+        );
+        debug_assert_eq!(
+            self.rx_flits,
+            self.rx.values().map(|&c| c as usize).sum(),
+            "rx-flit counter drifted"
+        );
         let streaming = self
             .current
             .as_ref()
             .map(|s| (s.packet.len_flits - s.next) as usize)
             .unwrap_or(0);
-        let partial: usize = self.rx.values().map(|&c| c as usize).sum();
-        queued + streaming + partial
+        self.queued_flits + streaming + self.rx_flits
     }
 
     /// Length of the source queue in packets (saturation detection).

@@ -77,6 +77,24 @@ pub trait NodeModel {
     fn occupancy(&self) -> usize;
     /// Current powered components (leakage integration).
     fn power_state(&self) -> PowerState;
+
+    /// Activity hint consulted by the harness after each stepped cycle
+    /// (`now` = the cycle just executed).
+    ///
+    /// - `None`: the node has work; keep stepping it every cycle.
+    /// - `Some(t)` with `t > now`: the node is quiescent — every future
+    ///   `step` would be a state-identical no-op until an external signal
+    ///   (flit/credit/VC-count delivery, injection) arrives or cycle `t` is
+    ///   reached, whichever comes first. `Cycle::MAX` means "no internal
+    ///   deadline at all".
+    ///
+    /// The default keeps the node always active, so custom node models are
+    /// unaffected by the activity scheduler. Implementations must be
+    /// conservative: claiming quiescence while holding deferred work breaks
+    /// the sleep/wake-vs-always-step bit-identity contract.
+    fn sleep_until(&self, _now: Cycle) -> Option<Cycle> {
+        None
+    }
 }
 
 /// The baseline tile: canonical packet-switched router + NIC, with optional
@@ -173,6 +191,22 @@ impl NodeModel for PacketNode {
             buffer_slots: self.router.pipeline.powered_buffer_slots(),
             slot_entries: 0,
             dlt_entries: 0,
+        }
+    }
+
+    fn sleep_until(&self, _now: Cycle) -> Option<Cycle> {
+        // Flits anywhere in the tile, or credits owed to the NIC next
+        // cycle, mean the next step does real work. A VC stalled mid-packet
+        // with an empty FIFO is fine to sleep through: the missing flits
+        // are upstream and their arrival wakes this node.
+        if self.occupancy() != 0 || !self.router.pipeline.local_credits.is_empty() {
+            return None;
+        }
+        match &self.gating {
+            // The gating controller evaluates (and may advertise a new VC
+            // count) at epoch boundaries even on an idle node.
+            Some(g) => Some(g.next_eval()),
+            None => Some(Cycle::MAX),
         }
     }
 }

@@ -92,6 +92,13 @@ impl VcGatingController {
         &self.cfg
     }
 
+    /// Next cycle at which [`VcGatingController::on_cycle`] will evaluate
+    /// the policy. The activity scheduler must wake an otherwise-idle node
+    /// by this cycle so epoch boundaries are never skipped.
+    pub fn next_eval(&self) -> Cycle {
+        self.next_eval
+    }
+
     /// Feed a delivered-packet latency observed at this node (used by the
     /// latency metric; harmless otherwise).
     pub fn record_latency(&mut self, latency: u64) {

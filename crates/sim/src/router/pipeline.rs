@@ -112,9 +112,15 @@ pub struct PsPipeline {
     va_arb: Vec<RoundRobin>,
     sa_arb_in: Vec<RoundRobin>,
     sa_arb_out: Vec<RoundRobin>,
-    // Utilisation sampling for the VC gating controller.
+    // Utilisation sampling for the VC gating controller. Sampling is
+    // time-based so the activity scheduler can skip idle cycles: the first
+    // step after a gap credits the skipped cycles with `prev_busy` (the busy
+    // count at the end of the previous step, which is constant while the
+    // node sleeps — nothing arrives and nothing moves).
     busy_vc_samples: u64,
     active_vc_samples: u64,
+    last_sample: Cycle,
+    prev_busy: u32,
     // O(1) occupancy bookkeeping so the per-cycle hot path can skip whole
     // pipeline stages instead of scanning every VC. Invariants (checked by
     // `debug_validate_counters`): `buffered` = Σ fifo lengths, `waiting` /
@@ -166,6 +172,8 @@ impl PsPipeline {
                 .collect(),
             busy_vc_samples: 0,
             active_vc_samples: 0,
+            last_sample: 0,
+            prev_busy: 0,
             buffered: 0,
             waiting: 0,
             active: 0,
@@ -239,7 +247,7 @@ impl PsPipeline {
     /// Advance the pipeline one cycle. `ctrl` supplies the hybrid switching
     /// constraints ([`super::NullCtrl`] for a pure packet router).
     pub fn step<C: HybridCtrl>(&mut self, now: Cycle, ctrl: &C, out: &mut NodeOutputs) {
-        self.sample_utilization();
+        self.sample_utilization(now);
         // Stage gating on the O(1) occupancy counters. Skipping a stage is
         // state-identical to running it over zero eligible VCs: the
         // round-robin arbiters only advance on a successful grant, so an
@@ -255,6 +263,7 @@ impl PsPipeline {
         if self.active > 0 {
             self.do_sa_st(now, ctrl, out);
         }
+        self.prev_busy = self.busy_vcs;
         #[cfg(debug_assertions)]
         self.debug_validate_counters();
     }
@@ -346,39 +355,36 @@ impl PsPipeline {
     fn do_va(&mut self, now: Cycle) {
         let vcs = self.cfg.vcs_per_port as usize;
         debug_assert!(Port::COUNT * vcs <= 64, "too many VCs per port");
-        // One scan over the input VCs builds the request set of every
-        // output port at once. Pre-computing all sets up front is
-        // equivalent to the per-output rescan: a grant at output `o` only
-        // removes a VC from `o`'s own set (a VC waits on exactly one
-        // output), which the in-loop `reqs[w] = false` already handles.
-        let mut reqs = [[false; 64]; Port::COUNT];
-        let mut any = [false; Port::COUNT];
+        // One scan over the input VCs builds the request mask of every
+        // output port at once (bit `p * vcs + vc`). Pre-computing all sets
+        // up front is equivalent to the per-output rescan: a grant at output
+        // `o` only removes a VC from `o`'s own set (a VC waits on exactly
+        // one output), which the in-loop bit clear already handles.
+        let mut reqs = [0u64; Port::COUNT];
         for p in 0..Port::COUNT {
             for vc in 0..vcs {
                 let buf = &self.inputs[p].vcs[vc];
                 if let VcState::Waiting { out } = buf.state {
                     if buf.stage_cycle < now {
-                        reqs[out.index()][p * vcs + vc] = true;
-                        any[out.index()] = true;
+                        reqs[out.index()] |= 1 << (p * vcs + vc);
                     }
                 }
             }
         }
-        for o in 0..Port::COUNT {
-            if !any[o] || !self.outputs[o].exists {
+        for (o, req) in reqs.iter_mut().enumerate() {
+            if *req == 0 || !self.outputs[o].exists {
                 continue;
             }
-            let reqs = &mut reqs[o];
             let limit = self.outputs[o].downstream_vcs as usize;
             for v in 0..limit {
                 if self.outputs[o].alloc[v].is_some() {
                     continue;
                 }
-                let Some(w) = self.va_arb[o].grant(&reqs[..Port::COUNT * vcs]) else {
+                let Some(w) = self.va_arb[o].grant_mask(*req) else {
                     break;
                 };
                 let (p, vc) = (w / vcs, w % vcs);
-                reqs[w] = false;
+                *req &= !(1 << w);
                 let buf = &mut self.inputs[p].vcs[vc];
                 let VcState::Waiting { out } = buf.state else {
                     unreachable!()
@@ -405,40 +411,43 @@ impl PsPipeline {
 
         // Phase 1: each input port nominates one eligible VC.
         let mut candidates: [Option<(u8, Port, u8)>; Port::COUNT] = [None; Port::COUNT];
-        for p in 0..Port::COUNT {
+        for (p, cand) in candidates.iter_mut().enumerate() {
             if ctrl.ps_input_blocked(now, Port::from_index(p)) {
                 continue;
             }
-            let inputs = &self.inputs;
-            let outputs = &self.outputs;
-            let cand = self.sa_arb_in[p].grant_by(|vc| {
-                let buf = &inputs[p].vcs[vc];
+            let mut req_mask = 0u64;
+            for (vc, buf) in self.inputs[p].vcs.iter().enumerate() {
                 let VcState::Active { out, out_vc } = buf.state else {
-                    return false;
+                    continue;
                 };
                 if buf.stage_cycle >= now || buf.fifo.is_empty() {
-                    return false;
+                    continue;
                 }
                 if avail[out.index()] == PsOutput::Busy {
-                    return false;
+                    continue;
                 }
-                out == Port::Local || outputs[out.index()].credits[out_vc as usize] > 0
-            });
-            if let Some(vc) = cand {
+                if out == Port::Local || self.outputs[out.index()].credits[out_vc as usize] > 0 {
+                    req_mask |= 1 << vc;
+                }
+            }
+            if let Some(vc) = self.sa_arb_in[p].grant_mask(req_mask) {
                 let VcState::Active { out, out_vc } = self.inputs[p].vcs[vc].state else {
                     unreachable!()
                 };
-                candidates[p] = Some((vc as u8, out, out_vc));
+                *cand = Some((vc as u8, out, out_vc));
                 self.events.sa_ops += 1;
             }
         }
 
         // Phase 2: each output port grants one input port; winner traverses.
+        let mut out_reqs = [0u64; Port::COUNT];
+        for (p, cand) in candidates.iter().enumerate() {
+            if let Some((_, out, _)) = cand {
+                out_reqs[out.index()] |= 1 << p;
+            }
+        }
         for o in Port::ALL {
-            let cands = &candidates;
-            let Some(p) = self.sa_arb_out[o.index()]
-                .grant_by(|p| matches!(cands[p], Some((_, out, _)) if out == o))
-            else {
+            let Some(p) = self.sa_arb_out[o.index()].grant_mask(out_reqs[o.index()]) else {
                 continue;
             };
             let (vc, _, out_vc) = candidates[p].unwrap();
@@ -518,9 +527,21 @@ impl PsPipeline {
         }
     }
 
-    fn sample_utilization(&mut self) {
+    fn sample_utilization(&mut self, now: Cycle) {
+        // Credit cycles skipped by the activity scheduler: while this node
+        // slept, `busy_vcs` held `prev_busy` (no deliveries, no traversals)
+        // and the active VC count was unchanged, so the skipped samples are
+        // reconstructed exactly. In always-step mode the gap is 1 and this
+        // is a no-op.
+        let gap = now.saturating_sub(self.last_sample);
+        if gap > 1 {
+            let skipped = gap - 1;
+            self.busy_vc_samples += skipped * self.prev_busy as u64;
+            self.active_vc_samples += skipped * self.active_vcs as u64 * Port::COUNT as u64;
+        }
         self.busy_vc_samples += self.busy_vcs as u64;
         self.active_vc_samples += self.active_vcs as u64 * Port::COUNT as u64;
+        self.last_sample = now;
     }
 
     /// VC utilisation µ since the last call (for the gating controller);

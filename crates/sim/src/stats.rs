@@ -223,6 +223,12 @@ pub struct NetStats {
     pub events: EnergyEvents,
     /// Leakage integrals (measurement window).
     pub leakage: LeakageIntegrals,
+    /// Node-steps actually executed in the window (activity scheduler);
+    /// equals `node_cycles` under forced always-step.
+    pub nodes_stepped: u64,
+    /// Node-steps an always-step harness would execute: nodes × cycles.
+    /// `nodes_stepped / node_cycles` is the fraction of the network awake.
+    pub node_cycles: u64,
 }
 
 impl NetStats {

@@ -22,7 +22,47 @@ cargo test -q --workspace "${OFFLINE[@]}"
 echo "== cargo clippy -- -D warnings =="
 cargo clippy --workspace --all-targets "${OFFLINE[@]}" -- -D warnings
 
-echo "== bench smoke (network_step, test mode) =="
+echo "== bench smoke (network_step incl. low-load points, test mode) =="
+# Runs every network_step bench once, including the 0.02 flits/node/cycle
+# low-load points that exercise the activity-driven scheduler.
 cargo bench -p noc-bench --bench network_step "${OFFLINE[@]}" -- --test
+
+echo "== sweep determinism (--sweep-threads 1 vs 4, byte-identical JSON) =="
+SWEEP_TMP="$(mktemp -d)"
+trap 'rm -rf "$SWEEP_TMP"' EXIT
+cat > "$SWEEP_TMP/sweep.json" <<'JSON'
+[
+  { "backend": "HybridTdmVc4", "mesh": 4,
+    "traffic": { "pattern": "UR", "rate": 0.05 },
+    "phases": { "warmup_cycles": 300, "warmup_packets": 50,
+                "measure_cycles": 1500, "measure_packets": 2000,
+                "drain_cycles": 3000 },
+    "seed": 11 },
+  { "backend": "HybridTdmVc4", "mesh": 4,
+    "traffic": { "pattern": "UR", "rate": 0.10 },
+    "phases": { "warmup_cycles": 300, "warmup_packets": 50,
+                "measure_cycles": 1500, "measure_packets": 2000,
+                "drain_cycles": 3000 },
+    "seed": 12 },
+  { "backend": "PacketVc4", "mesh": 4,
+    "traffic": { "pattern": "TR", "rate": 0.08 },
+    "phases": { "warmup_cycles": 300, "warmup_packets": 50,
+                "measure_cycles": 1500, "measure_packets": 2000,
+                "drain_cycles": 3000 },
+    "seed": 13 },
+  { "backend": "HybridSdmVc4", "mesh": 4,
+    "traffic": { "pattern": "UR", "rate": 0.12 },
+    "phases": { "warmup_cycles": 300, "warmup_packets": 50,
+                "measure_cycles": 1500, "measure_packets": 2000,
+                "drain_cycles": 3000 },
+    "seed": 14 }
+]
+JSON
+cargo run --release -p noc-bench --bin fig4_load_latency "${OFFLINE[@]}" -- \
+    --scenario "$SWEEP_TMP/sweep.json" --json "$SWEEP_TMP/t1.json" --sweep-threads 1 > /dev/null
+cargo run --release -p noc-bench --bin fig4_load_latency "${OFFLINE[@]}" -- \
+    --scenario "$SWEEP_TMP/sweep.json" --json "$SWEEP_TMP/t4.json" --sweep-threads 4 > /dev/null
+cmp "$SWEEP_TMP/t1.json" "$SWEEP_TMP/t4.json"
+echo "sweep JSON identical across thread counts"
 
 echo "CI OK"

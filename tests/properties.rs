@@ -217,6 +217,77 @@ proptest! {
         prop_assert_eq!(s_stats.leakage.buffer_slot_cycles, p_stats.leakage.buffer_slot_cycles);
     }
 
+    /// Activity-driven stepping (idle routers asleep, slot-wheel and
+    /// gating timers, neighbour wakes) is bit-identical to forced
+    /// step-everything: the same delivered-packet stream and the same
+    /// statistics, for every switching backend and traffic shape. Only
+    /// the `nodes_stepped` activity counter may differ — it measures the
+    /// scheduler itself.
+    #[test]
+    fn activity_scheduling_matches_always_step(
+        seed in 0u64..500,
+        rate_milli in 10u64..120,
+        pattern_i in 0usize..3,
+        backend_i in 0usize..4,
+    ) {
+        let mesh = Mesh::square(4);
+        let pattern = match pattern_i {
+            0 => TrafficPattern::UniformRandom,
+            1 => TrafficPattern::Transpose,
+            _ => TrafficPattern::Hotspot(vec![NodeId(5), NodeId(10)]),
+        };
+        let backend = BackendKind::SYNTH[backend_i];
+        let run = |always_step: bool| {
+            let mut fabric = build_fabric(
+                backend,
+                NetworkConfig::with_mesh(mesh),
+                Tuning::Synthetic { slot_capacity: None },
+            )
+            .expect("synthetic backends build");
+            fabric.set_always_step(always_step);
+            fabric.set_collect_delivered(true);
+            let mut source = SyntheticSource::new(
+                mesh,
+                pattern.clone(),
+                rate_milli as f64 / 1000.0,
+                5,
+                seed,
+            );
+            fabric.begin_measurement();
+            for _ in 0..400 {
+                let now = fabric.now();
+                let mut pkts = Vec::new();
+                source.tick(now, true, |n, p| pkts.push((n, p)));
+                for (n, p) in pkts {
+                    fabric.inject(n, p);
+                }
+                fabric.step();
+            }
+            let drained = fabric.drain(20_000);
+            fabric.end_measurement();
+            (drained, fabric.now(), fabric.delivered_log().to_vec(), fabric.stats().clone())
+        };
+        let (f_ok, f_now, f_log, f_stats) = run(true);
+        let (a_ok, a_now, a_log, a_stats) = run(false);
+        prop_assert!(f_ok && a_ok, "both modes must drain ({backend:?})");
+        prop_assert_eq!(f_now, a_now);
+        prop_assert_eq!(f_log, a_log);
+        prop_assert_eq!(f_stats.measured_cycles, a_stats.measured_cycles);
+        prop_assert_eq!(f_stats.packets_offered, a_stats.packets_offered);
+        prop_assert_eq!(f_stats.packets_delivered, a_stats.packets_delivered);
+        prop_assert_eq!(f_stats.latency_sum, a_stats.latency_sum);
+        prop_assert_eq!(f_stats.latency_max, a_stats.latency_max);
+        prop_assert_eq!(f_stats.flits_delivered, a_stats.flits_delivered);
+        prop_assert_eq!(f_stats.cs_packets_delivered, a_stats.cs_packets_delivered);
+        prop_assert_eq!(f_stats.config_packets_delivered, a_stats.config_packets_delivered);
+        prop_assert_eq!(f_stats.latency_hist.clone(), a_stats.latency_hist.clone());
+        prop_assert_eq!(f_stats.events, a_stats.events);
+        prop_assert_eq!(f_stats.leakage, a_stats.leakage);
+        // Forced mode steps everything; the scheduler must step no more.
+        prop_assert_eq!(f_stats.nodes_stepped, f_stats.node_cycles);
+        prop_assert!(a_stats.nodes_stepped <= a_stats.node_cycles);
+    }
+
     /// Energy accounting: the breakdown is non-negative, additive, and
     /// saving_vs is antisymmetric around zero for identical inputs.
     #[test]
@@ -243,4 +314,77 @@ proptest! {
         prop_assert!((b.total_pj() - (b.dynamic_pj() + b.static_pj())).abs() < 1e-6);
         prop_assert!(b.saving_vs(&b).abs() < 1e-12);
     }
+}
+
+/// The resize controller's freeze/drain/re-setup sequence mutates nodes
+/// from outside the step loop; the activity scheduler must survive it
+/// bit-identically. This mirrors the table-exhaustion traffic of the
+/// core resize test: one source hammering three destinations through
+/// tiny slot tables forces at least one resize.
+#[test]
+fn activity_scheduling_survives_resize_bit_identically() {
+    use tdm_hybrid_noc::tdm::ResizeConfig;
+    let run = |always_step: bool| {
+        let mut cfg = TdmConfig {
+            net: NetworkConfig::with_mesh(Mesh::square(4)),
+            slot_capacity: 64,
+            ..TdmConfig::default()
+        };
+        cfg.resize = Some(ResizeConfig {
+            initial_active: 8,
+            fail_threshold: 4,
+            window: 400,
+            freeze_cycles: 120,
+            shrink_below: 0.0,
+        });
+        let m = cfg.net.mesh;
+        let flits = cfg.net.ps_packet_flits;
+        let mut net = TdmNetwork::new(cfg);
+        net.net.set_always_step(always_step);
+        net.net.collect_delivered = true;
+        net.begin_measurement();
+        let src = m.id(Coord::new(0, 0));
+        let dsts = [
+            m.id(Coord::new(3, 0)),
+            m.id(Coord::new(3, 1)),
+            m.id(Coord::new(3, 2)),
+        ];
+        let mut id = 0;
+        for _ in 0..200 {
+            for &d in &dsts {
+                let pkt = Packet::data(PacketId(id), src, d, flits, net.now());
+                net.inject(src, pkt);
+                id += 1;
+            }
+            net.run(12);
+        }
+        let drained = net.drain(20_000);
+        net.end_measurement();
+        assert!(net.resizes >= 1, "controller never resized");
+        (
+            drained,
+            net.resizes,
+            net.active_slots(),
+            net.now(),
+            net.net.delivered_log.clone(),
+            net.stats().clone(),
+        )
+    };
+    let (f_ok, f_resizes, f_slots, f_now, f_log, f_stats) = run(true);
+    let (a_ok, a_resizes, a_slots, a_now, a_log, a_stats) = run(false);
+    assert!(f_ok && a_ok, "both modes must drain across resizes");
+    assert_eq!(f_resizes, a_resizes);
+    assert_eq!(f_slots, a_slots);
+    assert_eq!(f_now, a_now);
+    assert_eq!(f_log, a_log);
+    assert_eq!(f_stats.packets_delivered, a_stats.packets_delivered);
+    assert_eq!(f_stats.latency_sum, a_stats.latency_sum);
+    assert_eq!(f_stats.cs_packets_delivered, a_stats.cs_packets_delivered);
+    assert_eq!(
+        f_stats.config_packets_delivered,
+        a_stats.config_packets_delivered
+    );
+    assert_eq!(f_stats.latency_hist, a_stats.latency_hist);
+    assert_eq!(f_stats.events, a_stats.events);
+    assert_eq!(f_stats.leakage, a_stats.leakage);
 }
