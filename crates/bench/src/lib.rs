@@ -25,15 +25,17 @@
 //! | §II-C / §II-D / §III-A / §V-B4 design choices | `ablation_slot_table`, `ablation_stealing`, `ablation_sharing`, `ablation_gating_metric` |
 
 use noc_power::{EnergyBreakdown, EnergyModel};
-use noc_sim::{Mesh, NetworkConfig};
+use noc_sim::telemetry::{chrome_trace_json, link_heatmap_csv};
+use noc_sim::{Mesh, NetworkConfig, TelemetryConfig, TelemetryReport};
 use noc_traffic::{run_phases, PhaseConfig, RunResult, SyntheticSource, TrafficPattern};
 use serde::{Serialize, Value};
 
 pub use noc_hetero::MixResult;
 pub use noc_scenario::{
-    build_fabric, json_flag, quick_flag, result_envelope, scenario_flag, scenario_specs_from_cli,
-    slot_capacity_for, step_threads_from_env, sweep_threads_flag, write_json, BackendKind,
-    ScenarioError, ScenarioSpec, TrafficSpec, Tuning, SCHEMA_VERSION,
+    build_fabric, json_flag, quick_flag, result_envelope, result_envelope_with_telemetry,
+    scenario_flag, scenario_specs_from_cli, slot_capacity_for, step_threads_from_env,
+    sweep_threads_flag, telemetry_from_cli, trace_out_flag, write_json, BackendKind, ScenarioError,
+    ScenarioSpec, TrafficSpec, Tuning, SCHEMA_VERSION,
 };
 
 /// One synthetic measurement point.
@@ -111,6 +113,16 @@ pub fn run_synthetic(
 /// Run a synthetic [`ScenarioSpec`] (hetero specs are rejected — those
 /// resolve through `noc_hetero::run_spec`).
 pub fn run_synthetic_spec(spec: &ScenarioSpec) -> Result<SynthPoint, ScenarioError> {
+    run_synthetic_spec_traced(spec, None).map(|(p, _)| p)
+}
+
+/// [`run_synthetic_spec`] with optional flit-lifecycle tracing. Tracing
+/// only observes: the [`SynthPoint`] is bit-identical with or without a
+/// telemetry config.
+pub fn run_synthetic_spec_traced(
+    spec: &ScenarioSpec,
+    telemetry: Option<&TelemetryConfig>,
+) -> Result<(SynthPoint, Option<TelemetryReport>), ScenarioError> {
     let TrafficSpec::Synthetic { pattern, rate } = &spec.traffic else {
         return Err(ScenarioError::Parse(
             "run_synthetic_spec needs a synthetic scenario (pattern+rate)".into(),
@@ -118,16 +130,23 @@ pub fn run_synthetic_spec(spec: &ScenarioSpec) -> Result<SynthPoint, ScenarioErr
     };
     let (name, rate) = (pattern.name(), *rate);
     let mut fabric = spec.build_fabric()?;
+    if let Some(cfg) = telemetry {
+        fabric.configure_telemetry(cfg);
+    }
     let mut source = spec.build_source().expect("synthetic traffic has a source");
     let result = run_phases(fabric.as_mut(), &mut source, spec.phases);
+    let report = telemetry.and_then(|_| fabric.telemetry_report());
     let net_cfg = spec.net_config();
-    Ok(synth_point(
-        spec.backend,
-        name,
-        rate,
-        result,
-        net_cfg.mesh.len(),
-        net_cfg.ps_packet_flits,
+    Ok((
+        synth_point(
+            spec.backend,
+            name,
+            rate,
+            result,
+            net_cfg.mesh.len(),
+            net_cfg.ps_packet_flits,
+        ),
+        report,
     ))
 }
 
@@ -150,9 +169,23 @@ impl Serialize for SpecOutcome {
 
 /// Run any [`ScenarioSpec`], dispatching on its traffic kind.
 pub fn run_spec(spec: &ScenarioSpec) -> Result<SpecOutcome, ScenarioError> {
+    run_spec_traced(spec, None).map(|(o, _)| o)
+}
+
+/// [`run_spec`] with optional flit-lifecycle tracing.
+pub fn run_spec_traced(
+    spec: &ScenarioSpec,
+    telemetry: Option<&TelemetryConfig>,
+) -> Result<(SpecOutcome, Option<TelemetryReport>), ScenarioError> {
     match &spec.traffic {
-        TrafficSpec::Synthetic { .. } => Ok(SpecOutcome::Synth(run_synthetic_spec(spec)?)),
-        TrafficSpec::Hetero { .. } => Ok(SpecOutcome::Hetero(noc_hetero::run_spec(spec)?)),
+        TrafficSpec::Synthetic { .. } => {
+            let (p, r) = run_synthetic_spec_traced(spec, telemetry)?;
+            Ok((SpecOutcome::Synth(p), r))
+        }
+        TrafficSpec::Hetero { .. } => {
+            let (m, r) = noc_hetero::run_spec_traced(spec, telemetry)?;
+            Ok((SpecOutcome::Hetero(m), r))
+        }
     }
 }
 
@@ -169,6 +202,21 @@ pub fn run_sweep(
     specs: &[ScenarioSpec],
     threads: usize,
 ) -> Result<Vec<SpecOutcome>, ScenarioError> {
+    Ok(run_sweep_traced(specs, threads, None)?
+        .into_iter()
+        .map(|(o, _)| o)
+        .collect())
+}
+
+/// [`run_sweep`] with optional flit-lifecycle tracing: every spec runs
+/// under the same telemetry config and yields its own report. Telemetry
+/// merges stay deterministic across thread counts because reports ride
+/// the same contiguous-chunk, spec-order merge as the outcomes.
+pub fn run_sweep_traced(
+    specs: &[ScenarioSpec],
+    threads: usize,
+    telemetry: Option<&TelemetryConfig>,
+) -> Result<Vec<(SpecOutcome, Option<TelemetryReport>)>, ScenarioError> {
     let workers = match threads {
         0 => std::thread::available_parallelism()
             .map(|n| n.get())
@@ -177,14 +225,24 @@ pub fn run_sweep(
     }
     .min(specs.len())
     .max(1);
-    let results: Vec<Result<SpecOutcome, ScenarioError>> = if workers <= 1 {
-        specs.iter().map(run_spec).collect()
+    type Traced = Result<(SpecOutcome, Option<TelemetryReport>), ScenarioError>;
+    let results: Vec<Traced> = if workers <= 1 {
+        specs
+            .iter()
+            .map(|s| run_spec_traced(s, telemetry))
+            .collect()
     } else {
         let chunk = specs.len().div_ceil(workers);
         std::thread::scope(|scope| {
             let handles: Vec<_> = specs
                 .chunks(chunk)
-                .map(|c| scope.spawn(move || c.iter().map(run_spec).collect::<Vec<_>>()))
+                .map(|c| {
+                    scope.spawn(move || {
+                        c.iter()
+                            .map(|s| run_spec_traced(s, telemetry))
+                            .collect::<Vec<_>>()
+                    })
+                })
                 .collect();
             let mut out = Vec::with_capacity(specs.len());
             for h in handles {
@@ -195,12 +253,12 @@ pub fn run_sweep(
     };
     let mut outcomes = Vec::with_capacity(results.len());
     for r in results {
-        let mut o = r?;
+        let (mut o, report) = r?;
         if let SpecOutcome::Synth(p) = &mut o {
             p.result.wall_seconds = 0.0;
             p.result.sim_cycles_per_sec = 0.0;
         }
-        outcomes.push(o);
+        outcomes.push((o, report));
     }
     Ok(outcomes)
 }
@@ -225,9 +283,19 @@ pub fn scenario_mode_ran() -> bool {
 }
 
 /// Run a list of scenario specs, print a generic result table, and (with
-/// `--json <path>`) write the enveloped raw results.
+/// `--json <path>`) write the enveloped raw results. With `--trace-out
+/// <path>` every spec runs traced: per-spec Chrome trace JSON and link
+/// heatmap CSV files are written, and the result envelope (schema v2)
+/// gains a `telemetry` block with the aggregates.
 pub fn run_scenario_specs(specs: &[ScenarioSpec]) -> Result<(), ScenarioError> {
-    let outcomes = run_sweep(specs, sweep_threads_flag())?;
+    let telemetry = noc_scenario::telemetry_from_cli()?;
+    let traced = run_sweep_traced(
+        specs,
+        sweep_threads_flag(),
+        telemetry.as_ref().map(|(_, cfg)| cfg),
+    )?;
+    let (outcomes, reports): (Vec<SpecOutcome>, Vec<Option<TelemetryReport>>) =
+        traced.into_iter().unzip();
 
     let mut synth_rows = Vec::new();
     let mut hetero_rows = Vec::new();
@@ -297,11 +365,84 @@ pub fn run_scenario_specs(specs: &[ScenarioSpec]) -> Result<(), ScenarioError> {
             )
         );
     }
+    let telemetry_block = match &telemetry {
+        Some((path, _)) => Some(write_trace_files(path, &reports)?),
+        None => None,
+    };
     if let Some(path) = json_flag() {
-        write_json(&path, &result_envelope(&specs, &outcomes))?;
+        write_json(
+            &path,
+            &result_envelope_with_telemetry(&specs, &outcomes, telemetry_block),
+        )?;
         println!("raw results written to {path}");
     }
     Ok(())
+}
+
+/// Write the per-spec trace exports: Chrome trace-event JSON to
+/// `trace_out` (suffixed `-<i>` before the extension when the sweep has
+/// several specs) and the link-utilization heatmap CSV next to it
+/// (`<stem>.heatmap.csv`). Returns the envelope `telemetry` block: one
+/// aggregate object per spec (`null` for backends without telemetry)
+/// plus the spec-order merge of every metrics registry.
+fn write_trace_files(
+    trace_out: &str,
+    reports: &[Option<TelemetryReport>],
+) -> Result<Value, ScenarioError> {
+    let (stem, ext) = match trace_out.rsplit_once('.') {
+        // Treat a dot inside a path component (`results/a.b/x`) as part
+        // of the directory, not an extension.
+        Some((s, e)) if !e.contains('/') => (s, e),
+        _ => (trace_out, "json"),
+    };
+    let path_for = |i: usize, suffix: &str| -> String {
+        if reports.len() == 1 {
+            format!("{stem}{suffix}.{ext}")
+        } else {
+            format!("{stem}-{i}{suffix}.{ext}")
+        }
+    };
+    let mut merged: Option<noc_sim::telemetry::MetricsRegistry> = None;
+    for (i, report) in reports.iter().enumerate() {
+        let Some(r) = report else { continue };
+        let trace_path = path_for(i, "");
+        std::fs::write(&trace_path, chrome_trace_json(r))?;
+        let heatmap_path = format!(
+            "{}.heatmap.csv",
+            trace_path
+                .strip_suffix(&format!(".{ext}"))
+                .unwrap_or(&trace_path)
+        );
+        std::fs::write(&heatmap_path, link_heatmap_csv(r))?;
+        println!(
+            "trace written to {trace_path} ({} events), heatmap to {heatmap_path}",
+            r.events.len()
+        );
+        match &mut merged {
+            None => merged = Some(r.registry.clone()),
+            // Merge only layout-compatible registries; a mixed sweep
+            // keeps per-spec aggregates without a cross-spec merge.
+            Some(m) if m.names() == r.registry.names() => m.merge(&r.registry),
+            Some(_) => {}
+        }
+    }
+    let mut fields = vec![(
+        "specs".to_string(),
+        Value::Array(reports.iter().map(Serialize::to_value).collect()),
+    )];
+    if let Some(m) = merged {
+        fields.push((
+            "merged_metrics".to_string(),
+            Value::Object(vec![
+                (
+                    "metric_names".to_string(),
+                    Value::Array(m.names().iter().map(|n| Value::Str(n.clone())).collect()),
+                ),
+                ("windows".to_string(), m.windows.to_value()),
+            ]),
+        ));
+    }
+    Ok(Value::Object(fields))
 }
 
 /// The paper's three synthetic patterns (§IV).
@@ -583,6 +724,94 @@ mod tests {
             "activity stats missing from the envelope"
         );
         assert!(!serial.is_empty());
+    }
+
+    /// Tracing only observes: the measurement half of a traced sweep is
+    /// byte-identical to an untraced one, and the telemetry reports are
+    /// themselves identical across sweep thread counts.
+    #[test]
+    fn traced_sweep_matches_untraced_and_is_thread_invariant() {
+        let specs: Vec<ScenarioSpec> = [(0.06, 31u64), (0.10, 32), (0.14, 33)]
+            .iter()
+            .map(|&(rate, seed)| {
+                ScenarioSpec::synthetic(
+                    BackendKind::HybridTdmVc4,
+                    4,
+                    TrafficPattern::UniformRandom,
+                    rate,
+                    PhaseConfig::quick(),
+                    seed,
+                )
+            })
+            .collect();
+        let cfg = noc_sim::TelemetryConfig::default();
+        let untraced = run_sweep(&specs, 1).expect("untraced sweep");
+        let t1 = run_sweep_traced(&specs, 1, Some(&cfg)).expect("traced sweep");
+        let t4 = run_sweep_traced(&specs, 4, Some(&cfg)).expect("traced sweep x4");
+
+        let env = |outcomes: &[SpecOutcome]| {
+            serde_json::to_string_pretty(&result_envelope(&specs, &outcomes.to_vec()))
+                .expect("serializable")
+        };
+        let t1_outcomes: Vec<SpecOutcome> = t1.iter().map(|(o, _)| o.clone()).collect();
+        let t4_outcomes: Vec<SpecOutcome> = t4.iter().map(|(o, _)| o.clone()).collect();
+        assert_eq!(
+            env(&untraced),
+            env(&t1_outcomes),
+            "tracing perturbed the run"
+        );
+        assert_eq!(env(&t1_outcomes), env(&t4_outcomes), "1 vs 4 sweep threads");
+
+        for ((_, r1), (_, r4)) in t1.iter().zip(&t4) {
+            let (r1, r4) = (r1.as_ref().expect("report"), r4.as_ref().expect("report"));
+            assert_eq!(r1.events, r4.events, "telemetry depends on thread count");
+            assert_eq!(r1.link_flits, r4.link_flits);
+        }
+        assert!(t1
+            .iter()
+            .any(|(_, r)| !r.as_ref().unwrap().events.is_empty()));
+    }
+
+    /// End-to-end export: trace + heatmap files land on disk and the CSV
+    /// flit column sums to the report's per-link totals.
+    #[test]
+    fn trace_files_export_and_heatmap_sums_match() {
+        let spec = ScenarioSpec::synthetic(
+            BackendKind::HybridTdmVc4,
+            4,
+            TrafficPattern::Transpose,
+            0.15,
+            PhaseConfig::quick(),
+            9,
+        );
+        let cfg = noc_sim::TelemetryConfig::default();
+        let (_, report) = run_spec_traced(&spec, Some(&cfg)).expect("traced run");
+        let report = report.expect("tdm backend reports telemetry");
+
+        let dir = std::env::temp_dir().join(format!("noc-trace-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_out = dir.join("trace.json").to_string_lossy().into_owned();
+        let block = write_trace_files(&trace_out, std::slice::from_ref(&Some(report.clone())))
+            .expect("export writes");
+
+        let trace = std::fs::read_to_string(dir.join("trace.json")).expect("trace file");
+        assert!(trace.contains("\"traceEvents\""));
+        let csv = std::fs::read_to_string(dir.join("trace.heatmap.csv")).expect("heatmap file");
+        let sum: u64 = csv
+            .lines()
+            .skip(1)
+            .map(|row| row.rsplit(',').next().unwrap().parse::<u64>().unwrap())
+            .sum();
+        assert_eq!(
+            sum,
+            report.total_link_flits(),
+            "CSV vs envelope link counts"
+        );
+        let Value::Object(fields) = block else {
+            panic!("telemetry block is an object")
+        };
+        assert_eq!(fields[0].0, "specs");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -13,7 +13,7 @@
 
 use noc_sim::{
     Cycle, DeliveredPacket, EnergyEvents, Fabric, Mesh, NetStats, Network, NodeId, NodeModel,
-    Packet,
+    Packet, TelemetryConfig, TelemetryReport,
 };
 
 use crate::config::TdmConfig;
@@ -268,6 +268,14 @@ impl Fabric for TdmNetwork {
 
     fn set_always_step(&mut self, on: bool) {
         self.net.set_always_step(on);
+    }
+
+    fn configure_telemetry(&mut self, cfg: &TelemetryConfig) {
+        self.net.configure_telemetry(cfg);
+    }
+
+    fn telemetry_report(&mut self) -> Option<TelemetryReport> {
+        self.net.take_telemetry()
     }
 
     fn active_slots(&self) -> Option<u16> {

@@ -21,8 +21,9 @@ use std::collections::VecDeque;
 
 use noc_sim::routing::xy_route;
 use noc_sim::{
-    ConfigKind, Credit, Cycle, DeliveredPacket, Direction, Flit, MsgClass, Nic, NodeId, NodeModel,
-    NodeOutputs, Packet, PacketId, Port, PowerState, SetupInfo, Switching, VcGatingController,
+    ConfigKind, Credit, Cycle, DeliveredPacket, Direction, EventKind, Flit, MsgClass, Nic, NodeId,
+    NodeModel, NodeOutputs, Packet, PacketId, Port, PowerState, RingSink, SetupInfo, Switching,
+    TraceSink, VcGatingController,
 };
 use rustc_hash::FxHashMap;
 
@@ -246,6 +247,13 @@ impl TdmNode {
             if let Some(e) = self.dlt.lookup(dst) {
                 let ride = e.dst;
                 self.share_flits += pkt.len_flits as usize;
+                self.router.pipeline.trace.record(
+                    now,
+                    self.id.0,
+                    EventKind::ShareEnqueue,
+                    Port::Local.index() as u8,
+                    pkt.id.0,
+                );
                 self.share_queue.push_back(ShareMsg {
                     packet: pkt,
                     ride_dst: ride,
@@ -283,6 +291,13 @@ impl TdmNode {
                 if let Some(e) = self.dlt.lookup_vicinity(&self.cfg.net.mesh, dst) {
                     let ride = e.dst;
                     self.share_flits += pkt.len_flits as usize;
+                    self.router.pipeline.trace.record(
+                        now,
+                        self.id.0,
+                        EventKind::ShareEnqueue,
+                        Port::Local.index() as u8,
+                        pkt.id.0,
+                    );
                     self.share_queue.push_back(ShareMsg {
                         packet: pkt,
                         ride_dst: ride,
@@ -582,6 +597,13 @@ impl TdmNode {
         for i in expired.into_iter().rev() {
             let msg = self.share_queue.remove(i).expect("index valid");
             self.share_flits -= msg.packet.len_flits as usize;
+            self.router.pipeline.trace.record(
+                now,
+                self.id.0,
+                EventKind::ShareExpire,
+                Port::Local.index() as u8,
+                msg.packet.id.0,
+            );
             self.share_failed(now, msg);
         }
 
@@ -831,6 +853,13 @@ impl NodeModel for TdmNode {
         // Aggressive VC power gating (§III-B).
         if let Some(g) = &mut self.gating {
             if let Some(n) = g.on_cycle(now, &mut self.router.pipeline) {
+                self.router.pipeline.trace.record(
+                    now,
+                    self.id.0,
+                    EventKind::GatingTransition,
+                    Port::Local.index() as u8,
+                    n as u64,
+                );
                 self.nic.set_router_active_vcs(n);
                 for d in Direction::ALL {
                     if self.router.pipeline.outputs[d.as_port().index()].exists {
@@ -839,6 +868,14 @@ impl NodeModel for TdmNode {
                 }
             }
         }
+    }
+
+    fn set_trace_sink(&mut self, sink: TraceSink) {
+        self.router.pipeline.trace = sink;
+    }
+
+    fn take_trace(&mut self) -> Option<Box<RingSink>> {
+        self.router.pipeline.trace.take()
     }
 
     fn drain_delivered(&mut self, sink: &mut Vec<DeliveredPacket>) {

@@ -20,8 +20,8 @@
 use noc_sim::routing::{west_first_route, xy_route};
 use noc_sim::trace::{Trace, TraceEvent};
 use noc_sim::{
-    ConfigKind, Cycle, Flit, HybridCtrl, Mesh, MsgClass, NodeId, NodeOutputs, Packet, PacketId,
-    Port, PsOutput, PsPipeline, RouterConfig, Switching,
+    ConfigKind, Cycle, EventKind, Flit, HybridCtrl, Mesh, MsgClass, NodeId, NodeOutputs, Packet,
+    PacketId, Port, PsOutput, PsPipeline, RouterConfig, Switching,
 };
 
 use crate::slot_table::SlotTables;
@@ -267,6 +267,13 @@ impl TdmRouter {
                                 path_id: info.path_id,
                             },
                         );
+                        self.pipeline.trace.record(
+                            now,
+                            self.pipeline.id.0,
+                            EventKind::CircuitSetup,
+                            in_port.index() as u8,
+                            info.path_id,
+                        );
                         self.pipeline.events.slot_updates += written as u64;
                         self.dlt_observations.push(DltObservation::Insert {
                             dst: info.dst,
@@ -311,6 +318,13 @@ impl TdmRouter {
                                 path_id: info.path_id,
                             },
                         );
+                        self.pipeline.trace.record(
+                            now,
+                            self.pipeline.id.0,
+                            EventKind::CircuitTeardown,
+                            in_port.index() as u8,
+                            info.path_id,
+                        );
                         self.pipeline.events.slot_updates += cleared as u64;
                         self.dlt_observations
                             .push(DltObservation::Remove { dst: info.dst });
@@ -349,6 +363,13 @@ impl TdmRouter {
 
     fn emit_ack(&mut self, now: Cycle, info: noc_sim::SetupInfo, success: bool) {
         let id = self.protocol_packet_id();
+        self.pipeline.trace.record(
+            now,
+            self.pipeline.id.0,
+            EventKind::CircuitAck,
+            success as u8,
+            info.path_id,
+        );
         let ack = Packet::config(
             id,
             self.id(),
@@ -420,10 +441,24 @@ impl TdmRouter {
                 Some(d) => {
                     flit.hops += 1;
                     self.pipeline.events.link_flits += 1;
+                    self.pipeline.trace.record(
+                        now,
+                        self.pipeline.id.0,
+                        EventKind::LinkTraverse,
+                        o.index() as u8,
+                        flit.packet.0,
+                    );
                     out.flits.push((d, flit));
                 }
                 None => {
                     self.pipeline.events.cs_flits_delivered += 1;
+                    self.pipeline.trace.record(
+                        now,
+                        self.pipeline.id.0,
+                        EventKind::Eject,
+                        Port::Local.index() as u8,
+                        flit.packet.0,
+                    );
                     self.cs_ejected.push(flit);
                 }
             }

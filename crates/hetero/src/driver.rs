@@ -8,7 +8,7 @@
 
 use noc_power::{EnergyBreakdown, EnergyModel};
 use noc_scenario::{build_fabric, BackendKind, ScenarioError, ScenarioSpec, TrafficSpec, Tuning};
-use noc_sim::{Cycle, NetworkConfig, NodeId, Packet};
+use noc_sim::{Cycle, NetworkConfig, NodeId, Packet, TelemetryConfig, TelemetryReport};
 use noc_traffic::{run_phases, PhaseConfig, Workload};
 
 use crate::floorplan::Floorplan;
@@ -80,6 +80,21 @@ pub fn run_mix(
     phases: PhaseConfig,
     seed: u64,
 ) -> Result<MixResult, ScenarioError> {
+    run_mix_traced(cpu, gpu, kind, phases, seed, None).map(|(r, _)| r)
+}
+
+/// [`run_mix`] with optional flit-lifecycle tracing: when `telemetry` is
+/// given, the fabric records into per-node ring sinks and the harvested
+/// [`TelemetryReport`] is returned alongside the measurements. Tracing
+/// only observes — the `MixResult` is bit-identical either way.
+pub fn run_mix_traced(
+    cpu: &CpuBench,
+    gpu: &GpuBench,
+    kind: BackendKind,
+    phases: PhaseConfig,
+    seed: u64,
+    telemetry: Option<&TelemetryConfig>,
+) -> Result<(MixResult, Option<TelemetryReport>), ScenarioError> {
     let net_cfg = NetworkConfig::default();
     let floorplan = Floorplan::figure7();
     let mut workload = HeteroWorkload::new(floorplan, *cpu, *gpu, seed);
@@ -87,6 +102,9 @@ pub fn run_mix(
 
     // Enable the delivered-packet log for per-class latencies.
     fabric.set_collect_delivered(true);
+    if let Some(cfg) = telemetry {
+        fabric.configure_telemetry(cfg);
+    }
 
     let accel: std::collections::HashSet<NodeId> =
         workload.floorplan.accel_tiles().into_iter().collect();
@@ -118,9 +136,10 @@ pub fn run_mix(
         }
     }
 
+    let report = telemetry.and_then(|_| fabric.telemetry_report());
     let stats = result.stats;
     let breakdown = EnergyModel::default().evaluate_stats(&stats);
-    Ok(MixResult {
+    let mix = MixResult {
         mix: workload.mix_name(),
         kind,
         cpu_latency: if cpu_n == 0 {
@@ -144,18 +163,27 @@ pub fn run_mix(
         breakdown,
         hide_cycles: workload.slack.mean_slack_cycles(),
         stats,
-    })
+    };
+    Ok((mix, report))
 }
 
 /// Run a hetero [`ScenarioSpec`] (resolving benchmark names through the
 /// workload tables). Synthetic specs are rejected — use the open-loop
 /// driver for those.
 pub fn run_spec(spec: &ScenarioSpec) -> Result<MixResult, ScenarioError> {
+    run_spec_traced(spec, None).map(|(r, _)| r)
+}
+
+/// [`run_spec`] with optional tracing (see [`run_mix_traced`]).
+pub fn run_spec_traced(
+    spec: &ScenarioSpec,
+    telemetry: Option<&TelemetryConfig>,
+) -> Result<(MixResult, Option<TelemetryReport>), ScenarioError> {
     match &spec.traffic {
         TrafficSpec::Hetero { cpu, gpu } => {
             let cpu = cpu_bench(cpu).ok_or_else(|| ScenarioError::UnknownBench(cpu.clone()))?;
             let gpu = gpu_bench(gpu).ok_or_else(|| ScenarioError::UnknownBench(gpu.clone()))?;
-            run_mix(cpu, gpu, spec.backend, spec.phases, spec.seed)
+            run_mix_traced(cpu, gpu, spec.backend, spec.phases, spec.seed, telemetry)
         }
         TrafficSpec::Synthetic { .. } => Err(ScenarioError::Parse(
             "run_spec needs a hetero scenario (cpu+gpu), not a synthetic pattern".into(),

@@ -1,8 +1,10 @@
 //! Shared command-line conventions for the experiment binaries:
-//! `--quick`, `--json <path>`, `--scenario <file>` and the
-//! `NOC_STEP_THREADS` host override.
+//! `--quick`, `--json <path>`, `--scenario <file>`, the
+//! `--trace-out`/`--trace-events`/`--trace-sample`/`--metrics-window`
+//! telemetry flags, and the `NOC_STEP_THREADS` host override.
 
 use crate::{ScenarioError, ScenarioSpec};
+use noc_sim::TelemetryConfig;
 
 /// `--quick` flag for every experiment binary.
 pub fn quick_flag() -> bool {
@@ -30,6 +32,57 @@ pub fn sweep_threads_flag() -> usize {
     arg_value("--sweep-threads")
         .and_then(|s| s.parse().ok())
         .unwrap_or(1)
+}
+
+/// Optional `--trace-out <path>` flag: arm flit-lifecycle tracing and
+/// write a Chrome trace-event (Perfetto-loadable) JSON to `path`. The
+/// companion link-utilization heatmap CSV lands next to it.
+pub fn trace_out_flag() -> Option<String> {
+    arg_value("--trace-out")
+}
+
+/// Optional `--trace-events <categories>` flag: comma-separated event
+/// categories (`all`, `flit`, `circuit`, `steal`, `share`, `gating`,
+/// `sleep`). Default `all`.
+pub fn trace_events_flag() -> Option<String> {
+    arg_value("--trace-events")
+}
+
+/// Optional `--trace-sample <n>` flag: keep 1-in-`n` flit-lifecycle
+/// events (protocol events are never sampled). Default 1 = keep all.
+pub fn trace_sample_flag() -> Option<String> {
+    arg_value("--trace-sample")
+}
+
+/// Optional `--metrics-window <cycles>` flag: snapshot the metrics
+/// registry every `cycles` simulated cycles (0 = one whole-run window).
+pub fn metrics_window_flag() -> Option<String> {
+    arg_value("--metrics-window")
+}
+
+/// Build a [`TelemetryConfig`] from the telemetry flags. `Ok(None)`
+/// means `--trace-out` is absent and the run is untraced; the other
+/// three flags only shape the config when tracing is armed. Returns the
+/// trace output path alongside the config.
+pub fn telemetry_from_cli() -> Result<Option<(String, TelemetryConfig)>, ScenarioError> {
+    let Some(path) = trace_out_flag() else {
+        return Ok(None);
+    };
+    let mut cfg = TelemetryConfig::default();
+    if let Some(spec) = trace_events_flag() {
+        cfg.mask = noc_sim::telemetry::parse_event_mask(&spec).map_err(ScenarioError::Parse)?;
+    }
+    if let Some(s) = trace_sample_flag() {
+        cfg.sample = s
+            .parse()
+            .map_err(|_| ScenarioError::Parse(format!("--trace-sample: not a number: {s:?}")))?;
+    }
+    if let Some(s) = metrics_window_flag() {
+        cfg.window = s
+            .parse()
+            .map_err(|_| ScenarioError::Parse(format!("--metrics-window: not a number: {s:?}")))?;
+    }
+    Ok(Some((path, cfg)))
 }
 
 fn arg_value(flag: &str) -> Option<String> {

@@ -11,21 +11,39 @@ use serde::{Serialize, Value};
 ///   `scenario` echoes the driving [`ScenarioSpec`](crate::ScenarioSpec)
 ///   (or a binary-specific sweep description) and `data` holds the
 ///   measurement points the binary previously wrote at top level.
-pub const SCHEMA_VERSION: u32 = 1;
+/// * **2** — adds an *optional* trailing `telemetry` field holding trace
+///   aggregates and metric-window snapshots when a run was traced
+///   (`--trace-out`). The first three fields are byte-compatible with
+///   version 1, so v1 readers that index by name keep working.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Wrap measurement data in the shared result envelope.
 pub fn result_envelope<S: Serialize + ?Sized, T: Serialize + ?Sized>(
     scenario: &S,
     data: &T,
 ) -> Value {
-    Value::Object(vec![
+    result_envelope_with_telemetry(scenario, data, None)
+}
+
+/// [`result_envelope`] with an optional `telemetry` block (schema v2).
+/// `None` produces exactly the v1 field set.
+pub fn result_envelope_with_telemetry<S: Serialize + ?Sized, T: Serialize + ?Sized>(
+    scenario: &S,
+    data: &T,
+    telemetry: Option<Value>,
+) -> Value {
+    let mut fields = vec![
         (
             "schema_version".to_string(),
             Value::UInt(SCHEMA_VERSION as u64),
         ),
         ("scenario".to_string(), scenario.to_value()),
         ("data".to_string(), data.to_value()),
-    ])
+    ];
+    if let Some(t) = telemetry {
+        fields.push(("telemetry".to_string(), t));
+    }
+    Value::Object(fields)
 }
 
 /// Serialize any measurement structure to pretty JSON on disk.
@@ -66,5 +84,32 @@ mod tests {
         assert!(serde_json::to_string_pretty(&v)
             .unwrap()
             .contains("schema_version"));
+    }
+
+    /// Version-1 compatibility: a v1 reader sees the same first three
+    /// fields in the same order, and an untraced run adds no fourth
+    /// field at all.
+    #[test]
+    fn v2_envelope_is_v1_compatible_when_untraced() {
+        let v = result_envelope("echo", &7u64);
+        let Value::Object(fields) = &v else {
+            panic!("not an object")
+        };
+        assert_eq!(fields.len(), 3, "no telemetry key without a trace");
+        assert_eq!(fields[0].0, "schema_version");
+        assert_eq!(fields[1].0, "scenario");
+        assert_eq!(fields[2].0, "data");
+
+        let traced =
+            result_envelope_with_telemetry("echo", &7u64, Some(Value::Str("trace".into())));
+        let Value::Object(fields) = &traced else {
+            panic!("not an object")
+        };
+        assert_eq!(fields.len(), 4);
+        // The v1 prefix is untouched by the telemetry block.
+        assert_eq!(
+            fields[3],
+            ("telemetry".to_string(), Value::Str("trace".into()))
+        );
     }
 }

@@ -27,9 +27,10 @@ pub use backend::{
     BackendKind, ScenarioError, Tuning,
 };
 pub use cli::{
-    json_flag, quick_flag, scenario_flag, scenario_specs_from_cli, step_threads_from_env,
-    sweep_threads_flag,
+    json_flag, metrics_window_flag, quick_flag, scenario_flag, scenario_specs_from_cli,
+    step_threads_from_env, sweep_threads_flag, telemetry_from_cli, trace_events_flag,
+    trace_out_flag, trace_sample_flag,
 };
-pub use envelope::{result_envelope, write_json, SCHEMA_VERSION};
+pub use envelope::{result_envelope, result_envelope_with_telemetry, write_json, SCHEMA_VERSION};
 pub use json::Json;
 pub use spec::{parse_pattern, ScenarioSpec, TrafficSpec};

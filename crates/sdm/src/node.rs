@@ -11,8 +11,9 @@
 use std::collections::VecDeque;
 
 use noc_sim::{
-    ConfigKind, Credit, Cycle, DeliveredPacket, Direction, Flit, MsgClass, NodeId, NodeModel,
-    NodeOutputs, Packet, PacketId, Port, PowerState, SetupInfo, Switching,
+    ConfigKind, Credit, Cycle, DeliveredKind, DeliveredPacket, Direction, Flit, MsgClass, NodeId,
+    NodeModel, NodeOutputs, Packet, PacketId, Port, PowerState, RingSink, SetupInfo, Switching,
+    TraceSink,
 };
 use rustc_hash::FxHashMap;
 use tdm_noc::registry::{ConnRegistry, FrequencyTracker, PendingSetup};
@@ -295,6 +296,7 @@ impl SdmNode {
                 src: flit.src,
                 dst: flit.dst,
                 class: flit.class,
+                kind: DeliveredKind::of_config(flit.config.as_deref()),
                 switching: flit.switching,
                 len_flits: flit.seq + 1,
                 created: flit.created,
@@ -359,6 +361,14 @@ impl NodeModel for SdmNode {
             self.accept_ejected(now, flit);
         }
         self.router.ejected = ejected;
+    }
+
+    fn set_trace_sink(&mut self, sink: TraceSink) {
+        self.router.trace = sink;
+    }
+
+    fn take_trace(&mut self) -> Option<Box<RingSink>> {
+        self.router.trace.take()
     }
 
     fn drain_delivered(&mut self, sink: &mut Vec<DeliveredPacket>) {

@@ -13,8 +13,8 @@ use noc_sim::arbiter::RoundRobin;
 use noc_sim::routing::xy_route;
 use noc_sim::stats::EnergyEvents;
 use noc_sim::{
-    ConfigKind, Credit, Cycle, Flit, Mesh, MsgClass, NodeId, NodeOutputs, Packet, PacketId, Port,
-    RouterConfig, Switching, VcBuf, VcState,
+    ConfigKind, Credit, Cycle, EventKind, Flit, Mesh, MsgClass, NodeId, NodeOutputs, Packet,
+    PacketId, Port, RouterConfig, Switching, TraceSink, VcBuf, VcState,
 };
 
 /// A circuit reservation at one router.
@@ -64,6 +64,9 @@ pub struct SdmRouter {
     pub protocol_out: Vec<Packet>,
     /// Credits owed upstream for configuration flits consumed on arrival.
     pending_credits: Vec<(Port, u8)>,
+    /// Flit-lifecycle telemetry sink (a copied-discriminant branch when
+    /// disabled).
+    pub trace: TraceSink,
     next_protocol_id: u64,
 }
 
@@ -115,6 +118,7 @@ impl SdmRouter {
             local_credits: Vec::new(),
             protocol_out: Vec::new(),
             pending_credits: Vec::new(),
+            trace: TraceSink::Disabled,
             next_protocol_id: 0,
         }
     }
@@ -204,6 +208,13 @@ impl SdmRouter {
                         dst: info.dst,
                     });
                     self.events.slot_updates += 1;
+                    self.trace.record(
+                        now,
+                        self.id.0,
+                        EventKind::CircuitSetup,
+                        in_port.index() as u8,
+                        info.path_id,
+                    );
                     if out == Port::Local {
                         self.events.config_flits_delivered += 1;
                         self.consume_config_credit(in_port, flit.vc);
@@ -230,6 +241,13 @@ impl SdmRouter {
                             .take()
                             .expect("present");
                         self.events.slot_updates += 1;
+                        self.trace.record(
+                            now,
+                            self.id.0,
+                            EventKind::CircuitTeardown,
+                            in_port.index() as u8,
+                            info.path_id,
+                        );
                         if e.out == Port::Local {
                             self.events.config_flits_delivered += 1;
                             self.consume_config_credit(in_port, flit.vc);
@@ -263,6 +281,13 @@ impl SdmRouter {
 
     fn emit_ack(&mut self, now: Cycle, info: noc_sim::SetupInfo, success: bool) {
         let id = self.protocol_packet_id();
+        self.trace.record(
+            now,
+            self.id.0,
+            EventKind::CircuitAck,
+            success as u8,
+            info.path_id,
+        );
         let pkt = Packet::config(
             id,
             self.id,
@@ -289,10 +314,24 @@ impl SdmRouter {
                 Some(d) => {
                     flit.hops += 1;
                     self.events.link_flits += 1;
+                    self.trace.record(
+                        now,
+                        self.id.0,
+                        EventKind::LinkTraverse,
+                        o.index() as u8,
+                        flit.packet.0,
+                    );
                     out.flits.push((d, flit));
                 }
                 None => {
                     self.events.cs_flits_delivered += 1;
+                    self.trace.record(
+                        now,
+                        self.id.0,
+                        EventKind::Eject,
+                        Port::Local.index() as u8,
+                        flit.packet.0,
+                    );
                     self.cs_ejected.push(flit);
                 }
             }
@@ -368,6 +407,11 @@ impl SdmRouter {
                 buf.stage_cycle = now;
                 self.outputs[o].alloc[v] = Some((p as u8, vc as u8));
                 self.events.va_ops += 1;
+                if self.trace.wants(EventKind::VaGrant) {
+                    let pkt = self.inputs[p][vc].fifo.front().map_or(0, |f| f.packet.0);
+                    self.trace
+                        .record(now, self.id.0, EventKind::VaGrant, o as u8, pkt);
+                }
             }
         }
     }
@@ -411,8 +455,13 @@ impl SdmRouter {
                 chosen = Some((vc, o, out_vc));
                 break;
             }
-            if chosen.is_some() {
+            if let Some((vc, _, _)) = chosen {
                 self.events.sa_ops += 1;
+                if self.trace.wants(EventKind::SaGrant) {
+                    let pkt = self.inputs[p][vc].fifo.front().map_or(0, |f| f.packet.0);
+                    self.trace
+                        .record(now, self.id.0, EventKind::SaGrant, p as u8, pkt);
+                }
             }
             *cand = chosen;
         }
@@ -451,6 +500,13 @@ impl SdmRouter {
         }
         self.events.buffer_reads += 1;
         self.events.xbar_traversals += 1;
+        self.trace.record(
+            now,
+            self.id.0,
+            EventKind::SwitchTraversal,
+            in_port as u8,
+            flit.packet.0,
+        );
 
         // Bind and occupy the plane: P cycles of phit serialisation.
         let o = out_port.index();
@@ -472,6 +528,13 @@ impl SdmRouter {
                 self.outputs[o].credits[out_vc as usize] -= 1;
                 flit.hops += 1;
                 self.events.link_flits += 1;
+                self.trace.record(
+                    now,
+                    self.id.0,
+                    EventKind::LinkTraverse,
+                    out_port.index() as u8,
+                    flit.packet.0,
+                );
                 out.flits.push((d, flit));
             }
             None => {
@@ -479,6 +542,13 @@ impl SdmRouter {
                     MsgClass::Config => self.events.config_flits_delivered += 1,
                     MsgClass::Data => self.events.ps_flits_delivered += 1,
                 }
+                self.trace.record(
+                    now,
+                    self.id.0,
+                    EventKind::Eject,
+                    Port::Local.index() as u8,
+                    flit.packet.0,
+                );
                 self.ejected.push(flit);
             }
         }

@@ -24,6 +24,8 @@
 //!   controller and exposes the resize observation hooks
 //!   ([`Fabric::active_slots`], [`Fabric::resizes`]).
 
+use noc_telemetry::{TelemetryConfig, TelemetryReport};
+
 use crate::flit::Packet;
 use crate::geometry::{Mesh, NodeId};
 use crate::network::Network;
@@ -91,6 +93,17 @@ pub trait Fabric {
     /// exists for those tests and for debugging. Default: ignored, for
     /// fabrics without an activity scheduler.
     fn set_always_step(&mut self, _on: bool) {}
+
+    /// Arm flit-lifecycle tracing and metrics collection. Telemetry only
+    /// observes: the simulated network evolves bit-identically traced or
+    /// untraced. Default: ignored, for uninstrumented fabrics.
+    fn configure_telemetry(&mut self, _cfg: &TelemetryConfig) {}
+
+    /// Disarm telemetry and return the assembled report (merged events,
+    /// link counters, metrics windows). `None` when never armed.
+    fn telemetry_report(&mut self) -> Option<TelemetryReport> {
+        None
+    }
 
     /// Resize hook: the network-wide active slot-table size, for backends
     /// with TDM slot tables; `None` otherwise.
@@ -175,6 +188,14 @@ impl<N: NodeModel + Send + 'static> Fabric for Network<N> {
 
     fn set_always_step(&mut self, on: bool) {
         Network::set_always_step(self, on);
+    }
+
+    fn configure_telemetry(&mut self, cfg: &TelemetryConfig) {
+        Network::configure_telemetry(self, cfg);
+    }
+
+    fn telemetry_report(&mut self) -> Option<TelemetryReport> {
+        Network::take_telemetry(self)
     }
 }
 

@@ -37,20 +37,29 @@ pub mod routing;
 pub mod stats;
 pub mod trace;
 
+// The telemetry substrate (re-exported so downstream crates need no
+// direct `noc-telemetry` edge for the common types).
+pub use noc_telemetry as telemetry;
+pub use noc_telemetry::{
+    EventKind, RingSink, TelemetryConfig, TelemetryEvent, TelemetryReport, TraceSink,
+};
+
 pub use config::{NetworkConfig, RouterConfig};
 pub use fabric::Fabric;
 pub use flit::{
     ConfigKind, Credit, Flit, FlitKind, MsgClass, Packet, PacketId, SetupInfo, Switching,
 };
 pub use geometry::{Coord, Direction, Mesh, NodeId, Port};
-pub use network::Network;
+pub use network::{NetTelemetry, Network};
 pub use nic::Nic;
-pub use node::{DeliveredPacket, NodeModel, NodeOutputs, PacketNode, PowerState};
+pub use node::{DeliveredKind, DeliveredPacket, NodeModel, NodeOutputs, PacketNode, PowerState};
 pub use router::{
     GatingConfig, GatingMetric, HybridCtrl, InPort, NullCtrl, OutPort, PacketRouter, PsOutput,
     PsPipeline, VcBuf, VcGatingController, VcState,
 };
-pub use stats::{EnergyEvents, LatencyHistogram, LeakageIntegrals, NetStats};
+pub use stats::{
+    ClassLatency, EnergyEvents, LatencyHistogram, LeakageIntegrals, NetStats, PerClassLatency,
+};
 pub use trace::{Trace, TraceEvent};
 
 /// Simulation time, in router clock cycles.

@@ -44,6 +44,10 @@ use std::collections::BinaryHeap;
 use std::sync::mpsc;
 use std::thread::JoinHandle;
 
+use noc_telemetry::{
+    EventKind, MetricId, MetricsRegistry, TelemetryConfig, TelemetryReport, TraceSink,
+};
+
 use crate::flit::{Credit, Flit, MsgClass, Packet};
 use crate::geometry::{Direction, Mesh, NodeId};
 use crate::node::{DeliveredPacket, NodeModel, NodeOutputs, PowerState};
@@ -87,6 +91,68 @@ impl<N> Drop for StepPool<N> {
         self.job_txs.clear();
         for h in self.handles.drain(..) {
             let _ = h.join();
+        }
+    }
+}
+
+/// Harness-level telemetry state, boxed behind an `Option` so an untraced
+/// network pays one null check at each instrumentation site. Node sinks
+/// record the router-level event kinds during the (possibly parallel)
+/// stepping phase; this records the kinds only the harness can see —
+/// injections and activity-scheduler sleep/wake transitions — plus the
+/// per-link flit counters and the metrics registry, all touched only in
+/// the serial phases, so the determinism contract is untouched.
+pub struct NetTelemetry {
+    cfg: TelemetryConfig,
+    /// Harness-originated events (inject, node sleep/wake).
+    sink: TraceSink,
+    /// Sleep-state shadow for NodeSleep/NodeWake edge detection.
+    asleep: Vec<bool>,
+    /// Flits sent per outgoing link, `[node * 4 + direction]`.
+    link_flits: Vec<u64>,
+    registry: MetricsRegistry,
+    m_link_flits: MetricId,
+    m_packets_delivered: MetricId,
+    m_flits_delivered: MetricId,
+    m_latency: MetricId,
+    m_active_nodes: MetricId,
+    m_buffered_flits: MetricId,
+    m_inflight_flits: MetricId,
+    /// Next metrics-window boundary (`Cycle::MAX` when windowing is off).
+    next_window: Cycle,
+    /// End of the last snapshotted window (guards the final flush).
+    last_window_end: Cycle,
+}
+
+impl NetTelemetry {
+    fn new(cfg: &TelemetryConfig, n: usize, now: Cycle) -> Self {
+        let mut registry = MetricsRegistry::new();
+        let m_link_flits = registry.counter("link_flits");
+        let m_packets_delivered = registry.counter("packets_delivered");
+        let m_flits_delivered = registry.counter("flits_delivered");
+        let m_latency = registry.histogram("packet_latency");
+        let m_active_nodes = registry.gauge("active_nodes");
+        let m_buffered_flits = registry.gauge("buffered_flits");
+        let m_inflight_flits = registry.gauge("inflight_flits");
+        NetTelemetry {
+            cfg: *cfg,
+            sink: TraceSink::ring(cfg),
+            asleep: vec![false; n],
+            link_flits: vec![0; n * 4],
+            registry,
+            m_link_flits,
+            m_packets_delivered,
+            m_flits_delivered,
+            m_latency,
+            m_active_nodes,
+            m_buffered_flits,
+            m_inflight_flits,
+            next_window: if cfg.window > 0 {
+                now + cfg.window
+            } else {
+                Cycle::MAX
+            },
+            last_window_end: now,
         }
     }
 }
@@ -146,6 +212,9 @@ pub struct Network<N: NodeModel> {
     leak_buffer: u64,
     leak_slot: u64,
     leak_dlt: u64,
+    /// Telemetry state, present only while a trace is armed
+    /// (see [`Network::configure_telemetry`]).
+    telemetry: Option<Box<NetTelemetry>>,
 }
 
 /// Bit-set helpers over the `Vec<u64>` masks.
@@ -204,6 +273,7 @@ impl<N: NodeModel> Network<N> {
             leak_buffer: 0,
             leak_slot: 0,
             leak_dlt: 0,
+            telemetry: None,
         };
         net.wake_all();
         net
@@ -220,6 +290,10 @@ impl<N: NodeModel> Network<N> {
             self.stats.packets_offered += 1;
         }
         let i = node.index();
+        if let Some(t) = &mut self.telemetry {
+            t.sink
+                .record(self.now, node.0, EventKind::Inject, 0, pkt.id.0);
+        }
         self.nodes[i].inject(self.now, pkt);
         // An injection is external work: wake the node and refresh its
         // occupancy so drain detection stays exact between cycles.
@@ -359,6 +433,7 @@ impl<N: NodeModel> Network<N> {
             step_mask,
             wake_mask,
             inflight_flits,
+            telemetry,
             ..
         } = self;
         for (w, &mask_word) in step_mask.iter().enumerate() {
@@ -375,6 +450,10 @@ impl<N: NodeModel> Network<N> {
                     flit_slots[par][nb.index()].push((dir.opposite(), flit));
                     set_bit(&mut wake_mask[par], nb.index());
                     *inflight_flits += 1;
+                    if let Some(t) = telemetry.as_deref_mut() {
+                        t.link_flits[i * 4 + dir.index()] += 1;
+                        t.registry.add(t.m_link_flits, 1);
+                    }
                 }
                 for (dir, credit) in out.credits.drain(..) {
                     let nb = mesh
@@ -404,6 +483,14 @@ impl<N: NodeModel> Network<N> {
                 let i = w * 64 + bits.trailing_zeros() as usize;
                 bits &= bits - 1;
                 stepped += 1;
+                if let Some(t) = &mut self.telemetry {
+                    // A sleeping node only steps again once something woke
+                    // it: record the wake edge.
+                    if t.asleep[i] {
+                        t.asleep[i] = false;
+                        t.sink.record(now, i as u32, EventKind::NodeWake, 0, 0);
+                    }
+                }
                 let node = &mut self.nodes[i];
                 node.drain_delivered(&mut self.scratch_delivered);
                 let occ = node.occupancy();
@@ -422,6 +509,12 @@ impl<N: NodeModel> Network<N> {
                     Some(t) if t <= now + 1 => set_bit(&mut self.active_mask, i),
                     Some(t) => {
                         clear_bit(&mut self.active_mask, i);
+                        if let Some(tel) = &mut self.telemetry {
+                            if !tel.asleep[i] {
+                                tel.asleep[i] = true;
+                                tel.sink.record(now, i as u32, EventKind::NodeSleep, 0, t);
+                            }
+                        }
                         if t != Cycle::MAX && t < self.timer_at[i] {
                             self.timer_at[i] = t;
                             self.timers.push(Reverse((t, i as u32)));
@@ -440,6 +533,26 @@ impl<N: NodeModel> Network<N> {
             self.stats.record_delivery(d);
             if self.collect_delivered && d.measured && d.class == MsgClass::Data {
                 self.delivered_log.push(*d);
+            }
+        }
+        if let Some(t) = &mut self.telemetry {
+            for d in &self.scratch_delivered {
+                if d.measured && d.class == MsgClass::Data {
+                    t.registry.add(t.m_packets_delivered, 1);
+                    t.registry.add(t.m_flits_delivered, d.len_flits as u64);
+                    t.registry
+                        .observe(t.m_latency, d.delivered.saturating_sub(d.created));
+                }
+            }
+            if now + 1 >= t.next_window {
+                let active: u64 = self.active_mask.iter().map(|w| w.count_ones() as u64).sum();
+                t.registry.set(t.m_active_nodes, active);
+                t.registry.set(t.m_buffered_flits, self.total_occ as u64);
+                t.registry
+                    .set(t.m_inflight_flits, self.inflight_flits as u64);
+                t.registry.snapshot_window(now + 1);
+                t.last_window_end = now + 1;
+                t.next_window += t.cfg.window;
             }
         }
 
@@ -552,6 +665,48 @@ impl<N: NodeModel> Network<N> {
             self.leak_slot += ps.slot_entries as u64;
             self.leak_dlt += ps.dlt_entries as u64;
         }
+    }
+
+    /// Arm telemetry: install a fresh ring sink in every node (via
+    /// [`NodeModel::set_trace_sink`]) and reset the harness-level event
+    /// sink, link counters and metrics registry. Telemetry only observes —
+    /// the simulated network evolves bit-identically traced or not.
+    pub fn configure_telemetry(&mut self, cfg: &TelemetryConfig) {
+        for node in &mut self.nodes {
+            node.set_trace_sink(TraceSink::ring(cfg));
+        }
+        self.telemetry = Some(Box::new(NetTelemetry::new(cfg, self.nodes.len(), self.now)));
+    }
+
+    /// Disarm telemetry and assemble the report: drain every node's ring
+    /// (leaving the sinks disabled), merge with the harness events, flush
+    /// the final partial metrics window, and sort the merged event stream
+    /// into canonical order. `None` when telemetry was never armed.
+    pub fn take_telemetry(&mut self) -> Option<TelemetryReport> {
+        let mut t = self.telemetry.take()?;
+        if t.cfg.window > 0 && self.now > t.last_window_end {
+            t.registry.snapshot_window(self.now);
+        }
+        let mut report = TelemetryReport {
+            nodes: self.nodes.len() as u32,
+            mesh_width: self.mesh.kx() as u32,
+            link_flits: std::mem::take(&mut t.link_flits),
+            ..Default::default()
+        };
+        let mut rings: Vec<_> = self
+            .nodes
+            .iter_mut()
+            .filter_map(|n| n.take_trace())
+            .collect();
+        rings.extend(t.sink.take());
+        for ring in &rings {
+            report.recorded += ring.recorded();
+            report.dropped += ring.dropped();
+            report.events.extend(ring.events().copied());
+        }
+        report.registry = t.registry;
+        report.sort_events();
+        Some(report)
     }
 }
 
@@ -816,6 +971,77 @@ mod tests {
             let got: Vec<Cycle> = n.nodes[1].arrivals.iter().map(|&(t, _)| t).collect();
             assert_eq!(got, vec![start + 2, start + 3, start + 4, start + 5]);
         }
+    }
+
+    #[test]
+    fn traced_run_collects_events_counters_and_windows() {
+        let mut n = net(3);
+        n.configure_telemetry(&TelemetryConfig {
+            window: 50,
+            ..TelemetryConfig::default()
+        });
+        let src = n.mesh.id(Coord::new(0, 0));
+        let dst = n.mesh.id(Coord::new(2, 2));
+        n.begin_measurement();
+        n.inject(src, Packet::data(PacketId(1), src, dst, 5, 0));
+        assert!(n.drain(500));
+        n.end_measurement();
+        let link_flits_counted = n.stats.events.link_flits;
+        let report = n.take_telemetry().expect("telemetry was armed");
+        assert!(n.take_telemetry().is_none(), "report is taken once");
+
+        // The harness per-link counters agree with the routers' own
+        // link-flit event counter.
+        assert_eq!(report.total_link_flits(), link_flits_counted);
+        assert_eq!(report.link_flits.len(), 9 * 4);
+        // Inject, sleep/wake (harness) and the flit lifecycle (routers)
+        // all appear; the stream is sorted.
+        let has = |k: EventKind| report.events.iter().any(|e| e.kind == k);
+        assert!(has(EventKind::Inject));
+        assert!(has(EventKind::VaGrant));
+        assert!(has(EventKind::LinkTraverse));
+        assert!(has(EventKind::Eject));
+        assert!(has(EventKind::NodeSleep));
+        assert!(report.events.windows(2).all(|w| w[0].cycle <= w[1].cycle));
+        // Metrics: windows were snapshotted and the delivered counter is
+        // in the registry totals.
+        assert!(!report.registry.windows.is_empty());
+        let names = report.registry.names();
+        assert!(names.iter().any(|s| s == "packets_delivered"));
+        // A second run traces wake edges for nodes slept mid-run.
+        assert!(report.recorded > 0);
+    }
+
+    /// Tracing must be a pure observer: delivered-packet streams and stats
+    /// are bit-identical with telemetry armed or absent.
+    #[test]
+    fn tracing_does_not_perturb_the_simulation() {
+        let build = |traced: bool| {
+            let mut n = net(4);
+            if traced {
+                n.configure_telemetry(&TelemetryConfig::default());
+            }
+            n.collect_delivered = true;
+            let mut pid = 0;
+            for src in n.mesh.nodes() {
+                for dst in n.mesh.nodes() {
+                    if src != dst {
+                        n.inject(src, Packet::data(PacketId(pid), src, dst, 5, 0));
+                        pid += 1;
+                    }
+                }
+            }
+            n.begin_measurement();
+            assert!(n.drain(20_000));
+            n.end_measurement();
+            n
+        };
+        let plain = build(false);
+        let traced = build(true);
+        assert_eq!(plain.now(), traced.now());
+        assert_eq!(plain.delivered_log, traced.delivered_log);
+        assert_eq!(plain.stats.latency_sum, traced.stats.latency_sum);
+        assert_eq!(plain.stats.nodes_stepped, traced.stats.nodes_stepped);
     }
 
     /// Serial and pooled stepping must advance the network identically.

@@ -9,7 +9,7 @@ use crate::arbiter::RoundRobin;
 use crate::config::RouterConfig;
 use crate::flit::{Flit, Packet, PacketId, Switching};
 use crate::geometry::NodeId;
-use crate::node::DeliveredPacket;
+use crate::node::{DeliveredKind, DeliveredPacket};
 use crate::Cycle;
 
 struct Stream {
@@ -144,6 +144,7 @@ impl Nic {
                 src: flit.src,
                 dst: flit.dst,
                 class: flit.class,
+                kind: DeliveredKind::of_config(flit.config.as_deref()),
                 switching: flit.switching,
                 len_flits: flit.seq + 1,
                 created: flit.created,
@@ -277,6 +278,48 @@ mod tests {
         assert_eq!(d.switching, Switching::Circuit);
         assert_eq!(d.class, MsgClass::Data);
         assert_eq!(n.occupancy(), 0);
+    }
+
+    #[test]
+    fn delivered_kind_classifies_config_messages() {
+        use crate::flit::{ConfigKind, SetupInfo};
+        use crate::node::DeliveredKind;
+        let info = SetupInfo {
+            src: NodeId(1),
+            dst: NodeId(0),
+            slot: 0,
+            duration: 4,
+            path_id: 3,
+        };
+        for (id, kind, want) in [
+            (1u64, ConfigKind::Setup(info), DeliveredKind::Setup),
+            (2, ConfigKind::Teardown(info), DeliveredKind::Teardown),
+            (
+                3,
+                ConfigKind::Ack {
+                    info,
+                    success: true,
+                },
+                DeliveredKind::Ack,
+            ),
+        ] {
+            let mut n = nic();
+            let p = Packet::config(PacketId(id), NodeId(1), NodeId(0), kind, 0);
+            n.accept_ejected(9, Flit::of_packet(&p, 0, Switching::Packet));
+            let mut sink = Vec::new();
+            n.drain_delivered(&mut sink);
+            assert_eq!(sink[0].kind, want);
+        }
+        // Data packets classify as Data even though their tail carries no
+        // payload.
+        let mut n = nic();
+        let p = pkt(9, 2);
+        for s in 0..2 {
+            n.accept_ejected(5, Flit::of_packet(&p, s, Switching::Packet));
+        }
+        let mut sink = Vec::new();
+        n.drain_delivered(&mut sink);
+        assert_eq!(sink[0].kind, DeliveredKind::Data);
     }
 
     #[test]

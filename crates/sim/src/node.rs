@@ -1,8 +1,10 @@
 //! The node abstraction: one tile = NIC + router, pluggable into the
 //! [`crate::network::Network`] harness.
 
+use noc_telemetry::{EventKind, RingSink, TraceSink};
+
 use crate::config::NetworkConfig;
-use crate::flit::{Credit, Flit, MsgClass, Packet, PacketId, Switching};
+use crate::flit::{ConfigKind, Credit, Flit, MsgClass, Packet, PacketId, Switching};
 use crate::geometry::{Direction, NodeId, Port};
 use crate::nic::Nic;
 use crate::router::{GatingConfig, PacketRouter, VcGatingController};
@@ -40,6 +42,33 @@ pub struct PowerState {
     pub dlt_entries: u32,
 }
 
+/// What kind of packet completed: ordinary data, or one of the three
+/// path-configuration message types (§II-B). Finer-grained than
+/// [`MsgClass`], so per-class latency accounting can separate setup
+/// round-trips from teardowns and acks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DeliveredKind {
+    #[default]
+    Data,
+    Setup,
+    Teardown,
+    Ack,
+}
+
+impl DeliveredKind {
+    /// Classify a delivered flit by its configuration payload (configuration
+    /// packets are single-flit, so the payload is always present on the
+    /// completing flit).
+    pub fn of_config(config: Option<&ConfigKind>) -> DeliveredKind {
+        match config {
+            None => DeliveredKind::Data,
+            Some(ConfigKind::Setup(_)) => DeliveredKind::Setup,
+            Some(ConfigKind::Teardown(_)) => DeliveredKind::Teardown,
+            Some(ConfigKind::Ack { .. }) => DeliveredKind::Ack,
+        }
+    }
+}
+
 /// Summary of a packet that completed delivery.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct DeliveredPacket {
@@ -47,6 +76,8 @@ pub struct DeliveredPacket {
     pub src: NodeId,
     pub dst: NodeId,
     pub class: MsgClass,
+    /// Data vs the specific configuration message type.
+    pub kind: DeliveredKind,
     /// How the packet actually traversed the network.
     pub switching: Switching,
     pub len_flits: u8,
@@ -93,6 +124,17 @@ pub trait NodeModel {
     /// conservative: claiming quiescence while holding deferred work breaks
     /// the sleep/wake-vs-always-step bit-identity contract.
     fn sleep_until(&self, _now: Cycle) -> Option<Cycle> {
+        None
+    }
+
+    /// Install a telemetry sink (the harness builds one per node when a
+    /// trace is armed). The default drops it, so uninstrumented node
+    /// models keep compiling and simply record nothing.
+    fn set_trace_sink(&mut self, _sink: TraceSink) {}
+
+    /// Surrender the node's recorded telemetry ring, leaving the sink
+    /// disabled. `None` for uninstrumented models or untraced runs.
+    fn take_trace(&mut self) -> Option<Box<RingSink>> {
         None
     }
 }
@@ -156,6 +198,14 @@ impl NodeModel for PacketNode {
         if let Some(g) = &mut self.gating {
             if let Some(n) = g.on_cycle(now, &mut self.router.pipeline) {
                 self.nic.set_router_active_vcs(n);
+                let id = self.nic.id().0;
+                self.router.pipeline.trace.record(
+                    now,
+                    id,
+                    EventKind::GatingTransition,
+                    Port::Local.index() as u8,
+                    n as u64,
+                );
                 for d in Direction::ALL {
                     if self.router.pipeline.outputs[d.as_port().index()].exists {
                         out.vc_counts.push((d, n));
@@ -208,5 +258,13 @@ impl NodeModel for PacketNode {
             Some(g) => Some(g.next_eval()),
             None => Some(Cycle::MAX),
         }
+    }
+
+    fn set_trace_sink(&mut self, sink: TraceSink) {
+        self.router.pipeline.trace = sink;
+    }
+
+    fn take_trace(&mut self) -> Option<Box<RingSink>> {
+        self.router.pipeline.trace.take()
     }
 }

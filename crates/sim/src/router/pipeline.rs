@@ -10,6 +10,8 @@
 
 use std::collections::VecDeque;
 
+use noc_telemetry::{EventKind, TraceSink};
+
 use crate::arbiter::RoundRobin;
 use crate::config::RouterConfig;
 use crate::flit::{Credit, Flit, MsgClass};
@@ -106,6 +108,9 @@ pub struct PsPipeline {
     /// Credits owed to the local NIC; drained by the node each cycle.
     pub local_credits: Vec<u8>,
     pub events: EnergyEvents,
+    /// Telemetry sink (disabled unless the harness arms a trace). Recording
+    /// is node-local, so the parallel-stepping determinism contract holds.
+    pub trace: TraceSink,
     /// Locally active VC count (VC power gating); VCs ≥ this receive no new
     /// allocations but keep functioning until drained.
     active_vcs: u8,
@@ -162,6 +167,7 @@ impl PsPipeline {
             ejected: Vec::new(),
             local_credits: Vec::new(),
             events: EnergyEvents::default(),
+            trace: TraceSink::Disabled,
             active_vcs: cfg.vcs_per_port,
             va_arb: (0..Port::COUNT)
                 .map(|_| RoundRobin::new(Port::COUNT * vcs))
@@ -398,6 +404,14 @@ impl PsPipeline {
                 self.active += 1;
                 self.outputs[o].alloc[v] = Some((p as u8, vc as u8));
                 self.events.va_ops += 1;
+                if self.trace.wants(EventKind::VaGrant) {
+                    let pkt = self.inputs[p].vcs[vc]
+                        .fifo
+                        .front()
+                        .map_or(0, |f| f.packet.0);
+                    self.trace
+                        .record(now, self.id.0, EventKind::VaGrant, o as u8, pkt);
+                }
             }
         }
     }
@@ -436,6 +450,14 @@ impl PsPipeline {
                 };
                 *cand = Some((vc as u8, out, out_vc));
                 self.events.sa_ops += 1;
+                if self.trace.wants(EventKind::SaGrant) {
+                    let pkt = self.inputs[p].vcs[vc]
+                        .fifo
+                        .front()
+                        .map_or(0, |f| f.packet.0);
+                    self.trace
+                        .record(now, self.id.0, EventKind::SaGrant, p as u8, pkt);
+                }
             }
         }
 
@@ -498,8 +520,22 @@ impl PsPipeline {
         }
         self.events.buffer_reads += 1;
         self.events.xbar_traversals += 1;
+        self.trace.record(
+            now,
+            self.id.0,
+            EventKind::SwitchTraversal,
+            in_port.index() as u8,
+            flit.packet.0,
+        );
         if avail == PsOutput::ReservedIdle {
             self.events.slots_stolen += 1;
+            self.trace.record(
+                now,
+                self.id.0,
+                EventKind::SlotSteal,
+                out_port.index() as u8,
+                flit.packet.0,
+            );
         }
 
         // Return the freed buffer slot upstream.
@@ -514,6 +550,13 @@ impl PsPipeline {
                 self.outputs[out_port.index()].credits[out_vc as usize] -= 1;
                 flit.hops += 1;
                 self.events.link_flits += 1;
+                self.trace.record(
+                    now,
+                    self.id.0,
+                    EventKind::LinkTraverse,
+                    out_port.index() as u8,
+                    flit.packet.0,
+                );
                 out.flits.push((d, flit));
             }
             None => {
@@ -522,6 +565,13 @@ impl PsPipeline {
                     MsgClass::Config => self.events.config_flits_delivered += 1,
                     MsgClass::Data => self.events.ps_flits_delivered += 1,
                 }
+                self.trace.record(
+                    now,
+                    self.id.0,
+                    EventKind::Eject,
+                    Port::Local.index() as u8,
+                    flit.packet.0,
+                );
                 self.ejected.push(flit);
             }
         }
@@ -771,6 +821,35 @@ mod tests {
         let f = head_flit(m.id(Coord::new(0, 1)), center, 3);
         r.accept_flit(0, Port::West, f);
         assert_eq!(r.powered_buffer_slots(), 5 * 2 * 5 + 5);
+    }
+
+    #[test]
+    fn trace_records_flit_lifecycle() {
+        use noc_telemetry::TelemetryConfig;
+        let m = Mesh::square(3);
+        let center = m.id(Coord::new(1, 1));
+        let dst = m.id(Coord::new(2, 1));
+        let mut r = mk(m, center);
+        r.trace = TraceSink::ring(&TelemetryConfig::default());
+        r.accept_flit(10, Port::West, head_flit(m.id(Coord::new(0, 1)), dst, 0));
+        let mut out = NodeOutputs::default();
+        for now in 10..=12 {
+            r.step(now, &NullCtrl, &mut out);
+        }
+        let ring = r.trace.take().unwrap();
+        let kinds: Vec<EventKind> = ring.events().map(|e| e.kind).collect();
+        for k in [
+            EventKind::VaGrant,
+            EventKind::SaGrant,
+            EventKind::SwitchTraversal,
+            EventKind::LinkTraverse,
+        ] {
+            assert!(kinds.contains(&k), "missing {k:?} in {kinds:?}");
+        }
+        assert!(
+            ring.events().all(|e| e.id == 1 && e.node == center.0),
+            "payloads must carry the packet id and node index"
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Statistics: energy event counters and network-level measurement.
 
 use crate::flit::{MsgClass, Switching};
-use crate::node::DeliveredPacket;
+use crate::node::{DeliveredKind, DeliveredPacket};
 use crate::Cycle;
 use serde::{Deserialize, Serialize};
 
@@ -195,6 +195,67 @@ impl LatencyHistogram {
     }
 }
 
+/// Latency aggregates for one delivered-packet class.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassLatency {
+    pub count: u64,
+    pub latency_sum: u64,
+    pub latency_max: u64,
+    pub hist: LatencyHistogram,
+}
+
+impl ClassLatency {
+    pub fn record(&mut self, lat: u64) {
+        self.count += 1;
+        self.latency_sum += lat;
+        self.latency_max = self.latency_max.max(lat);
+        self.hist.record(lat);
+    }
+
+    pub fn avg(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.latency_sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Latency split by [`DeliveredKind`]: measured data packets vs the three
+/// configuration message types. The `data` bucket mirrors the headline
+/// measured-data aggregates (`latency_sum`/`latency_max`/`latency_hist`);
+/// the configuration buckets record *every* delivery of their kind,
+/// measured or not, because configuration packets are never marked
+/// measured yet their latencies (setup round-trips especially) are what
+/// the split exists to expose.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PerClassLatency {
+    pub data: ClassLatency,
+    pub setup: ClassLatency,
+    pub teardown: ClassLatency,
+    pub ack: ClassLatency,
+}
+
+impl PerClassLatency {
+    pub fn class(&self, kind: DeliveredKind) -> &ClassLatency {
+        match kind {
+            DeliveredKind::Data => &self.data,
+            DeliveredKind::Setup => &self.setup,
+            DeliveredKind::Teardown => &self.teardown,
+            DeliveredKind::Ack => &self.ack,
+        }
+    }
+
+    fn class_mut(&mut self, kind: DeliveredKind) -> &mut ClassLatency {
+        match kind {
+            DeliveredKind::Data => &mut self.data,
+            DeliveredKind::Setup => &mut self.setup,
+            DeliveredKind::Teardown => &mut self.teardown,
+            DeliveredKind::Ack => &mut self.ack,
+        }
+    }
+}
+
 /// Aggregate measurement for one simulation run.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct NetStats {
@@ -215,6 +276,8 @@ pub struct NetStats {
     pub cs_packets_delivered: u64,
     /// Latency distribution of measured data packets.
     pub latency_hist: LatencyHistogram,
+    /// Latency aggregates split by delivered kind (data/setup/teardown/ack).
+    pub class_latency: PerClassLatency,
     /// Configuration packets delivered (measured window).
     pub config_packets_delivered: u64,
     /// Energy events aggregated over all nodes (whole run, including
@@ -247,8 +310,10 @@ impl NetStats {
 
     /// Record a delivered packet.
     pub fn record_delivery(&mut self, d: &DeliveredPacket) {
+        let lat = d.delivered.saturating_sub(d.created);
         if d.class == MsgClass::Config {
             self.config_packets_delivered += 1;
+            self.class_latency.class_mut(d.kind).record(lat);
             return;
         }
         if !d.measured {
@@ -256,10 +321,10 @@ impl NetStats {
         }
         self.packets_delivered += 1;
         self.flits_delivered += d.len_flits as u64;
-        let lat = d.delivered.saturating_sub(d.created);
         self.latency_sum += lat;
         self.latency_max = self.latency_max.max(lat);
         self.latency_hist.record(lat);
+        self.class_latency.data.record(lat);
         if d.switching == Switching::Circuit {
             self.cs_packets_delivered += 1;
         }
@@ -296,6 +361,10 @@ mod tests {
             src: NodeId(0),
             dst: NodeId(1),
             class,
+            kind: match class {
+                MsgClass::Data => DeliveredKind::Data,
+                MsgClass::Config => DeliveredKind::Setup,
+            },
             switching: Switching::Packet,
             len_flits: 5,
             created: 100,
@@ -405,6 +474,98 @@ mod tests {
         assert_eq!(window.buffer_writes, 5);
         assert_eq!(window.sa_ops, 3);
         assert_eq!(window.link_flits, 0);
+    }
+
+    #[test]
+    fn per_class_latency_split() {
+        let mut s = NetStats::default();
+        s.begin_measurement(0);
+        s.record_delivery(&delivered(10, true, MsgClass::Data));
+        s.record_delivery(&delivered(30, true, MsgClass::Data));
+        s.record_delivery(&delivered(500, false, MsgClass::Data)); // warm-up
+        let mut ack = delivered(7, false, MsgClass::Config);
+        ack.kind = DeliveredKind::Ack;
+        s.record_delivery(&ack);
+        s.record_delivery(&delivered(5, false, MsgClass::Config)); // setup
+
+        // The data bucket mirrors the headline measured-data aggregates.
+        assert_eq!(s.class_latency.data.count, s.packets_delivered);
+        assert_eq!(s.class_latency.data.latency_sum, s.latency_sum);
+        assert_eq!(s.class_latency.data.latency_max, s.latency_max);
+        assert_eq!(s.class_latency.data.hist.count(), s.latency_hist.count());
+        // Config kinds record even unmeasured deliveries.
+        assert_eq!(s.class_latency.setup.count, 1);
+        assert_eq!(s.class_latency.setup.latency_max, 5);
+        assert_eq!(s.class_latency.ack.count, 1);
+        assert_eq!(s.class_latency.teardown.count, 0);
+        assert!((s.class_latency.class(DeliveredKind::Ack).avg() - 7.0).abs() < 1e-12);
+        assert!(s.class_latency.teardown.avg().is_nan());
+    }
+
+    #[test]
+    fn histogram_record_zero_lands_in_bucket_zero() {
+        let mut h = LatencyHistogram::default();
+        h.record(0);
+        assert_eq!(h.count(), 1);
+        // Zero occupies bucket 0, whose quantile bound is 2^0 = 1.
+        assert_eq!(h.quantile(1.0), Some(1));
+        // 1 has bit-length 1 and lands in the next bucket (bound 2).
+        h.record(1);
+        assert_eq!(h.quantile(0.5), Some(1));
+        assert_eq!(h.quantile(1.0), Some(2));
+    }
+
+    #[test]
+    fn histogram_exact_bucket_boundaries() {
+        // Powers of two open a new bucket: 2^k lands in bucket k+1 while
+        // 2^k - 1 stays in bucket k.
+        for k in 1..10u32 {
+            let mut h = LatencyHistogram::default();
+            h.record((1u64 << k) - 1);
+            assert_eq!(
+                h.quantile(1.0),
+                Some(1u64 << k),
+                "2^{k} - 1 stays in bucket {k}"
+            );
+            let mut h = LatencyHistogram::default();
+            h.record(1u64 << k);
+            assert_eq!(
+                h.quantile(1.0),
+                Some(1u64 << (k + 1)),
+                "2^{k} opens the next bucket"
+            );
+        }
+        // Saturation: latencies with bit length ≥ 31 share the top bucket,
+        // whose quantile bound is u64::MAX.
+        let mut h = LatencyHistogram::default();
+        h.record(u64::MAX);
+        assert_eq!(h.quantile(1.0), Some(u64::MAX));
+    }
+
+    #[test]
+    fn histogram_quantile_on_empty_is_none() {
+        let h = LatencyHistogram::default();
+        for p in [0.0, 0.5, 1.0] {
+            assert_eq!(h.quantile(p), None);
+        }
+        // Out-of-range p is also refused on a populated histogram.
+        let mut h = LatencyHistogram::default();
+        h.record(5);
+        assert_eq!(h.quantile(1.5), None);
+        assert_eq!(h.quantile(-0.1), None);
+    }
+
+    #[test]
+    fn histogram_merge_empty_into_populated_and_back() {
+        let mut populated = LatencyHistogram::default();
+        populated.record(10);
+        populated.record(100);
+        let before = populated.clone();
+        populated.merge(&LatencyHistogram::default());
+        assert_eq!(populated, before, "merging empty must be a no-op");
+        let mut empty = LatencyHistogram::default();
+        empty.merge(&before);
+        assert_eq!(empty, before, "merging into empty must copy");
     }
 
     #[test]

@@ -1,0 +1,227 @@
+//! The telemetry event vocabulary: what can be recorded, and the
+//! category mask that selects which kinds a sink accepts.
+//!
+//! Events are deliberately *flat and simulator-agnostic*: a cycle, a raw
+//! node index, a kind tag, a small port index and one 64-bit payload
+//! (packet id, path id or FSM state, depending on the kind). The
+//! simulation crates own the richer types; keeping this crate at the
+//! bottom of the dependency graph means every backend can record into it
+//! without new edges in the workspace graph.
+
+/// One recorded event, 24 bytes. `id` carries the packet id for flit
+/// lifecycle kinds, the path id for circuit kinds, and small scalars
+/// (powered-VC count, share-queue depth) elsewhere.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TelemetryEvent {
+    pub cycle: u64,
+    pub node: u32,
+    pub kind: EventKind,
+    pub port: u8,
+    pub id: u64,
+}
+
+/// Every traceable event kind. Each kind owns one bit of the category
+/// mask; the CLI-facing *categories* (see [`parse_event_mask`]) are
+/// groups of these bits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum EventKind {
+    /// A packet entered a source NIC (harness-level).
+    Inject = 0,
+    /// Virtual-channel allocation granted to a waiting head flit.
+    VaGrant = 1,
+    /// Switch allocation granted to an active VC.
+    SaGrant = 2,
+    /// A flit crossed the crossbar (either data path).
+    SwitchTraversal = 3,
+    /// A flit left on an inter-router link.
+    LinkTraverse = 4,
+    /// A flit was ejected at its destination.
+    Eject = 5,
+    /// A slot-table (or plane) reservation was written here.
+    CircuitSetup = 6,
+    /// A reservation was released here.
+    CircuitTeardown = 7,
+    /// A setup ack (success or failure) was generated here.
+    CircuitAck = 8,
+    /// A packet-switched flit used an idle reserved slot (§II-D).
+    SlotSteal = 9,
+    /// A message entered the vicinity-sharing queue (§III-A1).
+    ShareEnqueue = 10,
+    /// A share-queue entry aged out and fell back to packet switching.
+    ShareExpire = 11,
+    /// The VC power-gating FSM changed the powered-VC count.
+    GatingTransition = 12,
+    /// The activity scheduler put this node to sleep.
+    NodeSleep = 13,
+    /// The activity scheduler woke this node.
+    NodeWake = 14,
+}
+
+impl EventKind {
+    pub const COUNT: usize = 15;
+
+    /// All kinds, in discriminant order.
+    pub const ALL: [EventKind; EventKind::COUNT] = [
+        EventKind::Inject,
+        EventKind::VaGrant,
+        EventKind::SaGrant,
+        EventKind::SwitchTraversal,
+        EventKind::LinkTraverse,
+        EventKind::Eject,
+        EventKind::CircuitSetup,
+        EventKind::CircuitTeardown,
+        EventKind::CircuitAck,
+        EventKind::SlotSteal,
+        EventKind::ShareEnqueue,
+        EventKind::ShareExpire,
+        EventKind::GatingTransition,
+        EventKind::NodeSleep,
+        EventKind::NodeWake,
+    ];
+
+    /// This kind's bit in the category mask.
+    #[inline]
+    pub const fn bit(self) -> u32 {
+        1 << (self as u32)
+    }
+
+    /// Stable name, used by the exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Inject => "inject",
+            EventKind::VaGrant => "va_grant",
+            EventKind::SaGrant => "sa_grant",
+            EventKind::SwitchTraversal => "switch_traversal",
+            EventKind::LinkTraverse => "link_traverse",
+            EventKind::Eject => "eject",
+            EventKind::CircuitSetup => "circuit_setup",
+            EventKind::CircuitTeardown => "circuit_teardown",
+            EventKind::CircuitAck => "circuit_ack",
+            EventKind::SlotSteal => "slot_steal",
+            EventKind::ShareEnqueue => "share_enqueue",
+            EventKind::ShareExpire => "share_expire",
+            EventKind::GatingTransition => "gating_transition",
+            EventKind::NodeSleep => "node_sleep",
+            EventKind::NodeWake => "node_wake",
+        }
+    }
+
+    /// The CLI category this kind belongs to.
+    pub fn category(self) -> &'static str {
+        match self {
+            EventKind::Inject
+            | EventKind::VaGrant
+            | EventKind::SaGrant
+            | EventKind::SwitchTraversal
+            | EventKind::LinkTraverse
+            | EventKind::Eject => "flit",
+            EventKind::CircuitSetup | EventKind::CircuitTeardown | EventKind::CircuitAck => {
+                "circuit"
+            }
+            EventKind::SlotSteal => "steal",
+            EventKind::ShareEnqueue | EventKind::ShareExpire => "share",
+            EventKind::GatingTransition => "gating",
+            EventKind::NodeSleep | EventKind::NodeWake => "sleep",
+        }
+    }
+}
+
+/// Flit-lifecycle kinds: the only ones subject to 1-in-N sampling.
+/// Rare protocol events (circuit, share, gating, sleep) are always
+/// recorded when their category is enabled, so a short traced run still
+/// captures every lifecycle transition.
+pub const SAMPLED_MASK: u32 = EventKind::Inject.bit()
+    | EventKind::VaGrant.bit()
+    | EventKind::SaGrant.bit()
+    | EventKind::SwitchTraversal.bit()
+    | EventKind::LinkTraverse.bit()
+    | EventKind::Eject.bit();
+
+/// Mask with every kind enabled.
+pub const ALL_EVENTS: u32 = (1 << EventKind::COUNT as u32) - 1;
+
+/// The CLI-facing categories, each mapping to a group of kind bits.
+pub const CATEGORIES: [(&str, u32); 6] = [
+    ("flit", SAMPLED_MASK),
+    (
+        "circuit",
+        EventKind::CircuitSetup.bit()
+            | EventKind::CircuitTeardown.bit()
+            | EventKind::CircuitAck.bit(),
+    ),
+    ("steal", EventKind::SlotSteal.bit()),
+    (
+        "share",
+        EventKind::ShareEnqueue.bit() | EventKind::ShareExpire.bit(),
+    ),
+    ("gating", EventKind::GatingTransition.bit()),
+    (
+        "sleep",
+        EventKind::NodeSleep.bit() | EventKind::NodeWake.bit(),
+    ),
+];
+
+/// Parse a comma-separated category list (`"flit,circuit"`, `"all"`)
+/// into a kind mask. Unknown names are reported, not ignored.
+pub fn parse_event_mask(spec: &str) -> Result<u32, String> {
+    let mut mask = 0u32;
+    for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        if part == "all" {
+            mask |= ALL_EVENTS;
+            continue;
+        }
+        match CATEGORIES.iter().find(|(name, _)| *name == part) {
+            Some((_, bits)) => mask |= bits,
+            None => {
+                return Err(format!(
+                    "unknown event category {part:?} (expected all, flit, circuit, steal, share, gating, sleep)"
+                ))
+            }
+        }
+    }
+    Ok(mask)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_has_a_distinct_bit_and_a_category() {
+        let mut seen = 0u32;
+        for k in EventKind::ALL {
+            assert_eq!(seen & k.bit(), 0, "duplicate bit for {k:?}");
+            seen |= k.bit();
+            let cat = k.category();
+            let (_, bits) = CATEGORIES
+                .iter()
+                .find(|(name, _)| *name == cat)
+                .expect("category listed");
+            assert_ne!(bits & k.bit(), 0, "{k:?} missing from category {cat}");
+        }
+        assert_eq!(seen, ALL_EVENTS);
+    }
+
+    #[test]
+    fn parse_mask_categories_and_all() {
+        assert_eq!(parse_event_mask("all").unwrap(), ALL_EVENTS);
+        assert_eq!(
+            parse_event_mask("steal").unwrap(),
+            EventKind::SlotSteal.bit()
+        );
+        let m = parse_event_mask("flit, circuit").unwrap();
+        assert_ne!(m & EventKind::VaGrant.bit(), 0);
+        assert_ne!(m & EventKind::CircuitSetup.bit(), 0);
+        assert_eq!(m & EventKind::NodeSleep.bit(), 0);
+        assert!(parse_event_mask("bogus").is_err());
+    }
+
+    #[test]
+    fn sampled_mask_covers_exactly_the_flit_category() {
+        for k in EventKind::ALL {
+            let sampled = SAMPLED_MASK & k.bit() != 0;
+            assert_eq!(sampled, k.category() == "flit", "{k:?}");
+        }
+    }
+}

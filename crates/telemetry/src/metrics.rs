@@ -1,0 +1,286 @@
+//! A small metrics registry: named counters, gauges and log-bucket
+//! histograms, snapshotted per measurement window and merged
+//! deterministically.
+//!
+//! Registration interns the name once and returns a dense id; the hot
+//! path is an array index. Windows capture counters as *deltas over the
+//! window* and gauges as their value at the window boundary, so a
+//! snapshot sequence reads as a time series. `merge` combines two
+//! registries metric-by-metric (counters add, gauges take the maximum,
+//! histogram buckets add) and is order-insensitive for counters and
+//! histograms — the property the sweep runner's ordered merge relies on.
+
+use serde::{Serialize, Value};
+
+/// Power-of-two log-bucket histogram (bucket `i` holds values whose
+/// bit-length is `i`, i.e. `2^(i-1) <= v < 2^i`, with 0 and 1 sharing
+/// bucket 0..=1 like `noc_sim::LatencyHistogram`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LogHist {
+    pub buckets: [u64; 32],
+    pub count: u64,
+}
+
+impl LogHist {
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        let b = (64 - v.leading_zeros()).min(31) as usize;
+        self.buckets[b] += 1;
+        self.count += 1;
+    }
+
+    pub fn merge(&mut self, other: &LogHist) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+    }
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Metric {
+    Counter(u64),
+    Gauge(u64),
+    // Boxed: a LogHist is 33 words, the scalar variants one.
+    Hist(Box<LogHist>),
+}
+
+/// Dense handle returned by registration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MetricId(pub usize);
+
+/// One window's worth of metric values, aligned with
+/// [`MetricsRegistry::names`]: counters as window deltas, gauges as the
+/// boundary value, histograms as their total count delta.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WindowSnapshot {
+    pub start: u64,
+    pub end: u64,
+    pub values: Vec<u64>,
+}
+
+impl Serialize for WindowSnapshot {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("start".into(), Value::UInt(self.start)),
+            ("end".into(), Value::UInt(self.end)),
+            (
+                "values".into(),
+                Value::Array(self.values.iter().map(|v| Value::UInt(*v)).collect()),
+            ),
+        ])
+    }
+}
+
+/// The registry. Metric ids are assigned in registration order, so two
+/// registries populated by the same code path are structurally aligned
+/// and can be merged without name lookups.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    names: Vec<String>,
+    metrics: Vec<Metric>,
+    /// Counter/hist-count values at the last window boundary.
+    window_base: Vec<u64>,
+    window_start: u64,
+    pub windows: Vec<WindowSnapshot>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn register(&mut self, name: &str, m: Metric) -> MetricId {
+        debug_assert!(
+            !self.names.iter().any(|n| n == name),
+            "duplicate metric {name}"
+        );
+        self.names.push(name.to_string());
+        self.metrics.push(m);
+        self.window_base.push(0);
+        MetricId(self.metrics.len() - 1)
+    }
+
+    pub fn counter(&mut self, name: &str) -> MetricId {
+        self.register(name, Metric::Counter(0))
+    }
+
+    pub fn gauge(&mut self, name: &str) -> MetricId {
+        self.register(name, Metric::Gauge(0))
+    }
+
+    pub fn histogram(&mut self, name: &str) -> MetricId {
+        self.register(name, Metric::Hist(Box::default()))
+    }
+
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    #[inline]
+    pub fn add(&mut self, id: MetricId, delta: u64) {
+        match &mut self.metrics[id.0] {
+            Metric::Counter(v) => *v += delta,
+            _ => debug_assert!(false, "add on non-counter"),
+        }
+    }
+
+    #[inline]
+    pub fn set(&mut self, id: MetricId, value: u64) {
+        match &mut self.metrics[id.0] {
+            Metric::Gauge(v) => *v = value,
+            _ => debug_assert!(false, "set on non-gauge"),
+        }
+    }
+
+    #[inline]
+    pub fn observe(&mut self, id: MetricId, value: u64) {
+        match &mut self.metrics[id.0] {
+            Metric::Hist(h) => h.record(value),
+            _ => debug_assert!(false, "observe on non-histogram"),
+        }
+    }
+
+    /// Current raw value: counter total, gauge value, histogram count.
+    pub fn value(&self, id: MetricId) -> u64 {
+        match &self.metrics[id.0] {
+            Metric::Counter(v) | Metric::Gauge(v) => *v,
+            Metric::Hist(h) => h.count,
+        }
+    }
+
+    pub fn hist(&self, id: MetricId) -> Option<&LogHist> {
+        match &self.metrics[id.0] {
+            Metric::Hist(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Close the window ending at `now`: snapshot deltas (counters,
+    /// histogram counts) and boundary values (gauges), then re-base.
+    pub fn snapshot_window(&mut self, now: u64) {
+        let values = self
+            .metrics
+            .iter()
+            .zip(self.window_base.iter_mut())
+            .map(|(m, base)| match m {
+                Metric::Counter(v) => {
+                    let delta = *v - *base;
+                    *base = *v;
+                    delta
+                }
+                Metric::Gauge(v) => *v,
+                Metric::Hist(h) => {
+                    let delta = h.count - *base;
+                    *base = h.count;
+                    delta
+                }
+            })
+            .collect();
+        self.windows.push(WindowSnapshot {
+            start: self.window_start,
+            end: now,
+            values,
+        });
+        self.window_start = now;
+    }
+
+    /// Merge another registry with the same metric layout: counters and
+    /// histograms add, gauges take the maximum. Windows are merged
+    /// pairwise by index (extra windows in `other` are appended), so
+    /// merging per-shard registries of the same run is deterministic
+    /// regardless of shard count.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        assert_eq!(self.names, other.names, "mismatched metric layouts");
+        for (a, b) in self.metrics.iter_mut().zip(other.metrics.iter()) {
+            match (a, b) {
+                (Metric::Counter(x), Metric::Counter(y)) => *x += y,
+                (Metric::Gauge(x), Metric::Gauge(y)) => *x = (*x).max(*y),
+                (Metric::Hist(x), Metric::Hist(y)) => x.merge(y),
+                _ => unreachable!("layouts checked equal"),
+            }
+        }
+        for (i, w) in other.windows.iter().enumerate() {
+            match self.windows.get_mut(i) {
+                Some(mine) => {
+                    for (a, b) in mine.values.iter_mut().zip(w.values.iter()) {
+                        *a += b;
+                    }
+                }
+                None => self.windows.push(w.clone()),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_histograms_roundtrip() {
+        let mut r = MetricsRegistry::new();
+        let c = r.counter("link_flits");
+        let g = r.gauge("active_nodes");
+        let h = r.histogram("occupancy");
+        r.add(c, 5);
+        r.add(c, 2);
+        r.set(g, 9);
+        r.observe(h, 3);
+        r.observe(h, 300);
+        assert_eq!(r.value(c), 7);
+        assert_eq!(r.value(g), 9);
+        assert_eq!(r.value(h), 2);
+        assert_eq!(r.hist(h).unwrap().buckets[2], 1); // 3 → bucket 2
+    }
+
+    #[test]
+    fn windows_capture_deltas_and_boundary_values() {
+        let mut r = MetricsRegistry::new();
+        let c = r.counter("c");
+        let g = r.gauge("g");
+        r.add(c, 10);
+        r.set(g, 3);
+        r.snapshot_window(100);
+        r.add(c, 4);
+        r.set(g, 1);
+        r.snapshot_window(200);
+        assert_eq!(r.windows.len(), 2);
+        assert_eq!(r.windows[0].start, 0);
+        assert_eq!(r.windows[0].end, 100);
+        assert_eq!(r.windows[0].values, vec![10, 3]);
+        assert_eq!(r.windows[1].start, 100);
+        assert_eq!(r.windows[1].values, vec![4, 1]);
+    }
+
+    #[test]
+    fn merge_is_order_insensitive_for_counters_and_hists() {
+        let build = |seed: u64| {
+            let mut r = MetricsRegistry::new();
+            let c = r.counter("c");
+            let h = r.histogram("h");
+            r.add(c, seed);
+            r.observe(h, seed);
+            r.snapshot_window(50);
+            r
+        };
+        let (a, b) = (build(3), build(70));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.value(MetricId(0)), ba.value(MetricId(0)));
+        assert_eq!(ab.hist(MetricId(1)), ba.hist(MetricId(1)));
+        assert_eq!(ab.windows, ba.windows);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched metric layouts")]
+    fn merge_rejects_different_layouts() {
+        let mut a = MetricsRegistry::new();
+        a.counter("x");
+        let mut b = MetricsRegistry::new();
+        b.counter("y");
+        a.merge(&b);
+    }
+}

@@ -1,0 +1,154 @@
+//! Chrome trace-event JSON export (the format Perfetto and
+//! `chrome://tracing` load).
+//!
+//! Mapping: one *process* per router (`pid` = node index, named with its
+//! mesh coordinates), one *thread* per port (`tid` = port index + 1, so
+//! tid 0 stays free for process-scoped rows). Instantaneous events
+//! (flit lifecycle, acks, steals, shares, gating, sleep/wake) become
+//! `"ph":"i"` instants at `ts` = cycle (µs units — one simulated cycle
+//! renders as one microsecond). Circuit reservations become async
+//! spans: `CircuitSetup` opens (`"b"`) and `CircuitTeardown` closes
+//! (`"e"`) an async track keyed by the path id, per router — so a
+//! circuit's lifetime appears as a span on every router along its path,
+//! visually nested between the setup instants and the teardown.
+
+use std::fmt::Write as _;
+
+use crate::event::EventKind;
+use crate::report::{TelemetryReport, PORT_NAMES};
+
+fn span_name(id: u64) -> String {
+    format!("circuit path {id:#x}")
+}
+
+/// Render the report as a Chrome trace-event JSON string.
+pub fn chrome_trace_json(report: &TelemetryReport) -> String {
+    let mut out = String::with_capacity(report.events.len() * 96 + 4096);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    let mut emit = |s: &str, out: &mut String| {
+        if !std::mem::take(&mut first) {
+            out.push(',');
+        }
+        out.push_str(s);
+    };
+
+    // Process/thread naming metadata for every node that appears.
+    let mut named = vec![false; report.nodes.max(1) as usize];
+    for e in &report.events {
+        let n = e.node as usize;
+        if n < named.len() && !named[n] {
+            named[n] = true;
+        }
+    }
+    for (n, _) in named.iter().enumerate().filter(|(_, seen)| **seen) {
+        let label = if report.mesh_width > 0 {
+            let (x, y) = (n as u32 % report.mesh_width, n as u32 / report.mesh_width);
+            format!("router {n} ({x},{y})")
+        } else {
+            format!("router {n}")
+        };
+        emit(
+            &format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{n},\"tid\":0,\
+                 \"args\":{{\"name\":\"{label}\"}}}}"
+            ),
+            &mut out,
+        );
+        for (p, pname) in PORT_NAMES.iter().enumerate() {
+            emit(
+                &format!(
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{n},\"tid\":{},\
+                     \"args\":{{\"name\":\"{pname}\"}}}}",
+                    p + 1
+                ),
+                &mut out,
+            );
+        }
+    }
+
+    for e in &report.events {
+        let (pid, tid, ts) = (e.node, e.port as u32 + 1, e.cycle);
+        let mut row = String::with_capacity(96);
+        match e.kind {
+            EventKind::CircuitSetup => {
+                let _ = write!(
+                    row,
+                    "{{\"name\":\"{}\",\"cat\":\"circuit\",\"ph\":\"b\",\"id\":\"{:#x}\",\
+                     \"ts\":{ts},\"pid\":{pid},\"tid\":{tid}}}",
+                    span_name(e.id),
+                    e.id
+                );
+            }
+            EventKind::CircuitTeardown => {
+                let _ = write!(
+                    row,
+                    "{{\"name\":\"{}\",\"cat\":\"circuit\",\"ph\":\"e\",\"id\":\"{:#x}\",\
+                     \"ts\":{ts},\"pid\":{pid},\"tid\":{tid}}}",
+                    span_name(e.id),
+                    e.id
+                );
+            }
+            kind => {
+                let _ = write!(
+                    row,
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\
+                     \"ts\":{ts},\"pid\":{pid},\"tid\":{tid},\"args\":{{\"id\":{}}}}}",
+                    kind.name(),
+                    kind.category(),
+                    e.id
+                );
+            }
+        }
+        emit(&row, &mut out);
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TelemetryEvent;
+
+    fn ev(cycle: u64, node: u32, kind: EventKind, id: u64) -> TelemetryEvent {
+        TelemetryEvent {
+            cycle,
+            node,
+            kind,
+            port: 1,
+            id,
+        }
+    }
+
+    #[test]
+    fn circuit_lifecycle_becomes_async_span() {
+        let r = TelemetryReport {
+            nodes: 4,
+            mesh_width: 2,
+            events: vec![
+                ev(10, 1, EventKind::CircuitSetup, 0x2a),
+                ev(11, 1, EventKind::LinkTraverse, 7),
+                ev(50, 1, EventKind::CircuitTeardown, 0x2a),
+            ],
+            ..Default::default()
+        };
+        let json = chrome_trace_json(&r);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"ph\":\"b\""), "span open missing");
+        assert!(json.contains("\"ph\":\"e\""), "span close missing");
+        assert!(json.contains("\"id\":\"0x2a\""));
+        assert!(json.contains("\"name\":\"link_traverse\""));
+        assert!(json.contains("router 1 (1,0)"));
+        // Balanced braces as a cheap well-formedness check.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn empty_report_is_valid_json_scaffold() {
+        let json = chrome_trace_json(&TelemetryReport::default());
+        assert!(json.contains("\"traceEvents\":[]"));
+    }
+}

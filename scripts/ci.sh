@@ -65,4 +65,49 @@ cargo run --release -p noc-bench --bin fig4_load_latency "${OFFLINE[@]}" -- \
 cmp "$SWEEP_TMP/t1.json" "$SWEEP_TMP/t4.json"
 echo "sweep JSON identical across thread counts"
 
+echo "== tracing on/off bit-identity (envelope data block) =="
+cargo run --release -p noc-bench --bin fig4_load_latency "${OFFLINE[@]}" -- \
+    --scenario "$SWEEP_TMP/sweep.json" --json "$SWEEP_TMP/traced_sweep.json" \
+    --trace-out "$SWEEP_TMP/sweeptrace.json" > /dev/null
+python3 - "$SWEEP_TMP" <<'PY'
+import json, sys
+tmp = sys.argv[1]
+plain = json.load(open(f"{tmp}/t1.json"))
+traced = json.load(open(f"{tmp}/traced_sweep.json"))
+assert plain["data"] == traced["data"], "tracing perturbed the measurements"
+assert "telemetry" not in plain, "untraced run must not add a telemetry block"
+assert "telemetry" in traced, "traced run missing its telemetry block"
+print("data blocks identical with tracing on vs off")
+PY
+
+echo "== traced TDM hetero scenario (Perfetto trace + heatmap + envelope v2) =="
+cat > "$SWEEP_TMP/traced.json" <<'JSON'
+[ {"backend": "HybridTdmVc4", "cpu": "AMMP", "gpu": "BLACKSCHOLES", "quick": true, "seed": 7} ]
+JSON
+cargo run --release -p noc-bench --bin fig8_hetero "${OFFLINE[@]}" -- \
+    --scenario "$SWEEP_TMP/traced.json" --json "$SWEEP_TMP/traced_out.json" \
+    --trace-out "$SWEEP_TMP/trace.json" --trace-events all --trace-sample 8 \
+    --metrics-window 2000 > /dev/null
+python3 - "$SWEEP_TMP" <<'PY'
+import collections, csv, json, sys
+tmp = sys.argv[1]
+trace = json.load(open(f"{tmp}/trace.json"))
+evs = trace["traceEvents"]
+cats = collections.Counter(e.get("cat") for e in evs if e.get("ph") != "M")
+assert any(e["ph"] == "b" for e in evs), "no circuit span open"
+assert any(e["ph"] == "e" for e in evs), "no circuit span close"
+for cat in ("flit", "circuit"):
+    assert cats[cat] > 0, f"no {cat} events in the trace"
+env = json.load(open(f"{tmp}/traced_out.json"))
+assert env["schema_version"] == 2, env["schema_version"]
+tel = env["telemetry"]["specs"][0]
+link = tel["link_flits"]
+rows = list(csv.DictReader(open(f"{tmp}/trace.heatmap.csv")))
+assert len(rows) == len(link), "heatmap rows vs envelope link count"
+assert sum(int(r["flits"]) for r in rows) == sum(link), "heatmap sum vs envelope"
+assert tel["windows"], "no metric windows despite --metrics-window"
+print(f"trace ok: {len(evs)} events, categories {dict(cats)}, "
+      f"{len(tel['windows'])} metric windows")
+PY
+
 echo "CI OK"
