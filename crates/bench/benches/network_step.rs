@@ -1,19 +1,23 @@
 //! Criterion benchmark for the whole-network cycle kernel
 //! (`Network::step`): the acceptance benchmark for the allocation-free
-//! ring-buffer kernel. 64-node (8×8) mesh, uniform-random traffic at two
-//! operating points: 0.3 flits/node/cycle (0.06 packets/node/cycle ×
-//! 5-flit packets), the paper's heavy-but-unsaturated point, and
+//! ring-buffer kernel. 64-node (8×8) mesh, uniform-random traffic at
+//! three operating points: 0.3 flits/node/cycle (0.06 packets/node/cycle
+//! × 5-flit packets), the paper's heavy-but-unsaturated point;
 //! 0.02 flits/node/cycle, the low-load point where most routers are idle
-//! most cycles and the activity-driven scheduler should pay off.
+//! most cycles and the activity-driven scheduler should pay off; and
+//! 0.002 flits/node/cycle, the near-idle point where whole stretches of
+//! cycles have nothing in flight and `run_until` cycle-leaping collapses
+//! them to O(1) (see DESIGN.md §12).
 //!
 //! Each iteration advances a pre-warmed steady-state network by `STEPS`
 //! cycles including source injection, so the reported time is per
 //! simulated cycle of the full kernel (inject + deliver + node step +
 //! route + leakage integration).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use noc_sim::{Mesh, Network, NetworkConfig, PacketNode};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use noc_sim::{Mesh, Network, NetworkConfig, NodeId, Packet, PacketNode};
 use noc_traffic::{SyntheticSource, TrafficPattern};
+use std::cell::RefCell;
 use std::hint::black_box;
 use tdm_noc::{TdmConfig, TdmNetwork};
 
@@ -23,6 +27,10 @@ const WARMUP_CYCLES: u64 = 2_000;
 const PACKET_RATE: f64 = 0.06;
 /// 0.02 flits/node/cycle at 5-flit packets (low-load sweep point).
 const PACKET_RATE_LOW: f64 = 0.004;
+/// 0.002 flits/node/cycle at 5-flit packets (near-idle point: the
+/// cycle-leap acceptance point — one packet injected every ~200 cycles
+/// network-wide, so most 512-cycle windows are near-empty).
+const PACKET_RATE_NEAR_IDLE: f64 = 0.0004;
 
 fn drive_packet(net: &mut Network<PacketNode>, src: &mut SyntheticSource, cycles: u64) -> u64 {
     let mut pkts = Vec::new();
@@ -35,6 +43,23 @@ fn drive_packet(net: &mut Network<PacketNode>, src: &mut SyntheticSource, cycles
         net.step();
     }
     net.stats.packets_delivered
+}
+
+/// Pre-sample the injection schedule for the next `cycles` window. The
+/// near-idle benches run this in the `iter_batched` *setup* closure so
+/// the timed routine measures only the stepping kernel — at 0.002
+/// flits/node/cycle the 64-node-per-cycle RNG sweep would otherwise
+/// dominate both sides of the A/B and mask the cycle-leap win.
+fn sample_schedule(
+    src: &mut SyntheticSource,
+    start: u64,
+    cycles: u64,
+) -> Vec<(u64, NodeId, Packet)> {
+    let mut sched = Vec::new();
+    for c in 0..cycles {
+        src.tick(start + c, true, |n, p| sched.push((start + c, n, p)));
+    }
+    sched
 }
 
 fn bench_network_step(c: &mut Criterion) {
@@ -73,6 +98,43 @@ fn bench_network_step(c: &mut Criterion) {
         b.iter(|| black_box(drive_packet(&mut net, &mut src, STEPS)));
     });
 
+    // Near-idle, leap-driven: the timed routine replays a pre-sampled
+    // injection schedule with `run_until` between events, letting the
+    // network leap over provably idle stretches instead of ticking
+    // through them. Results are bit-identical to per-cycle stepping
+    // (the cycle-leap property pins this); only wall-clock cost differs.
+    g.bench_function("packet_64n_0.002flits_leap", |b| {
+        let cfg = NetworkConfig::with_mesh(mesh);
+        let mut net = Network::new(mesh, |id| PacketNode::new(id, &cfg, None));
+        let mut src = SyntheticSource::new(
+            mesh,
+            TrafficPattern::UniformRandom,
+            PACKET_RATE_NEAR_IDLE,
+            5,
+            42,
+        );
+        drive_packet(&mut net, &mut src, WARMUP_CYCLES);
+        let net = RefCell::new(net);
+        let src = RefCell::new(src);
+        b.iter_batched_ref(
+            || {
+                let start = net.borrow().now();
+                sample_schedule(&mut src.borrow_mut(), start, STEPS)
+            },
+            |sched: &mut Vec<(u64, NodeId, Packet)>| {
+                let mut net = net.borrow_mut();
+                let start = net.now();
+                for (t, n, p) in sched.drain(..) {
+                    net.run_until(t);
+                    net.inject(n, p);
+                }
+                net.run_until(start + STEPS);
+                black_box(net.stats.packets_delivered)
+            },
+            BatchSize::PerIteration,
+        );
+    });
+
     for (name, rate) in [
         ("tdm_hybrid_64n_0.3flits", PACKET_RATE),
         ("tdm_hybrid_64n_0.02flits", PACKET_RATE_LOW),
@@ -98,6 +160,56 @@ fn bench_network_step(c: &mut Criterion) {
             b.iter(|| black_box(drive(&mut net, STEPS)));
         });
     }
+
+    // TDM near-idle, leap-driven: `TdmNetwork::run_until` bounds each leap
+    // at the next resize-controller decision point (none here — resize is
+    // off by default), so idle stretches between scheduled injections
+    // collapse.
+    g.bench_function("tdm_hybrid_64n_0.002flits_leap", |b| {
+        let mut cfg = TdmConfig::vc4(NetworkConfig::with_mesh(mesh));
+        cfg.policy.setup_after_msgs = 3;
+        let mut net = TdmNetwork::new(cfg);
+        let mut src = SyntheticSource::new(
+            mesh,
+            TrafficPattern::UniformRandom,
+            PACKET_RATE_NEAR_IDLE,
+            5,
+            42,
+        );
+        // Per-cycle warmup so the steady state matches the per-cycle
+        // baseline bench exactly.
+        {
+            let sched = sample_schedule(&mut src, 0, WARMUP_CYCLES);
+            for (t, n, p) in sched {
+                while net.now() < t {
+                    net.step();
+                }
+                net.inject(n, p);
+            }
+            while net.now() < WARMUP_CYCLES {
+                net.step();
+            }
+        }
+        let net = RefCell::new(net);
+        let src = RefCell::new(src);
+        b.iter_batched_ref(
+            || {
+                let start = net.borrow().now();
+                sample_schedule(&mut src.borrow_mut(), start, STEPS)
+            },
+            |sched: &mut Vec<(u64, NodeId, Packet)>| {
+                let mut net = net.borrow_mut();
+                let start = net.now();
+                for (t, n, p) in sched.drain(..) {
+                    net.run_until(t);
+                    net.inject(n, p);
+                }
+                net.run_until(start + STEPS);
+                black_box(net.stats().packets_delivered)
+            },
+            BatchSize::PerIteration,
+        );
+    });
 
     g.finish();
 }

@@ -18,14 +18,14 @@
 //! * **aggressive VC power gating** (§III-B) via the shared controller.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use noc_sim::routing::xy_route;
 use noc_sim::{
-    ConfigKind, Credit, Cycle, DeliveredPacket, Direction, EventKind, Flit, MsgClass, Nic, NodeId,
-    NodeModel, NodeOutputs, Packet, PacketId, Port, PowerState, RingSink, SetupInfo, Switching,
-    TraceSink, VcGatingController,
+    ConfigArena, ConfigKind, Credit, Cycle, DeliveredPacket, Direction, EventKind, Flit, MsgClass,
+    Nic, NodeId, NodeModel, NodeOutputs, NodeTable, Packet, PacketId, Port, PowerState, RingSink,
+    SetupInfo, Switching, TraceSink, VcGatingController,
 };
-use rustc_hash::FxHashMap;
 
 use crate::config::TdmConfig;
 use crate::dlt::Dlt;
@@ -85,8 +85,11 @@ pub struct TdmNode {
     pub dlt: Dlt,
     freq: FrequencyTracker,
     gating: Option<VcGatingController>,
+    /// Configuration-payload arena shared by this node's NIC and router
+    /// (and, once attached, by the whole network).
+    arena: Arc<ConfigArena>,
     /// CS messages waiting per connection endpoint.
-    cs_queues: FxHashMap<NodeId, VecDeque<QueuedCs>>,
+    cs_queues: NodeTable<VecDeque<QueuedCs>>,
     share_queue: VecDeque<ShareMsg>,
     streaming: Option<CsStream>,
     /// Flits across all `cs_queues` entries (O(1) occupancy).
@@ -94,7 +97,7 @@ pub struct TdmNode {
     /// Flits across `share_queue` (O(1) occupancy).
     share_flits: usize,
     /// Vicinity-sharing failure counters per real destination (2-bit).
-    share_fails: FxHashMap<NodeId, u8>,
+    share_fails: NodeTable<u8>,
     next_path_id: u64,
     /// Network-wide CS freeze during a slot-table resize (§II-C).
     cs_frozen: bool,
@@ -113,21 +116,29 @@ impl TdmNode {
             cfg.reservation_cap,
         );
         router.time_slot_stealing = cfg.time_slot_stealing;
+        let n = cfg.net.mesh.len();
+        // One arena per node by default, shared between its NIC and router
+        // so standalone nodes round-trip payloads; `attach_arena` swaps in
+        // the network-wide arena.
+        let arena = router.arena().clone();
+        let mut nic = Nic::new(id, &cfg.net.router);
+        nic.set_arena(arena.clone());
         TdmNode {
             id,
             cfg: *cfg,
-            nic: Nic::new(id, &cfg.net.router),
+            nic,
             router,
-            registry: ConnRegistry::new(),
+            registry: ConnRegistry::new(n),
             dlt: Dlt::new(cfg.sharing.dlt_entries),
-            freq: FrequencyTracker::new(cfg.policy.freq_window),
+            freq: FrequencyTracker::new(cfg.policy.freq_window, n),
             gating: cfg.gating.map(VcGatingController::new),
-            cs_queues: FxHashMap::default(),
+            arena,
+            cs_queues: NodeTable::new(n),
             share_queue: VecDeque::new(),
             streaming: None,
             queued_cs_flits: 0,
             share_flits: 0,
-            share_fails: FxHashMap::default(),
+            share_fails: NodeTable::new(n),
             next_path_id: 0,
             cs_frozen: false,
             slot_scan: (id.0 as u16).wrapping_mul(7),
@@ -169,7 +180,7 @@ impl TdmNode {
             .map(|c| self.wait_for_slot(now, c.slot))
             .min()
             .expect("non-empty runs");
-        let queued = self.cs_queues.get(&queue_key).map_or(0, |q| q.len()) as u64;
+        let queued = self.cs_queues.get(queue_key).map_or(0, |q| q.len()) as u64;
         let eff_period = s / runs.len() as u64;
         let hops = self.cfg.net.mesh.hops(self.id, dst) as u64;
         Some(slot_wait + queued * eff_period + 2 * hops + 2)
@@ -225,13 +236,13 @@ impl TdmNode {
                     cs_est.saturating_sub(2 * self.cfg.net.mesh.hops(self.id, dst) as u64 + 2);
                 if self.within_budget(cs_est, slot_wait, dst) {
                     self.queued_cs_flits += pkt.len_flits as usize;
-                    self.cs_queues.entry(dst).or_default().push_back(QueuedCs {
+                    self.cs_queues.entry_or_default(dst).push_back(QueuedCs {
                         packet: pkt,
                         true_dst: None,
                     });
                     // A backlog means the pair outgrew its bandwidth share:
                     // request another slot run (§II-C granularity).
-                    if self.cs_queues.get(&dst).is_some_and(|q| q.len() >= 2) {
+                    if self.cs_queues.get(dst).is_some_and(|q| q.len() >= 2) {
                         self.maybe_add_run(now, dst);
                     }
                     return;
@@ -276,8 +287,7 @@ impl TdmNode {
                     if self.within_budget(cs_est, slot_wait, dst) {
                         self.queued_cs_flits += pkt.len_flits as usize;
                         self.cs_queues
-                            .entry(conn.dst)
-                            .or_default()
+                            .entry_or_default(conn.dst)
                             .push_back(QueuedCs {
                                 packet: pkt,
                                 true_dst: Some(dst),
@@ -411,7 +421,7 @@ impl TdmNode {
             return;
         };
         // Any messages still queued for it go packet-switched.
-        if let Some(q) = self.cs_queues.remove(&dst) {
+        if let Some(q) = self.cs_queues.remove(dst) {
             for m in q {
                 self.queued_cs_flits -= m.packet.len_flits as usize;
                 self.requeue_ps(m.packet, m.true_dst);
@@ -495,7 +505,7 @@ impl TdmNode {
         (0..len)
             .map(|s| {
                 let mut f = Flit::of_packet(&shaped, s, Switching::Circuit);
-                f.true_dst = q.true_dst;
+                f.set_true_dst(q.true_dst);
                 f
             })
             .collect()
@@ -506,7 +516,7 @@ impl TdmNode {
     fn pump_cs(&mut self, now: Cycle) -> bool {
         // Continue an in-progress burst.
         if let Some(s) = &mut self.streaming {
-            let flit = s.flits[s.next].clone();
+            let flit = s.flits[s.next];
             let ok = match s.via {
                 StreamVia::Own => self.router.inject_cs_local(now, flit),
                 StreamVia::Hitchhike { in_port, ride_dst } => self
@@ -540,6 +550,12 @@ impl TdmNode {
         if self.cs_frozen {
             return false;
         }
+        // Nothing queued for a circuit and nothing waiting to hitchhike:
+        // the scans below are guaranteed no-ops (the flit counters are
+        // exact — see the `occupancy` debug asserts).
+        if self.queued_cs_flits == 0 && self.share_queue.is_empty() {
+            return false;
+        }
 
         let slot_now = self.router.slots.slot_of(now);
 
@@ -548,13 +564,13 @@ impl TdmNode {
             .registry
             .iter()
             .find(|c| {
-                c.slot == slot_now && self.cs_queues.get(&c.dst).is_some_and(|q| !q.is_empty())
+                c.slot == slot_now && self.cs_queues.get(c.dst).is_some_and(|q| !q.is_empty())
             })
             .map(|c| c.dst);
         if let Some(dst) = starting {
             let q = self
                 .cs_queues
-                .get_mut(&dst)
+                .get_mut(dst)
                 .and_then(|q| q.pop_front())
                 .expect("non-empty queue");
             self.queued_cs_flits -= q.packet.len_flits as usize;
@@ -571,7 +587,7 @@ impl TdmNode {
                 origin: q.packet.clone(),
                 final_dst,
             };
-            let ok = self.router.inject_cs_local(now, stream.flits[0].clone());
+            let ok = self.router.inject_cs_local(now, stream.flits[0]);
             assert!(ok, "own reservation missing at {:?}", self.id);
             stream.next = 1;
             if stream.next < stream.flits.len() {
@@ -641,9 +657,9 @@ impl TdmNode {
                 origin: msg.packet.clone(),
                 final_dst: msg.final_dst,
             };
-            let ok =
-                self.router
-                    .inject_cs_hitchhike(now, stream.flits[0].clone(), e.in_port, e.dst);
+            let ok = self
+                .router
+                .inject_cs_hitchhike(now, stream.flits[0], e.in_port, e.dst);
             if !ok {
                 // Contention with the upstream source: packet-switch (§III-A1).
                 self.share_failed(now, msg);
@@ -672,10 +688,10 @@ impl TdmNode {
         let trigger = if msg.ride_dst == final_dst {
             self.dlt.record_failure(msg.ride_dst)
         } else {
-            let c = self.share_fails.entry(final_dst).or_insert(0);
+            let c = self.share_fails.entry_or_default(final_dst);
             *c += 1;
             if *c >= crate::dlt::FAIL_LIMIT {
-                self.share_fails.remove(&final_dst);
+                self.share_fails.remove(final_dst);
                 true
             } else {
                 false
@@ -695,8 +711,10 @@ impl TdmNode {
     pub fn set_cs_frozen(&mut self, frozen: bool) {
         self.cs_frozen = frozen;
         if frozen {
-            let queues: Vec<_> = self.cs_queues.drain().collect();
-            for (_, q) in queues {
+            // Canonical ascending-id order: the flush lands messages on the
+            // packet-switched network in a deterministic sequence however
+            // the queues were populated.
+            for (_, q) in self.cs_queues.drain_sorted() {
                 for m in q {
                     self.requeue_ps(m.packet, m.true_dst);
                 }
@@ -807,22 +825,24 @@ impl NodeModel for TdmNode {
 
         // Circuit-switched ejections: vicinity hop-offs re-enter the
         // packet-switched network for their final hop (§III-A2).
+        // `route_dst` resolves the hop-off field: it names this node for a
+        // completed delivery and a neighbour for a vicinity forward.
         for flit in self.router.cs_ejected.drain(..) {
-            match flit.true_dst {
-                Some(td) if td != self.id => {
-                    if flit.kind.is_tail() {
-                        let mut p = Packet::data(
-                            flit.packet,
-                            flit.src,
-                            td,
-                            self.cfg.net.ps_packet_flits,
-                            flit.created,
-                        );
-                        p.measured = flit.measured;
-                        self.nic.enqueue(p);
-                    }
+            let td = flit.route_dst();
+            if td != self.id {
+                if flit.kind().is_tail() {
+                    let mut p = Packet::data(
+                        flit.packet,
+                        flit.src(),
+                        td,
+                        self.cfg.net.ps_packet_flits,
+                        flit.created,
+                    );
+                    p.measured = flit.measured();
+                    self.nic.enqueue(p);
                 }
-                _ => self.nic.accept_ejected(now, flit),
+            } else {
+                self.nic.accept_ejected(now, flit);
             }
         }
 
@@ -840,9 +860,13 @@ impl NodeModel for TdmNode {
         // Packet-switched ejections: data to the NIC, acks to the policy.
         let mut ejected = std::mem::take(&mut self.router.pipeline.ejected);
         for flit in ejected.drain(..) {
-            if flit.class == MsgClass::Config {
-                if let Some(ConfigKind::Ack { info, success }) = flit.config.as_deref() {
-                    self.handle_ack(now, *info, *success);
+            if flit.class() == MsgClass::Config {
+                if flit.config.is_some() {
+                    let kind = self.arena.get(flit.config);
+                    self.arena.free(flit.config);
+                    if let ConfigKind::Ack { info, success } = kind {
+                        self.handle_ack(now, info, success);
+                    }
                 }
                 continue;
             }
@@ -868,6 +892,12 @@ impl NodeModel for TdmNode {
                 }
             }
         }
+    }
+
+    fn attach_arena(&mut self, arena: &Arc<ConfigArena>) {
+        self.arena = arena.clone();
+        self.nic.set_arena(arena.clone());
+        self.router.set_arena(arena.clone());
     }
 
     fn set_trace_sink(&mut self, sink: TraceSink) {
@@ -957,11 +987,11 @@ impl NodeModel for TdmNode {
         // slot-table wheel says exactly when `pump_cs` can next make
         // progress, so wake at the earliest relevant slot occurrence
         // (strictly after `now` — `pump_cs` already ran this cycle).
-        for (dst, q) in &self.cs_queues {
+        for (dst, q) in self.cs_queues.iter() {
             if q.is_empty() {
                 continue;
             }
-            let runs = self.registry.runs(*dst);
+            let runs = self.registry.runs(dst);
             if runs.is_empty() {
                 // A queue without a connection should not exist; stay
                 // awake rather than strand it.
@@ -1255,9 +1285,11 @@ mod tests {
             node.step(now, &mut out);
             if !out.flits.is_empty() {
                 for (_, f) in out.flits.drain(..) {
-                    if let Some(ConfigKind::Teardown(i)) = f.config.as_deref() {
-                        assert_eq!(i.path_id, 42);
-                        saw_teardown = true;
+                    if f.config.is_some() {
+                        if let ConfigKind::Teardown(i) = node.router.arena().get(f.config) {
+                            assert_eq!(i.path_id, 42);
+                            saw_teardown = true;
+                        }
                     }
                 }
             }

@@ -4,7 +4,7 @@
 //! pairs deserve a circuit (§II-A: "a circuit-switched path is only
 //! reserved for source-destination pairs that communicate frequently").
 
-use noc_sim::{Cycle, Mesh, NodeId};
+use noc_sim::{Cycle, Mesh, NodeId, NodeTable};
 use rustc_hash::FxHashMap;
 
 /// An established circuit-switched connection, registered at the source
@@ -40,20 +40,25 @@ pub struct PendingSetup {
 /// consecutive-slot reservations spread over the period — which is how the
 /// time-division granularity of §II-C scales a circuit's bandwidth share
 /// with demand: R runs give the pair `R × duration / S` of the link.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct ConnRegistry {
-    conns: FxHashMap<NodeId, Vec<Connection>>,
+    conns: NodeTable<Vec<Connection>>,
     pending: FxHashMap<u64, PendingSetup>,
     /// Destinations that exhausted their retries: no new setup until the
     /// stored cycle, with an exponential-backoff level — repeatedly
     /// unsatisfiable pairs stop spamming the network with configuration
     /// messages (keeping them under the paper's 1 % of traffic).
-    cooldown: FxHashMap<NodeId, (Cycle, u32)>,
+    cooldown: NodeTable<(Cycle, u32)>,
 }
 
 impl ConnRegistry {
-    pub fn new() -> Self {
-        Self::default()
+    /// A registry for a mesh of `nodes` nodes (keys are destinations).
+    pub fn new(nodes: usize) -> Self {
+        ConnRegistry {
+            conns: NodeTable::new(nodes),
+            pending: FxHashMap::default(),
+            cooldown: NodeTable::new(nodes),
+        }
     }
 
     /// Number of connected destination pairs.
@@ -67,17 +72,17 @@ impl ConnRegistry {
 
     /// First run toward `dst` (existence check / representative).
     pub fn get(&self, dst: NodeId) -> Option<&Connection> {
-        self.conns.get(&dst).and_then(|v| v.first())
+        self.conns.get(dst).and_then(|v| v.first())
     }
 
     /// All runs toward `dst`.
     pub fn runs(&self, dst: NodeId) -> &[Connection] {
-        self.conns.get(&dst).map(Vec::as_slice).unwrap_or(&[])
+        self.conns.get(dst).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Mark the run starting at `slot` used.
     pub fn touch(&mut self, dst: NodeId, slot: u16, now: Cycle) {
-        if let Some(v) = self.conns.get_mut(&dst) {
+        if let Some(v) = self.conns.get_mut(dst) {
             for c in v.iter_mut() {
                 if c.slot == slot {
                     c.last_used = now;
@@ -126,7 +131,7 @@ impl ConnRegistry {
             last_used: now,
             uses: 0,
         };
-        self.conns.entry(p.dst).or_default().push(conn);
+        self.conns.entry_or_default(p.dst).push(conn);
         Some(conn)
     }
 
@@ -139,7 +144,7 @@ impl ConnRegistry {
     /// Remove every run toward `dst` (teardown initiated); returns them so
     /// the caller can send one teardown per path.
     pub fn remove(&mut self, dst: NodeId) -> Option<Vec<Connection>> {
-        self.conns.remove(&dst)
+        self.conns.remove(dst)
     }
 
     /// Pick the least-recently-used destination pair idle for at least
@@ -157,18 +162,18 @@ impl ConnRegistry {
     /// Start (or escalate) a retry cool-down: the n-th consecutive
     /// cool-down for `dst` lasts `base << min(n, 6)` cycles.
     pub fn set_cooldown(&mut self, dst: NodeId, now: Cycle, base: Cycle) {
-        let level = self.cooldown.get(&dst).map_or(0, |&(_, l)| (l + 1).min(6));
+        let level = self.cooldown.get(dst).map_or(0, |&(_, l)| (l + 1).min(6));
         self.cooldown.insert(dst, (now + (base << level), level));
     }
 
     /// A successful setup clears the backoff history.
     pub fn clear_cooldown(&mut self, dst: NodeId) {
-        self.cooldown.remove(&dst);
+        self.cooldown.remove(dst);
     }
 
     pub fn in_cooldown(&self, dst: NodeId, now: Cycle) -> bool {
         self.cooldown
-            .get(&dst)
+            .get(dst)
             .is_some_and(|&(until, _)| now < until)
     }
 
@@ -185,16 +190,16 @@ impl ConnRegistry {
 /// dominates stale history.
 #[derive(Clone, Debug)]
 pub struct FrequencyTracker {
-    counts: FxHashMap<NodeId, u32>,
+    counts: NodeTable<u32>,
     window: u64,
     next_decay: Cycle,
 }
 
 impl FrequencyTracker {
-    pub fn new(window: u64) -> Self {
+    pub fn new(window: u64, nodes: usize) -> Self {
         assert!(window > 0);
         FrequencyTracker {
-            counts: FxHashMap::default(),
+            counts: NodeTable::new(nodes),
             window,
             next_decay: window,
         }
@@ -209,13 +214,13 @@ impl FrequencyTracker {
             });
             self.next_decay = now + self.window;
         }
-        let c = self.counts.entry(dst).or_insert(0);
+        let c = self.counts.entry_or_default(dst);
         *c += 1;
         *c
     }
 
     pub fn count(&self, dst: NodeId) -> u32 {
-        self.counts.get(&dst).copied().unwrap_or(0)
+        self.counts.get(dst).copied().unwrap_or(0)
     }
 
     pub fn clear(&mut self) {
@@ -239,7 +244,7 @@ mod tests {
 
     #[test]
     fn setup_lifecycle_success() {
-        let mut r = ConnRegistry::new();
+        let mut r = ConnRegistry::new(16);
         r.begin_setup(1, pending(7, 12));
         assert!(r.pending_for(NodeId(7)));
         assert!(r.get(NodeId(7)).is_none());
@@ -252,7 +257,7 @@ mod tests {
 
     #[test]
     fn setup_lifecycle_failure() {
-        let mut r = ConnRegistry::new();
+        let mut r = ConnRegistry::new(16);
         r.begin_setup(2, pending(7, 12));
         let p = r.fail(2).unwrap();
         assert_eq!(p.dst, NodeId(7));
@@ -262,7 +267,7 @@ mod tests {
 
     #[test]
     fn lru_idle_eviction_candidate() {
-        let mut r = ConnRegistry::new();
+        let mut r = ConnRegistry::new(16);
         for (pid, dst, used) in [(1u64, 3u32, 100u64), (2, 4, 50), (3, 5, 990)] {
             r.begin_setup(pid, pending(dst, 0));
             r.confirm(pid, used);
@@ -277,7 +282,7 @@ mod tests {
 
     #[test]
     fn cooldown_gate() {
-        let mut r = ConnRegistry::new();
+        let mut r = ConnRegistry::new(16);
         r.set_cooldown(NodeId(9), 0, 500);
         assert!(r.in_cooldown(NodeId(9), 499));
         assert!(!r.in_cooldown(NodeId(9), 500));
@@ -295,7 +300,7 @@ mod tests {
     #[test]
     fn vicinity_finds_adjacent_endpoint() {
         let mesh = Mesh::square(4);
-        let mut r = ConnRegistry::new();
+        let mut r = ConnRegistry::new(16);
         r.begin_setup(1, pending(5, 0)); // (1,1)
         r.confirm(1, 0);
         assert!(r.vicinity_of(&mesh, NodeId(6)).is_some()); // (2,1)
@@ -305,7 +310,7 @@ mod tests {
 
     #[test]
     fn frequency_counts_and_decay() {
-        let mut f = FrequencyTracker::new(100);
+        let mut f = FrequencyTracker::new(100, 16);
         for _ in 0..6 {
             f.record(NodeId(1), 10);
         }

@@ -17,11 +17,13 @@
 //!   and invalidates it, and failures turn into `ack` messages heading back
 //!   to the source (§II-B).
 
+use std::sync::Arc;
+
 use noc_sim::routing::{west_first_route, xy_route};
 use noc_sim::trace::{Trace, TraceEvent};
 use noc_sim::{
-    ConfigKind, Cycle, EventKind, Flit, HybridCtrl, Mesh, MsgClass, NodeId, NodeOutputs, Packet,
-    PacketId, Port, PsOutput, PsPipeline, RouterConfig, Switching,
+    ConfigArena, ConfigKind, Cycle, EventKind, Flit, HybridCtrl, Mesh, MsgClass, NodeId,
+    NodeOutputs, Packet, PacketId, Port, PsOutput, PsPipeline, RouterConfig, Switching,
 };
 
 use crate::slot_table::SlotTables;
@@ -90,6 +92,10 @@ pub struct TdmRouter {
     /// Optional flit-level event trace (protocol debugging); disabled by
     /// default and free when off.
     pub trace: Trace,
+    /// Configuration-payload arena the router reads `setup`/`teardown`
+    /// payloads from and re-interns advanced-slot forwards into. Private
+    /// by default; the owning network swaps in its shared arena.
+    arena: Arc<ConfigArena>,
     next_protocol_id: u64,
 }
 
@@ -112,12 +118,23 @@ impl TdmRouter {
             time_slot_stealing: true,
             pending_credits: Vec::new(),
             trace: Trace::default(),
+            arena: Arc::new(ConfigArena::new()),
             next_protocol_id: 0,
         }
     }
 
     pub fn id(&self) -> NodeId {
         self.pipeline.id
+    }
+
+    /// The configuration-payload arena this router reads from.
+    pub fn arena(&self) -> &Arc<ConfigArena> {
+        &self.arena
+    }
+
+    /// Attach the network-wide shared arena (replaces the private one).
+    pub fn set_arena(&mut self, arena: Arc<ConfigArena>) {
+        self.arena = arena;
     }
 
     fn protocol_packet_id(&mut self) -> PacketId {
@@ -130,16 +147,16 @@ impl TdmRouter {
     /// consults the slot table (the input demultiplexer of Figure 2).
     pub fn accept_flit(&mut self, now: Cycle, port: Port, flit: Flit) {
         self.pipeline.events.slot_lookups += 1;
-        if flit.switching == Switching::Circuit {
+        if flit.switching() == Switching::Circuit {
             let entry = *self.slots.lookup(port, now).unwrap_or_else(|| {
                 panic!(
                     "CS flit {:?} (src {:?} dst {:?} seq {} true_dst {:?}) arrived at {:?} \
                          port {:?} in unreserved slot {} (cycle {}) — teardown raced ahead of data",
                     flit.packet,
-                    flit.src,
-                    flit.dst,
+                    flit.src(),
+                    flit.dst(),
                     flit.seq,
-                    flit.true_dst,
+                    flit.true_dst(),
                     self.id(),
                     port,
                     self.slots.slot_of(now),
@@ -151,7 +168,7 @@ impl TdmRouter {
                 "two CS flits in one cycle"
             );
             self.pipeline.events.cs_latch_writes += 1;
-            if flit.kind.is_head() && entry.out != Port::Local {
+            if flit.kind().is_head() && entry.out != Port::Local {
                 self.dlt_observations.push(DltObservation::Confirm {
                     dst: entry.dst,
                     in_port: port,
@@ -161,9 +178,9 @@ impl TdmRouter {
             self.cs_latch[port.index()] = Some((flit, entry.out));
             return;
         }
-        if flit.class == MsgClass::Config && flit.kind.is_head() {
-            match flit.config.as_deref() {
-                Some(ConfigKind::Setup(_)) | Some(ConfigKind::Teardown(_)) => {
+        if flit.class() == MsgClass::Config && flit.kind().is_head() {
+            match self.arena.get(flit.config) {
+                ConfigKind::Setup(_) | ConfigKind::Teardown(_) => {
                     self.process_config(now, port, flit);
                     return;
                 }
@@ -236,11 +253,7 @@ impl TdmRouter {
     /// Process `setup`/`teardown` on arrival (the reservation check of
     /// §II-B happens when the message enters the router).
     fn process_config(&mut self, now: Cycle, in_port: Port, mut flit: Flit) {
-        let kind = flit
-            .config
-            .as_deref()
-            .expect("config flit has payload")
-            .clone();
+        let kind = self.arena.get(flit.config);
         match kind {
             ConfigKind::Setup(info) => {
                 let out = if info.dst == self.id() {
@@ -284,15 +297,19 @@ impl TdmRouter {
                         if out == Port::Local {
                             // Reached the destination: ack success.
                             self.pipeline.events.config_flits_delivered += 1;
+                            self.arena.free(flit.config);
                             self.consume_config_credit(in_port, flit.vc);
                             self.emit_ack(now, info, true);
                         } else {
                             // Forward with the slot id advanced by 2 — the
-                            // circuit pipeline is two-stage (§II-B).
+                            // circuit pipeline is two-stage (§II-B). The
+                            // stale payload is freed and the advanced one
+                            // re-interned.
                             let mut fwd = info;
                             fwd.slot = (info.slot + 2) % self.slots.active();
-                            flit.config = Some(std::sync::Arc::new(ConfigKind::Setup(fwd)));
-                            flit.forced_out = Some(out);
+                            self.arena.free(flit.config);
+                            flit.config = self.arena.alloc(ConfigKind::Setup(fwd));
+                            flit.set_forced_out(Some(out));
                             self.pipeline.accept_flit(now, in_port, flit);
                         }
                     }
@@ -302,6 +319,7 @@ impl TdmRouter {
                         // teardown the source sends on receiving the ack.
                         self.pipeline.events.setup_failures += 1;
                         self.pipeline.events.config_flits_delivered += 1;
+                        self.arena.free(flit.config);
                         self.consume_config_credit(in_port, flit.vc);
                         self.emit_ack(now, info, false);
                     }
@@ -330,15 +348,19 @@ impl TdmRouter {
                             .push(DltObservation::Remove { dst: info.dst });
                         if out == Port::Local {
                             self.pipeline.events.config_flits_delivered += 1;
+                            self.arena.free(flit.config);
                             self.consume_config_credit(in_port, flit.vc);
                         } else {
-                            flit.forced_out = Some(out);
+                            // The teardown payload is hop-invariant: the
+                            // interned handle travels on unchanged.
+                            flit.set_forced_out(Some(out));
                             self.pipeline.accept_flit(now, in_port, flit);
                         }
                     }
                     None => {
                         // Reached the node where the setup failed (§II-B).
                         self.pipeline.events.config_flits_delivered += 1;
+                        self.arena.free(flit.config);
                         self.consume_config_credit(in_port, flit.vc);
                     }
                 }
@@ -353,11 +375,11 @@ impl TdmRouter {
     fn route_for_setup(&self, flit: &Flit) -> Port {
         if self.pipeline.cfg.adaptive_config_routing {
             let outs = &self.pipeline.outputs;
-            west_first_route(&self.pipeline.mesh, self.id(), flit.dst, |d| {
+            west_first_route(&self.pipeline.mesh, self.id(), flit.dst(), |d| {
                 outs[d.as_port().index()].score()
             })
         } else {
-            xy_route(&self.pipeline.mesh, self.id(), flit.dst)
+            xy_route(&self.pipeline.mesh, self.id(), flit.dst())
         }
     }
 
@@ -395,15 +417,23 @@ impl TdmRouter {
             outputs: [PsOutput::Free; Port::COUNT],
             inputs_blocked: [false; Port::COUNT],
         };
+        // One pass over the latches yields both the blocked inputs and the
+        // outputs busy with a circuit flit this cycle; the slot tables
+        // answer "reserved in this slot" with a single byte (maintained
+        // incrementally by reserve/release).
+        let mut latched_outs = 0u8;
+        for (p, l) in self.cs_latch.iter().enumerate() {
+            if let Some((_, cs_out)) = l {
+                latched_outs |= 1 << cs_out.index();
+                ctrl.inputs_blocked[p] = true;
+            }
+        }
+        let reserved_outs = self.slots.reserved_outputs(now);
         for o in Port::ALL {
-            let busy = self
-                .cs_latch
-                .iter()
-                .flatten()
-                .any(|(_, cs_out)| *cs_out == o);
-            ctrl.outputs[o.index()] = if busy {
+            let bit = 1u8 << o.index();
+            ctrl.outputs[o.index()] = if latched_outs & bit != 0 {
                 PsOutput::Busy
-            } else if self.slots.input_reserving_output(now, o).is_some() {
+            } else if reserved_outs & bit != 0 {
                 if self.time_slot_stealing {
                     PsOutput::ReservedIdle
                 } else {
@@ -412,9 +442,6 @@ impl TdmRouter {
             } else {
                 PsOutput::Free
             };
-        }
-        for p in Port::ALL {
-            ctrl.inputs_blocked[p.index()] = self.cs_latch[p.index()].is_some();
         }
 
         // Circuit-switched traversal: one cycle through the pre-configured
@@ -509,7 +536,14 @@ mod tests {
         TdmRouter::new(m.id(c), m, RouterConfig::default(), 16, 16, 0.9)
     }
 
-    fn setup_flit(src: NodeId, dst: NodeId, slot: u16, duration: u8, path_id: u64) -> Flit {
+    fn setup_flit(
+        arena: &ConfigArena,
+        src: NodeId,
+        dst: NodeId,
+        slot: u16,
+        duration: u8,
+        path_id: u64,
+    ) -> Flit {
         let info = SetupInfo {
             src,
             dst,
@@ -524,7 +558,7 @@ mod tests {
             ConfigKind::Setup(info),
             0,
         );
-        Flit::of_packet(&p, 0, Switching::Packet)
+        Flit::of_packet_in(arena, &p, 0, Switching::Packet)
     }
 
     fn cs_flit(packet: u64, src: NodeId, dst: NodeId, seq: u8, len: u8) -> Flit {
@@ -538,7 +572,7 @@ mod tests {
         let mut r = router_at(m, Coord::new(1, 1)); // node 5
         let src = m.id(Coord::new(0, 1));
         let dst = m.id(Coord::new(3, 1));
-        r.accept_flit(0, Port::West, setup_flit(src, dst, 6, 4, 42));
+        r.accept_flit(0, Port::West, setup_flit(r.arena(), src, dst, 6, 4, 42));
         // Reservation made at West for slots 6..10 toward East.
         assert_eq!(r.slots.lookup(Port::West, 6).unwrap().out, Port::East);
         assert_eq!(r.slots.lookup(Port::West, 9).unwrap().out, Port::East);
@@ -551,7 +585,7 @@ mod tests {
         assert_eq!(out.flits.len(), 1);
         let (dir, f) = &out.flits[0];
         assert_eq!(*dir, noc_sim::Direction::East);
-        match f.config.as_deref().unwrap() {
+        match r.arena().get(f.config) {
             ConfigKind::Setup(i) => assert_eq!(i.slot, 8),
             other => panic!("unexpected payload {other:?}"),
         }
@@ -568,7 +602,7 @@ mod tests {
         let dst = m.id(Coord::new(1, 1));
         let mut r = router_at(m, Coord::new(1, 1));
         let src = m.id(Coord::new(0, 1));
-        r.accept_flit(0, Port::West, setup_flit(src, dst, 4, 4, 7));
+        r.accept_flit(0, Port::West, setup_flit(r.arena(), src, dst, 4, 4, 7));
         // Reserved to Local.
         assert_eq!(r.slots.lookup(Port::West, 4).unwrap().out, Port::Local);
         assert_eq!(r.protocol_out.len(), 1);
@@ -589,11 +623,11 @@ mod tests {
         let mut r = router_at(m, Coord::new(1, 1));
         let src1 = m.id(Coord::new(0, 1));
         let dst = m.id(Coord::new(3, 1));
-        r.accept_flit(0, Port::West, setup_flit(src1, dst, 6, 4, 1));
+        r.accept_flit(0, Port::West, setup_flit(r.arena(), src1, dst, 6, 4, 1));
         // Second setup from the south wants the same East output at an
         // overlapping slot → Figure 1's setup3 failure.
         let src2 = m.id(Coord::new(1, 3));
-        r.accept_flit(1, Port::South, setup_flit(src2, dst, 7, 4, 2));
+        r.accept_flit(1, Port::South, setup_flit(r.arena(), src2, dst, 7, 4, 2));
         assert_eq!(r.pipeline.events.setup_failures, 1);
         let ack = r
             .protocol_out
@@ -617,7 +651,7 @@ mod tests {
         let mut r = router_at(m, Coord::new(1, 1));
         let src = m.id(Coord::new(0, 1));
         let dst = m.id(Coord::new(3, 1));
-        r.accept_flit(0, Port::West, setup_flit(src, dst, 6, 4, 1));
+        r.accept_flit(0, Port::West, setup_flit(r.arena(), src, dst, 6, 4, 1));
         // A CS flit arrives at cycle 6 (≡ slot 6 mod 16).
         let f = cs_flit(50, src, dst, 0, 4);
         r.accept_flit(6, Port::West, f);
@@ -627,7 +661,7 @@ mod tests {
         let cs: Vec<_> = out
             .flits
             .iter()
-            .filter(|(_, f)| f.switching == Switching::Circuit)
+            .filter(|(_, f)| f.switching() == Switching::Circuit)
             .collect();
         assert_eq!(cs.len(), 1);
         assert_eq!(cs[0].0, noc_sim::Direction::East);
@@ -642,7 +676,7 @@ mod tests {
         let dst = m.id(Coord::new(1, 1));
         let mut r = router_at(m, Coord::new(1, 1));
         let src = m.id(Coord::new(0, 1));
-        r.accept_flit(0, Port::West, setup_flit(src, dst, 4, 4, 1));
+        r.accept_flit(0, Port::West, setup_flit(r.arena(), src, dst, 4, 4, 1));
         r.accept_flit(4, Port::West, cs_flit(51, src, dst, 0, 4));
         let mut out = NodeOutputs::default();
         r.step(4, &mut out);
@@ -669,7 +703,7 @@ mod tests {
         let mut r = router_at(m, Coord::new(1, 1));
         let src = m.id(Coord::new(0, 1));
         let dst = m.id(Coord::new(3, 1));
-        r.accept_flit(0, Port::West, setup_flit(src, dst, 6, 4, 9));
+        r.accept_flit(0, Port::West, setup_flit(r.arena(), src, dst, 6, 4, 9));
         assert!(r.slots.lookup(Port::West, 6).is_some());
         // Flush the forwarded setup flit out of the pipeline first.
         {
@@ -687,7 +721,7 @@ mod tests {
             path_id: 9,
         };
         let p = Packet::config(PacketId(2000), src, dst, ConfigKind::Teardown(info), 10);
-        let f = Flit::of_packet(&p, 0, Switching::Packet);
+        let f = Flit::of_packet_in(r.arena(), &p, 0, Switching::Packet);
         r.accept_flit(10, Port::West, f);
         assert!(r.slots.lookup(Port::West, 6).is_none());
         // Forwarded along the reserved output (East).
@@ -697,7 +731,7 @@ mod tests {
         }
         assert_eq!(out.flits.len(), 1);
         assert!(matches!(
-            out.flits[0].1.config.as_deref().unwrap(),
+            r.arena().get(out.flits[0].1.config),
             ConfigKind::Teardown(i) if i.path_id == 9
         ));
         assert!(r
@@ -720,7 +754,8 @@ mod tests {
             path_id: 77,
         };
         let p = Packet::config(PacketId(3000), src, dst, ConfigKind::Teardown(info), 0);
-        r.accept_flit(0, Port::West, Flit::of_packet(&p, 0, Switching::Packet));
+        let f = Flit::of_packet_in(r.arena(), &p, 0, Switching::Packet);
+        r.accept_flit(0, Port::West, f);
         let mut out = NodeOutputs::default();
         for now in 0..4 {
             r.step(now, &mut out);
@@ -738,9 +773,9 @@ mod tests {
         let src = m.id(Coord::new(0, 1));
         let dst = m.id(Coord::new(3, 1));
         // Reserve ALL slots West→East so every cycle is reserved.
-        r.accept_flit(0, Port::West, setup_flit(src, dst, 0, 8, 1));
-        r.accept_flit(0, Port::West, setup_flit(src, dst, 8, 6, 2)); // 14 of 16 (cap 0.9)
-                                                                     // A PS flit from the south also heading East.
+        r.accept_flit(0, Port::West, setup_flit(r.arena(), src, dst, 0, 8, 1));
+        r.accept_flit(0, Port::West, setup_flit(r.arena(), src, dst, 8, 6, 2)); // 14 of 16 (cap 0.9)
+                                                                                // A PS flit from the south also heading East.
         let ps = {
             let p = Packet::data(PacketId(60), m.id(Coord::new(1, 3)), dst, 1, 0);
             let mut f = Flit::of_packet(&p, 0, Switching::Packet);
@@ -756,7 +791,7 @@ mod tests {
             if out
                 .flits
                 .iter()
-                .any(|(_, f)| f.switching == Switching::Packet && f.class == MsgClass::Data)
+                .any(|(_, f)| f.switching() == Switching::Packet && f.class() == MsgClass::Data)
             {
                 stolen_at = Some(now);
                 break;
@@ -785,7 +820,7 @@ mod tests {
         let ps_left = out
             .flits
             .iter()
-            .any(|(_, f)| f.switching == Switching::Packet && f.class == MsgClass::Data);
+            .any(|(_, f)| f.switching() == Switching::Packet && f.class() == MsgClass::Data);
         assert!(!ps_left, "PS flit must not share the output with a CS flit");
     }
 
@@ -795,7 +830,7 @@ mod tests {
         let mut r = router_at(m, Coord::new(1, 1));
         let src = m.id(Coord::new(0, 1));
         let dst = m.id(Coord::new(3, 1));
-        r.accept_flit(0, Port::West, setup_flit(src, dst, 6, 4, 1));
+        r.accept_flit(0, Port::West, setup_flit(r.arena(), src, dst, 6, 4, 1));
 
         // Free slot: hitchhike succeeds and the flit leaves East.
         let mine = cs_flit(70, r.id(), dst, 0, 4);
@@ -805,7 +840,7 @@ mod tests {
         assert_eq!(
             out.flits
                 .iter()
-                .filter(|(_, f)| f.switching == Switching::Circuit)
+                .filter(|(_, f)| f.switching() == Switching::Circuit)
                 .count(),
             1
         );
@@ -826,7 +861,7 @@ mod tests {
         let mut r = router_at(m, Coord::new(1, 1));
         let dst = m.id(Coord::new(3, 1));
         // The node's own setup passes through its router via the local port.
-        r.accept_flit(0, Port::Local, setup_flit(r.id(), dst, 2, 4, 5));
+        r.accept_flit(0, Port::Local, setup_flit(r.arena(), r.id(), dst, 2, 4, 5));
         assert_eq!(r.slots.lookup(Port::Local, 2).unwrap().out, Port::East);
         assert!(r.inject_cs_local(2, cs_flit(80, r.id(), dst, 0, 4)));
         // Unreserved slot: no injection.
@@ -839,7 +874,7 @@ mod tests {
         let mut r = router_at(m, Coord::new(1, 1));
         let src = m.id(Coord::new(0, 1));
         let dst = m.id(Coord::new(3, 1));
-        r.accept_flit(0, Port::West, setup_flit(src, dst, 6, 4, 1));
+        r.accept_flit(0, Port::West, setup_flit(r.arena(), src, dst, 6, 4, 1));
         r.reset_slots(16);
         assert!(r.slots.lookup(Port::West, 6).is_none());
         assert_eq!(r.pipeline.events.slot_table_resizes, 1);
@@ -859,7 +894,14 @@ mod more_tests {
         TdmRouter::new(m.id(c), m, RouterConfig::default(), 16, 16, 0.9)
     }
 
-    fn setup_flit(src: NodeId, dst: NodeId, slot: u16, duration: u8, path_id: u64) -> Flit {
+    fn setup_flit(
+        arena: &ConfigArena,
+        src: NodeId,
+        dst: NodeId,
+        slot: u16,
+        duration: u8,
+        path_id: u64,
+    ) -> Flit {
         let info = SetupInfo {
             src,
             dst,
@@ -874,7 +916,7 @@ mod more_tests {
             ConfigKind::Setup(info),
             0,
         );
-        Flit::of_packet(&p, 0, Switching::Packet)
+        Flit::of_packet_in(arena, &p, 0, Switching::Packet)
     }
 
     fn cs_flit(packet: u64, src: NodeId, dst: NodeId, seq: u8, len: u8) -> Flit {
@@ -890,7 +932,7 @@ mod more_tests {
         let dst = m.id(Coord::new(1, 1));
         let mut r = router_at(m, Coord::new(1, 1));
         let src = m.id(Coord::new(0, 1));
-        let mut f = setup_flit(src, dst, 4, 4, 7);
+        let mut f = setup_flit(r.arena(), src, dst, 4, 4, 7);
         f.vc = 2;
         r.accept_flit(0, Port::West, f);
         let mut out = NodeOutputs::default();
@@ -911,9 +953,9 @@ mod more_tests {
         let mut r = router_at(m, Coord::new(1, 1));
         let dst = m.id(Coord::new(3, 1));
         // Fill the local table so the local setup fails (cap 0.9 × 16 = 14).
-        r.accept_flit(0, Port::Local, setup_flit(r.id(), dst, 0, 8, 1));
-        r.accept_flit(0, Port::Local, setup_flit(r.id(), dst, 8, 6, 2));
-        let mut f = setup_flit(r.id(), dst, 14, 2, 3);
+        r.accept_flit(0, Port::Local, setup_flit(r.arena(), r.id(), dst, 0, 8, 1));
+        r.accept_flit(0, Port::Local, setup_flit(r.arena(), r.id(), dst, 8, 6, 2));
+        let mut f = setup_flit(r.arena(), r.id(), dst, 14, 2, 3);
         f.vc = 1;
         r.accept_flit(0, Port::Local, f); // CapReached → consumed
         assert!(r.pipeline.local_credits.contains(&1), "NIC credit missing");
@@ -930,7 +972,7 @@ mod more_tests {
         let mut r = router_at(m, Coord::new(1, 1));
         let src = m.id(Coord::new(0, 1));
         let dst = m.id(Coord::new(3, 1));
-        r.accept_flit(0, Port::West, setup_flit(src, dst, 6, 4, 1));
+        r.accept_flit(0, Port::West, setup_flit(r.arena(), src, dst, 6, 4, 1));
         // Stage a PS flit at West heading North (different output), ready
         // for SA by cycle 6.
         let ps = {
@@ -953,7 +995,7 @@ mod more_tests {
         let ps_left = out
             .flits
             .iter()
-            .any(|(_, f)| f.switching == Switching::Packet && f.class == MsgClass::Data);
+            .any(|(_, f)| f.switching() == Switching::Packet && f.class() == MsgClass::Data);
         assert!(!ps_left, "PS flit shared the crossbar input with a CS flit");
         // Within the next couple of cycles it goes (it may lose one SA
         // round to the setup flit sharing the input port).
@@ -964,7 +1006,7 @@ mod more_tests {
             left |= out
                 .flits
                 .iter()
-                .any(|(_, f)| f.switching == Switching::Packet && f.class == MsgClass::Data);
+                .any(|(_, f)| f.switching() == Switching::Packet && f.class() == MsgClass::Data);
         }
         assert!(left, "PS flit never resumed after the CS cycle");
     }

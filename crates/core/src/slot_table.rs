@@ -46,6 +46,12 @@ pub enum ReserveError {
 pub struct SlotTables {
     /// `tables[port][slot]`.
     tables: Vec<Vec<Option<SlotEntry>>>,
+    /// Per-slot bitmask of reserved *output* ports (bit = `Port::index`),
+    /// maintained by `try_reserve`/`release_path`/`reset`. Outputs are
+    /// exclusive within a slot, so each set bit corresponds to exactly one
+    /// entry. Lets the per-cycle constraint build read one byte instead of
+    /// probing all five input tables.
+    out_masks: Vec<u8>,
     capacity: u16,
     active: u16,
     cap_fraction: f64,
@@ -63,6 +69,7 @@ impl SlotTables {
             tables: (0..Port::COUNT)
                 .map(|_| vec![None; capacity as usize])
                 .collect(),
+            out_masks: vec![0; capacity as usize],
             capacity,
             active,
             cap_fraction,
@@ -93,6 +100,14 @@ impl SlotTables {
     /// Look up the entry for input `port` at cycle `t`.
     pub fn lookup(&self, port: Port, t: u64) -> Option<&SlotEntry> {
         self.tables[port.index()][self.slot_of(t) as usize].as_ref()
+    }
+
+    /// Bitmask (by `Port::index`) of output ports reserved in the slot
+    /// controlling cycle `t` — the O(1) read behind the per-cycle
+    /// switch-constraint build.
+    #[inline]
+    pub fn reserved_outputs(&self, t: u64) -> u8 {
+        self.out_masks[self.slot_of(t) as usize]
     }
 
     /// Which input port (if any) has reserved output `out` at cycle `t`.
@@ -145,6 +160,7 @@ impl SlotTables {
         for k in 0..duration {
             let s = ((s0 + k as u16) % self.active) as usize;
             self.tables[in_port.index()][s] = Some(SlotEntry { out, path_id, dst });
+            self.out_masks[s] |= 1 << out.index();
         }
         self.valid_counts[in_port.index()] += duration as u32;
         Ok(duration)
@@ -158,10 +174,11 @@ impl SlotTables {
         let table = &mut self.tables[in_port.index()];
         let mut out = None;
         let mut cleared = 0u8;
-        for e in table.iter_mut() {
+        for (s, e) in table.iter_mut().enumerate() {
             if let Some(entry) = e {
                 if entry.path_id == path_id {
                     out = Some(entry.out);
+                    self.out_masks[s] &= !(1 << entry.out.index());
                     *e = None;
                     cleared += 1;
                 }
@@ -219,6 +236,7 @@ impl SlotTables {
         for t in &mut self.tables {
             t.fill(None);
         }
+        self.out_masks.fill(0);
         self.valid_counts = [0; Port::COUNT];
         self.active = new_active;
         cleared

@@ -9,13 +9,13 @@
 //! Figure 4 comparison isolates the switching mechanism, not the policy.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use noc_sim::{
-    ConfigKind, Credit, Cycle, DeliveredKind, DeliveredPacket, Direction, Flit, MsgClass, NodeId,
-    NodeModel, NodeOutputs, Packet, PacketId, Port, PowerState, RingSink, SetupInfo, Switching,
-    TraceSink,
+    ConfigArena, ConfigKind, Credit, Cycle, DeliveredKind, DeliveredPacket, Direction, Flit,
+    MsgClass, NodeId, NodeModel, NodeOutputs, NodeTable, Packet, PacketId, Port, PowerState,
+    RingSink, RxTable, SetupInfo, Switching, TraceSink,
 };
-use rustc_hash::FxHashMap;
 use tdm_noc::registry::{ConnRegistry, FrequencyTracker, PendingSetup};
 
 use crate::config::SdmConfig;
@@ -48,9 +48,12 @@ pub struct SdmNode {
     credits: Vec<u8>,
     pub registry: ConnRegistry,
     freq: FrequencyTracker,
-    cs_queues: FxHashMap<NodeId, VecDeque<Packet>>,
-    cs_streams: FxHashMap<NodeId, CsStream>,
-    rx: FxHashMap<PacketId, u8>,
+    /// Shared configuration-payload arena (the router's until the network
+    /// attaches its own).
+    arena: Arc<ConfigArena>,
+    cs_queues: NodeTable<VecDeque<Packet>>,
+    cs_streams: NodeTable<CsStream>,
+    rx: RxTable,
     delivered: Vec<DeliveredPacket>,
     next_path_id: u64,
     plane_scan: u8,
@@ -59,18 +62,22 @@ pub struct SdmNode {
 impl SdmNode {
     pub fn new(id: NodeId, cfg: &SdmConfig) -> Self {
         let vcs = cfg.net.router.vcs_per_port as usize;
+        let n = cfg.net.mesh.len();
+        let router = SdmRouter::new(id, cfg.net.mesh, cfg.net.router, cfg.planes);
+        let arena = router.arena().clone();
         SdmNode {
             id,
             cfg: *cfg,
-            router: SdmRouter::new(id, cfg.net.mesh, cfg.net.router, cfg.planes),
+            router,
             inject_queue: VecDeque::new(),
             streams: vec![None; vcs],
             credits: vec![cfg.net.router.buf_depth; vcs],
-            registry: ConnRegistry::new(),
-            freq: FrequencyTracker::new(cfg.freq_window),
-            cs_queues: FxHashMap::default(),
-            cs_streams: FxHashMap::default(),
-            rx: FxHashMap::default(),
+            registry: ConnRegistry::new(n),
+            freq: FrequencyTracker::new(cfg.freq_window, n),
+            arena,
+            cs_queues: NodeTable::new(n),
+            cs_streams: NodeTable::new(n),
+            rx: RxTable::new(),
             delivered: Vec::new(),
             next_path_id: 0,
             plane_scan: (id.0 % 3) as u8,
@@ -91,7 +98,7 @@ impl SdmNode {
         let dst = pkt.dst;
         let count = self.freq.record(dst, now);
         if self.registry.get(dst).is_some() {
-            self.cs_queues.entry(dst).or_default().push_back(pkt);
+            self.cs_queues.entry_or_default(dst).push_back(pkt);
             return;
         }
         self.inject_queue.push_back(pkt);
@@ -184,24 +191,25 @@ impl SdmNode {
     /// Pump circuit-switched streams: every circuit serialises its burst on
     /// its own plane, immediately (no slot wait).
     fn pump_cs(&mut self, now: Cycle) {
-        // Start streams for idle circuits with queued work.
+        // Start streams for idle circuits with queued work (insertion
+        // order — deterministic across runs).
         let startable: Vec<NodeId> = self
             .cs_queues
             .iter()
-            .filter(|(dst, q)| !q.is_empty() && !self.cs_streams.contains_key(*dst))
-            .map(|(dst, _)| *dst)
+            .filter(|(dst, q)| !q.is_empty() && !self.cs_streams.contains(*dst))
+            .map(|(dst, _)| dst)
             .collect();
         for dst in startable {
             let Some(conn) = self.registry.get(dst).copied() else {
                 // Circuit vanished: drain to PS.
-                if let Some(q) = self.cs_queues.remove(&dst) {
+                if let Some(q) = self.cs_queues.remove(dst) {
                     self.inject_queue.extend(q);
                 }
                 continue;
             };
             let pkt = self
                 .cs_queues
-                .get_mut(&dst)
+                .get_mut(dst)
                 .and_then(|q| q.pop_front())
                 .expect("non-empty");
             let len = pkt.len_flits.saturating_sub(1).max(1);
@@ -225,20 +233,20 @@ impl SdmNode {
             );
         }
         // Advance active streams (plane spacing P).
-        let dsts: Vec<NodeId> = self.cs_streams.keys().copied().collect();
+        let dsts: Vec<NodeId> = self.cs_streams.keys().collect();
         for dst in dsts {
-            let s = self.cs_streams.get_mut(&dst).expect("present");
+            let s = self.cs_streams.get_mut(dst).expect("present");
             if now < s.next_allowed {
                 continue;
             }
-            let flit = s.flits[s.next].clone();
+            let flit = s.flits[s.next];
             let ok = self.router.inject_cs_local(now, flit);
             assert!(ok, "SDM circuit reservation missing at {:?}", self.id);
-            let s = self.cs_streams.get_mut(&dst).expect("present");
+            let s = self.cs_streams.get_mut(dst).expect("present");
             s.next += 1;
             s.next_allowed = now + self.cfg.planes as Cycle;
             if s.next == s.flits.len() {
-                self.cs_streams.remove(&dst);
+                self.cs_streams.remove(dst);
             }
         }
     }
@@ -267,7 +275,7 @@ impl SdmNode {
             if now < s.next_allowed || self.credits[vc] == 0 {
                 continue;
             }
-            let mut flit = Flit::of_packet(&s.packet, s.next, Switching::Packet);
+            let mut flit = Flit::of_packet_in(&self.arena, &s.packet, s.next, Switching::Packet);
             flit.vc = vc as u8;
             self.credits[vc] -= 1;
             s.next += 1;
@@ -281,27 +289,31 @@ impl SdmNode {
     }
 
     fn accept_ejected(&mut self, now: Cycle, flit: Flit) {
-        if flit.class == MsgClass::Config {
-            if let Some(ConfigKind::Ack { info, success }) = flit.config.as_deref() {
-                self.handle_ack(now, *info, *success);
+        if flit.class() == MsgClass::Config {
+            // The handle's lifetime ends at the consumer.
+            if flit.config.is_some() {
+                let kind = self.arena.get(flit.config);
+                self.arena.free(flit.config);
+                if let ConfigKind::Ack { info, success } = kind {
+                    self.handle_ack(now, info, success);
+                }
             }
             return;
         }
-        let received = self.rx.entry(flit.packet).or_insert(0);
-        *received += 1;
-        if flit.kind.is_tail() {
-            self.rx.remove(&flit.packet);
+        self.rx.bump(flit.packet);
+        if flit.kind().is_tail() {
+            self.rx.remove(flit.packet);
             self.delivered.push(DeliveredPacket {
                 id: flit.packet,
-                src: flit.src,
-                dst: flit.dst,
-                class: flit.class,
-                kind: DeliveredKind::of_config(flit.config.as_deref()),
-                switching: flit.switching,
+                src: flit.src(),
+                dst: flit.dst(),
+                class: flit.class(),
+                kind: DeliveredKind::of_config(None),
+                switching: flit.switching(),
                 len_flits: flit.seq + 1,
                 created: flit.created,
                 delivered: now,
-                measured: flit.measured,
+                measured: flit.measured(),
             });
         }
     }
@@ -363,6 +375,11 @@ impl NodeModel for SdmNode {
         self.router.ejected = ejected;
     }
 
+    fn attach_arena(&mut self, arena: &Arc<ConfigArena>) {
+        self.arena = arena.clone();
+        self.router.set_arena(arena.clone());
+    }
+
     fn set_trace_sink(&mut self, sink: TraceSink) {
         self.router.trace = sink;
     }
@@ -398,7 +415,7 @@ impl NodeModel for SdmNode {
             .values()
             .map(|s| s.flits.len() - s.next)
             .sum();
-        let partial: usize = self.rx.values().map(|&c| c as usize).sum();
+        let partial = self.rx.total();
         self.router.occupancy() + queued + ps_streams + cs_queued + cs_streams + partial
     }
 

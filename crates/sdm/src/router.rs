@@ -9,12 +9,14 @@
 //! bypass buffering entirely. Plane 0 is never circuit-reserved, keeping
 //! the packet-switched network alive.
 
+use std::sync::Arc;
+
 use noc_sim::arbiter::RoundRobin;
 use noc_sim::routing::xy_route;
 use noc_sim::stats::EnergyEvents;
 use noc_sim::{
-    ConfigKind, Credit, Cycle, EventKind, Flit, Mesh, MsgClass, NodeId, NodeOutputs, Packet,
-    PacketId, Port, RouterConfig, Switching, TraceSink, VcBuf, VcState,
+    ConfigArena, ConfigKind, Credit, Cycle, EventKind, Flit, Mesh, MsgClass, NodeId, NodeOutputs,
+    Packet, PacketId, Port, RouterConfig, Switching, TraceSink, VcBuf, VcState,
 };
 
 /// A circuit reservation at one router.
@@ -67,6 +69,9 @@ pub struct SdmRouter {
     /// Flit-lifecycle telemetry sink (a copied-discriminant branch when
     /// disabled).
     pub trace: TraceSink,
+    /// Configuration-payload slab the `ConfigRef`s of in-flight flits
+    /// resolve against; swapped for the network-wide arena on attach.
+    arena: Arc<ConfigArena>,
     next_protocol_id: u64,
 }
 
@@ -119,12 +124,23 @@ impl SdmRouter {
             protocol_out: Vec::new(),
             pending_credits: Vec::new(),
             trace: TraceSink::Disabled,
+            arena: Arc::new(ConfigArena::new()),
             next_protocol_id: 0,
         }
     }
 
     pub fn planes(&self) -> u8 {
         self.planes_n
+    }
+
+    /// The configuration-payload arena this router resolves against.
+    pub fn arena(&self) -> &Arc<ConfigArena> {
+        &self.arena
+    }
+
+    /// Adopt the network-wide payload arena.
+    pub fn set_arena(&mut self, arena: Arc<ConfigArena>) {
+        self.arena = arena;
     }
 
     /// The circuit table entry at (`port`, `plane`).
@@ -139,7 +155,7 @@ impl SdmRouter {
     }
 
     pub fn accept_flit(&mut self, now: Cycle, port: Port, flit: Flit) {
-        if flit.switching == Switching::Circuit {
+        if flit.switching() == Switching::Circuit {
             // flit.vc carries the plane id on circuit-switched flits.
             let plane = flit.vc;
             let entry = self.circuits[port.index()][plane as usize].unwrap_or_else(|| {
@@ -152,9 +168,9 @@ impl SdmRouter {
             self.cs_incoming.push((flit, entry.out));
             return;
         }
-        if flit.class == MsgClass::Config && flit.kind.is_head() {
-            match flit.config.as_deref() {
-                Some(ConfigKind::Setup(_)) | Some(ConfigKind::Teardown(_)) => {
+        if flit.class() == MsgClass::Config && flit.kind().is_head() && flit.config.is_some() {
+            match self.arena.get(flit.config) {
+                ConfigKind::Setup(_) | ConfigKind::Teardown(_) => {
                     self.process_config(now, port, flit);
                     return;
                 }
@@ -188,7 +204,7 @@ impl SdmRouter {
     }
 
     fn process_config(&mut self, now: Cycle, in_port: Port, mut flit: Flit) {
-        let kind = flit.config.as_deref().expect("config payload").clone();
+        let kind = self.arena.get(flit.config);
         match kind {
             ConfigKind::Setup(info) => {
                 let plane = info.slot as usize;
@@ -217,16 +233,20 @@ impl SdmRouter {
                     );
                     if out == Port::Local {
                         self.events.config_flits_delivered += 1;
+                        self.arena.free(flit.config);
                         self.consume_config_credit(in_port, flit.vc);
                         self.emit_ack(now, info, true);
                     } else {
                         self.outputs[out.index()].planes[plane].circuit = true;
-                        flit.forced_out = Some(out);
+                        // The plane id is hop-invariant, so the forwarded
+                        // flit keeps its arena handle unchanged.
+                        flit.set_forced_out(Some(out));
                         self.buffer_config(in_port, flit);
                     }
                 } else {
                     self.events.setup_failures += 1;
                     self.events.config_flits_delivered += 1;
+                    self.arena.free(flit.config);
                     self.consume_config_credit(in_port, flit.vc);
                     self.emit_ack(now, info, false);
                 }
@@ -250,15 +270,18 @@ impl SdmRouter {
                         );
                         if e.out == Port::Local {
                             self.events.config_flits_delivered += 1;
+                            self.arena.free(flit.config);
                             self.consume_config_credit(in_port, flit.vc);
                         } else {
                             self.outputs[e.out.index()].planes[plane].circuit = false;
-                            flit.forced_out = Some(e.out);
+                            // Teardown payloads are hop-invariant too.
+                            flit.set_forced_out(Some(e.out));
                             self.buffer_config(in_port, flit);
                         }
                     }
                     None => {
                         self.events.config_flits_delivered += 1;
+                        self.arena.free(flit.config);
                         self.consume_config_credit(in_port, flit.vc);
                     }
                 }
@@ -352,15 +375,15 @@ impl SdmRouter {
                 let Some(front) = buf.fifo.front() else {
                     continue;
                 };
-                if !front.kind.is_head() {
+                if !front.kind().is_head() {
                     continue;
                 }
-                let out_port = match front.forced_out {
+                let out_port = match front.forced_out() {
                     Some(f) => f,
-                    None => xy_route(&self.mesh, self.id, front.dst),
+                    None => xy_route(&self.mesh, self.id, front.dst()),
                 };
                 let buf = &mut self.inputs[p][vc];
-                buf.fifo.front_mut().expect("front").forced_out = None;
+                buf.fifo.front_mut().expect("front").set_forced_out(None);
                 buf.state = VcState::Waiting { out: out_port };
                 buf.stage_cycle = now;
             }
@@ -492,7 +515,7 @@ impl SdmRouter {
     ) {
         let buf = &mut self.inputs[in_port][in_vc];
         let mut flit = buf.fifo.pop_front().expect("granted empty VC");
-        let is_tail = flit.kind.is_tail();
+        let is_tail = flit.kind().is_tail();
         if is_tail {
             buf.state = VcState::Idle;
             buf.stage_cycle = now;
@@ -538,7 +561,7 @@ impl SdmRouter {
                 out.flits.push((d, flit));
             }
             None => {
-                match flit.class {
+                match flit.class() {
                     MsgClass::Config => self.events.config_flits_delivered += 1,
                     MsgClass::Data => self.events.ps_flits_delivered += 1,
                 }
@@ -611,7 +634,7 @@ mod tests {
         SdmRouter::new(m.id(c), m, RouterConfig::default(), 4)
     }
 
-    fn setup(src: NodeId, dst: NodeId, plane: u16, pid: u64) -> Flit {
+    fn setup(arena: &ConfigArena, src: NodeId, dst: NodeId, plane: u16, pid: u64) -> Flit {
         let info = SetupInfo {
             src,
             dst,
@@ -620,7 +643,7 @@ mod tests {
             path_id: pid,
         };
         let p = Packet::config(PacketId(900 + pid), src, dst, ConfigKind::Setup(info), 0);
-        Flit::of_packet(&p, 0, Switching::Packet)
+        Flit::of_packet_in(arena, &p, 0, Switching::Packet)
     }
 
     #[test]
@@ -629,14 +652,14 @@ mod tests {
         let mut r = router(Coord::new(1, 1));
         let src = m.id(Coord::new(0, 1));
         let dst = m.id(Coord::new(3, 1));
-        r.accept_flit(0, Port::West, setup(src, dst, 1, 1));
+        r.accept_flit(0, Port::West, setup(r.arena(), src, dst, 1, 1));
         assert!(r.circuit_at(Port::West, 1).is_some());
         // Same plane from another input toward the same output: conflict.
         let src2 = m.id(Coord::new(1, 0));
-        r.accept_flit(1, Port::North, setup(src2, dst, 1, 2));
+        r.accept_flit(1, Port::North, setup(r.arena(), src2, dst, 1, 2));
         assert_eq!(r.events.setup_failures, 1);
         // A different plane works.
-        r.accept_flit(2, Port::North, setup(src2, dst, 2, 3));
+        r.accept_flit(2, Port::North, setup(r.arena(), src2, dst, 2, 3));
         assert!(r.circuit_at(Port::North, 2).is_some());
     }
 
@@ -646,7 +669,7 @@ mod tests {
         let mut r = router(Coord::new(1, 1));
         let src = m.id(Coord::new(0, 1));
         let dst = m.id(Coord::new(3, 1));
-        r.accept_flit(0, Port::West, setup(src, dst, 0, 1));
+        r.accept_flit(0, Port::West, setup(r.arena(), src, dst, 0, 1));
         assert_eq!(r.events.setup_failures, 1);
         assert!(r.circuit_at(Port::West, 0).is_none());
     }
@@ -717,7 +740,7 @@ mod tests {
         let mut r = router(Coord::new(1, 1));
         let src = m.id(Coord::new(0, 1));
         let dst = m.id(Coord::new(3, 1));
-        r.accept_flit(0, Port::West, setup(src, dst, 2, 1));
+        r.accept_flit(0, Port::West, setup(r.arena(), src, dst, 2, 1));
         let pkt = Packet::data(PacketId(20), src, dst, 4, 0);
         let mut f = Flit::of_packet(&pkt, 0, Switching::Circuit);
         f.vc = 2; // plane id
@@ -727,7 +750,7 @@ mod tests {
         let cs: Vec<_> = out
             .flits
             .iter()
-            .filter(|(_, f)| f.switching == Switching::Circuit)
+            .filter(|(_, f)| f.switching() == Switching::Circuit)
             .collect();
         assert_eq!(cs.len(), 1, "CS flit must leave the same cycle");
     }
@@ -738,7 +761,7 @@ mod tests {
         let mut r = router(Coord::new(1, 1));
         let src = m.id(Coord::new(0, 1));
         let dst = m.id(Coord::new(3, 1));
-        r.accept_flit(0, Port::West, setup(src, dst, 1, 1));
+        r.accept_flit(0, Port::West, setup(r.arena(), src, dst, 1, 1));
         let info = SetupInfo {
             src,
             dst,
@@ -747,10 +770,14 @@ mod tests {
             path_id: 1,
         };
         let p = Packet::config(PacketId(999), src, dst, ConfigKind::Teardown(info), 5);
-        r.accept_flit(5, Port::West, Flit::of_packet(&p, 0, Switching::Packet));
+        r.accept_flit(
+            5,
+            Port::West,
+            Flit::of_packet_in(r.arena(), &p, 0, Switching::Packet),
+        );
         assert!(r.circuit_at(Port::West, 1).is_none());
         // Plane reusable by another circuit.
-        r.accept_flit(6, Port::West, setup(src, dst, 1, 2));
+        r.accept_flit(6, Port::West, setup(r.arena(), src, dst, 1, 2));
         assert!(r.circuit_at(Port::West, 1).is_some());
     }
 
@@ -762,7 +789,7 @@ mod tests {
         let dst = m.id(Coord::new(3, 1));
         // Claim all CS planes at the local port.
         for (plane, pid) in [(1u16, 1u64), (2, 2), (3, 3)] {
-            r.accept_flit(0, Port::Local, setup(r.id, dst, plane, pid));
+            r.accept_flit(0, Port::Local, setup(r.arena(), r.id, dst, plane, pid));
         }
         assert_eq!(r.free_local_plane(0), None);
     }

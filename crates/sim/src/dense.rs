@@ -1,0 +1,444 @@
+//! Dense per-node and per-packet state tables for the hot path.
+//!
+//! The simulator previously kept several small `FxHashMap`s keyed by
+//! [`NodeId`] (CS queues, share-failure counters, the connection
+//! registry) or by [`PacketId`] (NIC reassembly counts). Mesh sizes are
+//! bounded (≤ 65534 nodes, see [`Mesh::new`]) and the live key sets are
+//! tiny, so hashing is pure overhead: every lookup pays a hash plus a
+//! probe into a cache-cold control table.
+//!
+//! [`NodeTable`] replaces the node-keyed maps with a sparse-set: a dense
+//! entry vector for iteration, a `u16` index array for O(1) lookup, and
+//! a word-per-64-nodes occupancy bitmask so emptiness checks and sorted
+//! drains scan words, not buckets. Iteration order is *insertion order*
+//! (mutated only by `remove`'s swap), which is a deterministic function
+//! of the simulation history — the property the bit-identity pins need.
+//!
+//! [`RxTable`] replaces the reassembly `FxHashMap<PacketId, u8>` with a
+//! small open-addressed table (linear probing, tombstone deletes, lazy
+//! rehash) sized to in-flight packets.
+//!
+//! [`Mesh::new`]: crate::geometry::Mesh::new
+
+use crate::flit::PacketId;
+use crate::geometry::NodeId;
+
+const IDX_NONE: u16 = u16::MAX;
+
+/// Sparse-set map from [`NodeId`] to `T`, sized to the mesh at
+/// construction. Lookups are two array indexes; iteration walks a dense
+/// vector; the occupancy bitmask makes "any key below/above N" and
+/// sorted drains cheap.
+#[derive(Clone, Debug)]
+pub struct NodeTable<T> {
+    idx: Box<[u16]>,
+    mask: Box<[u64]>,
+    entries: Vec<(NodeId, T)>,
+}
+
+impl<T> NodeTable<T> {
+    pub fn new(nodes: usize) -> Self {
+        assert!(nodes < IDX_NONE as usize, "mesh too large for NodeTable");
+        NodeTable {
+            idx: vec![IDX_NONE; nodes].into_boxed_slice(),
+            mask: vec![0u64; nodes.div_ceil(64)].into_boxed_slice(),
+            entries: Vec::new(),
+        }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    #[inline]
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.idx[node.index()] != IDX_NONE
+    }
+
+    #[inline]
+    pub fn get(&self, node: NodeId) -> Option<&T> {
+        let i = self.idx[node.index()];
+        if i == IDX_NONE {
+            None
+        } else {
+            Some(&self.entries[i as usize].1)
+        }
+    }
+
+    #[inline]
+    pub fn get_mut(&mut self, node: NodeId) -> Option<&mut T> {
+        let i = self.idx[node.index()];
+        if i == IDX_NONE {
+            None
+        } else {
+            Some(&mut self.entries[i as usize].1)
+        }
+    }
+
+    /// Insert or overwrite; returns the previous value if any.
+    pub fn insert(&mut self, node: NodeId, value: T) -> Option<T> {
+        let slot = node.index();
+        let i = self.idx[slot];
+        if i == IDX_NONE {
+            self.idx[slot] = self.entries.len() as u16;
+            self.mask[slot / 64] |= 1 << (slot % 64);
+            self.entries.push((node, value));
+            None
+        } else {
+            Some(std::mem::replace(&mut self.entries[i as usize].1, value))
+        }
+    }
+
+    /// Get the entry for `node`, inserting `T::default()` if absent.
+    pub fn entry_or_default(&mut self, node: NodeId) -> &mut T
+    where
+        T: Default,
+    {
+        if !self.contains(node) {
+            self.insert(node, T::default());
+        }
+        self.get_mut(node).unwrap()
+    }
+
+    /// Remove by swap: the last dense entry fills the hole, so the cost
+    /// is O(1) and the resulting order is still history-deterministic.
+    pub fn remove(&mut self, node: NodeId) -> Option<T> {
+        let slot = node.index();
+        let i = self.idx[slot];
+        if i == IDX_NONE {
+            return None;
+        }
+        self.idx[slot] = IDX_NONE;
+        self.mask[slot / 64] &= !(1 << (slot % 64));
+        let (_, value) = self.entries.swap_remove(i as usize);
+        if let Some(&(moved, _)) = self.entries.get(i as usize) {
+            self.idx[moved.index()] = i;
+        }
+        Some(value)
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &T)> {
+        self.entries.iter().map(|(n, v)| (*n, v))
+    }
+
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (NodeId, &mut T)> {
+        self.entries.iter_mut().map(|(n, v)| (*n, v))
+    }
+
+    pub fn keys(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.entries.iter().map(|(n, _)| *n)
+    }
+
+    pub fn values(&self) -> impl Iterator<Item = &T> {
+        self.entries.iter().map(|(_, v)| v)
+    }
+
+    pub fn values_mut(&mut self) -> impl Iterator<Item = &mut T> {
+        self.entries.iter_mut().map(|(_, v)| v)
+    }
+
+    /// Drain every entry in ascending [`NodeId`] order, walking the
+    /// occupancy bitmask word by word. Used where a canonical order is
+    /// required regardless of insertion history (e.g. freezing CS state
+    /// for a slot-table resize).
+    pub fn drain_sorted(&mut self) -> Vec<(NodeId, T)> {
+        let mut out = Vec::with_capacity(self.entries.len());
+        for (w, word) in self.mask.iter().enumerate() {
+            let mut bits = *word;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                out.push(NodeId((w * 64 + b) as u32));
+            }
+        }
+        let mut drained = Vec::with_capacity(out.len());
+        for node in out {
+            let v = self.remove(node).expect("bitmask and index agree");
+            drained.push((node, v));
+        }
+        drained
+    }
+
+    pub fn retain(&mut self, mut keep: impl FnMut(NodeId, &mut T) -> bool) {
+        let mut i = 0;
+        while i < self.entries.len() {
+            let node = self.entries[i].0;
+            if keep(node, &mut self.entries[i].1) {
+                i += 1;
+            } else {
+                self.remove(node);
+                // swap_remove moved a new entry into `i`; revisit it.
+            }
+        }
+    }
+
+    pub fn clear(&mut self) {
+        for (node, _) in self.entries.drain(..) {
+            self.idx[node.index()] = IDX_NONE;
+        }
+        self.mask.fill(0);
+    }
+}
+
+/// Open-addressed `PacketId -> u8` counter table for NIC reassembly.
+///
+/// Linear probing with tombstone deletes; rehashed (dropping tombstones)
+/// when the occupied fraction passes 3/4. Capacity stays a power of two
+/// and starts tiny — in-flight packet counts per node are single digits
+/// in every operating regime.
+#[derive(Clone, Debug)]
+pub struct RxTable {
+    // state: 0 = empty, 1 = tombstone, 2 = live
+    state: Box<[u8]>,
+    keys: Box<[u64]>,
+    vals: Box<[u8]>,
+    live: usize,
+    used: usize,
+}
+
+const RX_EMPTY: u8 = 0;
+const RX_DEAD: u8 = 1;
+const RX_LIVE: u8 = 2;
+
+impl Default for RxTable {
+    fn default() -> Self {
+        RxTable::new()
+    }
+}
+
+impl RxTable {
+    pub fn new() -> Self {
+        RxTable::with_capacity(16)
+    }
+
+    fn with_capacity(cap: usize) -> Self {
+        debug_assert!(cap.is_power_of_two());
+        RxTable {
+            state: vec![RX_EMPTY; cap].into_boxed_slice(),
+            keys: vec![0u64; cap].into_boxed_slice(),
+            vals: vec![0u8; cap].into_boxed_slice(),
+            live: 0,
+            used: 0,
+        }
+    }
+
+    #[inline]
+    fn hash(key: u64, cap: usize) -> usize {
+        // Fibonacci multiplicative hash: packet ids are sequential per
+        // source (low bits) or protocol-tagged (high bits); the multiply
+        // mixes both into the masked index.
+        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & (cap - 1)
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Sum of all counts (used by occupancy accounting).
+    pub fn total(&self) -> usize {
+        self.state
+            .iter()
+            .zip(self.vals.iter())
+            .filter(|(s, _)| **s == RX_LIVE)
+            .map(|(_, v)| *v as usize)
+            .sum()
+    }
+
+    pub fn get(&self, key: PacketId) -> Option<u8> {
+        let cap = self.state.len();
+        let mut i = Self::hash(key.0, cap);
+        loop {
+            match self.state[i] {
+                RX_EMPTY => return None,
+                RX_LIVE if self.keys[i] == key.0 => return Some(self.vals[i]),
+                _ => i = (i + 1) & (cap - 1),
+            }
+        }
+    }
+
+    /// Increment the count for `key` (inserting at 0), returning the new
+    /// count.
+    pub fn bump(&mut self, key: PacketId) -> u8 {
+        if (self.used + 1) * 4 > self.state.len() * 3 {
+            self.rehash();
+        }
+        let cap = self.state.len();
+        let mut i = Self::hash(key.0, cap);
+        let mut first_dead = None;
+        loop {
+            match self.state[i] {
+                RX_LIVE if self.keys[i] == key.0 => {
+                    self.vals[i] += 1;
+                    return self.vals[i];
+                }
+                RX_DEAD => {
+                    if first_dead.is_none() {
+                        first_dead = Some(i);
+                    }
+                    i = (i + 1) & (cap - 1);
+                }
+                RX_EMPTY => {
+                    let slot = first_dead.unwrap_or(i);
+                    if self.state[slot] == RX_EMPTY {
+                        self.used += 1;
+                    }
+                    self.state[slot] = RX_LIVE;
+                    self.keys[slot] = key.0;
+                    self.vals[slot] = 1;
+                    self.live += 1;
+                    return 1;
+                }
+                _ => i = (i + 1) & (cap - 1),
+            }
+        }
+    }
+
+    pub fn remove(&mut self, key: PacketId) -> Option<u8> {
+        let cap = self.state.len();
+        let mut i = Self::hash(key.0, cap);
+        loop {
+            match self.state[i] {
+                RX_EMPTY => return None,
+                RX_LIVE if self.keys[i] == key.0 => {
+                    self.state[i] = RX_DEAD;
+                    self.live -= 1;
+                    return Some(self.vals[i]);
+                }
+                _ => i = (i + 1) & (cap - 1),
+            }
+        }
+    }
+
+    fn rehash(&mut self) {
+        let new_cap = if self.live * 2 >= self.state.len() {
+            self.state.len() * 2
+        } else {
+            self.state.len()
+        };
+        let old_state =
+            std::mem::replace(&mut self.state, vec![RX_EMPTY; new_cap].into_boxed_slice());
+        let old_keys = std::mem::replace(&mut self.keys, vec![0u64; new_cap].into_boxed_slice());
+        let old_vals = std::mem::replace(&mut self.vals, vec![0u8; new_cap].into_boxed_slice());
+        self.live = 0;
+        self.used = 0;
+        for i in 0..old_state.len() {
+            if old_state[i] == RX_LIVE {
+                let mut j = Self::hash(old_keys[i], new_cap);
+                while self.state[j] == RX_LIVE {
+                    j = (j + 1) & (new_cap - 1);
+                }
+                self.state[j] = RX_LIVE;
+                self.keys[j] = old_keys[i];
+                self.vals[j] = old_vals[i];
+                self.live += 1;
+                self.used += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_table_insert_lookup_remove() {
+        let mut t: NodeTable<u32> = NodeTable::new(64);
+        assert!(t.is_empty());
+        assert_eq!(t.insert(NodeId(5), 50), None);
+        assert_eq!(t.insert(NodeId(9), 90), None);
+        assert_eq!(t.insert(NodeId(5), 55), Some(50));
+        assert_eq!(t.len(), 2);
+        assert!(t.contains(NodeId(5)));
+        assert_eq!(t.get(NodeId(9)), Some(&90));
+        assert_eq!(t.get(NodeId(10)), None);
+        *t.entry_or_default(NodeId(10)) += 7;
+        assert_eq!(t.get(NodeId(10)), Some(&7));
+        assert_eq!(t.remove(NodeId(5)), Some(55));
+        assert_eq!(t.remove(NodeId(5)), None);
+        assert_eq!(t.len(), 2);
+        let keys: Vec<_> = t.keys().collect();
+        assert!(keys.contains(&NodeId(9)) && keys.contains(&NodeId(10)));
+    }
+
+    #[test]
+    fn node_table_iteration_is_insertion_ordered() {
+        let mut t: NodeTable<u8> = NodeTable::new(100);
+        for n in [40u32, 3, 77, 12] {
+            t.insert(NodeId(n), n as u8);
+        }
+        let order: Vec<_> = t.keys().map(|n| n.0).collect();
+        assert_eq!(order, vec![40, 3, 77, 12]);
+        // Removing swaps the tail in: deterministic, history-dependent.
+        t.remove(NodeId(3));
+        let order: Vec<_> = t.keys().map(|n| n.0).collect();
+        assert_eq!(order, vec![40, 12, 77]);
+    }
+
+    #[test]
+    fn node_table_drain_sorted_is_ascending() {
+        let mut t: NodeTable<u8> = NodeTable::new(200);
+        for n in [150u32, 2, 65, 64, 190, 0] {
+            t.insert(NodeId(n), (n % 251) as u8);
+        }
+        let drained = t.drain_sorted();
+        let keys: Vec<_> = drained.iter().map(|(n, _)| n.0).collect();
+        assert_eq!(keys, vec![0, 2, 64, 65, 150, 190]);
+        assert!(t.is_empty());
+        assert!(!t.contains(NodeId(64)));
+    }
+
+    #[test]
+    fn node_table_retain_and_clear() {
+        let mut t: NodeTable<u32> = NodeTable::new(32);
+        for n in 0..10u32 {
+            t.insert(NodeId(n), n);
+        }
+        t.retain(|_, v| *v % 2 == 0);
+        assert_eq!(t.len(), 5);
+        assert!(t.values().all(|v| v % 2 == 0));
+        t.clear();
+        assert!(t.is_empty());
+        assert!(!t.contains(NodeId(0)));
+        // Reusable after clear.
+        t.insert(NodeId(1), 11);
+        assert_eq!(t.get(NodeId(1)), Some(&11));
+    }
+
+    #[test]
+    fn rx_table_bump_remove_and_growth() {
+        let mut rx = RxTable::new();
+        assert!(rx.is_empty());
+        // Interleave inserts/removes across enough keys to force rehash,
+        // including protocol-style high-bit ids.
+        for round in 0u64..4 {
+            for k in 0u64..40 {
+                let id = PacketId((round << 62) | k);
+                assert_eq!(rx.bump(id), 1);
+                assert_eq!(rx.bump(id), 2);
+                assert_eq!(rx.get(id), Some(2));
+            }
+            assert_eq!(rx.len(), 40);
+            assert_eq!(rx.total(), 80);
+            for k in 0u64..40 {
+                let id = PacketId((round << 62) | k);
+                assert_eq!(rx.remove(id), Some(2));
+                assert_eq!(rx.remove(id), None);
+                assert_eq!(rx.get(id), None);
+            }
+            assert!(rx.is_empty());
+        }
+    }
+}

@@ -116,6 +116,16 @@ pub trait Fabric {
         0
     }
 
+    /// Advance until `now() == target`. The default steps cycle by
+    /// cycle; backends with an activity scheduler override this to leap
+    /// over provably idle regions in O(1) (bit-identical results either
+    /// way — only wall-clock cost differs).
+    fn run_until(&mut self, target: Cycle) {
+        while self.now() < target {
+            self.step();
+        }
+    }
+
     /// Step until drained or `max_cycles` elapse; returns whether the
     /// fabric drained.
     fn drain(&mut self, max_cycles: u64) -> bool {
@@ -144,6 +154,10 @@ impl<N: NodeModel + Send + 'static> Fabric for Network<N> {
 
     fn step(&mut self) {
         Network::step(self);
+    }
+
+    fn run_until(&mut self, target: Cycle) {
+        Network::run_until(self, target);
     }
 
     fn begin_measurement(&mut self) {

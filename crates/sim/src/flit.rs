@@ -10,10 +10,15 @@
 //!   the packet-switched network (§II-B);
 //! * **circuit-switched flits** — flits that follow a reserved path without
 //!   buffering or routing.
+//!
+//! [`Flit`] is plain-old-data: 32 bytes, `Copy`, no pointers. Pipeline
+//! stages, wire ring buffers, NIC queues and CS latches move flits by
+//! memcpy; the only heap-adjacent datum — a configuration payload on the
+//! head flit of a `setup`/`teardown`/`ack` — lives in the network's
+//! [`ConfigArena`] and is carried as a 4-byte [`ConfigRef`] handle.
 
-use std::sync::Arc;
-
-use crate::geometry::NodeId;
+use crate::arena::{ConfigArena, ConfigRef};
+use crate::geometry::{NodeId, Port};
 use crate::Cycle;
 
 /// Unique identifier of a packet within one simulation.
@@ -67,7 +72,7 @@ pub struct SetupInfo {
 }
 
 /// The three configuration message types of §II-B.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ConfigKind {
     /// Create a circuit-switched connection.
     Setup(SetupInfo),
@@ -150,12 +155,13 @@ impl Packet {
 
 /// Position of a flit within its packet.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
 pub enum FlitKind {
-    Head,
-    Body,
-    Tail,
+    Head = 0,
+    Body = 1,
+    Tail = 2,
     /// Single-flit packet.
-    HeadTail,
+    HeadTail = 3,
 }
 
 impl FlitKind {
@@ -178,73 +184,222 @@ impl FlitKind {
     }
 }
 
+/// Sentinel for "no node" in the packed 16-bit node fields. [`Mesh::new`]
+/// caps meshes at 65534 nodes so every real id fits below it.
+///
+/// [`Mesh::new`]: crate::geometry::Mesh::new
+const NO_NODE: u16 = u16::MAX;
+
+// Bit layout of `Flit::flags`.
+const KIND_MASK: u8 = 0b0000_0011; // FlitKind discriminant
+const CLASS_BIT: u8 = 1 << 2; // set = Config
+const SWITCH_BIT: u8 = 1 << 3; // set = Circuit
+const MEASURED_BIT: u8 = 1 << 4;
+const FORCED_SHIFT: u32 = 5; // bits 5-7: forced port + 1, 0 = none
+
 /// A flow-control unit travelling on a link.
-#[derive(Clone, Debug)]
+///
+/// 32 bytes, `Copy`, niche-free: the former `Option<Arc<ConfigKind>>` /
+/// `Option<NodeId>` / `Option<Port>` fields are packed into a
+/// [`ConfigRef`] handle, a `u16` with a `NO_NODE` sentinel, and three
+/// bits of the flags byte. The packed fields are private; accessors
+/// present the same `Option`-shaped API the routers always used.
+#[derive(Clone, Copy, Debug)]
 pub struct Flit {
     pub packet: PacketId,
-    pub kind: FlitKind,
+    /// Creation cycle of the parent packet (for latency accounting).
+    pub created: Cycle,
+    /// Configuration payload handle (head flit of configuration packets
+    /// only; [`ConfigRef::NONE`] otherwise). The payload itself lives in
+    /// the network's [`ConfigArena`].
+    pub config: ConfigRef,
+    src: u16,
+    dst: u16,
+    /// Vicinity hop-off destination, `NO_NODE` when absent.
+    true_dst: u16,
     pub seq: u8,
-    pub src: NodeId,
-    pub dst: NodeId,
-    pub class: MsgClass,
-    pub switching: Switching,
     /// Virtual channel the flit currently occupies (packet-switched only;
     /// circuit-switched flits are never buffered).
     pub vc: u8,
-    /// Creation cycle of the parent packet (for latency accounting).
-    pub created: Cycle,
-    /// Whether the parent packet's latency is measured.
-    pub measured: bool,
     /// Hops traversed so far.
     pub hops: u8,
-    /// Configuration payload (head flit of configuration packets only).
-    /// Shared, not owned: flits are copied at every pipeline stage and on
-    /// every wire hop, so the payload is interned behind an [`Arc`] to make
-    /// those copies a pointer bump instead of a heap clone.
-    pub config: Option<Arc<ConfigKind>>,
-    /// Final destination after a vicinity-sharing hop-off. When a message
-    /// rides a circuit reserved to `dst` but is really bound for a neighbour
-    /// of `dst` (§III-A2), `dst` names the circuit endpoint and `true_dst`
-    /// the real destination the endpoint must forward to.
-    pub true_dst: Option<NodeId>,
-    /// Route decision pre-computed by configuration-message processing: when
-    /// a hybrid router reserves slots for a `setup` flit on arrival, the flit
-    /// must later leave through exactly the reserved output port. Consumed
-    /// (taken) by the route-computation stage.
-    pub forced_out: Option<crate::geometry::Port>,
+    /// Packed kind / class / switching / measured / forced-out.
+    flags: u8,
+}
+
+const _: () = assert!(
+    std::mem::size_of::<Flit>() <= 32,
+    "Flit must stay a 32-byte POD (see DESIGN.md §12)"
+);
+const _: () = {
+    const fn assert_copy<T: Copy>() {}
+    assert_copy::<Flit>();
+    assert_copy::<Credit>();
+    assert_copy::<ConfigKind>();
+};
+
+#[inline]
+fn node16(n: NodeId) -> u16 {
+    debug_assert!(n.0 < NO_NODE as u32, "NodeId exceeds packed-flit range");
+    n.0 as u16
 }
 
 impl Flit {
-    /// Build the `seq`-th flit of `packet`.
-    pub fn of_packet(packet: &Packet, seq: u8, switching: Switching) -> Flit {
+    fn build(packet: &Packet, seq: u8, switching: Switching, config: ConfigRef) -> Flit {
         debug_assert!(seq < packet.len_flits);
         let kind = FlitKind::for_seq(seq, packet.len_flits);
+        let mut flags = kind as u8;
+        if packet.class == MsgClass::Config {
+            flags |= CLASS_BIT;
+        }
+        if switching == Switching::Circuit {
+            flags |= SWITCH_BIT;
+        }
+        if packet.measured {
+            flags |= MEASURED_BIT;
+        }
         Flit {
             packet: packet.id,
-            kind,
-            seq,
-            src: packet.src,
-            dst: packet.dst,
-            class: packet.class,
-            switching,
-            vc: 0,
             created: packet.created,
-            measured: packet.measured,
+            config,
+            src: node16(packet.src),
+            dst: node16(packet.dst),
+            true_dst: NO_NODE,
+            seq,
+            vc: 0,
             hops: 0,
-            config: if kind.is_head() {
-                packet.config.clone().map(Arc::new)
-            } else {
-                None
-            },
-            true_dst: None,
-            forced_out: None,
+            flags,
         }
+    }
+
+    /// Build the `seq`-th flit of a *data* packet. Configuration packets
+    /// carry an arena payload and must use [`Flit::of_packet_in`].
+    pub fn of_packet(packet: &Packet, seq: u8, switching: Switching) -> Flit {
+        debug_assert!(
+            packet.config.is_none(),
+            "configuration packets must be serialised via of_packet_in"
+        );
+        Flit::build(packet, seq, switching, ConfigRef::NONE)
+    }
+
+    /// Build the `seq`-th flit of `packet`, interning a configuration
+    /// payload (head flits only) into `arena`.
+    pub fn of_packet_in(
+        arena: &ConfigArena,
+        packet: &Packet,
+        seq: u8,
+        switching: Switching,
+    ) -> Flit {
+        let kind = FlitKind::for_seq(seq, packet.len_flits);
+        let config = match &packet.config {
+            Some(k) if kind.is_head() => arena.alloc(*k),
+            _ => ConfigRef::NONE,
+        };
+        Flit::build(packet, seq, switching, config)
+    }
+
+    #[inline]
+    pub fn src(&self) -> NodeId {
+        NodeId(self.src as u32)
+    }
+
+    #[inline]
+    pub fn dst(&self) -> NodeId {
+        NodeId(self.dst as u32)
+    }
+
+    #[inline]
+    pub fn set_dst(&mut self, dst: NodeId) {
+        self.dst = node16(dst);
+    }
+
+    #[inline]
+    pub fn kind(&self) -> FlitKind {
+        match self.flags & KIND_MASK {
+            0 => FlitKind::Head,
+            1 => FlitKind::Body,
+            2 => FlitKind::Tail,
+            _ => FlitKind::HeadTail,
+        }
+    }
+
+    #[inline]
+    pub fn class(&self) -> MsgClass {
+        if self.flags & CLASS_BIT != 0 {
+            MsgClass::Config
+        } else {
+            MsgClass::Data
+        }
+    }
+
+    #[inline]
+    pub fn switching(&self) -> Switching {
+        if self.flags & SWITCH_BIT != 0 {
+            Switching::Circuit
+        } else {
+            Switching::Packet
+        }
+    }
+
+    #[inline]
+    pub fn measured(&self) -> bool {
+        self.flags & MEASURED_BIT != 0
+    }
+
+    /// Final destination after a vicinity-sharing hop-off. When a message
+    /// rides a circuit reserved to `dst` but is really bound for a
+    /// neighbour of `dst` (§III-A2), `dst` names the circuit endpoint and
+    /// `true_dst` the real destination the endpoint must forward to.
+    #[inline]
+    pub fn true_dst(&self) -> Option<NodeId> {
+        if self.true_dst == NO_NODE {
+            None
+        } else {
+            Some(NodeId(self.true_dst as u32))
+        }
+    }
+
+    #[inline]
+    pub fn set_true_dst(&mut self, dst: Option<NodeId>) {
+        self.true_dst = match dst {
+            Some(n) => node16(n),
+            None => NO_NODE,
+        };
+    }
+
+    /// Route decision pre-computed by configuration-message processing:
+    /// when a hybrid router reserves slots for a `setup` flit on arrival,
+    /// the flit must later leave through exactly the reserved output port.
+    /// Consumed (taken) by the route-computation stage.
+    #[inline]
+    pub fn forced_out(&self) -> Option<Port> {
+        match self.flags >> FORCED_SHIFT {
+            0 => None,
+            p => Some(Port::from_index(p as usize - 1)),
+        }
+    }
+
+    #[inline]
+    pub fn set_forced_out(&mut self, port: Option<Port>) {
+        let bits = match port {
+            Some(p) => p.index() as u8 + 1,
+            None => 0,
+        };
+        self.flags = (self.flags & !(0b111 << FORCED_SHIFT)) | (bits << FORCED_SHIFT);
+    }
+
+    #[inline]
+    pub fn take_forced_out(&mut self) -> Option<Port> {
+        let out = self.forced_out();
+        self.flags &= !(0b111 << FORCED_SHIFT);
+        out
     }
 
     /// The node this flit must be delivered to next: the vicinity hop-off
     /// point if set, otherwise the packet destination.
+    #[inline]
     pub fn route_dst(&self) -> NodeId {
-        self.dst
+        self.true_dst().unwrap_or_else(|| self.dst())
     }
 }
 
@@ -273,15 +428,17 @@ mod tests {
         let flits: Vec<Flit> = (0..5)
             .map(|s| Flit::of_packet(&p, s, Switching::Packet))
             .collect();
-        assert!(flits[0].kind.is_head());
-        assert!(flits[4].kind.is_tail());
+        assert!(flits[0].kind().is_head());
+        assert!(flits[4].kind().is_tail());
         assert!(flits
             .iter()
             .all(|f| f.packet == PacketId(7) && f.created == 100));
+        assert!(flits.iter().all(|f| f.config.is_none()));
     }
 
     #[test]
     fn config_payload_on_head_only() {
+        let arena = ConfigArena::new();
         let info = SetupInfo {
             src: NodeId(0),
             dst: NodeId(3),
@@ -296,10 +453,11 @@ mod tests {
             ConfigKind::Setup(info),
             0,
         );
-        let f = Flit::of_packet(&p, 0, Switching::Packet);
+        let f = Flit::of_packet_in(&arena, &p, 0, Switching::Packet);
         assert!(f.config.is_some());
-        assert_eq!(f.config.as_deref().unwrap().info().slot, 2);
-        assert!(!f.measured);
+        assert_eq!(arena.get(f.config).info().slot, 2);
+        assert!(!f.measured());
+        assert_eq!(f.class(), MsgClass::Config);
     }
 
     #[test]
@@ -321,5 +479,48 @@ mod tests {
         ] {
             assert_eq!(k.info().path_id, 9);
         }
+    }
+
+    #[test]
+    fn packed_fields_roundtrip() {
+        let p = Packet::data(PacketId(3), NodeId(12), NodeId(40), 4, 77);
+        let mut f = Flit::of_packet(&p, 0, Switching::Circuit);
+        assert_eq!(f.src(), NodeId(12));
+        assert_eq!(f.dst(), NodeId(40));
+        assert_eq!(f.switching(), Switching::Circuit);
+        assert_eq!(f.class(), MsgClass::Data);
+        assert!(f.measured());
+        assert_eq!(f.true_dst(), None);
+        assert_eq!(f.forced_out(), None);
+
+        for port in Port::ALL {
+            f.set_forced_out(Some(port));
+            assert_eq!(f.forced_out(), Some(port));
+            // forced_out must not disturb its flag neighbours.
+            assert_eq!(f.kind(), FlitKind::Head);
+            assert!(f.measured());
+        }
+        assert_eq!(f.take_forced_out(), Some(Port::West));
+        assert_eq!(f.forced_out(), None);
+
+        f.set_true_dst(Some(NodeId(41)));
+        assert_eq!(f.true_dst(), Some(NodeId(41)));
+        f.set_true_dst(None);
+        assert_eq!(f.true_dst(), None);
+
+        f.set_dst(NodeId(2));
+        assert_eq!(f.dst(), NodeId(2));
+    }
+
+    #[test]
+    fn route_dst_honours_hop_off() {
+        let p = Packet::data(PacketId(8), NodeId(1), NodeId(6), 5, 0);
+        let mut f = Flit::of_packet(&p, 0, Switching::Circuit);
+        // No hop-off: route to the packet destination.
+        assert_eq!(f.route_dst(), NodeId(6));
+        // Vicinity sharing: the circuit ends at 6 but the message is for 7;
+        // routing must aim at the hop-off field, not the circuit endpoint.
+        f.set_true_dst(Some(NodeId(7)));
+        assert_eq!(f.route_dst(), NodeId(7));
     }
 }

@@ -143,6 +143,12 @@ impl Mesh {
     /// Create a mesh with the given dimensions. Panics if either is zero.
     pub fn new(kx: u16, ky: u16) -> Self {
         assert!(kx > 0 && ky > 0, "mesh dimensions must be positive");
+        // Node ids are packed into u16 flit fields with u16::MAX reserved
+        // as the "no node" sentinel (see `crate::flit`).
+        assert!(
+            (kx as usize) * (ky as usize) < u16::MAX as usize,
+            "mesh too large for packed 16-bit node ids"
+        );
         Mesh { kx, ky }
     }
 

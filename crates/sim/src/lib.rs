@@ -25,7 +25,9 @@
 //! simulation produces identical results, which the property tests rely on.
 
 pub mod arbiter;
+pub mod arena;
 pub mod config;
+pub mod dense;
 pub mod fabric;
 pub mod flit;
 pub mod geometry;
@@ -44,7 +46,9 @@ pub use noc_telemetry::{
     EventKind, RingSink, TelemetryConfig, TelemetryEvent, TelemetryReport, TraceSink,
 };
 
+pub use arena::{ConfigArena, ConfigRef};
 pub use config::{NetworkConfig, RouterConfig};
+pub use dense::{NodeTable, RxTable};
 pub use fabric::Fabric;
 pub use flit::{
     ConfigKind, Credit, Flit, FlitKind, MsgClass, Packet, PacketId, SetupInfo, Switching,

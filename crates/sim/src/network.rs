@@ -41,13 +41,14 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 
 use noc_telemetry::{
     EventKind, MetricId, MetricsRegistry, TelemetryConfig, TelemetryReport, TraceSink,
 };
 
+use crate::arena::ConfigArena;
 use crate::flit::{Credit, Flit, MsgClass, Packet};
 use crate::geometry::{Direction, Mesh, NodeId};
 use crate::node::{DeliveredPacket, NodeModel, NodeOutputs, PowerState};
@@ -215,6 +216,9 @@ pub struct Network<N: NodeModel> {
     /// Telemetry state, present only while a trace is armed
     /// (see [`Network::configure_telemetry`]).
     telemetry: Option<Box<NetTelemetry>>,
+    /// Network-wide configuration-payload slab, shared with every node
+    /// via [`NodeModel::attach_arena`].
+    arena: Arc<ConfigArena>,
 }
 
 /// Bit-set helpers over the `Vec<u64>` masks.
@@ -274,13 +278,23 @@ impl<N: NodeModel> Network<N> {
             leak_slot: 0,
             leak_dlt: 0,
             telemetry: None,
+            arena: Arc::new(ConfigArena::new()),
         };
+        let arena = net.arena.clone();
+        for node in &mut net.nodes {
+            node.attach_arena(&arena);
+        }
         net.wake_all();
         net
     }
 
     pub fn now(&self) -> Cycle {
         self.now
+    }
+
+    /// The shared configuration-payload arena.
+    pub fn arena(&self) -> &Arc<ConfigArena> {
+        &self.arena
     }
 
     /// Queue a packet at `node`'s NIC. Measured data packets count toward
@@ -564,6 +578,72 @@ impl<N: NodeModel> Network<N> {
         for _ in 0..cycles {
             self.step();
         }
+    }
+
+    /// True when no node is scheduled and no wire delivery is pending for
+    /// either parity — i.e. every cycle until the next timer (or external
+    /// injection) is a guaranteed no-op.
+    fn is_idle(&self) -> bool {
+        self.active_mask.iter().all(|w| *w == 0)
+            && self.wake_mask[0].iter().all(|w| *w == 0)
+            && self.wake_mask[1].iter().all(|w| *w == 0)
+    }
+
+    /// Advance the clock to `target`, leaping over provably empty cycles.
+    ///
+    /// When the active set and both wake parities are empty, the wire
+    /// slots are empty too (every wire push sets a wake bit), so each
+    /// cycle until the earliest pending timer is a no-op apart from the
+    /// O(1) integrations [`Network::step`] performs unconditionally:
+    /// leakage sums, per-cycle counters and telemetry window snapshots.
+    /// [`Network::run_until`] replays exactly those for the skipped span
+    /// and jumps the clock, making the result bit-identical to stepping
+    /// cycle by cycle (pinned by `tests/properties.rs`) at O(1) cost per
+    /// leap instead of O(cycles). With [`Network::set_always_step`] the
+    /// leap is disabled and every cycle is stepped.
+    pub fn run_until(&mut self, target: Cycle) {
+        while self.now < target {
+            if !self.always_step && self.is_idle() {
+                let bound = match self.timers.peek() {
+                    Some(&Reverse((t, _))) => t.min(target),
+                    None => target,
+                };
+                // `bound <= now` means a (possibly stale) timer is due:
+                // fall through and let `step` service the heap.
+                if bound > self.now {
+                    self.leap_to(bound);
+                    continue;
+                }
+            }
+            self.step();
+        }
+    }
+
+    /// Replay `self.now..target` as empty cycles in O(1).
+    fn leap_to(&mut self, target: Cycle) {
+        debug_assert!(self.inflight_flits == 0, "leap with flits in flight");
+        let k = target - self.now;
+        let n = self.nodes.len() as u64;
+        self.stats.leakage.buffer_slot_cycles += self.leak_buffer * k;
+        self.stats.leakage.slot_entry_cycles += self.leak_slot * k;
+        self.stats.leakage.dlt_entry_cycles += self.leak_dlt * k;
+        self.stats.leakage.router_cycles += n * k;
+        self.stats.node_cycles += n * k;
+        if let Some(t) = &mut self.telemetry {
+            // Window boundaries inside the leap snapshot the same gauge
+            // values a per-cycle walk would have seen: nothing active,
+            // nothing in flight, occupancy frozen.
+            while t.next_window <= target {
+                t.registry.set(t.m_active_nodes, 0);
+                t.registry.set(t.m_buffered_flits, self.total_occ as u64);
+                t.registry
+                    .set(t.m_inflight_flits, self.inflight_flits as u64);
+                t.registry.snapshot_window(t.next_window);
+                t.last_window_end = t.next_window;
+                t.next_window += t.cfg.window;
+            }
+        }
+        self.now = target;
     }
 
     /// Start a measurement window: resets statistics and snapshots event
@@ -1042,6 +1122,40 @@ mod tests {
         assert_eq!(plain.delivered_log, traced.delivered_log);
         assert_eq!(plain.stats.latency_sum, traced.stats.latency_sum);
         assert_eq!(plain.stats.nodes_stepped, traced.stats.nodes_stepped);
+    }
+
+    /// `run_until` must be indistinguishable from stepping every cycle:
+    /// same clock, same leakage integrals, same per-cycle counters, and
+    /// the network must still react to work injected after the idle span.
+    #[test]
+    fn run_until_leaps_idle_regions_bit_identically() {
+        let build = || {
+            let mut n = net(4);
+            let src = n.mesh.id(Coord::new(0, 0));
+            let dst = n.mesh.id(Coord::new(3, 3));
+            n.begin_measurement();
+            n.inject(src, Packet::data(PacketId(1), src, dst, 5, 0));
+            assert!(n.drain(500));
+            n
+        };
+        let mut stepped = build();
+        let mut leaped = build();
+        let target = stepped.now() + 100_000;
+        while stepped.now() < target {
+            stepped.step();
+        }
+        leaped.run_until(target);
+        assert_eq!(stepped.now(), leaped.now());
+        assert_eq!(stepped.stats.leakage, leaped.stats.leakage);
+        assert_eq!(stepped.stats.node_cycles, leaped.stats.node_cycles);
+        assert_eq!(stepped.stats.nodes_stepped, leaped.stats.nodes_stepped);
+        // The leaped network is still live: a new packet delivers.
+        let src = leaped.mesh.id(Coord::new(3, 0));
+        let dst = leaped.mesh.id(Coord::new(0, 3));
+        leaped.inject(src, Packet::data(PacketId(2), src, dst, 5, leaped.now()));
+        assert!(leaped.drain(500));
+        leaped.end_measurement();
+        assert_eq!(leaped.stats.packets_delivered, 2);
     }
 
     /// Serial and pooled stepping must advance the network identically.

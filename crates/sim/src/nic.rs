@@ -2,12 +2,13 @@
 //! serialisation under credit flow control, and ejection/reassembly.
 
 use std::collections::VecDeque;
-
-use rustc_hash::FxHashMap;
+use std::sync::Arc;
 
 use crate::arbiter::RoundRobin;
+use crate::arena::ConfigArena;
 use crate::config::RouterConfig;
-use crate::flit::{Flit, Packet, PacketId, Switching};
+use crate::dense::RxTable;
+use crate::flit::{Flit, Packet, Switching};
 use crate::geometry::NodeId;
 use crate::node::{DeliveredKind, DeliveredPacket};
 use crate::Cycle;
@@ -35,7 +36,10 @@ pub struct Nic {
     router_active_vcs: u8,
     vc_rr: RoundRobin,
     /// Flits received so far per in-flight inbound packet.
-    rx: FxHashMap<PacketId, u8>,
+    rx: RxTable,
+    /// Configuration-payload slab; replaced by the harness's shared arena
+    /// via [`Nic::set_arena`] when the node joins a network.
+    arena: Arc<ConfigArena>,
     delivered: Vec<DeliveredPacket>,
     /// Flits injected into the router (for traffic accounting).
     pub flits_injected: u64,
@@ -56,7 +60,8 @@ impl Nic {
             credits: vec![cfg.buf_depth; cfg.vcs_per_port as usize],
             router_active_vcs: cfg.vcs_per_port,
             vc_rr: RoundRobin::new(cfg.vcs_per_port as usize),
-            rx: FxHashMap::default(),
+            rx: RxTable::new(),
+            arena: Arc::new(ConfigArena::new()),
             delivered: Vec::new(),
             flits_injected: 0,
             queued_flits: 0,
@@ -66,6 +71,17 @@ impl Nic {
 
     pub fn id(&self) -> NodeId {
         self.id
+    }
+
+    /// The configuration-payload arena this NIC serialises against.
+    pub fn arena(&self) -> &Arc<ConfigArena> {
+        &self.arena
+    }
+
+    /// Adopt the network-wide payload arena (see
+    /// [`NodeModel::attach_arena`](crate::node::NodeModel::attach_arena)).
+    pub fn set_arena(&mut self, arena: Arc<ConfigArena>) {
+        self.arena = arena;
     }
 
     /// Queue a packet for injection.
@@ -120,7 +136,7 @@ impl Nic {
         if self.credits[s.vc as usize] == 0 {
             return None; // head-of-line stall at the source
         }
-        let mut flit = Flit::of_packet(&s.packet, s.next, Switching::Packet);
+        let mut flit = Flit::of_packet_in(&self.arena, &s.packet, s.next, Switching::Packet);
         flit.vc = s.vc;
         self.credits[s.vc as usize] -= 1;
         s.next += 1;
@@ -133,23 +149,30 @@ impl Nic {
 
     /// Accept an ejected flit; completes a packet when its tail arrives.
     pub fn accept_ejected(&mut self, now: Cycle, flit: Flit) {
-        let received = self.rx.entry(flit.packet).or_insert(0);
-        *received += 1;
+        self.rx.bump(flit.packet);
         self.rx_flits += 1;
-        if flit.kind.is_tail() {
-            let done = self.rx.remove(&flit.packet).expect("just inserted");
+        if flit.kind().is_tail() {
+            let done = self.rx.remove(flit.packet).expect("just inserted");
             self.rx_flits -= done as usize;
+            // Resolve the payload handle before releasing it: delivery ends
+            // the flit's lifetime, so this is where the arena slot is freed.
+            let payload = if flit.config.is_some() {
+                Some(self.arena.get(flit.config))
+            } else {
+                None
+            };
+            self.arena.free(flit.config);
             self.delivered.push(DeliveredPacket {
                 id: flit.packet,
-                src: flit.src,
-                dst: flit.dst,
-                class: flit.class,
-                kind: DeliveredKind::of_config(flit.config.as_deref()),
-                switching: flit.switching,
+                src: flit.src(),
+                dst: flit.dst(),
+                class: flit.class(),
+                kind: DeliveredKind::of_config(payload),
+                switching: flit.switching(),
                 len_flits: flit.seq + 1,
                 created: flit.created,
                 delivered: now,
-                measured: flit.measured,
+                measured: flit.measured(),
             });
         }
     }
@@ -167,11 +190,7 @@ impl Nic {
             self.inject_queue.iter().map(|p| p.len_flits as usize).sum(),
             "queued-flit counter drifted"
         );
-        debug_assert_eq!(
-            self.rx_flits,
-            self.rx.values().map(|&c| c as usize).sum(),
-            "rx-flit counter drifted"
-        );
+        debug_assert_eq!(self.rx_flits, self.rx.total(), "rx-flit counter drifted");
         let streaming = self
             .current
             .as_ref()
@@ -189,7 +208,7 @@ impl Nic {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::flit::MsgClass;
+    use crate::flit::{MsgClass, PacketId};
 
     fn nic() -> Nic {
         Nic::new(NodeId(0), &RouterConfig::default())
@@ -305,7 +324,9 @@ mod tests {
         ] {
             let mut n = nic();
             let p = Packet::config(PacketId(id), NodeId(1), NodeId(0), kind, 0);
-            n.accept_ejected(9, Flit::of_packet(&p, 0, Switching::Packet));
+            let f = Flit::of_packet_in(n.arena(), &p, 0, Switching::Packet);
+            n.accept_ejected(9, f);
+            assert_eq!(n.arena().live(), 0, "payload freed on delivery");
             let mut sink = Vec::new();
             n.drain_delivered(&mut sink);
             assert_eq!(sink[0].kind, want);
@@ -341,6 +362,6 @@ mod tests {
         ));
         let f = n.next_flit(0).unwrap();
         assert_eq!(f.packet, PacketId(2));
-        assert_eq!(f.class, MsgClass::Config);
+        assert_eq!(f.class(), MsgClass::Config);
     }
 }

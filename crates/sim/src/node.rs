@@ -59,7 +59,7 @@ impl DeliveredKind {
     /// Classify a delivered flit by its configuration payload (configuration
     /// packets are single-flit, so the payload is always present on the
     /// completing flit).
-    pub fn of_config(config: Option<&ConfigKind>) -> DeliveredKind {
+    pub fn of_config(config: Option<ConfigKind>) -> DeliveredKind {
         match config {
             None => DeliveredKind::Data,
             Some(ConfigKind::Setup(_)) => DeliveredKind::Setup,
@@ -126,6 +126,13 @@ pub trait NodeModel {
     fn sleep_until(&self, _now: Cycle) -> Option<Cycle> {
         None
     }
+
+    /// Adopt the network-wide configuration-payload arena. The harness
+    /// calls this once at construction so every node serialises and
+    /// resolves [`ConfigRef`](crate::arena::ConfigRef) handles against the
+    /// same slab. Nodes start with a private arena, so standalone use
+    /// (unit tests, single-node rigs) works without a harness.
+    fn attach_arena(&mut self, _arena: &std::sync::Arc<crate::arena::ConfigArena>) {}
 
     /// Install a telemetry sink (the harness builds one per node when a
     /// trace is armed). The default drops it, so uninstrumented node
@@ -258,6 +265,10 @@ impl NodeModel for PacketNode {
             Some(g) => Some(g.next_eval()),
             None => Some(Cycle::MAX),
         }
+    }
+
+    fn attach_arena(&mut self, arena: &std::sync::Arc<crate::arena::ConfigArena>) {
+        self.nic.set_arena(arena.clone());
     }
 
     fn set_trace_sink(&mut self, sink: TraceSink) {

@@ -317,7 +317,7 @@ impl PsPipeline {
                 let Some(front) = buf.fifo.front() else {
                     continue;
                 };
-                if !front.kind.is_head() {
+                if !front.kind().is_head() {
                     // Stale body flits can only appear through a protocol
                     // bug; the flow-control invariants make this unreachable.
                     debug_assert!(false, "non-head flit at idle VC front");
@@ -329,7 +329,7 @@ impl PsPipeline {
                     "routed to a non-existent port"
                 );
                 let buf = &mut self.inputs[p].vcs[vc];
-                if let Some(forced) = buf.fifo.front_mut().unwrap().forced_out.take() {
+                if let Some(forced) = buf.fifo.front_mut().unwrap().take_forced_out() {
                     debug_assert_eq!(forced, out_port);
                 }
                 buf.state = VcState::Waiting { out: out_port };
@@ -343,16 +343,16 @@ impl PsPipeline {
     /// (configuration processing at hybrid routers), odd-even adaptive for
     /// configuration packets, X-Y otherwise.
     fn route_head(&self, flit: &Flit) -> Port {
-        if let Some(p) = flit.forced_out {
+        if let Some(p) = flit.forced_out() {
             return p;
         }
-        if flit.class == MsgClass::Config && self.cfg.adaptive_config_routing {
+        if flit.class() == MsgClass::Config && self.cfg.adaptive_config_routing {
             let outs = &self.outputs;
-            west_first_route(&self.mesh, self.id, flit.dst, |d| {
+            west_first_route(&self.mesh, self.id, flit.dst(), |d| {
                 outs[d.as_port().index()].score()
             })
         } else {
-            xy_route(&self.mesh, self.id, flit.dst)
+            xy_route(&self.mesh, self.id, flit.dst())
         }
     }
 
@@ -501,7 +501,7 @@ impl PsPipeline {
     ) {
         let buf = &mut self.inputs[in_port.index()].vcs[in_vc as usize];
         let mut flit = buf.fifo.pop_front().expect("SA granted an empty VC");
-        let is_tail = flit.kind.is_tail();
+        let is_tail = flit.kind().is_tail();
         if is_tail {
             buf.state = VcState::Idle;
             buf.stage_cycle = now;
@@ -561,7 +561,7 @@ impl PsPipeline {
             }
             None => {
                 // Ejection: count delivery by class/switching.
-                match flit.class {
+                match flit.class() {
                     MsgClass::Config => self.events.config_flits_delivered += 1,
                     MsgClass::Data => self.events.ps_flits_delivered += 1,
                 }
@@ -789,7 +789,7 @@ mod tests {
             out.flits.clear();
             r.step(now, &NullCtrl, &mut out);
             for (_, f) in out.flits.drain(..) {
-                got.push((f.packet, f.kind));
+                got.push((f.packet, f.kind()));
             }
             // Replenish downstream credits so the stream never stalls.
             while r.outputs[Port::East.index()].credits[0] < 5 {

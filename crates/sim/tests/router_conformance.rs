@@ -101,7 +101,7 @@ fn switch_allocation_is_fair_across_input_ports() {
         r.step(now, &NullCtrl, &mut out);
         for (_, f) in out.flits.drain(..) {
             // Identify source port by src coordinate.
-            if f.src == srcs[0] {
+            if f.src() == srcs[0] {
                 got[0] += 1;
             } else {
                 got[1] += 1;
@@ -265,7 +265,8 @@ fn config_packets_route_adaptively_around_congestion() {
         noc_sim::ConfigKind::Setup(info),
         50,
     );
-    let mut f = Flit::of_packet(&p, 0, Switching::Packet);
+    let arena = noc_sim::ConfigArena::new();
+    let mut f = Flit::of_packet_in(&arena, &p, 0, Switching::Packet);
     f.vc = 3;
     r.accept_flit(50, Port::Local, f);
     let mut dir = None;

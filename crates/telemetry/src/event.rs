@@ -20,6 +20,15 @@ pub struct TelemetryEvent {
     pub id: u64,
 }
 
+const _: () = assert!(
+    std::mem::size_of::<TelemetryEvent>() == 24,
+    "TelemetryEvent must stay a 24-byte POD (ring-sink sizing)"
+);
+const _: () = {
+    const fn assert_copy<T: Copy>() {}
+    assert_copy::<TelemetryEvent>();
+};
+
 /// Every traceable event kind. Each kind owns one bit of the category
 /// mask; the CLI-facing *categories* (see [`parse_event_mask`]) are
 /// groups of these bits.

@@ -22,9 +22,11 @@ cargo test -q --workspace "${OFFLINE[@]}"
 echo "== cargo clippy -- -D warnings =="
 cargo clippy --workspace --all-targets "${OFFLINE[@]}" -- -D warnings
 
-echo "== bench smoke (network_step incl. low-load points, test mode) =="
+echo "== bench smoke (network_step incl. low-load + near-idle points, test mode) =="
 # Runs every network_step bench once, including the 0.02 flits/node/cycle
-# low-load points that exercise the activity-driven scheduler.
+# low-load points that exercise the activity-driven scheduler and the
+# 0.002 flits/node/cycle near-idle points that drive run_until through
+# the idle cycle-leap path.
 cargo bench -p noc-bench --bench network_step "${OFFLINE[@]}" -- --test
 
 echo "== sweep determinism (--sweep-threads 1 vs 4, byte-identical JSON) =="

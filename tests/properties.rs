@@ -288,6 +288,93 @@ proptest! {
         prop_assert!(a_stats.nodes_stepped <= a_stats.node_cycles);
     }
 
+    /// Cycle-leaping (`Fabric::run_until` jumping over provably idle
+    /// stretches) is bit-identical to per-cycle stepping — same delivered
+    /// stream, statistics, energy events and leakage integrals — for every
+    /// switching backend, traffic shape and sweep thread count. This is
+    /// the invariant that lets the `--json` envelopes of every driver stay
+    /// byte-identical whether a run is ticked or leapt.
+    #[test]
+    fn cycle_leaping_matches_per_cycle_stepping(
+        seed in 0u64..500,
+        rate_milli in 2u64..80,
+        pattern_i in 0usize..3,
+        backend_i in 0usize..4,
+        threads in 2usize..5,
+    ) {
+        let mesh = Mesh::square(4);
+        let pattern = match pattern_i {
+            0 => TrafficPattern::UniformRandom,
+            1 => TrafficPattern::Transpose,
+            _ => TrafficPattern::Hotspot(vec![NodeId(5), NodeId(10)]),
+        };
+        let backend = BackendKind::SYNTH[backend_i];
+        // Pre-sample the injection schedule so both drives see the exact
+        // same packets at the exact same cycles.
+        let mut source = SyntheticSource::new(
+            mesh,
+            pattern.clone(),
+            rate_milli as f64 / 1000.0,
+            5,
+            seed,
+        );
+        let horizon = 400u64;
+        let mut sched: Vec<(u64, NodeId, Packet)> = Vec::new();
+        for t in 0..horizon {
+            source.tick(t, true, |n, p| sched.push((t, n, p)));
+        }
+        let run = |leap: bool, step_threads: usize| {
+            let mut fabric = build_fabric(
+                backend,
+                NetworkConfig::with_mesh(mesh),
+                Tuning::Synthetic { slot_capacity: None },
+            )
+            .expect("synthetic backends build");
+            fabric.set_step_threads(step_threads);
+            fabric.set_collect_delivered(true);
+            fabric.begin_measurement();
+            for (t, n, p) in &sched {
+                if leap {
+                    fabric.run_until(*t);
+                } else {
+                    while fabric.now() < *t {
+                        fabric.step();
+                    }
+                }
+                fabric.inject(*n, p.clone());
+            }
+            if leap {
+                fabric.run_until(horizon);
+            } else {
+                while fabric.now() < horizon {
+                    fabric.step();
+                }
+            }
+            let drained = fabric.drain(20_000);
+            fabric.end_measurement();
+            (drained, fabric.now(), fabric.delivered_log().to_vec(), fabric.stats().clone())
+        };
+        let (t_ok, t_now, t_log, t_stats) = run(false, 0);
+        let (l_ok, l_now, l_log, l_stats) = run(true, 0);
+        let (p_ok, p_now, p_log, p_stats) = run(true, threads);
+        prop_assert!(t_ok && l_ok && p_ok, "all modes must drain ({backend:?})");
+        for (now, log, stats) in [(l_now, &l_log, &l_stats), (p_now, &p_log, &p_stats)] {
+            prop_assert_eq!(t_now, now);
+            prop_assert_eq!(&t_log, log);
+            prop_assert_eq!(t_stats.measured_cycles, stats.measured_cycles);
+            prop_assert_eq!(t_stats.packets_offered, stats.packets_offered);
+            prop_assert_eq!(t_stats.packets_delivered, stats.packets_delivered);
+            prop_assert_eq!(t_stats.latency_sum, stats.latency_sum);
+            prop_assert_eq!(t_stats.latency_max, stats.latency_max);
+            prop_assert_eq!(t_stats.flits_delivered, stats.flits_delivered);
+            prop_assert_eq!(t_stats.cs_packets_delivered, stats.cs_packets_delivered);
+            prop_assert_eq!(t_stats.config_packets_delivered, stats.config_packets_delivered);
+            prop_assert_eq!(t_stats.latency_hist.clone(), stats.latency_hist.clone());
+            prop_assert_eq!(t_stats.events, stats.events);
+            prop_assert_eq!(t_stats.leakage, stats.leakage);
+        }
+    }
+
     /// Energy accounting: the breakdown is non-negative, additive, and
     /// saving_vs is antisymmetric around zero for identical inputs.
     #[test]
@@ -373,6 +460,94 @@ fn activity_scheduling_survives_resize_bit_identically() {
     let (f_ok, f_resizes, f_slots, f_now, f_log, f_stats) = run(true);
     let (a_ok, a_resizes, a_slots, a_now, a_log, a_stats) = run(false);
     assert!(f_ok && a_ok, "both modes must drain across resizes");
+    check_resize_runs_equal(
+        (f_ok, f_resizes, f_slots, f_now, &f_log, &f_stats),
+        (a_ok, a_resizes, a_slots, a_now, &a_log, &a_stats),
+    );
+}
+
+/// Cycle-leaping through a dynamic slot-table resize sequence is
+/// bit-identical to per-cycle stepping: `TdmNetwork::run_until` bounds
+/// every leap at the next resize-controller decision point (observation
+/// window end, freeze deadline), so the controller observes the network at
+/// exactly the cycles where it could act. Same table-exhaustion traffic as
+/// above — at least one grow happens mid-run.
+#[test]
+fn cycle_leaping_survives_resize_bit_identically() {
+    use tdm_hybrid_noc::tdm::ResizeConfig;
+    let run = |leap: bool| {
+        let mut cfg = TdmConfig {
+            net: NetworkConfig::with_mesh(Mesh::square(4)),
+            slot_capacity: 64,
+            ..TdmConfig::default()
+        };
+        cfg.resize = Some(ResizeConfig {
+            initial_active: 8,
+            fail_threshold: 4,
+            window: 400,
+            freeze_cycles: 120,
+            shrink_below: 0.0,
+        });
+        let m = cfg.net.mesh;
+        let flits = cfg.net.ps_packet_flits;
+        let mut net = TdmNetwork::new(cfg);
+        net.net.collect_delivered = true;
+        net.begin_measurement();
+        let src = m.id(Coord::new(0, 0));
+        let dsts = [
+            m.id(Coord::new(3, 0)),
+            m.id(Coord::new(3, 1)),
+            m.id(Coord::new(3, 2)),
+        ];
+        let mut id = 0;
+        for _ in 0..200 {
+            for &d in &dsts {
+                let pkt = Packet::data(PacketId(id), src, d, flits, net.now());
+                net.inject(src, pkt);
+                id += 1;
+            }
+            if leap {
+                let target = net.now() + 12;
+                net.run_until(target);
+            } else {
+                for _ in 0..12 {
+                    net.step();
+                }
+            }
+        }
+        let drained = net.drain(20_000);
+        net.end_measurement();
+        assert!(net.resizes >= 1, "controller never resized");
+        (
+            drained,
+            net.resizes,
+            net.active_slots(),
+            net.now(),
+            net.net.delivered_log.clone(),
+            net.stats().clone(),
+        )
+    };
+    let (f_ok, f_resizes, f_slots, f_now, f_log, f_stats) = run(false);
+    let (a_ok, a_resizes, a_slots, a_now, a_log, a_stats) = run(true);
+    assert!(f_ok && a_ok, "both modes must drain across resizes");
+    check_resize_runs_equal(
+        (f_ok, f_resizes, f_slots, f_now, &f_log, &f_stats),
+        (a_ok, a_resizes, a_slots, a_now, &a_log, &a_stats),
+    );
+}
+
+type ResizeRun<'a> = (
+    bool,
+    u32,
+    u16,
+    u64,
+    &'a Vec<tdm_hybrid_noc::sim::DeliveredPacket>,
+    &'a tdm_hybrid_noc::sim::NetStats,
+);
+
+fn check_resize_runs_equal(f: ResizeRun, a: ResizeRun) {
+    let (_, f_resizes, f_slots, f_now, f_log, f_stats) = f;
+    let (_, a_resizes, a_slots, a_now, a_log, a_stats) = a;
     assert_eq!(f_resizes, a_resizes);
     assert_eq!(f_slots, a_slots);
     assert_eq!(f_now, a_now);
