@@ -214,5 +214,74 @@ fn bench_network_step(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_network_step);
+/// Kilo-node scaling points: the same kernel on a 32×32 grid (1024
+/// routers), where the structure-of-arrays hot state and the multi-word
+/// active-set `BitSet` are load-bearing — a single-`u64` active mask
+/// cannot even represent this network. Mesh and torus variants share the
+/// shape so the topology layer's cost shows up directly.
+fn bench_network_step_1024(c: &mut Criterion) {
+    const WARMUP_1024: u64 = 1_000;
+    let mut g = c.benchmark_group("network_step");
+    g.throughput(Throughput::Elements(STEPS));
+    g.sample_size(10);
+
+    for (name, topo, rate) in [
+        ("packet_1024n_0.3flits", Mesh::square(32), PACKET_RATE),
+        ("packet_1024n_0.02flits", Mesh::square(32), PACKET_RATE_LOW),
+        (
+            "packet_1024n_torus_0.3flits",
+            Mesh::torus_square(32),
+            PACKET_RATE,
+        ),
+    ] {
+        g.bench_function(name, |b| {
+            let cfg = NetworkConfig::with_mesh(topo);
+            let mut net = Network::new(topo, |id| PacketNode::new(id, &cfg, None));
+            let mut src = SyntheticSource::new(topo, TrafficPattern::UniformRandom, rate, 5, 42);
+            drive_packet(&mut net, &mut src, WARMUP_1024);
+            b.iter(|| black_box(drive_packet(&mut net, &mut src, STEPS)));
+        });
+    }
+
+    for (name, topo, rate) in [
+        ("tdm_hybrid_1024n_0.3flits", Mesh::square(32), PACKET_RATE),
+        (
+            "tdm_hybrid_1024n_0.02flits",
+            Mesh::square(32),
+            PACKET_RATE_LOW,
+        ),
+        (
+            "tdm_hybrid_1024n_torus_0.02flits",
+            Mesh::torus_square(32),
+            PACKET_RATE_LOW,
+        ),
+    ] {
+        g.bench_function(name, |b| {
+            let mut cfg = TdmConfig::vc4(NetworkConfig::with_mesh(topo));
+            cfg.policy.setup_after_msgs = 3;
+            // §IV-D: 256-entry tables for networks beyond 64 nodes.
+            cfg.slot_capacity = 256;
+            let mut net = TdmNetwork::new(cfg);
+            let mut src = SyntheticSource::new(topo, TrafficPattern::UniformRandom, rate, 5, 42);
+            let mut pkts = Vec::new();
+            let mut drive = move |net: &mut TdmNetwork, cycles: u64| {
+                for _ in 0..cycles {
+                    let now = net.now();
+                    src.tick(now, true, |n, p| pkts.push((n, p)));
+                    for (n, p) in pkts.drain(..) {
+                        net.inject(n, p);
+                    }
+                    net.step();
+                }
+                net.stats().packets_delivered
+            };
+            drive(&mut net, WARMUP_1024);
+            b.iter(|| black_box(drive(&mut net, STEPS)));
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_network_step, bench_network_step_1024);
 criterion_main!(benches);

@@ -14,7 +14,7 @@ fn feed(p: &mut PsPipeline, now: u64, pid: &mut u64) {
     let src = mesh.id(Coord::new(0, 3));
     let dst = mesh.id(Coord::new(5, 3));
     for vc in 0..2u8 {
-        if p.inputs[Port::West.index()].vcs[vc as usize].fifo.len() < 4 {
+        if p.vc(Port::West, vc as usize).fifo.len() < 4 {
             let pkt = Packet::data(PacketId(*pid), src, dst, 1, now);
             *pid += 1;
             let mut f = Flit::of_packet(&pkt, 0, Switching::Packet);
@@ -38,7 +38,7 @@ fn bench_pipeline_step(c: &mut Criterion) {
             p.step(now, &NullCtrl, &mut out);
             // Return credits so the pipeline keeps flowing.
             for v in 0..4 {
-                while p.outputs[Port::East.index()].credits[v] < 5 {
+                while p.out_credit(Port::East, v) < 5 {
                     p.accept_credit(noc_sim::Direction::East, noc_sim::Credit { vc: v as u8 });
                 }
             }
@@ -69,7 +69,7 @@ fn bench_tdm_router_step(c: &mut Criterion) {
                 pid += 1;
                 let f = Flit::of_packet(&pkt, 0, Switching::Circuit);
                 r.accept_flit(now, Port::West, f);
-            } else if r.pipeline.inputs[Port::South.index()].vcs[0].fifo.len() < 4 {
+            } else if r.pipeline.vc(Port::South, 0).fifo.len() < 4 {
                 let pkt = Packet::data(PacketId(pid), mesh.id(Coord::new(3, 5)), dst, 1, now);
                 pid += 1;
                 let mut f = Flit::of_packet(&pkt, 0, Switching::Packet);
@@ -79,7 +79,7 @@ fn bench_tdm_router_step(c: &mut Criterion) {
             out.clear();
             r.step(now, &mut out);
             for v in 0..4u8 {
-                while r.pipeline.outputs[Port::East.index()].credits[v as usize] < 5 {
+                while r.pipeline.out_credit(Port::East, v as usize) < 5 {
                     r.pipeline
                         .accept_credit(noc_sim::Direction::East, noc_sim::Credit { vc: v });
                 }

@@ -122,6 +122,13 @@ impl TdmNode {
         // the network-wide arena.
         let arena = router.arena().clone();
         let mut nic = Nic::new(id, &cfg.net.router);
+        if cfg.net.mesh.is_torus() {
+            assert!(
+                cfg.gating.is_none(),
+                "VC gating is incompatible with torus dateline classes"
+            );
+            nic.set_inject_vc_limit(cfg.net.router.vcs_per_port / 2);
+        }
         nic.set_arena(arena.clone());
         TdmNode {
             id,
@@ -886,7 +893,7 @@ impl NodeModel for TdmNode {
                 );
                 self.nic.set_router_active_vcs(n);
                 for d in Direction::ALL {
-                    if self.router.pipeline.outputs[d.as_port().index()].exists {
+                    if self.router.pipeline.out_exists(d.as_port()) {
                         out.vc_counts.push((d, n));
                     }
                 }

@@ -370,13 +370,14 @@ impl TdmRouter {
     }
 
     /// Pick the output for a setup (and hence for its circuit): minimal
-    /// adaptive routing under the odd-even turn model, scored by downstream
-    /// credit availability (§II-B "path selection").
+    /// adaptive routing under the west-first turn model, scored by
+    /// downstream credit availability (§II-B "path selection"). On a torus
+    /// the turn-model deadlock argument does not apply, so setups fall back
+    /// to deterministic wrap-aware dimension-order routing.
     fn route_for_setup(&self, flit: &Flit) -> Port {
-        if self.pipeline.cfg.adaptive_config_routing {
-            let outs = &self.pipeline.outputs;
+        if self.pipeline.cfg.adaptive_config_routing && !self.pipeline.mesh.is_torus() {
             west_first_route(&self.pipeline.mesh, self.id(), flit.dst(), |d| {
-                outs[d.as_port().index()].score()
+                self.pipeline.out_score(d)
             })
         } else {
             xy_route(&self.pipeline.mesh, self.id(), flit.dst())

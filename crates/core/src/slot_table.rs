@@ -41,16 +41,34 @@ pub enum ReserveError {
     CapReached,
 }
 
+// SoA row-size contract (see the 32-byte Flit assert in `noc_sim::flit`):
+// the per-slot entry must stay one 16-byte row, with `Port`'s enum niche
+// absorbing the `Option` discriminant.
+const _: () = assert!(
+    std::mem::size_of::<Option<SlotEntry>>() == 16,
+    "Option<SlotEntry> must stay a 16-byte POD row (DESIGN.md §13)"
+);
+
+// The per-slot output reservation masks (and `reserved_outputs`'s return
+// type) hold one bit per port in a u8.
+const _: () = assert!(
+    Port::COUNT <= 8,
+    "SlotTables::out_masks packs port bits into a u8"
+);
+
 /// The five per-input-port slot tables of one hybrid router.
 #[derive(Clone, Debug)]
 pub struct SlotTables {
-    /// `tables[port][slot]`.
-    tables: Vec<Vec<Option<SlotEntry>>>,
+    /// Slot entries, flat over `port * capacity + slot` (one contiguous
+    /// allocation instead of a Vec-of-Vecs; the per-cycle lookup is a
+    /// single indexed load).
+    tables: Box<[Option<SlotEntry>]>,
     /// Per-slot bitmask of reserved *output* ports (bit = `Port::index`),
     /// maintained by `try_reserve`/`release_path`/`reset`. Outputs are
     /// exclusive within a slot, so each set bit corresponds to exactly one
     /// entry. Lets the per-cycle constraint build read one byte instead of
-    /// probing all five input tables.
+    /// probing all five input tables. One byte caps the radix at 8 ports
+    /// (checked at compile time below).
     out_masks: Vec<u8>,
     capacity: u16,
     active: u16,
@@ -66,9 +84,7 @@ impl SlotTables {
         assert!(capacity > 0 && active > 0 && active <= capacity);
         assert!((0.0..=1.0).contains(&cap_fraction));
         SlotTables {
-            tables: (0..Port::COUNT)
-                .map(|_| vec![None; capacity as usize])
-                .collect(),
+            tables: vec![None; Port::COUNT * capacity as usize].into_boxed_slice(),
             out_masks: vec![0; capacity as usize],
             capacity,
             active,
@@ -97,9 +113,15 @@ impl SlotTables {
         self.active as u32 * Port::COUNT as u32
     }
 
+    /// Flat index of `port`'s entry for slot `s`.
+    #[inline]
+    fn at(&self, port: Port, s: usize) -> usize {
+        port.index() * self.capacity as usize + s
+    }
+
     /// Look up the entry for input `port` at cycle `t`.
     pub fn lookup(&self, port: Port, t: u64) -> Option<&SlotEntry> {
-        self.tables[port.index()][self.slot_of(t) as usize].as_ref()
+        self.tables[self.at(port, self.slot_of(t) as usize)].as_ref()
     }
 
     /// Bitmask (by `Port::index`) of output ports reserved in the slot
@@ -114,7 +136,7 @@ impl SlotTables {
     pub fn input_reserving_output(&self, t: u64, out: Port) -> Option<Port> {
         let s = self.slot_of(t) as usize;
         for p in Port::ALL {
-            if let Some(e) = &self.tables[p.index()][s] {
+            if let Some(e) = &self.tables[self.at(p, s)] {
                 if e.out == out {
                     return Some(p);
                 }
@@ -143,23 +165,19 @@ impl SlotTables {
         // Validate every required slot before mutating anything.
         for k in 0..duration {
             let s = ((s0 + k as u16) % self.active) as usize;
-            if self.tables[in_port.index()][s].is_some() {
+            if self.tables[self.at(in_port, s)].is_some() {
                 return Err(ReserveError::SlotOccupied);
             }
-            for q in Port::ALL {
-                if q == in_port {
-                    continue;
-                }
-                if let Some(e) = &self.tables[q.index()][s] {
-                    if e.out == out {
-                        return Err(ReserveError::OutputConflict);
-                    }
-                }
+            // Outputs are exclusive within a slot: one mask probe replaces
+            // the four foreign-table scans (out_masks tracks every port).
+            if self.out_masks[s] & (1 << out.index()) != 0 {
+                return Err(ReserveError::OutputConflict);
             }
         }
         for k in 0..duration {
             let s = ((s0 + k as u16) % self.active) as usize;
-            self.tables[in_port.index()][s] = Some(SlotEntry { out, path_id, dst });
+            let i = self.at(in_port, s);
+            self.tables[i] = Some(SlotEntry { out, path_id, dst });
             self.out_masks[s] |= 1 << out.index();
         }
         self.valid_counts[in_port.index()] += duration as u32;
@@ -171,10 +189,11 @@ impl SlotTables {
     /// `None` if the path has no entries here (the teardown reached the
     /// point where its setup failed).
     pub fn release_path(&mut self, in_port: Port, path_id: u64) -> Option<(Port, u8)> {
-        let table = &mut self.tables[in_port.index()];
+        let base = in_port.index() * self.capacity as usize;
         let mut out = None;
         let mut cleared = 0u8;
-        for (s, e) in table.iter_mut().enumerate() {
+        for s in 0..self.capacity as usize {
+            let e = &mut self.tables[base + s];
             if let Some(entry) = e {
                 if entry.path_id == path_id {
                     out = Some(entry.out);
@@ -209,18 +228,10 @@ impl SlotTables {
             let start = (s0 + off) % self.active;
             for k in 0..duration as u16 {
                 let s = ((start + k) % self.active) as usize;
-                if self.tables[in_port.index()][s].is_some() {
+                if self.tables[self.at(in_port, s)].is_some()
+                    || self.out_masks[s] & (1 << out.index()) != 0
+                {
                     continue 'start;
-                }
-                for q in Port::ALL {
-                    if q == in_port {
-                        continue;
-                    }
-                    if let Some(e) = &self.tables[q.index()][s] {
-                        if e.out == out {
-                            continue 'start;
-                        }
-                    }
                 }
             }
             return Some(start);
@@ -233,9 +244,7 @@ impl SlotTables {
     pub fn reset(&mut self, new_active: u16) -> u32 {
         assert!(new_active > 0 && new_active <= self.capacity);
         let cleared: u32 = self.valid_counts.iter().sum();
-        for t in &mut self.tables {
-            t.fill(None);
-        }
+        self.tables.fill(None);
         self.out_masks.fill(0);
         self.valid_counts = [0; Port::COUNT];
         self.active = new_active;

@@ -2,7 +2,7 @@
 //! experiment run — backend, mesh, traffic, phase lengths, seed and host
 //! threading — mappable to a boxed [`Fabric`] plus a workload.
 
-use noc_sim::{Fabric, Mesh, NetworkConfig, NodeId};
+use noc_sim::{Fabric, Mesh, NetworkConfig, NodeId, TopologyKind};
 use noc_traffic::{PhaseConfig, SyntheticSource, TrafficPattern};
 use serde::{Serialize, Value};
 
@@ -22,8 +22,12 @@ pub enum TrafficSpec {
 #[derive(Clone, Debug, PartialEq)]
 pub struct ScenarioSpec {
     pub backend: BackendKind,
-    /// Side length of the (square) mesh.
+    /// Side length of the (square) router grid.
     pub mesh: u16,
+    /// Connectivity rule of the router grid (plain mesh by default).
+    pub topology: TopologyKind,
+    /// Clients per router (> 1 only for [`TopologyKind::CMesh`]).
+    pub concentration: u8,
     pub traffic: TrafficSpec,
     pub phases: PhaseConfig,
     pub seed: u64,
@@ -48,12 +52,22 @@ impl ScenarioSpec {
         ScenarioSpec {
             backend,
             mesh,
+            topology: TopologyKind::Mesh2D,
+            concentration: 1,
             traffic: TrafficSpec::Synthetic { pattern, rate },
             phases,
             seed,
             step_threads: 0,
             slot_capacity: None,
         }
+    }
+
+    /// The same scenario on a different connectivity rule. `concentration`
+    /// is only meaningful for [`TopologyKind::CMesh`].
+    pub fn with_topology(mut self, topology: TopologyKind, concentration: u8) -> Self {
+        self.topology = topology;
+        self.concentration = concentration;
+        self
     }
 
     /// A heterogeneous-workload scenario (fixed §V system: 6×6 mesh,
@@ -68,6 +82,8 @@ impl ScenarioSpec {
         ScenarioSpec {
             backend,
             mesh: 6,
+            topology: TopologyKind::Mesh2D,
+            concentration: 1,
             traffic: TrafficSpec::Hetero {
                 cpu: cpu.into(),
                 gpu: gpu.into(),
@@ -79,9 +95,18 @@ impl ScenarioSpec {
         }
     }
 
+    /// The router-grid topology this scenario describes.
+    pub fn topo(&self) -> Mesh {
+        match self.topology {
+            TopologyKind::Mesh2D => Mesh::square(self.mesh),
+            TopologyKind::Torus2D => Mesh::torus_square(self.mesh),
+            TopologyKind::CMesh => Mesh::cmesh(self.mesh, self.mesh, self.concentration),
+        }
+    }
+
     /// The network configuration this scenario describes.
     pub fn net_config(&self) -> NetworkConfig {
-        let mut cfg = NetworkConfig::with_mesh(Mesh::square(self.mesh));
+        let mut cfg = NetworkConfig::with_mesh(self.topo());
         cfg.step_threads = self.step_threads;
         cfg
     }
@@ -106,7 +131,7 @@ impl ScenarioSpec {
     pub fn build_source(&self) -> Option<SyntheticSource> {
         match &self.traffic {
             TrafficSpec::Synthetic { pattern, rate } => Some(SyntheticSource::new(
-                Mesh::square(self.mesh),
+                self.topo(),
                 pattern.clone(),
                 *rate,
                 self.net_config().ps_packet_flits,
@@ -136,9 +161,11 @@ impl ScenarioSpec {
                 "scenario must be a JSON object".into(),
             ));
         };
-        const KNOWN: [&str; 13] = [
+        const KNOWN: [&str; 15] = [
             "backend",
             "mesh",
+            "topology",
+            "concentration",
             "traffic",
             "pattern",
             "rate",
@@ -250,6 +277,56 @@ impl ScenarioSpec {
             ));
         }
 
+        let topology = match v.get("topology") {
+            None => TopologyKind::Mesh2D,
+            Some(t) => match t.as_str() {
+                Some("mesh" | "Mesh2D") => TopologyKind::Mesh2D,
+                Some("torus" | "Torus2D") => TopologyKind::Torus2D,
+                Some("cmesh" | "CMesh") => TopologyKind::CMesh,
+                _ => {
+                    return Err(ScenarioError::Parse(
+                        "\"topology\" must be \"mesh\", \"torus\" or \"cmesh\"".into(),
+                    ))
+                }
+            },
+        };
+        if hetero && topology != TopologyKind::Mesh2D {
+            return Err(ScenarioError::Parse(
+                "hetero scenarios are fixed to the 6x6 Figure 7 floorplan (plain mesh)".into(),
+            ));
+        }
+        if topology == TopologyKind::Torus2D
+            && matches!(
+                backend,
+                BackendKind::PacketVct | BackendKind::HybridTdmVct | BackendKind::HybridTdmHopVct
+            )
+        {
+            return Err(ScenarioError::Parse(format!(
+                "backend {} uses VC power gating, which is incompatible with \
+                 torus dateline VC classes",
+                backend.name()
+            )));
+        }
+        let concentration = match v.get("concentration") {
+            None => {
+                if topology == TopologyKind::CMesh {
+                    4
+                } else {
+                    1
+                }
+            }
+            Some(_) if topology != TopologyKind::CMesh => {
+                return Err(ScenarioError::Parse(
+                    "\"concentration\" only applies to the cmesh topology".into(),
+                ))
+            }
+            Some(c) => c
+                .as_u64()
+                .filter(|&k| (2..=16).contains(&k))
+                .ok_or_else(|| ScenarioError::Parse("\"concentration\" must be in 2..=16".into()))?
+                as u8,
+        };
+
         let base_phases = match (hetero, quick) {
             (false, false) => PhaseConfig::default(),
             (false, true) => PhaseConfig::quick(),
@@ -264,6 +341,8 @@ impl ScenarioSpec {
         Ok(ScenarioSpec {
             backend,
             mesh,
+            topology,
+            concentration,
             traffic,
             phases,
             seed: opt_u64(v, "seed")?.unwrap_or(1),
@@ -361,12 +440,30 @@ impl Serialize for TrafficSpec {
 
 impl Serialize for ScenarioSpec {
     fn to_value(&self) -> Value {
-        Value::Object(vec![
+        let mut fields = vec![
             (
                 "backend".to_string(),
                 Value::Str(self.backend.name().into()),
             ),
             ("mesh".to_string(), Value::UInt(self.mesh as u64)),
+        ];
+        // Topology fields are emitted only when non-default, so envelopes
+        // of plain-mesh scenarios stay byte-identical to the pre-topology
+        // format (and echoes of defaulted specs round-trip exactly).
+        match self.topology {
+            TopologyKind::Mesh2D => {}
+            TopologyKind::Torus2D => {
+                fields.push(("topology".to_string(), Value::Str("torus".into())));
+            }
+            TopologyKind::CMesh => {
+                fields.push(("topology".to_string(), Value::Str("cmesh".into())));
+                fields.push((
+                    "concentration".to_string(),
+                    Value::UInt(self.concentration as u64),
+                ));
+            }
+        }
+        fields.extend([
             ("traffic".to_string(), self.traffic.to_value()),
             ("phases".to_string(), self.phases.to_value()),
             ("seed".to_string(), Value::UInt(self.seed)),
@@ -381,7 +478,8 @@ impl Serialize for ScenarioSpec {
                     None => Value::Null,
                 },
             ),
-        ])
+        ]);
+        Value::Object(fields)
     }
 }
 
@@ -469,6 +567,95 @@ mod tests {
         let text = serde_json::to_string_pretty(&specs).expect("serializable");
         let parsed = ScenarioSpec::parse(&text).unwrap();
         assert_eq!(parsed, specs);
+    }
+
+    #[test]
+    fn topology_field_parses_and_round_trips() {
+        let specs = ScenarioSpec::parse(
+            r#"[
+                {"backend": "PacketVc4", "mesh": 4, "topology": "torus",
+                 "pattern": "UR", "rate": 0.1, "quick": true},
+                {"backend": "HybridTdmVc4", "mesh": 4, "topology": "cmesh",
+                 "concentration": 2, "pattern": "UR", "rate": 0.1, "quick": true}
+            ]"#,
+        )
+        .unwrap();
+        assert_eq!(specs[0].topology, TopologyKind::Torus2D);
+        assert_eq!(specs[0].concentration, 1);
+        assert!(specs[0].topo().is_torus());
+        assert_eq!(specs[1].topology, TopologyKind::CMesh);
+        assert_eq!(specs[1].concentration, 2);
+        assert_eq!(specs[1].topo().clients(), 32);
+        // Echoes parse back to the identical specs.
+        let text = serde_json::to_string_pretty(&specs).expect("serializable");
+        assert_eq!(ScenarioSpec::parse(&text).unwrap(), specs);
+        // Both build and run.
+        for spec in &specs {
+            let mut fabric = spec.build_fabric().unwrap();
+            let mut source = spec.build_source().unwrap();
+            let r = noc_traffic::run_phases(fabric.as_mut(), &mut source, spec.phases);
+            assert!(r.stats.packets_delivered > 0, "{:?}", spec.topology);
+        }
+    }
+
+    #[test]
+    fn cmesh_concentration_defaults_to_four() {
+        let specs = ScenarioSpec::parse(
+            r#"{"backend": "PacketVc4", "mesh": 4, "topology": "cmesh",
+                "pattern": "UR", "rate": 0.1}"#,
+        )
+        .unwrap();
+        assert_eq!(specs[0].concentration, 4);
+        assert_eq!(specs[0].topo().clients(), 64);
+    }
+
+    #[test]
+    fn default_topology_keeps_the_legacy_echo_format() {
+        // Plain-mesh specs must serialize without the topology fields, so
+        // existing result envelopes stay byte-identical.
+        let spec = ScenarioSpec::synthetic(
+            BackendKind::PacketVc4,
+            6,
+            TrafficPattern::UniformRandom,
+            0.2,
+            PhaseConfig::quick(),
+            17,
+        );
+        let Value::Object(fields) = spec.to_value() else {
+            panic!("not an object")
+        };
+        assert!(fields.iter().all(|(n, _)| n != "topology"));
+        assert!(fields.iter().all(|(n, _)| n != "concentration"));
+    }
+
+    #[test]
+    fn torus_rejects_gating_backends_and_stray_concentration() {
+        for backend in ["PacketVct", "HybridTdmVct", "HybridTdmHopVct"] {
+            let e = ScenarioSpec::parse(&format!(
+                r#"{{"backend": "{backend}", "mesh": 4, "topology": "torus",
+                    "pattern": "UR", "rate": 0.1}}"#
+            ))
+            .unwrap_err();
+            assert!(e.to_string().contains("gating"), "{e}");
+        }
+        let e = ScenarioSpec::parse(
+            r#"{"backend": "PacketVc4", "mesh": 4, "concentration": 2,
+                "pattern": "UR", "rate": 0.1}"#,
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("cmesh"), "{e}");
+        let e = ScenarioSpec::parse(
+            r#"{"backend": "PacketVc4", "topology": "ring",
+                "pattern": "UR", "rate": 0.1}"#,
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("topology"), "{e}");
+        let e = ScenarioSpec::parse(
+            r#"{"backend": "PacketVc4", "cpu": "CANNEAL", "gpu": "STO",
+                "topology": "torus"}"#,
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("6x6"), "{e}");
     }
 
     #[test]

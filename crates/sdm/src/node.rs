@@ -46,6 +46,9 @@ pub struct SdmNode {
     /// One potential PS stream per VC.
     streams: Vec<Option<PsStream>>,
     credits: Vec<u8>,
+    /// New PS streams only claim VCs below this (the class-0 half on a
+    /// torus, so injected packets start at dateline class 0).
+    inject_vc_limit: u8,
     pub registry: ConnRegistry,
     freq: FrequencyTracker,
     /// Shared configuration-payload arena (the router's until the network
@@ -72,6 +75,11 @@ impl SdmNode {
             inject_queue: VecDeque::new(),
             streams: vec![None; vcs],
             credits: vec![cfg.net.router.buf_depth; vcs],
+            inject_vc_limit: if cfg.net.mesh.is_torus() {
+                cfg.net.router.vcs_per_port / 2
+            } else {
+                cfg.net.router.vcs_per_port
+            },
             registry: ConnRegistry::new(n),
             freq: FrequencyTracker::new(cfg.freq_window, n),
             arena,
@@ -255,7 +263,7 @@ impl SdmNode {
     /// flits `P` cycles apart (plane serialisation at the local link).
     fn pump_ps(&mut self, now: Cycle) {
         // Fill idle VCs with queued packets.
-        for vc in 0..self.streams.len() {
+        for vc in 0..self.inject_vc_limit as usize {
             if self.streams[vc].is_none() {
                 if let Some(pkt) = self.inject_queue.pop_front() {
                     self.streams[vc] = Some(PsStream {

@@ -45,12 +45,29 @@ struct SdmOutPort {
     exists: bool,
 }
 
+/// Which dimension a port's link runs in (0 = X, 1 = Y, 2 = none/local);
+/// used by the torus dateline class rule. Mirrors the PS pipeline.
+#[inline]
+fn port_dim(p: usize) -> u8 {
+    match Port::from_index(p) {
+        Port::Local => 2,
+        Port::North | Port::South => 1,
+        Port::East | Port::West => 0,
+    }
+}
+
 /// The SDM hybrid router.
 pub struct SdmRouter {
     pub id: NodeId,
     pub mesh: Mesh,
     pub cfg: RouterConfig,
     planes_n: u8,
+    /// Torus dateline state: VCs below `vc_half` are class 0, the rest
+    /// class 1; zero on a mesh (no partition). Same contract as the PS
+    /// pipeline's dateline discipline.
+    vc_half: u8,
+    /// Whether the link out of each port crosses a torus wrap edge.
+    wrap_out: [bool; Port::COUNT],
     inputs: Vec<Vec<VcBuf>>,
     outputs: Vec<SdmOutPort>,
     /// `circuits[in_port][plane]`.
@@ -79,11 +96,31 @@ impl SdmRouter {
     pub fn new(id: NodeId, mesh: Mesh, cfg: RouterConfig, planes: u8) -> Self {
         assert!(planes >= 2, "SDM needs at least one PS and one CS plane");
         let vcs = cfg.vcs_per_port as usize;
+        if mesh.is_torus() {
+            assert!(
+                cfg.vcs_per_port >= 2 && cfg.vcs_per_port.is_multiple_of(2),
+                "torus dateline routing splits the VC range into two \
+                 classes: vcs_per_port must be even and at least 2"
+            );
+        }
+        let vc_half = if mesh.is_torus() {
+            cfg.vcs_per_port / 2
+        } else {
+            0
+        };
+        let mut wrap_out = [false; Port::COUNT];
+        for p in Port::ALL {
+            if let Some(d) = p.direction() {
+                wrap_out[p.index()] = mesh.wraps(id, d);
+            }
+        }
         SdmRouter {
             id,
             mesh,
             cfg,
             planes_n: planes,
+            vc_half,
+            wrap_out,
             inputs: (0..Port::COUNT)
                 .map(|_| {
                     (0..vcs)
@@ -392,17 +429,35 @@ impl SdmRouter {
 
     fn do_va(&mut self, now: Cycle) {
         let vcs = self.cfg.vcs_per_port as usize;
+        debug_assert!(Port::COUNT * vcs <= 64, "too many VCs per port");
+        let torus = self.vc_half > 0;
+        let half = self.vc_half as usize;
         for o in 0..Port::COUNT {
             if !self.outputs[o].exists {
                 continue;
             }
+            // On a torus a second mask marks the requesters whose next-hop
+            // VC class is 1: continuing in the same dimension carries the
+            // inbound class (encoded in the input VC index), crossing the
+            // wrap link sets it, and a dimension switch or local input
+            // resets it to 0 (same rule as the PS pipeline).
             let mut reqs = 0u64;
+            let mut class1 = 0u64;
+            let partitioned = torus && o != Port::Local.index();
             for p in 0..Port::COUNT {
                 for vc in 0..vcs {
                     let buf = &self.inputs[p][vc];
                     if let VcState::Waiting { out } = buf.state {
                         if out.index() == o && buf.stage_cycle < now {
-                            reqs |= 1 << (p * vcs + vc);
+                            let bit = 1u64 << (p * vcs + vc);
+                            reqs |= bit;
+                            if partitioned {
+                                let class_in = p != Port::Local.index() && vc >= half;
+                                let same_dim = port_dim(p) == port_dim(o);
+                                if (same_dim && class_in) || self.wrap_out[o] {
+                                    class1 |= bit;
+                                }
+                            }
                         }
                     }
                 }
@@ -414,8 +469,23 @@ impl SdmRouter {
                 if self.outputs[o].alloc[v].is_some() {
                     continue;
                 }
-                let Some(w) = self.va_arb[o].grant_mask(reqs) else {
-                    break;
+                // Dateline partition: downstream VCs below `half` only
+                // serve class-0 packets, the rest only class 1. Ejection
+                // (Local) grants from the full set.
+                let eligible = if partitioned {
+                    if v < half {
+                        reqs & !class1
+                    } else {
+                        reqs & class1
+                    }
+                } else {
+                    reqs
+                };
+                let Some(w) = self.va_arb[o].grant_mask(eligible) else {
+                    if eligible == reqs {
+                        break;
+                    }
+                    continue;
                 };
                 reqs &= !(1 << w);
                 let (p, vc) = (w / vcs, w % vcs);

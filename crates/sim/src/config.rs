@@ -1,6 +1,6 @@
 //! Router and network configuration (Table I of the paper).
 
-use crate::geometry::Mesh;
+use crate::topology::Mesh;
 use serde::{Deserialize, Serialize};
 
 /// Parameters of a single router (Table I).

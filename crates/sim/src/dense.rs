@@ -18,12 +18,122 @@
 //! small open-addressed table (linear probing, tombstone deletes, lazy
 //! rehash) sized to in-flight packets.
 //!
-//! [`Mesh::new`]: crate::geometry::Mesh::new
+//! [`Mesh::new`]: crate::topology::Topology::new
 
 use crate::flit::PacketId;
 use crate::geometry::NodeId;
 
 const IDX_NONE: u16 = u16::MAX;
+
+/// Multi-word bit set over a fixed universe of `len` elements.
+///
+/// Word-order contract (DESIGN.md §13): bit `i` lives in word `i / 64` at
+/// bit position `i % 64` (LSB-first), and [`BitSet::iter`] yields set bits
+/// in strictly ascending index order. The harness masks (active set, wake
+/// parities, step set) and every sweep that fans out over node indices
+/// rely on this ordering for the determinism contract, so it is part of
+/// the type's public API, not an implementation detail.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitSet {
+    words: Box<[u64]>,
+    len: usize,
+}
+
+impl BitSet {
+    /// An empty set over the universe `0..len`.
+    pub fn new(len: usize) -> Self {
+        BitSet {
+            words: vec![0u64; len.div_ceil(64)].into_boxed_slice(),
+            len,
+        }
+    }
+
+    /// Universe size (maximum element count, not the popcount).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no bit is set.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|w| *w == 0)
+    }
+
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Clear every bit.
+    pub fn clear_all(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Set every bit of the universe (the tail word is masked so bits
+    /// beyond `len` stay clear — iteration never yields phantom indices).
+    pub fn set_all(&mut self) {
+        let n = self.len;
+        for (w, word) in self.words.iter_mut().enumerate() {
+            let hi = (64 * (w + 1)).min(n);
+            *word = ones_below(hi - 64 * w);
+        }
+    }
+
+    /// Overwrite `self` with `a | b` (the sets must share a universe).
+    pub fn assign_union(&mut self, a: &BitSet, b: &BitSet) {
+        debug_assert!(self.len == a.len && self.len == b.len);
+        for (w, (x, y)) in self.words.iter_mut().zip(a.words.iter().zip(&b.words)) {
+            *w = x | y;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u64 {
+        self.words.iter().map(|w| w.count_ones() as u64).sum()
+    }
+
+    /// The backing words (bit `i` ⟺ word `i / 64`, LSB-first).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Set bits in ascending index order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(w, &word)| {
+            std::iter::successors((word != 0).then_some(word), |bits| {
+                let next = bits & (bits - 1);
+                (next != 0).then_some(next)
+            })
+            .map(move |bits| w * 64 + bits.trailing_zeros() as usize)
+        })
+    }
+}
+
+/// A `u64` with the low `k` bits set (`k ≤ 64`).
+#[inline]
+pub(crate) fn ones_below(k: usize) -> u64 {
+    debug_assert!(k <= 64);
+    if k >= 64 {
+        !0
+    } else {
+        (1u64 << k) - 1
+    }
+}
 
 /// Sparse-set map from [`NodeId`] to `T`, sized to the mesh at
 /// construction. Lookups are two array indexes; iteration walks a dense
@@ -352,6 +462,57 @@ impl RxTable {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bitset_basics_across_word_boundaries() {
+        let mut s = BitSet::new(130);
+        assert!(s.is_empty());
+        for i in [0usize, 63, 64, 127, 128, 129] {
+            s.set(i);
+            assert!(s.get(i));
+        }
+        assert_eq!(s.count_ones(), 6);
+        // Word-order contract: bit i ⟺ word i/64, LSB-first.
+        assert_eq!(s.words()[0], 1 | (1 << 63));
+        assert_eq!(s.words()[1], 1 | (1 << 63));
+        assert_eq!(s.words()[2], 0b11);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 63, 64, 127, 128, 129]);
+        s.clear(64);
+        assert!(!s.get(64));
+        assert_eq!(s.count_ones(), 5);
+        s.clear_all();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn bitset_set_all_masks_the_tail_word() {
+        let mut s = BitSet::new(70);
+        s.set_all();
+        assert_eq!(s.count_ones(), 70);
+        assert_eq!(s.words()[1], ones_below(6));
+        assert_eq!(s.iter().max(), Some(69));
+        // Exact multiples of 64 fill every word completely.
+        let mut t = BitSet::new(128);
+        t.set_all();
+        assert_eq!(t.words(), &[!0u64, !0]);
+    }
+
+    #[test]
+    fn bitset_union_assignment() {
+        let mut a = BitSet::new(100);
+        let mut b = BitSet::new(100);
+        a.set(3);
+        a.set(70);
+        b.set(70);
+        b.set(99);
+        let mut u = BitSet::new(100);
+        u.assign_union(&a, &b);
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![3, 70, 99]);
+        // Re-assignment overwrites, not accumulates.
+        b.clear_all();
+        u.assign_union(&a, &b);
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![3, 70]);
+    }
 
     #[test]
     fn node_table_insert_lookup_remove() {

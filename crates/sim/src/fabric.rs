@@ -27,10 +27,11 @@
 use noc_telemetry::{TelemetryConfig, TelemetryReport};
 
 use crate::flit::Packet;
-use crate::geometry::{Mesh, NodeId};
+use crate::geometry::NodeId;
 use crate::network::Network;
 use crate::node::{DeliveredPacket, NodeModel};
 use crate::stats::{EnergyEvents, NetStats};
+use crate::topology::Mesh;
 use crate::Cycle;
 
 /// An object-safe, whole-network switching backend.

@@ -187,7 +187,7 @@ impl FlitKind {
 /// Sentinel for "no node" in the packed 16-bit node fields. [`Mesh::new`]
 /// caps meshes at 65534 nodes so every real id fits below it.
 ///
-/// [`Mesh::new`]: crate::geometry::Mesh::new
+/// [`Mesh::new`]: crate::topology::Topology::new
 const NO_NODE: u16 = u16::MAX;
 
 // Bit layout of `Flit::flags`.

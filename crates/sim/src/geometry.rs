@@ -1,4 +1,5 @@
-//! Mesh topology: node identifiers, coordinates, ports and directions.
+//! Geometry primitives: node identifiers, coordinates, ports and
+//! directions. The topology types themselves live in [`crate::topology`].
 
 use serde::{Deserialize, Serialize};
 
@@ -132,172 +133,9 @@ impl Port {
     }
 }
 
-/// A `k_x × k_y` 2D mesh.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
-pub struct Mesh {
-    kx: u16,
-    ky: u16,
-}
-
-impl Mesh {
-    /// Create a mesh with the given dimensions. Panics if either is zero.
-    pub fn new(kx: u16, ky: u16) -> Self {
-        assert!(kx > 0 && ky > 0, "mesh dimensions must be positive");
-        // Node ids are packed into u16 flit fields with u16::MAX reserved
-        // as the "no node" sentinel (see `crate::flit`).
-        assert!(
-            (kx as usize) * (ky as usize) < u16::MAX as usize,
-            "mesh too large for packed 16-bit node ids"
-        );
-        Mesh { kx, ky }
-    }
-
-    /// A square `k × k` mesh.
-    pub fn square(k: u16) -> Self {
-        Mesh::new(k, k)
-    }
-
-    pub fn kx(&self) -> u16 {
-        self.kx
-    }
-
-    pub fn ky(&self) -> u16 {
-        self.ky
-    }
-
-    /// Total number of nodes.
-    pub fn len(&self) -> usize {
-        self.kx as usize * self.ky as usize
-    }
-
-    pub fn is_empty(&self) -> bool {
-        false
-    }
-
-    /// Iterate over all node ids.
-    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
-        (0..self.len() as u32).map(NodeId)
-    }
-
-    pub fn contains(&self, id: NodeId) -> bool {
-        id.index() < self.len()
-    }
-
-    pub fn coord(&self, id: NodeId) -> Coord {
-        debug_assert!(self.contains(id));
-        Coord {
-            x: (id.0 % self.kx as u32) as u16,
-            y: (id.0 / self.kx as u32) as u16,
-        }
-    }
-
-    pub fn id(&self, c: Coord) -> NodeId {
-        debug_assert!(c.x < self.kx && c.y < self.ky);
-        NodeId(c.y as u32 * self.kx as u32 + c.x as u32)
-    }
-
-    /// The neighbour of `id` in `dir`, or `None` at the mesh edge.
-    pub fn neighbor(&self, id: NodeId, dir: Direction) -> Option<NodeId> {
-        let c = self.coord(id);
-        let n = match dir {
-            Direction::North => {
-                if c.y == 0 {
-                    return None;
-                }
-                Coord::new(c.x, c.y - 1)
-            }
-            Direction::South => {
-                if c.y + 1 >= self.ky {
-                    return None;
-                }
-                Coord::new(c.x, c.y + 1)
-            }
-            Direction::West => {
-                if c.x == 0 {
-                    return None;
-                }
-                Coord::new(c.x - 1, c.y)
-            }
-            Direction::East => {
-                if c.x + 1 >= self.kx {
-                    return None;
-                }
-                Coord::new(c.x + 1, c.y)
-            }
-        };
-        Some(self.id(n))
-    }
-
-    /// Minimal hop count between two nodes.
-    pub fn hops(&self, a: NodeId, b: NodeId) -> u32 {
-        self.coord(a).manhattan(self.coord(b))
-    }
-
-    /// Whether two distinct nodes are mesh neighbours (used by
-    /// vicinity-sharing to find hop-off candidates).
-    pub fn adjacent(&self, a: NodeId, b: NodeId) -> bool {
-        a != b && self.hops(a, b) == 1
-    }
-
-    /// All mesh neighbours of a node.
-    pub fn neighbors(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        Direction::ALL
-            .into_iter()
-            .filter_map(move |d| self.neighbor(id, d))
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn coords_roundtrip() {
-        let m = Mesh::square(6);
-        for id in m.nodes() {
-            assert_eq!(m.id(m.coord(id)), id);
-        }
-        assert_eq!(m.len(), 36);
-    }
-
-    #[test]
-    fn neighbors_edges() {
-        let m = Mesh::square(4);
-        let corner = m.id(Coord::new(0, 0));
-        assert_eq!(m.neighbor(corner, Direction::North), None);
-        assert_eq!(m.neighbor(corner, Direction::West), None);
-        assert_eq!(
-            m.neighbor(corner, Direction::East),
-            Some(m.id(Coord::new(1, 0)))
-        );
-        assert_eq!(
-            m.neighbor(corner, Direction::South),
-            Some(m.id(Coord::new(0, 1)))
-        );
-    }
-
-    #[test]
-    fn neighbor_symmetry() {
-        let m = Mesh::new(5, 3);
-        for id in m.nodes() {
-            for d in Direction::ALL {
-                if let Some(n) = m.neighbor(id, d) {
-                    assert_eq!(m.neighbor(n, d.opposite()), Some(id));
-                }
-            }
-        }
-    }
-
-    #[test]
-    fn hops_and_adjacency() {
-        let m = Mesh::square(6);
-        let a = m.id(Coord::new(1, 1));
-        let b = m.id(Coord::new(4, 3));
-        assert_eq!(m.hops(a, b), 5);
-        assert!(!m.adjacent(a, b));
-        assert!(m.adjacent(a, m.id(Coord::new(1, 2))));
-        assert!(!m.adjacent(a, a));
-    }
 
     #[test]
     fn direction_opposite_involution() {
@@ -313,15 +151,5 @@ mod tests {
             assert_eq!(d.as_port().direction(), Some(d));
         }
         assert_eq!(Port::Local.direction(), None);
-    }
-
-    #[test]
-    fn rectangular_mesh() {
-        let m = Mesh::new(8, 2);
-        assert_eq!(m.len(), 16);
-        let last = m.id(Coord::new(7, 1));
-        assert_eq!(last, NodeId(15));
-        assert_eq!(m.neighbor(last, Direction::East), None);
-        assert_eq!(m.neighbor(last, Direction::South), None);
     }
 }

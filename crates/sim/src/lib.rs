@@ -37,6 +37,7 @@ pub mod node;
 pub mod router;
 pub mod routing;
 pub mod stats;
+pub mod topology;
 pub mod trace;
 
 // The telemetry substrate (re-exported so downstream crates need no
@@ -48,22 +49,23 @@ pub use noc_telemetry::{
 
 pub use arena::{ConfigArena, ConfigRef};
 pub use config::{NetworkConfig, RouterConfig};
-pub use dense::{NodeTable, RxTable};
+pub use dense::{BitSet, NodeTable, RxTable};
 pub use fabric::Fabric;
 pub use flit::{
     ConfigKind, Credit, Flit, FlitKind, MsgClass, Packet, PacketId, SetupInfo, Switching,
 };
-pub use geometry::{Coord, Direction, Mesh, NodeId, Port};
+pub use geometry::{Coord, Direction, NodeId, Port};
 pub use network::{NetTelemetry, Network};
 pub use nic::Nic;
 pub use node::{DeliveredKind, DeliveredPacket, NodeModel, NodeOutputs, PacketNode, PowerState};
 pub use router::{
-    GatingConfig, GatingMetric, HybridCtrl, InPort, NullCtrl, OutPort, PacketRouter, PsOutput,
-    PsPipeline, VcBuf, VcGatingController, VcState,
+    GatingConfig, GatingMetric, HybridCtrl, NullCtrl, OutMeta, PacketRouter, PsOutput, PsPipeline,
+    VcBuf, VcGatingController, VcState,
 };
 pub use stats::{
     ClassLatency, EnergyEvents, LatencyHistogram, LeakageIntegrals, NetStats, PerClassLatency,
 };
+pub use topology::{Mesh, TopoTables, Topology, TopologyKind, NO_NEIGHBOR};
 pub use trace::{Trace, TraceEvent};
 
 /// Simulation time, in router clock cycles.

@@ -49,10 +49,12 @@ use noc_telemetry::{
 };
 
 use crate::arena::ConfigArena;
+use crate::dense::BitSet;
 use crate::flit::{Credit, Flit, MsgClass, Packet};
-use crate::geometry::{Direction, Mesh, NodeId};
+use crate::geometry::{Direction, NodeId};
 use crate::node::{DeliveredPacket, NodeModel, NodeOutputs, PowerState};
 use crate::stats::{EnergyEvents, NetStats};
+use crate::topology::{Mesh, TopoTables};
 use crate::Cycle;
 
 /// One contiguous chunk of the node-stepping phase, shipped to a pool
@@ -185,13 +187,13 @@ pub struct Network<N: NodeModel> {
     // --- Activity scheduler (see the module docs / DESIGN.md §10) ---
     /// Persistently-active nodes: bit `i` set ⇔ node `i` is stepped every
     /// cycle until it declares quiescence via `NodeModel::sleep_until`.
-    active_mask: Vec<u64>,
+    active_mask: BitSet,
     /// Wake-on-delivery masks, one per delivery-cycle parity (mirroring the
     /// wire slots): bit `i` set ⇔ node `i` has a signal due at the next
     /// cycle of that parity and must be stepped then.
-    wake_mask: [Vec<u64>; 2],
+    wake_mask: [BitSet; 2],
     /// Scratch: the set of nodes stepped this cycle.
-    step_mask: Vec<u64>,
+    step_mask: BitSet,
     /// Pending timed wake-ups as (cycle, node) — TDM slot turns, gating
     /// epochs, share-queue deadlines.
     timers: BinaryHeap<Reverse<(Cycle, u32)>>,
@@ -219,24 +221,10 @@ pub struct Network<N: NodeModel> {
     /// Network-wide configuration-payload slab, shared with every node
     /// via [`NodeModel::attach_arena`].
     arena: Arc<ConfigArena>,
-}
-
-/// Bit-set helpers over the `Vec<u64>` masks.
-#[inline]
-fn set_bit(mask: &mut [u64], i: usize) {
-    mask[i / 64] |= 1 << (i % 64);
-}
-
-#[inline]
-fn clear_bit(mask: &mut [u64], i: usize) {
-    mask[i / 64] &= !(1 << (i % 64));
-}
-
-/// Only consulted by the phase-1 sleeping-node `debug_assert`s.
-#[cfg_attr(not(debug_assertions), allow(dead_code))]
-#[inline]
-fn get_bit(mask: &[u64], i: usize) -> bool {
-    mask[i / 64] >> (i % 64) & 1 == 1
+    /// Flat neighbour table precomputed from the topology at construction;
+    /// the phase-3 wire-routing loop probes this instead of re-deriving
+    /// coordinates per flit.
+    tables: TopoTables,
 }
 
 impl<N: NodeModel> Network<N> {
@@ -249,7 +237,6 @@ impl<N: NodeModel> Network<N> {
             ]
         }
         let n = mesh.len();
-        let words = n.div_ceil(64);
         let mut net = Network {
             mesh,
             nodes: mesh.nodes().map(&mut make_node).collect(),
@@ -264,9 +251,9 @@ impl<N: NodeModel> Network<N> {
             delivered_log: Vec::new(),
             events_baseline: EnergyEvents::default(),
             scratch_delivered: Vec::new(),
-            active_mask: vec![0; words],
-            wake_mask: [vec![0; words], vec![0; words]],
-            step_mask: Vec::with_capacity(words),
+            active_mask: BitSet::new(n),
+            wake_mask: [BitSet::new(n), BitSet::new(n)],
+            step_mask: BitSet::new(n),
             timers: BinaryHeap::new(),
             timer_at: vec![Cycle::MAX; n],
             always_step: false,
@@ -279,6 +266,7 @@ impl<N: NodeModel> Network<N> {
             leak_dlt: 0,
             telemetry: None,
             arena: Arc::new(ConfigArena::new()),
+            tables: TopoTables::build(&mesh),
         };
         let arena = net.arena.clone();
         for node in &mut net.nodes {
@@ -311,7 +299,7 @@ impl<N: NodeModel> Network<N> {
         self.nodes[i].inject(self.now, pkt);
         // An injection is external work: wake the node and refresh its
         // occupancy so drain detection stays exact between cycles.
-        set_bit(&mut self.active_mask, i);
+        self.active_mask.set(i);
         let occ = self.nodes[i].occupancy();
         self.total_occ = self.total_occ - self.occ_cache[i] + occ;
         self.occ_cache[i] = occ;
@@ -326,18 +314,13 @@ impl<N: NodeModel> Network<N> {
         let now = self.now;
         let par = (now & 1) as usize;
         let n = self.nodes.len();
-        let words = self.active_mask.len();
+        let words = self.step_mask.words().len();
 
-        // 0. Build the step set. The wake slice for this parity is consumed
+        // 0. Build the step set. The wake set for this parity is consumed
         // here and re-filled by phase 3 with deliveries due two cycles out.
-        self.step_mask.clear();
-        for w in 0..words {
-            self.step_mask
-                .push(self.active_mask[w] | self.wake_mask[par][w]);
-        }
-        for w in self.wake_mask[par].iter_mut() {
-            *w = 0;
-        }
+        self.step_mask
+            .assign_union(&self.active_mask, &self.wake_mask[par]);
+        self.wake_mask[par].clear_all();
         while let Some(&Reverse((t, i))) = self.timers.peek() {
             if t > now {
                 break;
@@ -347,20 +330,17 @@ impl<N: NodeModel> Network<N> {
             if self.timer_at[i] == t {
                 self.timer_at[i] = Cycle::MAX;
             }
-            set_bit(&mut self.step_mask, i);
+            self.step_mask.set(i);
         }
         if self.always_step {
-            for (w, word) in self.step_mask.iter_mut().enumerate() {
-                let hi = (64 * (w + 1)).min(n);
-                *word = ones_below(hi - 64 * w);
-            }
+            self.step_mask.set_all();
         }
 
         // A sleeping node must never have a delivery due: every wire push
         // sets the destination's wake bit for the delivery parity.
         #[cfg(debug_assertions)]
         for i in 0..n {
-            if !get_bit(&self.step_mask, i) {
+            if !self.step_mask.get(i) {
                 debug_assert!(
                     self.flit_slots[par][i].is_empty()
                         && self.credit_slots[par][i].is_empty()
@@ -374,7 +354,7 @@ impl<N: NodeModel> Network<N> {
         // then credits, then VC counts (credit and VC-count application
         // touch disjoint router state, so their relative order is free).
         for w in 0..words {
-            let mut bits = self.step_mask[w];
+            let mut bits = self.step_mask.words()[w];
             while bits != 0 {
                 let i = w * 64 + bits.trailing_zeros() as usize;
                 bits &= bits - 1;
@@ -395,7 +375,7 @@ impl<N: NodeModel> Network<N> {
         match &self.pool {
             None => {
                 for w in 0..words {
-                    let mut bits = self.step_mask[w];
+                    let mut bits = self.step_mask.words()[w];
                     while bits != 0 {
                         let i = w * 64 + bits.trailing_zeros() as usize;
                         bits &= bits - 1;
@@ -408,7 +388,7 @@ impl<N: NodeModel> Network<N> {
                 let chunk = n.div_ceil(pool.job_txs.len());
                 let nodes = self.nodes.as_mut_ptr();
                 let outs = self.outboxes.as_mut_ptr();
-                let mask = self.step_mask.as_ptr();
+                let mask = self.step_mask.words().as_ptr();
                 let mut sent = 0usize;
                 for (w, tx) in pool.job_txs.iter().enumerate() {
                     let lo = w * chunk;
@@ -439,7 +419,6 @@ impl<N: NodeModel> Network<N> {
         // `now + 2`); 1-cycle signals go to the opposite slot. Every push
         // sets the destination's wake bit for its delivery parity.
         let Network {
-            mesh,
             outboxes,
             flit_slots,
             credit_slots,
@@ -448,21 +427,21 @@ impl<N: NodeModel> Network<N> {
             wake_mask,
             inflight_flits,
             telemetry,
+            tables,
             ..
         } = self;
-        for (w, &mask_word) in step_mask.iter().enumerate() {
+        for (w, &mask_word) in step_mask.words().iter().enumerate() {
             let mut bits = mask_word;
             while bits != 0 {
                 let i = w * 64 + bits.trailing_zeros() as usize;
                 bits &= bits - 1;
-                let id = NodeId(i as u32);
                 let out = &mut outboxes[i];
                 for (dir, flit) in out.flits.drain(..) {
-                    let nb = mesh
-                        .neighbor(id, dir)
-                        .unwrap_or_else(|| panic!("{id:?} emitted a flit off the {dir:?} edge"));
-                    flit_slots[par][nb.index()].push((dir.opposite(), flit));
-                    set_bit(&mut wake_mask[par], nb.index());
+                    let nb = tables
+                        .neighbor(i, dir)
+                        .unwrap_or_else(|| panic!("node {i} emitted a flit off the {dir:?} edge"));
+                    flit_slots[par][nb].push((dir.opposite(), flit));
+                    wake_mask[par].set(nb);
                     *inflight_flits += 1;
                     if let Some(t) = telemetry.as_deref_mut() {
                         t.link_flits[i * 4 + dir.index()] += 1;
@@ -470,16 +449,16 @@ impl<N: NodeModel> Network<N> {
                     }
                 }
                 for (dir, credit) in out.credits.drain(..) {
-                    let nb = mesh
-                        .neighbor(id, dir)
-                        .unwrap_or_else(|| panic!("{id:?} emitted a credit off the {dir:?} edge"));
-                    credit_slots[par ^ 1][nb.index()].push((dir.opposite(), credit));
-                    set_bit(&mut wake_mask[par ^ 1], nb.index());
+                    let nb = tables.neighbor(i, dir).unwrap_or_else(|| {
+                        panic!("node {i} emitted a credit off the {dir:?} edge")
+                    });
+                    credit_slots[par ^ 1][nb].push((dir.opposite(), credit));
+                    wake_mask[par ^ 1].set(nb);
                 }
                 for (dir, count) in out.vc_counts.drain(..) {
-                    if let Some(nb) = mesh.neighbor(id, dir) {
-                        vc_count_slots[par ^ 1][nb.index()].push((dir.opposite(), count));
-                        set_bit(&mut wake_mask[par ^ 1], nb.index());
+                    if let Some(nb) = tables.neighbor(i, dir) {
+                        vc_count_slots[par ^ 1][nb].push((dir.opposite(), count));
+                        wake_mask[par ^ 1].set(nb);
                     }
                 }
             }
@@ -492,7 +471,7 @@ impl<N: NodeModel> Network<N> {
         self.scratch_delivered.clear();
         let mut stepped = 0u64;
         for w in 0..words {
-            let mut bits = self.step_mask[w];
+            let mut bits = self.step_mask.words()[w];
             while bits != 0 {
                 let i = w * 64 + bits.trailing_zeros() as usize;
                 bits &= bits - 1;
@@ -519,10 +498,10 @@ impl<N: NodeModel> Network<N> {
                 self.leak_dlt = self.leak_dlt - old.dlt_entries as u64 + ps.dlt_entries as u64;
                 match node.sleep_until(now) {
                     // `t <= now + 1` is "wake next cycle": same as active.
-                    None => set_bit(&mut self.active_mask, i),
-                    Some(t) if t <= now + 1 => set_bit(&mut self.active_mask, i),
+                    None => self.active_mask.set(i),
+                    Some(t) if t <= now + 1 => self.active_mask.set(i),
                     Some(t) => {
-                        clear_bit(&mut self.active_mask, i);
+                        self.active_mask.clear(i);
                         if let Some(tel) = &mut self.telemetry {
                             if !tel.asleep[i] {
                                 tel.asleep[i] = true;
@@ -559,8 +538,8 @@ impl<N: NodeModel> Network<N> {
                 }
             }
             if now + 1 >= t.next_window {
-                let active: u64 = self.active_mask.iter().map(|w| w.count_ones() as u64).sum();
-                t.registry.set(t.m_active_nodes, active);
+                t.registry
+                    .set(t.m_active_nodes, self.active_mask.count_ones());
                 t.registry.set(t.m_buffered_flits, self.total_occ as u64);
                 t.registry
                     .set(t.m_inflight_flits, self.inflight_flits as u64);
@@ -584,9 +563,7 @@ impl<N: NodeModel> Network<N> {
     /// either parity — i.e. every cycle until the next timer (or external
     /// injection) is a guaranteed no-op.
     fn is_idle(&self) -> bool {
-        self.active_mask.iter().all(|w| *w == 0)
-            && self.wake_mask[0].iter().all(|w| *w == 0)
-            && self.wake_mask[1].iter().all(|w| *w == 0)
+        self.active_mask.is_empty() && self.wake_mask[0].is_empty() && self.wake_mask[1].is_empty()
     }
 
     /// Advance the clock to `target`, leaping over provably empty cycles.
@@ -727,10 +704,7 @@ impl<N: NodeModel> Network<N> {
     /// the scheduler never acts on stale cached state.
     pub fn wake_all(&mut self) {
         let n = self.nodes.len();
-        for (w, word) in self.active_mask.iter_mut().enumerate() {
-            let hi = (64 * (w + 1)).min(n);
-            *word = ones_below(hi - 64 * w);
-        }
+        self.active_mask.set_all();
         self.total_occ = 0;
         self.leak_buffer = 0;
         self.leak_slot = 0;
@@ -787,17 +761,6 @@ impl<N: NodeModel> Network<N> {
         report.registry = t.registry;
         report.sort_events();
         Some(report)
-    }
-}
-
-/// A `u64` with the low `k` bits set (`k ≤ 64`).
-#[inline]
-fn ones_below(k: usize) -> u64 {
-    debug_assert!(k <= 64);
-    if k >= 64 {
-        !0
-    } else {
-        (1u64 << k) - 1
     }
 }
 

@@ -34,6 +34,10 @@ pub struct Nic {
     /// Router's active VC count (VC power gating): new packets only start
     /// on VCs below this.
     router_active_vcs: u8,
+    /// Upper bound on the VCs new streams may start in. On a torus,
+    /// injected packets must begin in dateline class 0 (the lower VC
+    /// half); node constructors set this from the topology.
+    inject_vc_limit: u8,
     vc_rr: RoundRobin,
     /// Flits received so far per in-flight inbound packet.
     rx: RxTable,
@@ -59,6 +63,7 @@ impl Nic {
             current: None,
             credits: vec![cfg.buf_depth; cfg.vcs_per_port as usize],
             router_active_vcs: cfg.vcs_per_port,
+            inject_vc_limit: cfg.vcs_per_port,
             vc_rr: RoundRobin::new(cfg.vcs_per_port as usize),
             rx: RxTable::new(),
             arena: Arc::new(ConfigArena::new()),
@@ -109,6 +114,12 @@ impl Nic {
         self.router_active_vcs = count.min(self.credits.len() as u8);
     }
 
+    /// Restrict new streams to the first `limit` VCs (torus dateline
+    /// class 0; see [`crate::router::PsPipeline`] for the class rules).
+    pub fn set_inject_vc_limit(&mut self, limit: u8) {
+        self.inject_vc_limit = limit.clamp(1, self.credits.len() as u8);
+    }
+
     /// Produce the next packet-switched flit to inject this cycle, if
     /// bandwidth and credits allow. At most one flit per cycle (the local
     /// port is one flit wide).
@@ -118,7 +129,9 @@ impl Nic {
                 return None;
             }
             let mut vc_mask = 0u64;
-            for v in 0..self.router_active_vcs as usize {
+            debug_assert!(self.credits.len() <= 64, "NIC VC mask packs VCs into a u64");
+            let sel = self.router_active_vcs.min(self.inject_vc_limit);
+            for v in 0..sel as usize {
                 if self.credits[v] > 0 {
                     vc_mask |= 1 << v;
                 }

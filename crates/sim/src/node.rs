@@ -156,8 +156,16 @@ pub struct PacketNode {
 
 impl PacketNode {
     pub fn new(id: NodeId, cfg: &NetworkConfig, gating: Option<GatingConfig>) -> Self {
+        let mut nic = Nic::new(id, &cfg.router);
+        if cfg.mesh.is_torus() {
+            assert!(
+                gating.is_none(),
+                "VC gating is incompatible with torus dateline classes"
+            );
+            nic.set_inject_vc_limit(cfg.router.vcs_per_port / 2);
+        }
         PacketNode {
-            nic: Nic::new(id, &cfg.router),
+            nic,
             router: PacketRouter::new(id, cfg.mesh, cfg.router),
             gating: gating.map(VcGatingController::new),
         }
@@ -214,7 +222,7 @@ impl NodeModel for PacketNode {
                     n as u64,
                 );
                 for d in Direction::ALL {
-                    if self.router.pipeline.outputs[d.as_port().index()].exists {
+                    if self.router.pipeline.out_exists(d.as_port()) {
                         out.vc_counts.push((d, n));
                     }
                 }

@@ -162,9 +162,10 @@ mod tests {
     use super::*;
     use crate::config::RouterConfig;
     use crate::flit::{Flit, Packet, PacketId, Switching};
-    use crate::geometry::{Coord, Mesh, Port};
+    use crate::geometry::{Coord, Port};
     use crate::node::NodeOutputs;
     use crate::router::NullCtrl;
+    use crate::topology::Mesh;
 
     fn pipeline() -> PsPipeline {
         let m = Mesh::square(3);
@@ -227,7 +228,7 @@ mod tests {
         let mut grew = false;
         for now in 0..64 {
             for vc in 0..4u8 {
-                if p.inputs[Port::West.index()].vcs[vc as usize].fifo.len() < 5 {
+                if p.vc(Port::West, vc as usize).fifo.len() < 5 {
                     let pk = Packet::data(PacketId(pid), src, dst, 1, now);
                     pid += 1;
                     let mut f = Flit::of_packet(&pk, 0, Switching::Packet);

@@ -2,8 +2,9 @@
 
 use crate::config::RouterConfig;
 use crate::flit::{Credit, Flit};
-use crate::geometry::{Direction, Mesh, NodeId, Port};
+use crate::geometry::{Direction, NodeId, Port};
 use crate::node::NodeOutputs;
+use crate::topology::Mesh;
 use crate::Cycle;
 
 use super::pipeline::PsPipeline;

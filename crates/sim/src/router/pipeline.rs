@@ -7,6 +7,19 @@
 //! paper extends. Circuit-switched flits (handled by the hybrid routers
 //! built on top of this pipeline) instead spend 1 cycle in the router and
 //! 1 on the link, arriving downstream at `T+2` (§II-D).
+//!
+//! Hot state is laid out structure-of-arrays (DESIGN.md §13): input VC
+//! buffers live in one flat `port * vcs + vc` array, and the output-side
+//! allocation/credit tables in matching flat arrays, so the RC/VA/SA scans
+//! walk contiguous memory instead of chasing per-port objects.
+//!
+//! On a torus the pipeline also enforces the dateline VC-class discipline
+//! that makes wrap-around dimension-order routing deadlock-free: the VC
+//! range of every inter-router output is split in half, a packet starts in
+//! class 0 (lower half), moves to class 1 (upper half) when its link
+//! crosses the wrap edge, keeps its class while continuing in the same
+//! dimension, and resets to class 0 on a dimension switch or ejection. The
+//! class is encoded in the VC index itself, so flits carry no extra state.
 
 use std::collections::VecDeque;
 
@@ -15,10 +28,11 @@ use noc_telemetry::{EventKind, TraceSink};
 use crate::arbiter::RoundRobin;
 use crate::config::RouterConfig;
 use crate::flit::{Credit, Flit, MsgClass};
-use crate::geometry::{Direction, Mesh, NodeId, Port};
+use crate::geometry::{Direction, NodeId, Port};
 use crate::node::NodeOutputs;
 use crate::routing::{west_first_route, xy_route};
 use crate::stats::EnergyEvents;
+use crate::topology::Mesh;
 use crate::Cycle;
 
 use super::{HybridCtrl, PsOutput};
@@ -59,39 +73,30 @@ impl VcBuf {
     }
 }
 
-/// An input port: one VC FIFO per virtual channel.
-#[derive(Clone, Debug)]
-pub struct InPort {
-    pub vcs: Vec<VcBuf>,
-}
-
-/// Output-port state: allocation and credit tracking for the downstream
-/// router's input VCs, plus the downstream router's advertised active VC
-/// count (VC power gating, §III-B).
-#[derive(Clone, Debug)]
-pub struct OutPort {
-    /// Which (input port, input VC) currently owns each downstream VC.
-    pub alloc: Vec<Option<(u8, u8)>>,
-    /// Credits (free downstream buffer slots) per downstream VC.
-    pub credits: Vec<u8>,
+/// Per-output-port scalar state: the structure-of-arrays row that remains
+/// once allocation and credits move into the flat per-VC tables.
+#[derive(Clone, Copy, Debug)]
+pub struct OutMeta {
     /// Downstream active VC count; VA only grants VCs below this.
     pub downstream_vcs: u8,
     /// Whether this port is wired (false on mesh-edge directions).
     pub exists: bool,
 }
 
-impl OutPort {
-    /// Congestion score used by adaptive routing: free credits plus a bonus
-    /// per unallocated VC.
-    pub fn score(&self) -> u32 {
-        let mut s = 0u32;
-        for v in 0..self.downstream_vcs as usize {
-            s += self.credits[v] as u32;
-            if self.alloc[v].is_none() {
-                s += 3;
-            }
-        }
-        s
+// SoA row-size contract (see the 32-byte Flit assert in `crate::flit`).
+const _: () = assert!(
+    std::mem::size_of::<OutMeta>() == 2,
+    "OutMeta must stay a 2-byte POD row (DESIGN.md §13)"
+);
+
+/// Which dimension a port's link runs in (0 = X, 1 = Y, 2 = none/local);
+/// used by the torus dateline class rule.
+#[inline]
+fn port_dim(p: usize) -> u8 {
+    match Port::from_index(p) {
+        Port::Local => 2,
+        Port::North | Port::South => 1,
+        Port::East | Port::West => 0,
     }
 }
 
@@ -101,8 +106,16 @@ pub struct PsPipeline {
     pub id: NodeId,
     pub mesh: Mesh,
     pub cfg: RouterConfig,
-    pub inputs: Vec<InPort>,
-    pub outputs: Vec<OutPort>,
+    /// Input VC state, flat over `port * vcs_per_port + vc`.
+    vcs: Vec<VcBuf>,
+    /// Which (input port, input VC) owns each downstream VC, flat over
+    /// `out_port * vcs_per_port + vc`.
+    out_alloc: Vec<Option<(u8, u8)>>,
+    /// Credits (free downstream buffer slots) per downstream VC, flat over
+    /// `out_port * vcs_per_port + vc`.
+    out_credits: Vec<u8>,
+    /// Per-output scalar rows (downstream VC count, wiring).
+    out_meta: [OutMeta; Port::COUNT],
     /// Flits ejected through the local port this cycle; drained by the NIC.
     pub ejected: Vec<Flit>,
     /// Credits owed to the local NIC; drained by the node each cycle.
@@ -114,6 +127,12 @@ pub struct PsPipeline {
     /// Locally active VC count (VC power gating); VCs ≥ this receive no new
     /// allocations but keep functioning until drained.
     active_vcs: u8,
+    /// Torus dateline state: VCs below `vc_half` are class 0, the rest
+    /// class 1. Zero on non-torus topologies (no partition).
+    vc_half: u8,
+    /// Per-output flag: the link out of this port crosses the wrap edge
+    /// (precomputed from [`Mesh::wraps`] at construction).
+    wrap_out: [bool; Port::COUNT],
     va_arb: Vec<RoundRobin>,
     sa_arb_in: Vec<RoundRobin>,
     sa_arb_out: Vec<RoundRobin>,
@@ -141,34 +160,53 @@ pub struct PsPipeline {
 impl PsPipeline {
     pub fn new(id: NodeId, mesh: Mesh, cfg: RouterConfig) -> Self {
         let vcs = cfg.vcs_per_port as usize;
-        let inputs = (0..Port::COUNT)
-            .map(|_| InPort {
-                vcs: (0..vcs).map(|_| VcBuf::new(cfg.buf_depth)).collect(),
-            })
-            .collect();
-        let outputs = Port::ALL
-            .iter()
-            .map(|&p| OutPort {
-                alloc: vec![None; vcs],
-                credits: vec![cfg.buf_depth; vcs],
-                downstream_vcs: cfg.vcs_per_port,
-                exists: match p.direction() {
-                    None => true,
-                    Some(d) => mesh.neighbor(id, d).is_some(),
-                },
-            })
-            .collect();
+        // The VA/SA request-gathering masks are single u64 words over
+        // `Port::COUNT * vcs` bits — a true cap, asserted here once.
+        assert!(
+            Port::COUNT * vcs <= 64,
+            "request masks are u64 words: at most {} VCs per port",
+            64 / Port::COUNT
+        );
+        if mesh.is_torus() {
+            assert!(
+                cfg.vcs_per_port >= 2 && cfg.vcs_per_port.is_multiple_of(2),
+                "torus dateline routing splits the VC range into two \
+                 classes: vcs_per_port must be even and at least 2"
+            );
+        }
+        let vc_half = if mesh.is_torus() {
+            cfg.vcs_per_port / 2
+        } else {
+            0
+        };
+        let mut wrap_out = [false; Port::COUNT];
+        let mut out_meta = [OutMeta {
+            downstream_vcs: cfg.vcs_per_port,
+            exists: true,
+        }; Port::COUNT];
+        for p in Port::ALL {
+            if let Some(d) = p.direction() {
+                out_meta[p.index()].exists = mesh.neighbor(id, d).is_some();
+                wrap_out[p.index()] = mesh.wraps(id, d);
+            }
+        }
         PsPipeline {
             id,
             mesh,
             cfg,
-            inputs,
-            outputs,
+            vcs: (0..Port::COUNT * vcs)
+                .map(|_| VcBuf::new(cfg.buf_depth))
+                .collect(),
+            out_alloc: vec![None; Port::COUNT * vcs],
+            out_credits: vec![cfg.buf_depth; Port::COUNT * vcs],
+            out_meta,
             ejected: Vec::new(),
             local_credits: Vec::new(),
             events: EnergyEvents::default(),
             trace: TraceSink::Disabled,
             active_vcs: cfg.vcs_per_port,
+            vc_half,
+            wrap_out,
             va_arb: (0..Port::COUNT)
                 .map(|_| RoundRobin::new(Port::COUNT * vcs))
                 .collect(),
@@ -188,9 +226,51 @@ impl PsPipeline {
         }
     }
 
+    /// Flat index of input VC `v` at port `p`.
+    #[inline]
+    fn vci(&self, p: usize, v: usize) -> usize {
+        p * self.cfg.vcs_per_port as usize + v
+    }
+
+    /// One input VC buffer (tests, benches, drain inspection).
+    pub fn vc(&self, p: Port, v: usize) -> &VcBuf {
+        &self.vcs[self.vci(p.index(), v)]
+    }
+
+    /// Whether the output toward `p` is wired.
+    pub fn out_exists(&self, p: Port) -> bool {
+        self.out_meta[p.index()].exists
+    }
+
+    /// Credits currently held for downstream VC `v` of output `p`.
+    pub fn out_credit(&self, p: Port, v: usize) -> u8 {
+        self.out_credits[self.vci(p.index(), v)]
+    }
+
+    /// Downstream advertised active VC count for output `p`.
+    pub fn downstream_vcs(&self, p: Port) -> u8 {
+        self.out_meta[p.index()].downstream_vcs
+    }
+
+    /// Congestion score of output `p` used by adaptive routing: free
+    /// credits plus a bonus per unallocated VC.
+    pub fn port_score(&self, p: Port) -> u32 {
+        let o = p.index();
+        let mut s = 0u32;
+        for v in 0..self.out_meta[o].downstream_vcs as usize {
+            let i = self.vci(o, v);
+            s += self.out_credits[i] as u32;
+            if self.out_alloc[i].is_none() {
+                s += 3;
+            }
+        }
+        s
+    }
+
     /// Buffer an arriving packet-switched flit (the BW stage).
     pub fn accept_flit(&mut self, now: Cycle, port: Port, flit: Flit) {
-        let buf = &mut self.inputs[port.index()].vcs[flit.vc as usize];
+        let i = self.vci(port.index(), flit.vc as usize);
+        let buf = &mut self.vcs[i];
         assert!(
             buf.fifo.len() < self.cfg.buf_depth as usize,
             "flow-control violation: VC overflow at {:?} port {:?} vc {}",
@@ -212,20 +292,20 @@ impl PsPipeline {
 
     /// Apply a returned credit from the downstream router in `dir`.
     pub fn accept_credit(&mut self, dir: Direction, credit: Credit) {
-        let out = &mut self.outputs[dir.as_port().index()];
-        let c = &mut out.credits[credit.vc as usize];
+        let i = self.vci(dir.as_port().index(), credit.vc as usize);
+        let c = &mut self.out_credits[i];
         debug_assert!(*c < self.cfg.buf_depth, "credit overflow");
         *c += 1;
     }
 
     /// Apply a downstream active-VC-count advertisement.
     pub fn accept_vc_count(&mut self, dir: Direction, count: u8) {
-        self.outputs[dir.as_port().index()].downstream_vcs = count.min(self.cfg.vcs_per_port);
+        self.out_meta[dir.as_port().index()].downstream_vcs = count.min(self.cfg.vcs_per_port);
     }
 
     /// Congestion score of the output toward `dir` (adaptive routing).
     pub fn out_score(&self, dir: Direction) -> u32 {
-        self.outputs[dir.as_port().index()].score()
+        self.port_score(dir.as_port())
     }
 
     pub fn active_vcs(&self) -> u8 {
@@ -240,12 +320,11 @@ impl PsPipeline {
         self.active_vcs = count.clamp(1, self.cfg.vcs_per_port);
         // Re-derive the gated-straggler count against the new threshold
         // (rare: only when the gating controller retunes).
+        let vcs = self.cfg.vcs_per_port as usize;
         self.gated_busy = 0;
-        for p in &self.inputs {
-            for (v, vc) in p.vcs.iter().enumerate() {
-                if (v as u8) >= self.active_vcs && vc.is_busy() {
-                    self.gated_busy += 1;
-                }
+        for (i, vc) in self.vcs.iter().enumerate() {
+            if ((i % vcs) as u8) >= self.active_vcs && vc.is_busy() {
+                self.gated_busy += 1;
             }
         }
     }
@@ -278,24 +357,23 @@ impl PsPipeline {
     /// (debug builds only; the release hot path trusts the increments).
     #[cfg(debug_assertions)]
     fn debug_validate_counters(&self) {
+        let vcs = self.cfg.vcs_per_port as usize;
         let mut buffered = 0u32;
         let mut waiting = 0u32;
         let mut active = 0u32;
         let mut busy = 0u32;
         let mut gated = 0u32;
-        for p in &self.inputs {
-            for (v, vc) in p.vcs.iter().enumerate() {
-                buffered += vc.fifo.len() as u32;
-                match vc.state {
-                    VcState::Idle => {}
-                    VcState::Waiting { .. } => waiting += 1,
-                    VcState::Active { .. } => active += 1,
-                }
-                if vc.is_busy() {
-                    busy += 1;
-                    if (v as u8) >= self.active_vcs {
-                        gated += 1;
-                    }
+        for (i, vc) in self.vcs.iter().enumerate() {
+            buffered += vc.fifo.len() as u32;
+            match vc.state {
+                VcState::Idle => {}
+                VcState::Waiting { .. } => waiting += 1,
+                VcState::Active { .. } => active += 1,
+            }
+            if vc.is_busy() {
+                busy += 1;
+                if ((i % vcs) as u8) >= self.active_vcs {
+                    gated += 1;
                 }
             }
         }
@@ -308,48 +386,51 @@ impl PsPipeline {
 
     /// Route computation for VCs whose head flit reached the FIFO front.
     fn refresh_rc(&mut self, now: Cycle) {
-        for p in 0..Port::COUNT {
-            for vc in 0..self.inputs[p].vcs.len() {
-                let buf = &self.inputs[p].vcs[vc];
-                if buf.state != VcState::Idle {
-                    continue;
-                }
-                let Some(front) = buf.fifo.front() else {
-                    continue;
-                };
-                if !front.kind().is_head() {
-                    // Stale body flits can only appear through a protocol
-                    // bug; the flow-control invariants make this unreachable.
-                    debug_assert!(false, "non-head flit at idle VC front");
-                    continue;
-                }
-                let out_port = self.route_head(front);
-                debug_assert!(
-                    self.outputs[out_port.index()].exists,
-                    "routed to a non-existent port"
-                );
-                let buf = &mut self.inputs[p].vcs[vc];
-                if let Some(forced) = buf.fifo.front_mut().unwrap().take_forced_out() {
-                    debug_assert_eq!(forced, out_port);
-                }
-                buf.state = VcState::Waiting { out: out_port };
-                buf.stage_cycle = now;
-                self.waiting += 1;
+        for i in 0..self.vcs.len() {
+            let buf = &self.vcs[i];
+            if buf.state != VcState::Idle {
+                continue;
             }
+            let Some(front) = buf.fifo.front() else {
+                continue;
+            };
+            if !front.kind().is_head() {
+                // Stale body flits can only appear through a protocol
+                // bug; the flow-control invariants make this unreachable.
+                debug_assert!(false, "non-head flit at idle VC front");
+                continue;
+            }
+            let out_port = self.route_head(front);
+            debug_assert!(
+                self.out_meta[out_port.index()].exists,
+                "routed to a non-existent port"
+            );
+            let buf = &mut self.vcs[i];
+            if let Some(forced) = buf.fifo.front_mut().unwrap().take_forced_out() {
+                debug_assert_eq!(forced, out_port);
+            }
+            buf.state = VcState::Waiting { out: out_port };
+            buf.stage_cycle = now;
+            self.waiting += 1;
         }
     }
 
     /// Compute the output port for a head flit: a forced route if present
-    /// (configuration processing at hybrid routers), odd-even adaptive for
-    /// configuration packets, X-Y otherwise.
+    /// (configuration processing at hybrid routers), west-first adaptive
+    /// for configuration packets on a mesh, dimension-order otherwise.
+    /// Torus routing is always deterministic dimension-order — the
+    /// turn-model deadlock argument behind adaptive configuration routing
+    /// only holds on a mesh.
     fn route_head(&self, flit: &Flit) -> Port {
         if let Some(p) = flit.forced_out() {
             return p;
         }
-        if flit.class() == MsgClass::Config && self.cfg.adaptive_config_routing {
-            let outs = &self.outputs;
+        if flit.class() == MsgClass::Config
+            && self.cfg.adaptive_config_routing
+            && !self.mesh.is_torus()
+        {
             west_first_route(&self.mesh, self.id, flit.dst(), |d| {
-                outs[d.as_port().index()].score()
+                self.port_score(d.as_port())
             })
         } else {
             xy_route(&self.mesh, self.id, flit.dst())
@@ -361,37 +442,76 @@ impl PsPipeline {
     fn do_va(&mut self, now: Cycle) {
         let vcs = self.cfg.vcs_per_port as usize;
         debug_assert!(Port::COUNT * vcs <= 64, "too many VCs per port");
+        let torus = self.vc_half > 0;
+        let half = self.vc_half as usize;
         // One scan over the input VCs builds the request mask of every
-        // output port at once (bit `p * vcs + vc`). Pre-computing all sets
-        // up front is equivalent to the per-output rescan: a grant at output
-        // `o` only removes a VC from `o`'s own set (a VC waits on exactly
-        // one output), which the in-loop bit clear already handles.
+        // output port at once (bit `p * vcs + vc` — the flat VC index).
+        // Pre-computing all sets up front is equivalent to the per-output
+        // rescan: a grant at output `o` only removes a VC from `o`'s own
+        // set (a VC waits on exactly one output), which the in-loop bit
+        // clear already handles. On a torus a second mask per output marks
+        // the requesters whose next-hop VC class is 1: continuing in the
+        // same dimension carries the inbound class (encoded in the input
+        // VC index), crossing the wrap link sets it, and a dimension
+        // switch or local input resets it to 0.
         let mut reqs = [0u64; Port::COUNT];
-        for p in 0..Port::COUNT {
-            for vc in 0..vcs {
-                let buf = &self.inputs[p].vcs[vc];
-                if let VcState::Waiting { out } = buf.state {
-                    if buf.stage_cycle < now {
-                        reqs[out.index()] |= 1 << (p * vcs + vc);
+        let mut class1 = [0u64; Port::COUNT];
+        for (i, buf) in self.vcs.iter().enumerate() {
+            if let VcState::Waiting { out } = buf.state {
+                if buf.stage_cycle < now {
+                    let bit = 1u64 << i;
+                    let o = out.index();
+                    reqs[o] |= bit;
+                    if torus && out != Port::Local {
+                        let (p, vc) = (i / vcs, i % vcs);
+                        let class_in = p != Port::Local.index() && vc >= half;
+                        let same_dim = port_dim(p) == port_dim(o);
+                        if (same_dim && class_in) || self.wrap_out[o] {
+                            class1[o] |= bit;
+                        }
                     }
                 }
             }
         }
         for (o, req) in reqs.iter_mut().enumerate() {
-            if *req == 0 || !self.outputs[o].exists {
+            if *req == 0 || !self.out_meta[o].exists {
                 continue;
             }
-            let limit = self.outputs[o].downstream_vcs as usize;
+            let limit = self.out_meta[o].downstream_vcs as usize;
+            let partitioned = torus && o != Port::Local.index();
+            if partitioned {
+                // VC gating never runs on a torus (asserted at scenario
+                // construction), so the full class ranges stay grantable.
+                debug_assert_eq!(
+                    limit, vcs,
+                    "torus dateline classes are incompatible with VC gating"
+                );
+            }
             for v in 0..limit {
-                if self.outputs[o].alloc[v].is_some() {
+                if self.out_alloc[o * vcs + v].is_some() {
                     continue;
                 }
-                let Some(w) = self.va_arb[o].grant_mask(*req) else {
-                    break;
+                // Dateline partition: downstream VCs below `half` only
+                // serve class-0 packets, the rest only class 1. Ejection
+                // (Local) and mesh outputs grant from the full set.
+                let eligible = if partitioned {
+                    if v < half {
+                        *req & !class1[o]
+                    } else {
+                        *req & class1[o]
+                    }
+                } else {
+                    *req
+                };
+                let Some(w) = self.va_arb[o].grant_mask(eligible) else {
+                    if eligible == *req {
+                        break;
+                    }
+                    continue;
                 };
                 let (p, vc) = (w / vcs, w % vcs);
                 *req &= !(1 << w);
-                let buf = &mut self.inputs[p].vcs[vc];
+                let buf = &mut self.vcs[w];
                 let VcState::Waiting { out } = buf.state else {
                     unreachable!()
                 };
@@ -402,13 +522,10 @@ impl PsPipeline {
                 buf.stage_cycle = now;
                 self.waiting -= 1;
                 self.active += 1;
-                self.outputs[o].alloc[v] = Some((p as u8, vc as u8));
+                self.out_alloc[o * vcs + v] = Some((p as u8, vc as u8));
                 self.events.va_ops += 1;
                 if self.trace.wants(EventKind::VaGrant) {
-                    let pkt = self.inputs[p].vcs[vc]
-                        .fifo
-                        .front()
-                        .map_or(0, |f| f.packet.0);
+                    let pkt = self.vcs[w].fifo.front().map_or(0, |f| f.packet.0);
                     self.trace
                         .record(now, self.id.0, EventKind::VaGrant, o as u8, pkt);
                 }
@@ -418,6 +535,7 @@ impl PsPipeline {
 
     /// Switch allocation (input-first separable) + switch traversal.
     fn do_sa_st<C: HybridCtrl>(&mut self, now: Cycle, ctrl: &C, out: &mut NodeOutputs) {
+        let vcs = self.cfg.vcs_per_port as usize;
         let mut avail = [PsOutput::Free; Port::COUNT];
         for o in Port::ALL {
             avail[o.index()] = ctrl.ps_output_state(now, o);
@@ -430,7 +548,8 @@ impl PsPipeline {
                 continue;
             }
             let mut req_mask = 0u64;
-            for (vc, buf) in self.inputs[p].vcs.iter().enumerate() {
+            for vc in 0..vcs {
+                let buf = &self.vcs[p * vcs + vc];
                 let VcState::Active { out, out_vc } = buf.state else {
                     continue;
                 };
@@ -440,18 +559,18 @@ impl PsPipeline {
                 if avail[out.index()] == PsOutput::Busy {
                     continue;
                 }
-                if out == Port::Local || self.outputs[out.index()].credits[out_vc as usize] > 0 {
+                if out == Port::Local || self.out_credits[out.index() * vcs + out_vc as usize] > 0 {
                     req_mask |= 1 << vc;
                 }
             }
             if let Some(vc) = self.sa_arb_in[p].grant_mask(req_mask) {
-                let VcState::Active { out, out_vc } = self.inputs[p].vcs[vc].state else {
+                let VcState::Active { out, out_vc } = self.vcs[p * vcs + vc].state else {
                     unreachable!()
                 };
                 *cand = Some((vc as u8, out, out_vc));
                 self.events.sa_ops += 1;
                 if self.trace.wants(EventKind::SaGrant) {
-                    let pkt = self.inputs[p].vcs[vc]
+                    let pkt = self.vcs[p * vcs + vc]
                         .fifo
                         .front()
                         .map_or(0, |f| f.packet.0);
@@ -499,7 +618,8 @@ impl PsPipeline {
         avail: PsOutput,
         out: &mut NodeOutputs,
     ) {
-        let buf = &mut self.inputs[in_port.index()].vcs[in_vc as usize];
+        let i = self.vci(in_port.index(), in_vc as usize);
+        let buf = &mut self.vcs[i];
         let mut flit = buf.fifo.pop_front().expect("SA granted an empty VC");
         let is_tail = flit.kind().is_tail();
         if is_tail {
@@ -510,7 +630,8 @@ impl PsPipeline {
         self.buffered -= 1;
         if is_tail {
             self.active -= 1;
-            self.outputs[out_port.index()].alloc[out_vc as usize] = None;
+            let oi = self.vci(out_port.index(), out_vc as usize);
+            self.out_alloc[oi] = None;
         }
         if now_idle {
             self.busy_vcs -= 1;
@@ -547,7 +668,8 @@ impl PsPipeline {
         flit.vc = out_vc;
         match out_port.direction() {
             Some(d) => {
-                self.outputs[out_port.index()].credits[out_vc as usize] -= 1;
+                let oi = self.vci(out_port.index(), out_vc as usize);
+                self.out_credits[oi] -= 1;
                 flit.hops += 1;
                 self.events.link_flits += 1;
                 self.trace.record(
@@ -742,7 +864,7 @@ mod tests {
         let mut crossed = 0;
         for now in 0..40 {
             // Feed respecting our own buffer depth.
-            while sent < 10 && r.inputs[Port::West.index()].vcs[0].fifo.len() < 5 {
+            while sent < 10 && r.vc(Port::West, 0).fifo.len() < 5 {
                 let mut f = Flit::of_packet(&p, sent, Switching::Packet);
                 f.vc = 0;
                 r.accept_flit(now, Port::West, f);
@@ -792,11 +914,8 @@ mod tests {
                 got.push((f.packet, f.kind()));
             }
             // Replenish downstream credits so the stream never stalls.
-            while r.outputs[Port::East.index()].credits[0] < 5 {
-                r.accept_credit(Direction::East, Credit { vc: 0 });
-            }
-            for v in 1..4 {
-                while r.outputs[Port::East.index()].credits[v] < 5 {
+            for v in 0..4 {
+                while r.out_credit(Port::East, v) < 5 {
                     r.accept_credit(Direction::East, Credit { vc: v as u8 });
                 }
             }
@@ -865,5 +984,88 @@ mod tests {
         r.step(1, &NullCtrl, &mut out);
         let u = r.take_utilization();
         assert!(u > 0.0 && u < 1.0);
+    }
+
+    /// Drive a flit through RC+VA only and return its allocated out VC.
+    fn va_out_vc(r: &mut PsPipeline, in_port: Port, flit: Flit) -> (Port, u8) {
+        let in_vc = flit.vc;
+        r.accept_flit(100, in_port, flit);
+        let mut out = NodeOutputs::default();
+        r.step(100, &NullCtrl, &mut out); // RC
+        r.step(101, &NullCtrl, &mut out); // VA
+        match r.vc(in_port, in_vc as usize).state {
+            VcState::Active { out, out_vc } => (out, out_vc),
+            s => panic!("VA did not complete: {s:?}"),
+        }
+    }
+
+    #[test]
+    fn torus_dateline_wrap_link_moves_to_class_one() {
+        // 4x4 torus, router at (3,1): a flit for (0,1) goes East across
+        // the wrap edge and must land in the class-1 VC half (>= 2 of 4).
+        let t = Mesh::torus(4, 4);
+        let mut r = mk(t, t.id(Coord::new(3, 1)));
+        let f = head_flit(t.id(Coord::new(1, 1)), t.id(Coord::new(0, 1)), 0);
+        let (out, out_vc) = va_out_vc(&mut r, Port::West, f);
+        assert_eq!(out, Port::East);
+        assert!(out_vc >= 2, "wrap link must allocate a class-1 VC");
+
+        // Same router, destination (2,1): West, no wrap → class 0.
+        let mut r = mk(t, t.id(Coord::new(3, 1)));
+        let f = head_flit(t.id(Coord::new(1, 1)), t.id(Coord::new(2, 1)), 0);
+        let (out, out_vc) = va_out_vc(&mut r, Port::East, f);
+        assert_eq!(out, Port::West);
+        assert!(out_vc < 2, "non-wrap link must allocate a class-0 VC");
+    }
+
+    #[test]
+    fn torus_dateline_class_carries_in_dimension_and_resets_across() {
+        let t = Mesh::torus(4, 4);
+        // Router (0,1): a class-1 flit (vc 3) continuing East to (2,1)
+        // stays class 1 — no dimension switch yet.
+        let mut r = mk(t, t.id(Coord::new(0, 1)));
+        let f = head_flit(t.id(Coord::new(3, 1)), t.id(Coord::new(2, 1)), 3);
+        let (out, out_vc) = va_out_vc(&mut r, Port::West, f);
+        assert_eq!(out, Port::East);
+        assert!(out_vc >= 2, "same-dimension hop must keep class 1");
+
+        // Router (2,1): a class-1 flit switching to the Y dimension
+        // (destination (2,2)) resets to class 0.
+        let mut r = mk(t, t.id(Coord::new(2, 1)));
+        let f = head_flit(t.id(Coord::new(3, 1)), t.id(Coord::new(2, 2)), 3);
+        let (out, out_vc) = va_out_vc(&mut r, Port::West, f);
+        assert_eq!(out, Port::South);
+        assert!(out_vc < 2, "dimension switch must reset to class 0");
+
+        // Local injection starts in class 0 even on a high input VC.
+        let mut r = mk(t, t.id(Coord::new(1, 1)));
+        let f = head_flit(t.id(Coord::new(1, 1)), t.id(Coord::new(2, 1)), 3);
+        let (out, out_vc) = va_out_vc(&mut r, Port::Local, f);
+        assert_eq!(out, Port::East);
+        assert!(out_vc < 2, "local injection starts in class 0");
+    }
+
+    #[test]
+    fn torus_ejection_accepts_both_classes() {
+        let t = Mesh::torus(4, 4);
+        let here = t.id(Coord::new(1, 1));
+        let mut r = mk(t, here);
+        let f = head_flit(t.id(Coord::new(3, 1)), here, 3);
+        let (out, _) = va_out_vc(&mut r, Port::West, f);
+        assert_eq!(out, Port::Local);
+        let mut outb = NodeOutputs::default();
+        r.step(102, &NullCtrl, &mut outb);
+        assert_eq!(r.ejected.len(), 1, "class-1 flit must eject normally");
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn torus_rejects_odd_vc_counts() {
+        let t = Mesh::torus(3, 3);
+        let cfg = RouterConfig {
+            vcs_per_port: 3,
+            ..RouterConfig::default()
+        };
+        let _ = PsPipeline::new(t.id(Coord::new(0, 0)), t, cfg);
     }
 }

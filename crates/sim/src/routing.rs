@@ -1,40 +1,47 @@
-//! Routing functions: deterministic X-Y for data packets and minimal
-//! adaptive routing for configuration packets (Table I).
+//! Routing functions: deterministic dimension-order routing for data
+//! packets and minimal adaptive routing for configuration packets
+//! (Table I).
+//!
+//! All routes are topology-aware: on a torus, dimension-order routing
+//! takes the shorter way around each ring (ties resolve to the positive
+//! direction so the choice never flips mid-path), and deadlock freedom
+//! comes from the dateline VC-class discipline in the router pipeline
+//! (DESIGN.md §13) rather than from the turn restrictions a mesh enjoys.
+//! The turn-model routes (`west_first_*`, `odd_even_*`) encode mesh-only
+//! deadlock arguments and must not be used on a torus — callers fall back
+//! to deterministic dimension-order routing there.
 
-use crate::geometry::{Direction, Mesh, NodeId, Port};
+use crate::geometry::{Direction, NodeId, Port};
+use crate::topology::Mesh;
 
 /// Deterministic dimension-order (X-Y) routing: fully traverse the X
-/// dimension, then Y. Deadlock-free on a mesh without extra VC classes.
+/// dimension, then Y. Deadlock-free on a mesh without extra VC classes;
+/// on a torus it is minimal (shorter way around each ring) and relies on
+/// the dateline VC classes for deadlock freedom.
 pub fn xy_route(mesh: &Mesh, cur: NodeId, dst: NodeId) -> Port {
     let c = mesh.coord(cur);
     let d = mesh.coord(dst);
-    if c.x < d.x {
-        Port::East
-    } else if c.x > d.x {
-        Port::West
-    } else if c.y < d.y {
-        Port::South
-    } else if c.y > d.y {
-        Port::North
+    if let Some(dir) = mesh.x_dir_toward(c.x, d.x) {
+        dir.as_port()
+    } else if let Some(dir) = mesh.y_dir_toward(c.y, d.y) {
+        dir.as_port()
     } else {
         Port::Local
     }
 }
 
-/// The set of productive (minimal) directions toward `dst`.
+/// The set of productive (minimal) directions toward `dst` — at most one
+/// per dimension (on a torus an exact half-way tie resolves to the
+/// positive direction, matching [`xy_route`]).
 pub fn minimal_directions(mesh: &Mesh, cur: NodeId, dst: NodeId) -> Vec<Direction> {
     let c = mesh.coord(cur);
     let d = mesh.coord(dst);
     let mut dirs = Vec::with_capacity(2);
-    if c.x < d.x {
-        dirs.push(Direction::East);
-    } else if c.x > d.x {
-        dirs.push(Direction::West);
+    if let Some(dir) = mesh.x_dir_toward(c.x, d.x) {
+        dirs.push(dir);
     }
-    if c.y < d.y {
-        dirs.push(Direction::South);
-    } else if c.y > d.y {
-        dirs.push(Direction::North);
+    if let Some(dir) = mesh.y_dir_toward(c.y, d.y) {
+        dirs.push(dir);
     }
     dirs
 }
@@ -82,6 +89,10 @@ pub fn adaptive_route<F: FnMut(Direction) -> u32>(
 /// deadlock-free without extra VC classes, which is what lets configuration
 /// packets route adaptively while data packets stay on X-Y.
 pub fn odd_even_directions(mesh: &Mesh, src: NodeId, cur: NodeId, dst: NodeId) -> Vec<Direction> {
+    debug_assert!(
+        !mesh.is_torus(),
+        "odd-even turn model is a mesh-only deadlock argument"
+    );
     let s = mesh.coord(src);
     let c = mesh.coord(cur);
     let d = mesh.coord(dst);
@@ -138,6 +149,10 @@ pub fn odd_even_directions(mesh: &Mesh, src: NodeId, cur: NodeId, dst: NodeId) -
 /// columns — which is why the routers use this model for configuration
 /// packets.)
 pub fn west_first_directions(mesh: &Mesh, cur: NodeId, dst: NodeId) -> Vec<Direction> {
+    debug_assert!(
+        !mesh.is_torus(),
+        "west-first turn model is a mesh-only deadlock argument"
+    );
     let c = mesh.coord(cur);
     let d = mesh.coord(dst);
     if d.x < c.x {
@@ -348,6 +363,56 @@ mod tests {
         );
         // Column 1 is odd so both E and S are allowed; S scores higher.
         assert_eq!(p, Port::South);
+    }
+
+    #[test]
+    fn torus_xy_is_minimal_and_terminates() {
+        for t in [Mesh::torus(5, 4), Mesh::torus(6, 6), Mesh::torus(2, 3)] {
+            for src in t.nodes() {
+                for dst in t.nodes() {
+                    let mut cur = src;
+                    let mut hops = 0;
+                    loop {
+                        let p = xy_route(&t, cur, dst);
+                        if p == Port::Local {
+                            break;
+                        }
+                        cur = t.neighbor(cur, p.direction().unwrap()).unwrap();
+                        hops += 1;
+                        assert!(hops <= t.hops(src, dst), "non-minimal torus XY route");
+                    }
+                    assert_eq!(cur, dst);
+                    assert_eq!(hops, t.hops(src, dst));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn torus_xy_direction_is_stable_along_a_dimension() {
+        // The shorter-way-around choice (and its tie break) must never
+        // flip while a packet is still crossing that dimension; otherwise
+        // a packet could ping-pong on an even-radix ring.
+        let t = Mesh::torus(6, 6);
+        for src in t.nodes() {
+            for dst in t.nodes() {
+                let mut cur = src;
+                let mut x_dir: Option<Port> = None;
+                loop {
+                    let p = xy_route(&t, cur, dst);
+                    if p == Port::Local {
+                        break;
+                    }
+                    if matches!(p, Port::East | Port::West) {
+                        if let Some(prev) = x_dir {
+                            assert_eq!(prev, p, "X heading flipped mid-dimension");
+                        }
+                        x_dir = Some(p);
+                    }
+                    cur = t.neighbor(cur, p.direction().unwrap()).unwrap();
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,511 @@
+//! Network topologies: 2D mesh, 2D torus and concentrated mesh, plus the
+//! precomputed adjacency tables the hot stepping loop walks.
+//!
+//! The [`Topology`] value is a small `Copy` descriptor (kind + radices +
+//! concentration) that answers coordinate/neighbour/distance queries
+//! arithmetically; it is what configs carry and what routing consults.
+//! [`TopoTables`] is the structure-of-arrays companion built once at
+//! network construction: a flat `id*4 + direction` neighbour table so the
+//! per-cycle link-delivery sweep does table lookups instead of div/mod
+//! coordinate math (see DESIGN.md §13).
+//!
+//! The historical name `Mesh` is kept as an alias — a plain 2D mesh is
+//! `Topology { kind: Mesh2D, .. }` and all pre-topology call sites
+//! (`Mesh::square(k)`, `Mesh::new(kx, ky)`) construct exactly that.
+
+use serde::{Deserialize, Serialize};
+
+use crate::geometry::{Coord, Direction, NodeId};
+
+/// Which connectivity rule the fabric uses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TopologyKind {
+    /// Plain `k_x × k_y` 2D mesh: links end at the edges.
+    #[default]
+    Mesh2D,
+    /// 2D torus: every row and column wraps around. Dimension-order
+    /// routing picks the shorter way around each ring, and the wrap links
+    /// define the dateline for deadlock-free VC-class routing (§13).
+    Torus2D,
+    /// Concentrated mesh: the router graph is a plain mesh, but each
+    /// router serves `c` clients, so a `k_x × k_y` c-mesh models
+    /// `c · k_x · k_y` terminals with the traffic layer injecting `c`
+    /// independent trials per router per cycle.
+    CMesh,
+}
+
+/// A `k_x × k_y` 2D topology (mesh, torus or concentrated mesh).
+///
+/// `Mesh` is a backwards-compatible alias: `Mesh::new`/`Mesh::square`
+/// build the plain-mesh variant, and every query method on a plain mesh
+/// behaves exactly as the old mesh-only type did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    kind: TopologyKind,
+    kx: u16,
+    ky: u16,
+    /// Clients per router (ConcentratedMesh); 1 for the other kinds.
+    c: u8,
+}
+
+/// Backwards-compatible name for [`Topology`]; the plain-mesh constructors
+/// live on it (`Mesh::square(6)` is still the default network shape).
+pub type Mesh = Topology;
+
+impl Topology {
+    fn build(kind: TopologyKind, kx: u16, ky: u16, c: u8) -> Self {
+        assert!(kx > 0 && ky > 0, "topology dimensions must be positive");
+        // Node ids are packed into u16 flit fields with u16::MAX reserved
+        // as the "no node" sentinel (see `crate::flit`).
+        assert!(
+            (kx as usize) * (ky as usize) < u16::MAX as usize,
+            "topology too large for packed 16-bit node ids"
+        );
+        Topology { kind, kx, ky, c }
+    }
+
+    /// Create a plain mesh with the given dimensions. Panics if either is
+    /// zero.
+    pub fn new(kx: u16, ky: u16) -> Self {
+        Topology::build(TopologyKind::Mesh2D, kx, ky, 1)
+    }
+
+    /// A square `k × k` plain mesh.
+    pub fn square(k: u16) -> Self {
+        Topology::new(k, k)
+    }
+
+    /// A `k_x × k_y` 2D torus. Both radices must be at least 2 (a ring of
+    /// one node would be a self-loop).
+    pub fn torus(kx: u16, ky: u16) -> Self {
+        assert!(kx >= 2 && ky >= 2, "torus radices must be at least 2");
+        Topology::build(TopologyKind::Torus2D, kx, ky, 1)
+    }
+
+    /// A square `k × k` torus.
+    pub fn torus_square(k: u16) -> Self {
+        Topology::torus(k, k)
+    }
+
+    /// A concentrated mesh: `k_x × k_y` routers, `c` clients each.
+    pub fn cmesh(kx: u16, ky: u16, c: u8) -> Self {
+        assert!(c >= 1, "concentration must be at least 1");
+        Topology::build(TopologyKind::CMesh, kx, ky, c)
+    }
+
+    pub fn kind(&self) -> TopologyKind {
+        self.kind
+    }
+
+    pub fn is_torus(&self) -> bool {
+        self.kind == TopologyKind::Torus2D
+    }
+
+    /// Clients per router: `c` for a concentrated mesh, 1 otherwise.
+    pub fn concentration(&self) -> u8 {
+        self.c
+    }
+
+    /// Total client terminals (`len() * concentration()`).
+    pub fn clients(&self) -> usize {
+        self.len() * self.c as usize
+    }
+
+    pub fn kx(&self) -> u16 {
+        self.kx
+    }
+
+    pub fn ky(&self) -> u16 {
+        self.ky
+    }
+
+    /// Total number of routers/nodes.
+    pub fn len(&self) -> usize {
+        self.kx as usize * self.ky as usize
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Iterate over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.len() as u32).map(NodeId)
+    }
+
+    pub fn contains(&self, id: NodeId) -> bool {
+        id.index() < self.len()
+    }
+
+    pub fn coord(&self, id: NodeId) -> Coord {
+        debug_assert!(self.contains(id));
+        Coord {
+            x: (id.0 % self.kx as u32) as u16,
+            y: (id.0 / self.kx as u32) as u16,
+        }
+    }
+
+    pub fn id(&self, c: Coord) -> NodeId {
+        debug_assert!(c.x < self.kx && c.y < self.ky);
+        NodeId(c.y as u32 * self.kx as u32 + c.x as u32)
+    }
+
+    /// The neighbour of `id` in `dir`: `None` at a mesh edge, the
+    /// wrapped-around node on a torus.
+    pub fn neighbor(&self, id: NodeId, dir: Direction) -> Option<NodeId> {
+        let c = self.coord(id);
+        let torus = self.is_torus();
+        let n = match dir {
+            Direction::North => {
+                if c.y == 0 {
+                    if !torus {
+                        return None;
+                    }
+                    Coord::new(c.x, self.ky - 1)
+                } else {
+                    Coord::new(c.x, c.y - 1)
+                }
+            }
+            Direction::South => {
+                if c.y + 1 >= self.ky {
+                    if !torus {
+                        return None;
+                    }
+                    Coord::new(c.x, 0)
+                } else {
+                    Coord::new(c.x, c.y + 1)
+                }
+            }
+            Direction::West => {
+                if c.x == 0 {
+                    if !torus {
+                        return None;
+                    }
+                    Coord::new(self.kx - 1, c.y)
+                } else {
+                    Coord::new(c.x - 1, c.y)
+                }
+            }
+            Direction::East => {
+                if c.x + 1 >= self.kx {
+                    if !torus {
+                        return None;
+                    }
+                    Coord::new(0, c.y)
+                } else {
+                    Coord::new(c.x + 1, c.y)
+                }
+            }
+        };
+        Some(self.id(n))
+    }
+
+    /// Whether the link out of `id` in `dir` crosses the wrap edge — the
+    /// torus "dateline". Always false on non-torus topologies.
+    pub fn wraps(&self, id: NodeId, dir: Direction) -> bool {
+        if !self.is_torus() {
+            return false;
+        }
+        let c = self.coord(id);
+        match dir {
+            Direction::North => c.y == 0,
+            Direction::South => c.y + 1 >= self.ky,
+            Direction::West => c.x == 0,
+            Direction::East => c.x + 1 >= self.kx,
+        }
+    }
+
+    /// Distance along one ring dimension of radix `k` (shorter way around
+    /// on a torus, plain difference otherwise).
+    #[inline]
+    fn dim_dist(&self, from: u16, to: u16, k: u16) -> u32 {
+        let d = from.abs_diff(to) as u32;
+        if self.is_torus() {
+            d.min(k as u32 - d)
+        } else {
+            d
+        }
+    }
+
+    /// Minimal hop count between two nodes.
+    pub fn hops(&self, a: NodeId, b: NodeId) -> u32 {
+        let (ca, cb) = (self.coord(a), self.coord(b));
+        self.dim_dist(ca.x, cb.x, self.kx) + self.dim_dist(ca.y, cb.y, self.ky)
+    }
+
+    /// The minimal direction to move one X step from `cx` toward `dx`, or
+    /// `None` when already aligned. On a torus the shorter way around the
+    /// ring wins; an exact tie (even radix, distance `kx/2`) resolves East
+    /// so dimension-order routing stays consistent along the whole path.
+    pub fn x_dir_toward(&self, cx: u16, dx: u16) -> Option<Direction> {
+        if cx == dx {
+            return None;
+        }
+        if self.is_torus() {
+            let east = (dx as u32 + self.kx as u32 - cx as u32) % self.kx as u32;
+            let west = self.kx as u32 - east;
+            Some(if east <= west {
+                Direction::East
+            } else {
+                Direction::West
+            })
+        } else if cx < dx {
+            Some(Direction::East)
+        } else {
+            Some(Direction::West)
+        }
+    }
+
+    /// The minimal direction to move one Y step from `cy` toward `dy`
+    /// (ties on a torus resolve South); see [`Topology::x_dir_toward`].
+    pub fn y_dir_toward(&self, cy: u16, dy: u16) -> Option<Direction> {
+        if cy == dy {
+            return None;
+        }
+        if self.is_torus() {
+            let south = (dy as u32 + self.ky as u32 - cy as u32) % self.ky as u32;
+            let north = self.ky as u32 - south;
+            Some(if south <= north {
+                Direction::South
+            } else {
+                Direction::North
+            })
+        } else if cy < dy {
+            Some(Direction::South)
+        } else {
+            Some(Direction::North)
+        }
+    }
+
+    /// Whether two distinct nodes are neighbours (used by
+    /// vicinity-sharing to find hop-off candidates).
+    pub fn adjacent(&self, a: NodeId, b: NodeId) -> bool {
+        a != b && self.hops(a, b) == 1
+    }
+
+    /// All neighbours of a node.
+    pub fn neighbors(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        Direction::ALL
+            .into_iter()
+            .filter_map(move |d| self.neighbor(id, d))
+    }
+}
+
+/// Sentinel in [`TopoTables`] for "no link out of this port".
+pub const NO_NEIGHBOR: u32 = u32::MAX;
+
+/// Precomputed adjacency tables: one flat `nodes × 4` row-major array of
+/// neighbour ids (`NO_NEIGHBOR` at mesh edges), built once at network
+/// construction so the per-cycle wiring sweep never recomputes
+/// coordinates. Row `i` holds the neighbours of node `i` indexed by
+/// [`Direction::index`].
+#[derive(Clone, Debug)]
+pub struct TopoTables {
+    neighbor: Box<[u32]>,
+}
+
+impl TopoTables {
+    pub fn build(topo: &Topology) -> Self {
+        let n = topo.len();
+        let mut neighbor = vec![NO_NEIGHBOR; n * 4].into_boxed_slice();
+        for id in topo.nodes() {
+            for d in Direction::ALL {
+                if let Some(nb) = topo.neighbor(id, d) {
+                    neighbor[id.index() * 4 + d.index()] = nb.0;
+                }
+            }
+        }
+        TopoTables { neighbor }
+    }
+
+    /// Number of nodes covered by the tables.
+    pub fn len(&self) -> usize {
+        self.neighbor.len() / 4
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.neighbor.is_empty()
+    }
+
+    /// The neighbour of node `i` in `dir`, or `None` at an edge.
+    #[inline]
+    pub fn neighbor(&self, i: usize, dir: Direction) -> Option<usize> {
+        let nb = self.neighbor[i * 4 + dir.index()];
+        if nb == NO_NEIGHBOR {
+            None
+        } else {
+            Some(nb as usize)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Port;
+
+    #[test]
+    fn coords_roundtrip() {
+        let m = Mesh::square(6);
+        for id in m.nodes() {
+            assert_eq!(m.id(m.coord(id)), id);
+        }
+        assert_eq!(m.len(), 36);
+    }
+
+    #[test]
+    fn neighbors_edges() {
+        let m = Mesh::square(4);
+        let corner = m.id(Coord::new(0, 0));
+        assert_eq!(m.neighbor(corner, Direction::North), None);
+        assert_eq!(m.neighbor(corner, Direction::West), None);
+        assert_eq!(
+            m.neighbor(corner, Direction::East),
+            Some(m.id(Coord::new(1, 0)))
+        );
+        assert_eq!(
+            m.neighbor(corner, Direction::South),
+            Some(m.id(Coord::new(0, 1)))
+        );
+    }
+
+    #[test]
+    fn neighbor_symmetry() {
+        for m in [Mesh::new(5, 3), Mesh::torus(5, 3), Mesh::cmesh(5, 3, 4)] {
+            for id in m.nodes() {
+                for d in Direction::ALL {
+                    if let Some(n) = m.neighbor(id, d) {
+                        assert_eq!(m.neighbor(n, d.opposite()), Some(id));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hops_and_adjacency() {
+        let m = Mesh::square(6);
+        let a = m.id(Coord::new(1, 1));
+        let b = m.id(Coord::new(4, 3));
+        assert_eq!(m.hops(a, b), 5);
+        assert!(!m.adjacent(a, b));
+        assert!(m.adjacent(a, m.id(Coord::new(1, 2))));
+        assert!(!m.adjacent(a, a));
+    }
+
+    #[test]
+    fn direction_opposite_involution() {
+        for d in Direction::ALL {
+            assert_eq!(d.opposite().opposite(), d);
+            assert_ne!(d.opposite(), d);
+        }
+    }
+
+    #[test]
+    fn port_direction_roundtrip() {
+        for d in Direction::ALL {
+            assert_eq!(d.as_port().direction(), Some(d));
+        }
+        assert_eq!(Port::Local.direction(), None);
+    }
+
+    #[test]
+    fn rectangular_mesh() {
+        let m = Mesh::new(8, 2);
+        assert_eq!(m.len(), 16);
+        let last = m.id(Coord::new(7, 1));
+        assert_eq!(last, NodeId(15));
+        assert_eq!(m.neighbor(last, Direction::East), None);
+        assert_eq!(m.neighbor(last, Direction::South), None);
+    }
+
+    #[test]
+    fn torus_wraps_every_edge() {
+        let t = Mesh::torus(4, 3);
+        let corner = t.id(Coord::new(0, 0));
+        assert_eq!(
+            t.neighbor(corner, Direction::North),
+            Some(t.id(Coord::new(0, 2)))
+        );
+        assert_eq!(
+            t.neighbor(corner, Direction::West),
+            Some(t.id(Coord::new(3, 0)))
+        );
+        // Every node has all four neighbours on a torus.
+        for id in t.nodes() {
+            assert_eq!(t.neighbors(id).count(), 4);
+        }
+    }
+
+    #[test]
+    fn torus_hops_take_the_short_way_around() {
+        let t = Mesh::torus(8, 8);
+        let a = t.id(Coord::new(0, 0));
+        let b = t.id(Coord::new(7, 7));
+        // Mesh distance would be 14; each ring wraps in 1.
+        assert_eq!(t.hops(a, b), 2);
+        let m = Mesh::square(8);
+        assert_eq!(m.hops(a, b), 14);
+    }
+
+    #[test]
+    fn torus_dateline_flags_only_wrap_links() {
+        let t = Mesh::torus(4, 4);
+        assert!(t.wraps(t.id(Coord::new(3, 1)), Direction::East));
+        assert!(t.wraps(t.id(Coord::new(0, 1)), Direction::West));
+        assert!(t.wraps(t.id(Coord::new(1, 0)), Direction::North));
+        assert!(t.wraps(t.id(Coord::new(1, 3)), Direction::South));
+        assert!(!t.wraps(t.id(Coord::new(1, 1)), Direction::East));
+        // A mesh has no dateline at all.
+        let m = Mesh::square(4);
+        assert!(!m.wraps(m.id(Coord::new(3, 1)), Direction::East));
+    }
+
+    #[test]
+    fn dir_toward_is_minimal_and_tie_breaks_positive() {
+        let t = Mesh::torus(6, 6);
+        // Distance 2 east vs 4 west.
+        assert_eq!(t.x_dir_toward(0, 2), Some(Direction::East));
+        // Distance 4 east vs 2 west.
+        assert_eq!(t.x_dir_toward(0, 4), Some(Direction::West));
+        // Exact tie (distance 3 both ways) resolves positive.
+        assert_eq!(t.x_dir_toward(0, 3), Some(Direction::East));
+        assert_eq!(t.y_dir_toward(0, 3), Some(Direction::South));
+        assert_eq!(t.x_dir_toward(2, 2), None);
+        let m = Mesh::square(6);
+        assert_eq!(m.x_dir_toward(0, 4), Some(Direction::East));
+        assert_eq!(m.x_dir_toward(4, 0), Some(Direction::West));
+    }
+
+    #[test]
+    fn cmesh_counts_clients_but_routes_like_a_mesh() {
+        let c = Mesh::cmesh(4, 4, 4);
+        assert_eq!(c.len(), 16);
+        assert_eq!(c.clients(), 64);
+        assert_eq!(c.concentration(), 4);
+        let m = Mesh::square(4);
+        for id in c.nodes() {
+            for d in Direction::ALL {
+                assert_eq!(c.neighbor(id, d), m.neighbor(id, d));
+            }
+        }
+        assert_eq!(Mesh::square(4).clients(), 16);
+    }
+
+    #[test]
+    fn topo_tables_match_arithmetic_neighbors() {
+        for topo in [Mesh::new(5, 3), Mesh::torus(4, 6), Mesh::cmesh(3, 3, 2)] {
+            let tables = TopoTables::build(&topo);
+            assert_eq!(tables.len(), topo.len());
+            for id in topo.nodes() {
+                for d in Direction::ALL {
+                    assert_eq!(
+                        tables.neighbor(id.index(), d),
+                        topo.neighbor(id, d).map(|n| n.index()),
+                        "node {id} dir {d:?}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -23,7 +23,7 @@ fn center_pipeline() -> (Mesh, PsPipeline) {
 fn replenish_credits(p: &mut PsPipeline) {
     for port in [Port::North, Port::East, Port::South, Port::West] {
         for v in 0..4u8 {
-            while p.outputs[port.index()].credits[v as usize] < 5 {
+            while p.out_credit(port, v as usize) < 5 {
                 p.accept_credit(port.direction().unwrap(), noc_sim::Credit { vc: v });
             }
         }
@@ -91,7 +91,7 @@ fn switch_allocation_is_fair_across_input_ports() {
     let mut out = NodeOutputs::default();
     for now in 0..2_000 {
         for (i, &port) in ports.iter().enumerate() {
-            if r.inputs[port.index()].vcs[0].fifo.len() < 5 {
+            if r.vc(port, 0).fifo.len() < 5 {
                 r.accept_flit(now, port, flit_of(pid, srcs[i], dst, 0, 1, 0));
                 pid += 1;
                 sent[i] += 1;
@@ -138,14 +138,14 @@ fn vc_count_advertisements_propagate_through_harness() {
                   // node 0's reduced VC count.
     let n1 = &net.nodes[1];
     assert_eq!(
-        n1.router.pipeline.outputs[Port::West.index()].downstream_vcs,
+        n1.router.pipeline.downstream_vcs(Port::West),
         gate_cfg.min_vcs,
         "advertisement did not reach the neighbour"
     );
     // Unaffected directions keep the full count at other nodes.
     let n3 = &net.nodes[3];
     assert_eq!(
-        n3.router.pipeline.outputs[Port::West.index()].downstream_vcs,
+        n3.router.pipeline.downstream_vcs(Port::West),
         cfg.router.vcs_per_port
     );
 }
@@ -188,7 +188,7 @@ fn head_of_line_packet_does_not_block_other_vcs() {
     let mut out = NodeOutputs::default();
     for _ in 0..30 {
         for vc in 0..4u8 {
-            if r.inputs[Port::North.index()].vcs[vc as usize].fifo.len() < 5 {
+            if r.vc(Port::North, vc as usize).fifo.len() < 5 {
                 r.accept_flit(
                     0,
                     Port::North,
@@ -233,7 +233,7 @@ fn config_packets_route_adaptively_around_congestion() {
     let mut out = NodeOutputs::default();
     let mut pid = 0;
     for now in 0..40u64 {
-        if r.inputs[Port::West.index()].vcs[0].fifo.len() < 5 {
+        if r.vc(Port::West, 0).fifo.len() < 5 {
             r.accept_flit(
                 now,
                 Port::West,
@@ -247,7 +247,7 @@ fn config_packets_route_adaptively_around_congestion() {
     }
     // At least one East VC is drained and parked with zero credits, so
     // East's congestion score is strictly below South's.
-    assert!(r.outputs[Port::East.index()].score() < r.outputs[Port::South.index()].score());
+    assert!(r.port_score(Port::East) < r.port_score(Port::South));
     // A config packet from here to (3,2): E and S both minimal; col 1 is
     // odd so both are odd-even-legal; S has far more credit.
     let dst = m.id(Coord::new(3, 2));

@@ -74,15 +74,24 @@ impl SyntheticSource {
 
     /// Generate this cycle's new packets; `measured` marks whether they are
     /// in the measurement window.
+    ///
+    /// On a concentrated mesh each router serves `c` clients, so every
+    /// router runs `c` independent Bernoulli trials per cycle and the
+    /// offered load per *router* is `c × rate` flits/cycle. With `c == 1`
+    /// the RNG call sequence is identical to the historical single-trial
+    /// loop, so plain-mesh runs stay bit-identical.
     pub fn tick(&mut self, now: Cycle, measured: bool, mut sink: impl FnMut(NodeId, Packet)) {
         let p_packet = (self.rate / self.packet_len as f64).min(1.0);
+        let c = self.mesh.concentration();
         for src in self.mesh.nodes() {
-            if !self.rng.random_bool(p_packet) {
-                continue;
-            }
-            if let Some(dst) = self.pattern.dest(&self.mesh, src, &mut self.rng) {
-                let pkt = self.factory.data(src, dst, self.packet_len, now, measured);
-                sink(src, pkt);
+            for _ in 0..c {
+                if !self.rng.random_bool(p_packet) {
+                    continue;
+                }
+                if let Some(dst) = self.pattern.dest(&self.mesh, src, &mut self.rng) {
+                    let pkt = self.factory.data(src, dst, self.packet_len, now, measured);
+                    sink(src, pkt);
+                }
             }
         }
     }
@@ -113,6 +122,38 @@ mod tests {
         }
         let rate = flits as f64 / (cycles as f64 * mesh.len() as f64);
         assert!((rate - 0.2).abs() < 0.01, "measured offered load {rate}");
+    }
+
+    #[test]
+    fn cmesh_injects_c_trials_per_router() {
+        let mesh = Mesh::cmesh(4, 4, 4);
+        let mut src = SyntheticSource::new(mesh, TrafficPattern::UniformRandom, 0.2, 5, 42);
+        let mut flits = 0u64;
+        let cycles = 20_000u64;
+        for now in 0..cycles {
+            src.tick(now, true, |_, p| flits += p.len_flits as u64);
+        }
+        // Offered load per *router* is c × rate.
+        let per_router = flits as f64 / (cycles as f64 * mesh.len() as f64);
+        assert!(
+            (per_router - 0.8).abs() < 0.03,
+            "measured per-router load {per_router}"
+        );
+    }
+
+    #[test]
+    fn unit_concentration_matches_the_legacy_stream() {
+        // The c-trial loop with c == 1 must consume the RNG exactly like
+        // the historical single-trial path: same seed → same packets.
+        let run = |mesh: Mesh| {
+            let mut s = SyntheticSource::new(mesh, TrafficPattern::UniformRandom, 0.3, 5, 9);
+            let mut v = Vec::new();
+            for now in 0..500 {
+                s.tick(now, true, |n, p| v.push((now, n, p.dst)));
+            }
+            v
+        };
+        assert_eq!(run(Mesh::square(5)), run(Mesh::cmesh(5, 5, 1)));
     }
 
     #[test]

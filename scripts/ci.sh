@@ -82,6 +82,51 @@ assert "telemetry" in traced, "traced run missing its telemetry block"
 print("data blocks identical with tracing on vs off")
 PY
 
+echo "== 256-node torus smoke (packet + TDM, dateline VC classes) =="
+cat > "$SWEEP_TMP/torus.json" <<'JSON'
+[
+  { "backend": "PacketVc4", "mesh": 16, "topology": "torus",
+    "traffic": { "pattern": "UR", "rate": 0.08 },
+    "phases": { "warmup_cycles": 300, "warmup_packets": 50,
+                "measure_cycles": 1200, "measure_packets": 2000,
+                "drain_cycles": 4000 },
+    "seed": 21 },
+  { "backend": "HybridTdmVc4", "mesh": 16, "topology": "torus",
+    "traffic": { "pattern": "UR", "rate": 0.05 },
+    "phases": { "warmup_cycles": 300, "warmup_packets": 50,
+                "measure_cycles": 1200, "measure_packets": 2000,
+                "drain_cycles": 4000 },
+    "seed": 22 }
+]
+JSON
+cargo run --release -p noc-bench --bin fig4_load_latency "${OFFLINE[@]}" -- \
+    --scenario "$SWEEP_TMP/torus.json" --json "$SWEEP_TMP/torus1.json" --sweep-threads 1 > /dev/null
+echo "256-node torus scenarios ran"
+
+echo "== non-mesh sweep determinism (torus + cmesh, --sweep-threads 1 vs 4) =="
+cat > "$SWEEP_TMP/topo_sweep.json" <<'JSON'
+[
+  { "backend": "PacketVc4", "mesh": 4, "topology": "torus",
+    "traffic": { "pattern": "UR", "rate": 0.08 },
+    "phases": { "warmup_cycles": 300, "warmup_packets": 50,
+                "measure_cycles": 1500, "measure_packets": 2000,
+                "drain_cycles": 3000 },
+    "seed": 23 },
+  { "backend": "HybridTdmVc4", "mesh": 4, "topology": "cmesh", "concentration": 2,
+    "traffic": { "pattern": "UR", "rate": 0.05 },
+    "phases": { "warmup_cycles": 300, "warmup_packets": 50,
+                "measure_cycles": 1500, "measure_packets": 2000,
+                "drain_cycles": 3000 },
+    "seed": 24 }
+]
+JSON
+cargo run --release -p noc-bench --bin fig4_load_latency "${OFFLINE[@]}" -- \
+    --scenario "$SWEEP_TMP/topo_sweep.json" --json "$SWEEP_TMP/topo1.json" --sweep-threads 1 > /dev/null
+cargo run --release -p noc-bench --bin fig4_load_latency "${OFFLINE[@]}" -- \
+    --scenario "$SWEEP_TMP/topo_sweep.json" --json "$SWEEP_TMP/topo4.json" --sweep-threads 4 > /dev/null
+cmp "$SWEEP_TMP/topo1.json" "$SWEEP_TMP/topo4.json"
+echo "non-mesh sweep JSON identical across thread counts"
+
 echo "== traced TDM hetero scenario (Perfetto trace + heatmap + envelope v2) =="
 cat > "$SWEEP_TMP/traced.json" <<'JSON'
 [ {"backend": "HybridTdmVc4", "cpu": "AMMP", "gpu": "BLACKSCHOLES", "quick": true, "seed": 7} ]

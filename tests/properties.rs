@@ -96,6 +96,189 @@ proptest! {
         prop_assert_eq!(hops, mesh.hops(src, dst));
     }
 
+    /// Neighbor links are symmetric on every topology shape: if `b` is
+    /// `a`'s neighbor in direction `d`, then `a` is `b`'s neighbor in the
+    /// opposite direction — including across torus wrap links — and the
+    /// precomputed `TopoTables` agree with the coordinate arithmetic.
+    #[test]
+    fn neighbors_are_symmetric_on_any_topology(
+        kx in 2u16..9, ky in 2u16..9, c in 1u8..5,
+        kind_i in 0usize..3,
+    ) {
+        use tdm_hybrid_noc::sim::{Direction, TopoTables};
+        let topo = match kind_i {
+            0 => Mesh::new(kx, ky),
+            1 => Mesh::torus(kx, ky),
+            _ => Mesh::cmesh(kx, ky, c),
+        };
+        let tables = TopoTables::build(&topo);
+        for a in topo.nodes() {
+            for d in Direction::ALL {
+                prop_assert_eq!(
+                    tables.neighbor(a.0 as usize, d),
+                    topo.neighbor(a, d).map(|n| n.0 as usize),
+                    "tables disagree at {:?} {:?}", a, d
+                );
+                if let Some(b) = topo.neighbor(a, d) {
+                    prop_assert_eq!(
+                        topo.neighbor(b, d.opposite()), Some(a),
+                        "asymmetric link {:?} -{:?}-> {:?}", a, d, b
+                    );
+                    // A wrap edge is a wrap edge from both ends.
+                    prop_assert_eq!(
+                        topo.wraps(a, d), topo.wraps(b, d.opposite()),
+                        "dateline disagrees across {:?} -{:?}-> {:?}", a, d, b
+                    );
+                }
+            }
+        }
+    }
+
+    /// X-Y routes are minimal and reach the destination on any torus: the
+    /// walk takes exactly `hops(src, dst)` steps, where `hops` uses the
+    /// shorter way around each ring.
+    #[test]
+    fn torus_routes_are_minimal(
+        kx in 2u16..9, ky in 2u16..9,
+        src_i in 0u32..64, dst_i in 0u32..64,
+    ) {
+        let topo = Mesh::torus(kx, ky);
+        let src = NodeId(src_i % topo.len() as u32);
+        let dst = NodeId(dst_i % topo.len() as u32);
+        let mut cur = src;
+        let mut hops = 0;
+        while cur != dst {
+            let p = xy_route(&topo, cur, dst);
+            let d = p.direction().expect("productive");
+            cur = topo.neighbor(cur, d).expect("torus has no edges");
+            hops += 1;
+            prop_assert!(hops <= topo.hops(src, dst));
+        }
+        prop_assert_eq!(hops, topo.hops(src, dst));
+    }
+
+    /// Torus dateline discipline: along any X-Y route, the VC class
+    /// (0 before the wrap link of the current dimension, 1 after) never
+    /// goes from 1 back to 0 within a dimension, and resets on the
+    /// dimension switch — the invariant that makes the class-1 VCs a
+    /// terminal resource class and the CDG acyclic (deadlock freedom).
+    #[test]
+    fn torus_dateline_class_is_monotonic_per_dimension(
+        kx in 2u16..9, ky in 2u16..9,
+        src_i in 0u32..64, dst_i in 0u32..64,
+    ) {
+        let topo = Mesh::torus(kx, ky);
+        let src = NodeId(src_i % topo.len() as u32);
+        let dst = NodeId(dst_i % topo.len() as u32);
+        let mut cur = src;
+        let mut class = 0u8;
+        let mut dim = 2u8; // 0 = X, 1 = Y, 2 = not started
+        let mut wraps_seen = 0u32;
+        while cur != dst {
+            let p = xy_route(&topo, cur, dst);
+            let d = p.direction().expect("productive");
+            let step_dim = match d {
+                tdm_hybrid_noc::sim::Direction::East
+                | tdm_hybrid_noc::sim::Direction::West => 0,
+                _ => 1,
+            };
+            if step_dim != dim {
+                // Dimension-order routing never returns to a finished
+                // dimension, and the class resets with the new dimension.
+                prop_assert!(dim == 2 || (dim == 0 && step_dim == 1));
+                dim = step_dim;
+                class = 0;
+            }
+            if topo.wraps(cur, d) {
+                // A second wrap in the same dimension would demand a
+                // class-1 -> class-1 wrap transition, re-entering the
+                // terminal class — exactly the cycle the dateline breaks.
+                prop_assert_eq!(class, 0, "route wrapped twice in one dimension");
+                class = 1;
+                wraps_seen += 1;
+            }
+            cur = topo.neighbor(cur, d).expect("torus has no edges");
+        }
+        // The shorter way around each ring crosses its dateline at most
+        // once, so at most one wrap per dimension.
+        prop_assert!(wraps_seen <= 2, "route crossed {} wrap links", wraps_seen);
+    }
+
+    /// Torus dateline routing is deadlock-free end to end: a packet
+    /// network on a randomized torus shape drains every offered packet
+    /// under uniform-random load, including loads that keep all wrap
+    /// links busy.
+    #[test]
+    fn torus_packet_network_is_deadlock_free(
+        kx in 2u16..6, ky in 2u16..6,
+        seed in 0u64..500,
+        rate_milli in 20u64..250,
+    ) {
+        let topo = Mesh::torus(kx, ky);
+        let net_cfg = NetworkConfig::with_mesh(topo);
+        let mut net = Network::new(topo, |id| PacketNode::new(id, &net_cfg, None));
+        let mut source = SyntheticSource::new(
+            topo,
+            TrafficPattern::UniformRandom,
+            rate_milli as f64 / 1000.0,
+            5,
+            seed,
+        );
+        net.begin_measurement();
+        for _ in 0..400 {
+            let now = net.now();
+            let mut pkts = Vec::new();
+            source.tick(now, true, |n, p| pkts.push((n, p)));
+            for (n, p) in pkts {
+                net.inject(n, p);
+            }
+            net.step();
+        }
+        prop_assert!(net.drain(30_000), "torus {}x{} deadlocked", kx, ky);
+        net.end_measurement();
+        prop_assert_eq!(net.stats.packets_delivered, net.stats.packets_offered);
+    }
+
+    /// The TDM hybrid backend drains on randomized torus and concentrated
+    /// shapes too (circuit setup/teardown rides the same dateline VCs).
+    #[test]
+    fn tdm_network_drains_on_any_topology(
+        kx in 2u16..5, ky in 2u16..5, c in 1u8..4,
+        kind_i in 0usize..3,
+        seed in 0u64..200,
+    ) {
+        let topo = match kind_i {
+            0 => Mesh::new(kx, ky),
+            1 => Mesh::torus(kx, ky),
+            _ => Mesh::cmesh(kx, ky, c),
+        };
+        let mut cfg = TdmConfig::vc4(NetworkConfig::with_mesh(topo));
+        cfg.policy.setup_after_msgs = 2;
+        cfg.policy.freq_window = 1_024;
+        cfg.slot_capacity = 32;
+        let mut net = TdmNetwork::new(cfg);
+        let mut source = SyntheticSource::new(
+            topo,
+            TrafficPattern::UniformRandom,
+            0.08,
+            5,
+            seed,
+        );
+        net.begin_measurement();
+        for _ in 0..500 {
+            let now = net.now();
+            let mut pkts = Vec::new();
+            source.tick(now, true, |n, p| pkts.push((n, p)));
+            for (n, p) in pkts {
+                net.inject(n, p);
+            }
+            net.step();
+        }
+        prop_assert!(net.drain(30_000), "TDM {:?} {}x{} failed to drain", topo.kind(), kx, ky);
+        net.end_measurement();
+        prop_assert_eq!(net.stats().packets_delivered, net.stats().packets_offered);
+    }
+
     /// The packet network delivers every offered packet exactly once and
     /// keeps latency ≥ the zero-load bound, for arbitrary traffic.
     #[test]
@@ -176,8 +359,13 @@ proptest! {
         seed in 0u64..1000,
         rate_milli in 20u64..150,
         threads in 1usize..5,
+        topo_i in 0usize..3,
     ) {
-        let mesh = Mesh::square(4);
+        let mesh = match topo_i {
+            0 => Mesh::square(4),
+            1 => Mesh::torus_square(4),
+            _ => Mesh::cmesh(4, 4, 2),
+        };
         let net_cfg = NetworkConfig::with_mesh(mesh);
         let run = |step_threads: usize| {
             let mut net = Network::new(mesh, |id| PacketNode::new(id, &net_cfg, None));
@@ -229,14 +417,23 @@ proptest! {
         rate_milli in 10u64..120,
         pattern_i in 0usize..3,
         backend_i in 0usize..4,
+        topo_i in 0usize..3,
     ) {
-        let mesh = Mesh::square(4);
+        let mesh = match topo_i {
+            0 => Mesh::square(4),
+            1 => Mesh::torus_square(4),
+            _ => Mesh::cmesh(4, 4, 2),
+        };
         let pattern = match pattern_i {
             0 => TrafficPattern::UniformRandom,
             1 => TrafficPattern::Transpose,
             _ => TrafficPattern::Hotspot(vec![NodeId(5), NodeId(10)]),
         };
-        let backend = BackendKind::SYNTH[backend_i];
+        let backend = match BackendKind::SYNTH[backend_i] {
+            // VC gating is incompatible with torus dateline classes.
+            BackendKind::HybridTdmVct if mesh.is_torus() => BackendKind::HybridTdmVc4,
+            b => b,
+        };
         let run = |always_step: bool| {
             let mut fabric = build_fabric(
                 backend,
@@ -301,14 +498,23 @@ proptest! {
         pattern_i in 0usize..3,
         backend_i in 0usize..4,
         threads in 2usize..5,
+        topo_i in 0usize..3,
     ) {
-        let mesh = Mesh::square(4);
+        let mesh = match topo_i {
+            0 => Mesh::square(4),
+            1 => Mesh::torus_square(4),
+            _ => Mesh::cmesh(4, 4, 2),
+        };
         let pattern = match pattern_i {
             0 => TrafficPattern::UniformRandom,
             1 => TrafficPattern::Transpose,
             _ => TrafficPattern::Hotspot(vec![NodeId(5), NodeId(10)]),
         };
-        let backend = BackendKind::SYNTH[backend_i];
+        let backend = match BackendKind::SYNTH[backend_i] {
+            // VC gating is incompatible with torus dateline classes.
+            BackendKind::HybridTdmVct if mesh.is_torus() => BackendKind::HybridTdmVc4,
+            b => b,
+        };
         // Pre-sample the injection schedule so both drives see the exact
         // same packets at the exact same cycles.
         let mut source = SyntheticSource::new(
