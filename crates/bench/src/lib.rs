@@ -27,15 +27,18 @@
 use noc_power::{EnergyBreakdown, EnergyModel};
 use noc_sim::telemetry::{chrome_trace_json, link_heatmap_csv};
 use noc_sim::{Mesh, NetworkConfig, TelemetryConfig, TelemetryReport};
-use noc_traffic::{run_phases, PhaseConfig, RunResult, SyntheticSource, TrafficPattern};
+use noc_traffic::{
+    run_measurement, run_phases, run_warmup, PhaseConfig, RunResult, SyntheticSource,
+    TrafficPattern,
+};
 use serde::{Serialize, Value};
 
 pub use noc_hetero::MixResult;
 pub use noc_scenario::{
     build_fabric, json_flag, quick_flag, result_envelope, result_envelope_with_telemetry,
     scenario_flag, scenario_specs_from_cli, slot_capacity_for, step_threads_from_env,
-    sweep_threads_flag, telemetry_from_cli, trace_out_flag, write_json, BackendKind, ScenarioError,
-    ScenarioSpec, TrafficSpec, Tuning, SCHEMA_VERSION,
+    sweep_threads_flag, telemetry_from_cli, trace_out_flag, write_json, BackendKind, Checkpoint,
+    ScenarioError, ScenarioSpec, TrafficSpec, Tuning, SCHEMA_VERSION,
 };
 
 /// One synthetic measurement point.
@@ -119,6 +122,14 @@ pub fn run_synthetic_spec(spec: &ScenarioSpec) -> Result<SynthPoint, ScenarioErr
 /// [`run_synthetic_spec`] with optional flit-lifecycle tracing. Tracing
 /// only observes: the [`SynthPoint`] is bit-identical with or without a
 /// telemetry config.
+///
+/// Checkpoint seam: a spec with `checkpoint_out` writes a warm-up blob
+/// before measuring; a spec with `checkpoint_from` restores one instead
+/// of warming up — and produces a byte-identical measurement to the
+/// continuous run it forked from (same traffic/seed) or a fresh
+/// measurement point (different traffic/seed: the warm-up fork). A fault
+/// schedule on the spec is armed before warm-up; on a restore the
+/// snapshot's own mid-timeline fault state continues instead.
 pub fn run_synthetic_spec_traced(
     spec: &ScenarioSpec,
     telemetry: Option<&TelemetryConfig>,
@@ -134,7 +145,41 @@ pub fn run_synthetic_spec_traced(
         fabric.configure_telemetry(cfg);
     }
     let mut source = spec.build_source().expect("synthetic traffic has a source");
-    let result = run_phases(fabric.as_mut(), &mut source, spec.phases);
+    let result = if let Some(path) = &spec.checkpoint_from {
+        // Warm-up fork: fast-forward the source to the checkpointed RNG
+        // position, raise its id allocator past every in-flight packet,
+        // and restore the fabric. The snapshot carries the fault timeline
+        // mid-flight, so `set_faults` must not run again here.
+        let ck = Checkpoint::read(path)?;
+        ck.compatible_with(spec)?;
+        source.skip_ticks(ck.warmup_ticks);
+        source.factory.skip_to(ck.next_packet_id);
+        fabric
+            .restore(&ck.snapshot)
+            .map_err(|e| ScenarioError::Checkpoint(format!("{path}: {e}")))?;
+        run_measurement(fabric.as_mut(), &mut source, spec.phases)
+    } else {
+        if !spec.faults.is_empty() {
+            spec.validate_faults()?;
+            fabric
+                .set_faults(spec.faults.clone())
+                .map_err(|e| ScenarioError::Fault(e.to_string()))?;
+        }
+        let warmup_ticks = run_warmup(fabric.as_mut(), &mut source, spec.phases);
+        if let Some(out) = &spec.checkpoint_out {
+            let snapshot = fabric
+                .checkpoint()
+                .map_err(|e| ScenarioError::Checkpoint(e.to_string()))?;
+            Checkpoint {
+                spec: spec.clone(),
+                warmup_ticks,
+                next_packet_id: source.factory.next_id_preview(),
+                snapshot,
+            }
+            .write(out)?;
+        }
+        run_measurement(fabric.as_mut(), &mut source, spec.phases)
+    };
     let report = telemetry.and_then(|_| fabric.telemetry_report());
     let net_cfg = spec.net_config();
     Ok((
@@ -198,6 +243,11 @@ pub fn run_spec_traced(
 /// they are the only scheduling-dependent outputs, and zeroing them keeps
 /// serialised sweep envelopes reproducible across hosts and thread
 /// counts. The first spec error (in spec order) is returned, if any.
+///
+/// Warm-up fork: when every spec carries the same `checkpoint_from`
+/// (what `--checkpoint-from` sets), one paid warm-up fans out into the
+/// whole sweep — each point restores the blob and goes straight to its
+/// own measurement phase.
 pub fn run_sweep(
     specs: &[ScenarioSpec],
     threads: usize,
@@ -797,10 +847,11 @@ mod tests {
         let trace = std::fs::read_to_string(dir.join("trace.json")).expect("trace file");
         assert!(trace.contains("\"traceEvents\""));
         let csv = std::fs::read_to_string(dir.join("trace.heatmap.csv")).expect("heatmap file");
+        // Column 4 is `flits` (the trailing column is `fault_drops`).
         let sum: u64 = csv
             .lines()
             .skip(1)
-            .map(|row| row.rsplit(',').next().unwrap().parse::<u64>().unwrap())
+            .map(|row| row.split(',').nth(4).unwrap().parse::<u64>().unwrap())
             .sum();
         assert_eq!(
             sum,

@@ -8,7 +8,7 @@
 //! 8-entry DLT is under 16 bytes (§III-A1: `2⌈log₂k⌉` destination bits and
 //! `⌈log₂S⌉` slot bits per entry).
 
-use noc_sim::{Mesh, NodeId, Port};
+use noc_sim::{Mesh, NodeId, Port, Snap, SnapshotError, SnapshotReader, SnapshotWriter};
 
 /// Counter value at which sharing is abandoned (binary `10`).
 pub const FAIL_LIMIT: u8 = 2;
@@ -149,7 +149,31 @@ impl Dlt {
     pub fn clear(&mut self) {
         self.entries.clear();
     }
+
+    /// Serialise the table (`cap` is construction-time).
+    pub fn save_state(&self, w: &mut SnapshotWriter) {
+        self.entries.save(w);
+    }
+
+    /// Inverse of [`Dlt::save_state`].
+    pub fn load_state(&mut self, r: &mut SnapshotReader) -> Result<(), SnapshotError> {
+        let entries: Vec<DltEntry> = Snap::load(r)?;
+        if entries.len() > self.cap {
+            return Err(SnapshotError::Corrupt("DLT over capacity"));
+        }
+        self.entries = entries;
+        Ok(())
+    }
 }
+
+noc_sim::impl_snap!(DltEntry {
+    dst,
+    slot,
+    duration,
+    in_port,
+    fails,
+    confirmed,
+});
 
 #[cfg(test)]
 mod tests {

@@ -12,8 +12,9 @@
 //! procedure restarts").
 
 use noc_sim::{
-    Cycle, DeliveredPacket, EnergyEvents, Fabric, Mesh, NetStats, Network, NodeId, NodeModel,
-    Packet, TelemetryConfig, TelemetryReport,
+    Cycle, DeliveredPacket, EnergyEvents, EventKind, Fabric, FabricSnapshot, FaultEvent, Mesh,
+    NetStats, Network, NodeId, NodeModel, Packet, Snap, SnapshotError, SnapshotReader,
+    SnapshotWriter, TelemetryConfig, TelemetryReport,
 };
 
 use crate::config::TdmConfig;
@@ -31,6 +32,62 @@ enum ResizePhase {
     Freezing { deadline: Cycle, target: u16 },
 }
 
+impl Snap for ResizePhase {
+    fn save(&self, w: &mut SnapshotWriter) {
+        match *self {
+            ResizePhase::Observing {
+                window_start,
+                failures_at_start,
+            } => {
+                w.u8(0);
+                w.u64(window_start);
+                w.u64(failures_at_start);
+            }
+            ResizePhase::Freezing { deadline, target } => {
+                w.u8(1);
+                w.u64(deadline);
+                w.u16(target);
+            }
+        }
+    }
+
+    fn load(r: &mut SnapshotReader) -> Result<Self, SnapshotError> {
+        match r.u8()? {
+            0 => Ok(ResizePhase::Observing {
+                window_start: r.u64()?,
+                failures_at_start: r.u64()?,
+            }),
+            1 => Ok(ResizePhase::Freezing {
+                deadline: r.u64()?,
+                target: r.u16()?,
+            }),
+            _ => Err(SnapshotError::Corrupt("resize-phase tag")),
+        }
+    }
+}
+
+/// Slot indices are cycle-derived, so a circuit crossing a killed (or
+/// revived) link cannot simply be "rerouted": its slot reservations on the
+/// old path are stale and a path `setup` dropped on a dead link leaves the
+/// originator's pending entry stuck forever (setups route obliviously, not
+/// around faults). A link event therefore triggers the same network-wide
+/// freeze → drain → reset sequence the resize controller uses; the ack
+/// protocol then rebuilds every hot circuit along routes that avoid the
+/// fault (packet-switched traffic follows the recomputed route overrides).
+#[derive(Clone, Copy, Debug)]
+struct RepairState {
+    /// Reset no earlier than this (lets in-flight bursts and config
+    /// messages drain before the tables are wiped).
+    deadline: Cycle,
+    /// When the link event was observed (repair-latency accounting).
+    fault_cycle: Cycle,
+}
+
+noc_sim::impl_snap!(RepairState {
+    deadline,
+    fault_cycle,
+});
+
 /// A mesh of TDM hybrid tiles.
 pub struct TdmNetwork {
     pub net: Network<TdmNode>,
@@ -41,6 +98,11 @@ pub struct TdmNetwork {
     /// When the last grow completed — shrinking is suppressed for several
     /// windows afterwards to prevent grow/shrink oscillation.
     last_grow: Cycle,
+    /// In-flight fault repair (freeze → drain → reset), if any.
+    repair: Option<RepairState>,
+    /// Fault-timeline events already handled; compared against
+    /// `Network::faults_applied` to detect new link events.
+    link_events_seen: usize,
 }
 
 impl TdmNetwork {
@@ -57,6 +119,8 @@ impl TdmNetwork {
             phase,
             resizes: 0,
             last_grow: 0,
+            repair: None,
+            link_events_seen: 0,
         }
     }
 
@@ -77,9 +141,14 @@ impl TdmNetwork {
         self.net.nodes[0].router.slots.active()
     }
 
-    /// Advance one cycle, running the resize controller first.
+    /// Advance one cycle, running the repair and resize controllers first.
+    /// A fault repair pre-empts any concurrent resize decision (both end in
+    /// the same global table reset, so running either suffices).
     pub fn step(&mut self) {
-        self.run_resize_controller();
+        self.run_repair_controller();
+        if self.repair.is_none() {
+            self.run_resize_controller();
+        }
         self.net.step();
     }
 
@@ -99,19 +168,111 @@ impl TdmNetwork {
     /// exactly the cycles where it could act.
     pub fn run_until(&mut self, target: Cycle) {
         while self.net.now() < target {
-            self.run_resize_controller();
+            self.run_repair_controller();
+            if self.repair.is_none() {
+                self.run_resize_controller();
+            }
             let now = self.net.now();
-            let bound = match self.phase {
-                Some(ResizePhase::Observing { window_start, .. }) => {
-                    let rc = self.cfg.resize.expect("phase implies resize config");
-                    (window_start + rc.window).max(now + 1)
-                }
-                // Pre-deadline the controller is frozen too; past the
+            let mut bound = match self.repair {
+                // Pre-deadline the repair controller is inert; past the
                 // deadline it waits per-cycle for CS streams to finish.
-                Some(ResizePhase::Freezing { deadline, .. }) => deadline.max(now + 1),
-                None => target,
+                Some(RepairState { deadline, .. }) => deadline.max(now + 1),
+                None => match self.phase {
+                    Some(ResizePhase::Observing { window_start, .. }) => {
+                        let rc = self.cfg.resize.expect("phase implies resize config");
+                        (window_start + rc.window).max(now + 1)
+                    }
+                    // Pre-deadline the controller is frozen too; past the
+                    // deadline it waits per-cycle for CS streams to finish.
+                    Some(ResizePhase::Freezing { deadline, .. }) => deadline.max(now + 1),
+                    None => target,
+                },
             };
+            // Land one cycle past the next fault so the repair controller
+            // observes it at exactly the cycle per-cycle stepping would —
+            // leaping must stay bit-identical to `step()` loops.
+            if let Some(at) = self.net.next_fault_at() {
+                bound = bound.min((at + 1).max(now + 1));
+            }
             self.net.run_until(bound.min(target));
+        }
+    }
+
+    /// Drive a fault repair: when the harness applies a fault-timeline
+    /// event (link kill *or* revive), freeze circuit switching everywhere,
+    /// let in-flight bursts drain, then reset every slot table — the resize
+    /// template at unchanged granularity. See [`RepairState`] for why
+    /// revives also need the reset.
+    fn run_repair_controller(&mut self) {
+        let now = self.net.now();
+        match self.repair {
+            None => {
+                let applied = self.net.faults_applied();
+                if applied > self.link_events_seen {
+                    self.link_events_seen = applied;
+                    for node in &mut self.net.nodes {
+                        node.set_cs_frozen(true);
+                    }
+                    // Freezing flushed queued CS work to the NICs behind
+                    // the harness's back: resynchronise its caches.
+                    self.net.wake_all();
+                    let freeze = self
+                        .cfg
+                        .resize
+                        .map_or(2 * self.active_slots() as u64 + 256, |rc| rc.freeze_cycles);
+                    self.repair = Some(RepairState {
+                        deadline: now + freeze,
+                        fault_cycle: now,
+                    });
+                }
+            }
+            Some(RepairState {
+                deadline,
+                fault_cycle,
+            }) => {
+                if now < deadline || self.net.nodes.iter().any(|n| n.cs_streaming()) {
+                    return;
+                }
+                let active = self.active_slots();
+                for node in &mut self.net.nodes {
+                    // Every held circuit is torn down by the reset and
+                    // re-established around the fault by the normal setup
+                    // protocol — record each as a reroute.
+                    let id = node.id().0;
+                    let paths: Vec<u64> = node.registry.iter().map(|c| c.path_id).collect();
+                    for path_id in paths {
+                        node.router.pipeline.trace.record(
+                            now,
+                            id,
+                            EventKind::CircuitRerouted,
+                            0,
+                            path_id,
+                        );
+                    }
+                    node.reset_for_resize(active);
+                    node.set_cs_frozen(false);
+                }
+                self.net.wake_all();
+                self.net.stats.repairs += 1;
+                self.net.stats.repair_cycle_sum += now - fault_cycle;
+                // Events applied while frozen are covered by this reset.
+                self.link_events_seen = self.net.faults_applied();
+                // The reset moots any in-flight resize decision: restart
+                // observation cleanly.
+                if self.cfg.resize.is_some() {
+                    let failures: u64 = self
+                        .net
+                        .nodes
+                        .iter()
+                        .map(|n| n.events().setup_failures)
+                        .sum();
+                    self.phase = Some(ResizePhase::Observing {
+                        window_start: now,
+                        failures_at_start: failures,
+                    });
+                }
+                self.repair = None;
+            }
         }
     }
 
@@ -318,6 +479,40 @@ impl Fabric for TdmNetwork {
 
     fn drain(&mut self, max_cycles: u64) -> bool {
         TdmNetwork::drain(self, max_cycles)
+    }
+
+    fn checkpoint(&self) -> Result<FabricSnapshot, SnapshotError> {
+        let mut w = SnapshotWriter::new();
+        self.phase.save(&mut w);
+        self.repair.save(&mut w);
+        w.u32(self.resizes);
+        w.u64(self.last_grow);
+        w.usize(self.link_events_seen);
+        self.net.save_into(&mut w)?;
+        Ok(FabricSnapshot::from_payload(w.into_bytes()))
+    }
+
+    fn restore(&mut self, snap: &FabricSnapshot) -> Result<(), SnapshotError> {
+        let mut r = snap.payload();
+        self.phase = Snap::load(&mut r)?;
+        self.repair = Snap::load(&mut r)?;
+        self.resizes = r.u32()?;
+        self.last_grow = r.u64()?;
+        self.link_events_seen = r.usize()?;
+        self.net.load_from(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(SnapshotError::Corrupt("trailing bytes after snapshot"));
+        }
+        Ok(())
+    }
+
+    fn set_faults(&mut self, timeline: Vec<FaultEvent>) -> Result<(), SnapshotError> {
+        self.net.set_faults(timeline);
+        Ok(())
+    }
+
+    fn arena_live(&self) -> usize {
+        self.net.arena().live()
     }
 }
 

@@ -24,7 +24,8 @@ use noc_sim::routing::xy_route;
 use noc_sim::{
     ConfigArena, ConfigKind, Credit, Cycle, DeliveredPacket, Direction, EventKind, Flit, MsgClass,
     Nic, NodeId, NodeModel, NodeOutputs, NodeTable, Packet, PacketId, Port, PowerState, RingSink,
-    SetupInfo, Switching, TraceSink, VcGatingController,
+    RouteOverrides, SetupInfo, Snap, SnapshotError, SnapshotReader, SnapshotWriter, Switching,
+    TraceSink, VcGatingController,
 };
 
 use crate::config::TdmConfig;
@@ -73,6 +74,45 @@ enum StreamVia {
     Own,
     /// Hitchhiking on a circuit entering the router on this port.
     Hitchhike { in_port: Port, ride_dst: NodeId },
+}
+
+noc_sim::impl_snap!(QueuedCs { packet, true_dst });
+noc_sim::impl_snap!(ShareMsg {
+    packet,
+    ride_dst,
+    final_dst,
+    queued_at,
+});
+noc_sim::impl_snap!(CsStream {
+    flits,
+    next,
+    via,
+    origin,
+    final_dst,
+});
+
+impl Snap for StreamVia {
+    fn save(&self, w: &mut SnapshotWriter) {
+        match self {
+            StreamVia::Own => w.u8(0),
+            StreamVia::Hitchhike { in_port, ride_dst } => {
+                w.u8(1);
+                in_port.save(w);
+                ride_dst.save(w);
+            }
+        }
+    }
+
+    fn load(r: &mut SnapshotReader) -> Result<Self, SnapshotError> {
+        Ok(match r.u8()? {
+            0 => StreamVia::Own,
+            1 => StreamVia::Hitchhike {
+                in_port: Snap::load(r)?,
+                ride_dst: Snap::load(r)?,
+            },
+            _ => return Err(SnapshotError::Corrupt("stream-via tag")),
+        })
+    }
 }
 
 /// The hybrid tile model.
@@ -1021,6 +1061,106 @@ impl NodeModel for TdmNode {
                 .min(m.queued_at + 2 * period + 1);
         }
         Some(wake)
+    }
+
+    fn save_state(&self, w: &mut SnapshotWriter) -> Result<(), SnapshotError> {
+        self.nic.save_state(w);
+        self.router.save_state(w);
+        self.registry.save_state(w);
+        self.dlt.save_state(w);
+        self.freq.save_state(w);
+        if let Some(g) = &self.gating {
+            g.save_state(w);
+        }
+        self.cs_queues.save(w);
+        self.share_queue.save(w);
+        self.streaming.save(w);
+        self.share_fails.save(w);
+        w.u64(self.next_path_id);
+        w.bool(self.cs_frozen);
+        w.u16(self.slot_scan);
+        Ok(())
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader) -> Result<(), SnapshotError> {
+        self.nic.load_state(r)?;
+        self.router.load_state(r)?;
+        self.registry.load_state(r)?;
+        self.dlt.load_state(r)?;
+        self.freq.load_state(r)?;
+        if let Some(g) = &mut self.gating {
+            g.load_state(r)?;
+        }
+        self.cs_queues = Snap::load(r)?;
+        self.share_queue = Snap::load(r)?;
+        self.streaming = Snap::load(r)?;
+        self.share_fails = Snap::load(r)?;
+        self.next_path_id = r.u64()?;
+        self.cs_frozen = r.bool()?;
+        self.slot_scan = r.u16()?;
+        // The O(1) occupancy counters are derived state: recompute instead
+        // of trusting the snapshot (they can then never disagree with the
+        // queues they summarise).
+        self.queued_cs_flits = self
+            .cs_queues
+            .values()
+            .flat_map(|q| q.iter())
+            .map(|m| m.packet.len_flits as usize)
+            .sum();
+        self.share_flits = self
+            .share_queue
+            .iter()
+            .map(|m| m.packet.len_flits as usize)
+            .sum();
+        Ok(())
+    }
+
+    fn set_route_overrides(&mut self, overrides: Option<std::sync::Arc<RouteOverrides>>) {
+        self.router.pipeline.set_route_overrides(overrides);
+    }
+
+    fn abort_packet(
+        &mut self,
+        pid: PacketId,
+        arena: &ConfigArena,
+        credits: &mut Vec<(Direction, Credit)>,
+    ) -> usize {
+        let mut dropped =
+            self.nic.abort_packet(pid) + self.router.purge_packet(pid, arena, credits);
+        // A burst mid-stream for the lost packet: drop the unsent tail
+        // (already-sent flits were purged from wires by the harness).
+        if self.streaming.as_ref().is_some_and(|s| s.origin.id == pid) {
+            let s = self.streaming.take().expect("checked above");
+            dropped += s.flits.len() - s.next;
+        }
+        // Queued circuit work and share-queue entries never entered the
+        // network; their flits still count as dropped so the occupancy
+        // books balance.
+        let mut queued_dropped = 0usize;
+        self.cs_queues.retain(|_, q| {
+            q.retain(|m| {
+                if m.packet.id == pid {
+                    queued_dropped += m.packet.len_flits as usize;
+                    false
+                } else {
+                    true
+                }
+            });
+            true
+        });
+        self.queued_cs_flits -= queued_dropped;
+        dropped += queued_dropped;
+        let mut share_dropped = 0usize;
+        self.share_queue.retain(|m| {
+            if m.packet.id == pid {
+                share_dropped += m.packet.len_flits as usize;
+                false
+            } else {
+                true
+            }
+        });
+        self.share_flits -= share_dropped;
+        dropped + share_dropped
     }
 }
 

@@ -4,7 +4,9 @@
 //! pairs deserve a circuit (§II-A: "a circuit-switched path is only
 //! reserved for source-destination pairs that communicate frequently").
 
-use noc_sim::{Cycle, Mesh, NodeId, NodeTable};
+use noc_sim::{
+    Cycle, Mesh, NodeId, NodeTable, Snap, SnapshotError, SnapshotReader, SnapshotWriter,
+};
 use rustc_hash::FxHashMap;
 
 /// An established circuit-switched connection, registered at the source
@@ -183,7 +185,46 @@ impl ConnRegistry {
         self.pending.clear();
         self.cooldown.clear();
     }
+
+    /// Serialise the registry (snapshot seam, DESIGN.md §14). The pending
+    /// map is written sorted by path id: hash-map iteration order is not
+    /// deterministic and the snapshot encoding must be.
+    pub fn save_state(&self, w: &mut SnapshotWriter) {
+        self.conns.save(w);
+        let mut pending: Vec<(u64, PendingSetup)> =
+            self.pending.iter().map(|(k, v)| (*k, *v)).collect();
+        pending.sort_by_key(|(k, _)| *k);
+        pending.save(w);
+        self.cooldown.save(w);
+    }
+
+    /// Inverse of [`ConnRegistry::save_state`].
+    pub fn load_state(&mut self, r: &mut SnapshotReader) -> Result<(), SnapshotError> {
+        self.conns = Snap::load(r)?;
+        let pending: Vec<(u64, PendingSetup)> = Snap::load(r)?;
+        self.pending = pending.into_iter().collect();
+        self.cooldown = Snap::load(r)?;
+        Ok(())
+    }
 }
+
+noc_sim::impl_snap!(Connection {
+    dst,
+    slot,
+    duration,
+    path_id,
+    established,
+    last_used,
+    uses,
+});
+
+noc_sim::impl_snap!(PendingSetup {
+    dst,
+    slot,
+    duration,
+    attempts,
+    issued,
+});
 
 /// Sliding-window message-frequency tracker: counts messages per
 /// destination and halves all counts each window, so sustained traffic
@@ -225,6 +266,19 @@ impl FrequencyTracker {
 
     pub fn clear(&mut self) {
         self.counts.clear();
+    }
+
+    /// Serialise the tracker (`window` is construction-time).
+    pub fn save_state(&self, w: &mut SnapshotWriter) {
+        self.counts.save(w);
+        w.u64(self.next_decay);
+    }
+
+    /// Inverse of [`FrequencyTracker::save_state`].
+    pub fn load_state(&mut self, r: &mut SnapshotReader) -> Result<(), SnapshotError> {
+        self.counts = Snap::load(r)?;
+        self.next_decay = r.u64()?;
+        Ok(())
     }
 }
 

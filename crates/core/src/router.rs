@@ -22,8 +22,9 @@ use std::sync::Arc;
 use noc_sim::routing::{west_first_route, xy_route};
 use noc_sim::trace::{Trace, TraceEvent};
 use noc_sim::{
-    ConfigArena, ConfigKind, Cycle, EventKind, Flit, HybridCtrl, Mesh, MsgClass, NodeId,
-    NodeOutputs, Packet, PacketId, Port, PsOutput, PsPipeline, RouterConfig, Switching,
+    ConfigArena, ConfigKind, Credit, Cycle, Direction, EventKind, Flit, HybridCtrl, Mesh, MsgClass,
+    NodeId, NodeOutputs, Packet, PacketId, Port, PsOutput, PsPipeline, RouterConfig, Snap,
+    SnapshotError, SnapshotReader, SnapshotWriter, Switching,
 };
 
 use crate::slot_table::SlotTables;
@@ -51,6 +52,55 @@ pub enum DltObservation {
     },
     /// The circuit to `dst` was torn down.
     Remove { dst: NodeId },
+}
+
+impl Snap for DltObservation {
+    fn save(&self, w: &mut SnapshotWriter) {
+        match self {
+            DltObservation::Insert {
+                dst,
+                slot,
+                duration,
+                in_port,
+            } => {
+                w.u8(0);
+                dst.save(w);
+                w.u16(*slot);
+                w.u8(*duration);
+                in_port.save(w);
+            }
+            DltObservation::Confirm { dst, in_port, slot } => {
+                w.u8(1);
+                dst.save(w);
+                in_port.save(w);
+                w.u16(*slot);
+            }
+            DltObservation::Remove { dst } => {
+                w.u8(2);
+                dst.save(w);
+            }
+        }
+    }
+
+    fn load(r: &mut SnapshotReader) -> Result<Self, SnapshotError> {
+        Ok(match r.u8()? {
+            0 => DltObservation::Insert {
+                dst: Snap::load(r)?,
+                slot: r.u16()?,
+                duration: r.u8()?,
+                in_port: Snap::load(r)?,
+            },
+            1 => DltObservation::Confirm {
+                dst: Snap::load(r)?,
+                in_port: Snap::load(r)?,
+                slot: r.u16()?,
+            },
+            2 => DltObservation::Remove {
+                dst: Snap::load(r)?,
+            },
+            _ => return Err(SnapshotError::Corrupt("DLT observation tag")),
+        })
+    }
 }
 
 /// Per-cycle switching constraints handed to the PS pipeline.
@@ -521,6 +571,58 @@ impl TdmRouter {
                 .iter()
                 .map(|p| p.len_flits as usize)
                 .sum::<usize>()
+    }
+
+    /// Purge everything belonging to `pid` after the network dropped one
+    /// of its flits on a dead link: the packet-switched pipeline (buffer
+    /// credits refunded via `credits`), the circuit latches, and ejected
+    /// circuit flits not yet consumed by the node. CS flits are never
+    /// buffered, so they carry no credit to refund. Returns the flits
+    /// discarded.
+    pub fn purge_packet(
+        &mut self,
+        pid: PacketId,
+        arena: &ConfigArena,
+        credits: &mut Vec<(Direction, Credit)>,
+    ) -> usize {
+        let mut dropped = self.pipeline.purge_packet(pid, arena, credits);
+        for l in &mut self.cs_latch {
+            if l.as_ref().is_some_and(|(f, _)| f.packet == pid) {
+                *l = None;
+                dropped += 1;
+            }
+        }
+        let before = self.cs_ejected.len();
+        self.cs_ejected.retain(|f| f.packet != pid);
+        dropped + before - self.cs_ejected.len()
+    }
+
+    /// Serialise the router's mutable state (snapshot seam, DESIGN.md §14).
+    /// `time_slot_stealing` is configuration and the trace sink is
+    /// telemetry (checkpoints are refused while telemetry is armed); the
+    /// arena is serialised once at network level.
+    pub fn save_state(&self, w: &mut SnapshotWriter) {
+        self.pipeline.save_state(w);
+        self.slots.save_state(w);
+        self.cs_latch.save(w);
+        self.protocol_out.save(w);
+        self.dlt_observations.save(w);
+        self.cs_ejected.save(w);
+        self.pending_credits.save(w);
+        w.u64(self.next_protocol_id);
+    }
+
+    /// Inverse of [`TdmRouter::save_state`].
+    pub fn load_state(&mut self, r: &mut SnapshotReader) -> Result<(), SnapshotError> {
+        self.pipeline.load_state(r)?;
+        self.slots.load_state(r)?;
+        self.cs_latch = Snap::load(r)?;
+        self.protocol_out = Snap::load(r)?;
+        self.dlt_observations = Snap::load(r)?;
+        self.cs_ejected = Snap::load(r)?;
+        self.pending_credits = Snap::load(r)?;
+        self.next_protocol_id = r.u64()?;
+        Ok(())
     }
 }
 

@@ -14,7 +14,7 @@
 //! keeps implicitly (teardowns walk the same path as their setup, and the
 //! DLT snoops setup messages) — they are not consulted by the data path.
 
-use noc_sim::{NodeId, Port};
+use noc_sim::{NodeId, Port, Snap, SnapshotError, SnapshotReader, SnapshotWriter};
 
 /// A valid slot-table entry.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -250,7 +250,45 @@ impl SlotTables {
         self.active = new_active;
         cleared
     }
+
+    /// Serialise the mutable table state (snapshot seam, DESIGN.md §14).
+    /// `capacity` and the reservation cap are construction-time; `capacity`
+    /// is written anyway so a restore into a differently-sized router is a
+    /// detectable mismatch instead of silent corruption.
+    pub fn save_state(&self, w: &mut SnapshotWriter) {
+        w.u16(self.capacity);
+        w.u16(self.active);
+        self.tables.save(w);
+        self.out_masks.save(w);
+        self.valid_counts.save(w);
+    }
+
+    /// Inverse of [`SlotTables::save_state`].
+    pub fn load_state(&mut self, r: &mut SnapshotReader) -> Result<(), SnapshotError> {
+        if r.u16()? != self.capacity {
+            return Err(SnapshotError::Mismatch("slot-table capacity"));
+        }
+        let active = r.u16()?;
+        if active == 0 || active > self.capacity {
+            return Err(SnapshotError::Corrupt("slot-table active count"));
+        }
+        let tables: Box<[Option<SlotEntry>]> = Snap::load(r)?;
+        if tables.len() != self.tables.len() {
+            return Err(SnapshotError::Corrupt("slot-table entry count"));
+        }
+        let out_masks: Vec<u8> = Snap::load(r)?;
+        if out_masks.len() != self.out_masks.len() {
+            return Err(SnapshotError::Corrupt("slot-table mask count"));
+        }
+        self.active = active;
+        self.tables = tables;
+        self.out_masks = out_masks;
+        self.valid_counts = Snap::load(r)?;
+        Ok(())
+    }
 }
+
+noc_sim::impl_snap!(SlotEntry { out, path_id, dst });
 
 #[cfg(test)]
 mod tests {

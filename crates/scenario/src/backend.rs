@@ -130,6 +130,13 @@ pub enum ScenarioError {
     MissingField(&'static str),
     /// Malformed spec file (JSON syntax or field type).
     Parse(String),
+    /// Invalid fault schedule: bad direction, a non-existent link, or a
+    /// backend without the packet rerouting / abort machinery (the VC
+    /// power-gating and SDM configurations).
+    Fault(String),
+    /// Checkpoint blob problems: bad magic/version, truncation, or a
+    /// restore against an incompatible scenario.
+    Checkpoint(String),
     /// Spec file could not be read.
     Io(std::io::Error),
 }
@@ -149,6 +156,8 @@ impl std::fmt::Display for ScenarioError {
             ScenarioError::UnknownBench(s) => write!(f, "unknown benchmark {s:?}"),
             ScenarioError::MissingField(name) => write!(f, "scenario is missing field {name:?}"),
             ScenarioError::Parse(msg) => write!(f, "malformed scenario: {msg}"),
+            ScenarioError::Fault(msg) => write!(f, "invalid fault schedule: {msg}"),
+            ScenarioError::Checkpoint(msg) => write!(f, "checkpoint: {msg}"),
             ScenarioError::Io(e) => write!(f, "cannot read scenario: {e}"),
         }
     }

@@ -34,6 +34,22 @@ pub fn sweep_threads_flag() -> usize {
         .unwrap_or(1)
 }
 
+/// Optional `--checkpoint-out <path>` flag: after the scenario's warm-up
+/// phase, write a checkpoint blob to `path` and continue measuring as
+/// usual. Needs a single-spec `--scenario`; incompatible with
+/// `--trace-out` (telemetry ring state sits outside the snapshot seam).
+pub fn checkpoint_out_flag() -> Option<String> {
+    arg_value("--checkpoint-out")
+}
+
+/// Optional `--checkpoint-from <path>` flag: skip every spec's warm-up by
+/// restoring fabric + source state from the blob at `path` — the warm-up
+/// fork. Applied to all specs of a sweep, so one warm-up (paid once with
+/// `--checkpoint-out`) fans out into many measurement points.
+pub fn checkpoint_from_flag() -> Option<String> {
+    arg_value("--checkpoint-from")
+}
+
 /// Optional `--trace-out <path>` flag: arm flit-lifecycle tracing and
 /// write a Chrome trace-event (Perfetto-loadable) JSON to `path`. The
 /// companion link-utilization heatmap CSV lands next to it.
@@ -93,12 +109,35 @@ fn arg_value(flag: &str) -> Option<String> {
 }
 
 /// Load the `--scenario` file when given: `Ok(None)` means the flag is
-/// absent and the binary should run its built-in configuration.
+/// absent and the binary should run its built-in configuration. The
+/// `--checkpoint-out` / `--checkpoint-from` flags are folded into the
+/// loaded specs here, so every binary that runs scenarios gets them.
 pub fn scenario_specs_from_cli() -> Result<Option<Vec<ScenarioSpec>>, ScenarioError> {
-    match scenario_flag() {
-        Some(path) => ScenarioSpec::load(&path).map(Some),
-        None => Ok(None),
+    let Some(path) = scenario_flag() else {
+        return Ok(None);
+    };
+    let mut specs = ScenarioSpec::load(&path)?;
+    if let Some(out) = checkpoint_out_flag() {
+        if specs.len() != 1 {
+            return Err(ScenarioError::Checkpoint(
+                "--checkpoint-out needs a single-spec scenario (one warm-up, \
+                 one blob)"
+                    .into(),
+            ));
+        }
+        if checkpoint_from_flag().is_some() {
+            return Err(ScenarioError::Checkpoint(
+                "give --checkpoint-out or --checkpoint-from, not both".into(),
+            ));
+        }
+        specs[0].checkpoint_out = Some(out);
     }
+    if let Some(from) = checkpoint_from_flag() {
+        for s in &mut specs {
+            s.checkpoint_from = Some(from.clone());
+        }
+    }
+    Ok(Some(specs))
 }
 
 /// Host-side override for `NetworkConfig::step_threads`: the

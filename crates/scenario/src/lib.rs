@@ -11,12 +11,16 @@
 //!   serialisable back into result files;
 //! * [`envelope`] — the shared `--json` result envelope
 //!   ([`SCHEMA_VERSION`] + scenario echo);
+//! * [`checkpoint`] — warm-up checkpoint blobs ([`Checkpoint`]): a spec
+//!   echo + source replay counters + framed [`noc_sim::FabricSnapshot`],
+//!   behind the `--checkpoint-out`/`--checkpoint-from` flags;
 //! * [`json`] — the in-tree JSON reader (the vendored `serde` is
 //!   serialise-only);
 //! * [`cli`] — the `--quick`/`--json`/`--scenario` conventions shared by
 //!   the experiment binaries.
 
 pub mod backend;
+pub mod checkpoint;
 pub mod cli;
 pub mod envelope;
 pub mod json;
@@ -26,11 +30,12 @@ pub use backend::{
     build_fabric, hetero_tdm_config, slot_capacity_for, synthetic_sdm_config, synthetic_tdm_config,
     BackendKind, ScenarioError, Tuning,
 };
+pub use checkpoint::{Checkpoint, CHECKPOINT_MAGIC, CHECKPOINT_VERSION};
 pub use cli::{
-    json_flag, metrics_window_flag, quick_flag, scenario_flag, scenario_specs_from_cli,
-    step_threads_from_env, sweep_threads_flag, telemetry_from_cli, trace_events_flag,
-    trace_out_flag, trace_sample_flag,
+    checkpoint_from_flag, checkpoint_out_flag, json_flag, metrics_window_flag, quick_flag,
+    scenario_flag, scenario_specs_from_cli, step_threads_from_env, sweep_threads_flag,
+    telemetry_from_cli, trace_events_flag, trace_out_flag, trace_sample_flag,
 };
 pub use envelope::{result_envelope, result_envelope_with_telemetry, write_json, SCHEMA_VERSION};
 pub use json::Json;
-pub use spec::{parse_pattern, ScenarioSpec, TrafficSpec};
+pub use spec::{dir_name, parse_pattern, ScenarioSpec, TrafficSpec};

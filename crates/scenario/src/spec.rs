@@ -2,7 +2,7 @@
 //! experiment run — backend, mesh, traffic, phase lengths, seed and host
 //! threading — mappable to a boxed [`Fabric`] plus a workload.
 
-use noc_sim::{Fabric, Mesh, NetworkConfig, NodeId, TopologyKind};
+use noc_sim::{Direction, Fabric, FaultEvent, Mesh, NetworkConfig, NodeId, TopologyKind};
 use noc_traffic::{PhaseConfig, SyntheticSource, TrafficPattern};
 use serde::{Serialize, Value};
 
@@ -37,6 +37,18 @@ pub struct ScenarioSpec {
     /// TDM slot-table size override (default: sized from the mesh,
     /// §IV-D).
     pub slot_capacity: Option<u16>,
+    /// Scheduled link-fault timeline (empty = fault-free run). Only
+    /// backends with the packet rerouting and abort machinery accept
+    /// faults: `PacketVc4`, `HybridTdmVc4` and `HybridTdmHopVc4`.
+    pub faults: Vec<FaultEvent>,
+    /// Write a warm-up checkpoint blob to this path, then measure as
+    /// usual (the checkpoint only observes). Runtime plumbing: accepted
+    /// from scenario files and `--checkpoint-out`, never echoed back
+    /// into envelopes or blobs.
+    pub checkpoint_out: Option<String>,
+    /// Skip warm-up: restore the fabric and fast-forward the source from
+    /// this blob instead, then run measurement + drain.
+    pub checkpoint_from: Option<String>,
 }
 
 impl ScenarioSpec {
@@ -59,6 +71,9 @@ impl ScenarioSpec {
             seed,
             step_threads: 0,
             slot_capacity: None,
+            faults: Vec::new(),
+            checkpoint_out: None,
+            checkpoint_from: None,
         }
     }
 
@@ -68,6 +83,50 @@ impl ScenarioSpec {
         self.topology = topology;
         self.concentration = concentration;
         self
+    }
+
+    /// The same scenario with a scheduled link-fault timeline. Callers
+    /// constructing specs programmatically get the same backend/link
+    /// validation as JSON specs via [`ScenarioSpec::validate_faults`].
+    pub fn with_faults(mut self, faults: Vec<FaultEvent>) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Check the fault schedule against the backend and topology: faults
+    /// need the packet rerouting + abort machinery (absent from the VC
+    /// power-gating and SDM configurations, and from hetero runs, whose
+    /// runner owns its own fabric), and every event must name a link that
+    /// exists on this grid.
+    pub fn validate_faults(&self) -> Result<(), ScenarioError> {
+        if self.faults.is_empty() {
+            return Ok(());
+        }
+        if matches!(self.traffic, TrafficSpec::Hetero { .. }) {
+            return Err(ScenarioError::Fault(
+                "fault schedules apply to synthetic scenarios only".into(),
+            ));
+        }
+        if !matches!(
+            self.backend,
+            BackendKind::PacketVc4 | BackendKind::HybridTdmVc4 | BackendKind::HybridTdmHopVc4
+        ) {
+            return Err(ScenarioError::Fault(format!(
+                "backend {} cannot reroute around faults (VC power-gating \
+                 and SDM configurations reject fault schedules)",
+                self.backend.name()
+            )));
+        }
+        let topo = self.topo();
+        for f in &self.faults {
+            if (f.node as usize) >= topo.len() || topo.neighbor(NodeId(f.node), f.dir).is_none() {
+                return Err(ScenarioError::Fault(format!(
+                    "fault at cycle {} names a non-existent link: node {} {:?}",
+                    f.at, f.node, f.dir
+                )));
+            }
+        }
+        Ok(())
     }
 
     /// A heterogeneous-workload scenario (fixed §V system: 6×6 mesh,
@@ -92,6 +151,9 @@ impl ScenarioSpec {
             seed,
             step_threads: 0,
             slot_capacity: None,
+            faults: Vec::new(),
+            checkpoint_out: None,
+            checkpoint_from: None,
         }
     }
 
@@ -161,7 +223,7 @@ impl ScenarioSpec {
                 "scenario must be a JSON object".into(),
             ));
         };
-        const KNOWN: [&str; 15] = [
+        const KNOWN: [&str; 18] = [
             "backend",
             "mesh",
             "topology",
@@ -177,6 +239,9 @@ impl ScenarioSpec {
             "step_threads",
             "slot_capacity",
             "quick",
+            "faults",
+            "checkpoint_out",
+            "checkpoint_from",
         ];
         for (k, _) in fields {
             if !KNOWN.contains(&k.as_str()) {
@@ -338,7 +403,32 @@ impl ScenarioSpec {
             Some(p) => parse_phases(p, base_phases)?,
         };
 
-        Ok(ScenarioSpec {
+        let faults = match v.get("faults") {
+            None => Vec::new(),
+            Some(Json::Arr(items)) => items
+                .iter()
+                .map(parse_fault)
+                .collect::<Result<Vec<_>, _>>()?,
+            Some(_) => {
+                return Err(ScenarioError::Fault(
+                    "\"faults\" must be an array of fault objects".into(),
+                ))
+            }
+        };
+        let checkpoint_out = opt_str(v, "checkpoint_out")?;
+        let checkpoint_from = opt_str(v, "checkpoint_from")?;
+        if checkpoint_out.is_some() && checkpoint_from.is_some() {
+            return Err(ScenarioError::Checkpoint(
+                "give \"checkpoint_out\" or \"checkpoint_from\", not both".into(),
+            ));
+        }
+        if hetero && (checkpoint_out.is_some() || checkpoint_from.is_some()) {
+            return Err(ScenarioError::Checkpoint(
+                "checkpoints apply to synthetic scenarios only".into(),
+            ));
+        }
+
+        let spec = ScenarioSpec {
             backend,
             mesh,
             topology,
@@ -348,7 +438,76 @@ impl ScenarioSpec {
             seed: opt_u64(v, "seed")?.unwrap_or(1),
             step_threads: opt_u64(v, "step_threads")?.unwrap_or(0) as usize,
             slot_capacity: opt_u64(v, "slot_capacity")?.map(|c| c as u16),
-        })
+            faults,
+            checkpoint_out,
+            checkpoint_from,
+        };
+        spec.validate_faults()?;
+        Ok(spec)
+    }
+}
+
+/// Spec-file spelling of a link direction.
+pub fn dir_name(dir: Direction) -> &'static str {
+    match dir {
+        Direction::North => "north",
+        Direction::East => "east",
+        Direction::South => "south",
+        Direction::West => "west",
+    }
+}
+
+fn parse_fault(v: &Json) -> Result<FaultEvent, ScenarioError> {
+    let Json::Obj(fields) = v else {
+        return Err(ScenarioError::Fault(
+            "each fault must be an object with \"at\", \"node\", \"dir\" \
+             and optional \"up\""
+                .into(),
+        ));
+    };
+    for (k, _) in fields {
+        if !["at", "node", "dir", "up"].contains(&k.as_str()) {
+            return Err(ScenarioError::Fault(format!("unknown fault field {k:?}")));
+        }
+    }
+    let at = v
+        .get("at")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| ScenarioError::Fault("\"at\" must be a cycle number".into()))?;
+    let node = v
+        .get("node")
+        .and_then(Json::as_u64)
+        .filter(|&n| n <= u32::MAX as u64)
+        .ok_or_else(|| ScenarioError::Fault("\"node\" must be a router index".into()))?
+        as u32;
+    let dir = match v.get("dir").and_then(Json::as_str) {
+        Some("north") => Direction::North,
+        Some("east") => Direction::East,
+        Some("south") => Direction::South,
+        Some("west") => Direction::West,
+        _ => {
+            return Err(ScenarioError::Fault(
+                "\"dir\" must be \"north\", \"east\", \"south\" or \"west\"".into(),
+            ))
+        }
+    };
+    let up = match v.get("up") {
+        None => false,
+        Some(Json::Bool(b)) => *b,
+        Some(_) => {
+            return Err(ScenarioError::Fault(
+                "\"up\" must be a boolean (false = kill, true = revive)".into(),
+            ))
+        }
+    };
+    Ok(FaultEvent { at, node, dir, up })
+}
+
+fn opt_str(v: &Json, key: &'static str) -> Result<Option<String>, ScenarioError> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Str(s)) => Ok(Some(s.clone())),
+        Some(_) => Err(ScenarioError::Parse(format!("{key:?} must be a string"))),
     }
 }
 
@@ -479,6 +638,31 @@ impl Serialize for ScenarioSpec {
                 },
             ),
         ]);
+        // The fault schedule is emitted only when non-empty, keeping
+        // fault-free envelopes byte-identical to the historic format
+        // (the topology-field precedent above).
+        if !self.faults.is_empty() {
+            fields.push((
+                "faults".to_string(),
+                Value::Array(
+                    self.faults
+                        .iter()
+                        .map(|f| {
+                            Value::Object(vec![
+                                ("at".to_string(), Value::UInt(f.at)),
+                                ("node".to_string(), Value::UInt(f.node as u64)),
+                                ("dir".to_string(), Value::Str(dir_name(f.dir).into())),
+                                ("up".to_string(), Value::Bool(f.up)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        // The checkpoint paths are deliberately NOT echoed: they are
+        // host-local runtime plumbing, and a checkpointed run's result
+        // envelope must stay byte-identical to the continuous run it
+        // reproduces.
         Value::Object(fields)
     }
 }
@@ -656,6 +840,168 @@ mod tests {
         )
         .unwrap_err();
         assert!(e.to_string().contains("6x6"), "{e}");
+    }
+
+    #[test]
+    fn fault_schedule_parses_validates_and_round_trips() {
+        let specs = ScenarioSpec::parse(
+            r#"{"backend": "HybridTdmVc4", "mesh": 4, "pattern": "TR",
+                "rate": 0.15, "quick": true,
+                "faults": [
+                    {"at": 500, "node": 5, "dir": "east"},
+                    {"at": 900, "node": 5, "dir": "east", "up": true}
+                ]}"#,
+        )
+        .unwrap();
+        let s = &specs[0];
+        assert_eq!(
+            s.faults,
+            vec![
+                FaultEvent {
+                    at: 500,
+                    node: 5,
+                    dir: Direction::East,
+                    up: false
+                },
+                FaultEvent {
+                    at: 900,
+                    node: 5,
+                    dir: Direction::East,
+                    up: true
+                },
+            ]
+        );
+        // Echoes parse back to the identical spec.
+        let text = serde_json::to_string_pretty(&specs).expect("serializable");
+        assert_eq!(ScenarioSpec::parse(&text).unwrap(), specs);
+        // The torus wrap link off the open-mesh edge is valid on a torus.
+        ScenarioSpec::parse(
+            r#"{"backend": "PacketVc4", "mesh": 4, "topology": "torus",
+                "pattern": "UR", "rate": 0.1,
+                "faults": [{"at": 10, "node": 0, "dir": "west"}]}"#,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn invalid_fault_schedules_are_rejected_with_context() {
+        for (text, needle) in [
+            // Off the edge of an open mesh.
+            (
+                r#"{"backend": "PacketVc4", "mesh": 4, "pattern": "UR", "rate": 0.1,
+                    "faults": [{"at": 10, "node": 0, "dir": "west"}]}"#,
+                "non-existent link",
+            ),
+            // Router index out of range.
+            (
+                r#"{"backend": "PacketVc4", "mesh": 4, "pattern": "UR", "rate": 0.1,
+                    "faults": [{"at": 10, "node": 99, "dir": "east"}]}"#,
+                "non-existent link",
+            ),
+            // VC power gating cannot reroute.
+            (
+                r#"{"backend": "HybridTdmVct", "mesh": 4, "pattern": "UR", "rate": 0.1,
+                    "faults": [{"at": 10, "node": 5, "dir": "east"}]}"#,
+                "power-gating",
+            ),
+            // Neither can the SDM hybrid.
+            (
+                r#"{"backend": "HybridSdmVc4", "mesh": 4, "pattern": "UR", "rate": 0.1,
+                    "faults": [{"at": 10, "node": 5, "dir": "east"}]}"#,
+                "reroute",
+            ),
+            // Hetero runs own their fabric elsewhere.
+            (
+                r#"{"backend": "HybridTdmVc4", "cpu": "CANNEAL", "gpu": "STO",
+                    "faults": [{"at": 10, "node": 5, "dir": "east"}]}"#,
+                "synthetic",
+            ),
+            (
+                r#"{"backend": "PacketVc4", "mesh": 4, "pattern": "UR", "rate": 0.1,
+                    "faults": [{"at": 10, "node": 5, "dir": "up"}]}"#,
+                "north",
+            ),
+            (
+                r#"{"backend": "PacketVc4", "mesh": 4, "pattern": "UR", "rate": 0.1,
+                    "faults": [{"at": 10, "node": 5, "dir": "east", "boom": 1}]}"#,
+                "boom",
+            ),
+            (
+                r#"{"backend": "PacketVc4", "mesh": 4, "pattern": "UR", "rate": 0.1,
+                    "faults": {"at": 10}}"#,
+                "array",
+            ),
+        ] {
+            let e = ScenarioSpec::parse(text).unwrap_err();
+            assert!(
+                matches!(e, ScenarioError::Fault(_)),
+                "expected a Fault error, got {e}"
+            );
+            assert!(
+                e.to_string().contains(needle),
+                "error {e} should mention {needle}"
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoint_fields_parse_and_round_trip() {
+        let specs = ScenarioSpec::parse(
+            r#"{"backend": "HybridTdmVc4", "mesh": 4, "pattern": "UR",
+                "rate": 0.1, "checkpoint_from": "warm.ckpt"}"#,
+        )
+        .unwrap();
+        assert_eq!(specs[0].checkpoint_from.as_deref(), Some("warm.ckpt"));
+        assert_eq!(specs[0].checkpoint_out, None);
+        // Checkpoint paths are runtime plumbing: the echo drops them, so
+        // a checkpointed run's envelope matches the continuous run's.
+        let text = serde_json::to_string_pretty(&specs).expect("serializable");
+        assert!(!text.contains("checkpoint_from"), "path leaked: {text}");
+        let back = ScenarioSpec::parse(&text).unwrap();
+        let mut scrubbed = specs.clone();
+        scrubbed[0].checkpoint_from = None;
+        assert_eq!(back, scrubbed);
+
+        for (text, needle) in [
+            (
+                r#"{"backend": "PacketVc4", "mesh": 4, "pattern": "UR", "rate": 0.1,
+                    "checkpoint_out": "a", "checkpoint_from": "b"}"#,
+                "not both",
+            ),
+            (
+                r#"{"backend": "PacketVc4", "cpu": "CANNEAL", "gpu": "STO",
+                    "checkpoint_out": "a"}"#,
+                "synthetic",
+            ),
+        ] {
+            let e = ScenarioSpec::parse(text).unwrap_err();
+            assert!(
+                matches!(e, ScenarioError::Checkpoint(_)),
+                "expected a Checkpoint error, got {e}"
+            );
+            assert!(
+                e.to_string().contains(needle),
+                "error {e} should mention {needle}"
+            );
+        }
+    }
+
+    #[test]
+    fn fault_free_specs_keep_the_legacy_echo_format() {
+        let spec = ScenarioSpec::synthetic(
+            BackendKind::PacketVc4,
+            6,
+            TrafficPattern::UniformRandom,
+            0.2,
+            PhaseConfig::quick(),
+            17,
+        );
+        let Value::Object(fields) = spec.to_value() else {
+            panic!("not an object")
+        };
+        for absent in ["faults", "checkpoint_out", "checkpoint_from"] {
+            assert!(fields.iter().all(|(n, _)| n != absent), "{absent} leaked");
+        }
     }
 
     #[test]

@@ -14,7 +14,8 @@ use std::sync::Arc;
 use noc_sim::{
     ConfigArena, ConfigKind, Credit, Cycle, DeliveredKind, DeliveredPacket, Direction, Flit,
     MsgClass, NodeId, NodeModel, NodeOutputs, NodeTable, Packet, PacketId, Port, PowerState,
-    RingSink, RxTable, SetupInfo, Switching, TraceSink,
+    RingSink, RxTable, SetupInfo, Snap, SnapshotError, SnapshotReader, SnapshotWriter, Switching,
+    TraceSink,
 };
 use tdm_noc::registry::{ConnRegistry, FrequencyTracker, PendingSetup};
 
@@ -36,6 +37,17 @@ struct CsStream {
     next: usize,
     next_allowed: Cycle,
 }
+
+noc_sim::impl_snap!(PsStream {
+    packet,
+    next,
+    next_allowed,
+});
+noc_sim::impl_snap!(CsStream {
+    flits,
+    next,
+    next_allowed,
+});
 
 /// The SDM hybrid tile.
 pub struct SdmNode {
@@ -450,6 +462,46 @@ impl NodeModel for SdmNode {
             return None;
         }
         Some(Cycle::MAX)
+    }
+
+    fn save_state(&self, w: &mut SnapshotWriter) -> Result<(), SnapshotError> {
+        self.router.save_state(w);
+        self.inject_queue.save(w);
+        self.streams.save(w);
+        self.credits.save(w);
+        self.registry.save_state(w);
+        self.freq.save_state(w);
+        self.cs_queues.save(w);
+        self.cs_streams.save(w);
+        self.rx.save(w);
+        self.delivered.save(w);
+        w.u64(self.next_path_id);
+        w.u8(self.plane_scan);
+        Ok(())
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader) -> Result<(), SnapshotError> {
+        self.router.load_state(r)?;
+        self.inject_queue = Snap::load(r)?;
+        let streams: Vec<Option<PsStream>> = Snap::load(r)?;
+        if streams.len() != self.streams.len() {
+            return Err(SnapshotError::Corrupt("SDM stream count"));
+        }
+        self.streams = streams;
+        let credits: Vec<u8> = Snap::load(r)?;
+        if credits.len() != self.credits.len() {
+            return Err(SnapshotError::Corrupt("SDM credit count"));
+        }
+        self.credits = credits;
+        self.registry.load_state(r)?;
+        self.freq.load_state(r)?;
+        self.cs_queues = Snap::load(r)?;
+        self.cs_streams = Snap::load(r)?;
+        self.rx = Snap::load(r)?;
+        self.delivered = Snap::load(r)?;
+        self.next_path_id = r.u64()?;
+        self.plane_scan = r.u8()?;
+        Ok(())
     }
 }
 

@@ -16,7 +16,8 @@ use noc_sim::routing::xy_route;
 use noc_sim::stats::EnergyEvents;
 use noc_sim::{
     ConfigArena, ConfigKind, Credit, Cycle, EventKind, Flit, Mesh, MsgClass, NodeId, NodeOutputs,
-    Packet, PacketId, Port, RouterConfig, Switching, TraceSink, VcBuf, VcState,
+    Packet, PacketId, Port, RouterConfig, Snap, SnapshotError, SnapshotReader, SnapshotWriter,
+    Switching, TraceSink, VcBuf, VcState,
 };
 
 /// A circuit reservation at one router.
@@ -44,6 +45,13 @@ struct SdmOutPort {
     planes: Vec<Plane>,
     exists: bool,
 }
+
+noc_sim::impl_snap!(CircuitEntry { path_id, out, dst });
+noc_sim::impl_snap!(Plane {
+    busy_until,
+    bound,
+    circuit,
+});
 
 /// Which dimension a port's link runs in (0 = X, 1 = Y, 2 = none/local);
 /// used by the torus dateline class rule. Mirrors the PS pipeline.
@@ -687,6 +695,83 @@ impl SdmRouter {
     /// Powered buffer flit slots (no VC gating in the SDM baseline).
     pub fn powered_buffer_slots(&self) -> u32 {
         Port::COUNT as u32 * self.cfg.vcs_per_port as u32 * self.cfg.buf_depth as u32
+    }
+
+    /// Serialise all mutable router state. Construction-derived fields
+    /// (geometry, `exists` flags, the arena, the trace sink) are skipped —
+    /// restore targets a freshly built router of the same configuration.
+    pub fn save_state(&self, w: &mut SnapshotWriter) {
+        self.inputs.save(w);
+        for out in &self.outputs {
+            out.alloc.save(w);
+            out.credits.save(w);
+            out.planes.save(w);
+        }
+        self.circuits.save(w);
+        self.va_arb.save(w);
+        self.sa_arb_out.save(w);
+        self.cs_incoming.save(w);
+        self.events.save(w);
+        self.ejected.save(w);
+        self.cs_ejected.save(w);
+        self.local_credits.save(w);
+        self.protocol_out.save(w);
+        self.pending_credits.save(w);
+        w.u64(self.next_protocol_id);
+    }
+
+    /// Inverse of [`SdmRouter::save_state`].
+    pub fn load_state(&mut self, r: &mut SnapshotReader) -> Result<(), SnapshotError> {
+        let inputs: Vec<Vec<VcBuf>> = Snap::load(r)?;
+        if inputs.len() != self.inputs.len()
+            || inputs
+                .iter()
+                .zip(&self.inputs)
+                .any(|(a, b)| a.len() != b.len())
+        {
+            return Err(SnapshotError::Corrupt("SDM input geometry"));
+        }
+        self.inputs = inputs;
+        for out in &mut self.outputs {
+            let alloc: Vec<Option<(u8, u8)>> = Snap::load(r)?;
+            let credits: Vec<u8> = Snap::load(r)?;
+            let planes: Vec<Plane> = Snap::load(r)?;
+            if alloc.len() != out.alloc.len()
+                || credits.len() != out.credits.len()
+                || planes.len() != out.planes.len()
+            {
+                return Err(SnapshotError::Corrupt("SDM output geometry"));
+            }
+            out.alloc = alloc;
+            out.credits = credits;
+            out.planes = planes;
+        }
+        let circuits: Vec<Vec<Option<CircuitEntry>>> = Snap::load(r)?;
+        if circuits.len() != self.circuits.len()
+            || circuits
+                .iter()
+                .zip(&self.circuits)
+                .any(|(a, b)| a.len() != b.len())
+        {
+            return Err(SnapshotError::Corrupt("SDM circuit-table geometry"));
+        }
+        self.circuits = circuits;
+        let va_arb: Vec<RoundRobin> = Snap::load(r)?;
+        let sa_arb_out: Vec<RoundRobin> = Snap::load(r)?;
+        if va_arb.len() != self.va_arb.len() || sa_arb_out.len() != self.sa_arb_out.len() {
+            return Err(SnapshotError::Corrupt("SDM arbiter count"));
+        }
+        self.va_arb = va_arb;
+        self.sa_arb_out = sa_arb_out;
+        self.cs_incoming = Snap::load(r)?;
+        self.events = Snap::load(r)?;
+        self.ejected = Snap::load(r)?;
+        self.cs_ejected = Snap::load(r)?;
+        self.local_credits = Snap::load(r)?;
+        self.protocol_out = Snap::load(r)?;
+        self.pending_credits = Snap::load(r)?;
+        self.next_protocol_id = r.u64()?;
+        Ok(())
     }
 }
 

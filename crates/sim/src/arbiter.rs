@@ -104,6 +104,10 @@ impl RoundRobin {
     }
 }
 
+// Arbiter pointers are simulation state: a restored allocator must grant
+// in exactly the order the continuous run would have.
+crate::impl_snap!(RoundRobin { n, last });
+
 #[cfg(test)]
 mod tests {
     use super::*;

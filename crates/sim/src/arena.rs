@@ -125,6 +125,40 @@ impl ConfigArena {
         let inner = self.inner.lock().expect("config arena poisoned");
         inner.slots.len() - inner.free.len()
     }
+
+    /// Snapshot the slab verbatim (slots *and* free list), so every
+    /// in-flight [`ConfigRef`] handle stays valid across a restore.
+    pub fn save_state(&self, w: &mut SnapshotWriter) {
+        let inner = self.inner.lock().expect("config arena poisoned");
+        inner.slots.save(w);
+        inner.free.save(w);
+    }
+
+    /// Replace this arena's contents with a snapshot's.
+    pub fn load_state(&self, r: &mut SnapshotReader) -> Result<(), SnapshotError> {
+        let slots = Vec::<Option<ConfigKind>>::load(r)?;
+        let free = Vec::<u32>::load(r)?;
+        for &f in &free {
+            if slots.get(f as usize).is_none_or(|s| s.is_some()) {
+                return Err(SnapshotError::Corrupt("arena free list"));
+            }
+        }
+        let mut inner = self.inner.lock().expect("config arena poisoned");
+        inner.slots = slots;
+        inner.free = free;
+        Ok(())
+    }
+}
+
+use crate::snapshot::{Snap, SnapshotError, SnapshotReader, SnapshotWriter};
+
+impl Snap for ConfigRef {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.u32(self.0);
+    }
+    fn load(r: &mut SnapshotReader) -> Result<Self, SnapshotError> {
+        Ok(ConfigRef(r.u32()?))
+    }
 }
 
 #[cfg(test)]

@@ -459,6 +459,83 @@ impl RxTable {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Snapshot encodings. `BitSet` and `RxTable` are written verbatim (their
+// layouts are deterministic functions of history); `NodeTable` writes its
+// dense entry vector in insertion order and rebuilds the index arrays,
+// which reproduces the exact iteration order.
+
+use crate::snapshot::{Snap, SnapshotError, SnapshotReader, SnapshotWriter};
+
+impl Snap for BitSet {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.usize(self.len);
+        self.words.save(w);
+    }
+    fn load(r: &mut SnapshotReader) -> Result<Self, SnapshotError> {
+        let len = r.usize()?;
+        let words = Box::<[u64]>::load(r)?;
+        if words.len() != len.div_ceil(64) {
+            return Err(SnapshotError::Corrupt("BitSet word count"));
+        }
+        Ok(BitSet { words, len })
+    }
+}
+
+impl<T: Snap> Snap for NodeTable<T> {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.usize(self.idx.len());
+        self.entries.save(w);
+    }
+    fn load(r: &mut SnapshotReader) -> Result<Self, SnapshotError> {
+        let nodes = r.usize()?;
+        if nodes >= IDX_NONE as usize {
+            return Err(SnapshotError::Corrupt("NodeTable universe"));
+        }
+        let entries = Vec::<(NodeId, T)>::load(r)?;
+        let mut t = NodeTable::new(nodes);
+        for (node, value) in entries {
+            if node.index() >= nodes || t.contains(node) {
+                return Err(SnapshotError::Corrupt("NodeTable entry"));
+            }
+            t.insert(node, value);
+        }
+        Ok(t)
+    }
+}
+
+impl Snap for RxTable {
+    fn save(&self, w: &mut SnapshotWriter) {
+        self.state.save(w);
+        self.keys.save(w);
+        self.vals.save(w);
+        w.usize(self.live);
+        w.usize(self.used);
+    }
+    fn load(r: &mut SnapshotReader) -> Result<Self, SnapshotError> {
+        let state = Box::<[u8]>::load(r)?;
+        let keys = Box::<[u64]>::load(r)?;
+        let vals = Box::<[u8]>::load(r)?;
+        let live = r.usize()?;
+        let used = r.usize()?;
+        if !state.len().is_power_of_two()
+            || keys.len() != state.len()
+            || vals.len() != state.len()
+            || live > used
+            || used > state.len()
+        {
+            return Err(SnapshotError::Corrupt("RxTable shape"));
+        }
+        Ok(RxTable {
+            state,
+            keys,
+            vals,
+            live,
+            used,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

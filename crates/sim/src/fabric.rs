@@ -30,6 +30,7 @@ use crate::flit::Packet;
 use crate::geometry::NodeId;
 use crate::network::Network;
 use crate::node::{DeliveredPacket, NodeModel};
+use crate::snapshot::{FabricSnapshot, FaultEvent, SnapshotError};
 use crate::stats::{EnergyEvents, NetStats};
 use crate::topology::Mesh;
 use crate::Cycle;
@@ -138,6 +139,39 @@ pub trait Fabric {
         }
         self.is_drained()
     }
+
+    /// Serialise the fabric's full mutable state into a versioned snapshot
+    /// (see DESIGN.md §14). Fails while telemetry is armed. Default:
+    /// unsupported, for fabrics without a snapshot seam.
+    fn checkpoint(&self) -> Result<FabricSnapshot, SnapshotError> {
+        Err(SnapshotError::Unsupported(
+            "fabric does not implement checkpoints",
+        ))
+    }
+
+    /// Restore state captured by [`Fabric::checkpoint`] on a fabric built
+    /// from the *same* configuration. The restored fabric continues
+    /// bit-identically to the one that was checkpointed.
+    fn restore(&mut self, _snap: &FabricSnapshot) -> Result<(), SnapshotError> {
+        Err(SnapshotError::Unsupported(
+            "fabric does not implement checkpoints",
+        ))
+    }
+
+    /// Arm a link-fault schedule (kills and revives applied at their exact
+    /// cycles; see `Network::set_faults`). Default: unsupported.
+    fn set_faults(&mut self, _timeline: Vec<FaultEvent>) -> Result<(), SnapshotError> {
+        Err(SnapshotError::Unsupported(
+            "fabric does not implement fault injection",
+        ))
+    }
+
+    /// Live allocations in the fabric's flit arena — a leak diagnostic:
+    /// after a full drain this must be zero even when faults dropped
+    /// flits mid-flight. Default 0 for fabrics without an arena.
+    fn arena_live(&self) -> usize {
+        0
+    }
 }
 
 impl<N: NodeModel + Send + 'static> Fabric for Network<N> {
@@ -211,6 +245,23 @@ impl<N: NodeModel + Send + 'static> Fabric for Network<N> {
 
     fn telemetry_report(&mut self) -> Option<TelemetryReport> {
         Network::take_telemetry(self)
+    }
+
+    fn checkpoint(&self) -> Result<FabricSnapshot, SnapshotError> {
+        Network::checkpoint(self)
+    }
+
+    fn restore(&mut self, snap: &FabricSnapshot) -> Result<(), SnapshotError> {
+        Network::restore(self, snap)
+    }
+
+    fn set_faults(&mut self, timeline: Vec<FaultEvent>) -> Result<(), SnapshotError> {
+        Network::set_faults(self, timeline);
+        Ok(())
+    }
+
+    fn arena_live(&self) -> usize {
+        self.arena().live()
     }
 }
 

@@ -409,6 +409,128 @@ pub struct Credit {
     pub vc: u8,
 }
 
+// ---------------------------------------------------------------------------
+// Snapshot encodings (see DESIGN.md §14). Enum tags are explicit and
+// stable; the packed `Flit` fields are written raw, so a snapshot is
+// bit-faithful to the wire representation.
+
+use crate::impl_snap;
+use crate::snapshot::{Snap, SnapshotError, SnapshotReader, SnapshotWriter};
+
+impl Snap for PacketId {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.u64(self.0);
+    }
+    fn load(r: &mut SnapshotReader) -> Result<Self, SnapshotError> {
+        Ok(PacketId(r.u64()?))
+    }
+}
+
+impl Snap for MsgClass {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.u8(match self {
+            MsgClass::Data => 0,
+            MsgClass::Config => 1,
+        });
+    }
+    fn load(r: &mut SnapshotReader) -> Result<Self, SnapshotError> {
+        match r.u8()? {
+            0 => Ok(MsgClass::Data),
+            1 => Ok(MsgClass::Config),
+            _ => Err(SnapshotError::Corrupt("MsgClass tag")),
+        }
+    }
+}
+
+impl Snap for Switching {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.u8(match self {
+            Switching::Packet => 0,
+            Switching::Circuit => 1,
+        });
+    }
+    fn load(r: &mut SnapshotReader) -> Result<Self, SnapshotError> {
+        match r.u8()? {
+            0 => Ok(Switching::Packet),
+            1 => Ok(Switching::Circuit),
+            _ => Err(SnapshotError::Corrupt("Switching tag")),
+        }
+    }
+}
+
+impl_snap!(SetupInfo {
+    src,
+    dst,
+    slot,
+    duration,
+    path_id
+});
+
+impl Snap for ConfigKind {
+    fn save(&self, w: &mut SnapshotWriter) {
+        match self {
+            ConfigKind::Setup(info) => {
+                w.u8(0);
+                info.save(w);
+            }
+            ConfigKind::Teardown(info) => {
+                w.u8(1);
+                info.save(w);
+            }
+            ConfigKind::Ack { info, success } => {
+                w.u8(2);
+                info.save(w);
+                w.bool(*success);
+            }
+        }
+    }
+    fn load(r: &mut SnapshotReader) -> Result<Self, SnapshotError> {
+        match r.u8()? {
+            0 => Ok(ConfigKind::Setup(SetupInfo::load(r)?)),
+            1 => Ok(ConfigKind::Teardown(SetupInfo::load(r)?)),
+            2 => Ok(ConfigKind::Ack {
+                info: SetupInfo::load(r)?,
+                success: r.bool()?,
+            }),
+            _ => Err(SnapshotError::Corrupt("ConfigKind tag")),
+        }
+    }
+}
+
+impl_snap!(Packet {
+    id,
+    src,
+    dst,
+    len_flits,
+    class,
+    created,
+    config,
+    measured,
+    cs_eligible
+});
+
+impl_snap!(Flit {
+    packet,
+    created,
+    config,
+    src,
+    dst,
+    true_dst,
+    seq,
+    vc,
+    hops,
+    flags
+});
+
+impl Snap for Credit {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.u8(self.vc);
+    }
+    fn load(r: &mut SnapshotReader) -> Result<Self, SnapshotError> {
+        Ok(Credit { vc: r.u8()? })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

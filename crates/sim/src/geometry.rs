@@ -133,6 +133,45 @@ impl Port {
     }
 }
 
+// Snapshot encodings: ids/coords raw, direction/port as their
+// discriminant with range-checked decode.
+use crate::snapshot::{Snap, SnapshotError, SnapshotReader, SnapshotWriter};
+
+impl Snap for NodeId {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.u32(self.0);
+    }
+    fn load(r: &mut SnapshotReader) -> Result<Self, SnapshotError> {
+        Ok(NodeId(r.u32()?))
+    }
+}
+
+impl Snap for Direction {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.u8(*self as u8);
+    }
+    fn load(r: &mut SnapshotReader) -> Result<Self, SnapshotError> {
+        let i = r.u8()? as usize;
+        if i >= Direction::ALL.len() {
+            return Err(SnapshotError::Corrupt("Direction tag"));
+        }
+        Ok(Direction::from_index(i))
+    }
+}
+
+impl Snap for Port {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.u8(*self as u8);
+    }
+    fn load(r: &mut SnapshotReader) -> Result<Self, SnapshotError> {
+        let i = r.u8()? as usize;
+        if i >= Port::COUNT {
+            return Err(SnapshotError::Corrupt("Port tag"));
+        }
+        Ok(Port::from_index(i))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

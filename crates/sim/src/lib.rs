@@ -36,6 +36,7 @@ pub mod nic;
 pub mod node;
 pub mod router;
 pub mod routing;
+pub mod snapshot;
 pub mod stats;
 pub mod topology;
 pub mod trace;
@@ -61,6 +62,10 @@ pub use node::{DeliveredKind, DeliveredPacket, NodeModel, NodeOutputs, PacketNod
 pub use router::{
     GatingConfig, GatingMetric, HybridCtrl, NullCtrl, OutMeta, PacketRouter, PsOutput, PsPipeline,
     VcBuf, VcGatingController, VcState,
+};
+pub use snapshot::{
+    FabricSnapshot, FaultEvent, RouteOverrides, Snap, SnapshotError, SnapshotReader,
+    SnapshotWriter, SNAPSHOT_VERSION,
 };
 pub use stats::{
     ClassLatency, EnergyEvents, LatencyHistogram, LeakageIntegrals, NetStats, PerClassLatency,

@@ -50,9 +50,12 @@ use noc_telemetry::{
 
 use crate::arena::ConfigArena;
 use crate::dense::BitSet;
-use crate::flit::{Credit, Flit, MsgClass, Packet};
+use crate::flit::{Credit, Flit, MsgClass, Packet, PacketId, Switching};
 use crate::geometry::{Direction, NodeId};
 use crate::node::{DeliveredPacket, NodeModel, NodeOutputs, PowerState};
+use crate::snapshot::{
+    FabricSnapshot, FaultEvent, RouteOverrides, Snap, SnapshotError, SnapshotReader, SnapshotWriter,
+};
 use crate::stats::{EnergyEvents, NetStats};
 use crate::topology::{Mesh, TopoTables};
 use crate::Cycle;
@@ -160,6 +163,38 @@ impl NetTelemetry {
     }
 }
 
+/// Link-fault machinery, boxed behind an `Option` so the fault-free path
+/// pays one pointer null check per cycle.
+///
+/// A fault kills the *flit* data path of a physical link in both
+/// directions; the credit and VC-count wires keep working (they model
+/// sideband signalling, and dropping credits would permanently shrink
+/// upstream buffer budgets — the network could then never drain after a
+/// revive). Flits caught mid-flight on a killed wire, and flits emitted
+/// onto a dead link later, are dropped with full accounting: their
+/// packet is globally purged (buffers, VC state, partial reassembly),
+/// upstream buffer slots are refunded as credits, and interned
+/// configuration payloads are released, so `ConfigArena::live()` returns
+/// to zero once traffic drains.
+struct FaultState {
+    /// The scheduled timeline, sorted by cycle; `next` indexes the first
+    /// event not yet applied.
+    timeline: Vec<FaultEvent>,
+    next: usize,
+    /// Down flags per *directed* link, `[node * 4 + direction]`.
+    down: Box<[bool]>,
+    /// Number of set `down` flags (fast "any link down" check).
+    down_count: usize,
+    /// Reroute table shared with every node while links are down.
+    overrides: Option<Arc<RouteOverrides>>,
+    /// Packet ids already purged (sorted; binary-searched so each lost
+    /// packet is counted and swept exactly once).
+    lost: Vec<u64>,
+    /// Packets that lost a flit at the phase-3 emission guard this cycle;
+    /// drained and purged before phase 4.
+    pending_lost: Vec<PacketId>,
+}
+
 /// A mesh network of `N` tiles.
 pub struct Network<N: NodeModel> {
     pub mesh: Mesh,
@@ -225,6 +260,9 @@ pub struct Network<N: NodeModel> {
     /// the phase-3 wire-routing loop probes this instead of re-deriving
     /// coordinates per flit.
     tables: TopoTables,
+    /// Link-fault state, present only once [`Network::set_faults`] arms a
+    /// schedule.
+    faults: Option<Box<FaultState>>,
 }
 
 impl<N: NodeModel> Network<N> {
@@ -267,6 +305,7 @@ impl<N: NodeModel> Network<N> {
             telemetry: None,
             arena: Arc::new(ConfigArena::new()),
             tables: TopoTables::build(&mesh),
+            faults: None,
         };
         let arena = net.arena.clone();
         for node in &mut net.nodes {
@@ -312,6 +351,19 @@ impl<N: NodeModel> Network<N> {
     /// and the bit-identity property tests).
     pub fn step(&mut self) {
         let now = self.now;
+
+        // Apply link-fault events due this cycle before the step set is
+        // built: kills purge the affected wires (and the packets that lost
+        // flits), revives clear the down flags, and either rebuilds the
+        // reroute table and wakes everything.
+        if self
+            .faults
+            .as_deref()
+            .is_some_and(|f| f.timeline.get(f.next).is_some_and(|e| e.at <= now))
+        {
+            self.apply_due_faults(now);
+        }
+
         let par = (now & 1) as usize;
         let n = self.nodes.len();
         let words = self.step_mask.words().len();
@@ -428,6 +480,9 @@ impl<N: NodeModel> Network<N> {
             inflight_flits,
             telemetry,
             tables,
+            stats,
+            arena,
+            faults,
             ..
         } = self;
         for (w, &mask_word) in step_mask.words().iter().enumerate() {
@@ -437,6 +492,32 @@ impl<N: NodeModel> Network<N> {
                 bits &= bits - 1;
                 let out = &mut outboxes[i];
                 for (dir, flit) in out.flits.drain(..) {
+                    // A flit emitted onto a dead link is dropped at the link
+                    // driver: free its config payload, refund the buffer
+                    // credit the emitter spent (packet-switched only — CS
+                    // flits are unbuffered), and queue the packet for a
+                    // global purge before phase 4.
+                    if let Some(f) = faults.as_deref_mut() {
+                        if f.down[i * 4 + dir.index()] {
+                            arena.free(flit.config);
+                            stats.flits_dropped_fault += 1;
+                            if flit.switching() == Switching::Packet {
+                                credit_slots[par ^ 1][i].push((dir, Credit { vc: flit.vc }));
+                                wake_mask[par ^ 1].set(i);
+                            }
+                            if let Some(t) = telemetry.as_deref_mut() {
+                                t.sink.record(
+                                    now,
+                                    i as u32,
+                                    EventKind::FlitDroppedFault,
+                                    dir.index() as u8,
+                                    flit.packet.0,
+                                );
+                            }
+                            f.pending_lost.push(flit.packet);
+                            continue;
+                        }
+                    }
                     let nb = tables
                         .neighbor(i, dir)
                         .unwrap_or_else(|| panic!("node {i} emitted a flit off the {dir:?} edge"));
@@ -461,6 +542,20 @@ impl<N: NodeModel> Network<N> {
                         wake_mask[par ^ 1].set(nb);
                     }
                 }
+            }
+        }
+
+        // 3b. Purge packets that lost a flit at the emission guard: sweep
+        // their remaining flits out of wires and node buffers so the fault
+        // leaves no stranded state (runs before phase 4 so the occupancy
+        // refresh below sees post-purge node state).
+        let pend = match &mut self.faults {
+            Some(f) if !f.pending_lost.is_empty() => std::mem::take(&mut f.pending_lost),
+            _ => Vec::new(),
+        };
+        for pid in pend {
+            if self.register_lost(pid) {
+                self.purge_lost_packet(now, pid);
             }
         }
 
@@ -581,12 +676,17 @@ impl<N: NodeModel> Network<N> {
     pub fn run_until(&mut self, target: Cycle) {
         while self.now < target {
             if !self.always_step && self.is_idle() {
-                let bound = match self.timers.peek() {
+                let mut bound = match self.timers.peek() {
                     Some(&Reverse((t, _))) => t.min(target),
                     None => target,
                 };
-                // `bound <= now` means a (possibly stale) timer is due:
-                // fall through and let `step` service the heap.
+                // Never leap past a scheduled fault event: the kill/revive
+                // must be applied at its exact cycle.
+                if let Some(t) = self.next_fault_at() {
+                    bound = bound.min(t);
+                }
+                // `bound <= now` means a (possibly stale) timer or a due
+                // fault: fall through and let `step` service it.
                 if bound > self.now {
                     self.leap_to(bound);
                     continue;
@@ -761,6 +861,486 @@ impl<N: NodeModel> Network<N> {
         report.registry = t.registry;
         report.sort_events();
         Some(report)
+    }
+
+    // --- Link faults (see `FaultState`) ---
+
+    /// Arm a link-fault schedule. Each event names one *physical* link by
+    /// its (node, direction) endpoint; kills and revives affect both
+    /// directions. Events may be given in any order; they are applied at
+    /// their exact cycle with a deterministic tie-break. Panics if an
+    /// event names a non-existent link (off the edge of an open mesh).
+    pub fn set_faults(&mut self, mut timeline: Vec<FaultEvent>) {
+        timeline.sort_by_key(|e| (e.at, e.node, e.dir.index(), e.up));
+        for ev in &timeline {
+            assert!(
+                (ev.node as usize) < self.nodes.len()
+                    && self.tables.neighbor(ev.node as usize, ev.dir).is_some(),
+                "fault event names a non-existent link: node {} {:?}",
+                ev.node,
+                ev.dir
+            );
+        }
+        let n = self.nodes.len();
+        self.faults = Some(Box::new(FaultState {
+            timeline,
+            next: 0,
+            down: vec![false; n * 4].into_boxed_slice(),
+            down_count: 0,
+            overrides: None,
+            lost: Vec::new(),
+            pending_lost: Vec::new(),
+        }));
+    }
+
+    /// Cycle of the next unapplied fault event, if any (leap barrier;
+    /// public so wrapping controllers can bound their own leaps to land
+    /// just after a fault and observe it at the same cycle as per-cycle
+    /// stepping would).
+    pub fn next_fault_at(&self) -> Option<Cycle> {
+        let f = self.faults.as_deref()?;
+        f.timeline.get(f.next).map(|e| e.at)
+    }
+
+    /// Number of directed links currently down.
+    pub fn links_down(&self) -> usize {
+        self.faults.as_deref().map_or(0, |f| f.down_count)
+    }
+
+    /// Fault-timeline events applied so far. Monotonic (unlike the
+    /// `NetStats` fault counters, which measurement windows reset), so
+    /// wrapping repair controllers can trigger off it reliably.
+    pub fn faults_applied(&self) -> usize {
+        self.faults.as_deref().map_or(0, |f| f.next)
+    }
+
+    /// Apply every fault event due at `now`, then purge the packets that
+    /// lost flits on killed wires and refresh the reroute table.
+    fn apply_due_faults(&mut self, now: Cycle) {
+        let mut changed = false;
+        let mut wire_lost: Vec<PacketId> = Vec::new();
+        loop {
+            let ev = {
+                let f = self.faults.as_deref().expect("fault state present");
+                match f.timeline.get(f.next) {
+                    Some(e) if e.at <= now => *e,
+                    _ => break,
+                }
+            };
+            let i = ev.node as usize;
+            let nb = self
+                .tables
+                .neighbor(i, ev.dir)
+                .expect("validated by set_faults");
+            let fwd = i * 4 + ev.dir.index();
+            let rev = nb * 4 + ev.dir.opposite().index();
+            let f = self.faults.as_deref_mut().expect("fault state present");
+            f.next += 1;
+            // Flag flips are idempotent: a kill of an already-dead link (or
+            // a revive of a live one) is a silent no-op, so overlapping
+            // schedules stay well defined.
+            let mut flipped = false;
+            for idx in [fwd, rev] {
+                if f.down[idx] == ev.up {
+                    f.down[idx] = !ev.up;
+                    if ev.up {
+                        f.down_count -= 1;
+                    } else {
+                        f.down_count += 1;
+                    }
+                    flipped = true;
+                }
+            }
+            if !flipped {
+                continue;
+            }
+            changed = true;
+            if ev.up {
+                self.stats.link_up_events += 1;
+            } else {
+                self.stats.link_down_events += 1;
+            }
+            if let Some(t) = &mut self.telemetry {
+                let kind = if ev.up {
+                    EventKind::LinkUp
+                } else {
+                    EventKind::LinkDown
+                };
+                t.sink.record(now, ev.node, kind, ev.dir.index() as u8, 0);
+            }
+            if !ev.up {
+                // Flits already in flight on either direction of the wire
+                // are lost with it.
+                self.purge_wire_link(now, i, ev.dir, &mut wire_lost);
+                self.purge_wire_link(now, nb, ev.dir.opposite(), &mut wire_lost);
+            }
+        }
+        for pid in wire_lost {
+            if self.register_lost(pid) {
+                self.purge_lost_packet(now, pid);
+            }
+        }
+        if changed {
+            self.rebuild_overrides();
+            // Topology change: every node must re-evaluate routes, retries
+            // and sleep decisions against fresh state.
+            self.wake_all();
+        }
+    }
+
+    /// Drop every in-flight flit travelling from `i` toward `dir`,
+    /// refunding the emitter's buffer credit for packet-switched flits and
+    /// recording the owning packets in `lost`.
+    fn purge_wire_link(&mut self, now: Cycle, i: usize, dir: Direction, lost: &mut Vec<PacketId>) {
+        let Some(nb) = self.tables.neighbor(i, dir) else {
+            return;
+        };
+        let from = dir.opposite();
+        let par_next = ((now + 1) & 1) as usize;
+        for par in 0..2 {
+            let mut k = 0;
+            while k < self.flit_slots[par][nb].len() {
+                if self.flit_slots[par][nb][k].0 != from {
+                    k += 1;
+                    continue;
+                }
+                let (_, f) = self.flit_slots[par][nb].remove(k);
+                self.arena.free(f.config);
+                self.inflight_flits -= 1;
+                self.stats.flits_dropped_fault += 1;
+                if f.switching() == Switching::Packet {
+                    self.credit_slots[par_next][i].push((dir, Credit { vc: f.vc }));
+                    self.wake_mask[par_next].set(i);
+                }
+                if let Some(t) = &mut self.telemetry {
+                    t.sink.record(
+                        now,
+                        nb as u32,
+                        EventKind::FlitDroppedFault,
+                        from.index() as u8,
+                        f.packet.0,
+                    );
+                }
+                lost.push(f.packet);
+            }
+        }
+    }
+
+    /// Record `pid` as lost to a fault. Returns `false` when the packet was
+    /// already purged (each lost packet is swept and counted exactly once).
+    fn register_lost(&mut self, pid: PacketId) -> bool {
+        let f = self.faults.as_deref_mut().expect("fault state present");
+        match f.lost.binary_search(&pid.0) {
+            Ok(_) => false,
+            Err(pos) => {
+                f.lost.insert(pos, pid.0);
+                self.stats.packets_dropped_fault += 1;
+                true
+            }
+        }
+    }
+
+    /// Globally purge a packet that lost a flit: sweep its stragglers off
+    /// every wire and out of every node (buffers, VC state, partial
+    /// reassembly), freeing config payloads and refunding buffer credits so
+    /// the fault leaves no stranded occupancy and no arena leak.
+    fn purge_lost_packet(&mut self, now: Cycle, pid: PacketId) {
+        let par_next = ((now + 1) & 1) as usize;
+        let n = self.nodes.len();
+        for par in 0..2 {
+            for j in 0..n {
+                let mut k = 0;
+                while k < self.flit_slots[par][j].len() {
+                    if self.flit_slots[par][j][k].1.packet != pid {
+                        k += 1;
+                        continue;
+                    }
+                    let (from, f) = self.flit_slots[par][j].remove(k);
+                    self.arena.free(f.config);
+                    self.inflight_flits -= 1;
+                    self.stats.flits_dropped_fault += 1;
+                    if f.switching() == Switching::Packet {
+                        // The sender sits upstream of input port `from`.
+                        if let Some(s) = self.tables.neighbor(j, from) {
+                            self.credit_slots[par_next][s]
+                                .push((from.opposite(), Credit { vc: f.vc }));
+                            self.wake_mask[par_next].set(s);
+                        }
+                    }
+                    if let Some(t) = &mut self.telemetry {
+                        t.sink.record(
+                            now,
+                            j as u32,
+                            EventKind::FlitDroppedFault,
+                            from.index() as u8,
+                            f.packet.0,
+                        );
+                    }
+                }
+            }
+        }
+        let mut credits: Vec<(Direction, Credit)> = Vec::new();
+        for i in 0..n {
+            credits.clear();
+            let dropped = self.nodes[i].abort_packet(pid, &self.arena, &mut credits);
+            for &(dir, c) in &credits {
+                if let Some(nb) = self.tables.neighbor(i, dir) {
+                    self.credit_slots[par_next][nb].push((dir.opposite(), c));
+                    self.wake_mask[par_next].set(nb);
+                }
+            }
+            if dropped > 0 {
+                self.stats.flits_dropped_fault += dropped as u64;
+                let occ = self.nodes[i].occupancy();
+                self.total_occ = self.total_occ - self.occ_cache[i] + occ;
+                self.occ_cache[i] = occ;
+                // Step the node next cycle so its power cache and sleep
+                // decision are refreshed against post-purge state.
+                self.active_mask.set(i);
+            }
+        }
+    }
+
+    /// Recompute the reroute table from the current down flags and install
+    /// it in every node (or clear it once all links are back up). Routes
+    /// are minimal-hop over the surviving links, built by one BFS per
+    /// destination with a deterministic direction-order tie-break.
+    fn rebuild_overrides(&mut self) {
+        let n = self.nodes.len();
+        let f = self.faults.as_deref_mut().expect("fault state present");
+        if f.down_count == 0 {
+            f.overrides = None;
+            for node in &mut self.nodes {
+                node.set_route_overrides(None);
+            }
+            return;
+        }
+        let mut next = vec![RouteOverrides::NO_ROUTE; n * n];
+        let mut visited = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        for dst in 0..n {
+            visited.iter_mut().for_each(|v| *v = false);
+            visited[dst] = true;
+            queue.clear();
+            queue.push_back(dst);
+            while let Some(v) = queue.pop_front() {
+                for d in Direction::ALL {
+                    let Some(u) = self.tables.neighbor(v, d) else {
+                        continue;
+                    };
+                    // `u` reaches `v` by leaving in the opposite direction
+                    // (links are symmetric, wrap links included).
+                    let out = d.opposite();
+                    debug_assert_eq!(self.tables.neighbor(u, out), Some(v));
+                    if visited[u] || f.down[u * 4 + out.index()] {
+                        continue;
+                    }
+                    visited[u] = true;
+                    next[u * n + dst] = out.index() as u8;
+                    queue.push_back(u);
+                }
+            }
+        }
+        let ovr = Arc::new(RouteOverrides::new(n as u32, next.into_boxed_slice()));
+        f.overrides = Some(ovr.clone());
+        for node in &mut self.nodes {
+            node.set_route_overrides(Some(ovr.clone()));
+        }
+    }
+
+    // --- Checkpoint / restore (see DESIGN.md §14) ---
+
+    /// Serialise the harness and every node into a framed snapshot.
+    /// Fails while telemetry is armed (ring sinks and registry windows are
+    /// deliberately outside the snapshot seam — disarm via
+    /// [`Network::take_telemetry`] first).
+    pub fn checkpoint(&self) -> Result<FabricSnapshot, SnapshotError> {
+        let mut w = SnapshotWriter::new();
+        self.save_into(&mut w)?;
+        Ok(FabricSnapshot::from_payload(w.into_bytes()))
+    }
+
+    /// Restore from a snapshot taken by [`Network::checkpoint`] on a
+    /// network built from the *same* configuration (geometry mismatches are
+    /// rejected). The restored network continues bit-identically to the
+    /// one that was checkpointed.
+    pub fn restore(&mut self, snap: &FabricSnapshot) -> Result<(), SnapshotError> {
+        let mut r = snap.payload();
+        self.load_from(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(SnapshotError::Corrupt("trailing bytes after snapshot"));
+        }
+        Ok(())
+    }
+
+    /// Append the harness state to `w`. Composable seam: fabric wrappers
+    /// (the TDM resize controller, the SDM backend) call this and then
+    /// append their own state.
+    ///
+    /// Not serialised: scratch buffers (outboxes, step mask), the worker
+    /// pool, the topology tables (structural, rebuilt by the constructor),
+    /// the reroute table (recomputed from the down flags on load), and
+    /// telemetry (must be disarmed).
+    pub fn save_into(&self, w: &mut SnapshotWriter) -> Result<(), SnapshotError> {
+        if self.telemetry.is_some() {
+            return Err(SnapshotError::Unsupported(
+                "checkpoint while telemetry is armed",
+            ));
+        }
+        w.u64(self.now);
+        w.bool(self.always_step);
+        w.bool(self.collect_delivered);
+        self.delivered_log.save(w);
+        self.stats.save(w);
+        self.events_baseline.save(w);
+        for slots in &self.flit_slots {
+            slots.save(w);
+        }
+        for slots in &self.credit_slots {
+            slots.save(w);
+        }
+        for slots in &self.vc_count_slots {
+            slots.save(w);
+        }
+        self.active_mask.save(w);
+        self.wake_mask[0].save(w);
+        self.wake_mask[1].save(w);
+        // The heap's internal layout is iteration-order dependent; encode
+        // the sorted entry list so equal states produce equal bytes.
+        let mut timers: Vec<(u64, u32)> = self.timers.iter().map(|r| r.0).collect();
+        timers.sort_unstable();
+        timers.save(w);
+        self.timer_at.save(w);
+        self.occ_cache.save(w);
+        w.usize(self.total_occ);
+        w.usize(self.inflight_flits);
+        self.power_cache.save(w);
+        w.u64(self.leak_buffer);
+        w.u64(self.leak_slot);
+        w.u64(self.leak_dlt);
+        self.arena.save_state(w);
+        match self.faults.as_deref() {
+            None => w.bool(false),
+            Some(f) => {
+                w.bool(true);
+                debug_assert!(f.pending_lost.is_empty(), "snapshot mid-step");
+                f.timeline.save(w);
+                w.usize(f.next);
+                f.down.save(w);
+                w.usize(f.down_count);
+                f.lost.save(w);
+            }
+        }
+        w.usize(self.nodes.len());
+        for node in &self.nodes {
+            node.save_state(w)?;
+        }
+        Ok(())
+    }
+
+    /// Inverse of [`Network::save_into`].
+    pub fn load_from(&mut self, r: &mut SnapshotReader) -> Result<(), SnapshotError> {
+        if self.telemetry.is_some() {
+            return Err(SnapshotError::Unsupported(
+                "restore while telemetry is armed",
+            ));
+        }
+        let n = self.nodes.len();
+        self.now = r.u64()?;
+        self.always_step = r.bool()?;
+        self.collect_delivered = r.bool()?;
+        self.delivered_log = Vec::load(r)?;
+        self.stats = NetStats::load(r)?;
+        self.events_baseline = EnergyEvents::load(r)?;
+        fn wire<T: Snap>(
+            r: &mut SnapshotReader,
+            n: usize,
+        ) -> Result<Vec<Vec<(Direction, T)>>, SnapshotError> {
+            let slots = Vec::<Vec<(Direction, T)>>::load(r)?;
+            if slots.len() != n {
+                return Err(SnapshotError::Mismatch("wire slot count"));
+            }
+            Ok(slots)
+        }
+        for par in 0..2 {
+            self.flit_slots[par] = wire::<Flit>(r, n)?;
+        }
+        for par in 0..2 {
+            self.credit_slots[par] = wire::<Credit>(r, n)?;
+        }
+        for par in 0..2 {
+            self.vc_count_slots[par] = wire::<u8>(r, n)?;
+        }
+        let words = self.step_mask.words().len();
+        let mask = |r: &mut SnapshotReader| -> Result<BitSet, SnapshotError> {
+            let m = BitSet::load(r)?;
+            if m.words().len() != words {
+                return Err(SnapshotError::Mismatch("activity mask width"));
+            }
+            Ok(m)
+        };
+        self.active_mask = mask(r)?;
+        self.wake_mask[0] = mask(r)?;
+        self.wake_mask[1] = mask(r)?;
+        let timers = Vec::<(u64, u32)>::load(r)?;
+        if timers.iter().any(|&(_, i)| i as usize >= n) {
+            return Err(SnapshotError::Mismatch("timer node index"));
+        }
+        self.timers = timers.into_iter().map(Reverse).collect();
+        self.timer_at = Vec::load(r)?;
+        self.occ_cache = Vec::load(r)?;
+        if self.timer_at.len() != n || self.occ_cache.len() != n {
+            return Err(SnapshotError::Mismatch("per-node table length"));
+        }
+        self.total_occ = r.usize()?;
+        self.inflight_flits = r.usize()?;
+        self.power_cache = Vec::load(r)?;
+        if self.power_cache.len() != n {
+            return Err(SnapshotError::Mismatch("per-node table length"));
+        }
+        self.leak_buffer = r.u64()?;
+        self.leak_slot = r.u64()?;
+        self.leak_dlt = r.u64()?;
+        self.arena.load_state(r)?;
+        self.faults = if r.bool()? {
+            let timeline = Vec::load(r)?;
+            let next = r.usize()?;
+            let down = Box::<[bool]>::load(r)?;
+            let down_count = r.usize()?;
+            let lost = Vec::load(r)?;
+            if down.len() != n * 4 || next > timeline.len() {
+                return Err(SnapshotError::Mismatch("fault state shape"));
+            }
+            Some(Box::new(FaultState {
+                timeline,
+                next,
+                down,
+                down_count,
+                overrides: None,
+                lost,
+                pending_lost: Vec::new(),
+            }))
+        } else {
+            None
+        };
+        if r.usize()? != n {
+            return Err(SnapshotError::Mismatch("node count"));
+        }
+        for node in &mut self.nodes {
+            node.load_state(r)?;
+        }
+        // Reinstall the reroute table from the restored down flags (or
+        // clear any stale one). Deliberately no `wake_all`: the restored
+        // activity masks and caches already match the checkpointed run, and
+        // waking everything would perturb `nodes_stepped`.
+        if self.faults.is_some() {
+            self.rebuild_overrides();
+        } else {
+            for node in &mut self.nodes {
+                node.set_route_overrides(None);
+            }
+        }
+        Ok(())
     }
 }
 

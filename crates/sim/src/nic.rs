@@ -8,9 +8,10 @@ use crate::arbiter::RoundRobin;
 use crate::arena::ConfigArena;
 use crate::config::RouterConfig;
 use crate::dense::RxTable;
-use crate::flit::{Flit, Packet, Switching};
+use crate::flit::{Flit, Packet, PacketId, Switching};
 use crate::geometry::NodeId;
 use crate::node::{DeliveredKind, DeliveredPacket};
+use crate::snapshot::{Snap, SnapshotError, SnapshotReader, SnapshotWriter};
 use crate::Cycle;
 
 struct Stream {
@@ -18,6 +19,8 @@ struct Stream {
     next: u8,
     vc: u8,
 }
+
+crate::impl_snap!(Stream { packet, next, vc });
 
 /// A node's network interface for the packet-switched network.
 ///
@@ -215,6 +218,57 @@ impl Nic {
     /// Length of the source queue in packets (saturation detection).
     pub fn queue_len(&self) -> usize {
         self.inject_queue.len() + usize::from(self.current.is_some())
+    }
+
+    /// Serialise all mutable NIC state (everything except the identity
+    /// and configuration set at construction).
+    pub fn save_state(&self, w: &mut SnapshotWriter) {
+        self.inject_queue.save(w);
+        self.current.save(w);
+        self.credits.save(w);
+        w.u8(self.router_active_vcs);
+        w.u8(self.inject_vc_limit);
+        self.vc_rr.save(w);
+        self.rx.save(w);
+        self.delivered.save(w);
+        w.u64(self.flits_injected);
+        w.usize(self.queued_flits);
+        w.usize(self.rx_flits);
+    }
+
+    /// Inverse of [`Nic::save_state`], into a freshly constructed NIC of
+    /// the same configuration.
+    pub fn load_state(&mut self, r: &mut SnapshotReader) -> Result<(), SnapshotError> {
+        self.inject_queue = Snap::load(r)?;
+        self.current = Snap::load(r)?;
+        self.credits = Snap::load(r)?;
+        self.router_active_vcs = r.u8()?;
+        self.inject_vc_limit = r.u8()?;
+        self.vc_rr = Snap::load(r)?;
+        self.rx = Snap::load(r)?;
+        self.delivered = Snap::load(r)?;
+        self.flits_injected = r.u64()?;
+        self.queued_flits = r.usize()?;
+        self.rx_flits = r.usize()?;
+        Ok(())
+    }
+
+    /// Purge every trace of `pid` after the packet lost a flit to a link
+    /// fault: cancel a mid-injection stream (the network already counts
+    /// the packet lost) and drop any partial reassembly so the rx buffer
+    /// cannot wait forever for flits that no longer exist. Returns the
+    /// number of flits discarded here.
+    pub fn abort_packet(&mut self, pid: PacketId) -> usize {
+        let mut dropped = 0;
+        if self.current.as_ref().is_some_and(|s| s.packet.id == pid) {
+            let s = self.current.take().expect("just matched");
+            dropped += (s.packet.len_flits - s.next) as usize;
+        }
+        if let Some(count) = self.rx.remove(pid) {
+            self.rx_flits -= count as usize;
+            dropped += count as usize;
+        }
+        dropped
     }
 }
 

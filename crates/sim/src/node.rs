@@ -8,6 +8,7 @@ use crate::flit::{ConfigKind, Credit, Flit, MsgClass, Packet, PacketId, Switchin
 use crate::geometry::{Direction, NodeId, Port};
 use crate::nic::Nic;
 use crate::router::{GatingConfig, PacketRouter, VcGatingController};
+use crate::snapshot::{RouteOverrides, Snap, SnapshotError, SnapshotReader, SnapshotWriter};
 use crate::stats::EnergyEvents;
 use crate::Cycle;
 
@@ -86,6 +87,45 @@ pub struct DeliveredPacket {
     pub measured: bool,
 }
 
+impl Snap for DeliveredKind {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.u8(match self {
+            DeliveredKind::Data => 0,
+            DeliveredKind::Setup => 1,
+            DeliveredKind::Teardown => 2,
+            DeliveredKind::Ack => 3,
+        });
+    }
+    fn load(r: &mut SnapshotReader) -> Result<Self, SnapshotError> {
+        Ok(match r.u8()? {
+            0 => DeliveredKind::Data,
+            1 => DeliveredKind::Setup,
+            2 => DeliveredKind::Teardown,
+            3 => DeliveredKind::Ack,
+            _ => return Err(SnapshotError::Corrupt("delivered kind")),
+        })
+    }
+}
+
+crate::impl_snap!(DeliveredPacket {
+    id,
+    src,
+    dst,
+    class,
+    kind,
+    switching,
+    len_flits,
+    created,
+    delivered,
+    measured
+});
+
+crate::impl_snap!(PowerState {
+    buffer_slots,
+    slot_entries,
+    dlt_entries
+});
+
 /// A tile model pluggable into the network harness. Implemented by
 /// [`PacketNode`] here, the TDM hybrid node in `tdm-noc`, and the SDM node
 /// in `noc-sdm`.
@@ -143,6 +183,50 @@ pub trait NodeModel {
     /// disabled. `None` for uninstrumented models or untraced runs.
     fn take_trace(&mut self) -> Option<Box<RingSink>> {
         None
+    }
+
+    /// Serialise every bit of mutable node state into `w` (the snapshot
+    /// seam, see `DESIGN.md` §14). Models that do not opt in return
+    /// [`SnapshotError::Unsupported`], which the harness surfaces as a
+    /// checkpoint failure rather than silently writing a partial snapshot.
+    fn save_state(&self, _w: &mut SnapshotWriter) -> Result<(), SnapshotError> {
+        Err(SnapshotError::Unsupported(
+            "node model does not implement snapshots",
+        ))
+    }
+
+    /// Inverse of [`NodeModel::save_state`], applied to a freshly
+    /// constructed node of the same configuration.
+    fn load_state(&mut self, _r: &mut SnapshotReader) -> Result<(), SnapshotError> {
+        Err(SnapshotError::Unsupported(
+            "node model does not implement snapshots",
+        ))
+    }
+
+    /// Install (or clear) the fault-reroute table. While overrides are
+    /// installed, the routing unit must consult them before its normal
+    /// route computation so packet-switched traffic detours around dead
+    /// links. The default ignores them: models without rerouting support
+    /// simply keep routing minimally (the scenario layer refuses fault
+    /// schedules on such backends).
+    fn set_route_overrides(&mut self, _overrides: Option<std::sync::Arc<RouteOverrides>>) {}
+
+    /// Purge all state belonging to packet `pid` after the network dropped
+    /// one of its flits on a faulted link: queued flits, per-VC buffer
+    /// occupancy, partial reassembly. Buffer slots freed at inter-router
+    /// input ports are refunded by pushing credits into `credits` (the
+    /// harness delivers them upstream over the credit wires), and interned
+    /// configuration payloads are released into `arena`. Returns the
+    /// number of flits discarded at this node so the harness can keep its
+    /// occupancy cache and drop accounting exact. The default (no state to
+    /// purge) suits stateless test probes.
+    fn abort_packet(
+        &mut self,
+        _pid: PacketId,
+        _arena: &crate::arena::ConfigArena,
+        _credits: &mut Vec<(Direction, Credit)>,
+    ) -> usize {
+        0
     }
 }
 
@@ -285,5 +369,36 @@ impl NodeModel for PacketNode {
 
     fn take_trace(&mut self) -> Option<Box<RingSink>> {
         self.router.pipeline.trace.take()
+    }
+
+    fn save_state(&self, w: &mut SnapshotWriter) -> Result<(), SnapshotError> {
+        self.nic.save_state(w);
+        self.router.pipeline.save_state(w);
+        if let Some(g) = &self.gating {
+            g.save_state(w);
+        }
+        Ok(())
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader) -> Result<(), SnapshotError> {
+        self.nic.load_state(r)?;
+        self.router.pipeline.load_state(r)?;
+        if let Some(g) = &mut self.gating {
+            g.load_state(r)?;
+        }
+        Ok(())
+    }
+
+    fn set_route_overrides(&mut self, overrides: Option<std::sync::Arc<RouteOverrides>>) {
+        self.router.pipeline.set_route_overrides(overrides);
+    }
+
+    fn abort_packet(
+        &mut self,
+        pid: PacketId,
+        arena: &crate::arena::ConfigArena,
+        credits: &mut Vec<(Direction, Credit)>,
+    ) -> usize {
+        self.nic.abort_packet(pid) + self.router.pipeline.purge_packet(pid, arena, credits)
     }
 }

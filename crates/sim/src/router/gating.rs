@@ -157,6 +157,28 @@ impl VcGatingController {
     }
 }
 
+impl VcGatingController {
+    /// Serialise the mutable controller state. The policy configuration is
+    /// rebuilt from the scenario at construction and is not part of the
+    /// snapshot.
+    pub fn save_state(&self, w: &mut crate::snapshot::SnapshotWriter) {
+        w.u64(self.next_eval);
+        w.u64(self.lat_sum);
+        w.u64(self.lat_n);
+    }
+
+    /// Inverse of [`VcGatingController::save_state`].
+    pub fn load_state(
+        &mut self,
+        r: &mut crate::snapshot::SnapshotReader,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        self.next_eval = r.u64()?;
+        self.lat_sum = r.u64()?;
+        self.lat_n = r.u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

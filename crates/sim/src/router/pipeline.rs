@@ -22,15 +22,18 @@
 //! class is encoded in the VC index itself, so flits carry no extra state.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use noc_telemetry::{EventKind, TraceSink};
 
 use crate::arbiter::RoundRobin;
+use crate::arena::ConfigArena;
 use crate::config::RouterConfig;
-use crate::flit::{Credit, Flit, MsgClass};
+use crate::flit::{Credit, Flit, MsgClass, PacketId};
 use crate::geometry::{Direction, NodeId, Port};
 use crate::node::NodeOutputs;
 use crate::routing::{west_first_route, xy_route};
+use crate::snapshot::{RouteOverrides, Snap, SnapshotError, SnapshotReader, SnapshotWriter};
 use crate::stats::EnergyEvents;
 use crate::topology::Mesh;
 use crate::Cycle;
@@ -73,6 +76,42 @@ impl VcBuf {
     }
 }
 
+impl Snap for VcState {
+    fn save(&self, w: &mut SnapshotWriter) {
+        match self {
+            VcState::Idle => w.u8(0),
+            VcState::Waiting { out } => {
+                w.u8(1);
+                out.save(w);
+            }
+            VcState::Active { out, out_vc } => {
+                w.u8(2);
+                out.save(w);
+                w.u8(*out_vc);
+            }
+        }
+    }
+    fn load(r: &mut SnapshotReader) -> Result<Self, SnapshotError> {
+        Ok(match r.u8()? {
+            0 => VcState::Idle,
+            1 => VcState::Waiting {
+                out: Snap::load(r)?,
+            },
+            2 => VcState::Active {
+                out: Snap::load(r)?,
+                out_vc: r.u8()?,
+            },
+            _ => return Err(SnapshotError::Corrupt("vc state tag")),
+        })
+    }
+}
+
+crate::impl_snap!(VcBuf {
+    fifo,
+    state,
+    stage_cycle
+});
+
 /// Per-output-port scalar state: the structure-of-arrays row that remains
 /// once allocation and credits move into the flat per-VC tables.
 #[derive(Clone, Copy, Debug)]
@@ -108,6 +147,13 @@ pub struct PsPipeline {
     pub cfg: RouterConfig,
     /// Input VC state, flat over `port * vcs_per_port + vc`.
     vcs: Vec<VcBuf>,
+    /// Packet currently owning each input VC (valid while the VC is not
+    /// `Idle`); lets the fault path identify which VC state to tear down
+    /// when a packet loses flits to a dead link.
+    vc_owner: Vec<PacketId>,
+    /// Fault-reroute table installed by the harness while links are down;
+    /// `None` on the fault-free path.
+    route_overrides: Option<Arc<RouteOverrides>>,
     /// Which (input port, input VC) owns each downstream VC, flat over
     /// `out_port * vcs_per_port + vc`.
     out_alloc: Vec<Option<(u8, u8)>>,
@@ -197,6 +243,8 @@ impl PsPipeline {
             vcs: (0..Port::COUNT * vcs)
                 .map(|_| VcBuf::new(cfg.buf_depth))
                 .collect(),
+            vc_owner: vec![PacketId(0); Port::COUNT * vcs],
+            route_overrides: None,
             out_alloc: vec![None; Port::COUNT * vcs],
             out_credits: vec![cfg.buf_depth; Port::COUNT * vcs],
             out_meta,
@@ -400,6 +448,7 @@ impl PsPipeline {
                 debug_assert!(false, "non-head flit at idle VC front");
                 continue;
             }
+            let owner = front.packet;
             let out_port = self.route_head(front);
             debug_assert!(
                 self.out_meta[out_port.index()].exists,
@@ -411,6 +460,7 @@ impl PsPipeline {
             }
             buf.state = VcState::Waiting { out: out_port };
             buf.stage_cycle = now;
+            self.vc_owner[i] = owner;
             self.waiting += 1;
         }
     }
@@ -424,6 +474,18 @@ impl PsPipeline {
     fn route_head(&self, flit: &Flit) -> Port {
         if let Some(p) = flit.forced_out() {
             return p;
+        }
+        // Fault detours take precedence over the normal route computation:
+        // while any link is down the override table carries a BFS next hop
+        // over the live links for every reachable destination. Unreachable
+        // destinations fall through to the default route and account the
+        // drop at the dead link.
+        if let Some(ovr) = &self.route_overrides {
+            if flit.dst() != self.id {
+                if let Some(d) = ovr.dir(self.id.0, flit.dst().0) {
+                    return d.as_port();
+                }
+            }
         }
         if flit.class() == MsgClass::Config
             && self.cfg.adaptive_config_routing
@@ -741,6 +803,156 @@ impl PsPipeline {
         // All VCs below the active threshold are powered on every port;
         // above it only the busy stragglers (tracked by `gated_busy`) are.
         self.cfg.buf_depth as u32 * (Port::COUNT as u32 * self.active_vcs as u32 + self.gated_busy)
+    }
+
+    /// Install (or clear) the fault-reroute table consulted by
+    /// `route_head`.
+    pub fn set_route_overrides(&mut self, overrides: Option<Arc<RouteOverrides>>) {
+        self.route_overrides = overrides;
+    }
+
+    /// Remove every flit of `pid` from the input buffers (and the not-yet
+    /// -drained ejection staging) after the network dropped part of the
+    /// packet on a dead link.
+    ///
+    /// Freed buffer slots are refunded upstream: credits for inter-router
+    /// input ports are pushed into `credits` (the harness delivers them
+    /// over the credit wires exactly as a normal traversal would), local
+    /// -port slots go straight to `local_credits` for the NIC. Interned
+    /// configuration payloads on purged flits are released into `arena`.
+    /// If the purged packet owned a VC's pipeline state, that state is
+    /// torn down and its downstream VC allocation released. Returns the
+    /// number of flits discarded.
+    pub fn purge_packet(
+        &mut self,
+        pid: PacketId,
+        arena: &ConfigArena,
+        credits: &mut Vec<(Direction, Credit)>,
+    ) -> usize {
+        let vcs = self.cfg.vcs_per_port as usize;
+        let mut removed_total = 0usize;
+        for i in 0..self.vcs.len() {
+            let (p, v) = (i / vcs, (i % vcs) as u8);
+            let was_busy = self.vcs[i].is_busy();
+            let buf = &mut self.vcs[i];
+            let before = buf.fifo.len();
+            buf.fifo.retain(|f| {
+                if f.packet == pid {
+                    arena.free(f.config);
+                    false
+                } else {
+                    true
+                }
+            });
+            let removed = before - buf.fifo.len();
+            if removed > 0 {
+                self.buffered -= removed as u32;
+                match Port::from_index(p).direction() {
+                    Some(d) => credits.extend((0..removed).map(|_| (d, Credit { vc: v }))),
+                    None => self.local_credits.extend((0..removed).map(|_| v)),
+                }
+                removed_total += removed;
+            }
+            let buf = &mut self.vcs[i];
+            if buf.state != VcState::Idle && self.vc_owner[i] == pid {
+                match buf.state {
+                    VcState::Waiting { .. } => self.waiting -= 1,
+                    VcState::Active { out, out_vc } => {
+                        self.active -= 1;
+                        self.out_alloc[out.index() * vcs + out_vc as usize] = None;
+                    }
+                    VcState::Idle => unreachable!(),
+                }
+                buf.state = VcState::Idle;
+            }
+            if was_busy && !self.vcs[i].is_busy() {
+                self.busy_vcs -= 1;
+                if v >= self.active_vcs {
+                    self.gated_busy -= 1;
+                }
+            }
+        }
+        let before = self.ejected.len();
+        self.ejected.retain(|f| {
+            if f.packet == pid {
+                arena.free(f.config);
+                false
+            } else {
+                true
+            }
+        });
+        removed_total += before - self.ejected.len();
+        removed_total
+    }
+
+    /// Serialise the pipeline's mutable state (everything except the
+    /// identity/configuration fields fixed at construction, the telemetry
+    /// sink — disarmed around checkpoints — and the reroute table, which
+    /// the harness reinstalls from its own fault state).
+    pub fn save_state(&self, w: &mut SnapshotWriter) {
+        self.vcs.save(w);
+        self.vc_owner.save(w);
+        self.out_alloc.save(w);
+        self.out_credits.save(w);
+        for m in &self.out_meta {
+            w.u8(m.downstream_vcs);
+        }
+        self.ejected.save(w);
+        self.local_credits.save(w);
+        self.events.save(w);
+        w.u8(self.active_vcs);
+        self.va_arb.save(w);
+        self.sa_arb_in.save(w);
+        self.sa_arb_out.save(w);
+        w.u64(self.busy_vc_samples);
+        w.u64(self.active_vc_samples);
+        w.u64(self.last_sample);
+        w.u32(self.prev_busy);
+        w.u32(self.buffered);
+        w.u32(self.waiting);
+        w.u32(self.active);
+        w.u32(self.busy_vcs);
+        w.u32(self.gated_busy);
+    }
+
+    /// Inverse of [`PsPipeline::save_state`], into a freshly constructed
+    /// pipeline of the same configuration.
+    pub fn load_state(&mut self, r: &mut SnapshotReader) -> Result<(), SnapshotError> {
+        let vcs: Vec<VcBuf> = Snap::load(r)?;
+        let vc_owner: Vec<PacketId> = Snap::load(r)?;
+        let out_alloc: Vec<Option<(u8, u8)>> = Snap::load(r)?;
+        let out_credits: Vec<u8> = Snap::load(r)?;
+        if vcs.len() != self.vcs.len()
+            || vc_owner.len() != self.vc_owner.len()
+            || out_alloc.len() != self.out_alloc.len()
+            || out_credits.len() != self.out_credits.len()
+        {
+            return Err(SnapshotError::Mismatch("pipeline VC geometry"));
+        }
+        self.vcs = vcs;
+        self.vc_owner = vc_owner;
+        self.out_alloc = out_alloc;
+        self.out_credits = out_credits;
+        for m in &mut self.out_meta {
+            m.downstream_vcs = r.u8()?;
+        }
+        self.ejected = Snap::load(r)?;
+        self.local_credits = Snap::load(r)?;
+        self.events = Snap::load(r)?;
+        self.active_vcs = r.u8()?;
+        self.va_arb = Snap::load(r)?;
+        self.sa_arb_in = Snap::load(r)?;
+        self.sa_arb_out = Snap::load(r)?;
+        self.busy_vc_samples = r.u64()?;
+        self.active_vc_samples = r.u64()?;
+        self.last_sample = r.u64()?;
+        self.prev_busy = r.u32()?;
+        self.buffered = r.u32()?;
+        self.waiting = r.u32()?;
+        self.active = r.u32()?;
+        self.busy_vcs = r.u32()?;
+        self.gated_busy = r.u32()?;
+        Ok(())
     }
 }
 

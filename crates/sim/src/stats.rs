@@ -1,9 +1,10 @@
 //! Statistics: energy event counters and network-level measurement.
 
 use crate::flit::{MsgClass, Switching};
+use crate::impl_snap;
 use crate::node::{DeliveredKind, DeliveredPacket};
 use crate::Cycle;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 /// Per-node event counters.
 ///
@@ -257,7 +258,12 @@ impl PerClassLatency {
 }
 
 /// Aggregate measurement for one simulation run.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+///
+/// `Serialize` is implemented by hand (not derived): the legacy fields
+/// are emitted in declaration order exactly as the derive would, and the
+/// fault counters are appended *only when non-zero*, so fault-free runs
+/// keep byte-identical result envelopes.
+#[derive(Clone, Debug, Default)]
 pub struct NetStats {
     /// Cycles simulated since the last [`NetStats::begin_measurement`].
     pub measured_cycles: Cycle,
@@ -292,7 +298,75 @@ pub struct NetStats {
     /// Node-steps an always-step harness would execute: nodes × cycles.
     /// `nodes_stepped / node_cycles` is the fraction of the network awake.
     pub node_cycles: u64,
+    // --- fault-injection counters (serialized only when non-zero) ---------
+    /// Directed links taken down by the fault timeline.
+    pub link_down_events: u64,
+    /// Directed links revived by the fault timeline.
+    pub link_up_events: u64,
+    /// Flits dropped because their link (or the link they were in flight
+    /// on) was killed.
+    pub flits_dropped_fault: u64,
+    /// Distinct packets losing at least one flit to a fault (the whole
+    /// packet is purged and never delivered).
+    pub packets_dropped_fault: u64,
+    /// Completed fault-repair sequences (circuit teardown → drain →
+    /// re-setup) at the TDM controller.
+    pub repairs: u64,
+    /// Total cycles from each fault taking effect to its repair
+    /// completing; `repair_cycle_sum / repairs` is the mean repair latency.
+    pub repair_cycle_sum: u64,
 }
+
+impl Serialize for NetStats {
+    fn to_value(&self) -> Value {
+        // Legacy fields first, in declaration order, exactly as
+        // `#[derive(Serialize)]` emitted them.
+        let mut fields: Vec<(String, Value)> = vec![
+            ("measured_cycles".into(), self.measured_cycles.to_value()),
+            (
+                "measurement_start".into(),
+                self.measurement_start.to_value(),
+            ),
+            ("packets_offered".into(), self.packets_offered.to_value()),
+            (
+                "packets_delivered".into(),
+                self.packets_delivered.to_value(),
+            ),
+            ("latency_sum".into(), self.latency_sum.to_value()),
+            ("latency_max".into(), self.latency_max.to_value()),
+            ("flits_delivered".into(), self.flits_delivered.to_value()),
+            (
+                "cs_packets_delivered".into(),
+                self.cs_packets_delivered.to_value(),
+            ),
+            ("latency_hist".into(), self.latency_hist.to_value()),
+            ("class_latency".into(), self.class_latency.to_value()),
+            (
+                "config_packets_delivered".into(),
+                self.config_packets_delivered.to_value(),
+            ),
+            ("events".into(), self.events.to_value()),
+            ("leakage".into(), self.leakage.to_value()),
+            ("nodes_stepped".into(), self.nodes_stepped.to_value()),
+            ("node_cycles".into(), self.node_cycles.to_value()),
+        ];
+        for (name, v) in [
+            ("link_down_events", self.link_down_events),
+            ("link_up_events", self.link_up_events),
+            ("flits_dropped_fault", self.flits_dropped_fault),
+            ("packets_dropped_fault", self.packets_dropped_fault),
+            ("repairs", self.repairs),
+            ("repair_cycle_sum", self.repair_cycle_sum),
+        ] {
+            if v != 0 {
+                fields.push((name.into(), v.to_value()));
+            }
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for NetStats {}
 
 impl NetStats {
     /// Reset measurement counters; subsequent deliveries are recorded
@@ -348,6 +422,81 @@ impl NetStats {
         }
     }
 }
+
+// Snapshot encodings: statistics are state too — a restored run must
+// report exactly what the continuous run would have.
+
+impl_snap!(EnergyEvents {
+    buffer_writes,
+    buffer_reads,
+    xbar_traversals,
+    va_ops,
+    sa_ops,
+    link_flits,
+    slot_lookups,
+    slot_updates,
+    cs_latch_writes,
+    dlt_lookups,
+    dlt_updates,
+    ps_flits_delivered,
+    cs_flits_delivered,
+    config_flits_delivered,
+    slots_stolen,
+    setup_attempts,
+    setup_failures,
+    hitchhike_rides,
+    vicinity_rides,
+    sharing_failures,
+    vc_gating_transitions,
+    slot_table_resizes
+});
+
+impl_snap!(LeakageIntegrals {
+    buffer_slot_cycles,
+    slot_entry_cycles,
+    dlt_entry_cycles,
+    router_cycles
+});
+
+impl_snap!(LatencyHistogram { buckets, count });
+
+impl_snap!(ClassLatency {
+    count,
+    latency_sum,
+    latency_max,
+    hist
+});
+
+impl_snap!(PerClassLatency {
+    data,
+    setup,
+    teardown,
+    ack
+});
+
+impl_snap!(NetStats {
+    measured_cycles,
+    measurement_start,
+    packets_offered,
+    packets_delivered,
+    latency_sum,
+    latency_max,
+    flits_delivered,
+    cs_packets_delivered,
+    latency_hist,
+    class_latency,
+    config_packets_delivered,
+    events,
+    leakage,
+    nodes_stepped,
+    node_cycles,
+    link_down_events,
+    link_up_events,
+    flits_dropped_fault,
+    packets_dropped_fault,
+    repairs,
+    repair_cycle_sum
+});
 
 #[cfg(test)]
 mod tests {

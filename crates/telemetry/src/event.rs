@@ -65,10 +65,19 @@ pub enum EventKind {
     NodeSleep = 13,
     /// The activity scheduler woke this node.
     NodeWake = 14,
+    /// A link was killed by the fault schedule (port = direction).
+    LinkDown = 15,
+    /// A killed link was revived (port = direction).
+    LinkUp = 16,
+    /// A circuit was torn down and re-established around a fault
+    /// (id = path id of the re-routed circuit).
+    CircuitRerouted = 17,
+    /// A flit was dropped on a dead link (id = packet id).
+    FlitDroppedFault = 18,
 }
 
 impl EventKind {
-    pub const COUNT: usize = 15;
+    pub const COUNT: usize = 19;
 
     /// All kinds, in discriminant order.
     pub const ALL: [EventKind; EventKind::COUNT] = [
@@ -87,6 +96,10 @@ impl EventKind {
         EventKind::GatingTransition,
         EventKind::NodeSleep,
         EventKind::NodeWake,
+        EventKind::LinkDown,
+        EventKind::LinkUp,
+        EventKind::CircuitRerouted,
+        EventKind::FlitDroppedFault,
     ];
 
     /// This kind's bit in the category mask.
@@ -113,6 +126,10 @@ impl EventKind {
             EventKind::GatingTransition => "gating_transition",
             EventKind::NodeSleep => "node_sleep",
             EventKind::NodeWake => "node_wake",
+            EventKind::LinkDown => "link_down",
+            EventKind::LinkUp => "link_up",
+            EventKind::CircuitRerouted => "circuit_rerouted",
+            EventKind::FlitDroppedFault => "flit_dropped_fault",
         }
     }
 
@@ -132,6 +149,10 @@ impl EventKind {
             EventKind::ShareEnqueue | EventKind::ShareExpire => "share",
             EventKind::GatingTransition => "gating",
             EventKind::NodeSleep | EventKind::NodeWake => "sleep",
+            EventKind::LinkDown
+            | EventKind::LinkUp
+            | EventKind::CircuitRerouted
+            | EventKind::FlitDroppedFault => "fault",
         }
     }
 }
@@ -151,7 +172,7 @@ pub const SAMPLED_MASK: u32 = EventKind::Inject.bit()
 pub const ALL_EVENTS: u32 = (1 << EventKind::COUNT as u32) - 1;
 
 /// The CLI-facing categories, each mapping to a group of kind bits.
-pub const CATEGORIES: [(&str, u32); 6] = [
+pub const CATEGORIES: [(&str, u32); 7] = [
     ("flit", SAMPLED_MASK),
     (
         "circuit",
@@ -169,6 +190,13 @@ pub const CATEGORIES: [(&str, u32); 6] = [
         "sleep",
         EventKind::NodeSleep.bit() | EventKind::NodeWake.bit(),
     ),
+    (
+        "fault",
+        EventKind::LinkDown.bit()
+            | EventKind::LinkUp.bit()
+            | EventKind::CircuitRerouted.bit()
+            | EventKind::FlitDroppedFault.bit(),
+    ),
 ];
 
 /// Parse a comma-separated category list (`"flit,circuit"`, `"all"`)
@@ -184,7 +212,7 @@ pub fn parse_event_mask(spec: &str) -> Result<u32, String> {
             Some((_, bits)) => mask |= bits,
             None => {
                 return Err(format!(
-                    "unknown event category {part:?} (expected all, flit, circuit, steal, share, gating, sleep)"
+                    "unknown event category {part:?} (expected all, flit, circuit, steal, share, gating, sleep, fault)"
                 ))
             }
         }

@@ -5,14 +5,27 @@
 
 use std::fmt::Write as _;
 
+use crate::event::EventKind;
 use crate::report::{TelemetryReport, DIR_NAMES};
 
-/// Render `link_flits` as CSV: `node,x,y,dir,flits` (x/y are -1 when the
-/// mesh width is unknown). Every link is listed, including idle ones, so
-/// downstream plotting gets a dense grid.
+/// Render `link_flits` as CSV: `node,x,y,dir,flits,fault_drops` (x/y are
+/// -1 when the mesh width is unknown). Every link is listed, including
+/// idle ones, so downstream plotting gets a dense grid. `fault_drops`
+/// counts flits lost to link faults on that directed link, tallied from
+/// the retained `FlitDroppedFault` events (zero everywhere in fault-free
+/// runs, leaving the historic column set unchanged in meaning).
 pub fn link_heatmap_csv(report: &TelemetryReport) -> String {
-    let mut out = String::with_capacity(report.link_flits.len() * 16 + 32);
-    out.push_str("node,x,y,dir,flits\n");
+    let mut drops = vec![0u64; report.link_flits.len()];
+    for e in &report.events {
+        if e.kind == EventKind::FlitDroppedFault {
+            let idx = e.node as usize * 4 + (e.port as usize % 4);
+            if idx < drops.len() {
+                drops[idx] += 1;
+            }
+        }
+    }
+    let mut out = String::with_capacity(report.link_flits.len() * 18 + 32);
+    out.push_str("node,x,y,dir,flits,fault_drops\n");
     for (i, flits) in report.link_flits.iter().enumerate() {
         let node = (i / 4) as u32;
         let dir = DIR_NAMES[i % 4];
@@ -24,7 +37,7 @@ pub fn link_heatmap_csv(report: &TelemetryReport) -> String {
         } else {
             (-1, -1)
         };
-        let _ = writeln!(out, "{node},{x},{y},{dir},{flits}");
+        let _ = writeln!(out, "{node},{x},{y},{dir},{flits},{}", drops[i]);
     }
     out
 }
@@ -46,10 +59,38 @@ mod tests {
         assert_eq!(rows.len(), 16);
         let sum: u64 = rows
             .iter()
-            .map(|row| row.rsplit(',').next().unwrap().parse::<u64>().unwrap())
+            .map(|row| row.split(',').nth(4).unwrap().parse::<u64>().unwrap())
             .sum();
         assert_eq!(sum, r.total_link_flits());
         assert!(rows[0].starts_with("0,0,0,north,"));
         assert!(rows[7].starts_with("1,1,0,west,"));
+    }
+
+    #[test]
+    fn fault_drops_column_counts_dropped_flits_per_link() {
+        use crate::event::TelemetryEvent;
+        let drop = |cycle, node, port| TelemetryEvent {
+            cycle,
+            node,
+            kind: EventKind::FlitDroppedFault,
+            port,
+            id: 9,
+        };
+        let r = TelemetryReport {
+            nodes: 4,
+            mesh_width: 2,
+            link_flits: vec![0; 16],
+            events: vec![drop(10, 1, 2), drop(11, 1, 2), drop(12, 3, 0)],
+            ..Default::default()
+        };
+        let csv = link_heatmap_csv(&r);
+        let rows: Vec<&str> = csv.lines().skip(1).collect();
+        let drops: Vec<u64> = rows
+            .iter()
+            .map(|row| row.rsplit(',').next().unwrap().parse::<u64>().unwrap())
+            .collect();
+        assert_eq!(drops[6], 2, "node 1 south link (1*4+2)");
+        assert_eq!(drops[12], 1, "node 3 north link (3*4+0)");
+        assert_eq!(drops.iter().sum::<u64>(), 3);
     }
 }

@@ -21,6 +21,11 @@ fn span_name(id: u64) -> String {
     format!("circuit path {id:#x}")
 }
 
+fn outage_name(node: u32, port: u8) -> String {
+    let dir = crate::report::DIR_NAMES[port as usize % 4];
+    format!("link outage {node}:{dir}")
+}
+
 /// Render the report as a Chrome trace-event JSON string.
 pub fn chrome_trace_json(report: &TelemetryReport) -> String {
     let mut out = String::with_capacity(report.events.len() * 96 + 4096);
@@ -89,6 +94,28 @@ pub fn chrome_trace_json(report: &TelemetryReport) -> String {
                     e.id
                 );
             }
+            // A link outage renders as an async span keyed by the directed
+            // link index: `LinkDown` opens it, `LinkUp` closes it, so a
+            // transient fault appears as a visible gap-length bar on the
+            // afflicted router.
+            EventKind::LinkDown => {
+                let _ = write!(
+                    row,
+                    "{{\"name\":\"{}\",\"cat\":\"fault\",\"ph\":\"b\",\"id\":\"{:#x}\",\
+                     \"ts\":{ts},\"pid\":{pid},\"tid\":{tid}}}",
+                    outage_name(e.node, e.port),
+                    e.node as u64 * 4 + e.port as u64
+                );
+            }
+            EventKind::LinkUp => {
+                let _ = write!(
+                    row,
+                    "{{\"name\":\"{}\",\"cat\":\"fault\",\"ph\":\"e\",\"id\":\"{:#x}\",\
+                     \"ts\":{ts},\"pid\":{pid},\"tid\":{tid}}}",
+                    outage_name(e.node, e.port),
+                    e.node as u64 * 4 + e.port as u64
+                );
+            }
             kind => {
                 let _ = write!(
                     row,
@@ -144,6 +171,25 @@ mod tests {
         let opens = json.matches('{').count();
         let closes = json.matches('}').count();
         assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn link_outage_becomes_async_span() {
+        let r = TelemetryReport {
+            nodes: 4,
+            mesh_width: 2,
+            events: vec![
+                ev(100, 2, EventKind::LinkDown, 0),
+                ev(140, 2, EventKind::LinkUp, 0),
+            ],
+            ..Default::default()
+        };
+        let json = chrome_trace_json(&r);
+        assert!(json.contains("\"cat\":\"fault\""));
+        assert!(json.contains("\"ph\":\"b\""), "outage open missing");
+        assert!(json.contains("\"ph\":\"e\""), "outage close missing");
+        assert!(json.contains("link outage 2:"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

@@ -31,40 +31,40 @@ pub trait Workload {
     }
 }
 
-/// Run the three-phase experiment loop on `fabric` driven by `workload`.
-///
-/// Phase semantics (identical to the pre-`Fabric` concrete drivers, which
-/// the `fabric_equivalence` property tests pin):
-///
-/// 1. **Warm-up** — unmeasured traffic for at least `warmup_cycles` cycles
-///    *and* `warmup_packets` packets (with a zero-rate guard);
-/// 2. **Measurement** — measured traffic until `measure_cycles` elapse or
-///    `measure_packets` have been offered;
-/// 3. **Drain** — unmeasured background traffic for up to `drain_cycles`,
-///    stopping early once every offered packet has been delivered.
-///
-/// Accepted throughput and leakage accounting use the injection window
-/// only (`stats.measured_cycles` is fixed up to it): deliveries during the
-/// drain phase would otherwise inflate throughput past the offered load at
-/// saturation.
+/// Run the three-phase experiment loop on `fabric` driven by `workload`:
+/// [`run_warmup`] followed by [`run_measurement`]. Phase semantics are
+/// identical to the pre-`Fabric` concrete drivers, which the
+/// `fabric_equivalence` property tests pin.
 pub fn run_phases(
     fabric: &mut dyn Fabric,
     workload: &mut dyn Workload,
     phases: PhaseConfig,
 ) -> RunResult {
-    let ph = phases;
-    let nodes = fabric.mesh().len();
-    let wall_start = std::time::Instant::now();
-    let first_cycle = fabric.now();
-    let mut scratch: Vec<(NodeId, Packet)> = Vec::new();
+    run_warmup(fabric, workload, phases);
+    run_measurement(fabric, workload, phases)
+}
 
-    // Warm-up.
+/// Phase 1, **warm-up**: unmeasured traffic for at least `warmup_cycles`
+/// cycles *and* `warmup_packets` packets (with a zero-rate guard).
+///
+/// Returns the number of workload ticks performed — the replay count a
+/// checkpoint must record so a restored run can fast-forward its own
+/// source with `SyntheticSource::skip_ticks` to the same RNG position.
+pub fn run_warmup(
+    fabric: &mut dyn Fabric,
+    workload: &mut dyn Workload,
+    phases: PhaseConfig,
+) -> u64 {
+    let ph = phases;
+    let mut scratch: Vec<(NodeId, Packet)> = Vec::new();
+    let mut ticks = 0u64;
     let mut injected = 0u64;
     let start = fabric.now();
     while fabric.now() - start < ph.warmup_cycles || injected < ph.warmup_packets {
         let now = fabric.now();
         scratch.clear();
         workload.tick(now, false, &mut |n, p| scratch.push((n, p)));
+        ticks += 1;
         injected += scratch.len() as u64;
         for (n, p) in scratch.drain(..) {
             fabric.inject(n, p);
@@ -74,6 +74,31 @@ pub fn run_phases(
             break; // zero-rate guard
         }
     }
+    ticks
+}
+
+/// Phases 2–3, **measurement** and **drain**, on an already-warm fabric
+/// (either fresh from [`run_warmup`] or restored from a checkpoint):
+///
+/// 2. **Measurement** — measured traffic until `measure_cycles` elapse or
+///    `measure_packets` have been offered;
+/// 3. **Drain** — unmeasured background traffic for up to `drain_cycles`,
+///    stopping early once every offered packet has been delivered.
+///
+/// Accepted throughput and leakage accounting use the injection window
+/// only (`stats.measured_cycles` is fixed up to it): deliveries during the
+/// drain phase would otherwise inflate throughput past the offered load at
+/// saturation.
+pub fn run_measurement(
+    fabric: &mut dyn Fabric,
+    workload: &mut dyn Workload,
+    phases: PhaseConfig,
+) -> RunResult {
+    let ph = phases;
+    let nodes = fabric.mesh().len();
+    let wall_start = std::time::Instant::now();
+    let first_cycle = fabric.now();
+    let mut scratch: Vec<(NodeId, Packet)> = Vec::new();
 
     // Measurement.
     fabric.begin_measurement();
@@ -169,6 +194,33 @@ mod tests {
             "offered load from workload"
         );
         assert!(r.stats.packets_delivered > 50);
+    }
+
+    #[test]
+    fn warmup_then_measurement_equals_run_phases() {
+        // The split seam must not change behaviour: composing the two
+        // halves by hand gives the same simulated results as the one-shot
+        // loop (only the host-timing fields may differ).
+        let mesh = Mesh::square(4);
+        let run = |split: bool| {
+            let cfg = NetworkConfig::with_mesh(mesh);
+            let mut net = Network::new(mesh, |id| PacketNode::new(id, &cfg, None));
+            let mut src = SyntheticSource::new(mesh, TrafficPattern::UniformRandom, 0.08, 5, 21);
+            if split {
+                let ticks = run_warmup(&mut net, &mut src, PhaseConfig::quick());
+                assert!(ticks >= PhaseConfig::quick().warmup_cycles);
+                run_measurement(&mut net, &mut src, PhaseConfig::quick())
+            } else {
+                run_phases(&mut net, &mut src, PhaseConfig::quick())
+            }
+        };
+        let (a, b) = (run(false), run(true));
+        assert_eq!(a.stats.packets_delivered, b.stats.packets_delivered);
+        assert_eq!(a.stats.latency_sum, b.stats.latency_sum);
+        assert_eq!(a.stats.measured_cycles, b.stats.measured_cycles);
+        assert_eq!(a.stats.events, b.stats.events);
+        assert_eq!(a.avg_latency, b.avg_latency);
+        assert_eq!(a.throughput, b.throughput);
     }
 
     #[test]

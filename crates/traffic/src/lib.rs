@@ -11,6 +11,6 @@ pub mod pattern;
 pub mod source;
 
 pub use driver::{OpenLoop, PhaseConfig, RunResult};
-pub use engine::{run_phases, Workload};
+pub use engine::{run_measurement, run_phases, run_warmup, Workload};
 pub use pattern::TrafficPattern;
 pub use source::{PacketFactory, SyntheticSource};

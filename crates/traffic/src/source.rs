@@ -23,6 +23,20 @@ impl PacketFactory {
         id
     }
 
+    /// The id the next allocation would get (the checkpoint watermark:
+    /// restored runs record it so forked sources never reuse an id that
+    /// is still in flight inside the snapshot).
+    pub fn next_id_preview(&self) -> u64 {
+        self.next
+    }
+
+    /// Raise the allocator to at least `floor` (no-op when already past).
+    /// Used when restoring from a checkpoint whose warm-up allocated more
+    /// ids than this source's replay did.
+    pub fn skip_to(&mut self, floor: u64) {
+        self.next = self.next.max(floor);
+    }
+
     /// Build a data packet, marking whether its latency is measured.
     pub fn data(
         &mut self,
@@ -70,6 +84,19 @@ impl SyntheticSource {
 
     pub fn rate(&self) -> f64 {
         self.rate
+    }
+
+    /// Fast-forward the source past `ticks` injection cycles by replaying
+    /// them into a discarding sink. The RNG draws and packet-id
+    /// allocations are exactly those of a live run (`tick` only uses the
+    /// cycle number to stamp metadata on the packets it emits, which are
+    /// discarded here), so a source skipped by a checkpoint's recorded
+    /// warm-up tick count continues bit-identically to the source that
+    /// produced the checkpoint.
+    pub fn skip_ticks(&mut self, ticks: u64) {
+        for now in 0..ticks {
+            self.tick(now, false, |_, _| {});
+        }
     }
 
     /// Generate this cycle's new packets; `measured` marks whether they are
@@ -154,6 +181,42 @@ mod tests {
             v
         };
         assert_eq!(run(Mesh::square(5)), run(Mesh::cmesh(5, 5, 1)));
+    }
+
+    #[test]
+    fn skip_ticks_matches_a_live_replay() {
+        // A skipped source must continue exactly where a live one that
+        // ticked the same number of cycles does: same RNG position, same
+        // next packet id.
+        let mesh = Mesh::square(5);
+        let mut live = SyntheticSource::new(mesh, TrafficPattern::UniformRandom, 0.25, 5, 77);
+        for now in 0..300 {
+            live.tick(now, false, |_, _| {});
+        }
+        let mut skipped = SyntheticSource::new(mesh, TrafficPattern::UniformRandom, 0.25, 5, 77);
+        skipped.skip_ticks(300);
+        assert_eq!(
+            live.factory.next_id_preview(),
+            skipped.factory.next_id_preview()
+        );
+        let drain = |s: &mut SyntheticSource| {
+            let mut v = Vec::new();
+            for now in 300..400 {
+                s.tick(now, true, |n, p| v.push((now, n, p.id, p.dst)));
+            }
+            v
+        };
+        assert_eq!(drain(&mut live), drain(&mut skipped));
+    }
+
+    #[test]
+    fn factory_skip_to_only_raises() {
+        let mut f = PacketFactory::new();
+        f.next_id_preview();
+        f.skip_to(10);
+        assert_eq!(f.next_id(), PacketId(10));
+        f.skip_to(5); // no-op: already past
+        assert_eq!(f.next_id(), PacketId(11));
     }
 
     #[test]

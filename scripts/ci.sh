@@ -157,4 +157,62 @@ print(f"trace ok: {len(evs)} events, categories {dict(cats)}, "
       f"{len(tel['windows'])} metric windows")
 PY
 
+echo "== checkpoint/restore determinism (continuous vs --checkpoint-out vs --checkpoint-from) =="
+for BACKEND in PacketVc4 HybridTdmVc4 HybridSdmVc4; do
+    cat > "$SWEEP_TMP/ckpt_spec.json" <<JSON
+[
+  { "backend": "$BACKEND", "mesh": 4,
+    "traffic": { "pattern": "UR", "rate": 0.10 },
+    "phases": { "warmup_cycles": 300, "warmup_packets": 50,
+                "measure_cycles": 1500, "measure_packets": 2000,
+                "drain_cycles": 3000 },
+    "seed": 31 }
+]
+JSON
+    cargo run --release -p noc-bench --bin fig4_load_latency "${OFFLINE[@]}" -- \
+        --scenario "$SWEEP_TMP/ckpt_spec.json" --json "$SWEEP_TMP/ckpt_cont.json" > /dev/null
+    cargo run --release -p noc-bench --bin fig4_load_latency "${OFFLINE[@]}" -- \
+        --scenario "$SWEEP_TMP/ckpt_spec.json" --json "$SWEEP_TMP/ckpt_out.json" \
+        --checkpoint-out "$SWEEP_TMP/warm.ckpt" > /dev/null
+    cargo run --release -p noc-bench --bin fig4_load_latency "${OFFLINE[@]}" -- \
+        --scenario "$SWEEP_TMP/ckpt_spec.json" --json "$SWEEP_TMP/ckpt_from.json" \
+        --checkpoint-from "$SWEEP_TMP/warm.ckpt" > /dev/null
+    cmp "$SWEEP_TMP/ckpt_cont.json" "$SWEEP_TMP/ckpt_out.json"
+    cmp "$SWEEP_TMP/ckpt_cont.json" "$SWEEP_TMP/ckpt_from.json"
+    rm -f "$SWEEP_TMP/warm.ckpt"
+    echo "$BACKEND: restore byte-identical to continuous run"
+done
+
+echo "== transient-fault TDM scenario (kill + revive, repair FSM, drain) =="
+cat > "$SWEEP_TMP/fault.json" <<'JSON'
+[
+  { "backend": "HybridTdmVc4", "mesh": 4,
+    "traffic": { "pattern": "TR", "rate": 0.15 },
+    "phases": { "warmup_cycles": 500, "warmup_packets": 50,
+                "measure_cycles": 3000, "measure_packets": 10000,
+                "drain_cycles": 3000 },
+    "seed": 9,
+    "faults": [ { "at": 1400, "node": 5, "dir": "east" },
+                { "at": 2000, "node": 5, "dir": "east", "up": true } ] }
+]
+JSON
+cargo run --release -p noc-bench --bin fig4_load_latency "${OFFLINE[@]}" -- \
+    --scenario "$SWEEP_TMP/fault.json" --json "$SWEEP_TMP/fault_out.json" > /dev/null
+python3 - "$SWEEP_TMP" <<'PY'
+import json, sys
+tmp = sys.argv[1]
+env = json.load(open(f"{tmp}/fault_out.json"))
+stats = env["data"][0]["result"]["stats"]
+# Fault counters serialize only when non-zero.
+assert stats.get("link_down_events", 0) == 1, stats
+assert stats.get("link_up_events", 0) == 1, stats
+assert stats.get("repairs", 0) == 2, "kill + revive must each complete a repair"
+assert stats.get("repair_cycle_sum", 0) > 0, "repair latency missing"
+assert stats["packets_delivered"] > 100, "network starved across the outage"
+spec = env["scenario"][0]
+assert len(spec["faults"]) == 2, "fault schedule must echo into the envelope"
+print(f"transient fault ok: repairs={stats['repairs']}, "
+      f"mean repair latency {stats['repair_cycle_sum'] / stats['repairs']:.0f} cycles")
+PY
+
 echo "CI OK"
