@@ -26,10 +26,10 @@
 
 use noc_power::{EnergyBreakdown, EnergyModel};
 use noc_sim::telemetry::{chrome_trace_json, link_heatmap_csv};
-use noc_sim::{Mesh, NetworkConfig, TelemetryConfig, TelemetryReport};
+use noc_sim::{Fabric, Mesh, NetworkConfig, TelemetryConfig, TelemetryReport};
 use noc_traffic::{
-    run_measurement, run_phases, run_warmup, PhaseConfig, RunResult, SyntheticSource,
-    TrafficPattern,
+    run_measurement, run_measurement_ctl, run_phases, run_warmup, run_warmup_ctl, PhaseConfig,
+    RunControl, RunResult, SyntheticSource, TrafficPattern,
 };
 use serde::{Serialize, Value};
 
@@ -40,6 +40,7 @@ pub use noc_scenario::{
     sweep_threads_flag, telemetry_from_cli, trace_out_flag, write_json, BackendKind, Checkpoint,
     ScenarioError, ScenarioSpec, TrafficSpec, Tuning, SCHEMA_VERSION,
 };
+pub use noc_traffic::FreeRun;
 
 /// One synthetic measurement point.
 #[derive(Clone, Debug, serde::Serialize)]
@@ -193,6 +194,132 @@ pub fn run_synthetic_spec_traced(
         ),
         report,
     ))
+}
+
+/// How an in-process service run starts: cold (optionally capturing a
+/// warm-up checkpoint at the warm/measurement boundary) or restored from
+/// a cached blob (the warm-up-cache hit path of `noc-serve`).
+pub enum WarmStart<'a> {
+    /// Pay the warm-up; `capture` additionally checkpoints the fabric at
+    /// the boundary and returns the blob in [`ServeRun::Done`].
+    Fresh { capture: bool },
+    /// Restore a previously captured warm-up (must be
+    /// [`Checkpoint::compatible_with`] the spec) and go straight to
+    /// measurement.
+    Restore(&'a Checkpoint),
+}
+
+/// Outcome of one cancellable in-process run ([`run_synthetic_spec_ctl`]).
+/// One transient value per run, so the checkpoint-carrying `Done`
+/// variant stays unboxed despite the size skew.
+#[allow(clippy::large_enum_variant)]
+pub enum ServeRun {
+    Done {
+        point: SynthPoint,
+        /// The warm-up checkpoint, when `WarmStart::Fresh { capture: true }`
+        /// asked for one.
+        warm: Option<Checkpoint>,
+    },
+    /// The control hook cancelled the run. The fabric was given a bounded
+    /// drain before being dropped; `arena_live` reports config-payload
+    /// allocations still live afterwards (0 = clean cancellation, no
+    /// leaks).
+    Cancelled { arena_live: usize },
+}
+
+/// The worker-side engine entry point of `noc-serve`: like
+/// [`run_synthetic_spec_traced`] but callable in-process with (a) a
+/// [`RunControl`] hook for tick-granularity cooperative cancellation and
+/// live telemetry streaming, (b) an in-memory [`WarmStart`] instead of
+/// the `checkpoint_out`/`checkpoint_from` file plumbing, and (c)
+/// host-timing fields zeroed (like sweep envelopes) so equal specs
+/// produce byte-identical serialised results.
+///
+/// `stream` arms windowed metrics *after* the warm-up boundary — both
+/// because `Fabric::checkpoint` refuses while telemetry is armed and so
+/// the window frames cover exactly the measurement the subscriber cares
+/// about. Telemetry only observes; results are bit-identical either way.
+pub fn run_synthetic_spec_ctl(
+    spec: &ScenarioSpec,
+    warm: WarmStart<'_>,
+    stream: Option<&TelemetryConfig>,
+    ctl: &mut dyn RunControl,
+) -> Result<ServeRun, ScenarioError> {
+    fn cancelled(fabric: &mut dyn Fabric) -> ServeRun {
+        // Flush in-flight flits so a cancelled run releases its arena
+        // payloads; the bound keeps a wedged fabric from spinning forever.
+        let _ = fabric.drain(100_000);
+        ServeRun::Cancelled {
+            arena_live: fabric.arena_live(),
+        }
+    }
+
+    let TrafficSpec::Synthetic { pattern, rate } = &spec.traffic else {
+        return Err(ScenarioError::Parse(
+            "run_synthetic_spec_ctl needs a synthetic scenario (pattern+rate)".into(),
+        ));
+    };
+    let (name, rate) = (pattern.name(), *rate);
+    let mut fabric = spec.build_fabric()?;
+    let mut source = spec.build_source().expect("synthetic traffic has a source");
+    let warm_blob = match warm {
+        WarmStart::Restore(ck) => {
+            ck.compatible_with(spec)?;
+            source.skip_ticks(ck.warmup_ticks);
+            source.factory.skip_to(ck.next_packet_id);
+            fabric
+                .restore(&ck.snapshot)
+                .map_err(|e| ScenarioError::Checkpoint(e.to_string()))?;
+            None
+        }
+        WarmStart::Fresh { capture } => {
+            if !spec.faults.is_empty() {
+                spec.validate_faults()?;
+                fabric
+                    .set_faults(spec.faults.clone())
+                    .map_err(|e| ScenarioError::Fault(e.to_string()))?;
+            }
+            let Some(warmup_ticks) = run_warmup_ctl(fabric.as_mut(), &mut source, spec.phases, ctl)
+            else {
+                return Ok(cancelled(fabric.as_mut()));
+            };
+            if capture {
+                let snapshot = fabric
+                    .checkpoint()
+                    .map_err(|e| ScenarioError::Checkpoint(e.to_string()))?;
+                Some(Checkpoint {
+                    spec: spec.clone(),
+                    warmup_ticks,
+                    next_packet_id: source.factory.next_id_preview(),
+                    snapshot,
+                })
+            } else {
+                None
+            }
+        }
+    };
+    if let Some(cfg) = stream {
+        fabric.configure_telemetry(cfg);
+    }
+    let Some(result) = run_measurement_ctl(fabric.as_mut(), &mut source, spec.phases, ctl) else {
+        return Ok(cancelled(fabric.as_mut()));
+    };
+    let net_cfg = spec.net_config();
+    let mut point = synth_point(
+        spec.backend,
+        name,
+        rate,
+        result,
+        net_cfg.mesh.len(),
+        net_cfg.ps_packet_flits,
+    );
+    // Service results must serialise reproducibly, like sweep envelopes.
+    point.result.wall_seconds = 0.0;
+    point.result.sim_cycles_per_sec = 0.0;
+    Ok(ServeRun::Done {
+        point,
+        warm: warm_blob,
+    })
 }
 
 /// What one scenario spec produced: a synthetic sweep point or a

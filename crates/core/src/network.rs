@@ -469,6 +469,18 @@ impl Fabric for TdmNetwork {
         self.net.take_telemetry()
     }
 
+    fn telemetry_window_count(&self) -> usize {
+        self.net.telemetry_window_count()
+    }
+
+    fn telemetry_windows_from(&self, from: usize) -> Vec<noc_sim::WindowSnapshot> {
+        self.net.telemetry_windows_from(from)
+    }
+
+    fn telemetry_metric_names(&self) -> Vec<String> {
+        self.net.telemetry_metric_names()
+    }
+
     fn active_slots(&self) -> Option<u16> {
         Some(TdmNetwork::active_slots(self))
     }

@@ -20,6 +20,7 @@
 //!   the experiment binaries.
 
 pub mod backend;
+pub mod cache_key;
 pub mod checkpoint;
 pub mod cli;
 pub mod envelope;
@@ -29,6 +30,9 @@ pub mod spec;
 pub use backend::{
     build_fabric, hetero_tdm_config, slot_capacity_for, synthetic_sdm_config, synthetic_tdm_config,
     BackendKind, ScenarioError, Tuning,
+};
+pub use cache_key::{
+    canonical_spec_json, canonicalize, code_version, result_key, warmup_key, CacheKey,
 };
 pub use checkpoint::{Checkpoint, CHECKPOINT_MAGIC, CHECKPOINT_VERSION};
 pub use cli::{

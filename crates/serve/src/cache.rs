@@ -1,0 +1,204 @@
+//! The two-level content-addressed cache behind the scenario service.
+//!
+//! * **Result cache** — finished result envelopes keyed by
+//!   [`result_key`](noc_scenario::result_key): in-memory LRU over
+//!   `Arc<String>` (the exact serialised bytes, so hits are replayed
+//!   byte-identically without re-serialising) plus an optional on-disk
+//!   store (`<dir>/<hex>.json`) that survives server restarts.
+//! * **Warm-up cache** — `NOCCKPT1` checkpoint blobs keyed by
+//!   [`warmup_key`](noc_scenario::warmup_key): sweep points that differ
+//!   only in measurement parameters restore one shared blob instead of
+//!   re-running warm-up. Blobs are orders of magnitude bigger than
+//!   envelopes, so this level gets its own (smaller) LRU budget and
+//!   `.ckpt` files on disk.
+//!
+//! Disk writes are best-effort: an unwritable cache directory degrades
+//! the server to memory-only caching instead of failing requests.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use noc_scenario::{CacheKey, Checkpoint};
+
+/// Where a cache hit was found (reported in the result frame and stats).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HitSource {
+    Memory,
+    Disk,
+}
+
+struct Lru<V> {
+    map: HashMap<CacheKey, (V, u64)>,
+    tick: u64,
+    max: usize,
+}
+
+impl<V> Lru<V> {
+    fn new(max: usize) -> Self {
+        Lru {
+            map: HashMap::new(),
+            tick: 0,
+            max: max.max(1),
+        }
+    }
+
+    fn get(&mut self, key: &CacheKey) -> Option<&V> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|(v, at)| {
+            *at = tick;
+            &*v
+        })
+    }
+
+    fn put(&mut self, key: CacheKey, value: V) {
+        self.tick += 1;
+        self.map.insert(key, (value, self.tick));
+        while self.map.len() > self.max {
+            // O(n) eviction scan; the cache caps at a few hundred entries.
+            let oldest = *self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, at))| *at)
+                .map(|(k, _)| k)
+                .expect("non-empty map has a minimum");
+            self.map.remove(&oldest);
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+fn disk_path(dir: &Path, key: &CacheKey, ext: &str) -> PathBuf {
+    dir.join(format!("{}.{ext}", key.hex()))
+}
+
+/// Finished result envelopes (exact serialised bytes).
+pub struct ResultCache {
+    mem: Lru<Arc<String>>,
+    dir: Option<PathBuf>,
+}
+
+impl ResultCache {
+    pub fn new(max: usize, dir: Option<PathBuf>) -> Self {
+        ResultCache {
+            mem: Lru::new(max),
+            dir,
+        }
+    }
+
+    /// Look up an envelope; disk hits are promoted into memory.
+    pub fn get(&mut self, key: &CacheKey) -> Option<(Arc<String>, HitSource)> {
+        if let Some(env) = self.mem.get(key) {
+            return Some((Arc::clone(env), HitSource::Memory));
+        }
+        let dir = self.dir.as_deref()?;
+        let env = std::fs::read_to_string(disk_path(dir, key, "json")).ok()?;
+        let env = Arc::new(env);
+        self.mem.put(*key, Arc::clone(&env));
+        Some((env, HitSource::Disk))
+    }
+
+    pub fn put(&mut self, key: CacheKey, envelope: Arc<String>) {
+        if let Some(dir) = &self.dir {
+            let _ = std::fs::create_dir_all(dir);
+            let _ = std::fs::write(disk_path(dir, &key, "json"), envelope.as_bytes());
+        }
+        self.mem.put(key, envelope);
+    }
+
+    pub fn len(&self) -> usize {
+        self.mem.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.mem.len() == 0
+    }
+}
+
+/// Warm-up checkpoint blobs shared across a sweep batch.
+pub struct WarmCache {
+    mem: Lru<Arc<Checkpoint>>,
+    dir: Option<PathBuf>,
+}
+
+impl WarmCache {
+    pub fn new(max: usize, dir: Option<PathBuf>) -> Self {
+        WarmCache {
+            mem: Lru::new(max),
+            dir,
+        }
+    }
+
+    pub fn get(&mut self, key: &CacheKey) -> Option<Arc<Checkpoint>> {
+        if let Some(ck) = self.mem.get(key) {
+            return Some(Arc::clone(ck));
+        }
+        let dir = self.dir.as_deref()?;
+        let bytes = std::fs::read(disk_path(dir, key, "ckpt")).ok()?;
+        // A corrupt or version-skewed blob is a miss, not an error: the
+        // run simply pays its warm-up and overwrites the entry.
+        let ck = Arc::new(Checkpoint::decode(&bytes).ok()?);
+        self.mem.put(*key, Arc::clone(&ck));
+        Some(ck)
+    }
+
+    pub fn put(&mut self, key: CacheKey, ck: Arc<Checkpoint>) {
+        if let Some(dir) = &self.dir {
+            let _ = std::fs::create_dir_all(dir);
+            let _ = std::fs::write(disk_path(dir, &key, "ckpt"), ck.encode());
+        }
+        self.mem.put(key, ck);
+    }
+
+    pub fn len(&self) -> usize {
+        self.mem.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.mem.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(b: u8) -> CacheKey {
+        CacheKey([b; 32])
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = ResultCache::new(2, None);
+        c.put(key(1), Arc::new("one".into()));
+        c.put(key(2), Arc::new("two".into()));
+        assert!(c.get(&key(1)).is_some()); // touch 1, making 2 the LRU
+        c.put(key(3), Arc::new("three".into()));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(&key(2)).is_none(), "2 was evicted");
+        let (env, src) = c.get(&key(1)).expect("1 survived");
+        assert_eq!((env.as_str(), src), ("one", HitSource::Memory));
+    }
+
+    #[test]
+    fn disk_store_round_trips_and_promotes() {
+        let dir = std::env::temp_dir().join(format!("noc-serve-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut c = ResultCache::new(4, Some(dir.clone()));
+            c.put(key(7), Arc::new("{\"x\":1}".into()));
+        }
+        // A fresh cache (fresh process, conceptually) hits via disk.
+        let mut c = ResultCache::new(4, Some(dir.clone()));
+        let (env, src) = c.get(&key(7)).expect("disk hit");
+        assert_eq!((env.as_str(), src), ("{\"x\":1}", HitSource::Disk));
+        // And is now promoted to memory.
+        let (_, src) = c.get(&key(7)).unwrap();
+        assert_eq!(src, HitSource::Memory);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -24,7 +24,7 @@
 //!   controller and exposes the resize observation hooks
 //!   ([`Fabric::active_slots`], [`Fabric::resizes`]).
 
-use noc_telemetry::{TelemetryConfig, TelemetryReport};
+use noc_telemetry::{TelemetryConfig, TelemetryReport, WindowSnapshot};
 
 use crate::flit::Packet;
 use crate::geometry::NodeId;
@@ -105,6 +105,26 @@ pub trait Fabric {
     /// link counters, metrics windows). `None` when never armed.
     fn telemetry_report(&mut self) -> Option<TelemetryReport> {
         None
+    }
+
+    /// Closed metrics windows recorded so far, without disarming — the
+    /// cheap per-cycle poll a live-streaming harness (`noc-serve`) makes
+    /// between steps. Default 0, for uninstrumented fabrics.
+    fn telemetry_window_count(&self) -> usize {
+        0
+    }
+
+    /// Clone the closed metrics windows from index `from` on, without
+    /// disarming (empty when telemetry is unarmed). Label the value
+    /// columns with [`Fabric::telemetry_metric_names`].
+    fn telemetry_windows_from(&self, _from: usize) -> Vec<WindowSnapshot> {
+        Vec::new()
+    }
+
+    /// Registration-order metric names of the armed registry (empty when
+    /// telemetry is unarmed).
+    fn telemetry_metric_names(&self) -> Vec<String> {
+        Vec::new()
     }
 
     /// Resize hook: the network-wide active slot-table size, for backends
@@ -245,6 +265,18 @@ impl<N: NodeModel + Send + 'static> Fabric for Network<N> {
 
     fn telemetry_report(&mut self) -> Option<TelemetryReport> {
         Network::take_telemetry(self)
+    }
+
+    fn telemetry_window_count(&self) -> usize {
+        Network::telemetry_window_count(self)
+    }
+
+    fn telemetry_windows_from(&self, from: usize) -> Vec<WindowSnapshot> {
+        Network::telemetry_windows_from(self, from)
+    }
+
+    fn telemetry_metric_names(&self) -> Vec<String> {
+        Network::telemetry_metric_names(self)
     }
 
     fn checkpoint(&self) -> Result<FabricSnapshot, SnapshotError> {

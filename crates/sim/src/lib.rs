@@ -46,6 +46,7 @@ pub mod trace;
 pub use noc_telemetry as telemetry;
 pub use noc_telemetry::{
     EventKind, RingSink, TelemetryConfig, TelemetryEvent, TelemetryReport, TraceSink,
+    WindowSnapshot,
 };
 
 pub use arena::{ConfigArena, ConfigRef};

@@ -46,6 +46,7 @@ use std::thread::JoinHandle;
 
 use noc_telemetry::{
     EventKind, MetricId, MetricsRegistry, TelemetryConfig, TelemetryReport, TraceSink,
+    WindowSnapshot,
 };
 
 use crate::arena::ConfigArena;
@@ -258,8 +259,10 @@ pub struct Network<N: NodeModel> {
     arena: Arc<ConfigArena>,
     /// Flat neighbour table precomputed from the topology at construction;
     /// the phase-3 wire-routing loop probes this instead of re-deriving
-    /// coordinates per flit.
-    tables: TopoTables,
+    /// coordinates per flit. Shared process-wide per topology shape
+    /// ([`TopoTables::shared`]) so batch sweeps don't rebuild adjacency
+    /// once per point.
+    tables: Arc<TopoTables>,
     /// Link-fault state, present only once [`Network::set_faults`] arms a
     /// schedule.
     faults: Option<Box<FaultState>>,
@@ -304,7 +307,7 @@ impl<N: NodeModel> Network<N> {
             leak_dlt: 0,
             telemetry: None,
             arena: Arc::new(ConfigArena::new()),
-            tables: TopoTables::build(&mesh),
+            tables: TopoTables::shared(&mesh),
             faults: None,
         };
         let arena = net.arena.clone();
@@ -861,6 +864,32 @@ impl<N: NodeModel> Network<N> {
         report.registry = t.registry;
         report.sort_events();
         Some(report)
+    }
+
+    /// Number of closed metrics windows recorded so far. Non-destructive
+    /// (telemetry stays armed), so a live run's harness can poll this once
+    /// per cycle and stream the new windows to subscribers as they close.
+    pub fn telemetry_window_count(&self) -> usize {
+        self.telemetry
+            .as_deref()
+            .map_or(0, |t| t.registry.windows.len())
+    }
+
+    /// Clone the closed metrics windows from index `from` on (empty when
+    /// telemetry is unarmed or nothing new closed). Pair with
+    /// [`Network::telemetry_metric_names`] to label the value columns.
+    pub fn telemetry_windows_from(&self, from: usize) -> Vec<WindowSnapshot> {
+        self.telemetry.as_deref().map_or_else(Vec::new, |t| {
+            t.registry.windows.get(from..).unwrap_or(&[]).to_vec()
+        })
+    }
+
+    /// Registration-order metric names of the armed registry (empty when
+    /// telemetry is unarmed).
+    pub fn telemetry_metric_names(&self) -> Vec<String> {
+        self.telemetry
+            .as_deref()
+            .map_or_else(Vec::new, |t| t.registry.names().to_vec())
     }
 
     // --- Link faults (see `FaultState`) ---

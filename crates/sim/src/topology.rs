@@ -39,7 +39,7 @@ pub enum TopologyKind {
 /// `Mesh` is a backwards-compatible alias: `Mesh::new`/`Mesh::square`
 /// build the plain-mesh variant, and every query method on a plain mesh
 /// behaves exactly as the old mesh-only type did.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Topology {
     kind: TopologyKind,
     kx: u16,
@@ -305,6 +305,25 @@ pub struct TopoTables {
 }
 
 impl TopoTables {
+    /// Shared tables for `topo`, building them at most once per distinct
+    /// (kind, radices, concentration) for the whole process. Adjacency is
+    /// pure structure, so every network of the same shape — including the
+    /// workers of a batch sweep — can hold the same `Arc` instead of
+    /// rebuilding the table per fabric. Entries are tiny (4 B × 4 × nodes)
+    /// and the set of distinct shapes a process touches is small, so the
+    /// cache never evicts.
+    pub fn shared(topo: &Topology) -> std::sync::Arc<TopoTables> {
+        use std::collections::HashMap;
+        use std::sync::{Arc, Mutex, OnceLock};
+        static CACHE: OnceLock<Mutex<HashMap<Topology, Arc<TopoTables>>>> = OnceLock::new();
+        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        let mut map = cache.lock().expect("topo table cache poisoned");
+        Arc::clone(
+            map.entry(*topo)
+                .or_insert_with(|| Arc::new(TopoTables::build(topo))),
+        )
+    }
+
     pub fn build(topo: &Topology) -> Self {
         let n = topo.len();
         let mut neighbor = vec![NO_NEIGHBOR; n * 4].into_boxed_slice();
@@ -490,6 +509,16 @@ mod tests {
             }
         }
         assert_eq!(Mesh::square(4).clients(), 16);
+    }
+
+    #[test]
+    fn shared_tables_are_built_once_per_shape() {
+        let a = TopoTables::shared(&Mesh::square(7));
+        let b = TopoTables::shared(&Mesh::square(7));
+        assert!(std::sync::Arc::ptr_eq(&a, &b), "same shape, same tables");
+        let c = TopoTables::shared(&Mesh::torus(7, 7));
+        assert!(!std::sync::Arc::ptr_eq(&a, &c), "torus wires differently");
+        assert_eq!(c.len(), 49);
     }
 
     #[test]

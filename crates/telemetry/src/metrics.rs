@@ -72,6 +72,27 @@ impl Serialize for WindowSnapshot {
     }
 }
 
+/// A window snapshot keyed by metric name — the body of the JSON-lines
+/// frame a live streaming subscriber receives (`noc-serve`). `names` is
+/// the registry's registration-order name list; extra values (from a
+/// layout the names don't cover) are dropped rather than mislabelled.
+pub fn window_frame(names: &[String], w: &WindowSnapshot) -> Value {
+    Value::Object(vec![
+        ("start".into(), Value::UInt(w.start)),
+        ("end".into(), Value::UInt(w.end)),
+        (
+            "metrics".into(),
+            Value::Object(
+                names
+                    .iter()
+                    .zip(w.values.iter())
+                    .map(|(n, v)| (n.clone(), Value::UInt(*v)))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
 /// The registry. Metric ids are assigned in registration order, so two
 /// registries populated by the same code path are structurally aligned
 /// and can be merged without name lookups.

@@ -31,6 +31,29 @@ pub trait Workload {
     }
 }
 
+/// Per-cycle control hook for live runs: cooperative cancellation plus an
+/// observation point a streaming harness (`noc-serve`) can use to publish
+/// telemetry windows as they close. Called once per simulated cycle,
+/// immediately after the fabric stepped; returning `false` cancels the
+/// run (the `_ctl` engine entry points then return `None` without
+/// touching the fabric further, leaving cleanup — typically a bounded
+/// drain — to the caller).
+///
+/// The hook only observes: a control that always returns `true` leaves
+/// the simulated results bit-identical to the plain entry points.
+pub trait RunControl {
+    fn on_cycle(&mut self, fabric: &mut dyn Fabric) -> bool;
+}
+
+/// The default control: never cancels, observes nothing.
+pub struct FreeRun;
+
+impl RunControl for FreeRun {
+    fn on_cycle(&mut self, _fabric: &mut dyn Fabric) -> bool {
+        true
+    }
+}
+
 /// Run the three-phase experiment loop on `fabric` driven by `workload`:
 /// [`run_warmup`] followed by [`run_measurement`]. Phase semantics are
 /// identical to the pre-`Fabric` concrete drivers, which the
@@ -44,6 +67,17 @@ pub fn run_phases(
     run_measurement(fabric, workload, phases)
 }
 
+/// [`run_phases`] with a [`RunControl`] hook; `None` when cancelled.
+pub fn run_phases_ctl(
+    fabric: &mut dyn Fabric,
+    workload: &mut dyn Workload,
+    phases: PhaseConfig,
+    ctl: &mut dyn RunControl,
+) -> Option<RunResult> {
+    run_warmup_ctl(fabric, workload, phases, ctl)?;
+    run_measurement_ctl(fabric, workload, phases, ctl)
+}
+
 /// Phase 1, **warm-up**: unmeasured traffic for at least `warmup_cycles`
 /// cycles *and* `warmup_packets` packets (with a zero-rate guard).
 ///
@@ -55,6 +89,16 @@ pub fn run_warmup(
     workload: &mut dyn Workload,
     phases: PhaseConfig,
 ) -> u64 {
+    run_warmup_ctl(fabric, workload, phases, &mut FreeRun).expect("FreeRun never cancels")
+}
+
+/// [`run_warmup`] with a [`RunControl`] hook; `None` when cancelled.
+pub fn run_warmup_ctl(
+    fabric: &mut dyn Fabric,
+    workload: &mut dyn Workload,
+    phases: PhaseConfig,
+    ctl: &mut dyn RunControl,
+) -> Option<u64> {
     let ph = phases;
     let mut scratch: Vec<(NodeId, Packet)> = Vec::new();
     let mut ticks = 0u64;
@@ -70,11 +114,14 @@ pub fn run_warmup(
             fabric.inject(n, p);
         }
         fabric.step();
+        if !ctl.on_cycle(fabric) {
+            return None;
+        }
         if fabric.now() - start > ph.warmup_cycles * 50 {
             break; // zero-rate guard
         }
     }
-    ticks
+    Some(ticks)
 }
 
 /// Phases 2–3, **measurement** and **drain**, on an already-warm fabric
@@ -94,6 +141,18 @@ pub fn run_measurement(
     workload: &mut dyn Workload,
     phases: PhaseConfig,
 ) -> RunResult {
+    run_measurement_ctl(fabric, workload, phases, &mut FreeRun).expect("FreeRun never cancels")
+}
+
+/// [`run_measurement`] with a [`RunControl`] hook; `None` when cancelled
+/// (mid-measurement or mid-drain — either way the window is abandoned,
+/// `end_measurement` is not called, and the fabric is left to the caller).
+pub fn run_measurement_ctl(
+    fabric: &mut dyn Fabric,
+    workload: &mut dyn Workload,
+    phases: PhaseConfig,
+    ctl: &mut dyn RunControl,
+) -> Option<RunResult> {
     let ph = phases;
     let nodes = fabric.mesh().len();
     let wall_start = std::time::Instant::now();
@@ -114,6 +173,9 @@ pub fn run_measurement(
             fabric.inject(n, p);
         }
         fabric.step();
+        if !ctl.on_cycle(fabric) {
+            return None;
+        }
     }
 
     // Accepted throughput is measured over the injection window only —
@@ -136,6 +198,9 @@ pub fn run_measurement(
             fabric.inject(n, p);
         }
         fabric.step();
+        if !ctl.on_cycle(fabric) {
+            return None;
+        }
     }
     fabric.end_measurement();
     // Leakage/throughput accounting uses the injection window only.
@@ -156,7 +221,7 @@ pub fn run_measurement(
     };
     let wall_seconds = wall_start.elapsed().as_secs_f64();
     let total_cycles = fabric.now() - first_cycle;
-    RunResult {
+    Some(RunResult {
         offered: workload.offered_load(),
         avg_latency,
         throughput,
@@ -169,7 +234,7 @@ pub fn run_measurement(
             0.0
         },
         stats,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -221,6 +286,47 @@ mod tests {
         assert_eq!(a.stats.events, b.stats.events);
         assert_eq!(a.avg_latency, b.avg_latency);
         assert_eq!(a.throughput, b.throughput);
+    }
+
+    #[test]
+    fn run_control_cancels_at_tick_granularity() {
+        struct CancelAfter(u64, u64);
+        impl RunControl for CancelAfter {
+            fn on_cycle(&mut self, _fabric: &mut dyn Fabric) -> bool {
+                self.1 += 1;
+                self.1 < self.0
+            }
+        }
+        let mesh = Mesh::square(4);
+        let cfg = NetworkConfig::with_mesh(mesh);
+        let mut net = Network::new(mesh, |id| PacketNode::new(id, &cfg, None));
+        let mut src = SyntheticSource::new(mesh, TrafficPattern::UniformRandom, 0.05, 5, 11);
+        let mut ctl = CancelAfter(40, 0);
+        let r = run_phases_ctl(&mut net, &mut src, PhaseConfig::quick(), &mut ctl);
+        assert!(r.is_none(), "cancelled runs return no result");
+        assert_eq!(net.now(), 40, "the run stopped on the cancelling tick");
+        // The fabric is still usable: the caller can drain it clean.
+        assert!(net.drain(10_000));
+        assert_eq!(net.arena().live(), 0, "no leaked config payloads");
+    }
+
+    #[test]
+    fn free_run_control_matches_plain_entry_points() {
+        let mesh = Mesh::square(4);
+        let run = |ctl: bool| {
+            let cfg = NetworkConfig::with_mesh(mesh);
+            let mut net = Network::new(mesh, |id| PacketNode::new(id, &cfg, None));
+            let mut src = SyntheticSource::new(mesh, TrafficPattern::Transpose, 0.08, 5, 7);
+            if ctl {
+                run_phases_ctl(&mut net, &mut src, PhaseConfig::quick(), &mut FreeRun).unwrap()
+            } else {
+                run_phases(&mut net, &mut src, PhaseConfig::quick())
+            }
+        };
+        let (a, b) = (run(false), run(true));
+        assert_eq!(a.stats.packets_delivered, b.stats.packets_delivered);
+        assert_eq!(a.stats.latency_sum, b.stats.latency_sum);
+        assert_eq!(a.stats.events, b.stats.events);
     }
 
     #[test]

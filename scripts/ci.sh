@@ -215,4 +215,44 @@ print(f"transient fault ok: repairs={stats['repairs']}, "
       f"mean repair latency {stats['repair_cycle_sum'] / stats['repairs']:.0f} cycles")
 PY
 
+echo "== noc-serve smoke (socket batch twice: second pass all cache hits, byte-identical) =="
+SERVE_SOCK="$SWEEP_TMP/noc-serve.sock"
+cargo run --release -p noc-serve --bin noc-serve "${OFFLINE[@]}" -- \
+    --listen "$SERVE_SOCK" --workers 2 --cache-dir "$SWEEP_TMP/serve-cache" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do [[ -S "$SERVE_SOCK" ]] && break; sleep 0.1; done
+[[ -S "$SERVE_SOCK" ]] || { echo "noc-serve did not come up"; exit 1; }
+cat > "$SWEEP_TMP/serve_batch.jsonl" <<'JSONL'
+{"op":"run","id":"s1","spec":{"backend":"HybridTdmVc4","mesh":4,"traffic":{"pattern":"UR","rate":0.05},"phases":{"warmup_cycles":300,"warmup_packets":50,"measure_cycles":1500,"measure_packets":2000,"drain_cycles":3000},"seed":11}}
+{"op":"run","id":"s2","spec":{"backend":"HybridTdmVc4","mesh":4,"traffic":{"pattern":"UR","rate":0.10},"phases":{"warmup_cycles":300,"warmup_packets":50,"measure_cycles":1500,"measure_packets":2000,"drain_cycles":3000},"seed":12}}
+{"op":"run","id":"s3","spec":{"backend":"PacketVc4","mesh":4,"traffic":{"pattern":"TR","rate":0.08},"phases":{"warmup_cycles":300,"warmup_packets":50,"measure_cycles":1500,"measure_packets":2000,"drain_cycles":3000},"seed":13}}
+JSONL
+cargo run --release -p noc-serve --bin noc-serve "${OFFLINE[@]}" -- \
+    --connect "$SERVE_SOCK" < "$SWEEP_TMP/serve_batch.jsonl" | sort > "$SWEEP_TMP/serve_pass1.jsonl"
+cargo run --release -p noc-serve --bin noc-serve "${OFFLINE[@]}" -- \
+    --connect "$SERVE_SOCK" < "$SWEEP_TMP/serve_batch.jsonl" | sort > "$SWEEP_TMP/serve_pass2.jsonl"
+echo '{"op":"shutdown"}' | cargo run --release -p noc-serve --bin noc-serve "${OFFLINE[@]}" -- \
+    --connect "$SERVE_SOCK" > /dev/null
+wait "$SERVE_PID"
+python3 - "$SWEEP_TMP" <<'PY'
+import json, sys
+tmp = sys.argv[1]
+def raw_envelope(line):
+    # Slice the raw bytes rather than comparing parsed JSON: the cache
+    # contract is *byte* identity of the replayed envelope.
+    return line[line.index('"envelope":') + len('"envelope":'):].rstrip().rstrip("}")
+
+l1 = open(f"{tmp}/serve_pass1.jsonl").readlines()
+l2 = open(f"{tmp}/serve_pass2.jsonl").readlines()
+assert len(l1) == len(l2) == 3, (len(l1), len(l2))
+for a, b in zip(l1, l2):
+    ja, jb = json.loads(a), json.loads(b)
+    assert ja["kind"] == jb["kind"] == "result", (ja["kind"], jb["kind"])
+    assert ja["id"] == jb["id"], (ja["id"], jb["id"])
+    assert ja["cache"] == "miss", f'first pass must simulate, got {ja["cache"]}'
+    assert jb["cache"] == "hit", f'second pass must hit the cache, got {jb["cache"]}'
+    assert raw_envelope(a) == raw_envelope(b), f'cache hit for {ja["id"]} not byte-identical'
+print("serve smoke ok: 3 misses then 3 byte-identical hits")
+PY
+
 echo "CI OK"

@@ -1,7 +1,8 @@
 //! Vendored offline stand-in for `serde_json`, providing
-//! [`to_string_pretty`] over the vendored `serde::Value` tree — the only
-//! serialiser entry point this workspace uses. Output matches upstream
-//! serde_json's pretty format (2-space indent, `": "` separators).
+//! [`to_string_pretty`] and compact [`to_string`] over the vendored
+//! `serde::Value` tree — the only serialiser entry points this workspace
+//! uses. Output matches upstream serde_json: pretty is 2-space indent
+//! with `": "` separators, compact is single-line with no whitespace.
 
 use serde::{Serialize, Value};
 
@@ -22,8 +23,41 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Erro
     Ok(out)
 }
 
+/// Compact single-line serialisation (`{"a":1,"b":[true,null]}`), used
+/// wherever output must fit a JSON-lines protocol.
 pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
-    to_string_pretty(value)
+    let mut out = String::new();
+    write_compact(&mut out, &value.to_value());
+    Ok(out)
+}
+
+fn write_compact(out: &mut String, v: &Value) {
+    match v {
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(out, item);
+            }
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            out.push('{');
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(out, k);
+                out.push(':');
+                write_compact(out, val);
+            }
+            out.push('}');
+        }
+        // Scalars print identically in both formats.
+        scalar => write_value(out, scalar, 0),
+    }
 }
 
 fn write_value(out: &mut String, v: &Value, indent: usize) {
@@ -127,6 +161,26 @@ mod tests {
             s,
             "{\n  \"a\": 1,\n  \"b\": [\n    true,\n    null\n  ],\n  \"c\": 2.0\n}"
         );
+    }
+
+    #[test]
+    fn compact_is_single_line_and_parseable() {
+        let v = Value::Object(vec![
+            ("a".to_string(), Value::UInt(1)),
+            (
+                "b".to_string(),
+                Value::Array(vec![Value::Bool(true), Value::Null]),
+            ),
+            ("c".to_string(), Value::Float(2.0)),
+            ("d".to_string(), Value::Str("x\"y".to_string())),
+            ("e".to_string(), Value::Object(Vec::new())),
+        ]);
+        let s = to_string(&v.clone_as_serialize()).unwrap();
+        assert_eq!(
+            s,
+            "{\"a\":1,\"b\":[true,null],\"c\":2.0,\"d\":\"x\\\"y\",\"e\":{}}"
+        );
+        assert!(!s.contains('\n'));
     }
 
     #[test]
