@@ -35,12 +35,14 @@ use serde::{Serialize, Value};
 
 pub use noc_hetero::MixResult;
 pub use noc_scenario::{
-    build_fabric, json_flag, quick_flag, result_envelope, result_envelope_with_telemetry,
-    scenario_flag, scenario_specs_from_cli, slot_capacity_for, step_threads_from_env,
-    sweep_threads_flag, telemetry_from_cli, trace_out_flag, write_json, BackendKind, Checkpoint,
-    ScenarioError, ScenarioSpec, TrafficSpec, Tuning, SCHEMA_VERSION,
+    build_fabric, build_workload, json_flag, quick_flag, result_envelope,
+    result_envelope_with_telemetry, scenario_flag, scenario_specs_from_cli, slot_capacity_for,
+    step_threads_from_env, sweep_threads_flag, telemetry_from_cli, trace_out_flag, write_json,
+    BackendKind, Checkpoint, ScenarioError, ScenarioSpec, SpecSource, TrafficSpec, Tuning,
+    SCHEMA_VERSION,
 };
 pub use noc_traffic::FreeRun;
+pub use noc_workload::{capture_ticks, plan_top_flows, PacketTrace};
 
 /// One synthetic measurement point.
 #[derive(Clone, Debug, serde::Serialize)]
@@ -135,31 +137,39 @@ pub fn run_synthetic_spec_traced(
     spec: &ScenarioSpec,
     telemetry: Option<&TelemetryConfig>,
 ) -> Result<(SynthPoint, Option<TelemetryReport>), ScenarioError> {
-    let TrafficSpec::Synthetic { pattern, rate } = &spec.traffic else {
-        return Err(ScenarioError::Parse(
-            "run_synthetic_spec needs a synthetic scenario (pattern+rate)".into(),
-        ));
-    };
-    let (name, rate) = (pattern.name(), *rate);
+    let mut source = build_workload(spec)?.ok_or_else(|| {
+        ScenarioError::Parse(
+            "run_synthetic_spec needs a synthetic or trace scenario (hetero \
+             runs resolve through noc_hetero::run_spec)"
+                .into(),
+        )
+    })?;
+    let (name, rate) = point_label(spec, &source);
     let mut fabric = spec.build_fabric()?;
     if let Some(cfg) = telemetry {
         fabric.configure_telemetry(cfg);
     }
-    let mut source = spec.build_source().expect("synthetic traffic has a source");
     let result = if let Some(path) = &spec.checkpoint_from {
         // Warm-up fork: fast-forward the source to the checkpointed RNG
         // position, raise its id allocator past every in-flight packet,
         // and restore the fabric. The snapshot carries the fault timeline
-        // mid-flight, so `set_faults` must not run again here.
+        // (and any pinned circuit plan) mid-flight, so neither
+        // `set_faults` nor `install_circuit_plan` must run again here.
         let ck = Checkpoint::read(path)?;
         ck.compatible_with(spec)?;
         source.skip_ticks(ck.warmup_ticks);
-        source.factory.skip_to(ck.next_packet_id);
+        source.skip_to(ck.next_packet_id);
         fabric
             .restore(&ck.snapshot)
             .map_err(|e| ScenarioError::Checkpoint(format!("{path}: {e}")))?;
         run_measurement(fabric.as_mut(), &mut source, spec.phases)
     } else {
+        if let Some(top) = spec.profile_circuits {
+            let plan = plan_for_spec(spec, top)?;
+            fabric
+                .install_circuit_plan(&plan)
+                .map_err(|e| ScenarioError::Parse(format!("profile_circuits: {e}")))?;
+        }
         if !spec.faults.is_empty() {
             spec.validate_faults()?;
             fabric
@@ -174,13 +184,14 @@ pub fn run_synthetic_spec_traced(
             Checkpoint {
                 spec: spec.clone(),
                 warmup_ticks,
-                next_packet_id: source.factory.next_id_preview(),
+                next_packet_id: source.next_id_preview(),
                 snapshot,
             }
             .write(out)?;
         }
         run_measurement(fabric.as_mut(), &mut source, spec.phases)
     };
+    write_trace_export(spec, &mut source)?;
     let report = telemetry.and_then(|_| fabric.telemetry_report());
     let net_cfg = spec.net_config();
     Ok((
@@ -194,6 +205,55 @@ pub fn run_synthetic_spec_traced(
         ),
         report,
     ))
+}
+
+/// (pattern label, offered rate) for a synthetic or trace point.
+fn point_label(spec: &ScenarioSpec, source: &SpecSource) -> (&'static str, f64) {
+    match &spec.traffic {
+        TrafficSpec::Synthetic { pattern, rate } => (pattern.name(), *rate),
+        TrafficSpec::Trace { .. } => ("trace", noc_traffic::Workload::offered_load(source)),
+        TrafficSpec::Hetero { .. } => unreachable!("hetero specs never build a SpecSource"),
+    }
+}
+
+/// Profiled hybrid switching (§III of the paper, profiled variant): rank
+/// the spec's flows by carried circuit-eligible volume and plan pinned
+/// circuits for the top `n`. Trace workloads are profiled exactly (the
+/// whole trace); synthetic workloads profile a *shadow* capture of a
+/// warm-up-length prefix — a fresh source, so the run's own RNG stream is
+/// untouched and the measured traffic is unchanged.
+fn plan_for_spec(spec: &ScenarioSpec, top: u32) -> Result<noc_sim::CircuitPlan, ScenarioError> {
+    let mesh = spec.topo();
+    Ok(match &spec.traffic {
+        TrafficSpec::Trace { trace: Some(t), .. } => plan_top_flows(t, &mesh, top as usize, true),
+        _ => {
+            let mut shadow = spec.build_source().ok_or_else(|| {
+                ScenarioError::Parse("profile_circuits needs a synthetic or trace workload".into())
+            })?;
+            let ticks = spec.phases.warmup_cycles.max(2_000);
+            let capture = capture_ticks(&mut shadow, mesh.len() as u32, ticks);
+            plan_top_flows(&capture, &mesh, top as usize, true)
+        }
+    })
+}
+
+/// Write the recorded injection-side trace of a `trace_export` run:
+/// binary `NOCTRACE1`, or the JSON-lines twin when the path ends in
+/// `.jsonl`.
+fn write_trace_export(spec: &ScenarioSpec, source: &mut SpecSource) -> Result<(), ScenarioError> {
+    let Some(path) = &spec.trace_export else {
+        return Ok(());
+    };
+    let trace = source
+        .take_recorded_trace()
+        .expect("trace_export specs build a recording workload");
+    let bytes = if path.ends_with(".jsonl") {
+        trace.to_text().into_bytes()
+    } else {
+        trace.to_binary()
+    };
+    std::fs::write(path, bytes)?;
+    Ok(())
 }
 
 /// How an in-process service run starts: cold (optionally capturing a
@@ -254,25 +314,35 @@ pub fn run_synthetic_spec_ctl(
         }
     }
 
-    let TrafficSpec::Synthetic { pattern, rate } = &spec.traffic else {
+    let mut source = build_workload(spec)?.ok_or_else(|| {
+        ScenarioError::Parse("run_synthetic_spec_ctl needs a synthetic or trace scenario".into())
+    })?;
+    let (name, rate) = point_label(spec, &source);
+    if spec.trace_export.is_some() && matches!(warm, WarmStart::Restore(_)) {
         return Err(ScenarioError::Parse(
-            "run_synthetic_spec_ctl needs a synthetic scenario (pattern+rate)".into(),
+            "trace_export cannot restore a cached warm-up: the warm-up \
+             injections it must record are skipped"
+                .into(),
         ));
-    };
-    let (name, rate) = (pattern.name(), *rate);
+    }
     let mut fabric = spec.build_fabric()?;
-    let mut source = spec.build_source().expect("synthetic traffic has a source");
     let warm_blob = match warm {
         WarmStart::Restore(ck) => {
             ck.compatible_with(spec)?;
             source.skip_ticks(ck.warmup_ticks);
-            source.factory.skip_to(ck.next_packet_id);
+            source.skip_to(ck.next_packet_id);
             fabric
                 .restore(&ck.snapshot)
                 .map_err(|e| ScenarioError::Checkpoint(e.to_string()))?;
             None
         }
         WarmStart::Fresh { capture } => {
+            if let Some(top) = spec.profile_circuits {
+                let plan = plan_for_spec(spec, top)?;
+                fabric
+                    .install_circuit_plan(&plan)
+                    .map_err(|e| ScenarioError::Parse(format!("profile_circuits: {e}")))?;
+            }
             if !spec.faults.is_empty() {
                 spec.validate_faults()?;
                 fabric
@@ -290,7 +360,7 @@ pub fn run_synthetic_spec_ctl(
                 Some(Checkpoint {
                     spec: spec.clone(),
                     warmup_ticks,
-                    next_packet_id: source.factory.next_id_preview(),
+                    next_packet_id: source.next_id_preview(),
                     snapshot,
                 })
             } else {
@@ -304,6 +374,7 @@ pub fn run_synthetic_spec_ctl(
     let Some(result) = run_measurement_ctl(fabric.as_mut(), &mut source, spec.phases, ctl) else {
         return Ok(cancelled(fabric.as_mut()));
     };
+    write_trace_export(spec, &mut source)?;
     let net_cfg = spec.net_config();
     let mut point = synth_point(
         spec.backend,
@@ -350,7 +421,7 @@ pub fn run_spec_traced(
     telemetry: Option<&TelemetryConfig>,
 ) -> Result<(SpecOutcome, Option<TelemetryReport>), ScenarioError> {
     match &spec.traffic {
-        TrafficSpec::Synthetic { .. } => {
+        TrafficSpec::Synthetic { .. } | TrafficSpec::Trace { .. } => {
             let (p, r) = run_synthetic_spec_traced(spec, telemetry)?;
             Ok((SpecOutcome::Synth(p), r))
         }

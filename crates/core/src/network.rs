@@ -12,9 +12,9 @@
 //! procedure restarts").
 
 use noc_sim::{
-    Cycle, DeliveredPacket, EnergyEvents, EventKind, Fabric, FabricSnapshot, FaultEvent, Mesh,
-    NetStats, Network, NodeId, NodeModel, Packet, Snap, SnapshotError, SnapshotReader,
-    SnapshotWriter, TelemetryConfig, TelemetryReport,
+    CircuitPlan, Cycle, DeliveredPacket, EnergyEvents, EventKind, Fabric, FabricSnapshot,
+    FaultEvent, Mesh, NetStats, Network, NodeId, NodeModel, Packet, Snap, SnapshotError,
+    SnapshotReader, SnapshotWriter, TelemetryConfig, TelemetryReport,
 };
 
 use crate::config::TdmConfig;
@@ -523,6 +523,58 @@ impl Fabric for TdmNetwork {
         Ok(())
     }
 
+    /// Pre-establish a profiled circuit plan: request every planned flow
+    /// at its source node (bypassing the frequency trigger), then step
+    /// the network until the setup handshakes settle. Requests go out in
+    /// rounds — a source's pending-setup budget (4) and slot contention
+    /// can defer flows, so unestablished flows are re-requested until no
+    /// round makes progress. Runs before traffic, so the simulated
+    /// cycles it burns are part of the (unmeasured) warm-up.
+    fn install_circuit_plan(&mut self, plan: &CircuitPlan) -> Result<u32, SnapshotError> {
+        let nodes = self.net.nodes.len();
+        for f in &plan.flows {
+            if f.src.index() >= nodes || f.dst.index() >= nodes {
+                return Err(SnapshotError::Unsupported(
+                    "circuit plan references a node outside the mesh",
+                ));
+            }
+        }
+        let established = |net: &Network<TdmNode>, f: &noc_sim::PlannedFlow| {
+            net.nodes[f.src.index()].registry.get(f.dst).is_some()
+        };
+        let mut done = 0;
+        for _round in 0..8 {
+            for f in &plan.flows {
+                if !established(&self.net, f) {
+                    let now = self.net.now();
+                    self.net.nodes[f.src.index()].request_planned_circuit(now, f.dst, plan.pin);
+                }
+            }
+            // Let the setup/ack handshakes (and any retries) settle.
+            for _ in 0..50_000 {
+                let pending = self
+                    .net
+                    .nodes
+                    .iter()
+                    .any(|n| n.registry.pending_count() > 0);
+                if !pending && self.net.is_drained() {
+                    break;
+                }
+                self.step();
+            }
+            let now_done = plan
+                .flows
+                .iter()
+                .filter(|f| established(&self.net, f))
+                .count() as u32;
+            if now_done as usize == plan.flows.len() || now_done == done {
+                return Ok(now_done);
+            }
+            done = now_done;
+        }
+        Ok(done)
+    }
+
     fn arena_live(&self) -> usize {
         self.net.arena().live()
     }
@@ -710,5 +762,92 @@ mod tests {
             "config fraction {:.4}",
             ev.config_flit_fraction()
         );
+    }
+
+    #[test]
+    fn circuit_plan_preestablishes_flows() {
+        use noc_sim::{CircuitPlan, PlannedFlow};
+        let mut net = TdmNetwork::new(small_cfg());
+        let m = net.cfg.net.mesh;
+        let flows = vec![
+            PlannedFlow {
+                src: m.id(Coord::new(0, 0)),
+                dst: m.id(Coord::new(3, 3)),
+            },
+            PlannedFlow {
+                src: m.id(Coord::new(3, 0)),
+                dst: m.id(Coord::new(0, 3)),
+            },
+        ];
+        let plan = CircuitPlan {
+            flows: flows.clone(),
+            pin: true,
+        };
+        let established = net.install_circuit_plan(&plan).unwrap();
+        assert_eq!(established, 2, "both planned circuits must establish");
+        for f in &flows {
+            let node = &net.net.nodes[f.src.index()];
+            assert!(node.registry.get(f.dst).is_some());
+            assert!(node.is_pinned(f.dst));
+        }
+        // The very first data packet on a planned flow rides the circuit —
+        // no frequency threshold, no setup latency.
+        net.begin_measurement();
+        net.inject(flows[0].src, data(&net, 1, flows[0].src, flows[0].dst));
+        assert!(net.drain(500));
+        net.end_measurement();
+        assert_eq!(net.stats().cs_packets_delivered, 1);
+    }
+
+    #[test]
+    fn circuit_plan_rejects_out_of_mesh_flows() {
+        use noc_sim::{CircuitPlan, PlannedFlow};
+        let mut net = TdmNetwork::new(small_cfg());
+        let plan = CircuitPlan {
+            flows: vec![PlannedFlow {
+                src: NodeId(0),
+                dst: NodeId(99),
+            }],
+            pin: false,
+        };
+        assert!(net.install_circuit_plan(&plan).is_err());
+    }
+
+    #[test]
+    fn pinned_circuits_survive_eviction_pressure() {
+        use noc_sim::{CircuitPlan, PlannedFlow};
+        // One connection slot per node: reactive traffic to a second
+        // destination would evict the planned circuit unless it is pinned.
+        let mut cfg = small_cfg();
+        cfg.policy.max_connections = 1;
+        cfg.policy.idle_teardown = 0;
+        let mut net = TdmNetwork::new(cfg);
+        let m = net.cfg.net.mesh;
+        let src = m.id(Coord::new(0, 0));
+        let planned_dst = m.id(Coord::new(3, 3));
+        let other_dst = m.id(Coord::new(0, 3));
+        let plan = CircuitPlan {
+            flows: vec![PlannedFlow {
+                src,
+                dst: planned_dst,
+            }],
+            pin: true,
+        };
+        assert_eq!(net.install_circuit_plan(&plan).unwrap(), 1);
+        // Hammer a different destination hard enough to trip the reactive
+        // setup trigger many times over.
+        let mut id = 0;
+        for _ in 0..60 {
+            net.inject(src, data(&net, id, src, other_dst));
+            id += 1;
+            net.run(20);
+        }
+        assert!(net.drain(5_000));
+        let node = &net.net.nodes[src.index()];
+        assert!(
+            node.registry.get(planned_dst).is_some(),
+            "pinned circuit was evicted"
+        );
+        assert!(node.registry.get(other_dst).is_none(), "no room unpinned");
     }
 }

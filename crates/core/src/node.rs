@@ -143,6 +143,11 @@ pub struct TdmNode {
     cs_frozen: bool,
     /// Rotating scan origin so retries pick different slot ids.
     slot_scan: u16,
+    /// Destinations a profiled circuit plan pinned: their connections are
+    /// exempt from LRU/idle eviction. A resize still tears the circuits
+    /// down with everything else, but the pins survive, so a reactively
+    /// re-established connection to a planned destination is pinned again.
+    pinned: NodeTable<u8>,
 }
 
 impl TdmNode {
@@ -189,6 +194,7 @@ impl TdmNode {
             next_path_id: 0,
             cs_frozen: false,
             slot_scan: (id.0 as u16).wrapping_mul(7),
+            pinned: NodeTable::new(n),
         }
     }
 
@@ -391,14 +397,38 @@ impl TdmNode {
             return;
         }
         if self.registry.len() >= self.cfg.policy.max_connections as usize {
-            // Evict an idle connection to make room (§II-B).
-            let victim = self.registry.lru_idle(now, self.cfg.policy.idle_teardown);
+            // Evict an idle connection to make room (§II-B) — but never a
+            // pinned one (profiled circuit plans own their slots).
+            let victim =
+                self.registry
+                    .lru_idle_excluding(now, self.cfg.policy.idle_teardown, &self.pinned);
             match victim {
                 Some(v) => self.teardown_connection(now, v.dst),
                 None => return,
             }
         }
         self.issue_setup(now, dst, 0, self.slot_scan);
+    }
+
+    /// Request a circuit on behalf of a profiled [`CircuitPlan`]
+    /// (`noc-sim`): bypasses the frequency trigger (`setup_after_msgs`)
+    /// — the profile already decided this flow deserves a path — and,
+    /// with `pin`, marks the destination exempt from LRU/idle eviction.
+    /// All other setup guards (distance, capacity, pending budget) still
+    /// apply, so a plan can never wedge the protocol.
+    pub fn request_planned_circuit(&mut self, now: Cycle, dst: NodeId, pin: bool) {
+        if dst == self.id {
+            return;
+        }
+        if pin && self.cfg.net.mesh.hops(self.id, dst) >= 2 {
+            self.pinned.insert(dst, 1);
+        }
+        self.maybe_initiate_setup(now, dst);
+    }
+
+    /// Whether `dst` is pinned by a circuit plan.
+    pub fn is_pinned(&self, dst: NodeId) -> bool {
+        self.pinned.get(dst).is_some()
     }
 
     /// Request an additional slot run for an already-connected pair whose
@@ -1079,6 +1109,7 @@ impl NodeModel for TdmNode {
         w.u64(self.next_path_id);
         w.bool(self.cs_frozen);
         w.u16(self.slot_scan);
+        self.pinned.save(w);
         Ok(())
     }
 
@@ -1098,6 +1129,7 @@ impl NodeModel for TdmNode {
         self.next_path_id = r.u64()?;
         self.cs_frozen = r.bool()?;
         self.slot_scan = r.u16()?;
+        self.pinned = Snap::load(r)?;
         // The O(1) occupancy counters are derived state: recompute instead
         // of trusting the snapshot (they can then never disagree with the
         // queues they summarise).

@@ -161,6 +161,24 @@ impl ConnRegistry {
             .copied()
     }
 
+    /// [`ConnRegistry::lru_idle`] restricted to destinations absent from
+    /// `pinned` — connections a profiled circuit plan pinned are never
+    /// eviction victims.
+    pub fn lru_idle_excluding(
+        &self,
+        now: Cycle,
+        min_idle: Cycle,
+        pinned: &NodeTable<u8>,
+    ) -> Option<Connection> {
+        self.conns
+            .values()
+            .filter_map(|v| v.iter().max_by_key(|c| c.last_used))
+            .filter(|c| pinned.get(c.dst).is_none())
+            .filter(|c| now.saturating_sub(c.last_used) >= min_idle)
+            .min_by_key(|c| c.last_used)
+            .copied()
+    }
+
     /// Start (or escalate) a retry cool-down: the n-th consecutive
     /// cool-down for `dst` lasts `base << min(n, 6)` cycles.
     pub fn set_cooldown(&mut self, dst: NodeId, now: Cycle, base: Cycle) {
@@ -332,6 +350,30 @@ mod tests {
         assert_eq!(victim.dst, NodeId(4));
         // Nothing idle enough at a tight threshold.
         assert!(r.lru_idle(1000, 951).is_none());
+    }
+
+    #[test]
+    fn lru_idle_excluding_skips_pinned_destinations() {
+        let mut r = ConnRegistry::new(16);
+        for (pid, dst, used) in [(1u64, 3u32, 100u64), (2, 4, 50), (3, 5, 990)] {
+            r.begin_setup(pid, pending(dst, 0));
+            r.confirm(pid, used);
+        }
+        let mut pinned = NodeTable::new(16);
+        // With no pins, behaves exactly like lru_idle.
+        assert_eq!(
+            r.lru_idle_excluding(1000, 100, &pinned).unwrap().dst,
+            NodeId(4)
+        );
+        // Pinning the LRU victim promotes the next-least-recently-used.
+        pinned.insert(NodeId(4), 1);
+        assert_eq!(
+            r.lru_idle_excluding(1000, 100, &pinned).unwrap().dst,
+            NodeId(3)
+        );
+        // Pin everything idle enough: no victim at all.
+        pinned.insert(NodeId(3), 1);
+        assert!(r.lru_idle_excluding(1000, 100, &pinned).is_none());
     }
 
     #[test]

@@ -185,8 +185,10 @@ pub fn run_spec_traced(
             let gpu = gpu_bench(gpu).ok_or_else(|| ScenarioError::UnknownBench(gpu.clone()))?;
             run_mix_traced(cpu, gpu, spec.backend, spec.phases, spec.seed, telemetry)
         }
-        TrafficSpec::Synthetic { .. } => Err(ScenarioError::Parse(
-            "run_spec needs a hetero scenario (cpu+gpu), not a synthetic pattern".into(),
+        TrafficSpec::Synthetic { .. } | TrafficSpec::Trace { .. } => Err(ScenarioError::Parse(
+            "run_spec needs a hetero scenario (cpu+gpu), not a synthetic \
+             pattern or trace replay"
+                .into(),
         )),
     }
 }

@@ -107,10 +107,18 @@ pub fn result_key(spec: &ScenarioSpec, code_version: &str) -> CacheKey {
 /// state. `None` when the spec has no checkpointable warm-up (hetero
 /// traffic owns its fabric; zero-length warm-ups aren't worth a blob).
 pub fn warmup_key(spec: &ScenarioSpec, code_version: &str) -> Option<CacheKey> {
-    if !matches!(spec.traffic, TrafficSpec::Synthetic { .. }) {
+    if !matches!(
+        spec.traffic,
+        TrafficSpec::Synthetic { .. } | TrafficSpec::Trace { .. }
+    ) {
         return None;
     }
     if spec.phases.warmup_cycles == 0 && spec.phases.warmup_packets == 0 {
+        return None;
+    }
+    // Trace export must record the warm-up injections too, so such a run
+    // can neither produce nor reuse a warm-up blob.
+    if spec.trace_export.is_some() {
         return None;
     }
     let mut fields = Vec::new();
@@ -456,6 +464,103 @@ mod tests {
         cold.phases.warmup_cycles = 0;
         cold.phases.warmup_packets = 0;
         assert_eq!(warmup_key(&cold, &cv), None);
+    }
+
+    #[test]
+    fn trace_keys_follow_content_not_paths() {
+        use noc_workload::{PacketTrace, TraceRecord};
+        use std::sync::Arc;
+        let rec = |cycle, src, dst| TraceRecord {
+            cycle,
+            src,
+            dst,
+            class: noc_workload::CLASS_CS,
+            size: 4,
+        };
+        let mut t1 = PacketTrace::new(16);
+        t1.records = vec![rec(0, 0, 5), rec(2, 3, 9)];
+        let mut t2 = t1.clone();
+        t2.records.push(rec(7, 1, 2));
+        let cv = code_version();
+        let spec_for = |t: &PacketTrace| {
+            ScenarioSpec::trace(
+                BackendKind::HybridTdmVc4,
+                4,
+                Arc::new(t.clone()),
+                PhaseConfig::quick(),
+                3,
+            )
+        };
+        let a = spec_for(&t1);
+        let b = spec_for(&t2);
+        assert_ne!(
+            result_key(&a, &cv),
+            result_key(&b, &cv),
+            "trace content change must change the result key"
+        );
+        assert_ne!(
+            warmup_key(&a, &cv),
+            warmup_key(&b, &cv),
+            "trace content change must change the warm-up key"
+        );
+        assert!(warmup_key(&a, &cv).is_some(), "trace runs cache warm-ups");
+        // The same content loaded from two different paths keys
+        // identically: specs are content-addressed, paths never hashed.
+        let dir = std::env::temp_dir().join("noc-cache-key-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let keys: Vec<CacheKey> = ["one.trace", "two.trace"]
+            .iter()
+            .map(|name| {
+                let p = dir.join(name);
+                std::fs::write(&p, t1.to_binary()).unwrap();
+                let spec = ScenarioSpec::parse(&format!(
+                    r#"{{"backend": "HybridTdmVc4", "mesh": 4, "quick": true, "seed": 3,
+                        "workload": {{"mode": "trace", "path": {p:?}}}}}"#
+                ))
+                .unwrap()
+                .pop()
+                .unwrap();
+                result_key(&spec, &cv)
+            })
+            .collect();
+        assert_eq!(keys[0], keys[1]);
+        assert_eq!(keys[0], result_key(&a, &cv));
+    }
+
+    #[test]
+    fn policy_and_profile_changes_change_both_keys() {
+        use noc_workload::{ActionSpec, RuleSpec};
+        let base = parse_one(base_spec_json());
+        let cv = code_version();
+        let rk0 = result_key(&base, &cv);
+        let wk0 = warmup_key(&base, &cv).unwrap();
+
+        let mut with_policy = base.clone();
+        with_policy.policy = vec![RuleSpec {
+            src: Some(vec![0]),
+            action: ActionSpec {
+                drop: true,
+                ..ActionSpec::default()
+            },
+            ..RuleSpec::default()
+        }];
+        // The policy shapes warm-up traffic too: both keys move.
+        assert_ne!(result_key(&with_policy, &cv), rk0);
+        assert_ne!(warmup_key(&with_policy, &cv), Some(wk0));
+
+        let mut with_plan = base.clone();
+        with_plan.profile_circuits = Some(8);
+        // Pre-established pinned circuits change fabric state from cycle
+        // zero: both keys move.
+        assert_ne!(result_key(&with_plan, &cv), rk0);
+        assert_ne!(warmup_key(&with_plan, &cv), Some(wk0));
+
+        // Trace export is runtime plumbing for the *result* (never
+        // echoed), but an exporting run cannot reuse a warm-up blob.
+        let mut exporting = base.clone();
+        exporting.trace_export = Some("out.trace".into());
+        assert_eq!(result_key(&exporting, &cv), rk0);
+        assert_eq!(warmup_key(&exporting, &cv), None);
     }
 
     #[test]

@@ -28,7 +28,11 @@ pub const CHECKPOINT_MAGIC: [u8; 8] = *b"NOCCKPT1";
 /// Version of the blob *framing* (the snapshot payload inside carries the
 /// separate `SNAPSHOT_VERSION`). Bump on any layout change; old blobs are
 /// rejected, never reinterpreted.
-pub const CHECKPOINT_VERSION: u32 = 1;
+///
+/// v2: the embedded snapshot moved to `SNAPSHOT_VERSION` 2 (TdmNode
+/// `pinned` table); bumping here too keys the warm-up cache away from
+/// stale v1 blobs.
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 /// A warm-up checkpoint: everything needed to resume (or fork) a
 /// synthetic scenario run after its warm-up phase.

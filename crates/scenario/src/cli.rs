@@ -50,6 +50,30 @@ pub fn checkpoint_from_flag() -> Option<String> {
     arg_value("--checkpoint-from")
 }
 
+/// Optional `--trace-in <path>` flag: replace every spec's traffic with a
+/// replay of the `NOCTRACE1` packet trace at `path` (binary or JSON-lines
+/// twin). The trace is content-hashed, so cache keys and envelope echoes
+/// follow the trace bytes, never this path.
+pub fn trace_in_flag() -> Option<String> {
+    arg_value("--trace-in")
+}
+
+/// Optional `--trace-export <path>` flag: record every spec's
+/// injection-side packet stream (post-policy) and write it to `path`
+/// after the run — binary `NOCTRACE1`, or the JSON-lines twin when the
+/// path ends in `.jsonl`. Needs a single-spec scenario.
+pub fn trace_export_flag() -> Option<String> {
+    arg_value("--trace-export")
+}
+
+/// Optional `--profile-circuits <n>` flag: profile each spec's workload,
+/// plan circuits for its `n` highest-volume eligible flows and
+/// pre-establish them pinned before the run (profiled hybrid switching,
+/// vs. the default reactive setup).
+pub fn profile_circuits_flag() -> Option<String> {
+    arg_value("--profile-circuits")
+}
+
 /// Optional `--trace-out <path>` flag: arm flit-lifecycle tracing and
 /// write a Chrome trace-event (Perfetto-loadable) JSON to `path`. The
 /// companion link-utilization heatmap CSV lands next to it.
@@ -135,6 +159,56 @@ pub fn scenario_specs_from_cli() -> Result<Option<Vec<ScenarioSpec>>, ScenarioEr
     if let Some(from) = checkpoint_from_flag() {
         for s in &mut specs {
             s.checkpoint_from = Some(from.clone());
+        }
+    }
+    if let Some(path) = trace_in_flag() {
+        let bytes = std::fs::read(&path)
+            .map_err(|e| ScenarioError::Parse(format!("--trace-in {path:?}: {e}")))?;
+        let trace = noc_workload::PacketTrace::decode(&bytes)
+            .map_err(|e| ScenarioError::Parse(format!("--trace-in {path:?}: {e}")))?;
+        let trace = std::sync::Arc::new(trace);
+        for s in &mut specs {
+            if matches!(s.traffic, crate::TrafficSpec::Hetero { .. }) {
+                return Err(ScenarioError::Parse(
+                    "--trace-in cannot replace hetero traffic (its runner owns \
+                     the workload model)"
+                        .into(),
+                ));
+            }
+            let routers = s.topo().len();
+            if trace.nodes as usize != routers {
+                return Err(ScenarioError::Parse(format!(
+                    "--trace-in: trace was captured on {} nodes but the \
+                     scenario topology has {routers}",
+                    trace.nodes
+                )));
+            }
+            s.traffic = crate::TrafficSpec::trace(std::sync::Arc::clone(&trace));
+        }
+    }
+    if let Some(path) = trace_export_flag() {
+        if specs.len() != 1 {
+            return Err(ScenarioError::Parse(
+                "--trace-export needs a single-spec scenario (one run, one \
+                 trace)"
+                    .into(),
+            ));
+        }
+        if specs[0].checkpoint_from.is_some() {
+            return Err(ScenarioError::Parse(
+                "--trace-export cannot restore from a checkpoint: the warm-up \
+                 injections it must record are skipped"
+                    .into(),
+            ));
+        }
+        specs[0].trace_export = Some(path);
+    }
+    if let Some(s) = profile_circuits_flag() {
+        let n: u32 = s.parse().map_err(|_| {
+            ScenarioError::Parse(format!("--profile-circuits: not a number: {s:?}"))
+        })?;
+        for spec in &mut specs {
+            spec.profile_circuits = Some(n);
         }
     }
     Ok(Some(specs))

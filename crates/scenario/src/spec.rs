@@ -2,20 +2,76 @@
 //! experiment run — backend, mesh, traffic, phase lengths, seed and host
 //! threading — mappable to a boxed [`Fabric`] plus a workload.
 
+use std::sync::Arc;
+
 use noc_sim::{Direction, Fabric, FaultEvent, Mesh, NetworkConfig, NodeId, TopologyKind};
 use noc_traffic::{PhaseConfig, SyntheticSource, TrafficPattern};
+use noc_workload::{ActionSpec, ClassMatch, PacketTrace, Region, RuleSpec};
 use serde::{Serialize, Value};
 
 use crate::backend::{build_fabric, BackendKind, ScenarioError, Tuning};
+use crate::cache_key::sha256;
 use crate::json::Json;
 
-/// What drives the fabric: a synthetic pattern at a fixed rate (§IV) or a
-/// heterogeneous CPU+GPU benchmark mix (§V). Hetero benchmarks are named
-/// here and resolved by `noc-hetero` (the workload model lives there).
-#[derive(Clone, Debug, PartialEq)]
+/// What drives the fabric: a synthetic pattern at a fixed rate (§IV), a
+/// heterogeneous CPU+GPU benchmark mix (§V), or a replayed packet trace
+/// (`noc-workload`). Hetero benchmarks are named here and resolved by
+/// `noc-hetero` (the workload model lives there).
+#[derive(Clone, Debug)]
 pub enum TrafficSpec {
-    Synthetic { pattern: TrafficPattern, rate: f64 },
-    Hetero { cpu: String, gpu: String },
+    Synthetic {
+        pattern: TrafficPattern,
+        rate: f64,
+    },
+    Hetero {
+        cpu: String,
+        gpu: String,
+    },
+    /// Trace replay, content-addressed by the SHA-256 of the trace's
+    /// *canonical binary* encoding — so cache keys and envelope echoes
+    /// cover the trace content, never a host-local path. `trace` is the
+    /// loaded trace; it is `None` for a **detached** spec parsed from an
+    /// echo (`{"mode":"trace","sha256":...}` without a path), which can
+    /// be compared and hashed but not run.
+    Trace {
+        sha256: [u8; 32],
+        trace: Option<Arc<PacketTrace>>,
+    },
+}
+
+/// Equality is semantic: traces compare by content hash (a loaded and a
+/// detached spec with the same hash are the same scenario).
+impl PartialEq for TrafficSpec {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (
+                TrafficSpec::Synthetic {
+                    pattern: p1,
+                    rate: r1,
+                },
+                TrafficSpec::Synthetic {
+                    pattern: p2,
+                    rate: r2,
+                },
+            ) => p1 == p2 && r1 == r2,
+            (
+                TrafficSpec::Hetero { cpu: c1, gpu: g1 },
+                TrafficSpec::Hetero { cpu: c2, gpu: g2 },
+            ) => c1 == c2 && g1 == g2,
+            (TrafficSpec::Trace { sha256: a, .. }, TrafficSpec::Trace { sha256: b, .. }) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl TrafficSpec {
+    /// A trace workload from a loaded trace (hash computed here).
+    pub fn trace(trace: Arc<PacketTrace>) -> Self {
+        TrafficSpec::Trace {
+            sha256: sha256(&trace.to_binary()),
+            trace: Some(trace),
+        }
+    }
 }
 
 /// A fully-specified experiment scenario.
@@ -49,6 +105,19 @@ pub struct ScenarioSpec {
     /// Skip warm-up: restore the fabric and fast-forward the source from
     /// this blob instead, then run measurement + drain.
     pub checkpoint_from: Option<String>,
+    /// Match-action policy table applied to every offered packet
+    /// (`noc-workload`); compiled to closures at build time. Empty =
+    /// no policy, bit-identical to the historic injection path.
+    pub policy: Vec<RuleSpec>,
+    /// Profiled hybrid switching: plan circuits for this many top flows
+    /// (profiled from the trace, or from a shadow warm-up for synthetic
+    /// traffic) and pre-establish them pinned before the run.
+    pub profile_circuits: Option<u32>,
+    /// Write the run's injection-side packet trace to this path after the
+    /// run (binary `NOCTRACE1`, or the JSON-lines twin for `.jsonl`
+    /// paths). Runtime plumbing like the checkpoint paths: accepted from
+    /// scenario files and `--trace-export`, never echoed.
+    pub trace_export: Option<String>,
 }
 
 impl ScenarioSpec {
@@ -74,6 +143,37 @@ impl ScenarioSpec {
             faults: Vec::new(),
             checkpoint_out: None,
             checkpoint_from: None,
+            policy: Vec::new(),
+            profile_circuits: None,
+            trace_export: None,
+        }
+    }
+
+    /// A trace-replay scenario: the mesh side length must match the node
+    /// count the trace was captured against (validated at build time).
+    pub fn trace(
+        backend: BackendKind,
+        mesh: u16,
+        trace: Arc<PacketTrace>,
+        phases: PhaseConfig,
+        seed: u64,
+    ) -> Self {
+        ScenarioSpec {
+            backend,
+            mesh,
+            topology: TopologyKind::Mesh2D,
+            concentration: 1,
+            traffic: TrafficSpec::trace(trace),
+            phases,
+            seed,
+            step_threads: 0,
+            slot_capacity: None,
+            faults: Vec::new(),
+            checkpoint_out: None,
+            checkpoint_from: None,
+            policy: Vec::new(),
+            profile_circuits: None,
+            trace_export: None,
         }
     }
 
@@ -154,6 +254,9 @@ impl ScenarioSpec {
             faults: Vec::new(),
             checkpoint_out: None,
             checkpoint_from: None,
+            policy: Vec::new(),
+            profile_circuits: None,
+            trace_export: None,
         }
     }
 
@@ -173,10 +276,12 @@ impl ScenarioSpec {
         cfg
     }
 
-    /// Which circuit-setup tuning applies (§IV vs §V policies).
+    /// Which circuit-setup tuning applies (§IV vs §V policies). Trace
+    /// replays use the synthetic tuning: like the §IV experiments they
+    /// drive a caller-built fabric open-loop.
     pub fn tuning(&self) -> Tuning {
         match self.traffic {
-            TrafficSpec::Synthetic { .. } => Tuning::Synthetic {
+            TrafficSpec::Synthetic { .. } | TrafficSpec::Trace { .. } => Tuning::Synthetic {
                 slot_capacity: self.slot_capacity,
             },
             TrafficSpec::Hetero { .. } => Tuning::Hetero,
@@ -189,7 +294,8 @@ impl ScenarioSpec {
     }
 
     /// Build the synthetic source for this scenario (`None` for hetero
-    /// traffic — the workload model lives in `noc-hetero`).
+    /// and trace traffic — use [`crate::source::build_workload`] to cover
+    /// traces, policies and export recording too).
     pub fn build_source(&self) -> Option<SyntheticSource> {
         match &self.traffic {
             TrafficSpec::Synthetic { pattern, rate } => Some(SyntheticSource::new(
@@ -199,7 +305,7 @@ impl ScenarioSpec {
                 self.net_config().ps_packet_flits,
                 self.seed,
             )),
-            TrafficSpec::Hetero { .. } => None,
+            TrafficSpec::Hetero { .. } | TrafficSpec::Trace { .. } => None,
         }
     }
 
@@ -223,12 +329,13 @@ impl ScenarioSpec {
                 "scenario must be a JSON object".into(),
             ));
         };
-        const KNOWN: [&str; 18] = [
+        const KNOWN: [&str; 22] = [
             "backend",
             "mesh",
             "topology",
             "concentration",
             "traffic",
+            "workload",
             "pattern",
             "rate",
             "hotspots",
@@ -242,6 +349,9 @@ impl ScenarioSpec {
             "faults",
             "checkpoint_out",
             "checkpoint_from",
+            "policy",
+            "profile_circuits",
+            "trace_export",
         ];
         for (k, _) in fields {
             if !KNOWN.contains(&k.as_str()) {
@@ -259,9 +369,18 @@ impl ScenarioSpec {
         let quick = v.get("quick") == Some(&Json::Bool(true));
 
         // Traffic fields may sit flat on the spec or nested under a
-        // "traffic" object — the nested form is what result-envelope
-        // echoes emit, so echoes round-trip as `--scenario` inputs.
-        let tsrc = match v.get("traffic") {
+        // "traffic" object ("workload" is an accepted alias) — the nested
+        // form is what result-envelope echoes emit, so echoes round-trip
+        // as `--scenario` inputs.
+        let nested = match (v.get("traffic"), v.get("workload")) {
+            (Some(_), Some(_)) => {
+                return Err(ScenarioError::Parse(
+                    "give \"traffic\" or its alias \"workload\", not both".into(),
+                ))
+            }
+            (t, w) => t.or(w),
+        };
+        let tsrc = match nested {
             Some(t) => {
                 if ["pattern", "rate", "hotspots", "cpu", "gpu"]
                     .iter()
@@ -275,7 +394,10 @@ impl ScenarioSpec {
                     return Err(ScenarioError::Parse("\"traffic\" must be an object".into()));
                 };
                 for (k, _) in tf {
-                    if !["mode", "pattern", "rate", "hotspots", "cpu", "gpu"].contains(&k.as_str())
+                    if ![
+                        "mode", "pattern", "rate", "hotspots", "cpu", "gpu", "path", "sha256",
+                    ]
+                    .contains(&k.as_str())
                     {
                         return Err(ScenarioError::Parse(format!("unknown traffic field {k:?}")));
                     }
@@ -285,45 +407,56 @@ impl ScenarioSpec {
             None => v,
         };
 
-        let traffic = match (tsrc.get("pattern"), tsrc.get("cpu"), tsrc.get("gpu")) {
-            (Some(p), None, None) => {
-                let name = p
-                    .as_str()
-                    .ok_or_else(|| ScenarioError::Parse("\"pattern\" must be a string".into()))?;
-                let hotspots = match tsrc.get("hotspots") {
-                    Some(Json::Arr(ids)) => ids
-                        .iter()
-                        .map(|i| i.as_u64().map(|n| NodeId(n as u32)))
-                        .collect::<Option<Vec<_>>>()
-                        .ok_or_else(|| {
-                            ScenarioError::Parse("\"hotspots\" must be node ids".into())
-                        })?,
-                    None => Vec::new(),
-                    Some(_) => {
-                        return Err(ScenarioError::Parse("\"hotspots\" must be an array".into()))
-                    }
-                };
-                let pattern = parse_pattern(name, hotspots)?;
-                let rate = tsrc
-                    .get("rate")
-                    .and_then(Json::as_f64)
-                    .ok_or(ScenarioError::MissingField("rate"))?;
-                TrafficSpec::Synthetic { pattern, rate }
-            }
-            (None, Some(c), Some(g)) => TrafficSpec::Hetero {
-                cpu: c
-                    .as_str()
-                    .ok_or_else(|| ScenarioError::Parse("\"cpu\" must be a string".into()))?
-                    .to_string(),
-                gpu: g
-                    .as_str()
-                    .ok_or_else(|| ScenarioError::Parse("\"gpu\" must be a string".into()))?
-                    .to_string(),
-            },
-            _ => {
-                return Err(ScenarioError::Parse(
-                    "scenario needs either \"pattern\"+\"rate\" or \"cpu\"+\"gpu\"".into(),
-                ))
+        // Trace workloads are declared nested only: `{"mode": "trace",
+        // "path": ...}` (or the detached `{"mode": "trace", "sha256": ...}`
+        // form that envelope echoes emit).
+        let trace_mode =
+            tsrc.get("mode").and_then(Json::as_str) == Some("trace") || tsrc.get("path").is_some();
+        let traffic = if trace_mode {
+            parse_trace_workload(tsrc)?
+        } else {
+            match (tsrc.get("pattern"), tsrc.get("cpu"), tsrc.get("gpu")) {
+                (Some(p), None, None) => {
+                    let name = p.as_str().ok_or_else(|| {
+                        ScenarioError::Parse("\"pattern\" must be a string".into())
+                    })?;
+                    let hotspots = match tsrc.get("hotspots") {
+                        Some(Json::Arr(ids)) => ids
+                            .iter()
+                            .map(|i| i.as_u64().map(|n| NodeId(n as u32)))
+                            .collect::<Option<Vec<_>>>()
+                            .ok_or_else(|| {
+                                ScenarioError::Parse("\"hotspots\" must be node ids".into())
+                            })?,
+                        None => Vec::new(),
+                        Some(_) => {
+                            return Err(ScenarioError::Parse(
+                                "\"hotspots\" must be an array".into(),
+                            ))
+                        }
+                    };
+                    let pattern = parse_pattern(name, hotspots)?;
+                    let rate = tsrc
+                        .get("rate")
+                        .and_then(Json::as_f64)
+                        .ok_or(ScenarioError::MissingField("rate"))?;
+                    TrafficSpec::Synthetic { pattern, rate }
+                }
+                (None, Some(c), Some(g)) => TrafficSpec::Hetero {
+                    cpu: c
+                        .as_str()
+                        .ok_or_else(|| ScenarioError::Parse("\"cpu\" must be a string".into()))?
+                        .to_string(),
+                    gpu: g
+                        .as_str()
+                        .ok_or_else(|| ScenarioError::Parse("\"gpu\" must be a string".into()))?
+                        .to_string(),
+                },
+                _ => {
+                    return Err(ScenarioError::Parse(
+                        "scenario needs either \"pattern\"+\"rate\" or \"cpu\"+\"gpu\"".into(),
+                    ))
+                }
             }
         };
 
@@ -428,6 +561,41 @@ impl ScenarioSpec {
             ));
         }
 
+        let policy = match v.get("policy") {
+            None => Vec::new(),
+            Some(Json::Arr(items)) => items
+                .iter()
+                .map(parse_rule)
+                .collect::<Result<Vec<_>, _>>()?,
+            Some(_) => {
+                return Err(ScenarioError::Parse(
+                    "\"policy\" must be an array of match-action rules".into(),
+                ))
+            }
+        };
+        let profile_circuits = opt_u64(v, "profile_circuits")?
+            .map(|n| {
+                u32::try_from(n).map_err(|_| {
+                    ScenarioError::Parse("\"profile_circuits\" must fit in a u32".into())
+                })
+            })
+            .transpose()?;
+        let trace_export = opt_str(v, "trace_export")?;
+        if hetero && (!policy.is_empty() || profile_circuits.is_some() || trace_export.is_some()) {
+            return Err(ScenarioError::Parse(
+                "\"policy\", \"profile_circuits\" and \"trace_export\" apply to \
+                 synthetic and trace scenarios only"
+                    .into(),
+            ));
+        }
+        if trace_export.is_some() && checkpoint_from.is_some() {
+            return Err(ScenarioError::Parse(
+                "\"trace_export\" cannot restore from a checkpoint: the warm-up \
+                 injections it must record are skipped"
+                    .into(),
+            ));
+        }
+
         let spec = ScenarioSpec {
             backend,
             mesh,
@@ -441,10 +609,226 @@ impl ScenarioSpec {
             faults,
             checkpoint_out,
             checkpoint_from,
+            policy,
+            profile_circuits,
+            trace_export,
         };
+        if let TrafficSpec::Trace { trace: Some(t), .. } = &spec.traffic {
+            let routers = spec.topo().len();
+            if t.nodes as usize != routers {
+                return Err(ScenarioError::Parse(format!(
+                    "trace was captured on {} nodes but this topology has {routers}",
+                    t.nodes
+                )));
+            }
+        }
         spec.validate_faults()?;
         Ok(spec)
     }
+}
+
+/// Parse the nested trace-workload form: `path` (load + hash, optionally
+/// verified against a declared `sha256`) or `sha256` alone (a detached
+/// echo — comparable and cache-keyable, but not runnable).
+fn parse_trace_workload(tsrc: &Json) -> Result<TrafficSpec, ScenarioError> {
+    for k in ["pattern", "rate", "hotspots", "cpu", "gpu"] {
+        if tsrc.get(k).is_some() {
+            return Err(ScenarioError::Parse(format!(
+                "trace workloads take \"path\"/\"sha256\", not {k:?}"
+            )));
+        }
+    }
+    let declared = match tsrc.get("sha256") {
+        None => None,
+        Some(Json::Str(s)) => Some(parse_hex32(s).ok_or_else(|| {
+            ScenarioError::Parse("\"sha256\" must be 64 hexadecimal characters".into())
+        })?),
+        Some(_) => return Err(ScenarioError::Parse("\"sha256\" must be a string".into())),
+    };
+    match tsrc.get("path") {
+        Some(Json::Str(p)) => {
+            let bytes =
+                std::fs::read(p).map_err(|e| ScenarioError::Parse(format!("trace {p:?}: {e}")))?;
+            let trace = noc_workload::PacketTrace::decode(&bytes)
+                .map_err(|e| ScenarioError::Parse(format!("trace {p:?}: {e}")))?;
+            let spec = TrafficSpec::trace(Arc::new(trace));
+            if let (Some(want), TrafficSpec::Trace { sha256, .. }) = (declared, &spec) {
+                if want != *sha256 {
+                    return Err(ScenarioError::Parse(format!(
+                        "trace {p:?} content hash {} does not match the declared sha256",
+                        hex32(sha256)
+                    )));
+                }
+            }
+            Ok(spec)
+        }
+        Some(_) => Err(ScenarioError::Parse("\"path\" must be a string".into())),
+        None => match declared {
+            Some(sha256) => Ok(TrafficSpec::Trace {
+                sha256,
+                trace: None,
+            }),
+            None => Err(ScenarioError::Parse(
+                "trace workload needs a \"path\" (or \"sha256\" for a detached echo)".into(),
+            )),
+        },
+    }
+}
+
+/// Parse one policy rule: `{"match": {...}, "action": {...}}`.
+fn parse_rule(v: &Json) -> Result<RuleSpec, ScenarioError> {
+    let Json::Obj(fields) = v else {
+        return Err(ScenarioError::Parse(
+            "each policy rule must be an object with \"match\" and \"action\"".into(),
+        ));
+    };
+    for (k, _) in fields {
+        if !["match", "action"].contains(&k.as_str()) {
+            return Err(ScenarioError::Parse(format!(
+                "unknown policy rule field {k:?}"
+            )));
+        }
+    }
+    let mut rule = RuleSpec::default();
+    if let Some(m) = v.get("match") {
+        let Json::Obj(mf) = m else {
+            return Err(ScenarioError::Parse(
+                "rule \"match\" must be an object".into(),
+            ));
+        };
+        for (k, _) in mf {
+            if !["src", "dst", "class", "region"].contains(&k.as_str()) {
+                return Err(ScenarioError::Parse(format!(
+                    "unknown rule match field {k:?}"
+                )));
+            }
+        }
+        rule.src = parse_node_list(m, "src")?;
+        rule.dst = parse_node_list(m, "dst")?;
+        rule.class = match m.get("class").map(Json::as_str) {
+            None => None,
+            Some(Some("cs")) => Some(ClassMatch::Cs),
+            Some(Some("ps")) => Some(ClassMatch::Ps),
+            Some(_) => {
+                return Err(ScenarioError::Parse(
+                    "rule \"class\" must be \"cs\" or \"ps\"".into(),
+                ))
+            }
+        };
+        rule.region = match m.get("region") {
+            None => None,
+            Some(Json::Arr(xs)) if xs.len() == 4 => {
+                let c = xs
+                    .iter()
+                    .map(|x| x.as_u64().and_then(|n| u16::try_from(n).ok()))
+                    .collect::<Option<Vec<u16>>>()
+                    .ok_or_else(|| {
+                        ScenarioError::Parse("\"region\" coordinates must be u16".into())
+                    })?;
+                Some(Region {
+                    x0: c[0],
+                    y0: c[1],
+                    x1: c[2],
+                    y1: c[3],
+                })
+            }
+            Some(_) => {
+                return Err(ScenarioError::Parse(
+                    "rule \"region\" must be [x0, y0, x1, y1]".into(),
+                ))
+            }
+        };
+    }
+    let a = v
+        .get("action")
+        .ok_or_else(|| ScenarioError::Parse("policy rule needs an \"action\"".into()))?;
+    let Json::Obj(af) = a else {
+        return Err(ScenarioError::Parse(
+            "rule \"action\" must be an object".into(),
+        ));
+    };
+    for (k, _) in af {
+        if !["scale", "drop", "cs_eligible", "redirect"].contains(&k.as_str()) {
+            return Err(ScenarioError::Parse(format!(
+                "unknown rule action field {k:?}"
+            )));
+        }
+    }
+    rule.action =
+        ActionSpec {
+            scale: match a.get("scale") {
+                None => None,
+                Some(x) => Some(x.as_f64().ok_or_else(|| {
+                    ScenarioError::Parse("action \"scale\" must be a number".into())
+                })?),
+            },
+            drop: match a.get("drop") {
+                None => false,
+                Some(Json::Bool(b)) => *b,
+                Some(_) => {
+                    return Err(ScenarioError::Parse(
+                        "action \"drop\" must be a boolean".into(),
+                    ))
+                }
+            },
+            cs_eligible: match a.get("cs_eligible") {
+                None => None,
+                Some(Json::Bool(b)) => Some(*b),
+                Some(_) => {
+                    return Err(ScenarioError::Parse(
+                        "action \"cs_eligible\" must be a boolean".into(),
+                    ))
+                }
+            },
+            redirect: match a.get("redirect") {
+                None => None,
+                Some(x) => Some(x.as_u64().and_then(|n| u32::try_from(n).ok()).ok_or_else(
+                    || ScenarioError::Parse("action \"redirect\" must be a node id".into()),
+                )?),
+            },
+        };
+    Ok(rule)
+}
+
+fn parse_node_list(m: &Json, key: &'static str) -> Result<Option<Vec<u32>>, ScenarioError> {
+    match m.get(key) {
+        None => Ok(None),
+        Some(Json::Arr(xs)) => {
+            let ids = xs
+                .iter()
+                .map(|x| x.as_u64().and_then(|n| u32::try_from(n).ok()))
+                .collect::<Option<Vec<u32>>>()
+                .ok_or_else(|| {
+                    ScenarioError::Parse(format!("rule {key:?} must be an array of node ids"))
+                })?;
+            Ok(Some(ids))
+        }
+        Some(_) => Err(ScenarioError::Parse(format!(
+            "rule {key:?} must be an array of node ids"
+        ))),
+    }
+}
+
+/// Lower-case hex of a 32-byte digest.
+pub fn hex32(b: &[u8; 32]) -> String {
+    let mut s = String::with_capacity(64);
+    for byte in b {
+        s.push_str(&format!("{byte:02x}"));
+    }
+    s
+}
+
+fn parse_hex32(s: &str) -> Option<[u8; 32]> {
+    if s.len() != 64 {
+        return None;
+    }
+    let mut out = [0u8; 32];
+    for (i, chunk) in s.as_bytes().chunks(2).enumerate() {
+        let hi = (chunk[0] as char).to_digit(16)?;
+        let lo = (chunk[1] as char).to_digit(16)?;
+        out[i] = ((hi << 4) | lo) as u8;
+    }
+    Some(out)
 }
 
 /// Spec-file spelling of a link direction.
@@ -593,8 +977,62 @@ impl Serialize for TrafficSpec {
                 ("cpu".to_string(), Value::Str(cpu.clone())),
                 ("gpu".to_string(), Value::Str(gpu.clone())),
             ]),
+            // Content-addressed echo: the hash, never a host-local path.
+            // This parses back as the detached form.
+            TrafficSpec::Trace { sha256, .. } => Value::Object(vec![
+                ("mode".to_string(), Value::Str("trace".into())),
+                ("sha256".to_string(), Value::Str(hex32(sha256))),
+            ]),
         }
     }
+}
+
+fn rule_to_value(r: &RuleSpec) -> Value {
+    let ids = |xs: &[u32]| Value::Array(xs.iter().map(|&n| Value::UInt(n as u64)).collect());
+    let mut m = Vec::new();
+    if let Some(src) = &r.src {
+        m.push(("src".to_string(), ids(src)));
+    }
+    if let Some(dst) = &r.dst {
+        m.push(("dst".to_string(), ids(dst)));
+    }
+    if let Some(c) = r.class {
+        let name = match c {
+            ClassMatch::Cs => "cs",
+            ClassMatch::Ps => "ps",
+        };
+        m.push(("class".to_string(), Value::Str(name.into())));
+    }
+    if let Some(rg) = &r.region {
+        m.push((
+            "region".to_string(),
+            Value::Array(
+                [rg.x0, rg.y0, rg.x1, rg.y1]
+                    .iter()
+                    .map(|&c| Value::UInt(c as u64))
+                    .collect(),
+            ),
+        ));
+    }
+    let mut a = Vec::new();
+    if let Some(s) = r.action.scale {
+        a.push(("scale".to_string(), Value::Float(s)));
+    }
+    if r.action.drop {
+        a.push(("drop".to_string(), Value::Bool(true)));
+    }
+    if let Some(b) = r.action.cs_eligible {
+        a.push(("cs_eligible".to_string(), Value::Bool(b)));
+    }
+    if let Some(n) = r.action.redirect {
+        a.push(("redirect".to_string(), Value::UInt(n as u64)));
+    }
+    let mut fields = Vec::new();
+    if !m.is_empty() {
+        fields.push(("match".to_string(), Value::Object(m)));
+    }
+    fields.push(("action".to_string(), Value::Object(a)));
+    Value::Object(fields)
 }
 
 impl Serialize for ScenarioSpec {
@@ -659,10 +1097,21 @@ impl Serialize for ScenarioSpec {
                 ),
             ));
         }
-        // The checkpoint paths are deliberately NOT echoed: they are
-        // host-local runtime plumbing, and a checkpointed run's result
-        // envelope must stay byte-identical to the continuous run it
-        // reproduces.
+        // Like faults: emitted only when non-empty, so policy-free
+        // envelopes stay byte-identical to the historic format.
+        if !self.policy.is_empty() {
+            fields.push((
+                "policy".to_string(),
+                Value::Array(self.policy.iter().map(rule_to_value).collect()),
+            ));
+        }
+        if let Some(n) = self.profile_circuits {
+            fields.push(("profile_circuits".to_string(), Value::UInt(n as u64)));
+        }
+        // The checkpoint and trace-export paths are deliberately NOT
+        // echoed: they are host-local runtime plumbing, and a
+        // checkpointed (or trace-exporting) run's result envelope must
+        // stay byte-identical to the continuous run it reproduces.
         Value::Object(fields)
     }
 }
@@ -1066,6 +1515,241 @@ mod tests {
                 "error {e} should mention {needle}"
             );
         }
+    }
+
+    fn tiny_trace() -> Arc<PacketTrace> {
+        use noc_workload::TraceRecord;
+        let mut t = PacketTrace::new(16);
+        t.records = vec![
+            TraceRecord {
+                cycle: 0,
+                src: 0,
+                dst: 15,
+                class: noc_workload::CLASS_CS,
+                size: 4,
+            },
+            TraceRecord {
+                cycle: 3,
+                src: 5,
+                dst: 10,
+                class: noc_workload::CLASS_PS,
+                size: 4,
+            },
+        ];
+        t.validate().expect("valid trace");
+        Arc::new(t)
+    }
+
+    #[test]
+    fn trace_spec_parses_from_file_and_echoes_detached() {
+        let trace = tiny_trace();
+        let dir = std::env::temp_dir().join("noc-spec-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.trace");
+        std::fs::write(&path, trace.to_binary()).unwrap();
+        let specs = ScenarioSpec::parse(&format!(
+            r#"{{"backend": "HybridTdmVc4", "mesh": 4, "quick": true,
+                "workload": {{"mode": "trace", "path": {path:?}}}}}"#
+        ))
+        .unwrap();
+        let s = &specs[0];
+        assert_eq!(s.traffic, TrafficSpec::trace(Arc::clone(&trace)));
+        let TrafficSpec::Trace {
+            trace: Some(loaded),
+            ..
+        } = &s.traffic
+        else {
+            panic!("trace not loaded")
+        };
+        assert_eq!(**loaded, *trace);
+        // The echo carries the content hash, never the path, and parses
+        // back as a detached spec that compares equal.
+        let text = serde_json::to_string_pretty(&specs).expect("serializable");
+        assert!(!text.contains("tiny.trace"), "path leaked: {text}");
+        assert!(text.contains("\"mode\": \"trace\""), "{text}");
+        let back = ScenarioSpec::parse(&text).unwrap();
+        assert_eq!(back, specs);
+        assert!(matches!(
+            &back[0].traffic,
+            TrafficSpec::Trace { trace: None, .. }
+        ));
+        // A declared sha256 alongside the path is verified.
+        let e = ScenarioSpec::parse(&format!(
+            r#"{{"backend": "HybridTdmVc4", "mesh": 4,
+                "workload": {{"path": {path:?}, "sha256": "{}"}}}}"#,
+            "0".repeat(64)
+        ))
+        .unwrap_err();
+        assert!(e.to_string().contains("hash"), "{e}");
+    }
+
+    #[test]
+    fn trace_specs_reject_node_count_mismatch_and_bad_forms() {
+        let trace = tiny_trace(); // 16 nodes
+        let dir = std::env::temp_dir().join("noc-spec-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny2.trace");
+        std::fs::write(&path, trace.to_binary()).unwrap();
+        // 6x6 topology vs a 16-node trace.
+        let e = ScenarioSpec::parse(&format!(
+            r#"{{"backend": "HybridTdmVc4", "mesh": 6,
+                "workload": {{"mode": "trace", "path": {path:?}}}}}"#
+        ))
+        .unwrap_err();
+        assert!(e.to_string().contains("16 nodes"), "{e}");
+        for (text, needle) in [
+            (
+                r#"{"backend": "HybridTdmVc4", "mesh": 4,
+                    "workload": {"mode": "trace"}}"#
+                    .to_string(),
+                "path",
+            ),
+            (
+                r#"{"backend": "HybridTdmVc4", "mesh": 4,
+                    "workload": {"mode": "trace", "pattern": "UR", "rate": 0.1}}"#
+                    .to_string(),
+                "pattern",
+            ),
+            (
+                r#"{"backend": "HybridTdmVc4", "mesh": 4,
+                    "workload": {"mode": "trace", "sha256": "zz"}}"#
+                    .to_string(),
+                "hex",
+            ),
+            (
+                format!(
+                    r#"{{"backend": "HybridTdmVc4", "mesh": 4,
+                        "traffic": {{"pattern": "UR", "rate": 0.1}},
+                        "workload": {{"path": {path:?}}}}}"#
+                ),
+                "not both",
+            ),
+        ] {
+            let e = ScenarioSpec::parse(&text).unwrap_err();
+            assert!(
+                e.to_string().contains(needle),
+                "{e} should mention {needle}"
+            );
+        }
+    }
+
+    #[test]
+    fn policy_table_parses_and_round_trips() {
+        let specs = ScenarioSpec::parse(
+            r#"{"backend": "HybridTdmVc4", "mesh": 4, "pattern": "UR",
+                "rate": 0.2, "quick": true,
+                "policy": [
+                    {"match": {"src": [0, 1], "class": "cs"},
+                     "action": {"scale": 0.5}},
+                    {"match": {"region": [0, 0, 1, 1]},
+                     "action": {"drop": true}},
+                    {"match": {"dst": [15]},
+                     "action": {"cs_eligible": false, "redirect": 3}},
+                    {"action": {}}
+                ]}"#,
+        )
+        .unwrap();
+        let s = &specs[0];
+        assert_eq!(s.policy.len(), 4);
+        assert_eq!(s.policy[0].src.as_deref(), Some(&[0u32, 1][..]));
+        assert_eq!(s.policy[0].class, Some(ClassMatch::Cs));
+        assert_eq!(s.policy[0].action.scale, Some(0.5));
+        assert_eq!(
+            s.policy[1].region,
+            Some(Region {
+                x0: 0,
+                y0: 0,
+                x1: 1,
+                y1: 1
+            })
+        );
+        assert!(s.policy[1].action.drop);
+        assert_eq!(s.policy[2].action.cs_eligible, Some(false));
+        assert_eq!(s.policy[2].action.redirect, Some(3));
+        assert_eq!(s.policy[3], RuleSpec::default());
+        // Echo round-trips exactly.
+        let text = serde_json::to_string_pretty(&specs).expect("serializable");
+        assert_eq!(ScenarioSpec::parse(&text).unwrap(), specs);
+    }
+
+    #[test]
+    fn policy_and_export_misuse_is_rejected_with_context() {
+        for (text, needle) in [
+            (
+                r#"{"backend": "HybridTdmVc4", "mesh": 4, "pattern": "UR", "rate": 0.1,
+                    "policy": [{"action": {"warp": 9}}]}"#,
+                "warp",
+            ),
+            (
+                r#"{"backend": "HybridTdmVc4", "mesh": 4, "pattern": "UR", "rate": 0.1,
+                    "policy": [{"match": {"speed": 1}, "action": {}}]}"#,
+                "speed",
+            ),
+            (
+                r#"{"backend": "HybridTdmVc4", "mesh": 4, "pattern": "UR", "rate": 0.1,
+                    "policy": [{"match": {"class": "warp"}, "action": {}}]}"#,
+                "class",
+            ),
+            (
+                r#"{"backend": "HybridTdmVc4", "mesh": 4, "pattern": "UR", "rate": 0.1,
+                    "policy": [{"match": {"region": [1, 2]}, "action": {}}]}"#,
+                "region",
+            ),
+            (
+                r#"{"backend": "HybridTdmVc4", "mesh": 4, "pattern": "UR", "rate": 0.1,
+                    "policy": [{"match": {}}]}"#,
+                "action",
+            ),
+            (
+                r#"{"backend": "HybridTdmVc4", "cpu": "CANNEAL", "gpu": "STO",
+                    "policy": [{"action": {}}]}"#,
+                "synthetic and trace",
+            ),
+            (
+                r#"{"backend": "HybridTdmVc4", "cpu": "CANNEAL", "gpu": "STO",
+                    "trace_export": "x.trace"}"#,
+                "synthetic and trace",
+            ),
+            (
+                r#"{"backend": "HybridTdmVc4", "mesh": 4, "pattern": "UR", "rate": 0.1,
+                    "trace_export": "x.trace", "checkpoint_from": "warm.ckpt"}"#,
+                "checkpoint",
+            ),
+        ] {
+            let e = ScenarioSpec::parse(text).unwrap_err();
+            assert!(
+                e.to_string().contains(needle),
+                "{e} should mention {needle}"
+            );
+        }
+    }
+
+    #[test]
+    fn new_runtime_fields_keep_the_legacy_echo_format() {
+        // A spec with profile_circuits and trace_export set: only
+        // profile_circuits (a result-shaping parameter) is echoed.
+        let mut spec = ScenarioSpec::synthetic(
+            BackendKind::PacketVc4,
+            6,
+            TrafficPattern::UniformRandom,
+            0.2,
+            PhaseConfig::quick(),
+            17,
+        );
+        spec.profile_circuits = Some(8);
+        spec.trace_export = Some("secret-host-path.trace".into());
+        let text = serde_json::to_string(&spec.to_value()).unwrap();
+        assert!(text.contains("profile_circuits"), "{text}");
+        assert!(!text.contains("secret-host-path"), "{text}");
+        assert!(
+            !text.contains("policy"),
+            "empty table must not echo: {text}"
+        );
+        // And the echo parses back (trace_export scrubbed, like the
+        // checkpoint paths).
+        let back = ScenarioSpec::parse(&text).unwrap();
+        assert_eq!(back[0].profile_circuits, Some(8));
+        assert_eq!(back[0].trace_export, None);
     }
 
     #[test]

@@ -97,10 +97,17 @@ fn dispatch(svc: &ScenarioService, line: &str, fallback_id: &str, tx: &Sender<St
 }
 
 /// One-shot mode: run the whole stdin batch, stream frames to stdout.
+///
+/// With `--workers 1` no worker pool is spawned at all: jobs run inline
+/// on this thread between request lines (the single-flight/cache path is
+/// identical, only the threading differs).
 fn serve_stdin(svc: &ScenarioService) {
+    let inline = svc.config().workers <= 1;
     std::thread::scope(|scope| {
-        for _ in 0..svc.config().workers {
-            scope.spawn(|| svc.worker_loop());
+        if !inline {
+            for _ in 0..svc.config().workers {
+                scope.spawn(|| svc.worker_loop());
+            }
         }
         let (tx, rx) = channel::<String>();
         let printer = scope.spawn(move || {
@@ -122,6 +129,12 @@ fn serve_stdin(svc: &ScenarioService) {
             if dispatch(svc, line, &format!("req-{n}"), &tx) {
                 break;
             }
+            if inline {
+                svc.run_queued();
+            }
+        }
+        if inline {
+            svc.run_queued();
         }
         svc.drain();
         svc.shutdown();
@@ -141,9 +154,14 @@ fn serve_socket(svc: &ScenarioService, path: &str) -> std::io::Result<()> {
         "noc-serve: listening on {path} ({} workers)",
         svc.config().workers
     );
+    // With `--workers 1` the accept thread doubles as the worker: no
+    // pool is spawned, and queued jobs run between accept polls.
+    let inline = svc.config().workers <= 1;
     std::thread::scope(|scope| {
-        for _ in 0..svc.config().workers {
-            scope.spawn(|| svc.worker_loop());
+        if !inline {
+            for _ in 0..svc.config().workers {
+                scope.spawn(|| svc.worker_loop());
+            }
         }
         let mut conn_id = 0u64;
         while !stop.load(Ordering::Relaxed) {
@@ -155,13 +173,20 @@ fn serve_socket(svc: &ScenarioService, path: &str) -> std::io::Result<()> {
                     scope.spawn(move || handle_conn(svc, stream, conn, stop));
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(25));
+                    if !(inline && svc.try_run_one()) {
+                        std::thread::sleep(Duration::from_millis(25));
+                    }
                 }
                 Err(e) => {
                     eprintln!("noc-serve: accept failed: {e}");
                     break;
                 }
             }
+        }
+        if inline {
+            // Settle anything still queued so connection writers (which
+            // drain until every job-held sender drops) can exit.
+            svc.run_queued();
         }
         svc.shutdown();
     });

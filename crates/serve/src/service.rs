@@ -298,35 +298,73 @@ impl ScenarioService {
     /// Worker thread body: claim the highest-priority queued job, run it,
     /// publish the envelope, repeat until shutdown.
     pub fn worker_loop(&self) {
-        loop {
-            let (job_id, spec, cancel, streams) = {
-                let mut s = self.sched.lock().expect("sched lock");
-                loop {
-                    match s.queue.pop() {
-                        Some(rank) => {
-                            // Entries for jobs cancelled while queued are
-                            // left stale in the heap; skip them.
-                            let Some(job) = s.jobs.get_mut(&rank.job) else {
-                                continue;
-                            };
-                            job.running = true;
-                            let streams: Vec<(String, u64, Sender<String>)> = job
-                                .subs
-                                .iter()
-                                .filter_map(|sub| {
-                                    sub.stream.map(|w| (sub.id.clone(), w, sub.out.clone()))
-                                })
-                                .collect();
-                            break (rank.job, job.spec.clone(), Arc::clone(&job.cancel), streams);
-                        }
-                        None if s.shutdown => return,
-                        None => s = self.work.wait(s).expect("sched lock"),
-                    }
-                }
-            };
-            self.stats.lock().expect("stats lock").sim_runs += 1;
-            self.execute(job_id, spec, cancel, streams);
+        while let Some(claimed) = self.claim(true) {
+            self.run_claimed(claimed);
         }
+    }
+
+    /// Pop and execute the highest-priority queued job on the calling
+    /// thread, without blocking. Returns `false` when nothing is queued.
+    ///
+    /// This is the single-worker inline mode: with `--workers 1` the
+    /// entry points skip the scoped worker pool entirely and interleave
+    /// simulation with request handling on the accept thread, so a
+    /// one-shot batch costs no thread spawns and no condvar traffic.
+    pub fn try_run_one(&self) -> bool {
+        match self.claim(false) {
+            Some(claimed) => {
+                self.run_claimed(claimed);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Run every currently queued job on the calling thread.
+    pub fn run_queued(&self) {
+        while self.try_run_one() {}
+    }
+
+    /// Claim the next queued job, marking it running. `block` selects
+    /// between the pooled-worker discipline (wait on the `work` condvar
+    /// until shutdown) and the inline one (return `None` immediately).
+    fn claim(&self, block: bool) -> Option<Claimed> {
+        let mut s = self.sched.lock().expect("sched lock");
+        loop {
+            match s.queue.pop() {
+                Some(rank) => {
+                    // Entries for jobs cancelled while queued are left
+                    // stale in the heap; skip them.
+                    let Some(job) = s.jobs.get_mut(&rank.job) else {
+                        continue;
+                    };
+                    job.running = true;
+                    let streams: Vec<(String, u64, Sender<String>)> = job
+                        .subs
+                        .iter()
+                        .filter_map(|sub| sub.stream.map(|w| (sub.id.clone(), w, sub.out.clone())))
+                        .collect();
+                    return Some(Claimed {
+                        job_id: rank.job,
+                        spec: job.spec.clone(),
+                        cancel: Arc::clone(&job.cancel),
+                        streams,
+                    });
+                }
+                None if !block || s.shutdown => return None,
+                None => s = self.work.wait(s).expect("sched lock"),
+            }
+        }
+    }
+
+    fn run_claimed(&self, claimed: Claimed) {
+        self.stats.lock().expect("stats lock").sim_runs += 1;
+        self.execute(
+            claimed.job_id,
+            claimed.spec,
+            claimed.cancel,
+            claimed.streams,
+        );
     }
 
     fn execute(
@@ -337,7 +375,11 @@ impl ScenarioService {
         streams: Vec<(String, u64, Sender<String>)>,
     ) {
         let settled = match &spec.traffic {
-            TrafficSpec::Synthetic { .. } => self.run_synthetic(&spec, &cancel, &streams),
+            // Trace replays share the synthetic tick-controlled runner
+            // (same cancel/stream seam, same warm-up cache discipline).
+            TrafficSpec::Synthetic { .. } | TrafficSpec::Trace { .. } => {
+                self.run_synthetic(&spec, &cancel, &streams)
+            }
             // Hetero runs have no tick-granularity control seam; honour a
             // cancel that lands before the run starts, else run to done.
             TrafficSpec::Hetero { .. } => {
@@ -512,6 +554,14 @@ impl ScenarioService {
             serde_json::to_string(&data).expect("stats serialise")
         )
     }
+}
+
+/// A queued job claimed for execution (pooled worker or inline).
+struct Claimed {
+    job_id: u64,
+    spec: ScenarioSpec,
+    cancel: Arc<AtomicBool>,
+    streams: Vec<(String, u64, Sender<String>)>,
 }
 
 /// How one job ended. One short-lived value per run, so the size skew

@@ -230,6 +230,83 @@ fn streaming_windows_arrive_and_do_not_perturb_results() {
     assert_eq!(envelope_of(result), envelope_of(&plain));
 }
 
+/// Satellite: single-worker inline mode (`--workers 1` runs jobs on the
+/// submitting thread via `run_queued`, no pool) keeps every service
+/// semantic — byte-identical envelopes, warm-up sharing, result caching.
+#[test]
+fn inline_mode_matches_the_pooled_worker_byte_for_byte() {
+    let pooled_svc = ScenarioService::new(ServeConfig::default());
+    let pooled = with_workers(&pooled_svc, 1, || {
+        (
+            submit(&pooled_svc, "a", spec(7, 600)).recv().unwrap(),
+            submit(&pooled_svc, "b", spec(7, 900)).recv().unwrap(),
+        )
+    });
+
+    let svc = ScenarioService::new(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    });
+    let ra = submit(&svc, "a", spec(7, 600));
+    let rb = submit(&svc, "b", spec(7, 900));
+    svc.run_queued();
+    let inline = (ra.recv().unwrap(), rb.recv().unwrap());
+
+    assert_eq!(envelope_of(&pooled.0), envelope_of(&inline.0));
+    assert_eq!(envelope_of(&pooled.1), envelope_of(&inline.1));
+    let st = svc.stats();
+    assert_eq!(st.sim_runs, 2);
+    assert_eq!(
+        (st.warm_misses, st.warm_hits),
+        (1, 1),
+        "inline path keeps the warm-up cache discipline"
+    );
+    assert!(!svc.try_run_one(), "queue is drained");
+}
+
+/// Trace-replay specs route through the same tick-controlled runner as
+/// synthetic ones: warm-up checkpoints are shared across the replay
+/// sweep and identical requests hit the result cache.
+#[test]
+fn trace_replay_runs_through_the_service_with_both_cache_levels() {
+    use noc_bench::capture_ticks;
+    use noc_sim::Mesh;
+    use noc_traffic::SyntheticSource;
+    use std::sync::Arc;
+
+    let mesh = Mesh::square(4);
+    let mut src = SyntheticSource::new(mesh, parse_pattern("UR", Vec::new()).unwrap(), 0.1, 5, 3);
+    let trace = Arc::new(capture_ticks(&mut src, mesh.len() as u32, 2_000));
+    let tspec = |measure| {
+        ScenarioSpec::trace(
+            BackendKind::HybridTdmVc4,
+            4,
+            Arc::clone(&trace),
+            PhaseConfig::pure_cycles(400, measure, 500),
+            3,
+        )
+    };
+    let svc = ScenarioService::new(ServeConfig::default());
+    let (a, c) = with_workers(&svc, 1, || {
+        let a = submit(&svc, "a", tspec(600)).recv().unwrap();
+        submit(&svc, "b", tspec(900)).recv().unwrap();
+        let c = submit(&svc, "c", tspec(600)).recv().unwrap();
+        (a, c)
+    });
+    let st = svc.stats();
+    assert_eq!(
+        (st.warm_misses, st.warm_hits),
+        (1, 1),
+        "the replay sweep shares one warm-up checkpoint"
+    );
+    assert_eq!(st.cache_hits, 1, "the repeat request is a result-cache hit");
+    assert_eq!(envelope_of(&a), envelope_of(&c));
+    assert!(
+        a.contains("\"mode\":\"trace\""),
+        "envelope echoes the trace workload: {a}"
+    );
+}
+
 /// The on-disk store answers across service restarts (a fresh process
 /// with the same cache dir hits without simulating).
 #[test]

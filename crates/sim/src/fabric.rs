@@ -35,6 +35,24 @@ use crate::stats::{EnergyEvents, NetStats};
 use crate::topology::Mesh;
 use crate::Cycle;
 
+/// One flow a profiled circuit plan wants a reserved path for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlannedFlow {
+    pub src: NodeId,
+    pub dst: NodeId,
+}
+
+/// A static circuit plan produced by a profiling pass (see
+/// `noc-workload`): flows to pre-establish at run start, highest-ranked
+/// first. With `pin` set the established circuits are exempt from
+/// LRU/idle teardown, so the plan — not the reactive setup protocol —
+/// owns the slot tables for the whole run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CircuitPlan {
+    pub flows: Vec<PlannedFlow>,
+    pub pin: bool,
+}
+
 /// An object-safe, whole-network switching backend.
 ///
 /// Everything an experiment driver needs: inject packets, advance cycles,
@@ -183,6 +201,17 @@ pub trait Fabric {
     fn set_faults(&mut self, _timeline: Vec<FaultEvent>) -> Result<(), SnapshotError> {
         Err(SnapshotError::Unsupported(
             "fabric does not implement fault injection",
+        ))
+    }
+
+    /// Pre-establish a profiled [`CircuitPlan`] before traffic starts:
+    /// issue setups for every planned flow and step the fabric until the
+    /// handshakes settle. Returns the number of circuits actually
+    /// established (slot contention can reject some). Default:
+    /// unsupported, for backends without reservable circuits.
+    fn install_circuit_plan(&mut self, _plan: &CircuitPlan) -> Result<u32, SnapshotError> {
+        Err(SnapshotError::Unsupported(
+            "fabric does not implement circuit plans",
         ))
     }
 

@@ -52,7 +52,7 @@ pub use noc_telemetry::{
 pub use arena::{ConfigArena, ConfigRef};
 pub use config::{NetworkConfig, RouterConfig};
 pub use dense::{BitSet, NodeTable, RxTable};
-pub use fabric::Fabric;
+pub use fabric::{CircuitPlan, Fabric, PlannedFlow};
 pub use flit::{
     ConfigKind, Credit, Flit, FlitKind, MsgClass, Packet, PacketId, SetupInfo, Switching,
 };

@@ -44,7 +44,9 @@ use crate::Cycle;
 
 /// Version tag embedded in every [`FabricSnapshot`]. Bump on any change
 /// to any snapshotted type's encoding.
-pub const SNAPSHOT_VERSION: u32 = 1;
+///
+/// v2: `TdmNode` gained the circuit-plan `pinned` table.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Magic prefix of the container format.
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"NOCSNAP\x01";

@@ -1,0 +1,151 @@
+//! Telemetry-side trace export: rebuild a replayable [`PacketTrace`]
+//! from a run's flit-lifecycle events, closing the capture→replay loop
+//! for runs that were traced but not recorded at the injection seam.
+//!
+//! The join is `Inject` events (cycle, source node, packet id) against
+//! the delivered-packet log (destination, length) by packet id. Two
+//! documented limits, both absent from the exact injection-side
+//! [`TraceRecorder`](crate::TraceRecorder) path (`--trace-export`):
+//!
+//! * only *delivered* packets can be joined — packets still in flight
+//!   when the log was read are skipped (use a fully drained run);
+//! * offered circuit eligibility is not observable downstream (the log
+//!   records how a packet *was* switched, not what it was allowed), so
+//!   every exported data packet is marked [`CLASS_CS`] — exact for the
+//!   synthetic workloads where all data is circuit-eligible.
+//!
+//! Event cycles are fabric time: export from a run whose workload
+//! started at cycle 0 (no warm-up skip) for tick-exact replay.
+
+use std::collections::HashMap;
+
+use noc_sim::{DeliveredKind, DeliveredPacket, EventKind, TelemetryEvent};
+
+use crate::trace::{PacketTrace, TraceRecord, CLASS_CS};
+
+/// Join `Inject` telemetry events with the delivered-packet log into a
+/// validated trace over `nodes` nodes. Records are ordered by
+/// (cycle, source, packet id), which is deterministic regardless of how
+/// the per-node telemetry rings were merged.
+pub fn trace_from_events(
+    events: &[TelemetryEvent],
+    delivered: &[DeliveredPacket],
+    nodes: u32,
+) -> PacketTrace {
+    let by_id: HashMap<u64, &DeliveredPacket> = delivered
+        .iter()
+        .filter(|d| d.kind == DeliveredKind::Data)
+        .map(|d| (d.id.0, d))
+        .collect();
+    let mut keyed: Vec<(u64, u32, u64, TraceRecord)> = events
+        .iter()
+        .filter(|e| e.kind == EventKind::Inject)
+        .filter_map(|e| {
+            let d = by_id.get(&e.id)?;
+            Some((
+                e.cycle,
+                e.node,
+                e.id,
+                TraceRecord {
+                    cycle: e.cycle,
+                    src: e.node,
+                    dst: d.dst.0,
+                    class: CLASS_CS,
+                    size: d.len_flits,
+                },
+            ))
+        })
+        .collect();
+    keyed.sort_by_key(|&(cycle, node, id, _)| (cycle, node, id));
+    PacketTrace {
+        nodes,
+        records: keyed.into_iter().map(|(_, _, _, r)| r).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_sim::{Cycle, MsgClass, NodeId, PacketId, Switching};
+
+    fn inject(cycle: u64, node: u32, id: u64) -> TelemetryEvent {
+        TelemetryEvent {
+            cycle,
+            node,
+            kind: EventKind::Inject,
+            port: 0,
+            id,
+        }
+    }
+
+    fn delivered(id: u64, src: u32, dst: u32, len: u8) -> DeliveredPacket {
+        DeliveredPacket {
+            id: PacketId(id),
+            src: NodeId(src),
+            dst: NodeId(dst),
+            class: MsgClass::Data,
+            kind: DeliveredKind::Data,
+            switching: Switching::Packet,
+            len_flits: len,
+            created: 0 as Cycle,
+            delivered: 40 as Cycle,
+            measured: true,
+        }
+    }
+
+    #[test]
+    fn joins_injects_with_the_delivered_log() {
+        let events = vec![
+            inject(5, 2, 10),
+            inject(1, 0, 11),
+            // Non-inject events and unmatched ids are skipped.
+            TelemetryEvent {
+                cycle: 2,
+                node: 1,
+                kind: EventKind::Eject,
+                port: 0,
+                id: 10,
+            },
+            inject(3, 4, 99),
+        ];
+        let log = vec![delivered(10, 2, 7, 5), delivered(11, 0, 3, 4)];
+        let t = trace_from_events(&events, &log, 9);
+        t.validate().unwrap();
+        assert_eq!(
+            t.records,
+            vec![
+                TraceRecord {
+                    cycle: 1,
+                    src: 0,
+                    dst: 3,
+                    class: CLASS_CS,
+                    size: 4
+                },
+                TraceRecord {
+                    cycle: 5,
+                    src: 2,
+                    dst: 7,
+                    class: CLASS_CS,
+                    size: 5
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn config_deliveries_are_ignored() {
+        let events = vec![inject(0, 0, 1)];
+        let mut d = delivered(1, 0, 3, 1);
+        d.kind = DeliveredKind::Ack;
+        let t = trace_from_events(&events, &[d], 4);
+        assert!(t.records.is_empty());
+    }
+
+    #[test]
+    fn ordering_is_independent_of_event_merge_order() {
+        let log = vec![delivered(1, 3, 0, 5), delivered(2, 1, 2, 5)];
+        let a = trace_from_events(&[inject(4, 3, 1), inject(4, 1, 2)], &log, 4);
+        let b = trace_from_events(&[inject(4, 1, 2), inject(4, 3, 1)], &log, 4);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,429 @@
+//! The match-action traffic/policy DSL: a declarative rule table
+//! (matched on source, destination, class or a source region) compiled
+//! at scenario-build time into closures on the hot injection path —
+//! in the spirit of P4 match-action pipelines compiled to Rust
+//! (oxidecomputer/p4), scaled down to NoC injection.
+//!
+//! Compilation turns every match clause into a node **bitset** or a
+//! class flag, so applying a rule per offered packet is a handful of
+//! word tests — zero per-cycle interpretation of the JSON table. An
+//! empty table compiles to an empty rule list and the scenario layer
+//! skips the wrapper entirely, keeping bit-identity with policy-free
+//! runs.
+
+use noc_sim::{Mesh, NodeId, Packet};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Which traffic class a rule matches (the packet's circuit eligibility).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClassMatch {
+    /// Circuit-switching-eligible packets.
+    Cs,
+    /// Packet-switched-only packets.
+    Ps,
+}
+
+/// An inclusive rectangle of *source* coordinates: `(x0, y0, x1, y1)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Region {
+    pub x0: u16,
+    pub y0: u16,
+    pub x1: u16,
+    pub y1: u16,
+}
+
+/// What a matched rule does to the packet. All fields compose; `drop`
+/// wins over everything else.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ActionSpec {
+    /// Inject-rate override: keep the packet with this probability
+    /// (an independent Bernoulli thinning of the matched flow).
+    pub scale: Option<f64>,
+    /// Discard the packet before it reaches a NIC.
+    pub drop: bool,
+    /// Class rewrite: force circuit eligibility on or off.
+    pub cs_eligible: Option<bool>,
+    /// Destination rewrite: redirect the packet to this node.
+    pub redirect: Option<u32>,
+}
+
+/// One declarative rule: every present match clause must hold (AND);
+/// the first matching rule's action applies (first-match-wins).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RuleSpec {
+    /// Source node whitelist.
+    pub src: Option<Vec<u32>>,
+    /// Destination node whitelist.
+    pub dst: Option<Vec<u32>>,
+    /// Class filter.
+    pub class: Option<ClassMatch>,
+    /// Source-coordinate rectangle.
+    pub region: Option<Region>,
+    pub action: ActionSpec,
+}
+
+/// A node-set as a bitset over node indices.
+struct NodeSet {
+    words: Vec<u64>,
+}
+
+impl NodeSet {
+    fn new(len: usize) -> Self {
+        NodeSet {
+            words: vec![0; len.div_ceil(64)],
+        }
+    }
+
+    fn insert(&mut self, n: u32) {
+        self.words[n as usize / 64] |= 1 << (n % 64);
+    }
+
+    #[inline]
+    fn contains(&self, n: u32) -> bool {
+        self.words[n as usize / 64] & (1 << (n % 64)) != 0
+    }
+}
+
+/// One compiled rule: precomputed match sets plus the action.
+struct CompiledRule {
+    src: Option<NodeSet>,
+    dst: Option<NodeSet>,
+    class: Option<ClassMatch>,
+    action: ActionSpec,
+}
+
+impl CompiledRule {
+    #[inline]
+    fn matches(&self, src: NodeId, pkt: &Packet) -> bool {
+        if let Some(set) = &self.src {
+            if !set.contains(src.0) {
+                return false;
+            }
+        }
+        if let Some(set) = &self.dst {
+            if !set.contains(pkt.dst.0) {
+                return false;
+            }
+        }
+        match self.class {
+            Some(ClassMatch::Cs) => pkt.cs_eligible,
+            Some(ClassMatch::Ps) => !pkt.cs_eligible,
+            None => true,
+        }
+    }
+}
+
+/// The compiled rule table. Thinning (`scale`) draws from its own seeded
+/// RNG, so a policy-carrying run is deterministic and the workload's own
+/// RNG stream is untouched.
+pub struct CompiledPolicy {
+    rules: Vec<CompiledRule>,
+    rng: StdRng,
+}
+
+impl CompiledPolicy {
+    /// Compile a rule table against `mesh`. Region clauses are expanded
+    /// into node bitsets here, at build time. Errors on out-of-range
+    /// nodes, empty regions and invalid scales.
+    pub fn compile(rules: &[RuleSpec], mesh: &Mesh, seed: u64) -> Result<Self, String> {
+        let len = mesh.len();
+        let check = |n: u32, what: &str| -> Result<u32, String> {
+            if (n as usize) < len {
+                Ok(n)
+            } else {
+                Err(format!(
+                    "policy: {what} node {n} out of range (mesh has {len} nodes)"
+                ))
+            }
+        };
+        let mut compiled = Vec::with_capacity(rules.len());
+        for (i, rule) in rules.iter().enumerate() {
+            if let Some(s) = rule.action.scale {
+                if !(0.0..=1.0).contains(&s) {
+                    return Err(format!("policy rule {i}: scale {s} outside [0, 1]"));
+                }
+            }
+            if let Some(rd) = rule.action.redirect {
+                check(rd, "redirect")?;
+            }
+            // Source set: list ∩ region, either alone, or no constraint.
+            let src = match (&rule.src, &rule.region) {
+                (None, None) => None,
+                (list, region) => {
+                    let mut set = NodeSet::new(len);
+                    let in_region = |n: u32| {
+                        region.is_none_or(|r| {
+                            let c = mesh.coord(NodeId(n));
+                            c.x >= r.x0 && c.x <= r.x1 && c.y >= r.y0 && c.y <= r.y1
+                        })
+                    };
+                    let mut any = false;
+                    match list {
+                        Some(nodes) => {
+                            for &n in nodes {
+                                check(n, "src")?;
+                                if in_region(n) {
+                                    set.insert(n);
+                                    any = true;
+                                }
+                            }
+                        }
+                        None => {
+                            for n in mesh.nodes() {
+                                if in_region(n.0) {
+                                    set.insert(n.0);
+                                    any = true;
+                                }
+                            }
+                        }
+                    }
+                    if !any {
+                        return Err(format!("policy rule {i}: empty source match set"));
+                    }
+                    Some(set)
+                }
+            };
+            let dst = match &rule.dst {
+                None => None,
+                Some(nodes) => {
+                    let mut set = NodeSet::new(len);
+                    for &n in nodes {
+                        set.insert(check(n, "dst")?);
+                    }
+                    Some(set)
+                }
+            };
+            compiled.push(CompiledRule {
+                src,
+                dst,
+                class: rule.class,
+                action: rule.action.clone(),
+            });
+        }
+        Ok(CompiledPolicy {
+            rules: compiled,
+            rng: StdRng::seed_from_u64(seed),
+        })
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Apply the table to one offered packet (first matching rule wins).
+    /// Returns `false` when the packet should be discarded.
+    pub fn apply(&mut self, src: NodeId, pkt: &mut Packet) -> bool {
+        let CompiledPolicy { rules, rng } = self;
+        for rule in rules.iter() {
+            if !rule.matches(src, pkt) {
+                continue;
+            }
+            if rule.action.drop {
+                return false;
+            }
+            if let Some(s) = rule.action.scale {
+                if !rng.random_bool(s) {
+                    return false;
+                }
+            }
+            if let Some(ce) = rule.action.cs_eligible {
+                pkt.cs_eligible = ce;
+            }
+            if let Some(rd) = rule.action.redirect {
+                pkt.dst = NodeId(rd);
+            }
+            return true;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_traffic::PacketFactory;
+
+    fn pkt(f: &mut PacketFactory, src: u32, dst: u32) -> (NodeId, Packet) {
+        (NodeId(src), f.data(NodeId(src), NodeId(dst), 5, 0, true))
+    }
+
+    #[test]
+    fn empty_table_passes_everything_through() {
+        let mesh = Mesh::square(4);
+        let mut pol = CompiledPolicy::compile(&[], &mesh, 1).unwrap();
+        assert!(pol.is_empty());
+        let mut f = PacketFactory::new();
+        let (s, mut p) = pkt(&mut f, 0, 15);
+        let before = p.clone();
+        assert!(pol.apply(s, &mut p));
+        assert_eq!(p.dst, before.dst);
+        assert_eq!(p.cs_eligible, before.cs_eligible);
+    }
+
+    #[test]
+    fn drop_and_first_match_wins() {
+        let mesh = Mesh::square(4);
+        let rules = vec![
+            RuleSpec {
+                src: Some(vec![3]),
+                action: ActionSpec {
+                    drop: true,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            RuleSpec {
+                // Would redirect node 3 too, but the drop rule fires first.
+                action: ActionSpec {
+                    redirect: Some(0),
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        ];
+        let mut pol = CompiledPolicy::compile(&rules, &mesh, 1).unwrap();
+        let mut f = PacketFactory::new();
+        let (s, mut p) = pkt(&mut f, 3, 9);
+        assert!(!pol.apply(s, &mut p));
+        let (s, mut p) = pkt(&mut f, 4, 9);
+        assert!(pol.apply(s, &mut p));
+        assert_eq!(p.dst, NodeId(0));
+    }
+
+    #[test]
+    fn class_match_and_rewrite() {
+        let mesh = Mesh::square(4);
+        let rules = vec![RuleSpec {
+            class: Some(ClassMatch::Cs),
+            action: ActionSpec {
+                cs_eligible: Some(false),
+                ..Default::default()
+            },
+            ..Default::default()
+        }];
+        let mut pol = CompiledPolicy::compile(&rules, &mesh, 1).unwrap();
+        let mut f = PacketFactory::new();
+        let (s, mut p) = pkt(&mut f, 0, 9);
+        assert!(p.cs_eligible);
+        assert!(pol.apply(s, &mut p));
+        assert!(!p.cs_eligible);
+        // Now ps: the Cs rule no longer matches, packet is untouched.
+        assert!(pol.apply(s, &mut p));
+        assert!(!p.cs_eligible);
+    }
+
+    #[test]
+    fn region_matches_source_coordinates() {
+        let mesh = Mesh::square(4);
+        // Left half of the mesh: x in 0..=1.
+        let rules = vec![RuleSpec {
+            region: Some(Region {
+                x0: 0,
+                y0: 0,
+                x1: 1,
+                y1: 3,
+            }),
+            action: ActionSpec {
+                drop: true,
+                ..Default::default()
+            },
+            ..Default::default()
+        }];
+        let mut pol = CompiledPolicy::compile(&rules, &mesh, 1).unwrap();
+        let mut f = PacketFactory::new();
+        for n in mesh.nodes() {
+            let (s, mut p) = pkt(&mut f, n.0, (n.0 + 1) % 16);
+            let kept = pol.apply(s, &mut p);
+            assert_eq!(kept, mesh.coord(n).x > 1, "node {n:?}");
+        }
+    }
+
+    #[test]
+    fn src_list_intersects_region() {
+        let mesh = Mesh::square(4);
+        let rules = vec![RuleSpec {
+            src: Some(vec![0, 3]), // 3 is at x=3, outside the region
+            region: Some(Region {
+                x0: 0,
+                y0: 0,
+                x1: 1,
+                y1: 3,
+            }),
+            action: ActionSpec {
+                drop: true,
+                ..Default::default()
+            },
+            ..Default::default()
+        }];
+        let mut pol = CompiledPolicy::compile(&rules, &mesh, 1).unwrap();
+        let mut f = PacketFactory::new();
+        let (s, mut p) = pkt(&mut f, 0, 9);
+        assert!(!pol.apply(s, &mut p));
+        let (s, mut p) = pkt(&mut f, 3, 9);
+        assert!(pol.apply(s, &mut p));
+    }
+
+    #[test]
+    fn scale_thins_deterministically() {
+        let mesh = Mesh::square(4);
+        let rules = vec![RuleSpec {
+            action: ActionSpec {
+                scale: Some(0.25),
+                ..Default::default()
+            },
+            ..Default::default()
+        }];
+        let run = |seed| {
+            let mut pol = CompiledPolicy::compile(&rules, &mesh, seed).unwrap();
+            let mut f = PacketFactory::new();
+            let mut kept = Vec::new();
+            for i in 0..4000u32 {
+                let (s, mut p) = pkt(&mut f, i % 16, (i + 1) % 16);
+                kept.push(pol.apply(s, &mut p));
+            }
+            kept
+        };
+        let a = run(7);
+        assert_eq!(a, run(7), "same seed, same thinning");
+        assert_ne!(a, run(8));
+        let frac = a.iter().filter(|&&k| k).count() as f64 / a.len() as f64;
+        assert!((frac - 0.25).abs() < 0.05, "kept fraction {frac}");
+    }
+
+    #[test]
+    fn compile_rejects_bad_rules() {
+        let mesh = Mesh::square(4);
+        let bad_node = vec![RuleSpec {
+            src: Some(vec![16]),
+            ..Default::default()
+        }];
+        assert!(CompiledPolicy::compile(&bad_node, &mesh, 1).is_err());
+        let bad_scale = vec![RuleSpec {
+            action: ActionSpec {
+                scale: Some(1.5),
+                ..Default::default()
+            },
+            ..Default::default()
+        }];
+        assert!(CompiledPolicy::compile(&bad_scale, &mesh, 1).is_err());
+        let empty_region = vec![RuleSpec {
+            region: Some(Region {
+                x0: 9,
+                y0: 9,
+                x1: 9,
+                y1: 9,
+            }),
+            ..Default::default()
+        }];
+        assert!(CompiledPolicy::compile(&empty_region, &mesh, 1).is_err());
+        let bad_redirect = vec![RuleSpec {
+            action: ActionSpec {
+                redirect: Some(99),
+                ..Default::default()
+            },
+            ..Default::default()
+        }];
+        assert!(CompiledPolicy::compile(&bad_redirect, &mesh, 1).is_err());
+    }
+}

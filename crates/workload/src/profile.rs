@@ -1,0 +1,169 @@
+//! The profiling pass of profiled hybrid switching (after He & Cao,
+//! "Energy-Efficient On-Chip Networks through Profiled Hybrid
+//! Switching"): aggregate a packet trace into per-flow statistics, rank
+//! flows by volume and persistence, and emit a static [`CircuitPlan`]
+//! for the TDM backend to pre-establish — the A/B counterpart to the
+//! paper's reactive, frequency-triggered setup protocol.
+
+use std::collections::HashMap;
+
+use noc_sim::{CircuitPlan, Mesh, NodeId, PlannedFlow};
+
+use crate::trace::{PacketTrace, CLASS_CS};
+
+/// Aggregate statistics for one (src, dst) flow.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlowStats {
+    pub src: u32,
+    pub dst: u32,
+    /// Circuit-eligible flits offered by this flow.
+    pub flits: u64,
+    /// Circuit-eligible packets offered by this flow.
+    pub packets: u64,
+    /// First and last injection cycle — `last - first + 1` is the flow's
+    /// persistence window.
+    pub first: u64,
+    pub last: u64,
+}
+
+impl FlowStats {
+    pub fn span(&self) -> u64 {
+        self.last - self.first + 1
+    }
+}
+
+/// Per-flow circuit-eligible volume, ranked by (flits desc, span desc,
+/// (src, dst) asc). The tie-break on node ids keeps the profile — and
+/// every plan derived from it — fully deterministic.
+pub fn profile_trace(trace: &PacketTrace) -> Vec<FlowStats> {
+    let mut flows: HashMap<(u32, u32), FlowStats> = HashMap::new();
+    for r in &trace.records {
+        if r.class != CLASS_CS || r.src == r.dst {
+            continue;
+        }
+        let e = flows.entry((r.src, r.dst)).or_insert(FlowStats {
+            src: r.src,
+            dst: r.dst,
+            flits: 0,
+            packets: 0,
+            first: r.cycle,
+            last: r.cycle,
+        });
+        e.flits += r.size as u64;
+        e.packets += 1;
+        e.last = r.cycle;
+    }
+    let mut out: Vec<FlowStats> = flows.into_values().collect();
+    out.sort_by(|a, b| {
+        b.flits
+            .cmp(&a.flits)
+            .then(b.span().cmp(&a.span()))
+            .then((a.src, a.dst).cmp(&(b.src, b.dst)))
+    });
+    out
+}
+
+/// Profile `trace` and plan circuits for its `top` heaviest flows whose
+/// endpoints are at least 2 hops apart on `mesh` — the same distance
+/// guard the reactive setup protocol applies (a 1-hop circuit saves no
+/// router traversal).
+pub fn plan_top_flows(trace: &PacketTrace, mesh: &Mesh, top: usize, pin: bool) -> CircuitPlan {
+    let flows = profile_trace(trace)
+        .into_iter()
+        .filter(|f| mesh.hops(NodeId(f.src), NodeId(f.dst)) >= 2)
+        .take(top)
+        .map(|f| PlannedFlow {
+            src: NodeId(f.src),
+            dst: NodeId(f.dst),
+        })
+        .collect();
+    CircuitPlan { flows, pin }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{TraceRecord, CLASS_PS};
+
+    fn rec(cycle: u64, src: u32, dst: u32, class: u8, size: u8) -> TraceRecord {
+        TraceRecord {
+            cycle,
+            src,
+            dst,
+            class,
+            size,
+        }
+    }
+
+    #[test]
+    fn profile_aggregates_and_ranks_by_volume_then_span() {
+        let t = PacketTrace {
+            nodes: 16,
+            records: vec![
+                rec(0, 0, 15, CLASS_CS, 5),
+                rec(1, 2, 3, CLASS_CS, 5),
+                rec(2, 0, 15, CLASS_CS, 5),
+                rec(3, 1, 14, CLASS_CS, 5),
+                rec(3, 1, 14, CLASS_CS, 5),
+                rec(9, 4, 4, CLASS_CS, 5),  // self-flow: ignored
+                rec(9, 5, 6, CLASS_PS, 99), // ps-only: ignored
+            ],
+        };
+        let p = profile_trace(&t);
+        assert_eq!(p.len(), 3);
+        // 0→15 and 1→14 both offer 10 flits; 0→15 spans cycles 0..=2
+        // (span 3) vs 1→14's span 1, so volume tie breaks on span.
+        assert_eq!(
+            (p[0].src, p[0].dst, p[0].flits, p[0].packets),
+            (0, 15, 10, 2)
+        );
+        assert_eq!(p[0].span(), 3);
+        assert_eq!((p[1].src, p[1].dst), (1, 14));
+        assert_eq!((p[2].src, p[2].dst, p[2].flits), (2, 3, 5));
+    }
+
+    #[test]
+    fn ranking_is_deterministic_on_full_ties() {
+        let t = PacketTrace {
+            nodes: 16,
+            records: vec![rec(0, 9, 1, CLASS_CS, 5), rec(0, 3, 7, CLASS_CS, 5)],
+        };
+        let p = profile_trace(&t);
+        assert_eq!((p[0].src, p[0].dst), (3, 7));
+        assert_eq!((p[1].src, p[1].dst), (9, 1));
+    }
+
+    #[test]
+    fn plan_filters_short_flows_and_truncates() {
+        let mesh = Mesh::square(4);
+        let t = PacketTrace {
+            nodes: 16,
+            records: vec![
+                rec(0, 0, 15, CLASS_CS, 5), // 6 hops
+                rec(0, 0, 15, CLASS_CS, 5),
+                rec(1, 0, 1, CLASS_CS, 5), // 1 hop: filtered
+                rec(1, 0, 1, CLASS_CS, 5),
+                rec(1, 0, 1, CLASS_CS, 5),
+                rec(2, 5, 10, CLASS_CS, 5), // 2 hops
+            ],
+        };
+        let plan = plan_top_flows(&t, &mesh, 8, true);
+        assert!(plan.pin);
+        assert_eq!(
+            plan.flows,
+            vec![
+                PlannedFlow {
+                    src: NodeId(0),
+                    dst: NodeId(15)
+                },
+                PlannedFlow {
+                    src: NodeId(5),
+                    dst: NodeId(10)
+                },
+            ]
+        );
+        let one = plan_top_flows(&t, &mesh, 1, false);
+        assert_eq!(one.flows.len(), 1);
+        assert!(!one.pin);
+    }
+}

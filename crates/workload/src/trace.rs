@@ -1,0 +1,609 @@
+//! The `NOCTRACE1` packet-trace format: a versioned, deterministic record
+//! of *injection decisions* — which packets enter the network, where and
+//! when — independent of how the fabric then moves them.
+//!
+//! Two on-disk encodings share one in-memory type and one validator:
+//!
+//! * **binary** — the 9-byte magic `NOCTRACE1`, a `u32` node count, a
+//!   `u64` record count, then fixed 18-byte little-endian records of
+//!   `{cycle: u64, src: u32, dst: u32, class: u8, size: u8}`. This is the
+//!   *canonical* encoding: content hashes (cache keys) are computed over
+//!   these bytes, so a hand-authored text trace and its binary twin hash
+//!   identically.
+//! * **text** — JSON lines for hand-authoring: a header line
+//!   `{"format":"NOCTRACE1","nodes":N}` followed by one flat object per
+//!   record. Parsed by a small strict scanner (the vendored serde_json is
+//!   serialize-only), blank lines and `#` comments allowed.
+//!
+//! `class` 0 means the packet is circuit-switching eligible; `class` 1
+//! pins it to packet switching. `size` is the packet length in flits
+//! (1..=255). Records must be sorted by non-decreasing cycle — the replay
+//! source walks them with a cursor, never a search.
+
+/// Magic prefix of the binary encoding (doubles as the format version:
+/// breaking changes rename to `NOCTRACE2`).
+pub const PACKET_TRACE_MAGIC: [u8; 9] = *b"NOCTRACE1";
+
+/// Fixed size of one binary record.
+pub const TRACE_RECORD_BYTES: usize = 18;
+
+/// `class` value for circuit-switching-eligible data.
+pub const CLASS_CS: u8 = 0;
+/// `class` value for packet-switched-only data.
+pub const CLASS_PS: u8 = 1;
+
+/// One injection: at `cycle` (workload ticks since the source started),
+/// node `src` offers a `size`-flit packet for `dst`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceRecord {
+    pub cycle: u64,
+    pub src: u32,
+    pub dst: u32,
+    /// [`CLASS_CS`] or [`CLASS_PS`].
+    pub class: u8,
+    /// Packet length in flits (>= 1).
+    pub size: u8,
+}
+
+/// A validated packet trace: the node count it was captured against plus
+/// the cycle-sorted records.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct PacketTrace {
+    pub nodes: u32,
+    pub records: Vec<TraceRecord>,
+}
+
+/// Everything that can be wrong with a trace file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// Neither the binary magic nor parseable UTF-8 text.
+    BadMagic,
+    /// The byte stream ended mid-header or mid-record.
+    Truncated { offset: usize },
+    /// Bytes left over after the declared record count.
+    Trailing { extra: usize },
+    /// A record references a node outside `0..nodes`.
+    NodeOutOfRange { index: usize, node: u32, nodes: u32 },
+    /// Record `index` has a smaller cycle than its predecessor.
+    NonMonotone { index: usize, cycle: u64, prev: u64 },
+    /// `class` is neither [`CLASS_CS`] nor [`CLASS_PS`].
+    BadClass { index: usize, class: u8 },
+    /// `size` is zero (a packet needs at least one flit).
+    BadSize { index: usize },
+    /// A text-format line failed to parse (1-based line number).
+    Text { line: usize, msg: String },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::BadMagic => write!(f, "not a NOCTRACE1 trace (bad magic)"),
+            TraceError::Truncated { offset } => {
+                write!(f, "truncated trace: unexpected end at byte {offset}")
+            }
+            TraceError::Trailing { extra } => {
+                write!(f, "trailing garbage: {extra} bytes after the last record")
+            }
+            TraceError::NodeOutOfRange { index, node, nodes } => write!(
+                f,
+                "record {index}: node {node} out of range (trace declares {nodes} nodes)"
+            ),
+            TraceError::NonMonotone { index, cycle, prev } => write!(
+                f,
+                "record {index}: cycle {cycle} goes backwards (previous record at {prev})"
+            ),
+            TraceError::BadClass { index, class } => {
+                write!(
+                    f,
+                    "record {index}: unknown class {class} (want 0=cs or 1=ps)"
+                )
+            }
+            TraceError::BadSize { index } => {
+                write!(f, "record {index}: zero-flit packet")
+            }
+            TraceError::Text { line, msg } => write!(f, "trace text line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl PacketTrace {
+    pub fn new(nodes: u32) -> Self {
+        PacketTrace {
+            nodes,
+            records: Vec::new(),
+        }
+    }
+
+    /// Check the structural invariants shared by both encodings.
+    pub fn validate(&self) -> Result<(), TraceError> {
+        let mut prev = 0u64;
+        for (index, r) in self.records.iter().enumerate() {
+            if r.src >= self.nodes || r.dst >= self.nodes {
+                let node = if r.src >= self.nodes { r.src } else { r.dst };
+                return Err(TraceError::NodeOutOfRange {
+                    index,
+                    node,
+                    nodes: self.nodes,
+                });
+            }
+            if r.cycle < prev {
+                return Err(TraceError::NonMonotone {
+                    index,
+                    cycle: r.cycle,
+                    prev,
+                });
+            }
+            if r.class != CLASS_CS && r.class != CLASS_PS {
+                return Err(TraceError::BadClass {
+                    index,
+                    class: r.class,
+                });
+            }
+            if r.size == 0 {
+                return Err(TraceError::BadSize { index });
+            }
+            prev = r.cycle;
+        }
+        Ok(())
+    }
+
+    /// Total offered flits across the whole trace.
+    pub fn total_flits(&self) -> u64 {
+        self.records.iter().map(|r| r.size as u64).sum()
+    }
+
+    /// Number of injection cycles the trace spans (last cycle + 1).
+    pub fn span(&self) -> u64 {
+        self.records.last().map_or(0, |r| r.cycle + 1)
+    }
+
+    /// Canonical binary encoding; content hashes are taken over these
+    /// bytes regardless of which encoding a trace file used.
+    pub fn to_binary(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(
+            PACKET_TRACE_MAGIC.len() + 12 + self.records.len() * TRACE_RECORD_BYTES,
+        );
+        out.extend_from_slice(&PACKET_TRACE_MAGIC);
+        out.extend_from_slice(&self.nodes.to_le_bytes());
+        out.extend_from_slice(&(self.records.len() as u64).to_le_bytes());
+        for r in &self.records {
+            out.extend_from_slice(&r.cycle.to_le_bytes());
+            out.extend_from_slice(&r.src.to_le_bytes());
+            out.extend_from_slice(&r.dst.to_le_bytes());
+            out.push(r.class);
+            out.push(r.size);
+        }
+        out
+    }
+
+    /// Decode and validate the binary encoding.
+    pub fn from_binary(bytes: &[u8]) -> Result<Self, TraceError> {
+        let magic = PACKET_TRACE_MAGIC.len();
+        if bytes.len() < magic || bytes[..magic] != PACKET_TRACE_MAGIC {
+            return Err(TraceError::BadMagic);
+        }
+        let header_end = magic + 12;
+        if bytes.len() < header_end {
+            return Err(TraceError::Truncated {
+                offset: bytes.len(),
+            });
+        }
+        let nodes = u32::from_le_bytes(bytes[magic..magic + 4].try_into().unwrap());
+        let count = u64::from_le_bytes(bytes[magic + 4..header_end].try_into().unwrap());
+        let body = &bytes[header_end..];
+        let want =
+            (count as usize)
+                .checked_mul(TRACE_RECORD_BYTES)
+                .ok_or(TraceError::Truncated {
+                    offset: bytes.len(),
+                })?;
+        if body.len() < want {
+            return Err(TraceError::Truncated {
+                offset: bytes.len(),
+            });
+        }
+        if body.len() > want {
+            return Err(TraceError::Trailing {
+                extra: body.len() - want,
+            });
+        }
+        let mut records = Vec::with_capacity(count as usize);
+        for chunk in body.chunks_exact(TRACE_RECORD_BYTES) {
+            records.push(TraceRecord {
+                cycle: u64::from_le_bytes(chunk[0..8].try_into().unwrap()),
+                src: u32::from_le_bytes(chunk[8..12].try_into().unwrap()),
+                dst: u32::from_le_bytes(chunk[12..16].try_into().unwrap()),
+                class: chunk[16],
+                size: chunk[17],
+            });
+        }
+        let trace = PacketTrace { nodes, records };
+        trace.validate()?;
+        Ok(trace)
+    }
+
+    /// JSON-lines text encoding for hand-authoring and diffing.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"format\":\"NOCTRACE1\",\"nodes\":{}}}\n",
+            self.nodes
+        ));
+        for r in &self.records {
+            out.push_str(&format!(
+                "{{\"cycle\":{},\"src\":{},\"dst\":{},\"class\":{},\"size\":{}}}\n",
+                r.cycle, r.src, r.dst, r.class, r.size
+            ));
+        }
+        out
+    }
+
+    /// Parse and validate the JSON-lines text encoding.
+    pub fn from_text(text: &str) -> Result<Self, TraceError> {
+        let mut trace: Option<PacketTrace> = None;
+        for (i, raw) in text.lines().enumerate() {
+            let line = i + 1;
+            let s = raw.trim();
+            if s.is_empty() || s.starts_with('#') {
+                continue;
+            }
+            let fields = parse_flat_object(s).map_err(|msg| TraceError::Text { line, msg })?;
+            match &mut trace {
+                None => {
+                    let fmt = field_str(&fields, "format").ok_or_else(|| TraceError::Text {
+                        line,
+                        msg: "header needs a \"format\" field".into(),
+                    })?;
+                    if fmt != "NOCTRACE1" {
+                        return Err(TraceError::Text {
+                            line,
+                            msg: format!("unsupported format {fmt:?}"),
+                        });
+                    }
+                    let nodes = field_num(&fields, "nodes").ok_or_else(|| TraceError::Text {
+                        line,
+                        msg: "header needs a numeric \"nodes\" field".into(),
+                    })?;
+                    if fields.len() != 2 {
+                        return Err(TraceError::Text {
+                            line,
+                            msg: "header has unknown fields".into(),
+                        });
+                    }
+                    trace = Some(PacketTrace::new(nodes as u32));
+                }
+                Some(t) => {
+                    let get = |key: &str| {
+                        field_num(&fields, key).ok_or_else(|| TraceError::Text {
+                            line,
+                            msg: format!("record needs a numeric {key:?} field"),
+                        })
+                    };
+                    let (cycle, src, dst, class, size) = (
+                        get("cycle")?,
+                        get("src")?,
+                        get("dst")?,
+                        get("class")?,
+                        get("size")?,
+                    );
+                    if fields.len() != 5 {
+                        return Err(TraceError::Text {
+                            line,
+                            msg: "record has unknown fields".into(),
+                        });
+                    }
+                    if src > u32::MAX as u64 || dst > u32::MAX as u64 || class > 255 || size > 255 {
+                        return Err(TraceError::Text {
+                            line,
+                            msg: "field value out of range".into(),
+                        });
+                    }
+                    t.records.push(TraceRecord {
+                        cycle,
+                        src: src as u32,
+                        dst: dst as u32,
+                        class: class as u8,
+                        size: size as u8,
+                    });
+                }
+            }
+        }
+        let trace = trace.ok_or(TraceError::Text {
+            line: 0,
+            msg: "empty trace text (missing header line)".into(),
+        })?;
+        trace.validate()?;
+        Ok(trace)
+    }
+
+    /// Decode either encoding: binary when the magic matches, otherwise
+    /// UTF-8 text.
+    pub fn decode(bytes: &[u8]) -> Result<Self, TraceError> {
+        if bytes.starts_with(&PACKET_TRACE_MAGIC) {
+            return PacketTrace::from_binary(bytes);
+        }
+        let text = std::str::from_utf8(bytes).map_err(|_| TraceError::BadMagic)?;
+        PacketTrace::from_text(text)
+    }
+}
+
+/// Value of one field in a flat JSON-lines object.
+enum Field {
+    Num(u64),
+    Str(String),
+}
+
+fn field_num(fields: &[(String, Field)], key: &str) -> Option<u64> {
+    fields.iter().find_map(|(k, v)| match v {
+        Field::Num(n) if k == key => Some(*n),
+        _ => None,
+    })
+}
+
+fn field_str<'a>(fields: &'a [(String, Field)], key: &str) -> Option<&'a str> {
+    fields.iter().find_map(|(k, v)| match v {
+        Field::Str(s) if k == key => Some(s.as_str()),
+        _ => None,
+    })
+}
+
+/// Strict scanner for one flat JSON object: string keys, unsigned-integer
+/// or plain-string values, no nesting, no escapes. Exactly the subset the
+/// text twin emits.
+fn parse_flat_object(s: &str) -> Result<Vec<(String, Field)>, String> {
+    let b = s.as_bytes();
+    let mut i = 0usize;
+    let skip_ws = |i: &mut usize| {
+        while *i < b.len() && (b[*i] as char).is_ascii_whitespace() {
+            *i += 1;
+        }
+    };
+    let expect = |i: &mut usize, c: u8| -> Result<(), String> {
+        if *i < b.len() && b[*i] == c {
+            *i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at column {}", c as char, *i + 1))
+        }
+    };
+    let parse_str = |i: &mut usize| -> Result<String, String> {
+        expect(i, b'"')?;
+        let start = *i;
+        while *i < b.len() && b[*i] != b'"' {
+            if b[*i] == b'\\' {
+                return Err("escape sequences not supported".into());
+            }
+            *i += 1;
+        }
+        if *i >= b.len() {
+            return Err("unterminated string".into());
+        }
+        let out = s[start..*i].to_string();
+        *i += 1;
+        Ok(out)
+    };
+    skip_ws(&mut i);
+    expect(&mut i, b'{')?;
+    let mut fields = Vec::new();
+    loop {
+        skip_ws(&mut i);
+        let key = parse_str(&mut i)?;
+        skip_ws(&mut i);
+        expect(&mut i, b':')?;
+        skip_ws(&mut i);
+        let value = if i < b.len() && b[i] == b'"' {
+            Field::Str(parse_str(&mut i)?)
+        } else {
+            let start = i;
+            while i < b.len() && b[i].is_ascii_digit() {
+                i += 1;
+            }
+            if i == start {
+                return Err(format!("expected a value at column {}", i + 1));
+            }
+            Field::Num(
+                s[start..i]
+                    .parse()
+                    .map_err(|_| format!("number out of range at column {}", start + 1))?,
+            )
+        };
+        if fields.iter().any(|(k, _)| *k == key) {
+            return Err(format!("duplicate field {key:?}"));
+        }
+        fields.push((key, value));
+        skip_ws(&mut i);
+        if i < b.len() && b[i] == b',' {
+            i += 1;
+            continue;
+        }
+        break;
+    }
+    expect(&mut i, b'}')?;
+    skip_ws(&mut i);
+    if i != b.len() {
+        return Err(format!("trailing characters at column {}", i + 1));
+    }
+    Ok(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PacketTrace {
+        PacketTrace {
+            nodes: 16,
+            records: vec![
+                TraceRecord {
+                    cycle: 0,
+                    src: 0,
+                    dst: 5,
+                    class: CLASS_CS,
+                    size: 5,
+                },
+                TraceRecord {
+                    cycle: 0,
+                    src: 3,
+                    dst: 9,
+                    class: CLASS_PS,
+                    size: 5,
+                },
+                TraceRecord {
+                    cycle: 2,
+                    src: 0,
+                    dst: 5,
+                    class: CLASS_CS,
+                    size: 5,
+                },
+                TraceRecord {
+                    cycle: 7,
+                    src: 15,
+                    dst: 0,
+                    class: CLASS_CS,
+                    size: 1,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn binary_round_trips() {
+        let t = sample();
+        let bytes = t.to_binary();
+        assert_eq!(PacketTrace::from_binary(&bytes).unwrap(), t);
+        assert_eq!(PacketTrace::decode(&bytes).unwrap(), t);
+    }
+
+    #[test]
+    fn text_round_trips_and_hashes_like_binary() {
+        let t = sample();
+        let text = t.to_text();
+        let back = PacketTrace::decode(text.as_bytes()).unwrap();
+        assert_eq!(back, t);
+        // The canonical (hashed) bytes are identical for the twins.
+        assert_eq!(back.to_binary(), t.to_binary());
+    }
+
+    #[test]
+    fn text_allows_comments_and_blank_lines() {
+        let text = "# hand-authored\n\n{\"format\":\"NOCTRACE1\",\"nodes\":4}\n\
+                    {\"cycle\":1,\"src\":0,\"dst\":3,\"class\":1,\"size\":5}\n";
+        let t = PacketTrace::from_text(text).unwrap();
+        assert_eq!(t.nodes, 4);
+        assert_eq!(t.records.len(), 1);
+    }
+
+    #[test]
+    fn truncated_record_is_rejected() {
+        let mut bytes = sample().to_binary();
+        bytes.truncate(bytes.len() - 3);
+        assert!(matches!(
+            PacketTrace::from_binary(&bytes),
+            Err(TraceError::Truncated { .. })
+        ));
+        // Mid-header truncation too.
+        assert!(matches!(
+            PacketTrace::from_binary(&bytes[..11]),
+            Err(TraceError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = sample().to_binary();
+        bytes.push(0);
+        assert!(matches!(
+            PacketTrace::from_binary(&bytes),
+            Err(TraceError::Trailing { extra: 1 })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_node_is_rejected() {
+        let mut t = sample();
+        t.records[1].dst = 16;
+        assert_eq!(
+            t.validate(),
+            Err(TraceError::NodeOutOfRange {
+                index: 1,
+                node: 16,
+                nodes: 16
+            })
+        );
+        let bytes = t.to_binary();
+        assert!(PacketTrace::from_binary(&bytes).is_err());
+    }
+
+    #[test]
+    fn non_monotone_cycle_is_rejected() {
+        let mut t = sample();
+        t.records[2].cycle = 0;
+        t.records[3].cycle = 1;
+        t.records[2].cycle = 3;
+        t.records[3].cycle = 2;
+        assert_eq!(
+            t.validate(),
+            Err(TraceError::NonMonotone {
+                index: 3,
+                cycle: 2,
+                prev: 3
+            })
+        );
+        assert!(PacketTrace::decode(&t.to_binary()).is_err());
+        assert!(PacketTrace::from_text(&t.to_text()).is_err());
+    }
+
+    #[test]
+    fn bad_class_and_zero_size_are_rejected() {
+        let mut t = sample();
+        t.records[0].class = 7;
+        assert_eq!(
+            t.validate(),
+            Err(TraceError::BadClass { index: 0, class: 7 })
+        );
+        let mut t = sample();
+        t.records[0].size = 0;
+        assert_eq!(t.validate(), Err(TraceError::BadSize { index: 0 }));
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        assert_eq!(
+            PacketTrace::decode(b"\x00\x01\x02\xff"),
+            Err(TraceError::BadMagic)
+        );
+    }
+
+    #[test]
+    fn text_parse_errors_carry_line_numbers() {
+        let missing_key = "{\"format\":\"NOCTRACE1\",\"nodes\":4}\n{\"cycle\":1,\"src\":0}\n";
+        assert!(matches!(
+            PacketTrace::from_text(missing_key),
+            Err(TraceError::Text { line: 2, .. })
+        ));
+        let junk = "{\"format\":\"NOCTRACE1\",\"nodes\":4}\nnot json\n";
+        assert!(matches!(
+            PacketTrace::from_text(junk),
+            Err(TraceError::Text { line: 2, .. })
+        ));
+        let bad_header = "{\"format\":\"NOCTRACE9\",\"nodes\":4}\n";
+        assert!(matches!(
+            PacketTrace::from_text(bad_header),
+            Err(TraceError::Text { line: 1, .. })
+        ));
+        assert!(matches!(
+            PacketTrace::from_text(""),
+            Err(TraceError::Text { line: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn span_and_flits() {
+        let t = sample();
+        assert_eq!(t.span(), 8);
+        assert_eq!(t.total_flits(), 16);
+        assert_eq!(PacketTrace::new(4).span(), 0);
+    }
+}

@@ -255,4 +255,52 @@ for a, b in zip(l1, l2):
 print("serve smoke ok: 3 misses then 3 byte-identical hits")
 PY
 
+echo "== trace capture -> replay (closed loop, sweep-thread invariant) =="
+cat > "$SWEEP_TMP/capture.json" <<'JSON'
+[
+  { "backend": "HybridTdmVc4", "mesh": 4,
+    "traffic": { "pattern": "UR", "rate": 0.10 },
+    "phases": { "warmup_cycles": 300, "warmup_packets": 50,
+                "measure_cycles": 1500, "measure_packets": 2000,
+                "drain_cycles": 3000 },
+    "seed": 41 }
+]
+JSON
+cargo run --release -p noc-bench --bin fig4_load_latency "${OFFLINE[@]}" -- \
+    --scenario "$SWEEP_TMP/capture.json" --json "$SWEEP_TMP/cap_out.json" \
+    --trace-export "$SWEEP_TMP/run.trace" > /dev/null
+[[ -s "$SWEEP_TMP/run.trace" ]] || { echo "trace export wrote nothing"; exit 1; }
+# Replay the captured trace against the whole mesh-4 sweep (every spec's
+# traffic is replaced by the trace): twice serially for determinism, and
+# once with 4 sweep threads for thread invariance.
+cargo run --release -p noc-bench --bin fig4_load_latency "${OFFLINE[@]}" -- \
+    --scenario "$SWEEP_TMP/sweep.json" --trace-in "$SWEEP_TMP/run.trace" \
+    --json "$SWEEP_TMP/replay_a.json" --sweep-threads 1 > /dev/null
+cargo run --release -p noc-bench --bin fig4_load_latency "${OFFLINE[@]}" -- \
+    --scenario "$SWEEP_TMP/sweep.json" --trace-in "$SWEEP_TMP/run.trace" \
+    --json "$SWEEP_TMP/replay_b.json" --sweep-threads 1 > /dev/null
+cargo run --release -p noc-bench --bin fig4_load_latency "${OFFLINE[@]}" -- \
+    --scenario "$SWEEP_TMP/sweep.json" --trace-in "$SWEEP_TMP/run.trace" \
+    --json "$SWEEP_TMP/replay_t4.json" --sweep-threads 4 > /dev/null
+cmp "$SWEEP_TMP/replay_a.json" "$SWEEP_TMP/replay_b.json"
+cmp "$SWEEP_TMP/replay_a.json" "$SWEEP_TMP/replay_t4.json"
+python3 - "$SWEEP_TMP" <<'PY'
+import json, sys
+tmp = sys.argv[1]
+env = json.load(open(f"{tmp}/replay_a.json"))
+for spec in env["scenario"]:
+    t = spec["traffic"]
+    assert t["mode"] == "trace" and len(t["sha256"]) == 64, t
+    assert "path" not in t, "trace path leaked into the envelope"
+assert all(p["result"]["stats"]["packets_delivered"] > 0 for p in env["data"])
+print("trace replay ok: deterministic, thread-invariant, content-addressed echo")
+PY
+
+echo "== reactive vs profiled TDM circuit plan (A/B smoke) =="
+cargo run --release -p noc-bench --bin ablation_profiled_circuits "${OFFLINE[@]}" -- \
+    --quick | tee "$SWEEP_TMP/profiled_ab.txt"
+grep -q "TR traffic" "$SWEEP_TMP/profiled_ab.txt"
+grep -q "latency profiled" "$SWEEP_TMP/profiled_ab.txt"
+echo "profiled-circuits A/B ran (measured point in results/network_step_speedup.txt)"
+
 echo "CI OK"
