@@ -14,7 +14,7 @@ fn feed(p: &mut PsPipeline, now: u64, pid: &mut u64) {
     let src = mesh.id(Coord::new(0, 3));
     let dst = mesh.id(Coord::new(5, 3));
     for vc in 0..2u8 {
-        if p.vc(Port::West, vc as usize).fifo.len() < 4 {
+        if p.vc_len(Port::West, vc as usize) < 4 {
             let pkt = Packet::data(PacketId(*pid), src, dst, 1, now);
             *pid += 1;
             let mut f = Flit::of_packet(&pkt, 0, Switching::Packet);
@@ -69,7 +69,7 @@ fn bench_tdm_router_step(c: &mut Criterion) {
                 pid += 1;
                 let f = Flit::of_packet(&pkt, 0, Switching::Circuit);
                 r.accept_flit(now, Port::West, f);
-            } else if r.pipeline.vc(Port::South, 0).fifo.len() < 4 {
+            } else if r.pipeline.vc_len(Port::South, 0) < 4 {
                 let pkt = Packet::data(PacketId(pid), mesh.id(Coord::new(3, 5)), dst, 1, now);
                 pid += 1;
                 let mut f = Flit::of_packet(&pkt, 0, Switching::Packet);

@@ -1,0 +1,281 @@
+//! Standalone `Network::step` kernel benchmark with machine-readable
+//! output: the same operating points as the criterion bench
+//! (`benches/network_step.rs`) measured with a plain `Instant` loop and
+//! written as schema-versioned JSON via `--json-out` so regressions can
+//! be tracked across commits (`BENCH_network_step.json` at the repo root
+//! holds the committed snapshot).
+//!
+//! Flags:
+//!   --json-out PATH   write the schema-versioned result envelope
+//!   --reps N          timed repetitions per point (default 5; best +
+//!                     median are both reported)
+//!   --quick           2 reps and a shorter warm-up (CI smoke)
+//!   --only SUBSTR     run only the points whose name contains SUBSTR
+//!                     (A/B iteration on a single operating point)
+
+use std::time::Instant;
+
+use noc_sim::{Mesh, Network, NetworkConfig, PacketNode};
+use noc_traffic::{SyntheticSource, TrafficPattern};
+use serde::Serialize;
+use tdm_noc::{TdmConfig, TdmNetwork};
+
+const STEPS: u64 = 512;
+/// 0.3 flits/node/cycle at 5-flit packets.
+const RATE_HEAVY: f64 = 0.06;
+/// 0.02 flits/node/cycle at 5-flit packets.
+const RATE_LOW: f64 = 0.004;
+
+#[derive(Serialize)]
+struct Envelope {
+    schema_version: u32,
+    bench: &'static str,
+    steps_per_rep: u64,
+    reps: u64,
+    points: Vec<Point>,
+}
+
+#[derive(Serialize)]
+struct Point {
+    name: String,
+    backend: &'static str,
+    nodes: usize,
+    topology: &'static str,
+    flits_per_node_cycle: f64,
+    warmup_cycles: u64,
+    /// Wall time of each timed repetition, nanoseconds.
+    wall_ns: Vec<u64>,
+    best_ns_per_cycle: f64,
+    median_ns_per_cycle: f64,
+    packets_delivered: u64,
+}
+
+struct Args {
+    json_out: Option<String>,
+    reps: u64,
+    quick: bool,
+    only: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        json_out: None,
+        reps: 5,
+        quick: false,
+        only: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json-out" => {
+                args.json_out = Some(it.next().unwrap_or_else(|| {
+                    eprintln!("error: --json-out needs a path");
+                    std::process::exit(2);
+                }));
+            }
+            "--reps" => {
+                args.reps = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("error: --reps needs a positive integer");
+                    std::process::exit(2);
+                });
+            }
+            "--quick" => args.quick = true,
+            "--only" => {
+                args.only = Some(it.next().unwrap_or_else(|| {
+                    eprintln!("error: --only needs a point-name substring");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!("error: unknown flag {other}");
+                eprintln!(
+                    "usage: network_step [--json-out PATH] [--reps N] [--quick] [--only SUBSTR]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    if args.quick {
+        args.reps = args.reps.min(2);
+    }
+    args
+}
+
+/// Advance a fabric by `cycles` with source injection each cycle.
+fn drive(net: &mut dyn Fabric, src: &mut SyntheticSource, cycles: u64) {
+    for _ in 0..cycles {
+        let now = net.now();
+        src.tick(now, true, |n, p| net.inject(n, p));
+        net.step();
+    }
+}
+
+/// The two backends behind one dispatch seam so the timing loop is shared.
+trait Fabric {
+    fn now(&self) -> u64;
+    fn inject(&mut self, n: noc_sim::NodeId, p: noc_sim::Packet);
+    fn step(&mut self);
+    fn delivered(&self) -> u64;
+}
+
+impl Fabric for Network<PacketNode> {
+    fn now(&self) -> u64 {
+        Network::now(self)
+    }
+    fn inject(&mut self, n: noc_sim::NodeId, p: noc_sim::Packet) {
+        Network::inject(self, n, p);
+    }
+    fn step(&mut self) {
+        Network::step(self);
+    }
+    fn delivered(&self) -> u64 {
+        self.stats.packets_delivered
+    }
+}
+
+impl Fabric for TdmNetwork {
+    fn now(&self) -> u64 {
+        TdmNetwork::now(self)
+    }
+    fn inject(&mut self, n: noc_sim::NodeId, p: noc_sim::Packet) {
+        TdmNetwork::inject(self, n, p);
+    }
+    fn step(&mut self) {
+        TdmNetwork::step(self);
+    }
+    fn delivered(&self) -> u64 {
+        self.stats().packets_delivered
+    }
+}
+
+fn measure(
+    name: &str,
+    backend: &'static str,
+    topo: Mesh,
+    rate: f64,
+    warmup: u64,
+    reps: u64,
+    mut net: Box<dyn Fabric>,
+) -> Point {
+    let mut src = SyntheticSource::new(topo, TrafficPattern::UniformRandom, rate, 5, 42);
+    drive(net.as_mut(), &mut src, warmup);
+    let mut wall_ns = Vec::with_capacity(reps as usize);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        drive(net.as_mut(), &mut src, STEPS);
+        wall_ns.push(t0.elapsed().as_nanos() as u64);
+    }
+    let mut sorted = wall_ns.clone();
+    sorted.sort_unstable();
+    let best = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    Point {
+        name: name.to_string(),
+        backend,
+        nodes: topo.len(),
+        topology: if topo.is_torus() { "torus" } else { "mesh" },
+        flits_per_node_cycle: rate * 5.0,
+        warmup_cycles: warmup,
+        wall_ns,
+        best_ns_per_cycle: best as f64 / STEPS as f64,
+        median_ns_per_cycle: median as f64 / STEPS as f64,
+        packets_delivered: net.delivered(),
+    }
+}
+
+fn packet_net(topo: Mesh) -> Box<dyn Fabric> {
+    let cfg = NetworkConfig::with_mesh(topo);
+    Box::new(Network::new(topo, |id| PacketNode::new(id, &cfg, None)))
+}
+
+fn tdm_net(topo: Mesh) -> Box<dyn Fabric> {
+    let mut cfg = TdmConfig::vc4(NetworkConfig::with_mesh(topo));
+    cfg.policy.setup_after_msgs = 3;
+    if topo.len() > 64 {
+        // §IV-D: 256-entry tables for networks beyond 64 nodes.
+        cfg.slot_capacity = 256;
+    }
+    Box::new(TdmNetwork::new(cfg))
+}
+
+fn main() {
+    let args = parse_args();
+    let warm_64 = if args.quick { 500 } else { 2_000 };
+    let warm_1024 = if args.quick { 300 } else { 1_000 };
+    let m8 = Mesh::square(8);
+    let m32 = Mesh::square(32);
+    let t32 = Mesh::torus_square(32);
+
+    let spec: Vec<(&str, &'static str, Mesh, f64, u64)> = vec![
+        ("packet_64n_0.3flits", "packet", m8, RATE_HEAVY, warm_64),
+        ("packet_64n_0.02flits", "packet", m8, RATE_LOW, warm_64),
+        ("tdm_hybrid_64n_0.3flits", "tdm", m8, RATE_HEAVY, warm_64),
+        ("tdm_hybrid_64n_0.02flits", "tdm", m8, RATE_LOW, warm_64),
+        (
+            "packet_1024n_0.3flits",
+            "packet",
+            m32,
+            RATE_HEAVY,
+            warm_1024,
+        ),
+        (
+            "packet_1024n_torus_0.3flits",
+            "packet",
+            t32,
+            RATE_HEAVY,
+            warm_1024,
+        ),
+        (
+            "tdm_hybrid_1024n_0.3flits",
+            "tdm",
+            m32,
+            RATE_HEAVY,
+            warm_1024,
+        ),
+        (
+            "tdm_hybrid_1024n_torus_0.02flits",
+            "tdm",
+            t32,
+            RATE_LOW,
+            warm_1024,
+        ),
+    ];
+
+    let mut points = Vec::new();
+    println!(
+        "{:<34} {:>14} {:>14} {:>12}",
+        "point", "best ns/cyc", "median ns/cyc", "delivered"
+    );
+    for (name, backend, topo, rate, warmup) in spec {
+        if args
+            .only
+            .as_ref()
+            .is_some_and(|s| !name.contains(s.as_str()))
+        {
+            continue;
+        }
+        let net = match backend {
+            "packet" => packet_net(topo),
+            _ => tdm_net(topo),
+        };
+        let p = measure(name, backend, topo, rate, warmup, args.reps, net);
+        println!(
+            "{:<34} {:>14.1} {:>14.1} {:>12}",
+            p.name, p.best_ns_per_cycle, p.median_ns_per_cycle, p.packets_delivered
+        );
+        points.push(p);
+    }
+
+    let env = Envelope {
+        schema_version: 1,
+        bench: "network_step",
+        steps_per_rep: STEPS,
+        reps: args.reps,
+        points,
+    };
+    if let Some(path) = &args.json_out {
+        let json = serde_json::to_string_pretty(&env).expect("serialize");
+        std::fs::write(path, json + "\n").expect("write json");
+        println!("wrote {path}");
+    }
+}

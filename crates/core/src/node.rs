@@ -143,6 +143,10 @@ pub struct TdmNode {
     cs_frozen: bool,
     /// Rotating scan origin so retries pick different slot ids.
     slot_scan: u16,
+    /// Recycled CS-burst buffer: `build_cs_flits` refills this instead of
+    /// allocating a fresh `Vec` per burst (DESIGN.md §17). Scratch only —
+    /// never snapshotted; capacity plateaus at the longest burst seen.
+    spare_flits: Vec<Flit>,
     /// Destinations a profiled circuit plan pinned: their connections are
     /// exempt from LRU/idle eviction. A resize still tears the circuits
     /// down with everything else, but the pins survive, so a reactively
@@ -186,7 +190,7 @@ impl TdmNode {
             gating: cfg.gating.map(VcGatingController::new),
             arena,
             cs_queues: NodeTable::new(n),
-            share_queue: VecDeque::new(),
+            share_queue: VecDeque::with_capacity(8),
             streaming: None,
             queued_cs_flits: 0,
             share_flits: 0,
@@ -194,6 +198,7 @@ impl TdmNode {
             next_path_id: 0,
             cs_frozen: false,
             slot_scan: (id.0 as u16).wrapping_mul(7),
+            spare_flits: Vec::new(),
             pinned: NodeTable::new(n),
         }
     }
@@ -568,8 +573,8 @@ impl TdmNode {
 
     // --- circuit-switched streaming ----------------------------------------
 
-    /// Build the flits of a CS burst.
-    fn build_cs_flits(&self, q: &QueuedCs) -> Vec<Flit> {
+    /// Build the flits of a CS burst into the recycled spare buffer.
+    fn build_cs_flits(&mut self, q: &QueuedCs) -> Vec<Flit> {
         let (len, dst) = match q.true_dst {
             // Vicinity: header flit + payload, addressed to the circuit end.
             Some(_) => (q.packet.len_flits, q.packet.dst),
@@ -579,13 +584,21 @@ impl TdmNode {
         let mut shaped = q.packet.clone();
         shaped.dst = dst;
         shaped.len_flits = len;
-        (0..len)
-            .map(|s| {
-                let mut f = Flit::of_packet(&shaped, s, Switching::Circuit);
-                f.set_true_dst(q.true_dst);
-                f
-            })
-            .collect()
+        let mut flits = std::mem::take(&mut self.spare_flits);
+        flits.clear();
+        flits.extend((0..len).map(|s| {
+            let mut f = Flit::of_packet(&shaped, s, Switching::Circuit);
+            f.set_true_dst(q.true_dst);
+            f
+        }));
+        flits
+    }
+
+    /// Return a finished burst's buffer to the spare slot for reuse.
+    fn recycle_flits(&mut self, flits: Vec<Flit>) {
+        if flits.capacity() > self.spare_flits.capacity() {
+            self.spare_flits = flits;
+        }
     }
 
     /// Advance or start circuit-switched streaming; returns whether the
@@ -614,13 +627,24 @@ impl TdmNode {
                     self.id
                 );
                 self.router.pipeline.events.sharing_failures += 1;
-                self.requeue_ps(s.origin, Some(s.final_dst));
+                let CsStream {
+                    flits,
+                    origin,
+                    final_dst,
+                    ..
+                } = s;
+                self.requeue_ps(origin, Some(final_dst));
+                self.recycle_flits(flits);
                 return false;
             }
-            let s = self.streaming.as_mut().expect("streaming");
-            s.next += 1;
-            if s.next == s.flits.len() {
-                self.streaming = None;
+            let done = {
+                let s = self.streaming.as_mut().expect("streaming");
+                s.next += 1;
+                s.next == s.flits.len()
+            };
+            if done {
+                let s = self.streaming.take().expect("streaming");
+                self.recycle_flits(s.flits);
             }
             return true;
         }
@@ -669,6 +693,8 @@ impl TdmNode {
             stream.next = 1;
             if stream.next < stream.flits.len() {
                 self.streaming = Some(stream);
+            } else {
+                self.recycle_flits(stream.flits);
             }
             return true;
         }
@@ -721,6 +747,7 @@ impl TdmNode {
             let flits = self.build_cs_flits(&q);
             if flits.len() as u8 > e.duration {
                 // Reservation too short (e.g. non-vicinity path): fall back.
+                self.recycle_flits(flits);
                 self.share_failed(now, msg);
                 return false;
             }
@@ -739,6 +766,7 @@ impl TdmNode {
                 .inject_cs_hitchhike(now, stream.flits[0], e.in_port, e.dst);
             if !ok {
                 // Contention with the upstream source: packet-switch (§III-A1).
+                self.recycle_flits(stream.flits);
                 self.share_failed(now, msg);
                 return false;
             }
@@ -751,6 +779,8 @@ impl TdmNode {
             stream.next = 1;
             if stream.next < stream.flits.len() {
                 self.streaming = Some(stream);
+            } else {
+                self.recycle_flits(stream.flits);
             }
             return true;
         }
@@ -977,6 +1007,17 @@ impl NodeModel for TdmNode {
         self.router.set_arena(arena.clone());
     }
 
+    fn flit_slab_rings(&self) -> Option<(usize, u8)> {
+        Some((
+            self.router.pipeline.slab_rings(),
+            self.router.pipeline.cfg.buf_depth,
+        ))
+    }
+
+    fn attach_flit_slab(&mut self, region: noc_sim::SlabRegion) {
+        self.router.pipeline.attach_slab(region);
+    }
+
     fn set_trace_sink(&mut self, sink: TraceSink) {
         self.router.pipeline.trace = sink;
     }
@@ -1164,6 +1205,7 @@ impl NodeModel for TdmNode {
         if self.streaming.as_ref().is_some_and(|s| s.origin.id == pid) {
             let s = self.streaming.take().expect("checked above");
             dropped += s.flits.len() - s.next;
+            self.recycle_flits(s.flits);
         }
         // Queued circuit work and share-queue entries never entered the
         // network; their flits still count as dropped so the occupancy

@@ -162,11 +162,13 @@ impl TdmRouter {
             pipeline: PsPipeline::new(id, mesh, cfg),
             slots: SlotTables::new(slot_capacity, slot_active, reservation_cap),
             cs_latch: Default::default(),
-            protocol_out: Vec::new(),
-            dlt_observations: Vec::new(),
-            cs_ejected: Vec::new(),
+            // Small per-cycle scratch: seeded so steady-state churn
+            // stays off the allocator (DESIGN.md §17).
+            protocol_out: Vec::with_capacity(8),
+            dlt_observations: Vec::with_capacity(8),
+            cs_ejected: Vec::with_capacity(8),
             time_slot_stealing: true,
-            pending_credits: Vec::new(),
+            pending_credits: Vec::with_capacity(8),
             trace: Trace::default(),
             arena: Arc::new(ConfigArena::new()),
             next_protocol_id: 0,

@@ -16,8 +16,8 @@ use noc_sim::routing::xy_route;
 use noc_sim::stats::EnergyEvents;
 use noc_sim::{
     ConfigArena, ConfigKind, Credit, Cycle, EventKind, Flit, Mesh, MsgClass, NodeId, NodeOutputs,
-    Packet, PacketId, Port, RouterConfig, Snap, SnapshotError, SnapshotReader, SnapshotWriter,
-    Switching, TraceSink, VcBuf, VcState,
+    Packet, PacketId, Port, RouterConfig, SlabRegion, Snap, SnapshotError, SnapshotReader,
+    SnapshotWriter, Switching, TraceSink, VcCtl, VcState,
 };
 
 /// A circuit reservation at one router.
@@ -76,7 +76,13 @@ pub struct SdmRouter {
     vc_half: u8,
     /// Whether the link out of each port crosses a torus wrap edge.
     wrap_out: [bool; Port::COUNT],
-    inputs: Vec<Vec<VcBuf>>,
+    /// Input VC buffers: one fixed-depth slab ring per VC, flat over
+    /// `port * vcs_per_port + vc`. Private at construction; the harness
+    /// swaps in a carve of the network-owned slab via
+    /// [`SdmRouter::attach_slab`].
+    buf: SlabRegion,
+    /// Per-VC pipeline control rows, parallel to the slab rings.
+    ctl: Vec<VcCtl>,
     outputs: Vec<SdmOutPort>,
     /// `circuits[in_port][plane]`.
     circuits: Vec<Vec<Option<CircuitEntry>>>,
@@ -129,17 +135,14 @@ impl SdmRouter {
             planes_n: planes,
             vc_half,
             wrap_out,
-            inputs: (0..Port::COUNT)
-                .map(|_| {
-                    (0..vcs)
-                        .map(|_| VcBuf {
-                            fifo: std::collections::VecDeque::new(),
-                            state: VcState::Idle,
-                            stage_cycle: 0,
-                        })
-                        .collect()
-                })
-                .collect(),
+            buf: SlabRegion::private(Port::COUNT * vcs, cfg.buf_depth),
+            ctl: vec![
+                VcCtl {
+                    state: VcState::Idle,
+                    stage_cycle: 0,
+                };
+                Port::COUNT * vcs
+            ],
             outputs: Port::ALL
                 .iter()
                 .map(|&p| SdmOutPort {
@@ -161,13 +164,13 @@ impl SdmRouter {
             sa_arb_out: (0..Port::COUNT)
                 .map(|_| RoundRobin::new(Port::COUNT))
                 .collect(),
-            cs_incoming: Vec::new(),
+            cs_incoming: Vec::with_capacity(8),
             events: EnergyEvents::default(),
-            ejected: Vec::new(),
-            cs_ejected: Vec::new(),
-            local_credits: Vec::new(),
-            protocol_out: Vec::new(),
-            pending_credits: Vec::new(),
+            ejected: Vec::with_capacity(8),
+            cs_ejected: Vec::with_capacity(8),
+            local_credits: Vec::with_capacity(8),
+            protocol_out: Vec::with_capacity(8),
+            pending_credits: Vec::with_capacity(8),
             trace: TraceSink::Disabled,
             arena: Arc::new(ConfigArena::new()),
             next_protocol_id: 0,
@@ -176,6 +179,34 @@ impl SdmRouter {
 
     pub fn planes(&self) -> u8 {
         self.planes_n
+    }
+
+    /// Flat slab-ring index of input VC `vc` at port `p`.
+    #[inline]
+    fn vci(&self, p: usize, vc: usize) -> usize {
+        p * self.cfg.vcs_per_port as usize + vc
+    }
+
+    /// Number of slab rings this router needs (one per input VC).
+    pub fn slab_rings(&self) -> usize {
+        self.ctl.len()
+    }
+
+    /// Adopt a carve of the network-owned flit slab. Must be called before
+    /// any flit is buffered — the private construction-time region is
+    /// dropped, not migrated.
+    pub fn attach_slab(&mut self, region: SlabRegion) {
+        assert!(
+            (0..self.ctl.len()).all(|i| self.buf.is_empty(i)),
+            "attach_slab on a non-empty router"
+        );
+        assert_eq!(region.rings(), self.ctl.len(), "slab region ring count");
+        assert_eq!(
+            region.depth(),
+            self.cfg.buf_depth as usize,
+            "slab region depth"
+        );
+        self.buf = region;
     }
 
     /// The configuration-payload arena this router resolves against.
@@ -222,9 +253,9 @@ impl SdmRouter {
                 _ => {}
             }
         }
-        let buf = &mut self.inputs[port.index()][flit.vc as usize];
-        assert!(buf.fifo.len() < self.cfg.buf_depth as usize, "VC overflow");
-        buf.fifo.push_back(flit);
+        let i = self.vci(port.index(), flit.vc as usize);
+        assert!(self.buf.len(i) < self.cfg.buf_depth as usize, "VC overflow");
+        self.buf.push_back(i, flit);
         self.events.buffer_writes += 1;
     }
 
@@ -338,12 +369,12 @@ impl SdmRouter {
     /// Buffer a processed configuration flit at the port it arrived on (it
     /// consumed that port's upstream credit, so the slot is guaranteed).
     fn buffer_config(&mut self, in_port: Port, flit: Flit) {
-        let buf = &mut self.inputs[in_port.index()][flit.vc as usize];
+        let i = self.vci(in_port.index(), flit.vc as usize);
         assert!(
-            buf.fifo.len() < self.cfg.buf_depth as usize,
+            self.buf.len(i) < self.cfg.buf_depth as usize,
             "config buffering overflow"
         );
-        buf.fifo.push_back(flit);
+        self.buf.push_back(i, flit);
         self.events.buffer_writes += 1;
     }
 
@@ -411,27 +442,25 @@ impl SdmRouter {
     }
 
     fn refresh_rc(&mut self, now: Cycle) {
-        for p in 0..Port::COUNT {
-            for vc in 0..self.inputs[p].len() {
-                let buf = &self.inputs[p][vc];
-                if buf.state != VcState::Idle {
-                    continue;
-                }
-                let Some(front) = buf.fifo.front() else {
-                    continue;
-                };
-                if !front.kind().is_head() {
-                    continue;
-                }
-                let out_port = match front.forced_out() {
-                    Some(f) => f,
-                    None => xy_route(&self.mesh, self.id, front.dst()),
-                };
-                let buf = &mut self.inputs[p][vc];
-                buf.fifo.front_mut().expect("front").set_forced_out(None);
-                buf.state = VcState::Waiting { out: out_port };
-                buf.stage_cycle = now;
+        // Flat ring order is (port, vc) lexicographic — identical to the
+        // old nested iteration.
+        for i in 0..self.ctl.len() {
+            if self.ctl[i].state != VcState::Idle {
+                continue;
             }
+            let Some(&front) = self.buf.front(i) else {
+                continue;
+            };
+            if !front.kind().is_head() {
+                continue;
+            }
+            let out_port = match front.forced_out() {
+                Some(f) => f,
+                None => xy_route(&self.mesh, self.id, front.dst()),
+            };
+            self.buf.front_mut(i).expect("front").set_forced_out(None);
+            self.ctl[i].state = VcState::Waiting { out: out_port };
+            self.ctl[i].stage_cycle = now;
         }
     }
 
@@ -454,9 +483,9 @@ impl SdmRouter {
             let partitioned = torus && o != Port::Local.index();
             for p in 0..Port::COUNT {
                 for vc in 0..vcs {
-                    let buf = &self.inputs[p][vc];
-                    if let VcState::Waiting { out } = buf.state {
-                        if out.index() == o && buf.stage_cycle < now {
+                    let ctl = self.ctl[p * vcs + vc];
+                    if let VcState::Waiting { out } = ctl.state {
+                        if out.index() == o && ctl.stage_cycle < now {
                             let bit = 1u64 << (p * vcs + vc);
                             reqs |= bit;
                             if partitioned {
@@ -497,19 +526,19 @@ impl SdmRouter {
                 };
                 reqs &= !(1 << w);
                 let (p, vc) = (w / vcs, w % vcs);
-                let buf = &mut self.inputs[p][vc];
-                let VcState::Waiting { out } = buf.state else {
+                let ctl = &mut self.ctl[w];
+                let VcState::Waiting { out } = ctl.state else {
                     unreachable!()
                 };
-                buf.state = VcState::Active {
+                ctl.state = VcState::Active {
                     out,
                     out_vc: v as u8,
                 };
-                buf.stage_cycle = now;
+                ctl.stage_cycle = now;
                 self.outputs[o].alloc[v] = Some((p as u8, vc as u8));
                 self.events.va_ops += 1;
                 if self.trace.wants(EventKind::VaGrant) {
-                    let pkt = self.inputs[p][vc].fifo.front().map_or(0, |f| f.packet.0);
+                    let pkt = self.buf.front(w).map_or(0, |f| f.packet.0);
                     self.trace
                         .record(now, self.id.0, EventKind::VaGrant, o as u8, pkt);
                 }
@@ -537,14 +566,15 @@ impl SdmRouter {
             let mut chosen = None;
             for off in 0..vcs {
                 let vc = (p + off) % vcs; // cheap rotation
-                let buf = &self.inputs[p][vc];
-                let VcState::Active { out: o, out_vc } = buf.state else {
+                let i = p * vcs + vc;
+                let ctl = self.ctl[i];
+                let VcState::Active { out: o, out_vc } = ctl.state else {
                     continue;
                 };
-                if buf.stage_cycle >= now {
+                if ctl.stage_cycle >= now {
                     continue;
                 }
-                let Some(front) = buf.fifo.front() else {
+                let Some(front) = self.buf.front(i) else {
                     continue;
                 };
                 if o != Port::Local && self.outputs[o.index()].credits[out_vc as usize] == 0 {
@@ -559,7 +589,7 @@ impl SdmRouter {
             if let Some((vc, _, _)) = chosen {
                 self.events.sa_ops += 1;
                 if self.trace.wants(EventKind::SaGrant) {
-                    let pkt = self.inputs[p][vc].fifo.front().map_or(0, |f| f.packet.0);
+                    let pkt = self.buf.front(p * vcs + vc).map_or(0, |f| f.packet.0);
                     self.trace
                         .record(now, self.id.0, EventKind::SaGrant, p as u8, pkt);
                 }
@@ -591,12 +621,12 @@ impl SdmRouter {
         out_vc: u8,
         out: &mut NodeOutputs,
     ) {
-        let buf = &mut self.inputs[in_port][in_vc];
-        let mut flit = buf.fifo.pop_front().expect("granted empty VC");
+        let i = self.vci(in_port, in_vc);
+        let mut flit = self.buf.pop_front(i).expect("granted empty VC");
         let is_tail = flit.kind().is_tail();
         if is_tail {
-            buf.state = VcState::Idle;
-            buf.stage_cycle = now;
+            self.ctl[i].state = VcState::Idle;
+            self.ctl[i].stage_cycle = now;
             self.outputs[out_port.index()].alloc[out_vc as usize] = None;
         }
         self.events.buffer_reads += 1;
@@ -677,11 +707,7 @@ impl SdmRouter {
     }
 
     pub fn occupancy(&self) -> usize {
-        self.inputs
-            .iter()
-            .flat_map(|p| p.iter())
-            .map(|vc| vc.fifo.len())
-            .sum::<usize>()
+        (0..self.ctl.len()).map(|i| self.buf.len(i)).sum::<usize>()
             + self.cs_incoming.len()
             + self.ejected.len()
             + self.cs_ejected.len()
@@ -701,7 +727,20 @@ impl SdmRouter {
     /// (geometry, `exists` flags, the arena, the trace sink) are skipped —
     /// restore targets a freshly built router of the same configuration.
     pub fn save_state(&self, w: &mut SnapshotWriter) {
-        self.inputs.save(w);
+        // Byte-compatible with the pre-slab `Vec<Vec<VcBuf>>` encoding:
+        // nested u64 counts, then per VC the ring in FIFO order (u64 length
+        // + flits), the state tag and the stage cycle (DESIGN.md §17).
+        let vcs = self.cfg.vcs_per_port as usize;
+        w.usize(Port::COUNT);
+        for p in 0..Port::COUNT {
+            w.usize(vcs);
+            for vc in 0..vcs {
+                let i = p * vcs + vc;
+                self.buf.save_ring(i, w);
+                self.ctl[i].state.save(w);
+                w.u64(self.ctl[i].stage_cycle);
+            }
+        }
         for out in &self.outputs {
             out.alloc.save(w);
             out.credits.save(w);
@@ -722,16 +761,21 @@ impl SdmRouter {
 
     /// Inverse of [`SdmRouter::save_state`].
     pub fn load_state(&mut self, r: &mut SnapshotReader) -> Result<(), SnapshotError> {
-        let inputs: Vec<Vec<VcBuf>> = Snap::load(r)?;
-        if inputs.len() != self.inputs.len()
-            || inputs
-                .iter()
-                .zip(&self.inputs)
-                .any(|(a, b)| a.len() != b.len())
-        {
+        let vcs = self.cfg.vcs_per_port as usize;
+        if r.seq_len()? != Port::COUNT {
             return Err(SnapshotError::Corrupt("SDM input geometry"));
         }
-        self.inputs = inputs;
+        for p in 0..Port::COUNT {
+            if r.seq_len()? != vcs {
+                return Err(SnapshotError::Corrupt("SDM input geometry"));
+            }
+            for vc in 0..vcs {
+                let i = p * vcs + vc;
+                self.buf.load_ring(i, r)?;
+                self.ctl[i].state = Snap::load(r)?;
+                self.ctl[i].stage_cycle = r.u64()?;
+            }
+        }
         for out in &mut self.outputs {
             let alloc: Vec<Option<(u8, u8)>> = Snap::load(r)?;
             let credits: Vec<u8> = Snap::load(r)?;

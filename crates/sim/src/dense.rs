@@ -315,6 +315,9 @@ pub struct RxTable {
 const RX_EMPTY: u8 = 0;
 const RX_DEAD: u8 = 1;
 const RX_LIVE: u8 = 2;
+/// Transient marker used only inside [`RxTable::rehash`]'s in-place
+/// compaction: a live entry not yet moved to its post-compaction slot.
+const RX_MOVE: u8 = 3;
 
 impl Default for RxTable {
     fn default() -> Self {
@@ -432,30 +435,71 @@ impl RxTable {
     }
 
     fn rehash(&mut self) {
-        let new_cap = if self.live * 2 >= self.state.len() {
-            self.state.len() * 2
-        } else {
-            self.state.len()
-        };
-        let old_state =
-            std::mem::replace(&mut self.state, vec![RX_EMPTY; new_cap].into_boxed_slice());
-        let old_keys = std::mem::replace(&mut self.keys, vec![0u64; new_cap].into_boxed_slice());
-        let old_vals = std::mem::replace(&mut self.vals, vec![0u8; new_cap].into_boxed_slice());
-        self.live = 0;
-        self.used = 0;
-        for i in 0..old_state.len() {
-            if old_state[i] == RX_LIVE {
-                let mut j = Self::hash(old_keys[i], new_cap);
-                while self.state[j] == RX_LIVE {
-                    j = (j + 1) & (new_cap - 1);
+        if self.live * 2 >= self.state.len() {
+            // Genuine growth: double the capacity (cold path — only taken
+            // while the in-flight packet count exceeds every prior peak).
+            let new_cap = self.state.len() * 2;
+            let old_state =
+                std::mem::replace(&mut self.state, vec![RX_EMPTY; new_cap].into_boxed_slice());
+            let old_keys =
+                std::mem::replace(&mut self.keys, vec![0u64; new_cap].into_boxed_slice());
+            let old_vals = std::mem::replace(&mut self.vals, vec![0u8; new_cap].into_boxed_slice());
+            self.live = 0;
+            self.used = 0;
+            for i in 0..old_state.len() {
+                if old_state[i] == RX_LIVE {
+                    let mut j = Self::hash(old_keys[i], new_cap);
+                    while self.state[j] == RX_LIVE {
+                        j = (j + 1) & (new_cap - 1);
+                    }
+                    self.state[j] = RX_LIVE;
+                    self.keys[j] = old_keys[i];
+                    self.vals[j] = old_vals[i];
+                    self.live += 1;
+                    self.used += 1;
                 }
+            }
+            return;
+        }
+        // Tombstone compaction at unchanged capacity. This is the warm
+        // path — insert/remove churn accretes tombstones forever — so it
+        // must not allocate (the zero-allocation steady-state contract,
+        // DESIGN.md §17). Mark every live entry, clear tombstones, then
+        // reinsert by displacement: walking the probe sequence from each
+        // entry's home slot, swapping with any not-yet-moved entry found
+        // there.
+        let cap = self.state.len();
+        for s in self.state.iter_mut() {
+            *s = match *s {
+                RX_LIVE => RX_MOVE,
+                _ => RX_EMPTY,
+            };
+        }
+        for i in 0..cap {
+            if self.state[i] != RX_MOVE {
+                continue;
+            }
+            let mut key = self.keys[i];
+            let mut val = self.vals[i];
+            self.state[i] = RX_EMPTY;
+            loop {
+                let mut j = Self::hash(key, cap);
+                while self.state[j] == RX_LIVE {
+                    j = (j + 1) & (cap - 1);
+                }
+                let displaced = self.state[j] == RX_MOVE;
+                let (dk, dv) = (self.keys[j], self.vals[j]);
                 self.state[j] = RX_LIVE;
-                self.keys[j] = old_keys[i];
-                self.vals[j] = old_vals[i];
-                self.live += 1;
-                self.used += 1;
+                self.keys[j] = key;
+                self.vals[j] = val;
+                if !displaced {
+                    break;
+                }
+                key = dk;
+                val = dv;
             }
         }
+        self.used = self.live;
     }
 }
 

@@ -36,6 +36,7 @@ pub mod nic;
 pub mod node;
 pub mod router;
 pub mod routing;
+pub mod slab;
 pub mod snapshot;
 pub mod stats;
 pub mod topology;
@@ -62,8 +63,9 @@ pub use nic::Nic;
 pub use node::{DeliveredKind, DeliveredPacket, NodeModel, NodeOutputs, PacketNode, PowerState};
 pub use router::{
     GatingConfig, GatingMetric, HybridCtrl, NullCtrl, OutMeta, PacketRouter, PsOutput, PsPipeline,
-    VcBuf, VcGatingController, VcState,
+    VcCtl, VcGatingController, VcState,
 };
+pub use slab::{FlitSlab, RingMeta, SlabRegion};
 pub use snapshot::{
     FabricSnapshot, FaultEvent, RouteOverrides, Snap, SnapshotError, SnapshotReader,
     SnapshotWriter, SNAPSHOT_VERSION,

@@ -266,6 +266,11 @@ pub struct Network<N: NodeModel> {
     /// Link-fault state, present only once [`Network::set_faults`] arms a
     /// schedule.
     faults: Option<Box<FaultState>>,
+    /// Test-only phase-2 scheduling override: step nodes in this order
+    /// instead of ascending index. Exercises the order-independence half
+    /// of the determinism contract (see [`Network::set_step_order`]).
+    #[cfg(feature = "exhaustive")]
+    step_order: Option<Vec<usize>>,
 }
 
 impl<N: NodeModel> Network<N> {
@@ -291,7 +296,11 @@ impl<N: NodeModel> Network<N> {
             collect_delivered: false,
             delivered_log: Vec::new(),
             events_baseline: EnergyEvents::default(),
-            scratch_delivered: Vec::new(),
+            // Each node ejects at most one PS flit per cycle through its
+            // 1-wide local port, so `n` bounds per-cycle completions; the
+            // headroom keeps hybrid nodes with extra delivery paths
+            // (circuit ejection, share-queue handoff) allocation-free too.
+            scratch_delivered: Vec::with_capacity(2 * n),
             active_mask: BitSet::new(n),
             wake_mask: [BitSet::new(n), BitSet::new(n)],
             step_mask: BitSet::new(n),
@@ -309,13 +318,44 @@ impl<N: NodeModel> Network<N> {
             arena: Arc::new(ConfigArena::new()),
             tables: TopoTables::shared(&mesh),
             faults: None,
+            #[cfg(feature = "exhaustive")]
+            step_order: None,
         };
         let arena = net.arena.clone();
         for node in &mut net.nodes {
             node.attach_arena(&arena);
         }
+        net.attach_flit_slab();
         net.wake_all();
         net
+    }
+
+    /// Build the network-owned flit slab — one contiguous allocation of
+    /// fixed-depth VC rings across every node — and hand each node its
+    /// exclusive carve (DESIGN.md §17). Nodes that opt out (no
+    /// [`NodeModel::flit_slab_rings`]) keep their private buffering.
+    fn attach_flit_slab(&mut self) {
+        let mut total = 0usize;
+        let mut depth = 0u8;
+        for node in &self.nodes {
+            if let Some((rings, d)) = node.flit_slab_rings() {
+                assert!(
+                    total == 0 || d == depth,
+                    "flit slab rings must share one depth"
+                );
+                total += rings;
+                depth = d;
+            }
+        }
+        if total == 0 {
+            return;
+        }
+        let mut slab = crate::slab::FlitSlab::new(total, depth);
+        for node in &mut self.nodes {
+            if let Some((rings, _)) = node.flit_slab_rings() {
+                node.attach_flit_slab(slab.carve(rings));
+            }
+        }
     }
 
     pub fn now(&self) -> Cycle {
@@ -427,8 +467,23 @@ impl<N: NodeModel> Network<N> {
         }
 
         // 2. Step the active set, each node into its own outbox.
-        match &self.pool {
-            None => {
+        #[cfg(feature = "exhaustive")]
+        let permuted = self.step_order.take();
+        #[cfg(not(feature = "exhaustive"))]
+        let permuted: Option<Vec<usize>> = None;
+        match (&self.pool, &permuted) {
+            (None, Some(order)) => {
+                // Exhaustive-schedule harness: same step set, caller's
+                // order. Phase 2 must be order-independent, so this is
+                // observationally equivalent to the canonical loop below.
+                for &i in order {
+                    if self.step_mask.get(i) {
+                        self.outboxes[i].clear();
+                        self.nodes[i].step(now, &mut self.outboxes[i]);
+                    }
+                }
+            }
+            (None, None) => {
                 for w in 0..words {
                     let mut bits = self.step_mask.words()[w];
                     while bits != 0 {
@@ -439,7 +494,7 @@ impl<N: NodeModel> Network<N> {
                     }
                 }
             }
-            Some(pool) => {
+            (Some(pool), _) => {
                 let chunk = n.div_ceil(pool.job_txs.len());
                 let nodes = self.nodes.as_mut_ptr();
                 let outs = self.outboxes.as_mut_ptr();
@@ -466,6 +521,12 @@ impl<N: NodeModel> Network<N> {
                     pool.done_rx.recv().expect("step worker died");
                 }
             }
+        }
+        #[cfg(feature = "exhaustive")]
+        {
+            // Taken around the match to sidestep the borrow of `self`;
+            // the override persists across cycles.
+            self.step_order = permuted;
         }
 
         // 3. Route the stepped outboxes onto the wires: serial, ascending
@@ -805,6 +866,27 @@ impl<N: NodeModel> Network<N> {
     /// from node state. Must be called after mutating nodes from outside
     /// the harness (resize controllers, tests poking `nodes` directly), so
     /// the scheduler never acts on stale cached state.
+    /// Override the phase-2 node-stepping order (test-only; `exhaustive`
+    /// feature). `order` must be a permutation of `0..n`; the step *set*
+    /// is unchanged — only the visit order differs. Phase 2 is
+    /// order-independent by contract, so every permutation must be
+    /// observationally equivalent to the canonical ascending order; the
+    /// exhaustive-schedule test enumerates all of them on a 2×2 fabric.
+    /// Ignored by the worker-pool path (serial stepping only).
+    #[cfg(feature = "exhaustive")]
+    pub fn set_step_order(&mut self, order: Option<Vec<usize>>) {
+        if let Some(order) = &order {
+            let n = self.nodes.len();
+            assert!(self.pool.is_none(), "step order override is serial-only");
+            assert_eq!(order.len(), n, "order must cover every node");
+            let mut seen = vec![false; n];
+            for &i in order {
+                assert!(!std::mem::replace(&mut seen[i], true), "duplicate {i}");
+            }
+        }
+        self.step_order = order;
+    }
+
     pub fn wake_all(&mut self) {
         let n = self.nodes.len();
         self.active_mask.set_all();

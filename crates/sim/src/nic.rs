@@ -62,7 +62,10 @@ impl Nic {
         Nic {
             id,
             buf_depth: cfg.buf_depth,
-            inject_queue: VecDeque::new(),
+            // Open-loop sources keep the queue near-empty below
+            // saturation; pre-seeding the capacity keeps bursty arrivals
+            // off the allocator in the steady state (DESIGN.md §17).
+            inject_queue: VecDeque::with_capacity(32),
             current: None,
             credits: vec![cfg.buf_depth; cfg.vcs_per_port as usize],
             router_active_vcs: cfg.vcs_per_port,
@@ -70,7 +73,7 @@ impl Nic {
             vc_rr: RoundRobin::new(cfg.vcs_per_port as usize),
             rx: RxTable::new(),
             arena: Arc::new(ConfigArena::new()),
-            delivered: Vec::new(),
+            delivered: Vec::with_capacity(8),
             flits_injected: 0,
             queued_flits: 0,
             rx_flits: 0,

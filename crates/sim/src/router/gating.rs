@@ -250,7 +250,7 @@ mod tests {
         let mut grew = false;
         for now in 0..64 {
             for vc in 0..4u8 {
-                if p.vc(Port::West, vc as usize).fifo.len() < 5 {
+                if p.vc_len(Port::West, vc as usize) < 5 {
                     let pk = Packet::data(PacketId(pid), src, dst, 1, now);
                     pid += 1;
                     let mut f = Flit::of_packet(&pk, 0, Switching::Packet);

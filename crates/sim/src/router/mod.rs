@@ -19,7 +19,7 @@ mod pipeline;
 
 pub use gating::{GatingConfig, GatingMetric, VcGatingController};
 pub use packet::PacketRouter;
-pub use pipeline::{OutMeta, PsPipeline, VcBuf, VcState};
+pub use pipeline::{OutMeta, PsPipeline, VcCtl, VcState};
 
 use crate::geometry::Port;
 use crate::Cycle;

@@ -8,10 +8,13 @@
 //! built on top of this pipeline) instead spend 1 cycle in the router and
 //! 1 on the link, arriving downstream at `T+2` (§II-D).
 //!
-//! Hot state is laid out structure-of-arrays (DESIGN.md §13): input VC
-//! buffers live in one flat `port * vcs + vc` array, and the output-side
-//! allocation/credit tables in matching flat arrays, so the RC/VA/SA scans
-//! walk contiguous memory instead of chasing per-port objects.
+//! Hot state is laid out structure-of-arrays (DESIGN.md §13, §17): input
+//! VC buffers are fixed-depth rings inside a contiguous flit slab
+//! ([`crate::slab`]) — network-owned when the harness attaches one,
+//! private otherwise — with per-VC pipeline control state and the
+//! output-side allocation/credit tables in matching flat arrays, so the
+//! RC/VA/SA scans walk contiguous memory instead of chasing per-port
+//! heap buffers.
 //!
 //! On a torus the pipeline also enforces the dateline VC-class discipline
 //! that makes wrap-around dimension-order routing deadlock-free: the VC
@@ -21,7 +24,6 @@
 //! dimension, and resets to class 0 on a dimension switch or ejection. The
 //! class is encoded in the VC index itself, so flits carry no extra state.
 
-use std::collections::VecDeque;
 use std::sync::Arc;
 
 use noc_telemetry::{EventKind, TraceSink};
@@ -33,6 +35,7 @@ use crate::flit::{Credit, Flit, MsgClass, PacketId};
 use crate::geometry::{Direction, NodeId, Port};
 use crate::node::NodeOutputs;
 use crate::routing::{west_first_route, xy_route};
+use crate::slab::SlabRegion;
 use crate::snapshot::{RouteOverrides, Snap, SnapshotError, SnapshotReader, SnapshotWriter};
 use crate::stats::EnergyEvents;
 use crate::topology::Mesh;
@@ -51,29 +54,15 @@ pub enum VcState {
     Active { out: Port, out_vc: u8 },
 }
 
-/// One input virtual channel: a FIFO plus its pipeline state.
-#[derive(Clone, Debug)]
-pub struct VcBuf {
-    pub fifo: VecDeque<Flit>,
+/// Per-VC pipeline control row: the state machine plus its stage-gating
+/// timestamp. The flits themselves live in the flit slab ring of the same
+/// index (DESIGN.md §17).
+#[derive(Clone, Copy, Debug)]
+pub struct VcCtl {
     pub state: VcState,
     /// Cycle the current state was entered (stage gating: a flit advances at
     /// most one pipeline stage per cycle).
     pub stage_cycle: Cycle,
-}
-
-impl VcBuf {
-    fn new(depth: u8) -> Self {
-        VcBuf {
-            fifo: VecDeque::with_capacity(depth as usize),
-            state: VcState::Idle,
-            stage_cycle: 0,
-        }
-    }
-
-    /// Busy for utilisation sampling: holds flits or mid-packet state.
-    pub fn is_busy(&self) -> bool {
-        !self.fifo.is_empty() || self.state != VcState::Idle
-    }
 }
 
 impl Snap for VcState {
@@ -105,12 +94,6 @@ impl Snap for VcState {
         })
     }
 }
-
-crate::impl_snap!(VcBuf {
-    fifo,
-    state,
-    stage_cycle
-});
 
 /// Per-output-port scalar state: the structure-of-arrays row that remains
 /// once allocation and credits move into the flat per-VC tables.
@@ -145,8 +128,13 @@ pub struct PsPipeline {
     pub id: NodeId,
     pub mesh: Mesh,
     pub cfg: RouterConfig,
-    /// Input VC state, flat over `port * vcs_per_port + vc`.
-    vcs: Vec<VcBuf>,
+    /// Input VC buffers: one fixed-depth slab ring per VC, flat over
+    /// `port * vcs_per_port + vc`. Private at construction; the harness
+    /// swaps in a carve of the network-owned slab via
+    /// [`PsPipeline::attach_slab`].
+    buf: SlabRegion,
+    /// Per-VC pipeline control rows, parallel to the slab rings.
+    ctl: Vec<VcCtl>,
     /// Packet currently owning each input VC (valid while the VC is not
     /// `Idle`); lets the fault path identify which VC state to tear down
     /// when a packet loses flits to a dead link.
@@ -201,6 +189,15 @@ pub struct PsPipeline {
     active: u32,
     busy_vcs: u32,
     gated_busy: u32,
+    // Stage-candidate masks over the flat VC index (the same u64 geometry
+    // as the VA/SA request words): `rc_mask` = Idle VCs holding flits,
+    // `wait_mask` = Waiting VCs, `act_mask` = Active VCs. The stage loops
+    // walk only the set bits instead of scanning every VC. Derived state:
+    // never serialised, rebuilt by `rebuild_stage_masks` after restore and
+    // fault purges, cross-checked by `debug_validate_counters`.
+    rc_mask: u64,
+    wait_mask: u64,
+    act_mask: u64,
 }
 
 impl PsPipeline {
@@ -240,16 +237,23 @@ impl PsPipeline {
             id,
             mesh,
             cfg,
-            vcs: (0..Port::COUNT * vcs)
-                .map(|_| VcBuf::new(cfg.buf_depth))
-                .collect(),
+            buf: SlabRegion::private(Port::COUNT * vcs, cfg.buf_depth),
+            ctl: vec![
+                VcCtl {
+                    state: VcState::Idle,
+                    stage_cycle: 0,
+                };
+                Port::COUNT * vcs
+            ],
             vc_owner: vec![PacketId(0); Port::COUNT * vcs],
             route_overrides: None,
             out_alloc: vec![None; Port::COUNT * vcs],
             out_credits: vec![cfg.buf_depth; Port::COUNT * vcs],
             out_meta,
-            ejected: Vec::new(),
-            local_credits: Vec::new(),
+            // Per-cycle scratch: seeded so steady-state churn stays
+            // off the allocator (DESIGN.md §17).
+            ejected: Vec::with_capacity(8),
+            local_credits: Vec::with_capacity(8),
             events: EnergyEvents::default(),
             trace: TraceSink::Disabled,
             active_vcs: cfg.vcs_per_port,
@@ -271,6 +275,29 @@ impl PsPipeline {
             active: 0,
             busy_vcs: 0,
             gated_busy: 0,
+            rc_mask: 0,
+            wait_mask: 0,
+            act_mask: 0,
+        }
+    }
+
+    /// Recompute the stage-candidate masks from the authoritative per-VC
+    /// state (cold paths only: snapshot restore, fault purge).
+    fn rebuild_stage_masks(&mut self) {
+        self.rc_mask = 0;
+        self.wait_mask = 0;
+        self.act_mask = 0;
+        for i in 0..self.ctl.len() {
+            let bit = 1u64 << i;
+            match self.ctl[i].state {
+                VcState::Idle => {
+                    if !self.buf.is_empty(i) {
+                        self.rc_mask |= bit;
+                    }
+                }
+                VcState::Waiting { .. } => self.wait_mask |= bit,
+                VcState::Active { .. } => self.act_mask |= bit,
+            }
         }
     }
 
@@ -280,9 +307,40 @@ impl PsPipeline {
         p * self.cfg.vcs_per_port as usize + v
     }
 
-    /// One input VC buffer (tests, benches, drain inspection).
-    pub fn vc(&self, p: Port, v: usize) -> &VcBuf {
-        &self.vcs[self.vci(p.index(), v)]
+    /// Flits buffered in input VC `v` of port `p` (tests, benches, drain
+    /// inspection).
+    pub fn vc_len(&self, p: Port, v: usize) -> usize {
+        self.buf.len(self.vci(p.index(), v))
+    }
+
+    /// Pipeline state of input VC `v` of port `p`.
+    pub fn vc_state(&self, p: Port, v: usize) -> VcState {
+        self.ctl[self.vci(p.index(), v)].state
+    }
+
+    /// Number of slab rings this pipeline needs (one per input VC).
+    pub fn slab_rings(&self) -> usize {
+        self.ctl.len()
+    }
+
+    /// Adopt a carve of the network-owned flit slab. Must be called before
+    /// any flit is buffered — the private construction-time region is
+    /// dropped, not migrated.
+    pub fn attach_slab(&mut self, region: SlabRegion) {
+        assert_eq!(self.buffered, 0, "attach_slab on a non-empty pipeline");
+        assert_eq!(region.rings(), self.ctl.len(), "slab region ring count");
+        assert_eq!(
+            region.depth(),
+            self.cfg.buf_depth as usize,
+            "slab region depth"
+        );
+        self.buf = region;
+    }
+
+    /// Busy for utilisation sampling: holds flits or mid-packet state.
+    #[inline]
+    fn vc_busy(&self, i: usize) -> bool {
+        !self.buf.is_empty(i) || self.ctl[i].state != VcState::Idle
     }
 
     /// Whether the output toward `p` is wired.
@@ -318,22 +376,22 @@ impl PsPipeline {
     /// Buffer an arriving packet-switched flit (the BW stage).
     pub fn accept_flit(&mut self, now: Cycle, port: Port, flit: Flit) {
         let i = self.vci(port.index(), flit.vc as usize);
-        let buf = &mut self.vcs[i];
         assert!(
-            buf.fifo.len() < self.cfg.buf_depth as usize,
+            self.buf.len(i) < self.cfg.buf_depth as usize,
             "flow-control violation: VC overflow at {:?} port {:?} vc {}",
             self.id,
             port,
             flit.vc
         );
         let _ = now;
-        if buf.fifo.is_empty() && buf.state == VcState::Idle {
+        if self.buf.is_empty(i) && self.ctl[i].state == VcState::Idle {
             self.busy_vcs += 1;
+            self.rc_mask |= 1 << i;
             if flit.vc >= self.active_vcs {
                 self.gated_busy += 1;
             }
         }
-        buf.fifo.push_back(flit);
+        self.buf.push_back(i, flit);
         self.buffered += 1;
         self.events.buffer_writes += 1;
     }
@@ -370,8 +428,8 @@ impl PsPipeline {
         // (rare: only when the gating controller retunes).
         let vcs = self.cfg.vcs_per_port as usize;
         self.gated_busy = 0;
-        for (i, vc) in self.vcs.iter().enumerate() {
-            if ((i % vcs) as u8) >= self.active_vcs && vc.is_busy() {
+        for i in 0..self.ctl.len() {
+            if ((i % vcs) as u8) >= self.active_vcs && self.vc_busy(i) {
                 self.gated_busy += 1;
             }
         }
@@ -381,19 +439,17 @@ impl PsPipeline {
     /// constraints ([`super::NullCtrl`] for a pure packet router).
     pub fn step<C: HybridCtrl>(&mut self, now: Cycle, ctrl: &C, out: &mut NodeOutputs) {
         self.sample_utilization(now);
-        // Stage gating on the O(1) occupancy counters. Skipping a stage is
+        // Stage gating on the candidate masks. Skipping a stage is
         // state-identical to running it over zero eligible VCs: the
         // round-robin arbiters only advance on a successful grant, so an
         // empty scan never mutates anything.
-        // RC candidates are exactly the busy VCs in neither Waiting nor
-        // Active state: idle-state VCs holding a (head) flit.
-        if self.busy_vcs > self.waiting + self.active {
+        if self.rc_mask != 0 {
             self.refresh_rc(now);
         }
-        if self.waiting > 0 {
+        if self.wait_mask != 0 {
             self.do_va(now);
         }
-        if self.active > 0 {
+        if self.act_mask != 0 {
             self.do_sa_st(now, ctrl, out);
         }
         self.prev_busy = self.busy_vcs;
@@ -411,14 +467,27 @@ impl PsPipeline {
         let mut active = 0u32;
         let mut busy = 0u32;
         let mut gated = 0u32;
-        for (i, vc) in self.vcs.iter().enumerate() {
-            buffered += vc.fifo.len() as u32;
+        let mut rc = 0u64;
+        let mut wait = 0u64;
+        let mut act = 0u64;
+        for (i, vc) in self.ctl.iter().enumerate() {
+            buffered += self.buf.len(i) as u32;
             match vc.state {
-                VcState::Idle => {}
-                VcState::Waiting { .. } => waiting += 1,
-                VcState::Active { .. } => active += 1,
+                VcState::Idle => {
+                    if !self.buf.is_empty(i) {
+                        rc |= 1 << i;
+                    }
+                }
+                VcState::Waiting { .. } => {
+                    waiting += 1;
+                    wait |= 1 << i;
+                }
+                VcState::Active { .. } => {
+                    active += 1;
+                    act |= 1 << i;
+                }
             }
-            if vc.is_busy() {
+            if self.vc_busy(i) {
                 busy += 1;
                 if ((i % vcs) as u8) >= self.active_vcs {
                     gated += 1;
@@ -430,16 +499,23 @@ impl PsPipeline {
         debug_assert_eq!(self.active, active, "active counter drifted");
         debug_assert_eq!(self.busy_vcs, busy, "busy counter drifted");
         debug_assert_eq!(self.gated_busy, gated, "gated counter drifted");
+        debug_assert_eq!(self.rc_mask, rc, "rc mask drifted");
+        debug_assert_eq!(self.wait_mask, wait, "wait mask drifted");
+        debug_assert_eq!(self.act_mask, act, "act mask drifted");
     }
 
     /// Route computation for VCs whose head flit reached the FIFO front.
     fn refresh_rc(&mut self, now: Cycle) {
-        for i in 0..self.vcs.len() {
-            let buf = &self.vcs[i];
-            if buf.state != VcState::Idle {
-                continue;
-            }
-            let Some(front) = buf.fifo.front() else {
+        // RC candidates are exactly the `rc_mask` bits: Idle VCs holding a
+        // (head) flit.
+        let mut cand = self.rc_mask;
+        while cand != 0 {
+            let i = cand.trailing_zeros() as usize;
+            cand &= cand - 1;
+            debug_assert!(self.ctl[i].state == VcState::Idle && !self.buf.is_empty(i));
+            // `Flit` is a 32-byte POD: copying the front out of the slab is
+            // cheaper than holding a borrow across the route computation.
+            let Some(&front) = self.buf.front(i) else {
                 continue;
             };
             if !front.kind().is_head() {
@@ -449,19 +525,20 @@ impl PsPipeline {
                 continue;
             }
             let owner = front.packet;
-            let out_port = self.route_head(front);
+            let out_port = self.route_head(&front);
             debug_assert!(
                 self.out_meta[out_port.index()].exists,
                 "routed to a non-existent port"
             );
-            let buf = &mut self.vcs[i];
-            if let Some(forced) = buf.fifo.front_mut().unwrap().take_forced_out() {
+            if let Some(forced) = self.buf.front_mut(i).unwrap().take_forced_out() {
                 debug_assert_eq!(forced, out_port);
             }
-            buf.state = VcState::Waiting { out: out_port };
-            buf.stage_cycle = now;
+            self.ctl[i].state = VcState::Waiting { out: out_port };
+            self.ctl[i].stage_cycle = now;
             self.vc_owner[i] = owner;
             self.waiting += 1;
+            self.rc_mask &= !(1u64 << i);
+            self.wait_mask |= 1u64 << i;
         }
     }
 
@@ -518,19 +595,24 @@ impl PsPipeline {
         // switch or local input resets it to 0.
         let mut reqs = [0u64; Port::COUNT];
         let mut class1 = [0u64; Port::COUNT];
-        for (i, buf) in self.vcs.iter().enumerate() {
-            if let VcState::Waiting { out } = buf.state {
-                if buf.stage_cycle < now {
-                    let bit = 1u64 << i;
-                    let o = out.index();
-                    reqs[o] |= bit;
-                    if torus && out != Port::Local {
-                        let (p, vc) = (i / vcs, i % vcs);
-                        let class_in = p != Port::Local.index() && vc >= half;
-                        let same_dim = port_dim(p) == port_dim(o);
-                        if (same_dim && class_in) || self.wrap_out[o] {
-                            class1[o] |= bit;
-                        }
+        let mut cand = self.wait_mask;
+        while cand != 0 {
+            let i = cand.trailing_zeros() as usize;
+            cand &= cand - 1;
+            let ctl = &self.ctl[i];
+            let VcState::Waiting { out } = ctl.state else {
+                unreachable!("wait_mask bit on a non-Waiting VC")
+            };
+            if ctl.stage_cycle < now {
+                let bit = 1u64 << i;
+                let o = out.index();
+                reqs[o] |= bit;
+                if torus && out != Port::Local {
+                    let (p, vc) = (i / vcs, i % vcs);
+                    let class_in = p != Port::Local.index() && vc >= half;
+                    let same_dim = port_dim(p) == port_dim(o);
+                    if (same_dim && class_in) || self.wrap_out[o] {
+                        class1[o] |= bit;
                     }
                 }
             }
@@ -573,21 +655,23 @@ impl PsPipeline {
                 };
                 let (p, vc) = (w / vcs, w % vcs);
                 *req &= !(1 << w);
-                let buf = &mut self.vcs[w];
-                let VcState::Waiting { out } = buf.state else {
+                let ctl = &mut self.ctl[w];
+                let VcState::Waiting { out } = ctl.state else {
                     unreachable!()
                 };
-                buf.state = VcState::Active {
+                ctl.state = VcState::Active {
                     out,
                     out_vc: v as u8,
                 };
-                buf.stage_cycle = now;
+                ctl.stage_cycle = now;
                 self.waiting -= 1;
                 self.active += 1;
+                self.wait_mask &= !(1u64 << w);
+                self.act_mask |= 1u64 << w;
                 self.out_alloc[o * vcs + v] = Some((p as u8, vc as u8));
                 self.events.va_ops += 1;
                 if self.trace.wants(EventKind::VaGrant) {
-                    let pkt = self.vcs[w].fifo.front().map_or(0, |f| f.packet.0);
+                    let pkt = self.buf.front(w).map_or(0, |f| f.packet.0);
                     self.trace
                         .record(now, self.id.0, EventKind::VaGrant, o as u8, pkt);
                 }
@@ -610,12 +694,16 @@ impl PsPipeline {
                 continue;
             }
             let mut req_mask = 0u64;
-            for vc in 0..vcs {
-                let buf = &self.vcs[p * vcs + vc];
-                let VcState::Active { out, out_vc } = buf.state else {
-                    continue;
+            // This port's slice of the Active mask: bit `vc` of `port_act`.
+            let mut port_act = (self.act_mask >> (p * vcs)) & ((1u64 << vcs) - 1);
+            while port_act != 0 {
+                let vc = port_act.trailing_zeros() as usize;
+                port_act &= port_act - 1;
+                let ctl = &self.ctl[p * vcs + vc];
+                let VcState::Active { out, out_vc } = ctl.state else {
+                    unreachable!("act_mask bit on a non-Active VC")
                 };
-                if buf.stage_cycle >= now || buf.fifo.is_empty() {
+                if ctl.stage_cycle >= now || self.buf.is_empty(p * vcs + vc) {
                     continue;
                 }
                 if avail[out.index()] == PsOutput::Busy {
@@ -626,16 +714,13 @@ impl PsPipeline {
                 }
             }
             if let Some(vc) = self.sa_arb_in[p].grant_mask(req_mask) {
-                let VcState::Active { out, out_vc } = self.vcs[p * vcs + vc].state else {
+                let VcState::Active { out, out_vc } = self.ctl[p * vcs + vc].state else {
                     unreachable!()
                 };
                 *cand = Some((vc as u8, out, out_vc));
                 self.events.sa_ops += 1;
                 if self.trace.wants(EventKind::SaGrant) {
-                    let pkt = self.vcs[p * vcs + vc]
-                        .fifo
-                        .front()
-                        .map_or(0, |f| f.packet.0);
+                    let pkt = self.buf.front(p * vcs + vc).map_or(0, |f| f.packet.0);
                     self.trace
                         .record(now, self.id.0, EventKind::SaGrant, p as u8, pkt);
                 }
@@ -681,17 +766,22 @@ impl PsPipeline {
         out: &mut NodeOutputs,
     ) {
         let i = self.vci(in_port.index(), in_vc as usize);
-        let buf = &mut self.vcs[i];
-        let mut flit = buf.fifo.pop_front().expect("SA granted an empty VC");
+        let mut flit = self.buf.pop_front(i).expect("SA granted an empty VC");
         let is_tail = flit.kind().is_tail();
         if is_tail {
-            buf.state = VcState::Idle;
-            buf.stage_cycle = now;
+            self.ctl[i].state = VcState::Idle;
+            self.ctl[i].stage_cycle = now;
         }
-        let now_idle = buf.fifo.is_empty() && buf.state == VcState::Idle;
+        let now_idle = self.buf.is_empty(i) && self.ctl[i].state == VcState::Idle;
         self.buffered -= 1;
         if is_tail {
             self.active -= 1;
+            self.act_mask &= !(1u64 << i);
+            if !self.buf.is_empty(i) {
+                // The next packet's head is already queued behind the tail:
+                // the VC re-enters the RC candidate set immediately.
+                self.rc_mask |= 1u64 << i;
+            }
             let oi = self.vci(out_port.index(), out_vc as usize);
             self.out_alloc[oi] = None;
         }
@@ -831,12 +921,10 @@ impl PsPipeline {
     ) -> usize {
         let vcs = self.cfg.vcs_per_port as usize;
         let mut removed_total = 0usize;
-        for i in 0..self.vcs.len() {
+        for i in 0..self.ctl.len() {
             let (p, v) = (i / vcs, (i % vcs) as u8);
-            let was_busy = self.vcs[i].is_busy();
-            let buf = &mut self.vcs[i];
-            let before = buf.fifo.len();
-            buf.fifo.retain(|f| {
+            let was_busy = self.vc_busy(i);
+            let removed = self.buf.retain(i, |f| {
                 if f.packet == pid {
                     arena.free(f.config);
                     false
@@ -844,7 +932,6 @@ impl PsPipeline {
                     true
                 }
             });
-            let removed = before - buf.fifo.len();
             if removed > 0 {
                 self.buffered -= removed as u32;
                 match Port::from_index(p).direction() {
@@ -853,9 +940,9 @@ impl PsPipeline {
                 }
                 removed_total += removed;
             }
-            let buf = &mut self.vcs[i];
-            if buf.state != VcState::Idle && self.vc_owner[i] == pid {
-                match buf.state {
+            let ctl = &mut self.ctl[i];
+            if ctl.state != VcState::Idle && self.vc_owner[i] == pid {
+                match ctl.state {
                     VcState::Waiting { .. } => self.waiting -= 1,
                     VcState::Active { out, out_vc } => {
                         self.active -= 1;
@@ -863,9 +950,9 @@ impl PsPipeline {
                     }
                     VcState::Idle => unreachable!(),
                 }
-                buf.state = VcState::Idle;
+                ctl.state = VcState::Idle;
             }
-            if was_busy && !self.vcs[i].is_busy() {
+            if was_busy && !self.vc_busy(i) {
                 self.busy_vcs -= 1;
                 if v >= self.active_vcs {
                     self.gated_busy -= 1;
@@ -882,6 +969,7 @@ impl PsPipeline {
             }
         });
         removed_total += before - self.ejected.len();
+        self.rebuild_stage_masks();
         removed_total
     }
 
@@ -890,7 +978,15 @@ impl PsPipeline {
     /// sink — disarmed around checkpoints — and the reroute table, which
     /// the harness reinstalls from its own fault state).
     pub fn save_state(&self, w: &mut SnapshotWriter) {
-        self.vcs.save(w);
+        // Byte-compatible with the pre-slab `Vec<VcBuf>` encoding: a u64
+        // count, then per VC the ring in FIFO order (u64 length + flits),
+        // the state tag and the stage cycle (DESIGN.md §17).
+        w.usize(self.ctl.len());
+        for (i, ctl) in self.ctl.iter().enumerate() {
+            self.buf.save_ring(i, w);
+            ctl.state.save(w);
+            w.u64(ctl.stage_cycle);
+        }
         self.vc_owner.save(w);
         self.out_alloc.save(w);
         self.out_credits.save(w);
@@ -918,18 +1014,23 @@ impl PsPipeline {
     /// Inverse of [`PsPipeline::save_state`], into a freshly constructed
     /// pipeline of the same configuration.
     pub fn load_state(&mut self, r: &mut SnapshotReader) -> Result<(), SnapshotError> {
-        let vcs: Vec<VcBuf> = Snap::load(r)?;
+        if r.seq_len()? != self.ctl.len() {
+            return Err(SnapshotError::Mismatch("pipeline VC geometry"));
+        }
+        for i in 0..self.ctl.len() {
+            self.buf.load_ring(i, r)?;
+            self.ctl[i].state = Snap::load(r)?;
+            self.ctl[i].stage_cycle = r.u64()?;
+        }
         let vc_owner: Vec<PacketId> = Snap::load(r)?;
         let out_alloc: Vec<Option<(u8, u8)>> = Snap::load(r)?;
         let out_credits: Vec<u8> = Snap::load(r)?;
-        if vcs.len() != self.vcs.len()
-            || vc_owner.len() != self.vc_owner.len()
+        if vc_owner.len() != self.vc_owner.len()
             || out_alloc.len() != self.out_alloc.len()
             || out_credits.len() != self.out_credits.len()
         {
             return Err(SnapshotError::Mismatch("pipeline VC geometry"));
         }
-        self.vcs = vcs;
         self.vc_owner = vc_owner;
         self.out_alloc = out_alloc;
         self.out_credits = out_credits;
@@ -952,6 +1053,7 @@ impl PsPipeline {
         self.active = r.u32()?;
         self.busy_vcs = r.u32()?;
         self.gated_busy = r.u32()?;
+        self.rebuild_stage_masks();
         Ok(())
     }
 }
@@ -1076,7 +1178,7 @@ mod tests {
         let mut crossed = 0;
         for now in 0..40 {
             // Feed respecting our own buffer depth.
-            while sent < 10 && r.vc(Port::West, 0).fifo.len() < 5 {
+            while sent < 10 && r.vc_len(Port::West, 0) < 5 {
                 let mut f = Flit::of_packet(&p, sent, Switching::Packet);
                 f.vc = 0;
                 r.accept_flit(now, Port::West, f);
@@ -1205,7 +1307,7 @@ mod tests {
         let mut out = NodeOutputs::default();
         r.step(100, &NullCtrl, &mut out); // RC
         r.step(101, &NullCtrl, &mut out); // VA
-        match r.vc(in_port, in_vc as usize).state {
+        match r.vc_state(in_port, in_vc as usize) {
             VcState::Active { out, out_vc } => (out, out_vc),
             s => panic!("VA did not complete: {s:?}"),
         }

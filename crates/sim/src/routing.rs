@@ -33,10 +33,10 @@ pub fn xy_route(mesh: &Mesh, cur: NodeId, dst: NodeId) -> Port {
 /// The set of productive (minimal) directions toward `dst` — at most one
 /// per dimension (on a torus an exact half-way tie resolves to the
 /// positive direction, matching [`xy_route`]).
-pub fn minimal_directions(mesh: &Mesh, cur: NodeId, dst: NodeId) -> Vec<Direction> {
+pub fn minimal_directions(mesh: &Mesh, cur: NodeId, dst: NodeId) -> DirPair {
     let c = mesh.coord(cur);
     let d = mesh.coord(dst);
-    let mut dirs = Vec::with_capacity(2);
+    let mut dirs = DirPair::default();
     if let Some(dir) = mesh.x_dir_toward(c.x, d.x) {
         dirs.push(dir);
     }
@@ -60,12 +60,12 @@ pub fn adaptive_route<F: FnMut(Direction) -> u32>(
     let dirs = minimal_directions(mesh, cur, dst);
     match dirs.len() {
         0 => Port::Local,
-        1 => dirs[0].as_port(),
+        1 => dirs.get(0).as_port(),
         _ => {
             let xy = xy_route(mesh, cur, dst);
             let mut best = xy;
             let mut best_score = 0u32;
-            for d in dirs {
+            for d in dirs.iter() {
                 let s = score(d);
                 let p = d.as_port();
                 if p == xy {
@@ -88,7 +88,7 @@ pub fn adaptive_route<F: FnMut(Direction) -> u32>(
 /// from `src` currently at `cur`, heading to `dst`. Minimal and
 /// deadlock-free without extra VC classes, which is what lets configuration
 /// packets route adaptively while data packets stay on X-Y.
-pub fn odd_even_directions(mesh: &Mesh, src: NodeId, cur: NodeId, dst: NodeId) -> Vec<Direction> {
+pub fn odd_even_directions(mesh: &Mesh, src: NodeId, cur: NodeId, dst: NodeId) -> DirPair {
     debug_assert!(
         !mesh.is_torus(),
         "odd-even turn model is a mesh-only deadlock argument"
@@ -96,7 +96,7 @@ pub fn odd_even_directions(mesh: &Mesh, src: NodeId, cur: NodeId, dst: NodeId) -
     let s = mesh.coord(src);
     let c = mesh.coord(cur);
     let d = mesh.coord(dst);
-    let mut avail = Vec::with_capacity(2);
+    let mut avail = DirPair::default();
     if c == d {
         return avail;
     }
@@ -148,17 +148,18 @@ pub fn odd_even_directions(mesh: &Mesh, src: NodeId, cur: NodeId, dst: NodeId) -
 /// safe to mix with X-Y in shared VCs — X-Y takes `ES`/`EN` turns in even
 /// columns — which is why the routers use this model for configuration
 /// packets.)
-pub fn west_first_directions(mesh: &Mesh, cur: NodeId, dst: NodeId) -> Vec<Direction> {
+pub fn west_first_directions(mesh: &Mesh, cur: NodeId, dst: NodeId) -> DirPair {
     debug_assert!(
         !mesh.is_torus(),
         "west-first turn model is a mesh-only deadlock argument"
     );
     let c = mesh.coord(cur);
     let d = mesh.coord(dst);
+    let mut dirs = DirPair::default();
     if d.x < c.x {
-        return vec![Direction::West];
+        dirs.push(Direction::West);
+        return dirs;
     }
-    let mut dirs = Vec::with_capacity(2);
     if d.x > c.x {
         dirs.push(Direction::East);
     }
@@ -168,6 +169,55 @@ pub fn west_first_directions(mesh: &Mesh, cur: NodeId, dst: NodeId) -> Vec<Direc
         dirs.push(Direction::North);
     }
     dirs
+}
+
+/// At most two permitted directions, stored inline — the adaptive route
+/// query sits on the per-flit hot path, so it must not heap-allocate
+/// (DESIGN.md §17).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DirPair {
+    len: u8,
+    dirs: [Option<Direction>; 2],
+}
+
+impl DirPair {
+    fn push(&mut self, d: Direction) {
+        self.dirs[self.len as usize] = Some(d);
+        self.len += 1;
+    }
+
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn get(&self, i: usize) -> Direction {
+        self.dirs[i].expect("index within len")
+    }
+
+    pub fn last(&self) -> Option<Direction> {
+        self.len.checked_sub(1).map(|i| self.get(i as usize))
+    }
+
+    pub fn contains(&self, d: Direction) -> bool {
+        self.iter().any(|x| x == d)
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = Direction> + '_ {
+        self.dirs[..self.len as usize].iter().map(|d| d.unwrap())
+    }
+}
+
+impl IntoIterator for DirPair {
+    type Item = Direction;
+    type IntoIter = std::iter::Flatten<std::array::IntoIter<Option<Direction>, 2>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.dirs.into_iter().flatten()
+    }
 }
 
 /// Minimal adaptive routing under the west-first turn model: choose the
@@ -181,11 +231,11 @@ pub fn west_first_route<F: FnMut(Direction) -> u32>(
     let dirs = west_first_directions(mesh, cur, dst);
     match dirs.len() {
         0 => Port::Local,
-        1 => dirs[0].as_port(),
+        1 => dirs.get(0).as_port(),
         _ => {
-            let mut best = dirs[0];
-            let mut best_score = score(dirs[0]);
-            for &d in &dirs[1..] {
+            let mut best = dirs.get(0);
+            let mut best_score = score(best);
+            for d in dirs.iter().skip(1) {
                 let s = score(d);
                 if s > best_score {
                     best = d;
@@ -209,11 +259,11 @@ pub fn odd_even_route<F: FnMut(Direction) -> u32>(
     let dirs = odd_even_directions(mesh, src, cur, dst);
     match dirs.len() {
         0 => Port::Local,
-        1 => dirs[0].as_port(),
+        1 => dirs.get(0).as_port(),
         _ => {
-            let mut best = dirs[0];
-            let mut best_score = score(dirs[0]);
-            for &d in &dirs[1..] {
+            let mut best = dirs.get(0);
+            let mut best_score = score(best);
+            for d in dirs.iter().skip(1) {
                 let s = score(d);
                 if s > best_score {
                     best = d;
@@ -307,9 +357,9 @@ mod tests {
                         let dirs = odd_even_directions(&m, src, cur, dst);
                         assert!(!dirs.is_empty(), "stuck at {cur:?} for {src:?}->{dst:?}");
                         let d = if pick_last {
-                            *dirs.last().unwrap()
+                            dirs.last().unwrap()
                         } else {
-                            dirs[0]
+                            dirs.get(0)
                         };
                         let next = m.neighbor(cur, d).expect("productive direction");
                         assert_eq!(m.hops(next, dst) + 1, m.hops(cur, dst), "non-minimal");
@@ -452,9 +502,9 @@ mod west_first_tests {
                         let dirs = west_first_directions(&m, cur, dst);
                         assert!(!dirs.is_empty());
                         let d = if pick_last {
-                            *dirs.last().unwrap()
+                            dirs.last().unwrap()
                         } else {
-                            dirs[0]
+                            dirs.get(0)
                         };
                         let next = m.neighbor(cur, d).expect("productive");
                         assert_eq!(m.hops(next, dst) + 1, m.hops(cur, dst));
@@ -484,11 +534,11 @@ mod west_first_tests {
                     let dirs = west_first_directions(&m, cur, dst);
                     if left_west {
                         assert!(
-                            !dirs.contains(&Direction::West),
+                            !dirs.contains(Direction::West),
                             "turn into West offered after leaving the west heading"
                         );
                     }
-                    let d = dirs[0];
+                    let d = dirs.get(0);
                     if d != Direction::West {
                         left_west = true;
                     }
@@ -503,7 +553,9 @@ mod west_first_tests {
         let m = Mesh::square(6);
         let cur = m.id(Coord::new(4, 2));
         let dst = m.id(Coord::new(1, 5));
-        assert_eq!(west_first_directions(&m, cur, dst), vec![Direction::West]);
+        let dirs = west_first_directions(&m, cur, dst);
+        assert_eq!(dirs.len(), 1);
+        assert_eq!(dirs.get(0), Direction::West);
         // Pure eastward+vertical offers both.
         let dst2 = m.id(Coord::new(5, 5));
         assert_eq!(west_first_directions(&m, cur, dst2).len(), 2);

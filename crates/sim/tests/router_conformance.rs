@@ -91,7 +91,7 @@ fn switch_allocation_is_fair_across_input_ports() {
     let mut out = NodeOutputs::default();
     for now in 0..2_000 {
         for (i, &port) in ports.iter().enumerate() {
-            if r.vc(port, 0).fifo.len() < 5 {
+            if r.vc_len(port, 0) < 5 {
                 r.accept_flit(now, port, flit_of(pid, srcs[i], dst, 0, 1, 0));
                 pid += 1;
                 sent[i] += 1;
@@ -188,7 +188,7 @@ fn head_of_line_packet_does_not_block_other_vcs() {
     let mut out = NodeOutputs::default();
     for _ in 0..30 {
         for vc in 0..4u8 {
-            if r.vc(Port::North, vc as usize).fifo.len() < 5 {
+            if r.vc_len(Port::North, vc as usize) < 5 {
                 r.accept_flit(
                     0,
                     Port::North,
@@ -233,7 +233,7 @@ fn config_packets_route_adaptively_around_congestion() {
     let mut out = NodeOutputs::default();
     let mut pid = 0;
     for now in 0..40u64 {
-        if r.vc(Port::West, 0).fifo.len() < 5 {
+        if r.vc_len(Port::West, 0) < 5 {
             r.accept_flit(
                 now,
                 Port::West,

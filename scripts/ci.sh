@@ -22,6 +22,35 @@ cargo test -q --workspace "${OFFLINE[@]}"
 echo "== cargo clippy -- -D warnings =="
 cargo clippy --workspace --all-targets "${OFFLINE[@]}" -- -D warnings
 
+echo "== clippy (slab datapath + exhaustive-schedule hook) =="
+# The feature-gated phase-2 override is outside the workspace clippy run
+# above; lint it (and the slab module it exercises) explicitly.
+cargo clippy -p noc-sim --features exhaustive --all-targets "${OFFLINE[@]}" -- -D warnings
+
+echo "== exhaustive schedule permutations (2x2, all 24 orders) =="
+cargo test -q -p noc-sim --features exhaustive --test exhaustive_order "${OFFLINE[@]}"
+
+echo "== zero-allocation steady state (counting global allocator) =="
+cargo test -q -p noc-bench --test zero_alloc "${OFFLINE[@]}"
+
+echo "== network_step JSON bench (schema smoke) =="
+NS_TMP="$(mktemp -d)"
+cargo run --release -p noc-bench --bin network_step "${OFFLINE[@]}" -- \
+    --quick --json-out "$NS_TMP/ns.json" > /dev/null
+python3 - "$NS_TMP/ns.json" <<'PY'
+import json, sys
+env = json.load(open(sys.argv[1]))
+assert env["schema_version"] == 1, env["schema_version"]
+assert env["bench"] == "network_step"
+names = {p["name"] for p in env["points"]}
+assert "packet_64n_0.3flits" in names and "tdm_hybrid_1024n_0.3flits" in names, names
+for p in env["points"]:
+    assert p["best_ns_per_cycle"] > 0 and p["packets_delivered"] > 0, p["name"]
+    assert len(p["wall_ns"]) == env["reps"], p["name"]
+print(f"network_step JSON ok: {len(env['points'])} points")
+PY
+rm -rf "$NS_TMP"
+
 echo "== bench smoke (network_step incl. low-load + near-idle points, test mode) =="
 # Runs every network_step bench once, including the 0.02 flits/node/cycle
 # low-load points that exercise the activity-driven scheduler and the
@@ -126,6 +155,33 @@ cargo run --release -p noc-bench --bin fig4_load_latency "${OFFLINE[@]}" -- \
     --scenario "$SWEEP_TMP/topo_sweep.json" --json "$SWEEP_TMP/topo4.json" --sweep-threads 4 > /dev/null
 cmp "$SWEEP_TMP/topo1.json" "$SWEEP_TMP/topo4.json"
 echo "non-mesh sweep JSON identical across thread counts"
+
+echo "== 1024-node slab smoke (packet + TDM, sweep-thread determinism) =="
+# Kilo-node point on the flat flit-slab datapath: one shared allocation
+# carries all 20480 VC rings; a short loaded run must be byte-identical
+# across sweep-thread counts.
+cat > "$SWEEP_TMP/kilo.json" <<'JSON'
+[
+  { "backend": "PacketVc4", "mesh": 32,
+    "traffic": { "pattern": "UR", "rate": 0.06 },
+    "phases": { "warmup_cycles": 200, "warmup_packets": 50,
+                "measure_cycles": 600, "measure_packets": 2000,
+                "drain_cycles": 4000 },
+    "seed": 51 },
+  { "backend": "HybridTdmVc4", "mesh": 32,
+    "traffic": { "pattern": "UR", "rate": 0.04 },
+    "phases": { "warmup_cycles": 200, "warmup_packets": 50,
+                "measure_cycles": 600, "measure_packets": 2000,
+                "drain_cycles": 4000 },
+    "seed": 52 }
+]
+JSON
+cargo run --release -p noc-bench --bin fig4_load_latency "${OFFLINE[@]}" -- \
+    --scenario "$SWEEP_TMP/kilo.json" --json "$SWEEP_TMP/kilo1.json" --sweep-threads 1 > /dev/null
+cargo run --release -p noc-bench --bin fig4_load_latency "${OFFLINE[@]}" -- \
+    --scenario "$SWEEP_TMP/kilo.json" --json "$SWEEP_TMP/kilo2.json" --sweep-threads 2 > /dev/null
+cmp "$SWEEP_TMP/kilo1.json" "$SWEEP_TMP/kilo2.json"
+echo "1024-node slab smoke ok: JSON identical across thread counts"
 
 echo "== traced TDM hetero scenario (Perfetto trace + heatmap + envelope v2) =="
 cat > "$SWEEP_TMP/traced.json" <<'JSON'

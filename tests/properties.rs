@@ -87,7 +87,7 @@ proptest! {
             let dirs = odd_even_directions(&mesh, src, cur, dst);
             prop_assert!(!dirs.is_empty());
             // Worst-case choice each step.
-            let d = *dirs.last().expect("non-empty");
+            let d = dirs.last().expect("non-empty");
             let next = mesh.neighbor(cur, d).expect("in-mesh");
             prop_assert_eq!(mesh.hops(next, dst) + 1, mesh.hops(cur, dst));
             cur = next;
